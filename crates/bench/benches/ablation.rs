@@ -1,0 +1,51 @@
+//! Ablation bench: attributes the optimizer's speedup to its rewrite
+//! families (floats / complexes / fixnum comparisons / pair accesses) by
+//! running float- and structure-heavy benchmarks under languages that
+//! enable exactly one family.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lagoon_bench::{all_benchmarks, Config};
+use lagoon_core::ModuleRegistry;
+use std::time::Duration;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let langs = [
+        "typed/no-opt",
+        "typed/only-floats",
+        "typed/only-complexes",
+        "typed/only-fixnums",
+        "typed/only-pairs",
+        "typed/lagoon",
+    ];
+    for bench_name in ["mbrot", "pseudoknot", "nqueens"] {
+        let bench = all_benchmarks()
+            .into_iter()
+            .find(|b| b.name == bench_name)
+            .expect("benchmark exists");
+        for lang in langs {
+            let reg = ModuleRegistry::new();
+            lagoon_optimizer::register_typed_languages(&reg);
+            lagoon_optimizer::register_ablation_languages(&reg);
+            let module = format!("{}--{}", bench.name, lang.replace('/', "-"));
+            reg.add_module(&module, &format!("#lang {lang}\n{}", bench.source));
+            reg.compile(lagoon_syntax::Symbol::intern(&module))
+                .expect("benchmark compiles");
+            group.bench_function(format!("{}/{}", bench.name, lang), |b| {
+                b.iter(|| {
+                    reg.reset_instances();
+                    reg.run(&module, lagoon_core::EngineKind::Vm).expect("runs")
+                });
+            });
+        }
+    }
+    let _ = Config::all(); // keep the shared API exercised
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

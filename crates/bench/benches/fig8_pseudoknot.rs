@@ -1,0 +1,25 @@
+//! Criterion bench regenerating figure 8 (pseudoknot).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lagoon_bench::{benchmarks_for, prepare, Config, Figure};
+use std::time::Duration;
+
+fn bench_figure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_pseudoknot");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for bench in benchmarks_for(Figure::Fig8) {
+        for config in [Config::Vm, Config::VmTyped, Config::VmOpt] {
+            let mut runner = prepare(&bench, config).expect("benchmark compiles");
+            group.bench_function(format!("{}/{}", bench.name, config.label()), |b| {
+                b.iter(|| runner().expect("benchmark runs"));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure);
+criterion_main!(benches);

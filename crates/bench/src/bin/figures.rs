@@ -1,0 +1,30 @@
+//! Regenerates the paper's figures 6-9 as text tables.
+//!
+//! Usage: `cargo run --release -p lagoon-bench --bin figures [fig6|fig7|fig8|fig9|all] [reps]`
+
+use lagoon_bench::{format_figure, measure_figure, Figure};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("all");
+    let reps: usize = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let figures: Vec<Figure> = match which {
+        "fig6" => vec![Figure::Fig6],
+        "fig7" => vec![Figure::Fig7],
+        "fig8" => vec![Figure::Fig8],
+        "fig9" => vec![Figure::Fig9],
+        _ => vec![Figure::Fig6, Figure::Fig7, Figure::Fig8, Figure::Fig9],
+    };
+    for figure in figures {
+        match measure_figure(figure, reps) {
+            Ok(rows) => println!("{}\n", format_figure(figure, &rows)),
+            Err(e) => {
+                eprintln!("error measuring {figure:?}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

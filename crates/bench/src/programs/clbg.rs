@@ -1,0 +1,216 @@
+//! Figure 7 workloads: Computer Language Benchmarks Game programs
+//! (paper §7.3, “shootout”), scaled to simulator-friendly sizes.
+
+use crate::Benchmark;
+use crate::Figure;
+
+/// The CLBG suite.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "nbody",
+            figure: Figure::Fig7,
+            source: r#"
+(: advance : (Vectorof Float) (Vectorof Float) (Vectorof Float) (Vectorof Float) (Vectorof Float) Float Integer -> Void)
+(define (advance xs ys vxs vys ms dt n)
+  (if (= n 0)
+      (void)
+      (begin
+        (pairwise xs ys vxs vys ms dt 0)
+        (drift xs ys vxs vys dt 0)
+        (advance xs ys vxs vys ms dt (- n 1)))))
+(: pairwise : (Vectorof Float) (Vectorof Float) (Vectorof Float) (Vectorof Float) (Vectorof Float) Float Integer -> Void)
+(define (pairwise xs ys vxs vys ms dt i)
+  (if (= i (vector-length xs))
+      (void)
+      (begin
+        (pair-body xs ys vxs vys ms dt i (+ i 1))
+        (pairwise xs ys vxs vys ms dt (+ i 1)))))
+(: pair-body : (Vectorof Float) (Vectorof Float) (Vectorof Float) (Vectorof Float) (Vectorof Float) Float Integer Integer -> Void)
+(define (pair-body xs ys vxs vys ms dt i j)
+  (if (= j (vector-length xs))
+      (void)
+      (let ([dx (- (vector-ref xs i) (vector-ref xs j))]
+            [dy (- (vector-ref ys i) (vector-ref ys j))])
+        (let ([d2 (+ (* dx dx) (* dy dy))])
+          (let ([mag (/ dt (* d2 (sqrt d2)))])
+            (vector-set! vxs i (- (vector-ref vxs i) (* dx (* (vector-ref ms j) mag))))
+            (vector-set! vys i (- (vector-ref vys i) (* dy (* (vector-ref ms j) mag))))
+            (vector-set! vxs j (+ (vector-ref vxs j) (* dx (* (vector-ref ms i) mag))))
+            (vector-set! vys j (+ (vector-ref vys j) (* dy (* (vector-ref ms i) mag))))
+            (pair-body xs ys vxs vys ms dt i (+ j 1)))))))
+(: drift : (Vectorof Float) (Vectorof Float) (Vectorof Float) (Vectorof Float) Float Integer -> Void)
+(define (drift xs ys vxs vys dt i)
+  (if (= i (vector-length xs))
+      (void)
+      (begin
+        (vector-set! xs i (+ (vector-ref xs i) (* dt (vector-ref vxs i))))
+        (vector-set! ys i (+ (vector-ref ys i) (* dt (vector-ref vys i))))
+        (drift xs ys vxs vys dt (+ i 1)))))
+(: energy : (Vectorof Float) (Vectorof Float) (Vectorof Float) (Vectorof Float) (Vectorof Float) Integer Float -> Float)
+(define (energy xs ys vxs vys ms i acc)
+  (if (= i (vector-length xs))
+      acc
+      (energy xs ys vxs vys ms (+ i 1)
+              (+ acc (* 0.5 (* (vector-ref ms i)
+                               (+ (* (vector-ref vxs i) (vector-ref vxs i))
+                                  (* (vector-ref vys i) (vector-ref vys i)))))))))
+(define xs (vector 0.0 4.84 8.34 12.89 15.37))
+(define ys (vector 0.0 -1.16 4.12 -15.11 -25.91))
+(define vxs (vector 0.0 0.606 -0.276 0.298 0.288))
+(define vys (vector 0.0 0.764 0.499 0.157 0.148))
+(define ms (vector 39.47 0.0377 0.0113 0.0000431 0.0000515))
+(advance xs ys vxs vys ms 0.01 2500)
+(floor (* 1000.0 (energy xs ys vxs vys ms 0 0.0)))
+"#,
+        },
+        Benchmark {
+            name: "spectralnorm",
+            figure: Figure::Fig7,
+            source: r#"
+(: a-elem : Integer Integer -> Float)
+(define (a-elem i j)
+  (/ 1.0 (exact->inexact (+ (quotient (* (+ i j) (+ i j 1)) 2) i 1))))
+(: mul-av-row : (Vectorof Float) (Vectorof Float) Integer Integer Float Boolean -> Float)
+(define (mul-av-row u out i j acc transpose)
+  (if (= j (vector-length u))
+      acc
+      (mul-av-row u out i (+ j 1)
+                  (+ acc (* (if transpose (a-elem j i) (a-elem i j)) (vector-ref u j)))
+                  transpose)))
+(: mul-av : (Vectorof Float) (Vectorof Float) Integer Boolean -> Void)
+(define (mul-av u out i transpose)
+  (if (= i (vector-length out))
+      (void)
+      (begin
+        (vector-set! out i (mul-av-row u out i 0 0.0 transpose))
+        (mul-av u out (+ i 1) transpose))))
+(: mul-at-av : (Vectorof Float) (Vectorof Float) (Vectorof Float) -> Void)
+(define (mul-at-av u tmp out)
+  (begin (mul-av u tmp 0 #f) (mul-av tmp out 0 #t)))
+(: power : (Vectorof Float) (Vectorof Float) (Vectorof Float) Integer -> Void)
+(define (power u v tmp n)
+  (if (= n 0)
+      (void)
+      (begin (mul-at-av u tmp v) (mul-at-av v tmp u) (power u v tmp (- n 1)))))
+(: dot : (Vectorof Float) (Vectorof Float) Integer Float -> Float)
+(define (dot a b i acc)
+  (if (= i (vector-length a))
+      acc
+      (dot a b (+ i 1) (+ acc (* (vector-ref a i) (vector-ref b i))))))
+(define n 48)
+(define u (make-vector n 1.0))
+(define v (make-vector n 0.0))
+(define tmp (make-vector n 0.0))
+(power u v tmp 10)
+(floor (* 1000000.0 (sqrt (/ (dot u v 0 0.0) (dot v v 0 0.0)))))
+"#,
+        },
+        Benchmark {
+            name: "mandelbrot",
+            figure: Figure::Fig7,
+            source: r#"
+(: in-set? : Float Float -> Integer)
+(define (in-set? cr ci)
+  (mandel-iter 0.0 0.0 cr ci 40))
+(: mandel-iter : Float Float Float Float Integer -> Integer)
+(define (mandel-iter zr zi cr ci n)
+  (cond [(= n 0) 1]
+        [(> (+ (* zr zr) (* zi zi)) 4.0) 0]
+        [else (mandel-iter (+ (- (* zr zr) (* zi zi)) cr)
+                           (+ (* 2.0 (* zr zi)) ci)
+                           cr ci (- n 1))]))
+(: scan : Integer Integer Integer Integer -> Integer)
+(define (scan x y size acc)
+  (cond [(= y size) acc]
+        [(= x size) (scan 0 (+ y 1) size acc)]
+        [else (scan (+ x 1) y size
+                    (+ acc (in-set? (- (/ (* 2.0 (exact->inexact x)) (exact->inexact size)) 1.5)
+                                    (- (/ (* 2.0 (exact->inexact y)) (exact->inexact size)) 1.0))))]))
+(scan 0 0 56 0)
+"#,
+        },
+        Benchmark {
+            name: "fannkuch",
+            figure: Figure::Fig7,
+            source: r#"
+(: vector-reverse-prefix! : (Vectorof Integer) Integer -> Void)
+(define (vector-reverse-prefix! v n)
+  (rev-loop v 0 (- n 1)))
+(: rev-loop : (Vectorof Integer) Integer Integer -> Void)
+(define (rev-loop v i j)
+  (if (< i j)
+      (let ([tmp (vector-ref v i)])
+        (vector-set! v i (vector-ref v j))
+        (vector-set! v j tmp)
+        (rev-loop v (+ i 1) (- j 1)))
+      (void)))
+(: count-flips : (Vectorof Integer) Integer -> Integer)
+(define (count-flips p acc)
+  (let ([k (vector-ref p 0)])
+    (if (= k 0)
+        acc
+        (begin
+          (vector-reverse-prefix! p (+ k 1))
+          (count-flips p (+ acc 1))))))
+(: copy-into! : (Vectorof Integer) (Vectorof Integer) Integer -> Void)
+(define (copy-into! src dst i)
+  (if (= i (vector-length src))
+      (void)
+      (begin (vector-set! dst i (vector-ref src i)) (copy-into! src dst (+ i 1)))))
+(: rotate-prefix! : (Vectorof Integer) Integer -> Void)
+(define (rotate-prefix! p n)
+  (let ([first (vector-ref p 0)])
+    (rot-loop p 0 n)
+    (vector-set! p (- n 1) first)))
+(: rot-loop : (Vectorof Integer) Integer Integer -> Void)
+(define (rot-loop p i n)
+  (if (< i (- n 1))
+      (begin (vector-set! p i (vector-ref p (+ i 1))) (rot-loop p (+ i 1) n))
+      (void)))
+(: fannkuch : (Vectorof Integer) (Vectorof Integer) (Vectorof Integer) Integer Integer -> Integer)
+(define (fannkuch p tmp counts r best)
+  (if (= r 0)
+      best
+      (let ([b2 (begin
+                  (copy-into! p tmp 0)
+                  (max best (count-flips tmp 0)))])
+        (fannkuch-next p tmp counts 1 b2))))
+(: fannkuch-next : (Vectorof Integer) (Vectorof Integer) (Vectorof Integer) Integer Integer -> Integer)
+(define (fannkuch-next p tmp counts i best)
+  (if (>= i (vector-length p))
+      best
+      (begin
+        (rotate-prefix! p (+ i 1))
+        (if (< (vector-ref counts i) i)
+            (begin
+              (vector-set! counts i (+ (vector-ref counts i) 1))
+              (fannkuch p tmp counts 1 best))
+            (begin
+              (vector-set! counts i 0)
+              (fannkuch-next p tmp counts (+ i 1) best))))))
+(define n 7)
+(define p (list->vector (range 0 n)))
+(define tmp (make-vector n 0))
+(define counts (make-vector n 0))
+(fannkuch p tmp counts 1 0)
+"#,
+        },
+        Benchmark {
+            name: "partialsums",
+            figure: Figure::Fig7,
+            source: r#"
+(: series : Float Float Float Float Float Float -> Float)
+(define (series k n s1 s2 s3 s4)
+  (if (> k n)
+      (+ s1 (+ s2 (+ s3 s4)))
+      (series (+ k 1.0) n
+              (+ s1 (/ 1.0 (* k k)))
+              (+ s2 (/ 1.0 (* k (+ k 1.0))))
+              (+ s3 (/ (sin k) (* k k)))
+              (+ s4 (/ 1.0 (sqrt k))))))
+(floor (* 1000.0 (series 1.0 60000.0 0.0 0.0 0.0 0.0)))
+"#,
+        },
+    ]
+}

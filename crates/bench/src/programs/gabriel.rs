@@ -1,0 +1,157 @@
+//! Figure 6 workloads: Gabriel (1985) and Larceny benchmark-suite
+//! micro-benchmarks, in Lagoon. Each program is written in typed style;
+//! the harness strips the `(: …)` declarations to obtain the untyped
+//! original (the two differ only in annotations, as in the paper §7.3).
+
+use crate::Benchmark;
+use crate::Figure;
+
+/// The Gabriel/Larceny suite.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "tak",
+            figure: Figure::Fig6,
+            source: r#"
+(: tak : Integer Integer Integer -> Integer)
+(define (tak x y z)
+  (if (not (< y x))
+      z
+      (tak (tak (- x 1) y z)
+           (tak (- y 1) z x)
+           (tak (- z 1) x y))))
+(tak 21 14 7)
+"#,
+        },
+        Benchmark {
+            name: "cpstak",
+            figure: Figure::Fig6,
+            source: r#"
+(: tak : Integer Integer Integer (-> Integer Integer) -> Integer)
+(define (tak x y z k)
+  (if (not (< y x))
+      (k z)
+      (tak (- x 1) y z
+           (lambda (v1)
+             (tak (- y 1) z x
+                  (lambda (v2)
+                    (tak (- z 1) x y
+                         (lambda (v3) (tak v1 v2 v3 k)))))))))
+(: cpstak : Integer Integer Integer -> Integer)
+(define (cpstak x y z) (tak x y z (lambda (a) a)))
+(cpstak 19 11 5)
+"#,
+        },
+        Benchmark {
+            name: "fib",
+            figure: Figure::Fig6,
+            source: r#"
+(: fib : Integer -> Integer)
+(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+(fib 24)
+"#,
+        },
+        Benchmark {
+            name: "fibfp",
+            figure: Figure::Fig6,
+            source: r#"
+(: fibfp : Float -> Float)
+(define (fibfp n)
+  (if (< n 2.0) n (+ (fibfp (- n 1.0)) (fibfp (- n 2.0)))))
+(fibfp 24.0)
+"#,
+        },
+        Benchmark {
+            name: "sumfp",
+            figure: Figure::Fig6,
+            source: r#"
+(: go : Float Float -> Float)
+(define (go i acc)
+  (if (< i 0.5) acc (go (- i 1.0) (+ acc i))))
+(go 200000.0 0.0)
+"#,
+        },
+        Benchmark {
+            name: "mbrot",
+            figure: Figure::Fig6,
+            source: r#"
+(: iters : Float Float Float Float Integer -> Integer)
+(define (iters zr zi cr ci n)
+  (cond [(= n 0) 0]
+        [(> (+ (* zr zr) (* zi zi)) 4.0) n]
+        [else (iters (+ (- (* zr zr) (* zi zi)) cr)
+                     (+ (* 2.0 (* zr zi)) ci)
+                     cr ci (- n 1))]))
+(: col : Integer Integer Integer -> Integer)
+(define (col i j acc)
+  (if (= j 40)
+      acc
+      (col i (+ j 1)
+           (+ acc (iters 0.0 0.0
+                         (- (/ (exact->inexact i) 20.0) 1.5)
+                         (- (/ (exact->inexact j) 20.0) 1.0)
+                         50)))))
+(: rows : Integer Integer -> Integer)
+(define (rows i acc)
+  (if (= i 40) acc (rows (+ i 1) (col i 0 acc))))
+(rows 0 0)
+"#,
+        },
+        Benchmark {
+            name: "nqueens",
+            figure: Figure::Fig6,
+            source: r#"
+(: ok? : Integer Integer (Listof Integer) -> Boolean)
+(define (ok? row dist placed)
+  (if (null? placed)
+      #t
+      (and (not (= (car placed) (+ row dist)))
+           (not (= (car placed) (- row dist)))
+           (ok? row (+ dist 1) (cdr placed)))))
+(: try : (Listof Integer) (Listof Integer) (Listof Integer) -> Integer)
+(define (try x y z)
+  (if (null? x)
+      (if (null? y) 1 0)
+      (+ (if (ok? (car x) 1 z)
+             (try (append (cdr x) y) '() (cons (car x) z))
+             0)
+         (try (cdr x) (cons (car x) y) z))))
+(: nqueens : Integer -> Integer)
+(define (nqueens n) (try (range 1 (+ n 1)) '() '()))
+(nqueens 9)
+"#,
+        },
+        Benchmark {
+            name: "pnpoly",
+            figure: Figure::Fig6,
+            source: r#"
+(: poly-walk : (Vectorof Float) (Vectorof Float) Float Float Integer Integer Boolean -> Boolean)
+(define (poly-walk xs ys x y i j c)
+  (if (= i (vector-length xs))
+      c
+      (let ([yi (vector-ref ys i)] [yj (vector-ref ys j)]
+            [xi (vector-ref xs i)] [xj (vector-ref xs j)])
+        (if (and (or (and (<= yi y) (< y yj)) (and (<= yj y) (< y yi)))
+                 (< x (+ (/ (* (- xj xi) (- y yi)) (- yj yi)) xi)))
+            (poly-walk xs ys x y (+ i 1) i (not c))
+            (poly-walk xs ys x y (+ i 1) i c)))))
+(: pt-in-poly? : (Vectorof Float) (Vectorof Float) Float Float -> Boolean)
+(define (pt-in-poly? xs ys x y)
+  (poly-walk xs ys x y 0 (- (vector-length xs) 1) #f))
+(: count-hits : Integer Integer (Vectorof Float) (Vectorof Float) -> Integer)
+(define (count-hits k acc xs ys)
+  (if (= k 0)
+      acc
+      (count-hits (- k 1)
+                  (+ acc (if (pt-in-poly? xs ys
+                                          (/ (exact->inexact (modulo (* k 7919) 200)) 100.0)
+                                          (/ (exact->inexact (modulo (* k 104729) 200)) 100.0))
+                             1 0))
+                  xs ys)))
+(count-hits 6000 0
+            (vector 0.0 1.0 1.0 0.0 0.5)
+            (vector 0.0 0.0 1.0 1.0 0.5))
+"#,
+        },
+    ]
+}

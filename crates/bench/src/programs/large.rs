@@ -1,0 +1,212 @@
+//! Figure 9 workloads: the paper's "large benchmarks" — a ray tracer, an
+//! FFT, and functional data structures (Prashanth & Tobin-Hochstadt
+//! 2010). Scaled-down but structurally faithful versions (see DESIGN.md).
+
+use crate::Benchmark;
+use crate::Figure;
+
+/// The large-application suite.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "raytrace",
+            figure: Figure::Fig9,
+            source: r#"
+(: vec3 : Float Float Float -> (List Float Float Float))
+(define (vec3 x y z) (list x y z))
+(: vx : (List Float Float Float) -> Float)
+(define (vx v) (first v))
+(: vy : (List Float Float Float) -> Float)
+(define (vy v) (second v))
+(: vz : (List Float Float Float) -> Float)
+(define (vz v) (third v))
+(: v- : (List Float Float Float) (List Float Float Float) -> (List Float Float Float))
+(define (v- a b) (vec3 (- (vx a) (vx b)) (- (vy a) (vy b)) (- (vz a) (vz b))))
+(: vdot : (List Float Float Float) (List Float Float Float) -> Float)
+(define (vdot a b) (+ (* (vx a) (vx b)) (+ (* (vy a) (vy b)) (* (vz a) (vz b)))))
+(: vscale : (List Float Float Float) Float -> (List Float Float Float))
+(define (vscale a s) (vec3 (* (vx a) s) (* (vy a) s) (* (vz a) s)))
+(: vnorm : (List Float Float Float) -> (List Float Float Float))
+(define (vnorm a) (vscale a (/ 1.0 (sqrt (vdot a a)))))
+
+;; sphere i: center (cxs[i], cys[i], czs[i]), radius rs[i]
+(define cxs (vector 0.0 1.5 -1.5))
+(define cys (vector 0.0 0.5 -0.5))
+(define czs (vector 5.0 6.0 4.5))
+(define rs  (vector 1.0 0.7 0.6))
+
+(: hit-sphere : (List Float Float Float) (List Float Float Float) Integer -> Float)
+(define (hit-sphere origin dir i)
+  (let ([oc (v- origin (vec3 (vector-ref cxs i) (vector-ref cys i) (vector-ref czs i)))])
+    (let ([a (vdot dir dir)]
+          [b (* 2.0 (vdot oc dir))]
+          [c (- (vdot oc oc) (* (vector-ref rs i) (vector-ref rs i)))])
+      (let ([disc (- (* b b) (* 4.0 (* a c)))])
+        (if (< disc 0.0)
+            -1.0
+            (/ (- 0.0 (+ b (sqrt disc))) (* 2.0 a)))))))
+(: nearest-hit : (List Float Float Float) (List Float Float Float) Integer Float -> Float)
+(define (nearest-hit origin dir i best)
+  (if (= i (vector-length rs))
+      best
+      (let ([t (hit-sphere origin dir i)])
+        (nearest-hit origin dir (+ i 1)
+                     (if (and (> t 0.0) (or (< t best) (< best 0.0))) t best)))))
+(: shade : (List Float Float Float) (List Float Float Float) -> Float)
+(define (shade origin dir)
+  (let ([t (nearest-hit origin dir 0 -1.0)])
+    (if (< t 0.0)
+        0.0
+        (let ([hit-z (+ (vz origin) (* t (vz dir)))])
+          (max 0.0 (- 1.0 (/ hit-z 10.0)))))))
+(: render-px : Integer Integer Integer -> Float)
+(define (render-px x y size)
+  (let ([dx (- (/ (exact->inexact x) (exact->inexact size)) 0.5)]
+        [dy (- (/ (exact->inexact y) (exact->inexact size)) 0.5)])
+    (shade (vec3 0.0 0.0 0.0) (vnorm (vec3 dx dy 1.0)))))
+(: render : Integer Integer Integer Float -> Float)
+(define (render x y size acc)
+  (cond [(= y size) acc]
+        [(= x size) (render 0 (+ y 1) size acc)]
+        [else (render (+ x 1) y size (+ acc (render-px x y size)))]))
+(floor (* 1000.0 (render 0 0 40 0.0)))
+"#,
+        },
+        Benchmark {
+            name: "fft",
+            figure: Figure::Fig9,
+            source: r#"
+;; iterative radix-2 FFT over split re/im vectors (the "industrial
+;; strength FFT" of paper §7.3, scaled down)
+(: bit-reverse! : (Vectorof Float) (Vectorof Float) Integer Integer -> Void)
+(define (bit-reverse! re im i j)
+  (if (>= i (vector-length re))
+      (void)
+      (begin
+        (when (< i j)
+          (let ([tr (vector-ref re i)] [ti (vector-ref im i)])
+            (vector-set! re i (vector-ref re j))
+            (vector-set! im i (vector-ref im j))
+            (vector-set! re j tr)
+            (vector-set! im j ti)))
+        (bit-reverse! re im (+ i 1) (rev-step j (quotient (vector-length re) 2))))))
+(: rev-step : Integer Integer -> Integer)
+(define (rev-step j m)
+  (if (and (>= m 1) (>= j m))
+      (rev-step (- j m) (quotient m 2))
+      (+ j m)))
+(: butterfly : (Vectorof Float) (Vectorof Float) Integer Integer Float Float Integer -> Void)
+(define (butterfly re im mmax istep wr wi m)
+  (if (> m mmax)
+      (void)
+      (begin
+        (inner-loop re im (- m 1) mmax istep wr wi)
+        (butterfly re im mmax istep wr wi (+ m 1)))))
+(: inner-loop : (Vectorof Float) (Vectorof Float) Integer Integer Integer Float Float -> Void)
+(define (inner-loop re im i mmax istep wr wi)
+  (if (>= i (vector-length re))
+      (void)
+      (let ([j (+ i mmax)])
+        (let ([tr (- (* wr (vector-ref re j)) (* wi (vector-ref im j)))]
+              [ti (+ (* wr (vector-ref im j)) (* wi (vector-ref re j)))])
+          (vector-set! re j (- (vector-ref re i) tr))
+          (vector-set! im j (- (vector-ref im i) ti))
+          (vector-set! re i (+ (vector-ref re i) tr))
+          (vector-set! im i (+ (vector-ref im i) ti))
+          (inner-loop re im (+ i istep) mmax istep wr wi)))))
+(: stages : (Vectorof Float) (Vectorof Float) Integer -> Void)
+(define (stages re im mmax)
+  (if (>= mmax (vector-length re))
+      (void)
+      (begin
+        (stage-ms re im mmax (* 2 mmax) 1)
+        (stages re im (* 2 mmax)))))
+(: stage-ms : (Vectorof Float) (Vectorof Float) Integer Integer Integer -> Void)
+(define (stage-ms re im mmax istep m)
+  (if (> m mmax)
+      (void)
+      (let ([theta (/ (* 3.14159265358979 (exact->inexact (- m 1))) (exact->inexact mmax))])
+        (inner-loop re im (- m 1) mmax istep (cos theta) (- 0.0 (sin theta)))
+        (stage-ms re im mmax istep (+ m 1)))))
+(: fill! : (Vectorof Float) Integer -> Void)
+(define (fill! v i)
+  (if (= i (vector-length v))
+      (void)
+      (begin
+        (vector-set! v i (sin (* 0.1 (exact->inexact i))))
+        (fill! v (+ i 1)))))
+(: checksum : (Vectorof Float) (Vectorof Float) Integer Float -> Float)
+(define (checksum re im i acc)
+  (if (= i (vector-length re))
+      acc
+      (checksum re im (+ i 1)
+                (+ acc (sqrt (+ (* (vector-ref re i) (vector-ref re i))
+                                (* (vector-ref im i) (vector-ref im i))))))))
+(: run-fft : Integer Float -> Float)
+(define (run-fft rounds acc)
+  (if (= rounds 0)
+      acc
+      (let ([re (make-vector 512 0.0)] [im (make-vector 512 0.0)])
+        (fill! re 0)
+        (bit-reverse! re im 0 0)
+        (stages re im 1)
+        (run-fft (- rounds 1) (+ acc (checksum re im 0 0.0))))))
+(floor (run-fft 16 0.0))
+"#,
+        },
+        Benchmark {
+            name: "funcds",
+            figure: Figure::Fig9,
+            source: r#"
+;; functional data structures (Prashanth & Tobin-Hochstadt 2010):
+;; a banker's queue and bottom-up merge sort over integer lists
+(: rotate-queue : (Listof Integer) (Listof Integer) -> (Listof Integer))
+(define (rotate-queue front back)
+  (if (null? back) front (append front (reverse back))))
+(: enqueue-all : Integer (Listof Integer) (Listof Integer) Integer -> Integer)
+(define (enqueue-all n front back acc)
+  (if (= n 0)
+      (drain front back acc)
+      (if (> (length back) (length front))
+          (enqueue-all (- n 1) (rotate-queue front (cons n back)) '() acc)
+          (enqueue-all (- n 1) front (cons n back) acc))))
+(: drain : (Listof Integer) (Listof Integer) Integer -> Integer)
+(define (drain front back acc)
+  (cond [(null? front)
+         (if (null? back) acc (drain (reverse back) '() acc))]
+        [else (drain (cdr front) back (+ acc (car front)))]))
+(: merge2 : (Listof Integer) (Listof Integer) -> (Listof Integer))
+(define (merge2 a b)
+  (cond [(null? a) b]
+        [(null? b) a]
+        [(<= (car a) (car b)) (cons (car a) (merge2 (cdr a) b))]
+        [else (cons (car b) (merge2 a (cdr b)))]))
+(: msort : (Listof Integer) -> (Listof Integer))
+(define (msort l)
+  (if (or (null? l) (null? (cdr l)))
+      l
+      (msort-split l '() '())))
+(: msort-split : (Listof Integer) (Listof Integer) (Listof Integer) -> (Listof Integer))
+(define (msort-split l a b)
+  (if (null? l)
+      (merge2 (msort a) (msort b))
+      (msort-split (cdr l) (cons (car l) b) a)))
+(: shuffle : Integer (Listof Integer) -> (Listof Integer))
+(define (shuffle n acc)
+  (if (= n 0) acc (shuffle (- n 1) (cons (modulo (* n 7919) 1000) acc))))
+(: sum-firsts : (Listof Integer) Integer Integer -> Integer)
+(define (sum-firsts l k acc)
+  (if (or (= k 0) (null? l)) acc (sum-firsts (cdr l) (- k 1) (+ acc (car l)))))
+(: run : Integer Integer -> Integer)
+(define (run rounds acc)
+  (if (= rounds 0)
+      acc
+      (run (- rounds 1)
+           (+ acc
+              (enqueue-all 400 '() '() 0)
+              (sum-firsts (msort (shuffle 300 '())) 10 0)))))
+(run 16 0)
+"#,
+        },
+    ]
+}

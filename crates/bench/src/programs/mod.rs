@@ -1,0 +1,6 @@
+//! Benchmark program sources, one module per paper figure.
+
+pub mod clbg;
+pub mod gabriel;
+pub mod large;
+pub mod pseudoknot;

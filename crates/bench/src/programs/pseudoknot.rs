@@ -1,0 +1,94 @@
+//! Figure 8 workload: `pseudoknot-lite`.
+//!
+//! The paper's pseudoknot (Hartel et al. 1996) searches nucleic-acid
+//! conformations with heavy 3-D floating-point geometry over small
+//! structures. The original is ~3000 lines of generated constants; this
+//! kernel reproduces its *operation mix* — rigid-body transforms
+//! (3×3 matrix × vector), distance checks, and a pruned backtracking
+//! search over candidate placements — on synthetic geometry (see
+//! DESIGN.md's substitution table).
+//!
+//! Points are `(List Float Float Float)`, so the typed build exercises
+//! both float specialization and tag-check elimination (`first`/`second`/
+//! `third` on fixed-length lists become `unsafe-car`/`unsafe-cdr`
+//! chains).
+
+use crate::Benchmark;
+use crate::Figure;
+
+/// The pseudoknot-lite benchmark.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![Benchmark {
+        name: "pseudoknot",
+        figure: Figure::Fig8,
+        source: r#"
+(: p3 : Float Float Float -> (List Float Float Float))
+(define (p3 x y z) (list x y z))
+(: px : (List Float Float Float) -> Float)
+(define (px p) (first p))
+(: py : (List Float Float Float) -> Float)
+(define (py p) (second p))
+(: pz : (List Float Float Float) -> Float)
+(define (pz p) (third p))
+(: dist2 : (List Float Float Float) (List Float Float Float) -> Float)
+(define (dist2 a b)
+  (let ([dx (- (px a) (px b))]
+        [dy (- (py a) (py b))]
+        [dz (- (pz a) (pz b))])
+    (+ (* dx dx) (+ (* dy dy) (* dz dz)))))
+(: rotate-z : (List Float Float Float) Float -> (List Float Float Float))
+(define (rotate-z p theta)
+  (let ([c (cos theta)] [s (sin theta)])
+    (p3 (- (* c (px p)) (* s (py p)))
+        (+ (* s (px p)) (* c (py p)))
+        (pz p))))
+(: rotate-x : (List Float Float Float) Float -> (List Float Float Float))
+(define (rotate-x p theta)
+  (let ([c (cos theta)] [s (sin theta)])
+    (p3 (px p)
+        (- (* c (py p)) (* s (pz p)))
+        (+ (* s (py p)) (* c (pz p))))))
+(: translate : (List Float Float Float) Float Float Float -> (List Float Float Float))
+(define (translate p dx dy dz)
+  (p3 (+ (px p) dx) (+ (py p) dy) (+ (pz p) dz)))
+(: place : (List Float Float Float) Integer -> (List Float Float Float))
+(define (place anchor k)
+  (let ([t (* 0.61803398875 (exact->inexact k))])
+    (translate (rotate-x (rotate-z anchor t) (* 0.5 t))
+               (cos t) (sin t) (* 0.25 t))))
+(: clash? : (List Float Float Float) (Listof (List Float Float Float)) -> Boolean)
+(define (clash? p placed)
+  (if (null? placed)
+      #f
+      (if (< (dist2 p (car placed)) 0.8)
+          #t
+          (clash? p (cdr placed)))))
+(: energy : (List Float Float Float) (Listof (List Float Float Float)) Float -> Float)
+(define (energy p placed acc)
+  (if (null? placed)
+      acc
+      (energy p (cdr placed) (+ acc (/ 1.0 (+ 0.1 (dist2 p (car placed))))))))
+(: search : Integer Integer (Listof (List Float Float Float)) (List Float Float Float) Float -> Float)
+(define (search depth width placed anchor best)
+  (if (= depth 0)
+      (min best (energy anchor placed 0.0))
+      (search-candidates depth width 0 placed anchor best)))
+(: search-candidates : Integer Integer Integer (Listof (List Float Float Float)) (List Float Float Float) Float -> Float)
+(define (search-candidates depth width k placed anchor best)
+  (if (= k width)
+      best
+      (let ([cand (place anchor k)])
+        (if (clash? cand placed)
+            (search-candidates depth width (+ k 1) placed anchor best)
+            (search-candidates depth width (+ k 1) placed anchor
+                               (search (- depth 1) width (cons cand placed) cand best))))))
+(: run : Integer Float -> Float)
+(define (run iters acc)
+  (if (= iters 0)
+      acc
+      (run (- iters 1)
+           (+ acc (search 4 6 '() (p3 0.0 0.0 0.0) 1000000.0)))))
+(floor (* 1000.0 (run 12 0.0)))
+"#,
+    }]
+}

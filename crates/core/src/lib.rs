@@ -1,0 +1,36 @@
+//! # lagoon-core
+//!
+//! The language-extension substrate of Lagoon — the machinery the paper
+//! *Languages as Libraries* (PLDI 2011) describes:
+//!
+//! * a sets-of-scopes **hygienic macro expander** ([`expander`]) with
+//!   alpha-renaming to globally unique names;
+//! * **binding tables** and `free-identifier=?` resolution ([`binding`]);
+//! * `syntax-parse`, `#'` templates, `with-syntax`, `syntax-rules`, and
+//!   `define-syntax` ([`stxparse`], [`template`]);
+//! * `local-expand` to the core-forms grammar (paper §2.2);
+//! * a **module system** with `#lang` languages, `#%module-begin` hooks,
+//!   separate compilation, and persisted compile-time declarations
+//!   ([`module`]);
+//! * the base language's surface macros and hosted prelude ([`prelude`]).
+//!
+//! Language implementations — such as `lagoon-typed`, the typed sister
+//! language — plug in exclusively through the public API here: native
+//! transformers, syntax properties, `local-expand`, and the compile-time
+//! declaration table. No expander or compiler internals are special-cased
+//! for them, which is the paper's thesis.
+
+#![warn(missing_docs)]
+
+pub mod binding;
+pub mod build;
+pub mod expander;
+pub mod module;
+pub mod prelude;
+pub mod stxparse;
+pub mod template;
+
+pub use binding::{Binding, BindingTable, CoreFormKind, ExpandCtx, Expanded, NativeMacro};
+pub use expander::{current_expander, syntax_error, Expander, ProvideItem};
+pub use module::{CompiledModule, EngineKind, Language, ModuleRegistry};
+pub use stxparse::{native, phase1_natives};

@@ -1,0 +1,538 @@
+//! Modules, languages, and separate compilation.
+//!
+//! A [`ModuleRegistry`] is the world: module sources, compiled modules,
+//! and per-engine instances. Each module names its language on the `#lang`
+//! line (paper §2.3); a *language* is just a set of exported bindings —
+//! crucially including `#%module-begin`, the hook that gives the language
+//! implementation control over the whole module.
+//!
+//! Compilation follows the paper's architecture:
+//!
+//! 1. read → wrap the body in `(#%module-begin …)` resolved against the
+//!    module's language;
+//! 2. expand (which runs the language's whole-module transformer — for the
+//!    typed language, that's where typechecking and optimization happen);
+//! 3. compile the resulting core forms to bytecode;
+//! 4. record exports, runtime requires, and *persisted compile-time
+//!    declarations* (paper §5) in the [`CompiledModule`].
+//!
+//! Each compilation gets a fresh [`Expander`] — a fresh compile-time store
+//! — over the shared binding table, which is how the `typed-context?` flag
+//! trick of paper §6.2 stays sound.
+
+use crate::binding::{Binding, BindingTable, CoreFormKind};
+use crate::expander::Expander;
+use lagoon_runtime::{Kind, RtError, Value};
+use lagoon_syntax::{read_module, Datum, ScopeSet, Span, Symbol, Syntax};
+use lagoon_vm::{
+    parse_form, Compiler, CoreForm, Env, Globals, Interp, Vm,
+};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+/// Which execution engine to instantiate a module on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The tree-walking reference interpreter.
+    Interp,
+    /// The bytecode VM.
+    Vm,
+}
+
+/// A compiled module: the persistent result of compilation (paper §5).
+pub struct CompiledModule {
+    /// The module's name.
+    pub name: Symbol,
+    /// The language it was written in.
+    pub lang: Symbol,
+    /// Exports: external name → binding.
+    pub exports: Vec<(Symbol, Binding)>,
+    /// The expanded module body (kept for tooling and tests).
+    pub expanded: Vec<Syntax>,
+    /// Parsed core forms (for the interpreter engine).
+    pub forms: Vec<CoreForm>,
+    /// Compiled bytecode (for the VM engine).
+    pub code: lagoon_vm::bytecode::ModuleCode,
+    /// Modules required at runtime.
+    pub requires: Vec<Symbol>,
+    /// Compile-time declarations to replay when this module is required
+    /// during a later compilation (serialized as S-expression data).
+    pub persisted: Vec<(Symbol, Symbol, Datum)>,
+}
+
+/// A language usable on a `#lang` line: a bundle of bindings (and, for
+/// variable bindings backed by natives, their runtime values).
+pub struct Language {
+    /// The language's name.
+    pub name: Symbol,
+    /// Bindings importers receive.
+    pub exports: Vec<(Symbol, Binding)>,
+    /// Runtime values for exported [`Binding::Variable`]s that are not
+    /// backed by a module (e.g. native helpers of the typed language).
+    pub values: HashMap<Symbol, Value>,
+}
+
+/// The world: sources, languages, compiled modules, instances.
+pub struct ModuleRegistry {
+    /// The shared binding table.
+    pub table: Rc<BindingTable>,
+    /// Phase-1 base environment (primitives + matcher/expander natives +
+    /// the hosted prelude).
+    pub phase1_base: RefCell<Rc<Env>>,
+    sources: RefCell<HashMap<Symbol, String>>,
+    compiled: RefCell<HashMap<Symbol, Rc<CompiledModule>>>,
+    languages: RefCell<HashMap<Symbol, Rc<Language>>>,
+    compiling: RefCell<HashSet<Symbol>>,
+    /// Values for base-environment variables, per engine.
+    interp_base: RefCell<Rc<Env>>,
+    vm_base: RefCell<HashMap<Symbol, Value>>,
+    instances_interp: RefCell<HashMap<Symbol, (Rc<Env>, Value)>>,
+    instances_vm: RefCell<HashMap<Symbol, (Rc<Globals>, Value)>>,
+    instantiating: RefCell<HashSet<Symbol>>,
+    self_ref: RefCell<std::rc::Weak<ModuleRegistry>>,
+}
+
+impl std::fmt::Debug for ModuleRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#<module-registry>")
+    }
+}
+
+fn core_form_bindings() -> Vec<(&'static str, CoreFormKind)> {
+    use CoreFormKind::*;
+    vec![
+        ("quote", Quote),
+        ("quote-syntax", QuoteSyntax),
+        ("if", If),
+        ("begin", Begin),
+        ("lambda", Lambda),
+        ("λ", Lambda),
+        ("#%plain-lambda", Lambda),
+        ("let-values", LetValues),
+        ("letrec-values", LetrecValues),
+        ("set!", Set),
+        ("#%plain-app", App),
+        ("define-values", DefineValues),
+        ("define-syntaxes", DefineSyntaxes),
+        ("begin-for-syntax", BeginForSyntax),
+        ("#%provide", Provide),
+        ("#%require", Require),
+        ("#%plain-module-begin", PlainModuleBegin),
+    ]
+}
+
+impl ModuleRegistry {
+    /// Bootstraps a registry: binds the base environment (core forms,
+    /// primitives, surface macros), compiles the hosted prelude, and
+    /// prepares per-engine base instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the built-in prelude fails to compile — a Lagoon bug.
+    pub fn new() -> Rc<ModuleRegistry> {
+        let table = Rc::new(BindingTable::new());
+
+        // 1. core forms at the empty scope set (the base environment)
+        for (name, kind) in core_form_bindings() {
+            table.bind(Symbol::intern(name), ScopeSet::new(), Binding::Core(kind));
+        }
+        // 2. primitives and phase-1 natives as base variables
+        let phase1_values = crate::stxparse::phase1_natives();
+        for (name, _) in &phase1_values {
+            table.bind(*name, ScopeSet::new(), Binding::Variable(*name));
+        }
+        // 3. surface macros
+        for (name, mac) in crate::prelude::surface_macros() {
+            table.bind(Symbol::intern(name), ScopeSet::new(), Binding::Native(mac));
+        }
+
+        let registry = Rc::new(ModuleRegistry {
+            table: table.clone(),
+            phase1_base: RefCell::new(Env::root()),
+            sources: RefCell::new(HashMap::new()),
+            compiled: RefCell::new(HashMap::new()),
+            languages: RefCell::new(HashMap::new()),
+            compiling: RefCell::new(HashSet::new()),
+            interp_base: RefCell::new(Env::root()),
+            vm_base: RefCell::new(HashMap::new()),
+            instances_interp: RefCell::new(HashMap::new()),
+            instances_vm: RefCell::new(HashMap::new()),
+            instantiating: RefCell::new(HashSet::new()),
+            self_ref: RefCell::new(std::rc::Weak::new()),
+        });
+        *registry.self_ref.borrow_mut() = Rc::downgrade(&registry);
+
+        // 4. compile the hosted prelude with a minimal phase-1 env
+        let phase1_tmp = Env::root();
+        phase1_tmp.install(phase1_values.iter().cloned());
+        *registry.phase1_base.borrow_mut() = phase1_tmp.clone();
+        let exp = Expander::new(
+            table.clone(),
+            &phase1_tmp,
+            Symbol::intern("lagoon/prelude"),
+            Rc::downgrade(&registry),
+        );
+        let body = lagoon_syntax::read_all(crate::prelude::PRELUDE_SOURCE, "lagoon/prelude")
+            .expect("prelude parses");
+        let scoped: Vec<Syntax> = body.iter().map(|f| f.add_scope(exp.module_scope)).collect();
+        let core = exp
+            .expand_module_forms(scoped)
+            .expect("prelude expands");
+        let forms: Vec<CoreForm> = core
+            .iter()
+            .map(parse_form)
+            .collect::<Result<_, _>>()
+            .expect("prelude parses to core forms");
+
+        // 5. publish the prelude's provides into the base environment
+        for item in exp.provides.borrow().iter() {
+            let binding = table
+                .resolve(&item.internal)
+                .expect("prelude provide resolves")
+                .expect("prelude provide is bound");
+            table.bind(item.external, ScopeSet::new(), binding);
+        }
+
+        // 6. per-engine base instances
+        let interp_base = Env::root();
+        interp_base.install(phase1_values.iter().cloned());
+        Interp
+            .eval_forms(&forms, &interp_base)
+            .expect("prelude evaluates (interp)");
+        *registry.interp_base.borrow_mut() = interp_base.clone();
+
+        let code = Compiler::compile_module(&forms).expect("prelude compiles");
+        let value_map: HashMap<Symbol, Value> = phase1_values.iter().cloned().collect();
+        let (_, globals) = Vm
+            .run_module(&code, |name| value_map.get(&name).cloned())
+            .expect("prelude evaluates (vm)");
+        let mut vm_base = value_map;
+        vm_base.extend(globals.snapshot());
+        *registry.vm_base.borrow_mut() = vm_base;
+
+        // 7. the real phase-1 base: primitives + natives over the interp
+        //    base (so transformers can call prelude functions)
+        let phase1_base = Env::child(&interp_base);
+        phase1_base.install(phase1_values);
+        *registry.phase1_base.borrow_mut() = phase1_base;
+
+        // 8. the base language itself
+        registry.register_language(Language {
+            name: Symbol::intern("lagoon"),
+            exports: Vec::new(), // the base environment is ambient
+            values: HashMap::new(),
+        });
+
+        registry
+    }
+
+    fn me(&self) -> std::rc::Weak<ModuleRegistry> {
+        self.self_ref.borrow().clone()
+    }
+
+    /// Registers (or replaces) a module's source text.
+    pub fn add_module(&self, name: &str, source: &str) {
+        let name = Symbol::intern(name);
+        self.sources.borrow_mut().insert(name, source.to_owned());
+        self.compiled.borrow_mut().remove(&name);
+        self.instances_interp.borrow_mut().remove(&name);
+        self.instances_vm.borrow_mut().remove(&name);
+    }
+
+    /// Drops all cached module instances (compiled modules are kept).
+    /// Benchmarks use this to re-run a module's body from scratch.
+    pub fn reset_instances(&self) {
+        self.instances_interp.borrow_mut().clear();
+        self.instances_vm.borrow_mut().clear();
+    }
+
+    /// Registers a language (a bundle of bindings for `#lang` lines).
+    pub fn register_language(&self, lang: Language) {
+        self.languages.borrow_mut().insert(lang.name, Rc::new(lang));
+    }
+
+    /// The compiled form of `name`, compiling it (and its dependencies)
+    /// on demand.
+    ///
+    /// # Errors
+    ///
+    /// Returns errors for unknown modules, cyclic requires, and any
+    /// read/expand/typecheck/compile failure.
+    pub fn compile(&self, name: Symbol) -> Result<Rc<CompiledModule>, RtError> {
+        if let Some(m) = self.compiled.borrow().get(&name) {
+            return Ok(m.clone());
+        }
+        if !self.compiling.borrow_mut().insert(name) {
+            return Err(RtError::user(format!(
+                "cycle in module requires involving {name}"
+            )));
+        }
+        let result = self.compile_inner(name);
+        self.compiling.borrow_mut().remove(&name);
+        let compiled = result?;
+        self.compiled.borrow_mut().insert(name, compiled.clone());
+        Ok(compiled)
+    }
+
+    fn compile_inner(&self, name: Symbol) -> Result<Rc<CompiledModule>, RtError> {
+        let source = self
+            .sources
+            .borrow()
+            .get(&name)
+            .cloned()
+            .ok_or_else(|| RtError::user(format!("unknown module: {name}")))?;
+        let module = read_module(&source, &name.as_str())
+            .map_err(|e| RtError::user(e.to_string()).with_span(e.span))?;
+
+        let exp = Expander::new(
+            self.table.clone(),
+            &self.phase1_base.borrow(),
+            name,
+            self.me(),
+        );
+
+        // import the language's bindings at the module scope
+        self.import_language(&exp, module.lang, Span::synthetic())?;
+
+        // wrap the body in (#%module-begin …) and expand
+        let msc = exp.module_scope;
+        let mut mb_items =
+            vec![Syntax::ident(Symbol::intern("#%module-begin"), Span::synthetic()).add_scope(msc)];
+        mb_items.extend(module.body.iter().map(|f| f.add_scope(msc)));
+        let mb = Syntax::list(mb_items, Span::synthetic());
+        let core = exp.expand_module_begin(mb)?;
+
+        let expanded: Vec<Syntax> = core
+            .as_list()
+            .map(|items| items[1..].to_vec())
+            .unwrap_or_default();
+        let forms: Vec<CoreForm> = expanded.iter().map(parse_form).collect::<Result<_, _>>()?;
+        let code = Compiler::compile_module(&forms)?;
+
+        // resolve provides into exports
+        let mut exports: Vec<(Symbol, Binding)> = exp.extra_exports.borrow().clone();
+        for item in exp.provides.borrow().iter() {
+            let binding = self.table.resolve(&item.internal)?.ok_or_else(|| {
+                RtError::new(
+                    Kind::Unbound,
+                    format!("provide: unbound identifier {}", item.internal),
+                )
+                .with_span(item.internal.span())
+            })?;
+            exports.push((item.external, binding));
+        }
+
+        let requires = exp.requires.borrow().clone();
+        Ok(Rc::new(CompiledModule {
+            name,
+            lang: module.lang,
+            exports,
+            expanded,
+            forms,
+            code,
+            requires,
+            persisted: exp.persisted(),
+        }))
+    }
+
+    fn import_language(&self, exp: &Expander, lang: Symbol, span: Span) -> Result<(), RtError> {
+        let language = self.languages.borrow().get(&lang).cloned();
+        if let Some(language) = language {
+            let msc = ScopeSet::new().with(exp.module_scope);
+            for (name, binding) in &language.exports {
+                exp.table.bind(*name, msc.clone(), binding.clone());
+            }
+            // language-provided native values are runtime dependencies
+            if !language.values.is_empty() {
+                exp.requires.borrow_mut().push(lang);
+            }
+            return Ok(());
+        }
+        // a module-backed language: import its exports
+        if self.sources.borrow().contains_key(&lang) {
+            return self.import_into(exp, lang, span);
+        }
+        Err(RtError::user(format!("unknown language: {lang}")).with_span(span))
+    }
+
+    /// Imports module `dep`'s exports into the module being expanded by
+    /// `exp`: binds the exports at the module scope, replays persisted
+    /// compile-time declarations, and records the runtime dependency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors for `dep`.
+    pub fn import_into(&self, exp: &Expander, dep: Symbol, span: Span) -> Result<(), RtError> {
+        let compiled = self
+            .compile(dep)
+            .map_err(|e| e.with_span(span))?;
+        let msc = ScopeSet::new().with(exp.module_scope);
+        for (name, binding) in &compiled.exports {
+            exp.table.bind(*name, msc.clone(), binding.clone());
+        }
+        exp.replay(&compiled.persisted);
+        let mut requires = exp.requires.borrow_mut();
+        if !requires.contains(&dep) {
+            requires.push(dep);
+        }
+        Ok(())
+    }
+
+    // ----- instantiation -----
+
+    /// Runs module `name` on the chosen engine, returning the value of the
+    /// last top-level expression. Instances are cached per engine;
+    /// dependencies are instantiated first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation and runtime errors.
+    pub fn run(&self, name: &str, engine: EngineKind) -> Result<Value, RtError> {
+        let name = Symbol::intern(name);
+        match engine {
+            EngineKind::Interp => self.instantiate_interp(name).map(|(_, v)| v),
+            EngineKind::Vm => self.instantiate_vm(name).map(|(_, v)| v),
+        }
+    }
+
+    fn guard_instantiation(&self, name: Symbol) -> Result<(), RtError> {
+        if !self.instantiating.borrow_mut().insert(name) {
+            return Err(RtError::user(format!(
+                "cycle while instantiating module {name}"
+            )));
+        }
+        Ok(())
+    }
+
+    fn instantiate_interp(&self, name: Symbol) -> Result<(Rc<Env>, Value), RtError> {
+        if let Some((env, v)) = self.instances_interp.borrow().get(&name) {
+            return Ok((env.clone(), v.clone()));
+        }
+        let compiled = self.compile(name)?;
+        self.guard_instantiation(name)?;
+        let result = (|| {
+            let env = Env::child(&self.interp_base.borrow());
+            for dep in &compiled.requires {
+                // a language registered with native values?
+                if let Some(language) = self.languages.borrow().get(dep).cloned() {
+                    env.install(language.values.iter().map(|(k, v)| (*k, v.clone())));
+                    continue;
+                }
+                let (dep_env, _) = self.instantiate_interp(*dep)?;
+                let dep_compiled = self.compile(*dep)?;
+                for (_, binding) in &dep_compiled.exports {
+                    if let Binding::Variable(rt) = binding {
+                        if let Some(v) = dep_env.lookup(*rt) {
+                            env.define(*rt, v);
+                        }
+                    }
+                }
+            }
+            let value = Interp.eval_forms(&compiled.forms, &env)?;
+            Ok((env, value))
+        })();
+        self.instantiating.borrow_mut().remove(&name);
+        let (env, value) = result?;
+        self.instances_interp
+            .borrow_mut()
+            .insert(name, (env.clone(), value.clone()));
+        Ok((env, value))
+    }
+
+    fn instantiate_vm(&self, name: Symbol) -> Result<(Rc<Globals>, Value), RtError> {
+        if let Some((g, v)) = self.instances_vm.borrow().get(&name) {
+            return Ok((g.clone(), v.clone()));
+        }
+        let compiled = self.compile(name)?;
+        self.guard_instantiation(name)?;
+        let result = (|| {
+            // gather import values: dependency exports + language natives
+            let mut imports: HashMap<Symbol, Value> = HashMap::new();
+            for dep in &compiled.requires {
+                if let Some(language) = self.languages.borrow().get(dep).cloned() {
+                    imports.extend(language.values.iter().map(|(k, v)| (*k, v.clone())));
+                    continue;
+                }
+                let (dep_globals, _) = self.instantiate_vm(*dep)?;
+                let dep_compiled = self.compile(*dep)?;
+                for (_, binding) in &dep_compiled.exports {
+                    if let Binding::Variable(rt) = binding {
+                        if let Some(v) = dep_globals.get(*rt) {
+                            imports.insert(*rt, v);
+                        }
+                    }
+                }
+            }
+            let vm_base = self.vm_base.borrow();
+            let (value, globals) = Vm.run_module(&compiled.code, |sym| {
+                imports.get(&sym).cloned().or_else(|| vm_base.get(&sym).cloned())
+            })?;
+            Ok((globals, value))
+        })();
+        self.instantiating.borrow_mut().remove(&name);
+        let (globals, value) = result?;
+        self.instances_vm
+            .borrow_mut()
+            .insert(name, (globals.clone(), value.clone()));
+        Ok((globals, value))
+    }
+
+    /// Looks up an exported value from an instantiated module.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the module does not export `export` as a
+    /// runtime variable.
+    pub fn exported_value(
+        &self,
+        module: &str,
+        export: &str,
+        engine: EngineKind,
+    ) -> Result<Value, RtError> {
+        let name = Symbol::intern(module);
+        let export = Symbol::intern(export);
+        let compiled = self.compile(name)?;
+        let contracted_alias = Symbol::intern(&format!("{export}#contracted"));
+        let rt = compiled
+            .exports
+            .iter()
+            .find_map(|(ext, b)| match (ext, b) {
+                (e, Binding::Variable(rt)) if *e == export => Some(*rt),
+                _ => None,
+            })
+            .or_else(|| {
+                // typed modules export an indirection macro under the
+                // plain name; Rust embedders are untyped clients and get
+                // the contract-protected variant
+                compiled.exports.iter().find_map(|(ext, b)| match (ext, b) {
+                    (e, Binding::Variable(rt)) if *e == contracted_alias => Some(*rt),
+                    _ => None,
+                })
+            })
+            .ok_or_else(|| {
+                RtError::user(format!("{module} does not export a variable named {export}"))
+            })?;
+        match engine {
+            EngineKind::Interp => {
+                let (env, _) = self.instantiate_interp(name)?;
+                env.lookup(rt)
+                    .ok_or_else(|| RtError::unbound(rt))
+            }
+            EngineKind::Vm => {
+                let (globals, _) = self.instantiate_vm(name)?;
+                globals.get(rt).ok_or_else(|| RtError::unbound(rt))
+            }
+        }
+    }
+
+    /// The expanded body of a module (compiling it if needed) — for tests
+    /// and tools that inspect core forms.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors.
+    pub fn expanded_body(&self, module: &str) -> Result<Vec<Syntax>, RtError> {
+        Ok(self.compile(Symbol::intern(module))?.expanded.clone())
+    }
+}

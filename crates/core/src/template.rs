@@ -1,0 +1,549 @@
+//! Runtime pattern matching and template instantiation.
+//!
+//! `syntax-parse` (paper §2.1) compiles into calls to [`match_pattern`];
+//! `#'template` forms compile into calls to [`instantiate_template`]. Both
+//! run at phase 1 (macro-expansion time) as ordinary hosted computation.
+//!
+//! ## Pattern grammar
+//!
+//! | pattern | matches |
+//! |---------|---------|
+//! | `_` | anything, binds nothing |
+//! | `name` | anything, binds `name` |
+//! | `name:class` | anything satisfying `class` (`expr`, `id`, `number`, `str`, `boolean`, `keyword`), binds `name` |
+//! | literal identifier (from the literals list; `:` is always literal) | that exact identifier |
+//! | atom | an `equal?` atom |
+//! | `(p … pk ooo q …)` (`ooo` = `...`) | a list with `pk` repeated |
+//! | `(p … . r)` | an improper list |
+
+use lagoon_runtime::{RtError, Value};
+use lagoon_syntax::{Datum, SynData, Symbol, Syntax};
+use std::collections::HashMap;
+
+fn ellipsis() -> Symbol {
+    Symbol::intern("...")
+}
+
+fn is_ellipsis(s: &Syntax) -> bool {
+    s.sym() == Some(ellipsis())
+}
+
+fn is_wildcard(s: &Syntax) -> bool {
+    s.sym().map(|s| s.as_str() == "_").unwrap_or(false)
+}
+
+/// Splits `name:class` annotations.
+fn split_annotation(sym: Symbol) -> Option<(Symbol, Symbol)> {
+    let s = sym.as_str();
+    let idx = s.rfind(':')?;
+    if idx == 0 || idx == s.len() - 1 {
+        return None;
+    }
+    Some((Symbol::intern(&s[..idx]), Symbol::intern(&s[idx + 1..])))
+}
+
+fn class_accepts(class: Symbol, input: &Syntax) -> bool {
+    match class.as_str().as_str() {
+        "expr" => !matches!(input.e(), SynData::Atom(Datum::Keyword(_))),
+        "id" => input.is_identifier(),
+        "number" => matches!(
+            input.e(),
+            SynData::Atom(Datum::Int(_) | Datum::Float(_) | Datum::Complex(_, _))
+        ),
+        "str" => matches!(input.e(), SynData::Atom(Datum::Str(_))),
+        "boolean" => matches!(input.e(), SynData::Atom(Datum::Bool(_))),
+        "keyword" => matches!(input.e(), SynData::Atom(Datum::Keyword(_))),
+        _ => true, // unknown classes accept anything
+    }
+}
+
+/// Lists the pattern variables of `pat` with their ellipsis depths.
+pub fn pattern_vars(pat: &Syntax, literals: &[Symbol]) -> Vec<(Symbol, usize)> {
+    let mut out = Vec::new();
+    collect_vars(pat, literals, 0, &mut out);
+    out
+}
+
+fn collect_vars(pat: &Syntax, literals: &[Symbol], depth: usize, out: &mut Vec<(Symbol, usize)>) {
+    match pat.e() {
+        SynData::Atom(Datum::Symbol(sym)) => {
+            if is_wildcard(pat) || is_ellipsis(pat) || literals.contains(sym) {
+                return;
+            }
+            let name = split_annotation(*sym).map(|(n, _)| n).unwrap_or(*sym);
+            if !out.iter().any(|(n, _)| *n == name) {
+                out.push((name, depth));
+            }
+        }
+        SynData::Atom(_) => {}
+        SynData::List(items) => {
+            let mut i = 0;
+            while i < items.len() {
+                let rep = items.get(i + 1).map(is_ellipsis).unwrap_or(false);
+                collect_vars(&items[i], literals, depth + usize::from(rep), out);
+                i += if rep { 2 } else { 1 };
+            }
+        }
+        SynData::Improper(items, tail) => {
+            for item in items {
+                collect_vars(item, literals, depth, out);
+            }
+            collect_vars(tail, literals, depth, out);
+        }
+        SynData::Vector(items) => {
+            for item in items {
+                collect_vars(item, literals, depth, out);
+            }
+        }
+    }
+}
+
+/// Matches `input` against `pat`. Returns the bindings (pattern variable →
+/// matched syntax, nested in lists per ellipsis depth), or `None` on
+/// mismatch.
+pub fn match_pattern(
+    pat: &Syntax,
+    input: &Syntax,
+    literals: &[Symbol],
+) -> Option<Vec<(Symbol, Value)>> {
+    let mut out = Vec::new();
+    match_into(pat, input, literals, &mut out)?;
+    Some(out)
+}
+
+fn match_into(
+    pat: &Syntax,
+    input: &Syntax,
+    literals: &[Symbol],
+    out: &mut Vec<(Symbol, Value)>,
+) -> Option<()> {
+    match pat.e() {
+        SynData::Atom(Datum::Symbol(sym)) => {
+            if is_wildcard(pat) {
+                return Some(());
+            }
+            if *sym == Symbol::intern(":") || literals.contains(sym) {
+                return if input.sym() == Some(*sym) {
+                    Some(())
+                } else {
+                    None
+                };
+            }
+            match split_annotation(*sym) {
+                Some((name, class)) => {
+                    if class_accepts(class, input) {
+                        out.push((name, Value::Syntax(input.clone())));
+                        Some(())
+                    } else {
+                        None
+                    }
+                }
+                None => {
+                    out.push((*sym, Value::Syntax(input.clone())));
+                    Some(())
+                }
+            }
+        }
+        SynData::Atom(d) => {
+            if let SynData::Atom(di) = input.e() {
+                if d == di {
+                    return Some(());
+                }
+            }
+            None
+        }
+        SynData::List(pitems) => {
+            let iitems = input.as_list()?;
+            match_list(pitems, iitems, literals, out)
+        }
+        SynData::Improper(pitems, ptail) => {
+            // match a prefix, then the tail pattern against the remainder
+            let iitems = match input.e() {
+                SynData::List(items) => items.clone(),
+                SynData::Improper(items, _) => items.clone(),
+                _ => return None,
+            };
+            if iitems.len() < pitems.len() {
+                return None;
+            }
+            for (p, i) in pitems.iter().zip(&iitems) {
+                match_into(p, i, literals, out)?;
+            }
+            let remainder = match input.e() {
+                SynData::List(items) => {
+                    input.with_data(SynData::List(items[pitems.len()..].to_vec()))
+                }
+                SynData::Improper(items, tail) => {
+                    let rest = items[pitems.len()..].to_vec();
+                    if rest.is_empty() {
+                        (**tail).clone()
+                    } else {
+                        input.with_data(SynData::Improper(rest, tail.clone()))
+                    }
+                }
+                _ => unreachable!(),
+            };
+            match_into(ptail, &remainder, literals, out)
+        }
+        SynData::Vector(pitems) => match input.e() {
+            SynData::Vector(iitems) => match_list(pitems, iitems, literals, out),
+            _ => None,
+        },
+    }
+}
+
+fn match_list(
+    pitems: &[Syntax],
+    iitems: &[Syntax],
+    literals: &[Symbol],
+    out: &mut Vec<(Symbol, Value)>,
+) -> Option<()> {
+    // find a single ellipsis position
+    let ell = pitems
+        .iter()
+        .position(is_ellipsis)
+        .filter(|&j| j > 0);
+    match ell {
+        None => {
+            if pitems.len() != iitems.len() {
+                return None;
+            }
+            for (p, i) in pitems.iter().zip(iitems) {
+                match_into(p, i, literals, out)?;
+            }
+            Some(())
+        }
+        Some(j) => {
+            let rep = &pitems[j - 1];
+            let pre = &pitems[..j - 1];
+            let post = &pitems[j + 1..];
+            if post.iter().any(is_ellipsis) {
+                // one ellipsis per list level
+                return None;
+            }
+            if iitems.len() < pre.len() + post.len() {
+                return None;
+            }
+            for (p, i) in pre.iter().zip(iitems) {
+                match_into(p, i, literals, out)?;
+            }
+            let mid = &iitems[pre.len()..iitems.len() - post.len()];
+            let vars = pattern_vars(rep, literals);
+            let mut collected: Vec<(Symbol, Vec<Value>)> =
+                vars.iter().map(|(n, _)| (*n, Vec::new())).collect();
+            for item in mid {
+                let mut sub = Vec::new();
+                match_into(rep, item, literals, &mut sub)?;
+                for (name, v) in sub {
+                    if let Some(slot) = collected.iter_mut().find(|(n, _)| *n == name) {
+                        slot.1.push(v);
+                    }
+                }
+            }
+            for (name, vs) in collected {
+                out.push((name, Value::list(vs)));
+            }
+            for (p, i) in post.iter().zip(&iitems[iitems.len() - post.len()..]) {
+                match_into(p, i, literals, out)?;
+            }
+            Some(())
+        }
+    }
+}
+
+/// Instantiates a template against pattern-variable `bindings`.
+///
+/// Identifiers whose symbol appears in `bindings` are replaced by the
+/// matched syntax; elements followed by `...` iterate over list-valued
+/// bindings. `(... escaped)` yields `escaped` without substitution.
+///
+/// # Errors
+///
+/// Returns an error when ellipsis depths don't line up (a variable used at
+/// the wrong depth, or no iteration variable under an `...`).
+pub fn instantiate_template(
+    tmpl: &Syntax,
+    bindings: &HashMap<Symbol, Value>,
+) -> Result<Syntax, RtError> {
+    match tmpl.e() {
+        SynData::Atom(Datum::Symbol(sym)) => match bindings.get(sym) {
+            Some(Value::Syntax(s)) => Ok(s.clone()),
+            Some(_) => Err(RtError::user(format!(
+                "syntax template: pattern variable {sym} used at the wrong ellipsis depth"
+            ))
+            .with_span(tmpl.span())),
+            None => Ok(tmpl.clone()),
+        },
+        SynData::Atom(_) => Ok(tmpl.clone()),
+        SynData::List(items) => {
+            // (... escaped) escape
+            if items.len() == 2 && is_ellipsis(&items[0]) {
+                return Ok(items[1].clone());
+            }
+            let mut out = Vec::new();
+            let mut i = 0;
+            while i < items.len() {
+                let elem = &items[i];
+                let mut reps = 0usize;
+                while items.get(i + 1 + reps).map(is_ellipsis).unwrap_or(false) {
+                    reps += 1;
+                }
+                if reps == 0 {
+                    out.push(instantiate_template(elem, bindings)?);
+                    i += 1;
+                } else {
+                    let expanded = expand_ellipsis(elem, bindings, reps)?;
+                    out.extend(expanded);
+                    i += 1 + reps;
+                }
+            }
+            Ok(tmpl.with_data(SynData::List(out)))
+        }
+        SynData::Improper(items, tail) => {
+            let items = items
+                .iter()
+                .map(|s| instantiate_template(s, bindings))
+                .collect::<Result<Vec<_>, _>>()?;
+            let tail = instantiate_template(tail, bindings)?;
+            Ok(tmpl.with_data(SynData::Improper(items, Box::new(tail))))
+        }
+        SynData::Vector(items) => {
+            let items = items
+                .iter()
+                .map(|s| instantiate_template(s, bindings))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(tmpl.with_data(SynData::Vector(items)))
+        }
+    }
+}
+
+/// Expands `elem ...` (with `reps` ellipses): iterates list-valued
+/// bindings one level per ellipsis, flattening.
+fn expand_ellipsis(
+    elem: &Syntax,
+    bindings: &HashMap<Symbol, Value>,
+    reps: usize,
+) -> Result<Vec<Syntax>, RtError> {
+    // variables in elem that are bound to lists drive the iteration
+    let mut driver_names = Vec::new();
+    collect_template_vars(elem, bindings, &mut driver_names);
+    let drivers: Vec<(Symbol, Vec<Value>)> = driver_names
+        .iter()
+        .filter_map(|n| match bindings.get(n) {
+            Some(v) => v.list_to_vec().map(|items| (*n, items)),
+            None => None,
+        })
+        .collect();
+    if drivers.is_empty() {
+        return Err(RtError::user(
+            "syntax template: no pattern variable to iterate under ellipsis",
+        )
+        .with_span(elem.span()));
+    }
+    let len = drivers[0].1.len();
+    if drivers.iter().any(|(_, items)| items.len() != len) {
+        return Err(RtError::user(
+            "syntax template: ellipsis variables have mismatched lengths",
+        )
+        .with_span(elem.span()));
+    }
+    let mut out = Vec::new();
+    for i in 0..len {
+        let mut sub = bindings.clone();
+        for (name, items) in &drivers {
+            sub.insert(*name, items[i].clone());
+        }
+        if reps == 1 {
+            out.push(instantiate_template(elem, &sub)?);
+        } else {
+            out.extend(expand_ellipsis(elem, &sub, reps - 1)?);
+        }
+    }
+    Ok(out)
+}
+
+fn collect_template_vars(tmpl: &Syntax, bindings: &HashMap<Symbol, Value>, out: &mut Vec<Symbol>) {
+    match tmpl.e() {
+        SynData::Atom(Datum::Symbol(sym)) => {
+            if bindings.contains_key(sym) && !out.contains(sym) {
+                out.push(*sym);
+            }
+        }
+        SynData::Atom(_) => {}
+        SynData::List(items) | SynData::Vector(items) => {
+            for item in items {
+                collect_template_vars(item, bindings, out);
+            }
+        }
+        SynData::Improper(items, tail) => {
+            for item in items {
+                collect_template_vars(item, bindings, out);
+            }
+            collect_template_vars(tail, bindings, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lagoon_syntax::read_syntax;
+
+    fn stx(src: &str) -> Syntax {
+        read_syntax(src, "<t>").unwrap()
+    }
+
+    fn m(pat: &str, input: &str) -> Option<Vec<(Symbol, Value)>> {
+        match_pattern(&stx(pat), &stx(input), &[])
+    }
+
+    fn binding<'a>(bs: &'a [(Symbol, Value)], name: &str) -> &'a Value {
+        &bs.iter().find(|(n, _)| *n == Symbol::from(name)).unwrap().1
+    }
+
+    #[test]
+    fn simple_variable_match() {
+        let bs = m("x", "(+ 1 2)").unwrap();
+        match binding(&bs, "x") {
+            Value::Syntax(s) => assert_eq!(s.to_datum().to_string(), "(+ 1 2)"),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn wildcard_and_literals() {
+        assert!(m("_", "anything").is_some());
+        assert!(m("_", "anything").unwrap().is_empty());
+        // `:` always matches literally
+        let bs = m("(_ name : ty)", "(define: x : Integer)").unwrap();
+        assert_eq!(bs.len(), 2);
+        assert!(m("(_ name : ty)", "(define: x = Integer)").is_none());
+    }
+
+    #[test]
+    fn annotated_classes() {
+        let bs = m("(f x:id n:number)", "(g y 3)").unwrap();
+        match binding(&bs, "x") {
+            Value::Syntax(s) => assert_eq!(s.sym().unwrap().as_str(), "y"),
+            _ => panic!(),
+        }
+        assert!(m("(f x:id)", "(g 3)").is_none());
+        assert!(m("(f n:number)", "(g z)").is_none());
+        assert!(m("(f s:str)", "(g \"hi\")").is_some());
+    }
+
+    #[test]
+    fn atom_patterns() {
+        assert!(m("42", "42").is_some());
+        assert!(m("42", "43").is_none());
+        assert!(m("#t", "#t").is_some());
+    }
+
+    #[test]
+    fn fixed_list_patterns() {
+        assert!(m("(a b)", "(1 2)").is_some());
+        assert!(m("(a b)", "(1 2 3)").is_none());
+        assert!(m("(a (b c))", "(1 (2 3))").is_some());
+        assert!(m("(a (b c))", "(1 2)").is_none());
+    }
+
+    #[test]
+    fn ellipsis_matching() {
+        let bs = m("(f body ...)", "(do-it 1 2 3)").unwrap();
+        let body = binding(&bs, "body").list_to_vec().unwrap();
+        assert_eq!(body.len(), 3);
+        // empty repetition
+        let bs = m("(f body ...)", "(do-it)").unwrap();
+        assert_eq!(binding(&bs, "body").list_to_vec().unwrap().len(), 0);
+        // trailing fixed elements after the ellipsis
+        let bs = m("(f x ... last)", "(g 1 2 3)").unwrap();
+        assert_eq!(binding(&bs, "x").list_to_vec().unwrap().len(), 2);
+        match binding(&bs, "last") {
+            Value::Syntax(s) => assert_eq!(s.to_datum().to_string(), "3"),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn nested_ellipsis_depth() {
+        let pat = stx("(let ([x v] ...) body ...)");
+        let vars = pattern_vars(&pat, &[]);
+        let depth = |name: &str| vars.iter().find(|(n, _)| n.as_str() == name).unwrap().1;
+        assert_eq!(depth("x"), 1);
+        assert_eq!(depth("v"), 1);
+        assert_eq!(depth("body"), 1);
+        assert_eq!(depth("let"), 0);
+
+        let bs = m("(let ([x v] ...) body)", "(let ([a 1] [b 2]) (+ a b))").unwrap();
+        assert_eq!(binding(&bs, "x").list_to_vec().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn improper_patterns() {
+        let bs = m("(a . rest)", "(1 2 3)").unwrap();
+        match binding(&bs, "rest") {
+            Value::Syntax(s) => assert_eq!(s.to_datum().to_string(), "(2 3)"),
+            _ => panic!(),
+        }
+        assert!(m("(a b . rest)", "(1)").is_none());
+    }
+
+    #[test]
+    fn template_substitution() {
+        let bs: HashMap<Symbol, Value> = m("(f a b)", "(g 1 2)").unwrap().into_iter().collect();
+        let out = instantiate_template(&stx("(+ a b)"), &bs).unwrap();
+        assert_eq!(out.to_datum().to_string(), "(+ 1 2)");
+    }
+
+    #[test]
+    fn template_ellipsis() {
+        let bs: HashMap<Symbol, Value> =
+            m("(f body ...)", "(g 1 2 3)").unwrap().into_iter().collect();
+        let out = instantiate_template(&stx("(begin body ...)"), &bs).unwrap();
+        assert_eq!(out.to_datum().to_string(), "(begin 1 2 3)");
+        let out = instantiate_template(&stx("(list (q body) ...)"), &bs).unwrap();
+        assert_eq!(out.to_datum().to_string(), "(list (q 1) (q 2) (q 3))");
+    }
+
+    #[test]
+    fn template_nested_ellipsis() {
+        let bs: HashMap<Symbol, Value> = m("(let ([x v] ...) body ...)", "(let ([a 1] [b 2]) a b)")
+            .unwrap()
+            .into_iter()
+            .collect();
+        let out =
+            instantiate_template(&stx("((lambda (x ...) body ...) v ...)"), &bs).unwrap();
+        assert_eq!(out.to_datum().to_string(), "((lambda (a b) a b) 1 2)");
+    }
+
+    #[test]
+    fn template_depth_errors() {
+        let bs: HashMap<Symbol, Value> =
+            m("(f body ...)", "(g 1 2)").unwrap().into_iter().collect();
+        // body at depth 1 used without ellipsis
+        assert!(instantiate_template(&stx("body"), &bs).is_err());
+        // ellipsis with no driver
+        assert!(instantiate_template(&stx("(q ...)"), &bs).is_err());
+    }
+
+    #[test]
+    fn template_escape() {
+        let bs = HashMap::new();
+        let out = instantiate_template(&stx("(... (x ...))"), &bs).unwrap();
+        assert_eq!(out.to_datum().to_string(), "(x ...)");
+    }
+
+    #[test]
+    fn mismatched_ellipsis_lengths_error() {
+        let mut bs = HashMap::new();
+        bs.insert(
+            Symbol::from("a"),
+            Value::list(vec![Value::Syntax(stx("1"))]),
+        );
+        bs.insert(
+            Symbol::from("b"),
+            Value::list(vec![Value::Syntax(stx("1")), Value::Syntax(stx("2"))]),
+        );
+        assert!(instantiate_template(&stx("((a b) ...)"), &bs).is_err());
+    }
+}

@@ -1,0 +1,558 @@
+//! End-to-end tests for the expander + module system, including the
+//! paper's running examples (§§2.1–2.3).
+
+use lagoon_core::{EngineKind, ModuleRegistry};
+use lagoon_runtime::io::capture_output;
+use lagoon_runtime::Value;
+use std::rc::Rc;
+
+fn run_both(src: &str) -> (Value, String) {
+    let reg = ModuleRegistry::new();
+    reg.add_module("main", src);
+    let ((vi, vv), out) = capture_output(|| {
+        let vi = reg.run("main", EngineKind::Interp).unwrap();
+        let vv = reg.run("main", EngineKind::Vm).unwrap();
+        (vi, vv)
+    });
+    assert!(
+        vi.equal(&vv)
+            || (matches!(vi, Value::Void) && matches!(vv, Value::Void))
+            || (vi.is_procedure() && vv.is_procedure()),
+        "engines disagree: interp={vi} vm={vv}"
+    );
+    // output is doubled (both engines ran); halve it
+    let half = out.len() / 2;
+    assert_eq!(&out[..half], &out[half..], "engines printed differently");
+    (vv, out[..half].to_string())
+}
+
+fn run_vm(reg: &Rc<ModuleRegistry>, name: &str) -> (Value, String) {
+    let (v, out) = capture_output(|| reg.run(name, EngineKind::Vm).unwrap());
+    (v, out)
+}
+
+#[test]
+fn hello_module() {
+    let (v, out) = run_both("#lang lagoon\n(display \"hi\")\n(+ 1 2)\n");
+    assert!(matches!(v, Value::Int(3)));
+    assert_eq!(out, "hi");
+}
+
+#[test]
+fn definitions_and_functions() {
+    let (v, _) = run_both(
+        "#lang lagoon
+         (define (fact n) (if (= n 0) 1 (* n (fact (- n 1)))))
+         (fact 10)",
+    );
+    assert!(matches!(v, Value::Int(3628800)));
+}
+
+#[test]
+fn surface_forms() {
+    let (v, _) = run_both(
+        "#lang lagoon
+         (define (classify n)
+           (cond [(< n 0) 'negative]
+                 [(= n 0) 'zero]
+                 [else 'positive]))
+         (list (classify -5) (classify 0) (classify 5))",
+    );
+    assert_eq!(v.to_string(), "(negative zero positive)");
+
+    let (v, _) = run_both(
+        "#lang lagoon
+         (let* ([x 1] [y (+ x 1)] [z (* y 2)])
+           (and (or #f z) (when (> z 3) z)))",
+    );
+    assert!(matches!(v, Value::Int(4)));
+
+    let (v, _) = run_both(
+        "#lang lagoon
+         (case (* 2 3)
+           [(2 3 5 7) 'prime]
+           [(1 4 6 8 9) 'composite]
+           [else 'unknown])",
+    );
+    assert_eq!(v.to_string(), "composite");
+}
+
+#[test]
+fn named_let_loops() {
+    let (v, _) = run_both(
+        "#lang lagoon
+         (let loop ([i 0] [acc '()])
+           (if (= i 5) (reverse acc) (loop (+ i 1) (cons i acc))))",
+    );
+    assert_eq!(v.to_string(), "(0 1 2 3 4)");
+}
+
+#[test]
+fn prelude_functions() {
+    let (v, _) = run_both(
+        "#lang lagoon
+         (list (map (lambda (x) (* x x)) '(1 2 3))
+               (filter odd? '(1 2 3 4 5))
+               (foldl + 0 '(1 2 3 4))
+               (foldr cons '() '(1 2))
+               (build-list 3 add1)
+               (map + '(1 2) '(10 20)))",
+    );
+    assert_eq!(v.to_string(), "((1 4 9) (1 3 5) 10 (1 2) (1 2 3) (11 22))");
+}
+
+#[test]
+fn quasiquote_data() {
+    let (v, _) = run_both(
+        "#lang lagoon
+         (define x 42)
+         `(a ,x ,@(list 1 2) b)",
+    );
+    assert_eq!(v.to_string(), "(a 42 1 2 b)");
+}
+
+#[test]
+fn lexical_scope_and_closures() {
+    let (v, _) = run_both(
+        "#lang lagoon
+         (define (make-counter)
+           (let ([n 0])
+             (lambda () (set! n (+ n 1)) n)))
+         (define c1 (make-counter))
+         (define c2 (make-counter))
+         (c1) (c1)
+         (list (c1) (c2))",
+    );
+    assert_eq!(v.to_string(), "(3 1)");
+}
+
+// ----- paper §2.1: macros -----
+
+#[test]
+fn syntax_rules_macro() {
+    let (v, _) = run_both(
+        "#lang lagoon
+         (define-syntax swap!
+           (syntax-rules ()
+             [(_ a b) (let ([tmp a]) (set! a b) (set! b tmp))]))
+         (define x 1)
+         (define y 2)
+         (swap! x y)
+         (list x y)",
+    );
+    assert_eq!(v.to_string(), "(2 1)");
+}
+
+#[test]
+fn syntax_rules_hygiene() {
+    // the classic test: the macro's `tmp` must not capture the user's `tmp`
+    let (v, _) = run_both(
+        "#lang lagoon
+         (define-syntax swap!
+           (syntax-rules ()
+             [(_ a b) (let ([tmp a]) (set! a b) (set! b tmp))]))
+         (define tmp 1)
+         (define other 2)
+         (swap! tmp other)
+         (list tmp other)",
+    );
+    assert_eq!(v.to_string(), "(2 1)");
+}
+
+#[test]
+fn do_10_times_macro() {
+    // paper §2.1, via syntax-parse and a template
+    let (_, out) = run_both(
+        "#lang lagoon
+         (define-syntax (do-10-times stx)
+           (syntax-parse stx
+             [(do-10-times body:expr ...)
+              #'(for-each (lambda (i) body ...) (iota 10))]))
+         (do-10-times (display \"*\") (display \"#\"))",
+    );
+    assert_eq!(out, "*#*#*#*#*#*#*#*#*#*#");
+}
+
+#[test]
+fn do_10_times_hygiene() {
+    // paper §2.1: "if the bodys use the variable i, it is not interfered
+    // with by the use of i in the for loop"
+    let (_, out) = run_both(
+        "#lang lagoon
+         (define-syntax (do-3-times stx)
+           (syntax-parse stx
+             [(_ body:expr ...)
+              #'(for-each (lambda (i) body ...) (iota 3))]))
+         (define i 7)
+         (do-3-times (display i))",
+    );
+    assert_eq!(out, "777");
+}
+
+#[test]
+fn when_compiled_macro() {
+    // paper §2.1: compile-time clock capture via with-syntax
+    let (v, _) = run_both(
+        "#lang lagoon
+         (define-syntax (when-compiled stx)
+           (with-syntax ([ct (current-seconds)])
+             #'ct))
+         (define (how-long-ago?) (- (current-seconds) (when-compiled)))
+         (>= (how-long-ago?) 0)",
+    );
+    assert!(v.is_truthy());
+}
+
+#[test]
+fn quasisyntax_templates() {
+    let (v, _) = run_both(
+        "#lang lagoon
+         (define-syntax (count-args stx)
+           (syntax-parse stx
+             [(_ arg ...)
+              #`(quote #,(length (syntax->list #'(arg ...))))]))
+         (count-args a b c d)",
+    );
+    assert!(matches!(v, Value::Int(4)));
+}
+
+#[test]
+fn recursive_hosted_macro() {
+    let (v, _) = run_both(
+        "#lang lagoon
+         (define-syntax my-or
+           (syntax-rules ()
+             [(_) #f]
+             [(_ e) e]
+             [(_ e rest ...) (let ([t e]) (if t t (my-or rest ...)))]))
+         (list (my-or) (my-or 1) (my-or #f #f 3))",
+    );
+    assert_eq!(v.to_string(), "(#f 1 3)");
+}
+
+#[test]
+fn local_macros_in_bodies() {
+    let (v, _) = run_both(
+        "#lang lagoon
+         (define (f x)
+           (define-syntax twice (syntax-rules () [(_ e) (+ e e)]))
+           (twice x))
+         (f 21)",
+    );
+    assert!(matches!(v, Value::Int(42)));
+}
+
+// ----- paper §2.2: local-expand -----
+
+#[test]
+fn only_lambda_accepts_lambda() {
+    // paper §2.2's only-λ macro: local-expand + free-identifier=?
+    let src_ok = "#lang lagoon
+         (define-syntax (only-λ stx)
+           (syntax-parse stx
+             [(_ arg:expr)
+              (let ([c (local-expand #'arg 'expression '())])
+                (let ([k (car (syntax->list c))])
+                  (if (free-identifier=? #'#%plain-lambda k)
+                      c
+                      (raise-syntax-error 'only-λ \"not λ\" #'arg))))]))
+         (only-λ (lambda (x) x))";
+    let (v, _) = run_both(src_ok);
+    assert!(v.is_procedure());
+}
+
+#[test]
+fn only_lambda_rejects_non_lambda() {
+    let reg = ModuleRegistry::new();
+    reg.add_module(
+        "main",
+        "#lang lagoon
+         (define-syntax (only-λ stx)
+           (syntax-parse stx
+             [(_ arg:expr)
+              (let ([c (local-expand #'arg 'expression '())])
+                (let ([k (car (syntax->list c))])
+                  (if (free-identifier=? #'#%plain-lambda k)
+                      c
+                      (raise-syntax-error 'only-λ \"not λ\" #'arg))))]))
+         (only-λ 7)",
+    );
+    let err = reg.run("main", EngineKind::Vm).unwrap_err();
+    assert!(err.message.contains("not λ"), "got: {err}");
+}
+
+#[test]
+fn only_lambda_sees_through_macros() {
+    // paper §2.2: "If we add a definition that makes function the same as
+    // λ, we still get the correct behavior"
+    let (v, _) = run_both(
+        "#lang lagoon
+         (define-syntax function
+           (syntax-rules () [(_ args body) (lambda args body)]))
+         (define-syntax (only-λ stx)
+           (syntax-parse stx
+             [(_ arg:expr)
+              (let ([c (local-expand #'arg 'expression '())])
+                (let ([k (car (syntax->list c))])
+                  (if (free-identifier=? #'#%plain-lambda k)
+                      c
+                      (raise-syntax-error 'only-λ \"not λ\" #'arg))))]))
+         (only-λ (function (x) x))",
+    );
+    assert!(v.is_procedure());
+}
+
+// ----- modules and requires -----
+
+#[test]
+fn cross_module_values() {
+    let reg = ModuleRegistry::new();
+    reg.add_module(
+        "server",
+        "#lang lagoon
+         (define (add-5 x) (+ x 5))
+         (provide add-5)",
+    );
+    reg.add_module(
+        "client",
+        "#lang lagoon
+         (require server)
+         (add-5 7)",
+    );
+    let (v, _) = run_vm(&reg, "client");
+    assert!(matches!(v, Value::Int(12)));
+    let v = reg.run("client", EngineKind::Interp).unwrap();
+    assert!(matches!(v, Value::Int(12)));
+}
+
+#[test]
+fn cross_module_macros() {
+    let reg = ModuleRegistry::new();
+    reg.add_module(
+        "macros",
+        "#lang lagoon
+         (define-syntax twice (syntax-rules () [(_ e) (+ e e)]))
+         (provide twice)",
+    );
+    reg.add_module(
+        "user",
+        "#lang lagoon
+         (require macros)
+         (twice 21)",
+    );
+    let (v, _) = run_vm(&reg, "user");
+    assert!(matches!(v, Value::Int(42)));
+}
+
+#[test]
+fn rename_out_provides() {
+    let reg = ModuleRegistry::new();
+    reg.add_module(
+        "lib",
+        "#lang lagoon
+         (define (internal-name x) (* x 10))
+         (provide (rename-out [internal-name times-ten]))",
+    );
+    reg.add_module(
+        "use",
+        "#lang lagoon
+         (require lib)
+         (times-ten 4)",
+    );
+    let (v, _) = run_vm(&reg, "use");
+    assert!(matches!(v, Value::Int(40)));
+}
+
+#[test]
+fn module_instances_are_cached() {
+    let reg = ModuleRegistry::new();
+    reg.add_module(
+        "effectful",
+        "#lang lagoon
+         (display \"instantiated\")
+         (define x 1)
+         (provide x)",
+    );
+    reg.add_module("a", "#lang lagoon\n(require effectful)\nx\n");
+    reg.add_module("b", "#lang lagoon\n(require effectful)\nx\n");
+    let (_, out) = capture_output(|| {
+        reg.run("a", EngineKind::Vm).unwrap();
+        reg.run("b", EngineKind::Vm).unwrap();
+    });
+    assert_eq!(out, "instantiated", "dependency must instantiate exactly once");
+}
+
+#[test]
+fn unknown_module_errors() {
+    let reg = ModuleRegistry::new();
+    reg.add_module("main", "#lang lagoon\n(require missing-dep)\n");
+    assert!(reg.run("main", EngineKind::Vm).is_err());
+}
+
+#[test]
+fn require_cycle_errors() {
+    let reg = ModuleRegistry::new();
+    reg.add_module("a", "#lang lagoon\n(require b)\n(define x 1)\n(provide x)");
+    reg.add_module("b", "#lang lagoon\n(require a)\n(define y 2)\n(provide y)");
+    let err = reg.run("a", EngineKind::Vm).unwrap_err();
+    assert!(err.message.contains("cycle"));
+}
+
+// ----- paper §2.3: the count language -----
+
+const COUNT_LANG: &str = "#lang lagoon
+(define-syntax (#%module-begin stx)
+  (syntax-parse stx
+    [(#%module-begin body ...)
+     #`(#%plain-module-begin
+        (printf \"Found ~a expressions.\" '#,(length (syntax->list #'(body ...))))
+        body ...)]))
+(provide #%module-begin)
+";
+
+#[test]
+fn count_language() {
+    let reg = ModuleRegistry::new();
+    reg.add_module("count", COUNT_LANG);
+    reg.add_module(
+        "prog",
+        "#lang count
+(printf \"*~a\" (+ 1 2))
+(printf \"*~a\" (- 4 3))
+",
+    );
+    let (_, out) = run_vm(&reg, "prog");
+    assert_eq!(out, "Found 2 expressions.*3*1");
+}
+
+// ----- errors -----
+
+#[test]
+fn unbound_identifier_is_a_compile_error() {
+    let reg = ModuleRegistry::new();
+    reg.add_module("main", "#lang lagoon\n(nonexistent-fn 1)\n");
+    let err = reg.run("main", EngineKind::Vm).unwrap_err();
+    assert!(err.message.contains("unbound"), "got: {err}");
+}
+
+#[test]
+fn syntax_errors_have_spans() {
+    let reg = ModuleRegistry::new();
+    reg.add_module("main", "#lang lagoon\n(define)\n");
+    let err = reg.run("main", EngineKind::Vm).unwrap_err();
+    assert!(err.span.is_some());
+}
+
+#[test]
+fn shadowing_primitives_locally() {
+    let (v, _) = run_both(
+        "#lang lagoon
+         (define (apply-op + a b) (+ a b))
+         (apply-op * 6 7)",
+    );
+    assert!(matches!(v, Value::Int(42)));
+}
+
+#[test]
+fn module_level_redefinition_of_primitive() {
+    let (v, _) = run_both(
+        "#lang lagoon
+         (define (car lst) 'overridden)
+         (car '(1 2))",
+    );
+    assert_eq!(v.to_string(), "overridden");
+}
+
+#[test]
+fn variadic_and_rest_args() {
+    let (v, _) = run_both(
+        "#lang lagoon
+         (define (f a . rest) (cons a rest))
+         (f 1 2 3)",
+    );
+    assert_eq!(v.to_string(), "(1 2 3)");
+}
+
+#[test]
+fn apply_works() {
+    let (v, _) = run_both("#lang lagoon\n(apply + 1 '(2 3))\n");
+    assert!(matches!(v, Value::Int(6)));
+}
+
+#[test]
+fn extended_prelude_functions() {
+    let (v, _) = run_both(
+        "#lang lagoon
+         (list (take '(1 2 3 4 5) 2)
+               (drop '(1 2 3 4 5) 3)
+               (sort '(3 1 4 1 5 9 2 6) <)
+               (list-index even? '(1 3 5 6 7))
+               (count-if odd? '(1 2 3 4 5))
+               (zip '(1 2) '(a b)))",
+    );
+    assert_eq!(
+        v.to_string(),
+        "((1 2) (4 5) (1 1 2 3 4 5 6 9) 3 3 ((1 a) (2 b)))"
+    );
+}
+
+#[test]
+fn string_prelude_functions() {
+    let (v, _) = run_both(
+        "#lang lagoon
+         (list (string-join '(\"a\" \"b\" \"c\") \"-\")
+               (string-repeat \"xy\" 3)
+               (flatten '(1 (2 (3 4)) 5)))",
+    );
+    assert_eq!(v.to_string(), "(a-b-c xyxyxy (1 2 3 4 5))");
+}
+
+#[test]
+fn sort_is_stable_on_equal_keys() {
+    let (v, _) = run_both(
+        "#lang lagoon
+         (define pairs '((1 a) (0 b) (1 c) (0 d)))
+         (map second (sort pairs (lambda (p q) (< (first p) (first q)))))",
+    );
+    assert_eq!(v.to_string(), "(b d a c)");
+}
+
+#[test]
+fn paper_for_loop_form() {
+    // paper §2.1's do-10-times expands to exactly this shape:
+    // (for ([i (in-range 10)]) body ...)
+    let (_, out) = run_both(
+        "#lang lagoon
+         (define-syntax (do-10-times stx)
+           (syntax-parse stx
+             [(do-10-times body:expr ...)
+              #'(for ([i (in-range 10)]) body ...)]))
+         (do-10-times (display \"*\") (display \"#\"))",
+    );
+    assert_eq!(out, "*#*#*#*#*#*#*#*#*#*#");
+}
+
+#[test]
+fn for_comprehensions() {
+    let (v, _) = run_both(
+        "#lang lagoon
+         (list (for/list ([x (in-range 4)]) (* x x))
+               (for/sum ([x '(1 2 3)]) (* 10 x))
+               (for/list ([y (in-range 2 5)]) y))",
+    );
+    assert_eq!(v.to_string(), "((0 1 4 9) 60 (2 3 4))");
+}
+
+#[test]
+fn while_loops() {
+    let (v, _) = run_both(
+        "#lang lagoon
+         (define n 0)
+         (define total 0)
+         (while (< n 5)
+           (set! total (+ total n))
+           (set! n (+ n 1)))
+         total",
+    );
+    assert!(matches!(v, Value::Int(10)));
+}

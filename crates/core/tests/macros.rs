@@ -1,0 +1,330 @@
+//! Deeper macro-system tests: macro-defining macros, syntax-rules
+//! literals, nested templates, with-syntax, phase-1 computation, and
+//! error behaviour.
+
+use lagoon_core::{EngineKind, ModuleRegistry};
+use lagoon_runtime::io::capture_output;
+use lagoon_runtime::Value;
+
+fn run(src: &str) -> Result<Value, lagoon_runtime::RtError> {
+    let reg = ModuleRegistry::new();
+    reg.add_module("main", src);
+    reg.run("main", EngineKind::Vm)
+}
+
+fn run_out(src: &str) -> (Value, String) {
+    let reg = ModuleRegistry::new();
+    reg.add_module("main", src);
+    let (v, out) = capture_output(|| reg.run("main", EngineKind::Vm).unwrap());
+    (v, out)
+}
+
+#[test]
+fn macro_defining_macro() {
+    let v = run(
+        "#lang lagoon
+         (define-syntax define-constant-fn
+           (syntax-rules ()
+             [(_ name value)
+              (define-syntax name (syntax-rules () [(_) value]))]))
+         (define-constant-fn seven 7)
+         (define-constant-fn eight 8)
+         (+ (seven) (eight))",
+    )
+    .unwrap();
+    assert!(matches!(v, Value::Int(15)));
+}
+
+#[test]
+fn syntax_rules_literals_match_exactly() {
+    let v = run(
+        "#lang lagoon
+         (define-syntax arrows
+           (syntax-rules (=>)
+             [(_ a => b) (list 'forward a b)]
+             [(_ a b) (list 'plain a b)]))
+         (list (arrows 1 => 2) (arrows 1 2))",
+    )
+    .unwrap();
+    assert_eq!(v.to_string(), "((forward 1 2) (plain 1 2))");
+}
+
+#[test]
+fn nested_ellipsis_template() {
+    let v = run(
+        "#lang lagoon
+         (define-syntax my-let*
+           (syntax-rules ()
+             [(_ () body ...) (begin body ...)]
+             [(_ ([x v] rest ...) body ...)
+              (let ([x v]) (my-let* (rest ...) body ...))]))
+         (my-let* ([a 1] [b (+ a 1)] [c (* b 3)]) (list a b c))",
+    )
+    .unwrap();
+    assert_eq!(v.to_string(), "(1 2 6)");
+}
+
+#[test]
+fn with_syntax_multiple_clauses() {
+    let v = run(
+        "#lang lagoon
+         (define-syntax (three-lets stx)
+           (syntax-parse stx
+             [(_ e1 e2 e3)
+              (with-syntax ([a #'e1] [b #'e2] [c #'e3])
+                #'(list a b c))]))
+         (three-lets 1 (+ 1 1) 3)",
+    )
+    .unwrap();
+    assert_eq!(v.to_string(), "(1 2 3)");
+}
+
+#[test]
+fn with_syntax_coerces_values() {
+    // paper §2.1's when-compiled pattern: with-syntax binds non-syntax
+    // values by coercing them to syntax
+    let v = run(
+        "#lang lagoon
+         (define-syntax (list-of-n stx)
+           (syntax-parse stx
+             [(_ n:number)
+              (with-syntax ([items (iota (syntax->datum #'n))])
+                #'(quote items))]))
+         (list-of-n 4)",
+    )
+    .unwrap();
+    assert_eq!(v.to_string(), "(0 1 2 3)");
+}
+
+#[test]
+fn phase1_computation_with_prelude() {
+    // transformers can call prelude functions at compile time
+    let v = run(
+        "#lang lagoon
+         (define-syntax (sum-at-compile-time stx)
+           (syntax-parse stx
+             [(_ n:number)
+              #`(quote #,(sum (iota (syntax->datum #'n))))]))
+         (sum-at-compile-time 10)",
+    )
+    .unwrap();
+    assert!(matches!(v, Value::Int(45)));
+}
+
+#[test]
+fn unsyntax_splicing_in_templates() {
+    let v = run(
+        "#lang lagoon
+         (define-syntax (reverse-args stx)
+           (syntax-parse stx
+             [(_ f arg ...)
+              #`(f #,@(reverse (syntax->list #'(arg ...))))]))
+         (reverse-args - 1 10)",
+    )
+    .unwrap();
+    assert!(matches!(v, Value::Int(9)));
+}
+
+#[test]
+fn pattern_classes_reject() {
+    let reg = ModuleRegistry::new();
+    reg.add_module(
+        "main",
+        "#lang lagoon
+         (define-syntax (needs-id stx)
+           (syntax-parse stx
+             [(_ x:id) #''ok]))
+         (needs-id 42)",
+    );
+    let err = reg.run("main", EngineKind::Vm).unwrap_err();
+    assert!(err.message.contains("no matching clause") || err.message.contains("bad syntax"));
+}
+
+#[test]
+fn improper_patterns_in_macros() {
+    let v = run(
+        "#lang lagoon
+         (define-syntax (head-of stx)
+           (syntax-parse stx
+             [(_ (h . t)) #''h]))
+         (head-of (a b c))",
+    )
+    .unwrap();
+    assert_eq!(v.to_string(), "a");
+}
+
+#[test]
+fn bound_identifier_distinctions() {
+    // free-identifier=? sees through renaming; different bindings differ
+    let v = run(
+        "#lang lagoon
+         (define-syntax (same-as-car? stx)
+           (syntax-parse stx
+             [(_ x) (if (free-identifier=? #'x #'car) #'#t #'#f)]))
+         (list (same-as-car? car) (same-as-car? cdr))",
+    )
+    .unwrap();
+    assert_eq!(v.to_string(), "(#t #f)");
+}
+
+#[test]
+fn begin_for_syntax_runs_at_compile_time() {
+    let reg = ModuleRegistry::new();
+    reg.add_module(
+        "main",
+        "#lang lagoon
+         (begin-for-syntax (display \"compile \"))
+         (display \"run\")",
+    );
+    // compilation happens once; instantiation happens once
+    let (_, out) = capture_output(|| {
+        reg.run("main", EngineKind::Vm).unwrap();
+    });
+    assert_eq!(out, "compile run");
+    // re-running uses the cached compile AND cached instance
+    let (_, out2) = capture_output(|| {
+        reg.run("main", EngineKind::Vm).unwrap();
+    });
+    assert_eq!(out2, "");
+}
+
+#[test]
+fn define_for_syntax_via_begin_for_syntax() {
+    let v = run(
+        "#lang lagoon
+         (begin-for-syntax
+           (define (triple n) (* 3 n)))
+         (define-syntax (use-helper stx)
+           (syntax-parse stx
+             [(_ n:number) #`(quote #,(triple (syntax->datum #'n)))]))
+         (use-helper 14)",
+    )
+    .unwrap();
+    assert!(matches!(v, Value::Int(42)));
+}
+
+#[test]
+fn shadowing_macros_with_variables() {
+    let v = run(
+        "#lang lagoon
+         (define-syntax twice (syntax-rules () [(_ e) (+ e e)]))
+         (define (f twice) (twice 5))
+         (f (lambda (x) (* x 100)))",
+    )
+    .unwrap();
+    assert!(matches!(v, Value::Int(500)));
+}
+
+#[test]
+fn recursive_template_escape() {
+    // (... ...) escapes ellipses so macros can generate macros
+    let v = run(
+        "#lang lagoon
+         (define-syntax define-list-maker
+           (syntax-rules ()
+             [(_ name)
+              (define-syntax name
+                (syntax-rules ()
+                  [(_ x (... ...)) (list x (... ...))]))]))
+         (define-list-maker mk)
+         (mk 1 2 3)",
+    )
+    .unwrap();
+    assert_eq!(v.to_string(), "(1 2 3)");
+}
+
+#[test]
+fn output_order_and_side_effects() {
+    let (_, out) = run_out(
+        "#lang lagoon
+         (define-syntax log-and-run
+           (syntax-rules ()
+             [(_ tag e) (begin (display tag) e)]))
+         (display (log-and-run \"a\" 1))
+         (display (log-and-run \"b\" 2))",
+    );
+    assert_eq!(out, "a1b2");
+}
+
+#[test]
+fn error_spans_point_into_macros_uses() {
+    let reg = ModuleRegistry::new();
+    reg.add_module(
+        "main",
+        "#lang lagoon\n(define-syntax bad (syntax-rules () [(_) (car 5)]))\n(bad)\n",
+    );
+    let err = reg.run("main", EngineKind::Vm).unwrap_err();
+    assert!(err.message.contains("car"));
+}
+
+#[test]
+fn deeply_nested_macro_expansion() {
+    // expansion depth stress: 64 nested my-or uses
+    let mut expr = "#f".to_string();
+    for i in 0..64 {
+        expr = format!("(my-or #f {expr} {i})");
+    }
+    let src = format!(
+        "#lang lagoon
+         (define-syntax my-or
+           (syntax-rules ()
+             [(_) #f]
+             [(_ e) e]
+             [(_ e rest ...) (let ([t e]) (if t t (my-or rest ...)))]))
+         {expr}"
+    );
+    let v = run(&src).unwrap();
+    assert!(matches!(v, Value::Int(0)));
+}
+
+#[test]
+fn quasiquote_nests_with_lists() {
+    let v = run(
+        "#lang lagoon
+         (define xs '(2 3))
+         `(1 ,@xs (4 ,(+ 2 3)))",
+    )
+    .unwrap();
+    assert_eq!(v.to_string(), "(1 2 3 (4 5))");
+}
+
+#[test]
+fn multi_module_macro_towers() {
+    let reg = ModuleRegistry::new();
+    reg.add_module(
+        "level1",
+        "#lang lagoon
+         (define-syntax inc (syntax-rules () [(_ e) (+ e 1)]))
+         (provide inc)",
+    );
+    reg.add_module(
+        "level2",
+        "#lang lagoon
+         (require level1)
+         (define-syntax inc2 (syntax-rules () [(_ e) (inc (inc e))]))
+         (provide inc2)",
+    );
+    reg.add_module(
+        "top",
+        "#lang lagoon
+         (require level2)
+         (inc2 40)",
+    );
+    let v = reg.run("top", EngineKind::Vm).unwrap();
+    assert!(matches!(v, Value::Int(42)));
+}
+
+#[test]
+fn macro_using_module_runs_on_both_engines() {
+    let reg = ModuleRegistry::new();
+    reg.add_module(
+        "m",
+        "#lang lagoon
+         (define-syntax sq (syntax-rules () [(_ e) (* e e)]))
+         (sq 9)",
+    );
+    let vm = reg.run("m", EngineKind::Vm).unwrap();
+    let interp = reg.run("m", EngineKind::Interp).unwrap();
+    assert!(vm.equal(&interp));
+    assert!(matches!(vm, Value::Int(81)));
+}

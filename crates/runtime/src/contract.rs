@@ -1,0 +1,264 @@
+//! Run-time contracts for typed/untyped interoperation.
+//!
+//! The typed sister language compiles each type that crosses a module
+//! boundary into a [`Contract`] (paper §6, `type->contract`). Flat
+//! contracts are first-order predicates checked immediately; function
+//! contracts wrap the procedure in a [`crate::value::Contracted`] proxy
+//! whose checks fire at every application, blaming the appropriate
+//! party.
+
+use crate::error::RtError;
+use crate::value::{Contracted, Value};
+use lagoon_syntax::Symbol;
+use std::fmt;
+use std::rc::Rc;
+
+/// A contract compiled from a type.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Contract {
+    /// Accepts anything.
+    Any,
+    /// Exact integer.
+    Integer,
+    /// Inexact real.
+    Float,
+    /// Any real or complex number.
+    Number,
+    /// Float-complex number.
+    FloatComplex,
+    /// Boolean.
+    Boolean,
+    /// String.
+    Str,
+    /// Character.
+    Char,
+    /// Symbol.
+    Sym,
+    /// The void value.
+    Void,
+    /// The empty list.
+    Null,
+    /// A proper list whose elements all satisfy the inner contract.
+    ListOf(Box<Contract>),
+    /// A pair whose halves satisfy the inner contracts.
+    PairOf(Box<Contract>, Box<Contract>),
+    /// A vector whose elements all satisfy the inner contract.
+    VectorOf(Box<Contract>),
+    /// A function contract: domain contracts and a range contract.
+    Function(Vec<Contract>, Box<Contract>),
+    /// A union: satisfied if any branch is (all branches must be flat).
+    Union(Vec<Contract>),
+}
+
+impl Contract {
+    /// A contract is *flat* if it can be fully checked first-order, with no
+    /// wrapping.
+    pub fn is_flat(&self) -> bool {
+        match self {
+            Contract::Function(_, _) => false,
+            Contract::ListOf(c) | Contract::VectorOf(c) => c.is_flat(),
+            Contract::PairOf(a, b) => a.is_flat() && b.is_flat(),
+            Contract::Union(cs) => cs.iter().all(Contract::is_flat),
+            _ => true,
+        }
+    }
+
+    /// First-order check. For a flat contract this is the complete check;
+    /// for a function contract it only verifies "is a procedure of the
+    /// right arity-shape" (the rest is checked lazily by the proxy).
+    pub fn check_first_order(&self, v: &Value) -> bool {
+        match self {
+            Contract::Any => true,
+            Contract::Integer => matches!(v, Value::Int(_)),
+            Contract::Float => matches!(v, Value::Float(_)),
+            Contract::Number => {
+                matches!(v, Value::Int(_) | Value::Float(_) | Value::Complex(_, _))
+            }
+            Contract::FloatComplex => matches!(v, Value::Complex(_, _)),
+            Contract::Boolean => matches!(v, Value::Bool(_)),
+            Contract::Str => matches!(v, Value::Str(_)),
+            Contract::Char => matches!(v, Value::Char(_)),
+            Contract::Sym => matches!(v, Value::Symbol(_)),
+            Contract::Void => matches!(v, Value::Void),
+            Contract::Null => matches!(v, Value::Nil),
+            Contract::ListOf(inner) => match v.list_to_vec() {
+                Some(items) => items.iter().all(|x| inner.check_first_order(x)),
+                None => false,
+            },
+            Contract::PairOf(a, b) => match v {
+                Value::Pair(p) => a.check_first_order(&p.0) && b.check_first_order(&p.1),
+                _ => false,
+            },
+            Contract::VectorOf(inner) => match v {
+                Value::Vector(items) => {
+                    items.borrow().iter().all(|x| inner.check_first_order(x))
+                }
+                _ => false,
+            },
+            Contract::Function(_, _) => v.is_procedure(),
+            Contract::Union(cs) => cs.iter().any(|c| c.check_first_order(v)),
+        }
+    }
+}
+
+impl fmt::Display for Contract {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Contract::Any => f.write_str("any/c"),
+            Contract::Integer => f.write_str("integer?"),
+            Contract::Float => f.write_str("flonum?"),
+            Contract::Number => f.write_str("number?"),
+            Contract::FloatComplex => f.write_str("float-complex?"),
+            Contract::Boolean => f.write_str("boolean?"),
+            Contract::Str => f.write_str("string?"),
+            Contract::Char => f.write_str("char?"),
+            Contract::Sym => f.write_str("symbol?"),
+            Contract::Void => f.write_str("void?"),
+            Contract::Null => f.write_str("null?"),
+            Contract::ListOf(c) => write!(f, "(listof {c})"),
+            Contract::PairOf(a, b) => write!(f, "(cons/c {a} {b})"),
+            Contract::VectorOf(c) => write!(f, "(vectorof {c})"),
+            Contract::Function(doms, rng) => {
+                f.write_str("(->")?;
+                for d in doms {
+                    write!(f, " {d}")?;
+                }
+                write!(f, " {rng})")
+            }
+            Contract::Union(cs) => {
+                f.write_str("(or/c")?;
+                for c in cs {
+                    write!(f, " {c}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+/// Applies `contract` to `value` at a module boundary.
+///
+/// Flat contracts are checked immediately (blaming `positive`, the party
+/// that promised the value has this shape). Function contracts wrap the
+/// value in a [`Contracted`] proxy; the engine checks the domain and range
+/// at each call, blaming `negative` for bad arguments and `positive` for a
+/// bad result — paper §6.1's `(contract C v 'module 'typed-module)`.
+///
+/// # Errors
+///
+/// Returns a contract violation if a flat check fails or a function
+/// contract is applied to a non-procedure.
+pub fn apply_contract(
+    value: Value,
+    contract: &Contract,
+    positive: Symbol,
+    negative: Symbol,
+) -> Result<Value, RtError> {
+    match contract {
+        Contract::Function(_, _) => {
+            if !value.is_procedure() {
+                return Err(RtError::contract(
+                    positive,
+                    format!("promised {contract}, produced {}", value.write_string()),
+                ));
+            }
+            Ok(Value::Contracted(Rc::new(Contracted {
+                inner: value,
+                contract: contract.clone(),
+                positive,
+                negative,
+            })))
+        }
+        flat => {
+            if flat.check_first_order(&value) {
+                Ok(value)
+            } else {
+                Err(RtError::contract(
+                    positive,
+                    format!("promised {contract}, produced {}", value.write_string()),
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos() -> Symbol {
+        Symbol::from("server")
+    }
+    fn neg() -> Symbol {
+        Symbol::from("client")
+    }
+
+    #[test]
+    fn flat_checks() {
+        assert!(Contract::Integer.check_first_order(&Value::Int(3)));
+        assert!(!Contract::Integer.check_first_order(&Value::Float(3.0)));
+        assert!(Contract::Number.check_first_order(&Value::Complex(1.0, 2.0)));
+        assert!(Contract::Str.check_first_order(&Value::string("x")));
+        assert!(Contract::Any.check_first_order(&Value::Void));
+    }
+
+    #[test]
+    fn listof_checks_elements() {
+        let c = Contract::ListOf(Box::new(Contract::Integer));
+        assert!(c.check_first_order(&Value::list(vec![Value::Int(1), Value::Int(2)])));
+        assert!(c.check_first_order(&Value::Nil));
+        assert!(!c.check_first_order(&Value::list(vec![Value::Int(1), Value::string("x")])));
+        assert!(!c.check_first_order(&Value::cons(Value::Int(1), Value::Int(2))));
+    }
+
+    #[test]
+    fn union_checks_any_branch() {
+        let c = Contract::Union(vec![Contract::Integer, Contract::Str]);
+        assert!(c.check_first_order(&Value::Int(1)));
+        assert!(c.check_first_order(&Value::string("s")));
+        assert!(!c.check_first_order(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn flatness() {
+        assert!(Contract::Integer.is_flat());
+        assert!(Contract::ListOf(Box::new(Contract::Integer)).is_flat());
+        let f = Contract::Function(vec![Contract::Integer], Box::new(Contract::Integer));
+        assert!(!f.is_flat());
+    }
+
+    #[test]
+    fn apply_flat_contract_passes_or_blames_positive() {
+        let ok = apply_contract(Value::Int(1), &Contract::Integer, pos(), neg()).unwrap();
+        assert!(matches!(ok, Value::Int(1)));
+        let err =
+            apply_contract(Value::string("no"), &Contract::Integer, pos(), neg()).unwrap_err();
+        match err.kind {
+            crate::error::Kind::Contract { blame } => assert_eq!(blame, pos()),
+            _ => panic!("expected contract violation"),
+        }
+    }
+
+    #[test]
+    fn apply_function_contract_wraps() {
+        use crate::value::{Arity, Native};
+        let f = Native::value("inc", Arity::exactly(1), |args| {
+            crate::number::add(&args[0], &Value::Int(1))
+        });
+        let c = Contract::Function(vec![Contract::Integer], Box::new(Contract::Integer));
+        let wrapped = apply_contract(f, &c, pos(), neg()).unwrap();
+        assert!(matches!(wrapped, Value::Contracted(_)));
+        // non-procedure under a function contract blames positive
+        let err = apply_contract(Value::Int(3), &c, pos(), neg()).unwrap_err();
+        assert!(matches!(err.kind, crate::error::Kind::Contract { .. }));
+    }
+
+    #[test]
+    fn display_forms() {
+        let c = Contract::Function(
+            vec![Contract::Integer, Contract::Float],
+            Box::new(Contract::ListOf(Box::new(Contract::Str))),
+        );
+        assert_eq!(c.to_string(), "(-> integer? flonum? (listof string?))");
+    }
+}

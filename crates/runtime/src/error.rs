@@ -1,0 +1,147 @@
+//! Runtime errors.
+//!
+//! Every failure the evaluator can signal is a [`RtError`] carrying a
+//! [`Kind`], a message, and an optional source [`Span`]. Contract
+//! violations (paper §6) carry blame information identifying which side of
+//! a typed/untyped boundary broke the agreement.
+
+use lagoon_syntax::{Span, Symbol};
+use std::fmt;
+
+/// The category of a runtime error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// A value had the wrong runtime tag (e.g. `car` of a non-pair).
+    Type,
+    /// A procedure was applied to the wrong number of arguments.
+    Arity,
+    /// A variable had no binding at runtime.
+    Unbound,
+    /// Integer overflow (Lagoon substitutes checked `i64` for Racket's
+    /// bignums; see DESIGN.md).
+    Overflow,
+    /// Division by exact zero.
+    DivideByZero,
+    /// An index was out of range.
+    Range,
+    /// A contract between modules was violated; the named party is blamed.
+    Contract {
+        /// The module blamed for the violation.
+        blame: Symbol,
+    },
+    /// `(error ...)` was called by the program.
+    User,
+    /// An internal invariant was broken (a bug in Lagoon itself).
+    Internal,
+}
+
+impl fmt::Display for Kind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Kind::Type => f.write_str("type error"),
+            Kind::Arity => f.write_str("arity error"),
+            Kind::Unbound => f.write_str("unbound variable"),
+            Kind::Overflow => f.write_str("integer overflow"),
+            Kind::DivideByZero => f.write_str("division by zero"),
+            Kind::Range => f.write_str("index out of range"),
+            Kind::Contract { blame } => write!(f, "contract violation (blaming {blame})"),
+            Kind::User => f.write_str("error"),
+            Kind::Internal => f.write_str("internal error"),
+        }
+    }
+}
+
+/// A runtime error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RtError {
+    /// What went wrong.
+    pub kind: Kind,
+    /// Human-readable details.
+    pub message: String,
+    /// Source position, when known.
+    pub span: Option<Span>,
+}
+
+impl RtError {
+    /// A new error of the given kind.
+    pub fn new(kind: Kind, message: impl Into<String>) -> RtError {
+        RtError {
+            kind,
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    /// A tag/type error.
+    pub fn type_error(message: impl Into<String>) -> RtError {
+        RtError::new(Kind::Type, message)
+    }
+
+    /// An arity error.
+    pub fn arity(message: impl Into<String>) -> RtError {
+        RtError::new(Kind::Arity, message)
+    }
+
+    /// An unbound-variable error.
+    pub fn unbound(name: Symbol) -> RtError {
+        RtError::new(Kind::Unbound, name.as_str())
+    }
+
+    /// A contract violation blaming `blame`.
+    pub fn contract(blame: Symbol, message: impl Into<String>) -> RtError {
+        RtError::new(Kind::Contract { blame }, message)
+    }
+
+    /// A user-raised error.
+    pub fn user(message: impl Into<String>) -> RtError {
+        RtError::new(Kind::User, message)
+    }
+
+    /// Attaches a source span (keeps an existing one).
+    pub fn with_span(mut self, span: Span) -> RtError {
+        self.span.get_or_insert(span);
+        self
+    }
+}
+
+impl fmt::Display for RtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(span) if !span.is_synthetic() => {
+                write!(f, "{}: {} at {}", self.kind, self.message, span)
+            }
+            _ => write!(f, "{}: {}", self.kind, self.message),
+        }
+    }
+}
+
+impl std::error::Error for RtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = RtError::type_error("car: expected pair, got 7");
+        assert_eq!(e.to_string(), "type error: car: expected pair, got 7");
+    }
+
+    #[test]
+    fn contract_errors_carry_blame() {
+        let e = RtError::contract(Symbol::from("client"), "expected Integer, got \"x\"");
+        match &e.kind {
+            Kind::Contract { blame } => assert_eq!(blame.as_str(), "client"),
+            _ => panic!("wrong kind"),
+        }
+        assert!(e.to_string().contains("blaming client"));
+    }
+
+    #[test]
+    fn with_span_keeps_first() {
+        let s1 = Span::new(Symbol::from("a"), 0, 1, 1, 1);
+        let s2 = Span::new(Symbol::from("b"), 0, 1, 2, 2);
+        let e = RtError::user("boom").with_span(s1).with_span(s2);
+        assert_eq!(e.span.unwrap().line, 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Program output plumbing.
+//!
+//! `display`, `printf`, etc. write through [`port_write`], which normally
+//! goes to stdout but can be redirected to a capture buffer with
+//! [`capture_output`] — tests and the benchmark harness use this to check
+//! what a hosted program printed (e.g. the `count` language example's
+//! `Found 2 expressions.*3*1`).
+
+use std::cell::RefCell;
+
+thread_local! {
+    static CAPTURE: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Writes `s` to the current output port (stdout, or the active capture).
+pub fn port_write(s: &str) {
+    CAPTURE.with(|c| {
+        let mut c = c.borrow_mut();
+        match c.as_mut() {
+            Some(buf) => buf.push_str(s),
+            None => print!("{s}"),
+        }
+    });
+}
+
+/// Runs `f` with program output captured, returning `(f(), captured)`.
+///
+/// Nested captures are not supported: the inner capture wins until it
+/// finishes.
+pub fn capture_output<R>(f: impl FnOnce() -> R) -> (R, String) {
+    let prev = CAPTURE.with(|c| c.borrow_mut().replace(String::new()));
+    let result = f();
+    let captured = CAPTURE.with(|c| {
+        let mut slot = c.borrow_mut();
+        let out = slot.take().unwrap_or_default();
+        *slot = prev;
+        out
+    });
+    (result, captured)
+}
+
+/// Formats using Racket-style `format` directives:
+/// `~a` (display), `~s`/`~v` (write), `~%`/`~n` (newline), `~~` (tilde).
+///
+/// # Errors
+///
+/// Returns a message if directives and arguments don't line up.
+pub fn racket_format(
+    fmt: &str,
+    args: &[crate::value::Value],
+) -> Result<String, String> {
+    let mut out = String::new();
+    let mut chars = fmt.chars().peekable();
+    let mut next_arg = 0usize;
+    while let Some(c) = chars.next() {
+        if c != '~' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('a') | Some('A') => {
+                let v = args
+                    .get(next_arg)
+                    .ok_or_else(|| format!("format: too few arguments for {fmt:?}"))?;
+                out.push_str(&v.to_string());
+                next_arg += 1;
+            }
+            Some('s') | Some('S') | Some('v') | Some('V') => {
+                let v = args
+                    .get(next_arg)
+                    .ok_or_else(|| format!("format: too few arguments for {fmt:?}"))?;
+                out.push_str(&v.write_string());
+                next_arg += 1;
+            }
+            Some('%') | Some('n') => out.push('\n'),
+            Some('~') => out.push('~'),
+            Some(other) => return Err(format!("format: unknown directive ~{other}")),
+            None => return Err("format: dangling ~".to_string()),
+        }
+    }
+    if next_arg != args.len() {
+        return Err(format!(
+            "format: {} extra argument(s) for {fmt:?}",
+            args.len() - next_arg
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn capture_captures() {
+        let ((), out) = capture_output(|| port_write("hello"));
+        assert_eq!(out, "hello");
+    }
+
+    #[test]
+    fn capture_restores_previous() {
+        let ((), outer) = capture_output(|| {
+            port_write("a");
+            let ((), inner) = capture_output(|| port_write("b"));
+            assert_eq!(inner, "b");
+            port_write("c");
+        });
+        assert_eq!(outer, "ac");
+    }
+
+    #[test]
+    fn format_directives() {
+        let s = racket_format("*~a*", &[Value::Int(3)]).unwrap();
+        assert_eq!(s, "*3*");
+        let s = racket_format("~s and ~a~%", &[Value::string("x"), Value::string("y")]).unwrap();
+        assert_eq!(s, "\"x\" and y\n");
+        let s = racket_format("~~", &[]).unwrap();
+        assert_eq!(s, "~");
+    }
+
+    #[test]
+    fn format_arity_errors() {
+        assert!(racket_format("~a", &[]).is_err());
+        assert!(racket_format("x", &[Value::Int(1)]).is_err());
+        assert!(racket_format("~q", &[]).is_err());
+    }
+}

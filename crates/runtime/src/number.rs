@@ -1,0 +1,432 @@
+//! The numeric tower: generic arithmetic with tag dispatch.
+//!
+//! Lagoon's tower has three levels — exact integers (`i64`, overflow
+//! checked), inexact reals (`f64`), and inexact complex (`f64`×`f64`, the
+//! typed language's `Float-Complex`). Binary operations promote upward:
+//! `Int ⊕ Float → Float`, `Float ⊕ Complex → Complex`.
+//!
+//! Every function here performs *tag dispatch*: it inspects the [`Value`]
+//! tags before operating. That per-operation dispatch is exactly the cost
+//! the paper's type-driven optimizer eliminates by rewriting generic
+//! operations to the `unsafe-fl*` primitives once the typechecker has
+//! proved the operand types.
+
+use crate::error::{Kind, RtError};
+use crate::value::Value;
+
+fn not_number(op: &str, v: &Value) -> RtError {
+    RtError::type_error(format!("{op}: expected number, got {}", v.write_string()))
+}
+
+/// The promoted pair of operands for a binary numeric operation.
+enum Promoted {
+    Ints(i64, i64),
+    Floats(f64, f64),
+    Complexes(f64, f64, f64, f64),
+}
+
+fn promote(op: &str, a: &Value, b: &Value) -> Result<Promoted, RtError> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Ok(Promoted::Ints(*x, *y)),
+        (Value::Int(x), Value::Float(y)) => Ok(Promoted::Floats(*x as f64, *y)),
+        (Value::Float(x), Value::Int(y)) => Ok(Promoted::Floats(*x, *y as f64)),
+        (Value::Float(x), Value::Float(y)) => Ok(Promoted::Floats(*x, *y)),
+        (Value::Complex(xr, xi), Value::Complex(yr, yi)) => {
+            Ok(Promoted::Complexes(*xr, *xi, *yr, *yi))
+        }
+        (Value::Complex(xr, xi), Value::Int(y)) => {
+            Ok(Promoted::Complexes(*xr, *xi, *y as f64, 0.0))
+        }
+        (Value::Complex(xr, xi), Value::Float(y)) => Ok(Promoted::Complexes(*xr, *xi, *y, 0.0)),
+        (Value::Int(x), Value::Complex(yr, yi)) => {
+            Ok(Promoted::Complexes(*x as f64, 0.0, *yr, *yi))
+        }
+        (Value::Float(x), Value::Complex(yr, yi)) => Ok(Promoted::Complexes(*x, 0.0, *yr, *yi)),
+        (Value::Int(_) | Value::Float(_) | Value::Complex(_, _), other) => {
+            Err(not_number(op, other))
+        }
+        (other, _) => Err(not_number(op, other)),
+    }
+}
+
+/// Generic `+`.
+pub fn add(a: &Value, b: &Value) -> Result<Value, RtError> {
+    match promote("+", a, b)? {
+        Promoted::Ints(x, y) => x
+            .checked_add(y)
+            .map(Value::Int)
+            .ok_or_else(|| RtError::new(Kind::Overflow, format!("(+ {x} {y})"))),
+        Promoted::Floats(x, y) => Ok(Value::Float(x + y)),
+        Promoted::Complexes(xr, xi, yr, yi) => Ok(Value::Complex(xr + yr, xi + yi)),
+    }
+}
+
+/// Generic `-`.
+pub fn sub(a: &Value, b: &Value) -> Result<Value, RtError> {
+    match promote("-", a, b)? {
+        Promoted::Ints(x, y) => x
+            .checked_sub(y)
+            .map(Value::Int)
+            .ok_or_else(|| RtError::new(Kind::Overflow, format!("(- {x} {y})"))),
+        Promoted::Floats(x, y) => Ok(Value::Float(x - y)),
+        Promoted::Complexes(xr, xi, yr, yi) => Ok(Value::Complex(xr - yr, xi - yi)),
+    }
+}
+
+/// Generic `*`.
+pub fn mul(a: &Value, b: &Value) -> Result<Value, RtError> {
+    match promote("*", a, b)? {
+        Promoted::Ints(x, y) => x
+            .checked_mul(y)
+            .map(Value::Int)
+            .ok_or_else(|| RtError::new(Kind::Overflow, format!("(* {x} {y})"))),
+        Promoted::Floats(x, y) => Ok(Value::Float(x * y)),
+        Promoted::Complexes(xr, xi, yr, yi) => {
+            Ok(Value::Complex(xr * yr - xi * yi, xr * yi + xi * yr))
+        }
+    }
+}
+
+/// Generic `/`. Integer division produces an integer when exact, a float
+/// otherwise (Lagoon has no exact rationals; see DESIGN.md).
+pub fn div(a: &Value, b: &Value) -> Result<Value, RtError> {
+    match promote("/", a, b)? {
+        Promoted::Ints(x, y) => {
+            if y == 0 {
+                Err(RtError::new(Kind::DivideByZero, format!("(/ {x} 0)")))
+            } else if x % y == 0 {
+                Ok(Value::Int(x / y))
+            } else {
+                Ok(Value::Float(x as f64 / y as f64))
+            }
+        }
+        Promoted::Floats(x, y) => Ok(Value::Float(x / y)),
+        Promoted::Complexes(xr, xi, yr, yi) => {
+            let d = yr * yr + yi * yi;
+            Ok(Value::Complex(
+                (xr * yr + xi * yi) / d,
+                (xi * yr - xr * yi) / d,
+            ))
+        }
+    }
+}
+
+/// Generic numeric comparison for `<`, `<=`, `>`, `>=` (reals only).
+pub fn compare(op: &str, a: &Value, b: &Value) -> Result<std::cmp::Ordering, RtError> {
+    match promote(op, a, b)? {
+        Promoted::Ints(x, y) => Ok(x.cmp(&y)),
+        Promoted::Floats(x, y) => x
+            .partial_cmp(&y)
+            .ok_or_else(|| RtError::type_error(format!("{op}: cannot compare NaN"))),
+        Promoted::Complexes(..) => Err(RtError::type_error(format!(
+            "{op}: complex numbers are not ordered"
+        ))),
+    }
+}
+
+/// Generic `=` (numeric equality across the tower).
+pub fn num_eq(a: &Value, b: &Value) -> Result<bool, RtError> {
+    match promote("=", a, b)? {
+        Promoted::Ints(x, y) => Ok(x == y),
+        Promoted::Floats(x, y) => Ok(x == y),
+        Promoted::Complexes(xr, xi, yr, yi) => Ok(xr == yr && xi == yi),
+    }
+}
+
+/// `quotient` on integers.
+pub fn quotient(a: &Value, b: &Value) -> Result<Value, RtError> {
+    match (a, b) {
+        (Value::Int(_), Value::Int(0)) => {
+            Err(RtError::new(Kind::DivideByZero, "quotient by zero"))
+        }
+        (Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_div(*y))),
+        _ => Err(RtError::type_error(format!(
+            "quotient: expected integers, got {} and {}",
+            a.write_string(),
+            b.write_string()
+        ))),
+    }
+}
+
+/// `remainder` on integers (sign follows the dividend).
+pub fn remainder(a: &Value, b: &Value) -> Result<Value, RtError> {
+    match (a, b) {
+        (Value::Int(_), Value::Int(0)) => {
+            Err(RtError::new(Kind::DivideByZero, "remainder by zero"))
+        }
+        (Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_rem(*y))),
+        _ => Err(RtError::type_error("remainder: expected integers")),
+    }
+}
+
+/// `modulo` on integers (sign follows the divisor).
+pub fn modulo(a: &Value, b: &Value) -> Result<Value, RtError> {
+    match (a, b) {
+        (Value::Int(_), Value::Int(0)) => Err(RtError::new(Kind::DivideByZero, "modulo by zero")),
+        (Value::Int(x), Value::Int(y)) => {
+            let r = x.wrapping_rem(*y);
+            let m = if r != 0 && (r < 0) != (*y < 0) { r + y } else { r };
+            Ok(Value::Int(m))
+        }
+        _ => Err(RtError::type_error("modulo: expected integers")),
+    }
+}
+
+/// `abs` / `magnitude` for reals; `magnitude` for complex.
+pub fn magnitude(v: &Value) -> Result<Value, RtError> {
+    match v {
+        Value::Int(n) => n
+            .checked_abs()
+            .map(Value::Int)
+            .ok_or_else(|| RtError::new(Kind::Overflow, "(abs min-int)")),
+        Value::Float(x) => Ok(Value::Float(x.abs())),
+        Value::Complex(re, im) => Ok(Value::Float(re.hypot(*im))),
+        other => Err(not_number("magnitude", other)),
+    }
+}
+
+/// `sqrt`: stays exact when possible, goes inexact (or complex) otherwise.
+pub fn sqrt(v: &Value) -> Result<Value, RtError> {
+    match v {
+        Value::Int(n) if *n >= 0 => {
+            let r = (*n as f64).sqrt();
+            let ri = r as i64;
+            if ri * ri == *n {
+                Ok(Value::Int(ri))
+            } else {
+                Ok(Value::Float(r))
+            }
+        }
+        Value::Int(n) => Ok(Value::Complex(0.0, ((-n) as f64).sqrt())),
+        Value::Float(x) if *x >= 0.0 => Ok(Value::Float(x.sqrt())),
+        Value::Float(x) => Ok(Value::Complex(0.0, (-x).sqrt())),
+        Value::Complex(re, im) => {
+            let m = re.hypot(*im).sqrt();
+            let theta = im.atan2(*re) / 2.0;
+            Ok(Value::Complex(m * theta.cos(), m * theta.sin()))
+        }
+        other => Err(not_number("sqrt", other)),
+    }
+}
+
+/// `expt` — exponentiation. Integer^non-negative-integer stays exact.
+pub fn expt(a: &Value, b: &Value) -> Result<Value, RtError> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) if *y >= 0 => {
+            let mut acc: i64 = 1;
+            for _ in 0..*y {
+                acc = acc
+                    .checked_mul(*x)
+                    .ok_or_else(|| RtError::new(Kind::Overflow, format!("(expt {x} {y})")))?;
+            }
+            Ok(Value::Int(acc))
+        }
+        _ => match promote("expt", a, b)? {
+            Promoted::Ints(x, y) => Ok(Value::Float((x as f64).powf(y as f64))),
+            Promoted::Floats(x, y) => Ok(Value::Float(x.powf(y))),
+            Promoted::Complexes(..) => Err(RtError::type_error("expt: complex not supported")),
+        },
+    }
+}
+
+/// Unary float transcendental functions (`sin`, `cos`, `tan`, `atan`,
+/// `log`, `exp`), applied to reals.
+pub fn float_unary(op: &str, v: &Value) -> Result<Value, RtError> {
+    let x = match v {
+        Value::Int(n) => *n as f64,
+        Value::Float(x) => *x,
+        other => return Err(not_number(op, other)),
+    };
+    let y = match op {
+        "sin" => x.sin(),
+        "cos" => x.cos(),
+        "tan" => x.tan(),
+        "asin" => x.asin(),
+        "acos" => x.acos(),
+        "atan" => x.atan(),
+        "log" => x.ln(),
+        "exp" => x.exp(),
+        _ => return Err(RtError::new(Kind::Internal, format!("unknown float op {op}"))),
+    };
+    Ok(Value::Float(y))
+}
+
+/// `exact->inexact`.
+pub fn to_inexact(v: &Value) -> Result<Value, RtError> {
+    match v {
+        Value::Int(n) => Ok(Value::Float(*n as f64)),
+        Value::Float(_) | Value::Complex(_, _) => Ok(v.clone()),
+        other => Err(not_number("exact->inexact", other)),
+    }
+}
+
+/// `inexact->exact` (truncating floats with integral values).
+pub fn to_exact(v: &Value) -> Result<Value, RtError> {
+    match v {
+        Value::Int(_) => Ok(v.clone()),
+        Value::Float(x) if x.fract() == 0.0 && x.abs() < i64::MAX as f64 => {
+            Ok(Value::Int(*x as i64))
+        }
+        Value::Float(x) => Err(RtError::type_error(format!(
+            "inexact->exact: {x} has no exact representation in Lagoon"
+        ))),
+        other => Err(not_number("inexact->exact", other)),
+    }
+}
+
+/// Rounding family: `floor`, `ceiling`, `round`, `truncate`.
+pub fn round_family(op: &str, v: &Value) -> Result<Value, RtError> {
+    match v {
+        Value::Int(_) => Ok(v.clone()),
+        Value::Float(x) => Ok(Value::Float(match op {
+            "floor" => x.floor(),
+            "ceiling" => x.ceil(),
+            "round" => {
+                // banker's rounding, like Racket
+                let r = x.round();
+                if (x - x.trunc()).abs() == 0.5 && r % 2.0 != 0.0 {
+                    r - x.signum()
+                } else {
+                    r
+                }
+            }
+            "truncate" => x.trunc(),
+            _ => return Err(RtError::new(Kind::Internal, format!("unknown rounding {op}"))),
+        })),
+        other => Err(not_number(op, other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(n: i64) -> Value {
+        Value::Int(n)
+    }
+    fn fl(x: f64) -> Value {
+        Value::Float(x)
+    }
+    fn cpx(re: f64, im: f64) -> Value {
+        Value::Complex(re, im)
+    }
+
+    #[test]
+    fn integer_arithmetic() {
+        assert!(matches!(add(&int(2), &int(3)).unwrap(), Value::Int(5)));
+        assert!(matches!(sub(&int(2), &int(3)).unwrap(), Value::Int(-1)));
+        assert!(matches!(mul(&int(4), &int(3)).unwrap(), Value::Int(12)));
+        assert!(matches!(div(&int(6), &int(3)).unwrap(), Value::Int(2)));
+        assert!(matches!(div(&int(7), &int(2)).unwrap(), Value::Float(x) if x == 3.5));
+    }
+
+    #[test]
+    fn promotion() {
+        assert!(matches!(add(&int(1), &fl(0.5)).unwrap(), Value::Float(x) if x == 1.5));
+        assert!(matches!(mul(&fl(2.0), &int(3)).unwrap(), Value::Float(x) if x == 6.0));
+        match add(&fl(1.0), &cpx(2.0, 3.0)).unwrap() {
+            Value::Complex(re, im) => {
+                assert_eq!(re, 3.0);
+                assert_eq!(im, 3.0);
+            }
+            v => panic!("expected complex, got {v}"),
+        }
+    }
+
+    #[test]
+    fn complex_mul_and_div() {
+        // (2+2i) * (2+2i) = 8i
+        match mul(&cpx(2.0, 2.0), &cpx(2.0, 2.0)).unwrap() {
+            Value::Complex(re, im) => {
+                assert_eq!(re, 0.0);
+                assert_eq!(im, 8.0);
+            }
+            v => panic!("{v}"),
+        }
+        // the paper's loop: f / 2.0+2.0i
+        match div(&cpx(4.0, 0.0), &cpx(2.0, 2.0)).unwrap() {
+            Value::Complex(re, im) => {
+                assert_eq!(re, 1.0);
+                assert_eq!(im, -1.0);
+            }
+            v => panic!("{v}"),
+        }
+    }
+
+    #[test]
+    fn overflow_is_an_error() {
+        assert_eq!(add(&int(i64::MAX), &int(1)).unwrap_err().kind, Kind::Overflow);
+        assert_eq!(mul(&int(i64::MAX), &int(2)).unwrap_err().kind, Kind::Overflow);
+    }
+
+    #[test]
+    fn division_by_zero() {
+        assert_eq!(div(&int(1), &int(0)).unwrap_err().kind, Kind::DivideByZero);
+        // float division by zero is inf, not an error
+        assert!(matches!(div(&fl(1.0), &fl(0.0)).unwrap(), Value::Float(x) if x.is_infinite()));
+    }
+
+    #[test]
+    fn comparisons() {
+        use std::cmp::Ordering::*;
+        assert_eq!(compare("<", &int(1), &int(2)).unwrap(), Less);
+        assert_eq!(compare("<", &fl(2.0), &int(2)).unwrap(), Equal);
+        assert_eq!(compare("<", &int(3), &fl(2.5)).unwrap(), Greater);
+        assert!(compare("<", &cpx(1.0, 1.0), &int(1)).is_err());
+        assert!(num_eq(&int(2), &fl(2.0)).unwrap());
+        assert!(num_eq(&cpx(1.0, 2.0), &cpx(1.0, 2.0)).unwrap());
+    }
+
+    #[test]
+    fn magnitude_of_complex() {
+        assert!(matches!(magnitude(&cpx(3.0, 4.0)).unwrap(), Value::Float(x) if x == 5.0));
+        assert!(matches!(magnitude(&int(-3)).unwrap(), Value::Int(3)));
+    }
+
+    #[test]
+    fn sqrt_tower() {
+        assert!(matches!(sqrt(&int(9)).unwrap(), Value::Int(3)));
+        assert!(matches!(sqrt(&int(2)).unwrap(), Value::Float(_)));
+        assert!(matches!(sqrt(&int(-4)).unwrap(), Value::Complex(re, im) if re == 0.0 && im == 2.0));
+        assert!(matches!(sqrt(&fl(2.25)).unwrap(), Value::Float(x) if x == 1.5));
+    }
+
+    #[test]
+    fn quotient_remainder_modulo() {
+        assert!(matches!(quotient(&int(7), &int(2)).unwrap(), Value::Int(3)));
+        assert!(matches!(remainder(&int(7), &int(2)).unwrap(), Value::Int(1)));
+        assert!(matches!(remainder(&int(-7), &int(2)).unwrap(), Value::Int(-1)));
+        assert!(matches!(modulo(&int(-7), &int(2)).unwrap(), Value::Int(1)));
+        assert!(matches!(modulo(&int(7), &int(-2)).unwrap(), Value::Int(-1)));
+        assert!(quotient(&int(1), &int(0)).is_err());
+    }
+
+    #[test]
+    fn expt_exactness() {
+        assert!(matches!(expt(&int(2), &int(10)).unwrap(), Value::Int(1024)));
+        assert!(matches!(expt(&int(2), &fl(0.5)).unwrap(), Value::Float(_)));
+        assert_eq!(expt(&int(i64::MAX), &int(2)).unwrap_err().kind, Kind::Overflow);
+    }
+
+    #[test]
+    fn rounding() {
+        assert!(matches!(round_family("floor", &fl(2.7)).unwrap(), Value::Float(x) if x == 2.0));
+        assert!(matches!(round_family("ceiling", &fl(2.2)).unwrap(), Value::Float(x) if x == 3.0));
+        assert!(matches!(round_family("round", &fl(2.5)).unwrap(), Value::Float(x) if x == 2.0));
+        assert!(matches!(round_family("round", &fl(3.5)).unwrap(), Value::Float(x) if x == 4.0));
+        assert!(matches!(round_family("truncate", &fl(-2.7)).unwrap(), Value::Float(x) if x == -2.0));
+    }
+
+    #[test]
+    fn exactness_conversions() {
+        assert!(matches!(to_inexact(&int(3)).unwrap(), Value::Float(x) if x == 3.0));
+        assert!(matches!(to_exact(&fl(3.0)).unwrap(), Value::Int(3)));
+        assert!(to_exact(&fl(3.5)).is_err());
+    }
+
+    #[test]
+    fn type_errors_name_the_culprit() {
+        let e = add(&Value::string("x"), &int(1)).unwrap_err();
+        assert!(e.message.contains("\"x\""));
+    }
+}

@@ -1,0 +1,306 @@
+//! Generic arithmetic primitives (tag-dispatching).
+
+use super::def;
+use crate::error::RtError;
+use crate::number;
+use crate::value::{Arity, Value};
+use std::cmp::Ordering;
+
+fn fold_variadic(
+    name: &'static str,
+    identity: Value,
+    f: fn(&Value, &Value) -> Result<Value, RtError>,
+) -> impl Fn(&[Value]) -> Result<Value, RtError> {
+    move |args| {
+        if args.is_empty() {
+            return Ok(identity.clone());
+        }
+        let mut acc = args[0].clone();
+        if args.len() == 1 && (name == "-" || name == "/") {
+            // unary negation / reciprocal
+            return f(&identity, &acc);
+        }
+        for arg in &args[1..] {
+            acc = f(&acc, arg)?;
+        }
+        Ok(acc)
+    }
+}
+
+fn chain_compare(
+    name: &'static str,
+    ok: fn(Ordering) -> bool,
+) -> impl Fn(&[Value]) -> Result<Value, RtError> {
+    move |args| {
+        for w in args.windows(2) {
+            if !ok(number::compare(name, &w[0], &w[1])?) {
+                return Ok(Value::Bool(false));
+            }
+        }
+        Ok(Value::Bool(true))
+    }
+}
+
+pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
+    def(out, "+", Arity::at_least(0), fold_variadic("+", Value::Int(0), number::add));
+    def(out, "-", Arity::at_least(1), fold_variadic("-", Value::Int(0), number::sub));
+    def(out, "*", Arity::at_least(0), fold_variadic("*", Value::Int(1), number::mul));
+    def(out, "/", Arity::at_least(1), fold_variadic("/", Value::Int(1), number::div));
+
+    def(out, "<", Arity::at_least(2), chain_compare("<", Ordering::is_lt));
+    def(out, "<=", Arity::at_least(2), chain_compare("<=", Ordering::is_le));
+    def(out, ">", Arity::at_least(2), chain_compare(">", Ordering::is_gt));
+    def(out, ">=", Arity::at_least(2), chain_compare(">=", Ordering::is_ge));
+    def(out, "=", Arity::at_least(2), |args| {
+        for w in args.windows(2) {
+            if !number::num_eq(&w[0], &w[1])? {
+                return Ok(Value::Bool(false));
+            }
+        }
+        Ok(Value::Bool(true))
+    });
+
+    def(out, "add1", Arity::exactly(1), |args| {
+        number::add(&args[0], &Value::Int(1))
+    });
+    def(out, "sub1", Arity::exactly(1), |args| {
+        number::sub(&args[0], &Value::Int(1))
+    });
+    def(out, "abs", Arity::exactly(1), |args| match &args[0] {
+        Value::Complex(_, _) => Err(RtError::type_error("abs: expected real")),
+        v => number::magnitude(v),
+    });
+    def(out, "magnitude", Arity::exactly(1), |args| {
+        number::magnitude(&args[0])
+    });
+    def(out, "min", Arity::at_least(1), |args| {
+        let mut best = args[0].clone();
+        for v in &args[1..] {
+            if number::compare("min", v, &best)?.is_lt() {
+                best = v.clone();
+            }
+        }
+        Ok(best)
+    });
+    def(out, "max", Arity::at_least(1), |args| {
+        let mut best = args[0].clone();
+        for v in &args[1..] {
+            if number::compare("max", v, &best)?.is_gt() {
+                best = v.clone();
+            }
+        }
+        Ok(best)
+    });
+
+    def(out, "quotient", Arity::exactly(2), |args| {
+        number::quotient(&args[0], &args[1])
+    });
+    def(out, "remainder", Arity::exactly(2), |args| {
+        number::remainder(&args[0], &args[1])
+    });
+    def(out, "modulo", Arity::exactly(2), |args| {
+        number::modulo(&args[0], &args[1])
+    });
+
+    def(out, "sqrt", Arity::exactly(1), |args| number::sqrt(&args[0]));
+    def(out, "expt", Arity::exactly(2), |args| {
+        number::expt(&args[0], &args[1])
+    });
+    for op in ["sin", "cos", "tan", "asin", "acos", "log", "exp"] {
+        def(out, op, Arity::exactly(1), move |args| {
+            number::float_unary(op, &args[0])
+        });
+    }
+    def(out, "atan", Arity::at_least(1), |args| match args {
+        [v] => number::float_unary("atan", v),
+        [y, x] => {
+            let yf = match y {
+                Value::Int(n) => *n as f64,
+                Value::Float(f) => *f,
+                v => return Err(RtError::type_error(format!("atan: expected real, got {v}"))),
+            };
+            let xf = match x {
+                Value::Int(n) => *n as f64,
+                Value::Float(f) => *f,
+                v => return Err(RtError::type_error(format!("atan: expected real, got {v}"))),
+            };
+            Ok(Value::Float(yf.atan2(xf)))
+        }
+        _ => Err(RtError::arity("atan: expects 1 or 2 arguments")),
+    });
+
+    for op in ["floor", "ceiling", "round", "truncate"] {
+        def(out, op, Arity::exactly(1), move |args| {
+            number::round_family(op, &args[0])
+        });
+    }
+
+    def(out, "exact->inexact", Arity::exactly(1), |args| {
+        number::to_inexact(&args[0])
+    });
+    def(out, "exact", Arity::exactly(1), |args| {
+        number::to_exact(&args[0])
+    });
+    def(out, "inexact->exact", Arity::exactly(1), |args| {
+        number::to_exact(&args[0])
+    });
+
+    def(out, "zero?", Arity::exactly(1), |args| {
+        Ok(Value::Bool(match &args[0] {
+            Value::Int(n) => *n == 0,
+            Value::Float(x) => *x == 0.0,
+            Value::Complex(re, im) => *re == 0.0 && *im == 0.0,
+            v => return Err(RtError::type_error(format!("zero?: expected number, got {v}"))),
+        }))
+    });
+    def(out, "positive?", Arity::exactly(1), |args| {
+        Ok(Value::Bool(
+            number::compare("positive?", &args[0], &Value::Int(0))?.is_gt(),
+        ))
+    });
+    def(out, "negative?", Arity::exactly(1), |args| {
+        Ok(Value::Bool(
+            number::compare("negative?", &args[0], &Value::Int(0))?.is_lt(),
+        ))
+    });
+    def(out, "even?", Arity::exactly(1), |args| match &args[0] {
+        Value::Int(n) => Ok(Value::Bool(n % 2 == 0)),
+        v => Err(RtError::type_error(format!("even?: expected integer, got {v}"))),
+    });
+    def(out, "odd?", Arity::exactly(1), |args| match &args[0] {
+        Value::Int(n) => Ok(Value::Bool(n % 2 != 0)),
+        v => Err(RtError::type_error(format!("odd?: expected integer, got {v}"))),
+    });
+
+    def(out, "number?", Arity::exactly(1), |args| {
+        Ok(Value::Bool(matches!(
+            args[0],
+            Value::Int(_) | Value::Float(_) | Value::Complex(_, _)
+        )))
+    });
+    def(out, "integer?", Arity::exactly(1), |args| {
+        Ok(Value::Bool(match &args[0] {
+            Value::Int(_) => true,
+            Value::Float(x) => x.fract() == 0.0,
+            _ => false,
+        }))
+    });
+    def(out, "exact-integer?", Arity::exactly(1), |args| {
+        Ok(Value::Bool(matches!(args[0], Value::Int(_))))
+    });
+    def(out, "flonum?", Arity::exactly(1), |args| {
+        Ok(Value::Bool(matches!(args[0], Value::Float(_))))
+    });
+    def(out, "real?", Arity::exactly(1), |args| {
+        Ok(Value::Bool(matches!(args[0], Value::Int(_) | Value::Float(_))))
+    });
+    def(out, "exact?", Arity::exactly(1), |args| {
+        Ok(Value::Bool(matches!(args[0], Value::Int(_))))
+    });
+    def(out, "inexact?", Arity::exactly(1), |args| {
+        Ok(Value::Bool(matches!(
+            args[0],
+            Value::Float(_) | Value::Complex(_, _)
+        )))
+    });
+
+    def(out, "make-rectangular", Arity::exactly(2), |args| {
+        let re = match &args[0] {
+            Value::Int(n) => *n as f64,
+            Value::Float(x) => *x,
+            v => return Err(RtError::type_error(format!("make-rectangular: {v}"))),
+        };
+        let im = match &args[1] {
+            Value::Int(n) => *n as f64,
+            Value::Float(x) => *x,
+            v => return Err(RtError::type_error(format!("make-rectangular: {v}"))),
+        };
+        Ok(Value::Complex(re, im))
+    });
+    def(out, "real-part", Arity::exactly(1), |args| match &args[0] {
+        Value::Complex(re, _) => Ok(Value::Float(*re)),
+        Value::Int(_) | Value::Float(_) => Ok(args[0].clone()),
+        v => Err(RtError::type_error(format!("real-part: expected number, got {v}"))),
+    });
+    def(out, "imag-part", Arity::exactly(1), |args| match &args[0] {
+        Value::Complex(_, im) => Ok(Value::Float(*im)),
+        Value::Int(_) => Ok(Value::Int(0)),
+        Value::Float(_) => Ok(Value::Float(0.0)),
+        v => Err(RtError::type_error(format!("imag-part: expected number, got {v}"))),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prim::primitives;
+    use crate::value::Value;
+    use lagoon_syntax::Symbol;
+
+    fn call(name: &str, args: &[Value]) -> Result<Value, crate::error::RtError> {
+        let prims = primitives();
+        let (_, v) = prims
+            .iter()
+            .find(|(n, _)| *n == Symbol::from(name))
+            .unwrap_or_else(|| panic!("no primitive {name}"));
+        match v {
+            Value::Native(n) => (n.f)(args),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn variadic_addition() {
+        assert!(matches!(call("+", &[]).unwrap(), Value::Int(0)));
+        assert!(matches!(call("+", &[Value::Int(5)]).unwrap(), Value::Int(5)));
+        assert!(matches!(
+            call("+", &[Value::Int(1), Value::Int(2), Value::Int(3)]).unwrap(),
+            Value::Int(6)
+        ));
+    }
+
+    #[test]
+    fn unary_minus_negates() {
+        assert!(matches!(call("-", &[Value::Int(5)]).unwrap(), Value::Int(-5)));
+        assert!(matches!(call("/", &[Value::Int(4)]).unwrap(), Value::Float(x) if x == 0.25));
+    }
+
+    #[test]
+    fn chained_comparisons() {
+        let t = call("<", &[Value::Int(1), Value::Int(2), Value::Int(3)]).unwrap();
+        assert!(t.is_truthy());
+        let f = call("<", &[Value::Int(1), Value::Int(3), Value::Int(2)]).unwrap();
+        assert!(!f.is_truthy());
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(call("even?", &[Value::Int(4)]).unwrap().is_truthy());
+        assert!(!call("odd?", &[Value::Int(4)]).unwrap().is_truthy());
+        assert!(call("zero?", &[Value::Float(0.0)]).unwrap().is_truthy());
+        assert!(call("flonum?", &[Value::Float(1.0)]).unwrap().is_truthy());
+        assert!(!call("flonum?", &[Value::Int(1)]).unwrap().is_truthy());
+        assert!(call("integer?", &[Value::Float(2.0)]).unwrap().is_truthy());
+        assert!(call("exact-integer?", &[Value::Int(2)]).unwrap().is_truthy());
+        assert!(!call("exact-integer?", &[Value::Float(2.0)]).unwrap().is_truthy());
+    }
+
+    #[test]
+    fn complex_constructors() {
+        let c = call("make-rectangular", &[Value::Float(1.0), Value::Float(2.0)]).unwrap();
+        assert!(matches!(c, Value::Complex(1.0, 2.0)));
+        assert!(matches!(call("real-part", &[c.clone()]).unwrap(), Value::Float(x) if x == 1.0));
+        assert!(matches!(call("imag-part", &[c]).unwrap(), Value::Float(x) if x == 2.0));
+    }
+
+    #[test]
+    fn min_max() {
+        assert!(matches!(
+            call("min", &[Value::Int(3), Value::Int(1), Value::Int(2)]).unwrap(),
+            Value::Int(1)
+        ));
+        assert!(matches!(
+            call("max", &[Value::Int(3), Value::Float(4.5)]).unwrap(),
+            Value::Float(x) if x == 4.5
+        ));
+    }
+}

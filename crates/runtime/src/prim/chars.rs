@@ -1,0 +1,99 @@
+//! Character primitives.
+
+use super::def;
+use crate::error::RtError;
+use crate::value::{Arity, Value};
+
+fn expect_char(name: &str, v: &Value) -> Result<char, RtError> {
+    match v {
+        Value::Char(c) => Ok(*c),
+        other => Err(RtError::type_error(format!(
+            "{name}: expected character, got {}",
+            other.write_string()
+        ))),
+    }
+}
+
+pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
+    def(out, "char?", Arity::exactly(1), |args| {
+        Ok(Value::Bool(matches!(args[0], Value::Char(_))))
+    });
+    def(out, "char->integer", Arity::exactly(1), |args| {
+        Ok(Value::Int(expect_char("char->integer", &args[0])? as i64))
+    });
+    def(out, "integer->char", Arity::exactly(1), |args| match &args[0] {
+        Value::Int(n) => char::from_u32(*n as u32).map(Value::Char).ok_or_else(|| {
+            RtError::new(crate::error::Kind::Range, format!("integer->char: {n} is not a scalar value"))
+        }),
+        v => Err(RtError::type_error(format!("integer->char: expected integer, got {v}"))),
+    });
+    def(out, "char=?", Arity::at_least(2), |args| {
+        for w in args.windows(2) {
+            if expect_char("char=?", &w[0])? != expect_char("char=?", &w[1])? {
+                return Ok(Value::Bool(false));
+            }
+        }
+        Ok(Value::Bool(true))
+    });
+    def(out, "char<?", Arity::exactly(2), |args| {
+        Ok(Value::Bool(
+            expect_char("char<?", &args[0])? < expect_char("char<?", &args[1])?,
+        ))
+    });
+    def(out, "char-alphabetic?", Arity::exactly(1), |args| {
+        Ok(Value::Bool(expect_char("char-alphabetic?", &args[0])?.is_alphabetic()))
+    });
+    def(out, "char-numeric?", Arity::exactly(1), |args| {
+        Ok(Value::Bool(expect_char("char-numeric?", &args[0])?.is_numeric()))
+    });
+    def(out, "char-whitespace?", Arity::exactly(1), |args| {
+        Ok(Value::Bool(expect_char("char-whitespace?", &args[0])?.is_whitespace()))
+    });
+    def(out, "char-upcase", Arity::exactly(1), |args| {
+        Ok(Value::Char(
+            expect_char("char-upcase", &args[0])?.to_ascii_uppercase(),
+        ))
+    });
+    def(out, "char-downcase", Arity::exactly(1), |args| {
+        Ok(Value::Char(
+            expect_char("char-downcase", &args[0])?.to_ascii_lowercase(),
+        ))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prim::primitives;
+    use crate::value::Value;
+    use lagoon_syntax::Symbol;
+
+    fn call(name: &str, args: &[Value]) -> Result<Value, crate::error::RtError> {
+        let prims = primitives();
+        let (_, v) = prims.iter().find(|(n, _)| *n == Symbol::from(name)).unwrap();
+        match v {
+            Value::Native(n) => (n.f)(args),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn char_integer_round_trip() {
+        assert!(matches!(call("char->integer", &[Value::Char('A')]).unwrap(), Value::Int(65)));
+        assert!(matches!(call("integer->char", &[Value::Int(97)]).unwrap(), Value::Char('a')));
+        assert!(call("integer->char", &[Value::Int(-1)]).is_err());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(call("char-alphabetic?", &[Value::Char('x')]).unwrap().is_truthy());
+        assert!(call("char-numeric?", &[Value::Char('7')]).unwrap().is_truthy());
+        assert!(call("char-whitespace?", &[Value::Char(' ')]).unwrap().is_truthy());
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(call("char=?", &[Value::Char('a'), Value::Char('a')]).unwrap().is_truthy());
+        assert!(call("char<?", &[Value::Char('a'), Value::Char('b')]).unwrap().is_truthy());
+        assert!(call("char=?", &[Value::Int(1), Value::Char('a')]).is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! Output primitives (`display`, `write`, `printf`, …).
+
+use super::def;
+use crate::error::RtError;
+use crate::io::{port_write, racket_format};
+use crate::value::{Arity, Value};
+
+pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
+    def(out, "display", Arity::exactly(1), |args| {
+        port_write(&args[0].to_string());
+        Ok(Value::Void)
+    });
+    def(out, "write", Arity::exactly(1), |args| {
+        port_write(&args[0].write_string());
+        Ok(Value::Void)
+    });
+    def(out, "print", Arity::exactly(1), |args| {
+        port_write(&args[0].write_string());
+        Ok(Value::Void)
+    });
+    def(out, "newline", Arity::exactly(0), |_| {
+        port_write("\n");
+        Ok(Value::Void)
+    });
+    def(out, "displayln", Arity::exactly(1), |args| {
+        port_write(&args[0].to_string());
+        port_write("\n");
+        Ok(Value::Void)
+    });
+    def(out, "printf", Arity::at_least(1), |args| {
+        let fmt = match &args[0] {
+            Value::Str(s) => s.clone(),
+            v => {
+                return Err(RtError::type_error(format!(
+                    "printf: expected format string, got {}",
+                    v.write_string()
+                )))
+            }
+        };
+        let s = racket_format(&fmt, &args[1..]).map_err(RtError::type_error)?;
+        port_write(&s);
+        Ok(Value::Void)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::io::capture_output;
+    use crate::prim::primitives;
+    use crate::value::Value;
+    use lagoon_syntax::Symbol;
+
+    fn call(name: &str, args: &[Value]) -> Result<Value, crate::error::RtError> {
+        let prims = primitives();
+        let (_, v) = prims.iter().find(|(n, _)| *n == Symbol::from(name)).unwrap();
+        match v {
+            Value::Native(n) => (n.f)(args),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn display_vs_write() {
+        let (_, out) = capture_output(|| {
+            call("display", &[Value::string("hi")]).unwrap();
+            call("write", &[Value::string("hi")]).unwrap();
+            call("newline", &[]).unwrap();
+        });
+        assert_eq!(out, "hi\"hi\"\n");
+    }
+
+    #[test]
+    fn printf_formats() {
+        let (_, out) = capture_output(|| {
+            call("printf", &[Value::string("*~a"), Value::Int(3)]).unwrap();
+        });
+        assert_eq!(out, "*3");
+        assert!(call("printf", &[Value::Int(3)]).is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! Miscellaneous primitives: equality, predicates, errors, time, random.
+
+use super::def;
+use crate::error::RtError;
+use crate::value::{Arity, Value};
+use lagoon_syntax::Symbol;
+use std::cell::Cell;
+
+thread_local! {
+    // xorshift64* state for `random`; deterministic per thread unless
+    // reseeded with `random-seed`.
+    static RNG: Cell<u64> = const { Cell::new(0x9E3779B97F4A7C15) };
+}
+
+fn next_u64() -> u64 {
+    RNG.with(|state| {
+        let mut x = state.get();
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state.set(x);
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    })
+}
+
+pub(super) fn install(out: &mut Vec<(Symbol, Value)>) {
+    def(out, "not", Arity::exactly(1), |args| {
+        Ok(Value::Bool(!args[0].is_truthy()))
+    });
+    def(out, "eq?", Arity::exactly(2), |args| {
+        Ok(Value::Bool(args[0].eq_identity(&args[1])))
+    });
+    def(out, "eqv?", Arity::exactly(2), |args| {
+        Ok(Value::Bool(args[0].eqv(&args[1])))
+    });
+    def(out, "equal?", Arity::exactly(2), |args| {
+        Ok(Value::Bool(args[0].equal(&args[1])))
+    });
+
+    def(out, "boolean?", Arity::exactly(1), |args| {
+        Ok(Value::Bool(matches!(args[0], Value::Bool(_))))
+    });
+    def(out, "symbol?", Arity::exactly(1), |args| {
+        Ok(Value::Bool(matches!(args[0], Value::Symbol(_))))
+    });
+    def(out, "keyword?", Arity::exactly(1), |args| {
+        Ok(Value::Bool(matches!(args[0], Value::Keyword(_))))
+    });
+    def(out, "procedure?", Arity::exactly(1), |args| {
+        Ok(Value::Bool(args[0].is_procedure()))
+    });
+    def(out, "void?", Arity::exactly(1), |args| {
+        Ok(Value::Bool(matches!(args[0], Value::Void)))
+    });
+    def(out, "void", Arity::at_least(0), |_| Ok(Value::Void));
+
+    def(out, "error", Arity::at_least(1), |args| {
+        let msg = args
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        Err(RtError::user(msg))
+    });
+
+    def(out, "gensym", Arity::at_least(0), |args| {
+        let base = match args.first() {
+            Some(Value::Symbol(s)) => s.as_str(),
+            Some(Value::Str(s)) => s.to_string(),
+            _ => "g".to_string(),
+        };
+        Ok(Value::Symbol(Symbol::fresh(&base)))
+    });
+
+    def(out, "current-seconds", Arity::exactly(0), |_| {
+        let secs = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs() as i64)
+            .unwrap_or(0);
+        Ok(Value::Int(secs))
+    });
+    def(out, "current-inexact-milliseconds", Arity::exactly(0), |_| {
+        let ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs_f64() * 1000.0)
+            .unwrap_or(0.0);
+        Ok(Value::Float(ms))
+    });
+
+    def(out, "random", Arity::at_least(0), |args| match args.first() {
+        None => Ok(Value::Float((next_u64() >> 11) as f64 / (1u64 << 53) as f64)),
+        Some(Value::Int(n)) if *n > 0 => Ok(Value::Int((next_u64() % (*n as u64)) as i64)),
+        Some(v) => Err(RtError::type_error(format!(
+            "random: expected positive integer, got {}",
+            v.write_string()
+        ))),
+    });
+    def(out, "random-seed", Arity::exactly(1), |args| match &args[0] {
+        Value::Int(n) => {
+            RNG.with(|state| state.set((*n as u64) | 1));
+            Ok(Value::Void)
+        }
+        v => Err(RtError::type_error(format!("random-seed: expected integer, got {v}"))),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prim::primitives;
+    use crate::value::Value;
+    use lagoon_syntax::Symbol;
+
+    fn call(name: &str, args: &[Value]) -> Result<Value, crate::error::RtError> {
+        let prims = primitives();
+        let (_, v) = prims.iter().find(|(n, _)| *n == Symbol::from(name)).unwrap();
+        match v {
+            Value::Native(n) => (n.f)(args),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn not_and_equality() {
+        assert!(call("not", &[Value::Bool(false)]).unwrap().is_truthy());
+        assert!(!call("not", &[Value::Int(0)]).unwrap().is_truthy());
+        assert!(call("equal?", &[Value::string("a"), Value::string("a")])
+            .unwrap()
+            .is_truthy());
+        assert!(!call("eq?", &[Value::string("a"), Value::string("a")])
+            .unwrap()
+            .is_truthy());
+    }
+
+    #[test]
+    fn error_raises_user_error() {
+        let e = call("error", &[Value::string("boom"), Value::Int(3)]).unwrap_err();
+        assert_eq!(e.kind, crate::error::Kind::User);
+        assert!(e.message.contains("boom 3"));
+    }
+
+    #[test]
+    fn gensym_is_fresh() {
+        let a = call("gensym", &[]).unwrap();
+        let b = call("gensym", &[]).unwrap();
+        assert!(!a.eq_identity(&b));
+    }
+
+    #[test]
+    fn random_is_deterministic_after_seed() {
+        call("random-seed", &[Value::Int(42)]).unwrap();
+        let a = call("random", &[Value::Int(1000)]).unwrap();
+        call("random-seed", &[Value::Int(42)]).unwrap();
+        let b = call("random", &[Value::Int(1000)]).unwrap();
+        assert!(a.eq_identity(&b));
+        assert!(call("random", &[Value::Int(0)]).is_err());
+    }
+
+    #[test]
+    fn current_seconds_is_positive() {
+        let v = call("current-seconds", &[]).unwrap();
+        assert!(matches!(v, Value::Int(n) if n > 1_000_000_000));
+    }
+}

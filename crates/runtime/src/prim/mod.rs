@@ -1,0 +1,69 @@
+//! The primitive library.
+//!
+//! [`primitives`] returns every native procedure the base language's
+//! initial environment provides: the generic (tag-dispatching) operations,
+//! the `unsafe-*` type-specialized operations the optimizer targets
+//! (paper §7.1), list/string/vector/char operations, I/O, and the phase-1
+//! syntax-object operations macro transformers use.
+
+mod arith;
+mod chars;
+mod io_prims;
+mod lists;
+mod misc;
+mod strings;
+mod syntax_ops;
+mod unsafe_ops;
+mod vectors;
+
+use crate::value::Value;
+use lagoon_syntax::Symbol;
+
+pub use syntax_ops::{syntax_e, value_to_syntax};
+
+/// Every primitive, as `(name, procedure)` pairs ready to install in an
+/// environment.
+pub fn primitives() -> Vec<(Symbol, Value)> {
+    let mut out = Vec::new();
+    arith::install(&mut out);
+    lists::install(&mut out);
+    strings::install(&mut out);
+    chars::install(&mut out);
+    vectors::install(&mut out);
+    io_prims::install(&mut out);
+    syntax_ops::install(&mut out);
+    unsafe_ops::install(&mut out);
+    misc::install(&mut out);
+    out
+}
+
+pub(crate) fn def(
+    out: &mut Vec<(Symbol, Value)>,
+    name: &str,
+    arity: crate::value::Arity,
+    f: impl Fn(&[Value]) -> Result<Value, crate::error::RtError> + 'static,
+) {
+    out.push((Symbol::intern(name), crate::value::Native::value(name, arity, f)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_duplicate_primitives() {
+        let prims = primitives();
+        let mut seen = std::collections::HashSet::new();
+        for (name, _) in &prims {
+            assert!(seen.insert(*name), "duplicate primitive {name}");
+        }
+        assert!(prims.len() > 100, "expected a substantial primitive library");
+    }
+
+    #[test]
+    fn all_primitives_are_procedures() {
+        for (name, v) in primitives() {
+            assert!(v.is_procedure(), "{name} is not a procedure");
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! String primitives.
+
+use super::def;
+use crate::error::RtError;
+use crate::io::racket_format;
+use crate::value::{Arity, Value};
+use lagoon_syntax::{parse_number, Symbol, Token};
+use std::rc::Rc;
+
+fn expect_str(name: &str, v: &Value) -> Result<Rc<str>, RtError> {
+    match v {
+        Value::Str(s) => Ok(s.clone()),
+        other => Err(RtError::type_error(format!(
+            "{name}: expected string, got {}",
+            other.write_string()
+        ))),
+    }
+}
+
+pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
+    def(out, "string?", Arity::exactly(1), |args| {
+        Ok(Value::Bool(matches!(args[0], Value::Str(_))))
+    });
+    def(out, "string-length", Arity::exactly(1), |args| {
+        Ok(Value::Int(expect_str("string-length", &args[0])?.chars().count() as i64))
+    });
+    def(out, "string-append", Arity::at_least(0), |args| {
+        let mut s = String::new();
+        for v in args {
+            s.push_str(&expect_str("string-append", v)?);
+        }
+        Ok(Value::string(&s))
+    });
+    def(out, "substring", Arity::at_least(2), |args| {
+        let s = expect_str("substring", &args[0])?;
+        let chars: Vec<char> = s.chars().collect();
+        let start = match &args[1] {
+            Value::Int(n) if *n >= 0 => *n as usize,
+            v => return Err(RtError::type_error(format!("substring: bad start {v}"))),
+        };
+        let end = match args.get(2) {
+            None => chars.len(),
+            Some(Value::Int(n)) if *n >= 0 => *n as usize,
+            Some(v) => return Err(RtError::type_error(format!("substring: bad end {v}"))),
+        };
+        if start > end || end > chars.len() {
+            return Err(RtError::new(
+                crate::error::Kind::Range,
+                format!("substring: [{start}, {end}) out of range for length {}", chars.len()),
+            ));
+        }
+        Ok(Value::string(&chars[start..end].iter().collect::<String>()))
+    });
+    def(out, "string-ref", Arity::exactly(2), |args| {
+        let s = expect_str("string-ref", &args[0])?;
+        let n = match &args[1] {
+            Value::Int(n) if *n >= 0 => *n as usize,
+            v => return Err(RtError::type_error(format!("string-ref: bad index {v}"))),
+        };
+        s.chars().nth(n).map(Value::Char).ok_or_else(|| {
+            RtError::new(crate::error::Kind::Range, format!("string-ref: index {n} out of range"))
+        })
+    });
+    def(out, "string=?", Arity::at_least(2), |args| {
+        for w in args.windows(2) {
+            if expect_str("string=?", &w[0])? != expect_str("string=?", &w[1])? {
+                return Ok(Value::Bool(false));
+            }
+        }
+        Ok(Value::Bool(true))
+    });
+    def(out, "string<?", Arity::exactly(2), |args| {
+        Ok(Value::Bool(
+            expect_str("string<?", &args[0])? < expect_str("string<?", &args[1])?,
+        ))
+    });
+    def(out, "string-upcase", Arity::exactly(1), |args| {
+        Ok(Value::string(&expect_str("string-upcase", &args[0])?.to_uppercase()))
+    });
+    def(out, "string-downcase", Arity::exactly(1), |args| {
+        Ok(Value::string(&expect_str("string-downcase", &args[0])?.to_lowercase()))
+    });
+    def(out, "string->symbol", Arity::exactly(1), |args| {
+        Ok(Value::Symbol(Symbol::intern(&expect_str("string->symbol", &args[0])?)))
+    });
+    def(out, "symbol->string", Arity::exactly(1), |args| match &args[0] {
+        Value::Symbol(s) => Ok(Value::string(&s.as_str())),
+        v => Err(RtError::type_error(format!("symbol->string: expected symbol, got {v}"))),
+    });
+    def(out, "string->list", Arity::exactly(1), |args| {
+        let s = expect_str("string->list", &args[0])?;
+        Ok(Value::list(s.chars().map(Value::Char).collect::<Vec<_>>()))
+    });
+    def(out, "list->string", Arity::exactly(1), |args| {
+        let items = args[0]
+            .list_to_vec()
+            .ok_or_else(|| RtError::type_error("list->string: expected list"))?;
+        let mut s = String::new();
+        for v in items {
+            match v {
+                Value::Char(c) => s.push(c),
+                v => {
+                    return Err(RtError::type_error(format!(
+                        "list->string: expected character, got {v}"
+                    )))
+                }
+            }
+        }
+        Ok(Value::string(&s))
+    });
+    def(out, "number->string", Arity::exactly(1), |args| match &args[0] {
+        Value::Int(_) | Value::Float(_) | Value::Complex(_, _) => {
+            Ok(Value::string(&args[0].to_string()))
+        }
+        v => Err(RtError::type_error(format!("number->string: expected number, got {v}"))),
+    });
+    def(out, "string->number", Arity::exactly(1), |args| {
+        let s = expect_str("string->number", &args[0])?;
+        Ok(match parse_number(&s) {
+            Some(Token::Int(n)) => Value::Int(n),
+            Some(Token::Float(x)) => Value::Float(x),
+            Some(Token::Complex(re, im)) => Value::Complex(re, im),
+            _ => Value::Bool(false),
+        })
+    });
+    def(out, "format", Arity::at_least(1), |args| {
+        let fmt = expect_str("format", &args[0])?;
+        racket_format(&fmt, &args[1..])
+            .map(|s| Value::string(&s))
+            .map_err(RtError::type_error)
+    });
+
+    def(out, "string->bytes", Arity::exactly(1), |args| {
+        // Lagoon models byte strings as lists of integers (see DESIGN.md's
+        // md5 substitution).
+        let s = expect_str("string->bytes", &args[0])?;
+        Ok(Value::list(s.bytes().map(|b| Value::Int(b as i64)).collect::<Vec<_>>()))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prim::primitives;
+    use crate::value::Value;
+    use lagoon_syntax::Symbol;
+
+    fn call(name: &str, args: &[Value]) -> Result<Value, crate::error::RtError> {
+        let prims = primitives();
+        let (_, v) = prims.iter().find(|(n, _)| *n == Symbol::from(name)).unwrap();
+        match v {
+            Value::Native(n) => (n.f)(args),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn append_and_length() {
+        let s = call("string-append", &[Value::string("ab"), Value::string("cd")]).unwrap();
+        assert_eq!(s.to_string(), "abcd");
+        assert!(matches!(
+            call("string-length", &[Value::string("héllo")]).unwrap(),
+            Value::Int(5)
+        ));
+    }
+
+    #[test]
+    fn substring_bounds() {
+        let s = call("substring", &[Value::string("hello"), Value::Int(1), Value::Int(3)]).unwrap();
+        assert_eq!(s.to_string(), "el");
+        assert!(call("substring", &[Value::string("x"), Value::Int(0), Value::Int(5)]).is_err());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(
+            call("string->symbol", &[Value::string("abc")]).unwrap().to_string(),
+            "abc"
+        );
+        assert_eq!(
+            call("number->string", &[Value::Float(2.5)]).unwrap().to_string(),
+            "2.5"
+        );
+        assert!(matches!(
+            call("string->number", &[Value::string("42")]).unwrap(),
+            Value::Int(42)
+        ));
+        assert!(matches!(
+            call("string->number", &[Value::string("nope")]).unwrap(),
+            Value::Bool(false)
+        ));
+    }
+
+    #[test]
+    fn format_prim() {
+        let s = call("format", &[Value::string("x=~a"), Value::Int(7)]).unwrap();
+        assert_eq!(s.to_string(), "x=7");
+        assert!(call("format", &[Value::string("~a")]).is_err());
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(call("string=?", &[Value::string("a"), Value::string("a")])
+            .unwrap()
+            .is_truthy());
+        assert!(call("string<?", &[Value::string("a"), Value::string("b")])
+            .unwrap()
+            .is_truthy());
+    }
+}

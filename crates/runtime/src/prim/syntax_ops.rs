@@ -1,0 +1,276 @@
+//! Phase-1 primitives over syntax objects.
+//!
+//! Macro transformers are ordinary Lagoon procedures run at compile time;
+//! these primitives give them the paper's syntax-object API: `syntax-e`,
+//! `syntax->datum`, `datum->syntax`, `syntax->list`, and the
+//! `syntax-property-put`/`syntax-property-get` pair used to attach
+//! out-of-band information such as type annotations (paper §§2.2, 3.1).
+//!
+//! `free-identifier=?` and `local-expand` need the expander's binding
+//! tables, so they are installed by `lagoon-core` instead.
+
+use super::def;
+use crate::error::RtError;
+use crate::value::{Arity, Value};
+use lagoon_syntax::{PropValue, Span, SynData, Syntax};
+
+fn expect_syntax(name: &str, v: &Value) -> Result<Syntax, RtError> {
+    match v {
+        Value::Syntax(s) => Ok(s.clone()),
+        other => Err(RtError::type_error(format!(
+            "{name}: expected syntax, got {}",
+            other.write_string()
+        ))),
+    }
+}
+
+fn expect_identifier(name: &str, v: &Value) -> Result<Syntax, RtError> {
+    let s = expect_syntax(name, v)?;
+    if s.is_identifier() {
+        Ok(s)
+    } else {
+        Err(RtError::type_error(format!("{name}: expected identifier, got {s}")))
+    }
+}
+
+/// Converts a phase-1 value to syntax, preserving embedded syntax objects
+/// (the semantics of `datum->syntax`).
+pub fn value_to_syntax(ctx: &Syntax, v: &Value) -> Result<Syntax, RtError> {
+    match v {
+        Value::Syntax(s) => Ok(s.clone()),
+        Value::Nil => Ok(ctx.with_data(SynData::List(Vec::new())).with_span(Span::synthetic())),
+        Value::Pair(_) => {
+            let mut items = Vec::new();
+            let mut cur = v.clone();
+            loop {
+                match cur {
+                    Value::Nil => {
+                        return Ok(ctx
+                            .with_data(SynData::List(items))
+                            .with_span(Span::synthetic()))
+                    }
+                    Value::Pair(p) => {
+                        items.push(value_to_syntax(ctx, &p.0)?);
+                        cur = p.1.clone();
+                    }
+                    other => {
+                        let tail = value_to_syntax(ctx, &other)?;
+                        return Ok(ctx
+                            .with_data(SynData::Improper(items, Box::new(tail)))
+                            .with_span(Span::synthetic()));
+                    }
+                }
+            }
+        }
+        Value::Vector(items) => {
+            let items = items
+                .borrow()
+                .iter()
+                .map(|x| value_to_syntax(ctx, x))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(ctx.with_data(SynData::Vector(items)).with_span(Span::synthetic()))
+        }
+        other => {
+            let d = other.to_datum().ok_or_else(|| {
+                RtError::type_error(format!(
+                    "datum->syntax: cannot convert {} to syntax",
+                    other.write_string()
+                ))
+            })?;
+            Ok(Syntax::from_datum(&d, Span::synthetic(), ctx.scopes()))
+        }
+    }
+}
+
+/// One level of `syntax-e`: compound syntax becomes a list/vector of
+/// syntax values; atoms become plain values.
+pub fn syntax_e(s: &Syntax) -> Value {
+    match s.e() {
+        SynData::Atom(d) => Value::from_datum(d),
+        SynData::List(items) => {
+            Value::list(items.iter().cloned().map(Value::Syntax).collect::<Vec<_>>())
+        }
+        SynData::Improper(items, tail) => {
+            let mut out = Value::Syntax((**tail).clone());
+            for item in items.iter().rev() {
+                out = Value::cons(Value::Syntax(item.clone()), out);
+            }
+            out
+        }
+        SynData::Vector(items) => Value::Vector(std::rc::Rc::new(std::cell::RefCell::new(
+            items.iter().cloned().map(Value::Syntax).collect(),
+        ))),
+    }
+}
+
+pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
+    def(out, "syntax?", Arity::exactly(1), |args| {
+        Ok(Value::Bool(matches!(args[0], Value::Syntax(_))))
+    });
+    def(out, "identifier?", Arity::exactly(1), |args| {
+        Ok(Value::Bool(matches!(&args[0], Value::Syntax(s) if s.is_identifier())))
+    });
+    def(out, "syntax-e", Arity::exactly(1), |args| {
+        Ok(syntax_e(&expect_syntax("syntax-e", &args[0])?))
+    });
+    def(out, "syntax->datum", Arity::exactly(1), |args| {
+        Ok(Value::from_datum(&expect_syntax("syntax->datum", &args[0])?.to_datum()))
+    });
+    def(out, "syntax->list", Arity::exactly(1), |args| {
+        let s = expect_syntax("syntax->list", &args[0])?;
+        match s.as_list() {
+            Some(items) => Ok(Value::list(
+                items.iter().cloned().map(Value::Syntax).collect::<Vec<_>>(),
+            )),
+            None => Ok(Value::Bool(false)),
+        }
+    });
+    def(out, "datum->syntax", Arity::exactly(2), |args| {
+        let ctx = expect_syntax("datum->syntax", &args[0])?;
+        Ok(Value::Syntax(value_to_syntax(&ctx, &args[1])?))
+    });
+    def(out, "syntax-property-put", Arity::exactly(3), |args| {
+        let s = expect_syntax("syntax-property-put", &args[0])?;
+        let key = match &args[1] {
+            Value::Symbol(k) => *k,
+            v => {
+                return Err(RtError::type_error(format!(
+                    "syntax-property-put: expected symbol key, got {}",
+                    v.write_string()
+                )))
+            }
+        };
+        let prop = match &args[2] {
+            Value::Syntax(ps) => PropValue::Syntax(ps.clone()),
+            other => PropValue::Datum(other.to_datum().ok_or_else(|| {
+                RtError::type_error(format!(
+                    "syntax-property-put: value {} has no datum form",
+                    other.write_string()
+                ))
+            })?),
+        };
+        Ok(Value::Syntax(s.with_property(key, prop)))
+    });
+    def(out, "syntax-property-get", Arity::exactly(2), |args| {
+        let s = expect_syntax("syntax-property-get", &args[0])?;
+        let key = match &args[1] {
+            Value::Symbol(k) => *k,
+            v => {
+                return Err(RtError::type_error(format!(
+                    "syntax-property-get: expected symbol key, got {}",
+                    v.write_string()
+                )))
+            }
+        };
+        Ok(match s.property(key) {
+            Some(PropValue::Syntax(ps)) => Value::Syntax(ps.clone()),
+            Some(PropValue::Datum(d)) => Value::from_datum(d),
+            None => Value::Bool(false),
+        })
+    });
+    def(out, "bound-identifier=?", Arity::exactly(2), |args| {
+        // Same symbol and same scope set: would bind each other.
+        let a = expect_identifier("bound-identifier=?", &args[0])?;
+        let b = expect_identifier("bound-identifier=?", &args[1])?;
+        Ok(Value::Bool(a.sym() == b.sym() && a.scopes() == b.scopes()))
+    });
+    def(out, "syntax-line", Arity::exactly(1), |args| {
+        let s = expect_syntax("syntax-line", &args[0])?;
+        if s.span().is_synthetic() {
+            Ok(Value::Bool(false))
+        } else {
+            Ok(Value::Int(s.span().line as i64))
+        }
+    });
+    def(out, "syntax-source", Arity::exactly(1), |args| {
+        let s = expect_syntax("syntax-source", &args[0])?;
+        Ok(Value::Symbol(s.span().source))
+    });
+    def(out, "raise-syntax-error", Arity::at_least(2), |args| {
+        let who = args[0].to_string();
+        let msg = args[1].to_string();
+        let mut err = RtError::user(format!("{who}: {msg}"));
+        if let Some(Value::Syntax(s)) = args.get(2) {
+            err = RtError::user(format!("{who}: {msg} in: {s}")).with_span(s.span());
+        }
+        Err(err)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lagoon_syntax::{read_syntax, Symbol};
+
+    fn call(name: &str, args: &[Value]) -> Result<Value, RtError> {
+        let prims = crate::prim::primitives();
+        let (_, v) = prims.iter().find(|(n, _)| *n == Symbol::from(name)).unwrap();
+        match v {
+            Value::Native(n) => (n.f)(args),
+            _ => unreachable!(),
+        }
+    }
+
+    fn stx(src: &str) -> Value {
+        Value::Syntax(read_syntax(src, "<t>").unwrap())
+    }
+
+    #[test]
+    fn syntax_e_unwraps_one_level() {
+        let v = call("syntax-e", &[stx("(a b)")]).unwrap();
+        let items = v.list_to_vec().unwrap();
+        assert_eq!(items.len(), 2);
+        assert!(matches!(items[0], Value::Syntax(_)));
+        // atoms unwrap fully
+        let v = call("syntax-e", &[stx("42")]).unwrap();
+        assert!(matches!(v, Value::Int(42)));
+    }
+
+    #[test]
+    fn syntax_to_list() {
+        let v = call("syntax->list", &[stx("(a b c)")]).unwrap();
+        assert_eq!(v.list_to_vec().unwrap().len(), 3);
+        let not_list = call("syntax->list", &[stx("abc")]).unwrap();
+        assert!(!not_list.is_truthy());
+    }
+
+    #[test]
+    fn datum_to_syntax_preserves_embedded_syntax() {
+        let ctx = read_syntax("ctx", "<t>").unwrap();
+        let inner = read_syntax("inner", "<t>").unwrap();
+        let v = Value::list(vec![Value::Symbol(Symbol::from("f")), Value::Syntax(inner.clone())]);
+        let s = value_to_syntax(&ctx, &v).unwrap();
+        let items = s.as_list().unwrap();
+        assert!(items[1].ptr_eq(&inner));
+    }
+
+    #[test]
+    fn property_round_trip() {
+        let key = Value::Symbol(Symbol::from("type-annotation"));
+        let annotated =
+            call("syntax-property-put", &[stx("x"), key.clone(), stx("Integer")]).unwrap();
+        let got = call("syntax-property-get", &[annotated, key.clone()]).unwrap();
+        match got {
+            Value::Syntax(s) => assert_eq!(s.sym(), Some(Symbol::from("Integer"))),
+            v => panic!("expected syntax property, got {v}"),
+        }
+        let missing = call("syntax-property-get", &[stx("x"), key]).unwrap();
+        assert!(!missing.is_truthy());
+    }
+
+    #[test]
+    fn raise_syntax_error_raises() {
+        let e = call(
+            "raise-syntax-error",
+            &[Value::Symbol(Symbol::from("only-λ")), Value::string("not λ")],
+        )
+        .unwrap_err();
+        assert!(e.message.contains("not λ"));
+    }
+
+    #[test]
+    fn syntax_source_info() {
+        let v = call("syntax-line", &[stx("(a)")]).unwrap();
+        assert!(matches!(v, Value::Int(1)));
+    }
+}

@@ -1,0 +1,164 @@
+//! Vector and box primitives.
+
+use super::def;
+use crate::error::RtError;
+use crate::value::{Arity, Value};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn expect_vector(name: &str, v: &Value) -> Result<Rc<RefCell<Vec<Value>>>, RtError> {
+    match v {
+        Value::Vector(v) => Ok(v.clone()),
+        other => Err(RtError::type_error(format!(
+            "{name}: expected vector, got {}",
+            other.write_string()
+        ))),
+    }
+}
+
+fn expect_index(name: &str, v: &Value, len: usize) -> Result<usize, RtError> {
+    match v {
+        Value::Int(n) if *n >= 0 && (*n as usize) < len => Ok(*n as usize),
+        Value::Int(n) => Err(RtError::new(
+            crate::error::Kind::Range,
+            format!("{name}: index {n} out of range for length {len}"),
+        )),
+        other => Err(RtError::type_error(format!(
+            "{name}: expected index, got {}",
+            other.write_string()
+        ))),
+    }
+}
+
+pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
+    def(out, "vector", Arity::at_least(0), |args| {
+        Ok(Value::Vector(Rc::new(RefCell::new(args.to_vec()))))
+    });
+    def(out, "make-vector", Arity::at_least(1), |args| {
+        let n = match &args[0] {
+            Value::Int(n) if *n >= 0 => *n as usize,
+            v => return Err(RtError::type_error(format!("make-vector: bad length {v}"))),
+        };
+        let fill = args.get(1).cloned().unwrap_or(Value::Int(0));
+        Ok(Value::Vector(Rc::new(RefCell::new(vec![fill; n]))))
+    });
+    def(out, "vector?", Arity::exactly(1), |args| {
+        Ok(Value::Bool(matches!(args[0], Value::Vector(_))))
+    });
+    def(out, "vector-length", Arity::exactly(1), |args| {
+        Ok(Value::Int(expect_vector("vector-length", &args[0])?.borrow().len() as i64))
+    });
+    def(out, "vector-ref", Arity::exactly(2), |args| {
+        let v = expect_vector("vector-ref", &args[0])?;
+        let v = v.borrow();
+        let i = expect_index("vector-ref", &args[1], v.len())?;
+        Ok(v[i].clone())
+    });
+    def(out, "vector-set!", Arity::exactly(3), |args| {
+        let v = expect_vector("vector-set!", &args[0])?;
+        let mut v = v.borrow_mut();
+        let len = v.len();
+        let i = expect_index("vector-set!", &args[1], len)?;
+        v[i] = args[2].clone();
+        Ok(Value::Void)
+    });
+    def(out, "vector-fill!", Arity::exactly(2), |args| {
+        let v = expect_vector("vector-fill!", &args[0])?;
+        for slot in v.borrow_mut().iter_mut() {
+            *slot = args[1].clone();
+        }
+        Ok(Value::Void)
+    });
+    def(out, "vector->list", Arity::exactly(1), |args| {
+        Ok(Value::list(expect_vector("vector->list", &args[0])?.borrow().clone()))
+    });
+    def(out, "list->vector", Arity::exactly(1), |args| {
+        let items = args[0]
+            .list_to_vec()
+            .ok_or_else(|| RtError::type_error("list->vector: expected list"))?;
+        Ok(Value::Vector(Rc::new(RefCell::new(items))))
+    });
+    def(out, "vector-copy", Arity::exactly(1), |args| {
+        Ok(Value::Vector(Rc::new(RefCell::new(
+            expect_vector("vector-copy", &args[0])?.borrow().clone(),
+        ))))
+    });
+
+    def(out, "box", Arity::exactly(1), |args| {
+        Ok(Value::Box(Rc::new(RefCell::new(args[0].clone()))))
+    });
+    def(out, "box?", Arity::exactly(1), |args| {
+        Ok(Value::Bool(matches!(args[0], Value::Box(_))))
+    });
+    def(out, "unbox", Arity::exactly(1), |args| match &args[0] {
+        Value::Box(b) => Ok(b.borrow().clone()),
+        v => Err(RtError::type_error(format!("unbox: expected box, got {v}"))),
+    });
+    def(out, "set-box!", Arity::exactly(2), |args| match &args[0] {
+        Value::Box(b) => {
+            *b.borrow_mut() = args[1].clone();
+            Ok(Value::Void)
+        }
+        v => Err(RtError::type_error(format!("set-box!: expected box, got {v}"))),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prim::primitives;
+    use crate::value::Value;
+    use lagoon_syntax::Symbol;
+
+    fn call(name: &str, args: &[Value]) -> Result<Value, crate::error::RtError> {
+        let prims = primitives();
+        let (_, v) = prims.iter().find(|(n, _)| *n == Symbol::from(name)).unwrap();
+        match v {
+            Value::Native(n) => (n.f)(args),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn vector_lifecycle() {
+        let v = call("make-vector", &[Value::Int(3), Value::Int(7)]).unwrap();
+        assert!(matches!(call("vector-length", &[v.clone()]).unwrap(), Value::Int(3)));
+        assert!(matches!(
+            call("vector-ref", &[v.clone(), Value::Int(1)]).unwrap(),
+            Value::Int(7)
+        ));
+        call("vector-set!", &[v.clone(), Value::Int(1), Value::Int(9)]).unwrap();
+        assert!(matches!(
+            call("vector-ref", &[v.clone(), Value::Int(1)]).unwrap(),
+            Value::Int(9)
+        ));
+        assert!(call("vector-ref", &[v, Value::Int(3)]).is_err());
+    }
+
+    #[test]
+    fn list_conversions() {
+        let l = Value::list(vec![Value::Int(1), Value::Int(2)]);
+        let v = call("list->vector", &[l.clone()]).unwrap();
+        let back = call("vector->list", &[v]).unwrap();
+        assert!(back.equal(&l));
+    }
+
+    #[test]
+    fn boxes() {
+        let b = call("box", &[Value::Int(1)]).unwrap();
+        assert!(matches!(call("unbox", &[b.clone()]).unwrap(), Value::Int(1)));
+        call("set-box!", &[b.clone(), Value::Int(2)]).unwrap();
+        assert!(matches!(call("unbox", &[b]).unwrap(), Value::Int(2)));
+        assert!(call("unbox", &[Value::Int(3)]).is_err());
+    }
+
+    #[test]
+    fn vector_copy_is_shallow_fresh() {
+        let v = call("vector", &[Value::Int(1)]).unwrap();
+        let c = call("vector-copy", &[v.clone()]).unwrap();
+        call("vector-set!", &[v, Value::Int(0), Value::Int(5)]).unwrap();
+        assert!(matches!(
+            call("vector-ref", &[c, Value::Int(0)]).unwrap(),
+            Value::Int(1)
+        ));
+    }
+}

@@ -1,0 +1,550 @@
+//! Runtime values.
+//!
+//! [`Value`] is the uniform, tagged representation of every Lagoon runtime
+//! value. Generic primitives dispatch on the tag (and that dispatch is
+//! precisely the cost the paper's type-driven optimizer removes by
+//! rewriting to `unsafe-*` operations).
+//!
+//! Procedures come in three flavours:
+//!
+//! * [`Closure`] — compiled Lagoon code (the code/env payloads are owned by
+//!   the VM and stored here as `Rc<dyn Any>`),
+//! * [`Native`] — a Rust function exposed as a primitive,
+//! * [`Contracted`] — a procedure wrapped in a higher-order contract at a
+//!   typed/untyped module boundary (paper §6).
+//!
+//! Syntax objects are themselves values ([`Value::Syntax`]) because macro
+//! transformers — phase-1 Lagoon procedures — consume and produce them.
+
+use crate::error::RtError;
+use lagoon_syntax::{Datum, Symbol, Syntax};
+use std::any::Any;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// How many arguments a procedure accepts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Arity {
+    /// Number of required positional arguments.
+    pub required: usize,
+    /// Whether extra arguments are collected into a rest list.
+    pub rest: bool,
+}
+
+impl Arity {
+    /// Exactly `n` arguments.
+    pub fn exactly(n: usize) -> Arity {
+        Arity {
+            required: n,
+            rest: false,
+        }
+    }
+
+    /// `n` or more arguments.
+    pub fn at_least(n: usize) -> Arity {
+        Arity {
+            required: n,
+            rest: true,
+        }
+    }
+
+    /// Whether a call with `n` arguments is acceptable.
+    pub fn accepts(&self, n: usize) -> bool {
+        if self.rest {
+            n >= self.required
+        } else {
+            n == self.required
+        }
+    }
+}
+
+impl fmt::Display for Arity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.rest {
+            write!(f, "at least {}", self.required)
+        } else {
+            write!(f, "exactly {}", self.required)
+        }
+    }
+}
+
+/// A compiled Lagoon procedure. The `code` and `env` payloads belong to the
+/// executing engine (`lagoon-vm`), which downcasts them.
+pub struct Closure {
+    /// Name for error messages, when known.
+    pub name: Option<Symbol>,
+    /// Accepted argument counts.
+    pub arity: Arity,
+    /// Engine-owned code payload.
+    pub code: Rc<dyn Any>,
+    /// Engine-owned captured environment payload.
+    pub env: Rc<dyn Any>,
+}
+
+impl fmt::Debug for Closure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#<procedure{}>",
+            self.name.map(|n| format!(":{n}")).unwrap_or_default()
+        )
+    }
+}
+
+/// The Rust signature of a native primitive.
+pub type NativeFn = dyn Fn(&[Value]) -> Result<Value, RtError>;
+
+/// A primitive implemented in Rust.
+pub struct Native {
+    /// The primitive's name.
+    pub name: Symbol,
+    /// Accepted argument counts.
+    pub arity: Arity,
+    /// The implementation.
+    pub f: Box<NativeFn>,
+}
+
+impl Native {
+    /// Wraps a Rust function as a primitive value.
+    pub fn value(
+        name: &str,
+        arity: Arity,
+        f: impl Fn(&[Value]) -> Result<Value, RtError> + 'static,
+    ) -> Value {
+        Value::Native(Rc::new(Native {
+            name: Symbol::intern(name),
+            arity,
+            f: Box::new(f),
+        }))
+    }
+}
+
+impl fmt::Debug for Native {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#<procedure:{}>", self.name)
+    }
+}
+
+/// A procedure wrapped in a function contract at a module boundary.
+///
+/// Applying a `Contracted` value checks the arguments against the domain
+/// contracts (blaming `negative`, the client) and the result against the
+/// range contract (blaming `positive`, the server) — paper §6.1.
+#[derive(Debug)]
+pub struct Contracted {
+    /// The procedure being protected.
+    pub inner: Value,
+    /// The function contract (see [`crate::contract::Contract`]).
+    pub contract: crate::contract::Contract,
+    /// Party blamed for bad results (the implementation side).
+    pub positive: Symbol,
+    /// Party blamed for bad arguments (the client side).
+    pub negative: Symbol,
+}
+
+/// A Lagoon runtime value.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// The unit value `#<void>`.
+    Void,
+    /// A boolean.
+    Bool(bool),
+    /// An exact integer (checked `i64`; see DESIGN.md).
+    Int(i64),
+    /// An inexact real.
+    Float(f64),
+    /// An inexact complex number (the typed language's `Float-Complex`).
+    Complex(f64, f64),
+    /// A character.
+    Char(char),
+    /// A symbol.
+    Symbol(Symbol),
+    /// A keyword.
+    Keyword(Symbol),
+    /// An immutable string.
+    Str(Rc<str>),
+    /// The empty list.
+    Nil,
+    /// An immutable cons cell.
+    Pair(Rc<(Value, Value)>),
+    /// A mutable vector.
+    Vector(Rc<RefCell<Vec<Value>>>),
+    /// A mutable box.
+    Box(Rc<RefCell<Value>>),
+    /// A compiled procedure.
+    Closure(Rc<Closure>),
+    /// A native primitive.
+    Native(Rc<Native>),
+    /// A contract-wrapped procedure.
+    Contracted(Rc<Contracted>),
+    /// A syntax object (phase-1 data).
+    Syntax(Syntax),
+}
+
+impl Value {
+    /// Builds a cons cell.
+    pub fn cons(car: Value, cdr: Value) -> Value {
+        Value::Pair(Rc::new((car, cdr)))
+    }
+
+    /// Builds a proper list.
+    pub fn list(items: impl IntoIterator<Item = Value, IntoIter: DoubleEndedIterator>) -> Value {
+        let mut out = Value::Nil;
+        for item in items.into_iter().rev() {
+            out = Value::cons(item, out);
+        }
+        out
+    }
+
+    /// Builds a string value.
+    pub fn string(s: &str) -> Value {
+        Value::Str(Rc::from(s))
+    }
+
+    /// Everything but `#f` is true.
+    pub fn is_truthy(&self) -> bool {
+        !matches!(self, Value::Bool(false))
+    }
+
+    /// Whether the value can be applied.
+    pub fn is_procedure(&self) -> bool {
+        matches!(
+            self,
+            Value::Closure(_) | Value::Native(_) | Value::Contracted(_)
+        )
+    }
+
+    /// The elements, if this is a proper list.
+    pub fn list_to_vec(&self) -> Option<Vec<Value>> {
+        let mut out = Vec::new();
+        let mut cur = self.clone();
+        loop {
+            match cur {
+                Value::Nil => return Some(out),
+                Value::Pair(p) => {
+                    out.push(p.0.clone());
+                    cur = p.1.clone();
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// Converts quoted data to a value (`quote` semantics).
+    pub fn from_datum(d: &Datum) -> Value {
+        match d {
+            Datum::Symbol(s) => Value::Symbol(*s),
+            Datum::Bool(b) => Value::Bool(*b),
+            Datum::Int(n) => Value::Int(*n),
+            Datum::Float(x) => Value::Float(*x),
+            Datum::Complex(re, im) => Value::Complex(*re, *im),
+            Datum::Str(s) => Value::Str(Rc::from(&**s)),
+            Datum::Char(c) => Value::Char(*c),
+            Datum::Keyword(s) => Value::Keyword(*s),
+            Datum::List(items) => Value::list(items.iter().map(Value::from_datum)),
+            Datum::Improper(items, tail) => {
+                let mut out = Value::from_datum(tail);
+                for item in items.iter().rev() {
+                    out = Value::cons(Value::from_datum(item), out);
+                }
+                out
+            }
+            Datum::Vector(items) => Value::Vector(Rc::new(RefCell::new(
+                items.iter().map(Value::from_datum).collect(),
+            ))),
+        }
+    }
+
+    /// Converts back to a datum where possible (procedures, boxes, and
+    /// syntax have no datum form).
+    pub fn to_datum(&self) -> Option<Datum> {
+        match self {
+            Value::Bool(b) => Some(Datum::Bool(*b)),
+            Value::Int(n) => Some(Datum::Int(*n)),
+            Value::Float(x) => Some(Datum::Float(*x)),
+            Value::Complex(re, im) => Some(Datum::Complex(*re, *im)),
+            Value::Char(c) => Some(Datum::Char(*c)),
+            Value::Symbol(s) => Some(Datum::Symbol(*s)),
+            Value::Keyword(s) => Some(Datum::Keyword(*s)),
+            Value::Str(s) => Some(Datum::string(s)),
+            Value::Nil => Some(Datum::nil()),
+            Value::Pair(_) => {
+                let mut items = Vec::new();
+                let mut cur = self.clone();
+                loop {
+                    match cur {
+                        Value::Nil => return Some(Datum::List(items)),
+                        Value::Pair(p) => {
+                            items.push(p.0.to_datum()?);
+                            cur = p.1.clone();
+                        }
+                        other => {
+                            return Some(Datum::Improper(items, Box::new(other.to_datum()?)))
+                        }
+                    }
+                }
+            }
+            Value::Vector(v) => Some(Datum::Vector(
+                v.borrow()
+                    .iter()
+                    .map(Value::to_datum)
+                    .collect::<Option<Vec<_>>>()?,
+            )),
+            Value::Syntax(s) => Some(s.to_datum()),
+            _ => None,
+        }
+    }
+
+    /// The name of this value's runtime tag, for error messages.
+    pub fn tag_name(&self) -> &'static str {
+        match self {
+            Value::Void => "void",
+            Value::Bool(_) => "boolean",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "flonum",
+            Value::Complex(_, _) => "float-complex",
+            Value::Char(_) => "character",
+            Value::Symbol(_) => "symbol",
+            Value::Keyword(_) => "keyword",
+            Value::Str(_) => "string",
+            Value::Nil => "null",
+            Value::Pair(_) => "pair",
+            Value::Vector(_) => "vector",
+            Value::Box(_) => "box",
+            Value::Closure(_) | Value::Native(_) | Value::Contracted(_) => "procedure",
+            Value::Syntax(_) => "syntax",
+        }
+    }
+
+    /// Pointer/primitive identity (`eq?`).
+    pub fn eq_identity(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Void, Value::Void) | (Value::Nil, Value::Nil) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Char(a), Value::Char(b)) => a == b,
+            (Value::Symbol(a), Value::Symbol(b)) => a == b,
+            (Value::Keyword(a), Value::Keyword(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => Rc::ptr_eq(a, b),
+            (Value::Pair(a), Value::Pair(b)) => Rc::ptr_eq(a, b),
+            (Value::Vector(a), Value::Vector(b)) => Rc::ptr_eq(a, b),
+            (Value::Box(a), Value::Box(b)) => Rc::ptr_eq(a, b),
+            (Value::Closure(a), Value::Closure(b)) => Rc::ptr_eq(a, b),
+            (Value::Native(a), Value::Native(b)) => Rc::ptr_eq(a, b),
+            (Value::Contracted(a), Value::Contracted(b)) => Rc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// `eqv?`: identity plus numeric equality on same-tag numbers.
+    pub fn eqv(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Complex(ar, ai), Value::Complex(br, bi)) => ar == br && ai == bi,
+            _ => self.eq_identity(other),
+        }
+    }
+
+    /// Deep structural equality (`equal?`).
+    pub fn equal(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Pair(a), Value::Pair(b)) => a.0.equal(&b.0) && a.1.equal(&b.1),
+            (Value::Vector(a), Value::Vector(b)) => {
+                let (a, b) = (a.borrow(), b.borrow());
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.equal(y))
+            }
+            (Value::Box(a), Value::Box(b)) => a.borrow().equal(&b.borrow()),
+            _ => self.eqv(other),
+        }
+    }
+}
+
+fn fmt_value(v: &Value, f: &mut fmt::Formatter<'_>, write: bool, top: bool) -> fmt::Result {
+    match v {
+        Value::Void => f.write_str("#<void>"),
+        Value::Bool(true) => f.write_str("#t"),
+        Value::Bool(false) => f.write_str("#f"),
+        Value::Int(n) => fmt::Display::fmt(n, f),
+        Value::Float(x) => write!(f, "{}", Datum::Float(*x)),
+        Value::Complex(re, im) => write!(f, "{}", Datum::Complex(*re, *im)),
+        Value::Char(c) => {
+            if write {
+                write!(f, "{}", Datum::Char(*c))
+            } else {
+                write!(f, "{c}")
+            }
+        }
+        Value::Symbol(s) => {
+            if write && top {
+                write!(f, "'{s}")
+            } else {
+                write!(f, "{s}")
+            }
+        }
+        Value::Keyword(s) => write!(f, "#:{s}"),
+        Value::Str(s) => {
+            if write {
+                write!(f, "{}", Datum::string(s))
+            } else {
+                f.write_str(s)
+            }
+        }
+        Value::Nil => f.write_str(if write && top { "'()" } else { "()" }),
+        Value::Pair(_) => {
+            if write && top {
+                f.write_str("'")?;
+            }
+            f.write_str("(")?;
+            let mut cur = v.clone();
+            let mut first = true;
+            loop {
+                match cur {
+                    Value::Nil => break,
+                    Value::Pair(p) => {
+                        if !first {
+                            f.write_str(" ")?;
+                        }
+                        first = false;
+                        fmt_value(&p.0, f, write, false)?;
+                        cur = p.1.clone();
+                    }
+                    other => {
+                        f.write_str(" . ")?;
+                        fmt_value(&other, f, write, false)?;
+                        break;
+                    }
+                }
+            }
+            f.write_str(")")
+        }
+        Value::Vector(items) => {
+            f.write_str("#(")?;
+            for (i, x) in items.borrow().iter().enumerate() {
+                if i > 0 {
+                    f.write_str(" ")?;
+                }
+                fmt_value(x, f, write, false)?;
+            }
+            f.write_str(")")
+        }
+        Value::Box(b) => {
+            f.write_str("#&")?;
+            fmt_value(&b.borrow(), f, write, false)
+        }
+        Value::Closure(c) => write!(f, "{c:?}"),
+        Value::Native(n) => write!(f, "{n:?}"),
+        Value::Contracted(c) => {
+            f.write_str("#<contracted:")?;
+            fmt_value(&c.inner, f, write, false)?;
+            f.write_str(">")
+        }
+        Value::Syntax(s) => write!(f, "#<syntax {s}>"),
+    }
+}
+
+impl fmt::Display for Value {
+    /// `display`-mode printing (strings unquoted).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_value(self, f, false, true)
+    }
+}
+
+impl Value {
+    /// `write`-mode printing (strings quoted, symbols with `'`).
+    pub fn write_string(&self) -> String {
+        struct W<'a>(&'a Value);
+        impl fmt::Display for W<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt_value(self.0, f, true, true)
+            }
+        }
+        W(self).to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Bool(false).is_truthy());
+        assert!(Value::Bool(true).is_truthy());
+        assert!(Value::Int(0).is_truthy());
+        assert!(Value::Nil.is_truthy());
+        assert!(Value::Void.is_truthy());
+    }
+
+    #[test]
+    fn list_round_trip() {
+        let l = Value::list(vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        let v = l.list_to_vec().unwrap();
+        assert_eq!(v.len(), 3);
+        assert!(matches!(v[2], Value::Int(3)));
+        assert!(Value::cons(Value::Int(1), Value::Int(2)).list_to_vec().is_none());
+    }
+
+    #[test]
+    fn datum_conversion_round_trips() {
+        let d = Datum::List(vec![
+            Datum::sym("a"),
+            Datum::Int(1),
+            Datum::Float(2.5),
+            Datum::List(vec![Datum::Bool(true)]),
+        ]);
+        let v = Value::from_datum(&d);
+        assert_eq!(v.to_datum().unwrap(), d);
+    }
+
+    #[test]
+    fn improper_datum_conversion() {
+        let d = Datum::Improper(vec![Datum::Int(1)], Box::new(Datum::Int(2)));
+        let v = Value::from_datum(&d);
+        assert_eq!(v.to_datum().unwrap(), d);
+        assert_eq!(v.to_string(), "(1 . 2)");
+    }
+
+    #[test]
+    fn display_and_write_modes() {
+        let s = Value::string("hi");
+        assert_eq!(s.to_string(), "hi");
+        assert_eq!(s.write_string(), "\"hi\"");
+        let l = Value::list(vec![Value::Symbol(Symbol::from("a")), Value::string("b")]);
+        assert_eq!(l.to_string(), "(a b)");
+        assert_eq!(l.write_string(), "'(a \"b\")");
+        assert_eq!(Value::Float(3.0).to_string(), "3.0");
+    }
+
+    #[test]
+    fn equality_ladder() {
+        let a = Value::string("x");
+        let b = Value::string("x");
+        assert!(!a.eq_identity(&b));
+        assert!(a.equal(&b));
+        assert!(Value::Int(3).eq_identity(&Value::Int(3)));
+        assert!(!Value::Float(1.0).eq_identity(&Value::Float(1.0)));
+        assert!(Value::Float(1.0).eqv(&Value::Float(1.0)));
+        let l1 = Value::list(vec![Value::Int(1), Value::string("s")]);
+        let l2 = Value::list(vec![Value::Int(1), Value::string("s")]);
+        assert!(l1.equal(&l2));
+        assert!(!l1.eqv(&l2));
+    }
+
+    #[test]
+    fn arity_accepts() {
+        assert!(Arity::exactly(2).accepts(2));
+        assert!(!Arity::exactly(2).accepts(3));
+        assert!(Arity::at_least(1).accepts(1));
+        assert!(Arity::at_least(1).accepts(5));
+        assert!(!Arity::at_least(1).accepts(0));
+    }
+
+    #[test]
+    fn native_values_are_procedures() {
+        let v = Native::value("id", Arity::exactly(1), |args| Ok(args[0].clone()));
+        assert!(v.is_procedure());
+        assert_eq!(v.tag_name(), "procedure");
+    }
+}

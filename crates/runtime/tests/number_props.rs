@@ -1,0 +1,121 @@
+//! Property tests on the numeric tower.
+
+use lagoon_runtime::{number, Value};
+use proptest::prelude::*;
+
+fn num_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-1_000_000i64..1_000_000).prop_map(Value::Int),
+        (-1e6..1e6).prop_map(Value::Float),
+        ((-1e3..1e3), (-1e3..1e3)).prop_map(|(re, im)| Value::Complex(re, im)),
+    ]
+}
+
+fn approx_eq(a: &Value, b: &Value) -> bool {
+    fn parts(v: &Value) -> (f64, f64) {
+        match v {
+            Value::Int(n) => (*n as f64, 0.0),
+            Value::Float(x) => (*x, 0.0),
+            Value::Complex(re, im) => (*re, *im),
+            _ => (f64::NAN, f64::NAN),
+        }
+    }
+    let (ar, ai) = parts(a);
+    let (br, bi) = parts(b);
+    let close = |x: f64, y: f64| {
+        (x - y).abs() <= 1e-6 * (1.0 + x.abs().max(y.abs()))
+    };
+    close(ar, br) && close(ai, bi)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn addition_commutes(a in num_strategy(), b in num_strategy()) {
+        let ab = number::add(&a, &b);
+        let ba = number::add(&b, &a);
+        match (ab, ba) {
+            (Ok(x), Ok(y)) => prop_assert!(approx_eq(&x, &y), "{x} vs {y}"),
+            (Err(_), Err(_)) => {}
+            (x, y) => prop_assert!(false, "asymmetric: {x:?} vs {y:?}"),
+        }
+    }
+
+    #[test]
+    fn multiplication_commutes(a in num_strategy(), b in num_strategy()) {
+        let ab = number::mul(&a, &b);
+        let ba = number::mul(&b, &a);
+        match (ab, ba) {
+            (Ok(x), Ok(y)) => prop_assert!(approx_eq(&x, &y), "{x} vs {y}"),
+            (Err(_), Err(_)) => {}
+            (x, y) => prop_assert!(false, "asymmetric: {x:?} vs {y:?}"),
+        }
+    }
+
+    #[test]
+    fn subtraction_inverts_addition(a in num_strategy(), b in num_strategy()) {
+        if let (Ok(sum), true) = (number::add(&a, &b), true) {
+            if let Ok(back) = number::sub(&sum, &b) {
+                prop_assert!(approx_eq(&back, &a), "{back} vs {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparison_is_total_on_reals(
+        a in -1_000_000i64..1_000_000,
+        b in prop_oneof![(-1e6..1e6)],
+    ) {
+        let ai = Value::Int(a);
+        let bf = Value::Float(b);
+        let lt = number::compare("<", &ai, &bf).unwrap().is_lt();
+        let gt = number::compare(">", &ai, &bf).unwrap().is_gt();
+        let eq = number::num_eq(&ai, &bf).unwrap();
+        prop_assert_eq!([lt, gt, eq].iter().filter(|x| **x).count(), 1);
+    }
+
+    #[test]
+    fn quotient_remainder_identity(a in -100_000i64..100_000, b in 1i64..1000) {
+        let q = number::quotient(&Value::Int(a), &Value::Int(b)).unwrap();
+        let r = number::remainder(&Value::Int(a), &Value::Int(b)).unwrap();
+        match (q, r) {
+            (Value::Int(q), Value::Int(r)) => {
+                prop_assert_eq!(q * b + r, a);
+                prop_assert!(r.abs() < b);
+            }
+            _ => prop_assert!(false),
+        }
+    }
+
+    #[test]
+    fn modulo_sign_follows_divisor(a in -100_000i64..100_000, b in prop_oneof![1i64..1000, -1000i64..-1]) {
+        match number::modulo(&Value::Int(a), &Value::Int(b)).unwrap() {
+            Value::Int(m) => {
+                prop_assert!(m == 0 || (m > 0) == (b > 0), "m={m} b={b}");
+                prop_assert!(m.abs() < b.abs());
+                // congruence
+                prop_assert_eq!((a - m) % b, 0);
+            }
+            _ => prop_assert!(false),
+        }
+    }
+
+    #[test]
+    fn sqrt_squares_back(x in 0.0f64..1e12) {
+        match number::sqrt(&Value::Float(x)).unwrap() {
+            Value::Float(r) => prop_assert!((r * r - x).abs() <= 1e-6 * (1.0 + x)),
+            _ => prop_assert!(false),
+        }
+    }
+
+    #[test]
+    fn magnitude_is_nonnegative(v in num_strategy()) {
+        match number::magnitude(&v) {
+            Ok(Value::Int(n)) => prop_assert!(n >= 0),
+            Ok(Value::Float(x)) => prop_assert!(x >= 0.0),
+            Ok(_) => prop_assert!(false),
+            Err(_) => {}
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Plain S-expression data.
+//!
+//! A [`Datum`] is the result of `read`ing source text with all lexical
+//! structure resolved: symbols, literals, and (possibly improper) lists.
+//! Syntax objects (see [`crate::syntax`]) wrap datums with source locations,
+//! scope sets, and properties; `syntax->datum` strips back down to a
+//! `Datum`.
+//!
+//! # Examples
+//!
+//! ```
+//! use lagoon_syntax::{Datum, Symbol};
+//! let d = Datum::list(vec![Datum::sym("+"), Datum::Int(1), Datum::Int(2)]);
+//! assert_eq!(d.to_string(), "(+ 1 2)");
+//! ```
+
+use crate::symbol::Symbol;
+use std::fmt;
+use std::sync::Arc;
+
+/// An S-expression value as produced by the reader.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Datum {
+    /// An identifier-shaped atom, e.g. `lambda`.
+    Symbol(Symbol),
+    /// `#t` or `#f`.
+    Bool(bool),
+    /// An exact integer, e.g. `42`.
+    Int(i64),
+    /// An inexact real, e.g. `3.7`.
+    Float(f64),
+    /// An inexact complex number, e.g. `2.0+2.0i` (the paper's
+    /// `Float-Complex`).
+    Complex(f64, f64),
+    /// A string literal.
+    Str(Arc<str>),
+    /// A character literal, e.g. `#\a`.
+    Char(char),
+    /// A keyword, e.g. `#:key`.
+    Keyword(Symbol),
+    /// A proper list; the empty vector is `'()`.
+    List(Vec<Datum>),
+    /// An improper list `(a b . c)`: a non-empty prefix and a non-list tail.
+    Improper(Vec<Datum>, Box<Datum>),
+    /// A vector literal `#(1 2 3)`.
+    Vector(Vec<Datum>),
+}
+
+impl Datum {
+    /// Shorthand for a symbol datum.
+    pub fn sym(name: &str) -> Datum {
+        Datum::Symbol(Symbol::intern(name))
+    }
+
+    /// Shorthand for a string datum.
+    pub fn string(s: &str) -> Datum {
+        Datum::Str(Arc::from(s))
+    }
+
+    /// Shorthand for a proper list.
+    pub fn list(items: Vec<Datum>) -> Datum {
+        Datum::List(items)
+    }
+
+    /// The empty list `'()`.
+    pub fn nil() -> Datum {
+        Datum::List(Vec::new())
+    }
+
+    /// Whether this is the empty list.
+    pub fn is_nil(&self) -> bool {
+        matches!(self, Datum::List(v) if v.is_empty())
+    }
+
+    /// The symbol, if this datum is one.
+    pub fn as_symbol(&self) -> Option<Symbol> {
+        match self {
+            Datum::Symbol(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this datum is a proper list.
+    pub fn as_list(&self) -> Option<&[Datum]> {
+        match self {
+            Datum::List(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether the datum is an atom (not a list or vector).
+    pub fn is_atom(&self) -> bool {
+        !matches!(
+            self,
+            Datum::List(_) | Datum::Improper(_, _) | Datum::Vector(_)
+        )
+    }
+}
+
+/// Writes a string in `write` notation with escapes.
+pub(crate) fn write_string_literal(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\t' => f.write_str("\\t")?,
+            '\r' => f.write_str("\\r")?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+/// Writes a character in `write` notation, e.g. `#\a`, `#\newline`.
+pub(crate) fn write_char_literal(f: &mut fmt::Formatter<'_>, c: char) -> fmt::Result {
+    match c {
+        '\n' => f.write_str("#\\newline"),
+        ' ' => f.write_str("#\\space"),
+        '\t' => f.write_str("#\\tab"),
+        c => write!(f, "#\\{c}"),
+    }
+}
+
+/// Writes a float so that it reads back as a float (always with a decimal
+/// point or exponent).
+pub(crate) fn write_float(f: &mut fmt::Formatter<'_>, x: f64) -> fmt::Result {
+    if x.is_nan() {
+        f.write_str("+nan.0")
+    } else if x.is_infinite() {
+        f.write_str(if x > 0.0 { "+inf.0" } else { "-inf.0" })
+    } else if x == x.trunc() && x.abs() < 1e16 {
+        write!(f, "{x:.1}")
+    } else {
+        write!(f, "{x}")
+    }
+}
+
+/// Writes a float-complex, e.g. `2.0+2.0i`.
+pub(crate) fn write_complex(f: &mut fmt::Formatter<'_>, re: f64, im: f64) -> fmt::Result {
+    write_float(f, re)?;
+    if im >= 0.0 || im.is_nan() {
+        f.write_str("+")?;
+        write_float(f, im.abs())?;
+    } else {
+        f.write_str("-")?;
+        write_float(f, -im)?;
+    }
+    f.write_str("i")
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Symbol(s) => write!(f, "{s}"),
+            Datum::Bool(true) => f.write_str("#t"),
+            Datum::Bool(false) => f.write_str("#f"),
+            Datum::Int(n) => write!(f, "{n}"),
+            Datum::Float(x) => write_float(f, *x),
+            Datum::Complex(re, im) => write_complex(f, *re, *im),
+            Datum::Str(s) => write_string_literal(f, s),
+            Datum::Char(c) => write_char_literal(f, *c),
+            Datum::Keyword(s) => write!(f, "#:{s}"),
+            Datum::List(items) => {
+                f.write_str("(")?;
+                for (i, d) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ")?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                f.write_str(")")
+            }
+            Datum::Improper(items, tail) => {
+                f.write_str("(")?;
+                for (i, d) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ")?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                write!(f, " . {tail})")
+            }
+            Datum::Vector(items) => {
+                f.write_str("#(")?;
+                for (i, d) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ")?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atoms_display() {
+        assert_eq!(Datum::sym("x").to_string(), "x");
+        assert_eq!(Datum::Bool(true).to_string(), "#t");
+        assert_eq!(Datum::Int(-3).to_string(), "-3");
+        assert_eq!(Datum::Float(3.0).to_string(), "3.0");
+        assert_eq!(Datum::Float(3.25).to_string(), "3.25");
+        assert_eq!(Datum::Complex(2.0, 2.0).to_string(), "2.0+2.0i");
+        assert_eq!(Datum::Complex(0.0, -1.5).to_string(), "0.0-1.5i");
+        assert_eq!(Datum::string("a\"b").to_string(), "\"a\\\"b\"");
+        assert_eq!(Datum::Char('a').to_string(), "#\\a");
+        assert_eq!(Datum::Char('\n').to_string(), "#\\newline");
+        assert_eq!(Datum::Keyword(Symbol::from("kw")).to_string(), "#:kw");
+    }
+
+    #[test]
+    fn lists_display() {
+        assert_eq!(Datum::nil().to_string(), "()");
+        let l = Datum::list(vec![Datum::sym("a"), Datum::Int(1)]);
+        assert_eq!(l.to_string(), "(a 1)");
+        let imp = Datum::Improper(vec![Datum::sym("a")], Box::new(Datum::sym("b")));
+        assert_eq!(imp.to_string(), "(a . b)");
+        let v = Datum::Vector(vec![Datum::Int(1), Datum::Int(2)]);
+        assert_eq!(v.to_string(), "#(1 2)");
+    }
+
+    #[test]
+    fn special_floats() {
+        assert_eq!(Datum::Float(f64::INFINITY).to_string(), "+inf.0");
+        assert_eq!(Datum::Float(f64::NEG_INFINITY).to_string(), "-inf.0");
+        assert_eq!(Datum::Float(f64::NAN).to_string(), "+nan.0");
+    }
+
+    #[test]
+    fn accessors() {
+        assert!(Datum::nil().is_nil());
+        assert!(!Datum::list(vec![Datum::Int(1)]).is_nil());
+        assert_eq!(Datum::sym("q").as_symbol(), Some(Symbol::from("q")));
+        assert_eq!(Datum::Int(1).as_symbol(), None);
+        assert!(Datum::Int(1).is_atom());
+        assert!(!Datum::nil().is_atom());
+    }
+}

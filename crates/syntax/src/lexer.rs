@@ -1,0 +1,647 @@
+//! Tokenizer for Lagoon source text.
+//!
+//! Produces a stream of [`Token`]s with spans. The reader
+//! ([`crate::reader`]) assembles them into datums / syntax objects.
+
+use crate::span::Span;
+use crate::symbol::Symbol;
+use std::fmt;
+use std::sync::Arc;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// `(` or `[`.
+    Open,
+    /// `)` or `]`.
+    Close,
+    /// `#(` — vector open.
+    VecOpen,
+    /// `.` in a dotted pair.
+    Dot,
+    /// `'`.
+    Quote,
+    /// `` ` ``.
+    Quasiquote,
+    /// `,`.
+    Unquote,
+    /// `,@`.
+    UnquoteSplicing,
+    /// `#'`.
+    SyntaxQuote,
+    /// `` #` ``.
+    Quasisyntax,
+    /// `#,`.
+    Unsyntax,
+    /// `#,@`.
+    UnsyntaxSplicing,
+    /// A symbol.
+    Symbol(Symbol),
+    /// A keyword `#:name`.
+    Keyword(Symbol),
+    /// `#t` / `#f`.
+    Bool(bool),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Float-complex literal, e.g. `2.0+2.0i`.
+    Complex(f64, f64),
+    /// String literal.
+    Str(Arc<str>),
+    /// Character literal.
+    Char(char),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Open => f.write_str("("),
+            Token::Close => f.write_str(")"),
+            Token::VecOpen => f.write_str("#("),
+            Token::Dot => f.write_str("."),
+            Token::Quote => f.write_str("'"),
+            Token::Quasiquote => f.write_str("`"),
+            Token::Unquote => f.write_str(","),
+            Token::UnquoteSplicing => f.write_str(",@"),
+            Token::SyntaxQuote => f.write_str("#'"),
+            Token::Quasisyntax => f.write_str("#`"),
+            Token::Unsyntax => f.write_str("#,"),
+            Token::UnsyntaxSplicing => f.write_str("#,@"),
+            Token::Symbol(s) => write!(f, "{s}"),
+            Token::Keyword(s) => write!(f, "#:{s}"),
+            Token::Bool(true) => f.write_str("#t"),
+            Token::Bool(false) => f.write_str("#f"),
+            Token::Int(n) => write!(f, "{n}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Complex(re, im) => write!(f, "{re}+{im}i"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::Char(c) => write!(f, "#\\{c}"),
+            Token::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// An error produced while lexing or reading.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReadError {
+    /// Human-readable description.
+    pub message: String,
+    /// Where the problem was found.
+    pub span: Span,
+}
+
+impl ReadError {
+    pub(crate) fn new(message: impl Into<String>, span: Span) -> ReadError {
+        ReadError {
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "read error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// The tokenizer. Iterate with [`Lexer::next_token`].
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    source: Symbol,
+}
+
+fn is_delimiter(b: u8) -> bool {
+    // ASCII whitespace only: bytes >= 0x80 are UTF-8 continuation/lead
+    // bytes and must never split a character (e.g. 0x85 is *not* U+0085)
+    matches!(b, b'(' | b')' | b'[' | b']' | b'"' | b';') || b.is_ascii_whitespace()
+}
+
+impl<'a> Lexer<'a> {
+    /// A lexer over `src`, reporting locations against `source`.
+    pub fn new(src: &'a str, source: Symbol) -> Lexer<'a> {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            source,
+        }
+    }
+
+    /// Current position as a span of zero width.
+    fn here(&self) -> (usize, u32, u32) {
+        (self.pos, self.line, self.col)
+    }
+
+    fn span_from(&self, start: (usize, u32, u32)) -> Span {
+        Span::new(
+            self.source,
+            start.0 as u32,
+            self.pos as u32,
+            start.1,
+            start.2,
+        )
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_whitespace_and_comments(&mut self) -> Result<(), ReadError> {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b';') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'#') if self.peek2() == Some(b'|') => {
+                    let start = self.here();
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1usize;
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'|'), Some(b'#')) => {
+                                self.bump();
+                                self.bump();
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            (Some(b'#'), Some(b'|')) => {
+                                self.bump();
+                                self.bump();
+                                depth += 1;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(ReadError::new(
+                                    "unterminated block comment",
+                                    self.span_from(start),
+                                ))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn read_string(&mut self, start: (usize, u32, u32)) -> Result<(Token, Span), ReadError> {
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => {
+                    return Err(ReadError::new(
+                        "unterminated string literal",
+                        self.span_from(start),
+                    ))
+                }
+                Some(b'"') => break,
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'"') => out.push('"'),
+                    Some(b'0') => out.push('\0'),
+                    Some(other) => {
+                        return Err(ReadError::new(
+                            format!("unknown string escape \\{}", other as char),
+                            self.span_from(start),
+                        ))
+                    }
+                    None => {
+                        return Err(ReadError::new(
+                            "unterminated string literal",
+                            self.span_from(start),
+                        ))
+                    }
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(_) => {
+                    // multi-byte UTF-8: re-decode from the source
+                    let ch_start = self.pos - 1;
+                    let ch = self.src[ch_start..].chars().next().unwrap();
+                    for _ in 1..ch.len_utf8() {
+                        self.bump();
+                    }
+                    out.push(ch);
+                }
+            }
+        }
+        Ok((Token::Str(Arc::from(out.as_str())), self.span_from(start)))
+    }
+
+    fn read_char_literal(&mut self, start: (usize, u32, u32)) -> Result<(Token, Span), ReadError> {
+        // after "#\": read either a named char or a single char
+        let word_start = self.pos;
+        // always consume at least one char
+        let first = self.src[self.pos..].chars().next().ok_or_else(|| {
+            ReadError::new("unterminated character literal", self.span_from(start))
+        })?;
+        for _ in 0..first.len_utf8() {
+            self.bump();
+        }
+        if first.is_alphabetic() {
+            while let Some(b) = self.peek() {
+                if is_delimiter(b) {
+                    break;
+                }
+                self.bump();
+            }
+        }
+        let word = &self.src[word_start..self.pos];
+        let c = match word {
+            "newline" => '\n',
+            "space" => ' ',
+            "tab" => '\t',
+            "nul" | "null" => '\0',
+            "return" => '\r',
+            w if w.chars().count() == 1 => w.chars().next().unwrap(),
+            w => {
+                return Err(ReadError::new(
+                    format!("unknown character literal #\\{w}"),
+                    self.span_from(start),
+                ))
+            }
+        };
+        Ok((Token::Char(c), self.span_from(start)))
+    }
+
+    /// Lexes one token.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadError`] for malformed literals or unterminated
+    /// comments/strings.
+    pub fn next_token(&mut self) -> Result<(Token, Span), ReadError> {
+        self.skip_whitespace_and_comments()?;
+        let start = self.here();
+        let Some(b) = self.peek() else {
+            return Ok((Token::Eof, self.span_from(start)));
+        };
+        match b {
+            b'(' | b'[' => {
+                self.bump();
+                Ok((Token::Open, self.span_from(start)))
+            }
+            b')' | b']' => {
+                self.bump();
+                Ok((Token::Close, self.span_from(start)))
+            }
+            b'\'' => {
+                self.bump();
+                Ok((Token::Quote, self.span_from(start)))
+            }
+            b'`' => {
+                self.bump();
+                Ok((Token::Quasiquote, self.span_from(start)))
+            }
+            b',' => {
+                self.bump();
+                if self.peek() == Some(b'@') {
+                    self.bump();
+                    Ok((Token::UnquoteSplicing, self.span_from(start)))
+                } else {
+                    Ok((Token::Unquote, self.span_from(start)))
+                }
+            }
+            b'"' => {
+                self.bump();
+                self.read_string(start)
+            }
+            b'#' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'(') => {
+                        self.bump();
+                        Ok((Token::VecOpen, self.span_from(start)))
+                    }
+                    Some(b't') => {
+                        self.bump();
+                        Ok((Token::Bool(true), self.span_from(start)))
+                    }
+                    Some(b'f') => {
+                        self.bump();
+                        Ok((Token::Bool(false), self.span_from(start)))
+                    }
+                    Some(b'\'') => {
+                        self.bump();
+                        Ok((Token::SyntaxQuote, self.span_from(start)))
+                    }
+                    Some(b'`') => {
+                        self.bump();
+                        Ok((Token::Quasisyntax, self.span_from(start)))
+                    }
+                    Some(b',') => {
+                        self.bump();
+                        if self.peek() == Some(b'@') {
+                            self.bump();
+                            Ok((Token::UnsyntaxSplicing, self.span_from(start)))
+                        } else {
+                            Ok((Token::Unsyntax, self.span_from(start)))
+                        }
+                    }
+                    Some(b'\\') => {
+                        self.bump();
+                        self.read_char_literal(start)
+                    }
+                    Some(b':') => {
+                        self.bump();
+                        let word_start = self.pos;
+                        while let Some(b) = self.peek() {
+                            if is_delimiter(b) {
+                                break;
+                            }
+                            self.bump();
+                        }
+                        let name = &self.src[word_start..self.pos];
+                        Ok((
+                            Token::Keyword(Symbol::intern(name)),
+                            self.span_from(start),
+                        ))
+                    }
+                    Some(b'%') => {
+                        // core-form identifiers like #%plain-lambda
+                        let word_start = self.pos - 1;
+                        while let Some(b) = self.peek() {
+                            if is_delimiter(b) {
+                                break;
+                            }
+                            self.bump();
+                        }
+                        let name = &self.src[word_start..self.pos];
+                        Ok((Token::Symbol(Symbol::intern(name)), self.span_from(start)))
+                    }
+                    other => Err(ReadError::new(
+                        format!(
+                            "unknown dispatch #{}",
+                            other.map(|b| (b as char).to_string()).unwrap_or_default()
+                        ),
+                        self.span_from(start),
+                    )),
+                }
+            }
+            _ => {
+                // atom: symbol or number (or lone dot)
+                while let Some(b) = self.peek() {
+                    if is_delimiter(b) {
+                        break;
+                    }
+                    self.bump();
+                }
+                let word = &self.src[start.0..self.pos];
+                let span = self.span_from(start);
+                if word == "." {
+                    return Ok((Token::Dot, span));
+                }
+                Ok((parse_atom(word), span))
+            }
+        }
+    }
+}
+
+/// Parses a non-delimiter word into a number or symbol token.
+fn parse_atom(word: &str) -> Token {
+    if let Some(tok) = parse_number(word) {
+        return tok;
+    }
+    Token::Symbol(Symbol::intern(word))
+}
+
+/// Attempts to parse a numeric literal: integer, float (including
+/// `+inf.0`/`-inf.0`/`+nan.0`), or float-complex (`2.0+2.0i`, `-1.5i`).
+pub fn parse_number(word: &str) -> Option<Token> {
+    if word.is_empty() {
+        return None;
+    }
+    // Must start like a number: digit, or sign/dot followed by digit-ish.
+    let looks_numeric = {
+        let b = word.as_bytes()[0];
+        b.is_ascii_digit()
+            || ((b == b'+' || b == b'-' || b == b'.') && word.len() > 1)
+    };
+    if !looks_numeric {
+        return None;
+    }
+    match word {
+        "+inf.0" => return Some(Token::Float(f64::INFINITY)),
+        "-inf.0" => return Some(Token::Float(f64::NEG_INFINITY)),
+        "+nan.0" | "-nan.0" => return Some(Token::Float(f64::NAN)),
+        _ => {}
+    }
+    if let Ok(n) = word.parse::<i64>() {
+        return Some(Token::Int(n));
+    }
+    if let Some(body) = word.strip_suffix('i') {
+        return parse_complex(body);
+    }
+    if let Ok(x) = word.parse::<f64>() {
+        // reject things like "1e" that parse::<f64> would reject anyway,
+        // and plain integers already handled above
+        return Some(Token::Float(x));
+    }
+    None
+}
+
+/// Parses the `<real><+/-><real>` body of a complex literal (without the
+/// trailing `i`).
+fn parse_complex(body: &str) -> Option<Token> {
+    // Find the sign that separates real and imaginary parts: the last '+'
+    // or '-' that is not at position 0 and not part of an exponent.
+    let bytes = body.as_bytes();
+    let mut split = None;
+    for i in (1..bytes.len()).rev() {
+        let b = bytes[i];
+        if (b == b'+' || b == b'-') && bytes[i - 1] != b'e' && bytes[i - 1] != b'E' {
+            split = Some(i);
+            break;
+        }
+    }
+    match split {
+        Some(i) => {
+            let re: f64 = body[..i].parse().ok()?;
+            let im_str = &body[i..];
+            let im: f64 = if im_str == "+" {
+                1.0
+            } else if im_str == "-" {
+                -1.0
+            } else {
+                im_str.parse().ok()?
+            };
+            Some(Token::Complex(re, im))
+        }
+        None => {
+            // pure imaginary, e.g. "2.0i" (body = "2.0")
+            let im: f64 = body.parse().ok()?;
+            Some(Token::Complex(0.0, im))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex_all(src: &str) -> Vec<Token> {
+        let mut lx = Lexer::new(src, Symbol::from("<test>"));
+        let mut out = Vec::new();
+        loop {
+            let (tok, _) = lx.next_token().unwrap();
+            if tok == Token::Eof {
+                break;
+            }
+            out.push(tok);
+        }
+        out
+    }
+
+    #[test]
+    fn punctuation() {
+        assert_eq!(
+            lex_all("()[] ' ` , ,@ #' #` #, #,@ #("),
+            vec![
+                Token::Open,
+                Token::Close,
+                Token::Open,
+                Token::Close,
+                Token::Quote,
+                Token::Quasiquote,
+                Token::Unquote,
+                Token::UnquoteSplicing,
+                Token::SyntaxQuote,
+                Token::Quasisyntax,
+                Token::Unsyntax,
+                Token::UnsyntaxSplicing,
+                Token::VecOpen,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(lex_all("42"), vec![Token::Int(42)]);
+        assert_eq!(lex_all("-7"), vec![Token::Int(-7)]);
+        assert_eq!(lex_all("3.7"), vec![Token::Float(3.7)]);
+        assert_eq!(lex_all("-0.5"), vec![Token::Float(-0.5)]);
+        assert_eq!(lex_all("1e3"), vec![Token::Float(1000.0)]);
+        assert_eq!(lex_all("2.0+2.0i"), vec![Token::Complex(2.0, 2.0)]);
+        assert_eq!(lex_all("1.5-0.5i"), vec![Token::Complex(1.5, -0.5)]);
+        assert_eq!(lex_all("3.0i"), vec![Token::Complex(0.0, 3.0)]);
+        assert_eq!(lex_all("+inf.0"), vec![Token::Float(f64::INFINITY)]);
+    }
+
+    #[test]
+    fn symbols_vs_numbers() {
+        assert_eq!(lex_all("+"), vec![Token::Symbol(Symbol::from("+"))]);
+        assert_eq!(lex_all("-"), vec![Token::Symbol(Symbol::from("-"))]);
+        assert_eq!(lex_all("..."), vec![Token::Symbol(Symbol::from("..."))]);
+        assert_eq!(
+            lex_all("list->vector"),
+            vec![Token::Symbol(Symbol::from("list->vector"))]
+        );
+        assert_eq!(
+            lex_all("#%plain-lambda"),
+            vec![Token::Symbol(Symbol::from("#%plain-lambda"))]
+        );
+    }
+
+    #[test]
+    fn strings_and_chars() {
+        assert_eq!(
+            lex_all(r#""hi\n""#),
+            vec![Token::Str(Arc::from("hi\n"))]
+        );
+        assert_eq!(lex_all(r"#\a"), vec![Token::Char('a')]);
+        assert_eq!(lex_all(r"#\newline"), vec![Token::Char('\n')]);
+        assert_eq!(lex_all(r"#\space"), vec![Token::Char(' ')]);
+    }
+
+    #[test]
+    fn booleans_and_keywords() {
+        assert_eq!(lex_all("#t #f"), vec![Token::Bool(true), Token::Bool(false)]);
+        assert_eq!(
+            lex_all("#:key"),
+            vec![Token::Keyword(Symbol::from("key"))]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(lex_all("1 ; comment\n2"), vec![Token::Int(1), Token::Int(2)]);
+        assert_eq!(
+            lex_all("1 #| block #| nested |# |# 2"),
+            vec![Token::Int(1), Token::Int(2)]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let mut lx = Lexer::new("a\n  b", Symbol::from("<t>"));
+        let (_, sa) = lx.next_token().unwrap();
+        assert_eq!((sa.line, sa.col), (1, 1));
+        let (_, sb) = lx.next_token().unwrap();
+        assert_eq!((sb.line, sb.col), (2, 3));
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        let mut lx = Lexer::new("\"unterminated", Symbol::from("<t>"));
+        assert!(lx.next_token().is_err());
+        let mut lx = Lexer::new("#q", Symbol::from("<t>"));
+        assert!(lx.next_token().is_err());
+    }
+
+    #[test]
+    fn dot_token() {
+        assert_eq!(
+            lex_all("(a . b)"),
+            vec![
+                Token::Open,
+                Token::Symbol(Symbol::from("a")),
+                Token::Dot,
+                Token::Symbol(Symbol::from("b")),
+                Token::Close
+            ]
+        );
+    }
+}

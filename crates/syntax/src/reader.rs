@@ -1,0 +1,342 @@
+//! The reader: text → syntax objects.
+//!
+//! [`read_syntax`] parses one datum's worth of source into a [`Syntax`]
+//! tree with accurate spans. [`read_module`] additionally handles the
+//! `#lang <name>` first line that selects the module's language (paper
+//! §2.3).
+//!
+//! Reader shorthands expand during reading:
+//!
+//! | shorthand | reads as |
+//! |-----------|----------|
+//! | `'x`      | `(quote x)` |
+//! | `` `x ``  | `(quasiquote x)` |
+//! | `,x`      | `(unquote x)` |
+//! | `,@x`     | `(unquote-splicing x)` |
+//! | `#'x`     | `(syntax x)` |
+//! | `` #`x `` | `(quasisyntax x)` |
+//! | `#,x`     | `(unsyntax x)` |
+//! | `#,@x`    | `(unsyntax-splicing x)` |
+
+use crate::datum::Datum;
+use crate::lexer::{Lexer, ReadError, Token};
+use crate::span::Span;
+use crate::symbol::Symbol;
+use crate::syntax::Syntax;
+
+/// A module's source after reading: the `#lang` name plus body forms.
+#[derive(Clone, Debug)]
+pub struct ModuleSource {
+    /// The language named on the `#lang` line.
+    pub lang: Symbol,
+    /// The module's top-level forms.
+    pub body: Vec<Syntax>,
+    /// The source name used for spans.
+    pub source: Symbol,
+}
+
+struct Reader<'a> {
+    lexer: Lexer<'a>,
+    peeked: Option<(Token, Span)>,
+}
+
+impl<'a> Reader<'a> {
+    fn new(src: &'a str, source: Symbol) -> Reader<'a> {
+        Reader {
+            lexer: Lexer::new(src, source),
+            peeked: None,
+        }
+    }
+
+    fn next(&mut self) -> Result<(Token, Span), ReadError> {
+        match self.peeked.take() {
+            Some(t) => Ok(t),
+            None => self.lexer.next_token(),
+        }
+    }
+
+    fn peek(&mut self) -> Result<&(Token, Span), ReadError> {
+        if self.peeked.is_none() {
+            self.peeked = Some(self.lexer.next_token()?);
+        }
+        Ok(self.peeked.as_ref().unwrap())
+    }
+
+    fn shorthand(&mut self, name: &str, span: Span) -> Result<Syntax, ReadError> {
+        let inner = self.read_one()?.ok_or_else(|| {
+            ReadError::new(format!("expected a form after {name} shorthand"), span)
+        })?;
+        let full = span.merge(&inner.span());
+        Ok(Syntax::list(
+            vec![Syntax::ident(Symbol::intern(name), span), inner],
+            full,
+        ))
+    }
+
+    /// Reads one form; `Ok(None)` at end of input.
+    fn read_one(&mut self) -> Result<Option<Syntax>, ReadError> {
+        let (tok, span) = self.next()?;
+        match tok {
+            Token::Eof => Ok(None),
+            Token::Close => Err(ReadError::new("unexpected `)`", span)),
+            Token::Dot => Err(ReadError::new("unexpected `.`", span)),
+            Token::Open => self.read_list_tail(span).map(Some),
+            Token::VecOpen => {
+                let mut items = Vec::new();
+                loop {
+                    match self.peek()? {
+                        (Token::Close, _) => {
+                            let (_, end) = self.next()?;
+                            return Ok(Some(Syntax::vector(items, span.merge(&end))));
+                        }
+                        (Token::Eof, eof_span) => {
+                            return Err(ReadError::new("unterminated vector", *eof_span))
+                        }
+                        _ => {
+                            let item = self.read_one()?.expect("peeked non-eof");
+                            items.push(item);
+                        }
+                    }
+                }
+            }
+            Token::Quote => self.shorthand("quote", span).map(Some),
+            Token::Quasiquote => self.shorthand("quasiquote", span).map(Some),
+            Token::Unquote => self.shorthand("unquote", span).map(Some),
+            Token::UnquoteSplicing => self.shorthand("unquote-splicing", span).map(Some),
+            Token::SyntaxQuote => self.shorthand("syntax", span).map(Some),
+            Token::Quasisyntax => self.shorthand("quasisyntax", span).map(Some),
+            Token::Unsyntax => self.shorthand("unsyntax", span).map(Some),
+            Token::UnsyntaxSplicing => self.shorthand("unsyntax-splicing", span).map(Some),
+            Token::Symbol(s) => Ok(Some(Syntax::atom(Datum::Symbol(s), span))),
+            Token::Keyword(s) => Ok(Some(Syntax::atom(Datum::Keyword(s), span))),
+            Token::Bool(b) => Ok(Some(Syntax::atom(Datum::Bool(b), span))),
+            Token::Int(n) => Ok(Some(Syntax::atom(Datum::Int(n), span))),
+            Token::Float(x) => Ok(Some(Syntax::atom(Datum::Float(x), span))),
+            Token::Complex(re, im) => Ok(Some(Syntax::atom(Datum::Complex(re, im), span))),
+            Token::Str(s) => Ok(Some(Syntax::atom(Datum::Str(s), span))),
+            Token::Char(c) => Ok(Some(Syntax::atom(Datum::Char(c), span))),
+        }
+    }
+
+    fn read_list_tail(&mut self, open_span: Span) -> Result<Syntax, ReadError> {
+        let mut items = Vec::new();
+        loop {
+            match self.peek()? {
+                (Token::Close, _) => {
+                    let (_, end) = self.next()?;
+                    return Ok(Syntax::list(items, open_span.merge(&end)));
+                }
+                (Token::Dot, dot_span) => {
+                    let dot_span = *dot_span;
+                    if items.is_empty() {
+                        return Err(ReadError::new("`.` with no preceding form", dot_span));
+                    }
+                    self.next()?;
+                    let tail = self
+                        .read_one()?
+                        .ok_or_else(|| ReadError::new("expected form after `.`", dot_span))?;
+                    match self.next()? {
+                        (Token::Close, end) => {
+                            return Ok(Syntax::improper(items, tail, open_span.merge(&end)))
+                        }
+                        (_, bad) => {
+                            return Err(ReadError::new("expected `)` after dotted tail", bad))
+                        }
+                    }
+                }
+                (Token::Eof, eof_span) => {
+                    return Err(ReadError::new("unterminated list", *eof_span))
+                }
+                _ => {
+                    let item = self.read_one()?.expect("peeked non-eof");
+                    items.push(item);
+                }
+            }
+        }
+    }
+}
+
+/// Reads a single datum from `src`.
+///
+/// # Errors
+///
+/// Returns [`ReadError`] if the input is malformed or contains no datum.
+///
+/// # Examples
+///
+/// ```
+/// use lagoon_syntax::{read_datum, Datum};
+/// let d = read_datum("(+ 1 2)", "<doc>")?;
+/// assert_eq!(d, Datum::list(vec![Datum::sym("+"), Datum::Int(1), Datum::Int(2)]));
+/// # Ok::<(), lagoon_syntax::ReadError>(())
+/// ```
+pub fn read_datum(src: &str, source: &str) -> Result<Datum, ReadError> {
+    Ok(read_syntax(src, source)?.to_datum())
+}
+
+/// Reads a single syntax object from `src`.
+///
+/// # Errors
+///
+/// Returns [`ReadError`] if the input is malformed or empty.
+pub fn read_syntax(src: &str, source: &str) -> Result<Syntax, ReadError> {
+    let source = Symbol::intern(source);
+    let mut rd = Reader::new(src, source);
+    rd.read_one()?
+        .ok_or_else(|| ReadError::new("no datum in input", Span::new(source, 0, 0, 1, 1)))
+}
+
+/// Reads every form in `src`.
+///
+/// # Errors
+///
+/// Returns [`ReadError`] if any form is malformed.
+pub fn read_all(src: &str, source: &str) -> Result<Vec<Syntax>, ReadError> {
+    let source = Symbol::intern(source);
+    let mut rd = Reader::new(src, source);
+    let mut out = Vec::new();
+    while let Some(stx) = rd.read_one()? {
+        out.push(stx);
+    }
+    Ok(out)
+}
+
+/// Reads a whole module: a `#lang <name>` line followed by body forms
+/// (paper §2.3: “Every module specifies in the first line of the module the
+/// language it is written in”).
+///
+/// # Errors
+///
+/// Returns [`ReadError`] if the `#lang` line is missing or malformed, or
+/// any body form is malformed.
+///
+/// # Examples
+///
+/// ```
+/// use lagoon_syntax::read_module;
+/// let m = read_module("#lang lagoon\n(+ 1 2)\n", "demo")?;
+/// assert_eq!(m.lang.as_str(), "lagoon");
+/// assert_eq!(m.body.len(), 1);
+/// # Ok::<(), lagoon_syntax::ReadError>(())
+/// ```
+pub fn read_module(src: &str, source: &str) -> Result<ModuleSource, ReadError> {
+    let source_sym = Symbol::intern(source);
+    let src = src.trim_start_matches('\u{feff}');
+    let mut lines = src.splitn(2, '\n');
+    let first = lines.next().unwrap_or("").trim();
+    let rest = lines.next().unwrap_or("");
+    let Some(lang_part) = first.strip_prefix("#lang") else {
+        return Err(ReadError::new(
+            "module must start with `#lang <language>`",
+            Span::new(source_sym, 0, first.len() as u32, 1, 1),
+        ));
+    };
+    let lang = lang_part.trim();
+    if lang.is_empty() || lang.contains(char::is_whitespace) {
+        return Err(ReadError::new(
+            "malformed `#lang` line",
+            Span::new(source_sym, 0, first.len() as u32, 1, 1),
+        ));
+    }
+    // Body spans start on line 2; we re-lex the remainder with an offset
+    // reader. Simplest correct approach: prepend a newline so line numbers
+    // line up (the #lang line was line 1).
+    let body_src = format!("\n{rest}");
+    let mut rd = Reader::new(&body_src, source_sym);
+    let mut body = Vec::new();
+    while let Some(stx) = rd.read_one()? {
+        body.push(stx);
+    }
+    Ok(ModuleSource {
+        lang: Symbol::intern(lang),
+        body,
+        source: source_sym,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_nested_lists() {
+        let d = read_datum("(a (b c) d)", "<t>").unwrap();
+        assert_eq!(d.to_string(), "(a (b c) d)");
+    }
+
+    #[test]
+    fn reads_improper_lists() {
+        let d = read_datum("(a b . c)", "<t>").unwrap();
+        assert_eq!(d.to_string(), "(a b . c)");
+    }
+
+    #[test]
+    fn reads_vectors() {
+        let d = read_datum("#(1 2 (3))", "<t>").unwrap();
+        assert_eq!(d.to_string(), "#(1 2 (3))");
+    }
+
+    #[test]
+    fn quote_shorthands() {
+        assert_eq!(read_datum("'x", "<t>").unwrap().to_string(), "(quote x)");
+        assert_eq!(
+            read_datum("`(a ,b ,@c)", "<t>").unwrap().to_string(),
+            "(quasiquote (a (unquote b) (unquote-splicing c)))"
+        );
+        assert_eq!(read_datum("#'x", "<t>").unwrap().to_string(), "(syntax x)");
+        assert_eq!(
+            read_datum("#`(f #,x)", "<t>").unwrap().to_string(),
+            "(quasisyntax (f (unsyntax x)))"
+        );
+    }
+
+    #[test]
+    fn read_all_reads_everything() {
+        let forms = read_all("1 2 (3 4)", "<t>").unwrap();
+        assert_eq!(forms.len(), 3);
+        assert_eq!(forms[2].to_datum().to_string(), "(3 4)");
+    }
+
+    #[test]
+    fn module_reading() {
+        let m = read_module("#lang count\n(f 1)\n(g 2)\n", "m").unwrap();
+        assert_eq!(m.lang.as_str(), "count");
+        assert_eq!(m.body.len(), 2);
+        // spans: body starts at line 2
+        assert_eq!(m.body[0].span().line, 2);
+        assert_eq!(m.body[1].span().line, 3);
+    }
+
+    #[test]
+    fn module_requires_lang_line() {
+        assert!(read_module("(f 1)", "m").is_err());
+        assert!(read_module("#lang", "m").is_err());
+        assert!(read_module("#lang two words", "m").is_err());
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let err = read_syntax("(a b", "<t>").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        let err = read_syntax(")", "<t>").unwrap_err();
+        assert!(err.message.contains("unexpected"));
+        assert_eq!(err.span.line, 1);
+    }
+
+    #[test]
+    fn spans_cover_forms() {
+        let s = read_syntax("(abc def)", "<t>").unwrap();
+        assert_eq!(s.span().start, 0);
+        assert_eq!(s.span().end, 9);
+        let items = s.as_list().unwrap();
+        assert_eq!(items[0].span().start, 1);
+        assert_eq!(items[1].span().start, 5);
+    }
+
+    #[test]
+    fn dotted_errors() {
+        assert!(read_syntax("(. a)", "<t>").is_err());
+        assert!(read_syntax("(a . b c)", "<t>").is_err());
+        assert!(read_syntax("(a .)", "<t>").is_err());
+    }
+}

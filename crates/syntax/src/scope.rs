@@ -1,0 +1,202 @@
+//! Sets-of-scopes hygiene data.
+//!
+//! Lagoon implements hygiene with Flatt's *sets of scopes* model — the same
+//! model that underlies the Racket expander the paper describes. Every
+//! syntax object carries a [`ScopeSet`]; binding forms add fresh scopes to
+//! the region they bind, macro expansion *flips* a fresh introduction scope
+//! on everything a transformer introduces, and reference resolution picks
+//! the binding whose scope set is the largest subset of the reference's.
+//!
+//! This module defines only the data and set algebra; the binding table and
+//! resolution live in `lagoon-core`.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A single scope: an opaque token generated freshly for each binding
+/// context (module, `lambda` body, macro invocation, …).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Scope(u32);
+
+impl Scope {
+    /// Allocates a scope no other call has returned.
+    pub fn fresh() -> Scope {
+        static COUNTER: AtomicU32 = AtomicU32::new(1);
+        Scope(COUNTER.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The raw id, for debugging output only.
+    pub fn id(&self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sc{}", self.0)
+    }
+}
+
+/// A set of scopes, kept as a sorted vector (scope sets are small — usually
+/// under a dozen elements — so a sorted vec beats a hash set).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct ScopeSet(Vec<Scope>);
+
+impl ScopeSet {
+    /// The empty scope set.
+    pub fn new() -> ScopeSet {
+        ScopeSet(Vec::new())
+    }
+
+    /// Builds a set from arbitrary scopes.
+    pub fn from_scopes(mut scopes: Vec<Scope>) -> ScopeSet {
+        scopes.sort_unstable();
+        scopes.dedup();
+        ScopeSet(scopes)
+    }
+
+    /// Number of scopes in the set.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether `scope` is a member.
+    pub fn contains(&self, scope: Scope) -> bool {
+        self.0.binary_search(&scope).is_ok()
+    }
+
+    /// Returns a copy with `scope` added.
+    pub fn with(&self, scope: Scope) -> ScopeSet {
+        match self.0.binary_search(&scope) {
+            Ok(_) => self.clone(),
+            Err(pos) => {
+                let mut v = self.0.clone();
+                v.insert(pos, scope);
+                ScopeSet(v)
+            }
+        }
+    }
+
+    /// Returns a copy with `scope` removed.
+    pub fn without(&self, scope: Scope) -> ScopeSet {
+        match self.0.binary_search(&scope) {
+            Ok(pos) => {
+                let mut v = self.0.clone();
+                v.remove(pos);
+                ScopeSet(v)
+            }
+            Err(_) => self.clone(),
+        }
+    }
+
+    /// Returns a copy with `scope` *flipped*: removed if present, added if
+    /// absent. Macro expansion flips the introduction scope so that syntax
+    /// passed *into* a transformer and returned unchanged ends up without
+    /// the scope, while syntax the transformer introduced ends up with it.
+    pub fn flipped(&self, scope: Scope) -> ScopeSet {
+        if self.contains(scope) {
+            self.without(scope)
+        } else {
+            self.with(scope)
+        }
+    }
+
+    /// Whether every scope in `self` is also in `other`.
+    pub fn is_subset(&self, other: &ScopeSet) -> bool {
+        let mut it = other.0.iter();
+        'outer: for s in &self.0 {
+            for o in it.by_ref() {
+                match o.cmp(s) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Iterates over the member scopes in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Scope> + '_ {
+        self.0.iter().copied()
+    }
+}
+
+impl fmt::Debug for ScopeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, s) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{s:?}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+impl FromIterator<Scope> for ScopeSet {
+    fn from_iter<I: IntoIterator<Item = Scope>>(iter: I) -> ScopeSet {
+        ScopeSet::from_scopes(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_scopes_differ() {
+        assert_ne!(Scope::fresh(), Scope::fresh());
+    }
+
+    #[test]
+    fn add_remove_contains() {
+        let a = Scope::fresh();
+        let b = Scope::fresh();
+        let s = ScopeSet::new().with(a);
+        assert!(s.contains(a));
+        assert!(!s.contains(b));
+        let s2 = s.with(b).without(a);
+        assert!(!s2.contains(a));
+        assert!(s2.contains(b));
+    }
+
+    #[test]
+    fn adding_twice_is_idempotent() {
+        let a = Scope::fresh();
+        let s = ScopeSet::new().with(a).with(a);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn flip_round_trips() {
+        let a = Scope::fresh();
+        let s = ScopeSet::new();
+        let once = s.flipped(a);
+        assert!(once.contains(a));
+        let twice = once.flipped(a);
+        assert_eq!(twice, s);
+    }
+
+    #[test]
+    fn subset_algebra() {
+        let a = Scope::fresh();
+        let b = Scope::fresh();
+        let c = Scope::fresh();
+        let small = ScopeSet::from_scopes(vec![a, b]);
+        let big = ScopeSet::from_scopes(vec![a, b, c]);
+        assert!(small.is_subset(&big));
+        assert!(!big.is_subset(&small));
+        assert!(ScopeSet::new().is_subset(&small));
+        assert!(small.is_subset(&small));
+        let other = ScopeSet::from_scopes(vec![a, c]);
+        assert!(!small.is_subset(&other));
+    }
+}

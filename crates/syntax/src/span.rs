@@ -1,0 +1,109 @@
+//! Source locations.
+//!
+//! Every syntax object carries a [`Span`] recording where in the source it
+//! was read, so that expansion-time and typecheck-time errors can point at
+//! the offending text — the paper's `typecheck: wrong type in: 3.7`
+//! diagnostics depend on this metadata surviving macro expansion.
+
+use crate::symbol::Symbol;
+use std::fmt;
+
+/// A half-open region of a named source, with 1-based line/column of its
+/// start for human-readable diagnostics.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Span {
+    /// Name of the source (file path, module name, or `"<string>"`).
+    pub source: Symbol,
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 1-based column number of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// A span covering `start..end` at the given line/column.
+    pub fn new(source: Symbol, start: u32, end: u32, line: u32, col: u32) -> Span {
+        Span {
+            source,
+            start,
+            end,
+            line,
+            col,
+        }
+    }
+
+    /// A placeholder span for synthesized syntax with no source text.
+    pub fn synthetic() -> Span {
+        Span {
+            source: Symbol::intern("<synthesized>"),
+            start: 0,
+            end: 0,
+            line: 0,
+            col: 0,
+        }
+    }
+
+    /// Whether this span refers to real source text.
+    pub fn is_synthetic(&self) -> bool {
+        self.line == 0
+    }
+
+    /// The smallest span covering both `self` and `other`, keeping
+    /// `self`'s line/column (assumed to start earlier).
+    pub fn merge(&self, other: &Span) -> Span {
+        Span {
+            source: self.source,
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line,
+            col: self.col,
+        }
+    }
+}
+
+impl Default for Span {
+    fn default() -> Span {
+        Span::synthetic()
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_synthetic() {
+            write!(f, "{}", self.source)
+        } else {
+            write!(f, "{}:{}:{}", self.source, self.line, self.col)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shows_position() {
+        let s = Span::new(Symbol::from("demo.rkt"), 0, 5, 3, 7);
+        assert_eq!(s.to_string(), "demo.rkt:3:7");
+    }
+
+    #[test]
+    fn synthetic_display() {
+        assert_eq!(Span::synthetic().to_string(), "<synthesized>");
+        assert!(Span::synthetic().is_synthetic());
+    }
+
+    #[test]
+    fn merge_covers_both() {
+        let src = Symbol::from("f");
+        let a = Span::new(src, 2, 5, 1, 3);
+        let b = Span::new(src, 7, 10, 1, 8);
+        let m = a.merge(&b);
+        assert_eq!((m.start, m.end), (2, 10));
+        assert_eq!((m.line, m.col), (1, 3));
+    }
+}

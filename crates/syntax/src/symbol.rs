@@ -1,0 +1,163 @@
+//! Interned symbols.
+//!
+//! Symbols are the identifiers of the Lagoon language. They are interned in
+//! a global table so that equality and hashing are O(1), and so that a
+//! [`Symbol`] is a small `Copy` value that can be embedded in every datum,
+//! syntax object, and binding-table key.
+//!
+//! # Examples
+//!
+//! ```
+//! use lagoon_syntax::Symbol;
+//! let a = Symbol::from("lambda");
+//! let b = Symbol::from("lambda");
+//! assert_eq!(a, b);
+//! assert_eq!(a.as_str(), "lambda");
+//! ```
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// An interned symbol: a cheap, copyable handle to a string.
+///
+/// Two symbols are equal iff their names are equal (for symbols created via
+/// [`Symbol::from`]) — gensyms created with [`Symbol::fresh`] are equal only
+/// to themselves.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    names: Vec<String>,
+    table: HashMap<String, u32>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            names: Vec::new(),
+            table: HashMap::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `name`, returning the canonical symbol for it.
+    pub fn intern(name: &str) -> Symbol {
+        {
+            let rd = interner().read();
+            if let Some(&id) = rd.table.get(name) {
+                return Symbol(id);
+            }
+        }
+        let mut wr = interner().write();
+        if let Some(&id) = wr.table.get(name) {
+            return Symbol(id);
+        }
+        let id = wr.names.len() as u32;
+        wr.names.push(name.to_owned());
+        wr.table.insert(name.to_owned(), id);
+        Symbol(id)
+    }
+
+    /// Creates a fresh, uninterned symbol whose printed name starts with
+    /// `base`. The result is distinct from every other symbol, including
+    /// other fresh symbols with the same base.
+    ///
+    /// This is the analogue of Lisp's `gensym`, used by the expander for
+    /// globally unique binding names.
+    pub fn fresh(base: &str) -> Symbol {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let name = format!("{base}~{n}");
+        let mut wr = interner().write();
+        let id = wr.names.len() as u32;
+        // Deliberately *not* added to the lookup table: a later
+        // `Symbol::intern("x~0")` must not collide with this gensym.
+        wr.names.push(name);
+        Symbol(id)
+    }
+
+    /// The symbol's name. Allocates a `String` because the interner may
+    /// grow; the name itself is immutable.
+    pub fn as_str(&self) -> String {
+        interner().read().names[self.0 as usize].clone()
+    }
+
+    /// Runs `f` on the symbol's name without cloning it.
+    pub fn with_str<R>(&self, f: impl FnOnce(&str) -> R) -> R {
+        f(&interner().read().names[self.0 as usize])
+    }
+
+    /// The raw interner index. Useful only for debugging.
+    pub fn index(&self) -> u32 {
+        self.0
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::intern(&s)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.with_str(|s| f.write_str(s))
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.with_str(|s| write!(f, "'{s}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        assert_eq!(Symbol::from("foo"), Symbol::from("foo"));
+        assert_ne!(Symbol::from("foo"), Symbol::from("bar"));
+    }
+
+    #[test]
+    fn round_trips_name() {
+        assert_eq!(Symbol::from("hello-world").as_str(), "hello-world");
+        assert_eq!(Symbol::from("").as_str(), "");
+        assert_eq!(Symbol::from("λ").as_str(), "λ");
+    }
+
+    #[test]
+    fn fresh_symbols_are_unique() {
+        let a = Symbol::fresh("x");
+        let b = Symbol::fresh("x");
+        assert_ne!(a, b);
+        assert_ne!(a.as_str(), b.as_str());
+    }
+
+    #[test]
+    fn fresh_symbols_do_not_collide_with_interned() {
+        let g = Symbol::fresh("y");
+        let name = g.as_str();
+        let interned = Symbol::intern(&name);
+        assert_ne!(g, interned, "gensym must stay uninterned");
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(format!("{}", Symbol::from("abc")), "abc");
+        assert_eq!(format!("{:?}", Symbol::from("abc")), "'abc");
+    }
+}

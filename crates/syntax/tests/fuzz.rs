@@ -1,0 +1,37 @@
+//! Robustness: the reader must never panic, whatever bytes it is fed —
+//! it either parses or returns a `ReadError`.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn reader_never_panics_on_arbitrary_text(src in "\\PC{0,120}") {
+        let _ = lagoon_syntax::read_all(&src, "<fuzz>");
+    }
+
+    #[test]
+    fn reader_never_panics_on_sexpr_shaped_text(
+        src in "[ ()\\[\\]'`,#\\\\\"a-z0-9.+-]{0,120}"
+    ) {
+        let _ = lagoon_syntax::read_all(&src, "<fuzz>");
+    }
+
+    #[test]
+    fn module_reader_never_panics(src in "\\PC{0,160}") {
+        let _ = lagoon_syntax::read_module(&src, "<fuzz>");
+    }
+
+    #[test]
+    fn successful_parses_reprint_and_reparse(src in "[ ()a-z0-9.+-]{0,80}") {
+        if let Ok(forms) = lagoon_syntax::read_all(&src, "<fuzz>") {
+            for form in forms {
+                let printed = form.to_datum().to_string();
+                let reread = lagoon_syntax::read_datum(&printed, "<fuzz2>")
+                    .expect("printer output must re-read");
+                prop_assert_eq!(reread, form.to_datum());
+            }
+        }
+    }
+}

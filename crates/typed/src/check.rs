@@ -1,0 +1,591 @@
+//! The typechecker: whole-module, context-sensitive checking over
+//! fully-expanded core forms (paper §4, figures 2 and 3).
+//!
+//! Design points straight from the paper:
+//!
+//! * the checker sees **only core forms** — every surface form, including
+//!   user-defined macros, was reduced by `local-expand` before checking
+//!   (§4.2);
+//! * the type environment is keyed by identifier — after expansion every
+//!   binding has a globally unique name (§4.3) — and lives in the
+//!   expander's compile-time declaration table, so exported bindings can
+//!   be persisted for separate compilation (§5);
+//! * annotations ride on binders as syntax properties (`type-annotation`,
+//!   attached by `define:`/`lambda:`; §3.1) and are read back with
+//!   [`Tcx::annotation_of`] (the paper's `type-of`);
+//! * the checker **writes every expression's computed type back onto the
+//!   syntax** (property `type`), which is how the optimizer later consults
+//!   validated type information (§7.1).
+
+use crate::intrinsics;
+use crate::types::Type;
+use lagoon_core::{syntax_error, Expander};
+use lagoon_runtime::RtError;
+use lagoon_syntax::{Datum, PropValue, SynData, Symbol, Syntax};
+
+fn space_types() -> Symbol {
+    Symbol::intern("typed#types")
+}
+fn space_pending() -> Symbol {
+    Symbol::intern("typed#pending")
+}
+fn space_aliases() -> Symbol {
+    Symbol::intern("typed#aliases")
+}
+/// Property carrying a binder's declared type (paper §3.1).
+pub fn prop_annotation() -> Symbol {
+    Symbol::intern("type-annotation")
+}
+/// Property carrying a lambda's declared return type.
+pub fn prop_return() -> Symbol {
+    Symbol::intern("return-annotation")
+}
+/// Property carrying an expression's *computed* type (written by the
+/// checker, read by the optimizer).
+pub fn prop_type() -> Symbol {
+    Symbol::intern("type")
+}
+/// Property marking forms the checker must trust, not check (the paper's
+/// `begin-ignored` around `require/typed` residue, §6.1).
+pub fn prop_ignore() -> Symbol {
+    Symbol::intern("typed-ignore")
+}
+fn prop_source() -> Symbol {
+    Symbol::intern("source-name")
+}
+/// Property carrying a static ascription (`ann`).
+pub fn prop_ascribe() -> Symbol {
+    Symbol::intern("ascribe-type")
+}
+
+/// The typechecking context: a thin wrapper over the expander's
+/// compile-time tables.
+pub struct Tcx<'a> {
+    /// The compiling module's expander.
+    pub exp: &'a Expander,
+}
+
+impl<'a> Tcx<'a> {
+    /// Creates a context over `exp`.
+    pub fn new(exp: &'a Expander) -> Tcx<'a> {
+        Tcx { exp }
+    }
+
+    /// Records `name : ty` (the paper's `add-type!`).
+    pub fn add_type(&self, name: Symbol, ty: &Type) {
+        self.exp.meta_put(space_types(), name, ty.to_datum());
+    }
+
+    /// Records `name : ty` *and* persists it into the compiled module
+    /// (the `begin-for-syntax (add-type! …)` residue of §5).
+    pub fn add_type_persistent(&self, name: Symbol, ty: &Type) {
+        self.exp.meta_persist(space_types(), name, ty.to_datum());
+    }
+
+    /// Looks up a binding's type (the paper's `lookup-type`).
+    pub fn lookup(&self, name: Symbol) -> Option<Type> {
+        let d = self.exp.meta_get(space_types(), name)?;
+        Type::from_datum(&d).ok()
+    }
+
+    /// Records a forward declaration `(: name ty)` by source name.
+    pub fn add_pending(&self, source: Symbol, ty: &Type) {
+        self.exp.meta_put(space_pending(), source, ty.to_datum());
+    }
+
+    /// Retrieves a forward declaration by source name.
+    pub fn pending(&self, source: Symbol) -> Option<Type> {
+        let d = self.exp.meta_get(space_pending(), source)?;
+        Type::from_datum(&d).ok()
+    }
+
+    /// Registers a type alias (the typed language's `define-type`). The
+    /// alias is persisted so importing typed modules can use it too.
+    pub fn add_alias(&self, name: Symbol, definition: &Syntax) {
+        self.exp
+            .meta_persist(space_aliases(), name, definition.to_datum());
+    }
+
+    /// Looks up a type alias.
+    pub fn alias(&self, name: Symbol) -> Option<Datum> {
+        self.exp.meta_get(space_aliases(), name)
+    }
+
+    /// Parses a type expression, expanding `define-type` aliases.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on unknown types or cyclic aliases.
+    pub fn parse_type(&self, stx: &Syntax) -> Result<Type, RtError> {
+        let expanded = self.expand_aliases(stx, 0)?;
+        Type::parse(&expanded)
+    }
+
+    fn expand_aliases(&self, stx: &Syntax, depth: usize) -> Result<Syntax, RtError> {
+        if depth > 32 {
+            return Err(type_error("cyclic type alias", stx));
+        }
+        if let Some(sym) = stx.sym() {
+            if let Some(d) = self.alias(sym) {
+                let replacement =
+                    Syntax::from_datum(&d, stx.span(), &lagoon_syntax::ScopeSet::new());
+                return self.expand_aliases(&replacement, depth + 1);
+            }
+            return Ok(stx.clone());
+        }
+        match stx.e() {
+            SynData::List(items) => {
+                let items = items
+                    .iter()
+                    .map(|s| self.expand_aliases(s, depth))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(stx.with_data(SynData::List(items)))
+            }
+            _ => Ok(stx.clone()),
+        }
+    }
+
+    /// Reads the declared type off a binder's syntax property (the
+    /// paper's `type-of`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the annotation fails to parse as a type.
+    pub fn annotation_of(&self, id: &Syntax) -> Result<Option<Type>, RtError> {
+        match id.property(prop_annotation()) {
+            Some(PropValue::Syntax(ty_stx)) => Ok(Some(self.parse_type(ty_stx)?)),
+            Some(PropValue::Datum(d)) => Ok(Some(Type::from_datum(d)?)),
+            None => Ok(None),
+        }
+    }
+}
+
+/// A type error in the paper's format: `typecheck: <msg> in: <stx>`.
+pub fn type_error(message: impl std::fmt::Display, stx: &Syntax) -> RtError {
+    RtError::user(format!("typecheck: {message} in: {stx}")).with_span(stx.span())
+}
+
+/// Strips the expander's `~n` uniquifier to recover a primitive's source
+/// name (`map~3` → `map`); canonical primitive names pass through.
+fn strip_rename(sym: Symbol) -> String {
+    let s = sym.as_str();
+    match s.rfind('~') {
+        Some(i) if s[i + 1..].chars().all(|c| c.is_ascii_digit()) && i > 0 => s[..i].to_string(),
+        _ => s,
+    }
+}
+
+fn type_of_datum(d: &Datum) -> Type {
+    match d {
+        Datum::Int(_) => Type::Integer,
+        Datum::Float(_) => Type::Float,
+        Datum::Complex(_, _) => Type::FloatComplex,
+        Datum::Bool(_) => Type::Boolean,
+        Datum::Str(_) => Type::Str,
+        Datum::Char(_) => Type::Char,
+        Datum::Symbol(_) | Datum::Keyword(_) => Type::Sym,
+        Datum::List(items) if items.is_empty() => Type::Null,
+        Datum::List(items) => Type::List(items.iter().map(type_of_datum).collect()),
+        Datum::Improper(_, _) => Type::Any,
+        Datum::Vector(items) => Type::Vectorof(std::rc::Rc::new(
+            items
+                .iter()
+                .map(type_of_datum)
+                .fold(None::<Type>, |acc, t| {
+                    Some(match acc {
+                        None => t,
+                        Some(a) => a.join(&t),
+                    })
+                })
+                .unwrap_or(Type::Any),
+        )),
+    }
+}
+
+fn head_sym(stx: &Syntax) -> Option<Symbol> {
+    stx.as_list()?.first()?.sym()
+}
+
+/// Typechecks one fully-expanded expression, optionally against an
+/// expected type. Returns the computed type and the expression annotated
+/// with `type` properties throughout.
+///
+/// # Errors
+///
+/// Returns a `typecheck:` error (paper §4.1 format) on any violation.
+pub fn typecheck(tcx: &Tcx, stx: &Syntax, expected: Option<&Type>) -> Result<(Type, Syntax), RtError> {
+    // static ascription first
+    if let Some(PropValue::Syntax(ty_stx)) = stx.property(prop_ascribe()) {
+        let ty = tcx.parse_type(ty_stx)?;
+        let (inner_ty, inner) = typecheck_unascribed(tcx, stx, Some(&ty))?;
+        if !inner_ty.subtype(&ty) {
+            return Err(type_error(
+                format!("wrong type (expected {ty}, got {inner_ty})"),
+                stx,
+            ));
+        }
+        return finish(stx, ty, inner, expected);
+    }
+    let (ty, out) = typecheck_unascribed(tcx, stx, expected)?;
+    finish(stx, ty, out, expected)
+}
+
+fn finish(
+    orig: &Syntax,
+    ty: Type,
+    out: Syntax,
+    expected: Option<&Type>,
+) -> Result<(Type, Syntax), RtError> {
+    if let Some(want) = expected {
+        if !ty.subtype(want) {
+            return Err(type_error(format!("wrong type (expected {want}, got {ty})"), orig));
+        }
+    }
+    let out = out.with_property(prop_type(), PropValue::Datum(ty.to_datum()));
+    Ok((ty, out))
+}
+
+fn typecheck_unascribed(
+    tcx: &Tcx,
+    stx: &Syntax,
+    expected: Option<&Type>,
+) -> Result<(Type, Syntax), RtError> {
+    match stx.e() {
+        SynData::Atom(Datum::Symbol(sym)) => {
+            if let Some(ty) = tcx.lookup(*sym) {
+                return Ok((ty, stx.clone()));
+            }
+            let base = strip_rename(*sym);
+            if let Some(ty) = intrinsics::first_class_type(&base) {
+                return Ok((ty, stx.clone()));
+            }
+            Err(type_error("untyped variable", stx))
+        }
+        SynData::Atom(d) => Ok((type_of_datum(d), stx.clone())),
+        _ => {
+            let head = head_sym(stx)
+                .ok_or_else(|| syntax_error("typecheck: not a core form", stx))?;
+            let items = stx.as_list().unwrap().to_vec();
+            match head.as_str().as_str() {
+                "quote" => Ok((type_of_datum(&items[1].to_datum()), stx.clone())),
+                "quote-syntax" => Ok((Type::Any, stx.clone())),
+                "if" => {
+                    let (_, c) = typecheck(tcx, &items[1], None)?;
+                    let (tt, t) = typecheck(tcx, &items[2], expected)?;
+                    let (te, e) = typecheck(tcx, &items[3], expected)?;
+                    let joined = tt.join(&te);
+                    Ok((
+                        joined,
+                        stx.with_data(SynData::List(vec![items[0].clone(), c, t, e])),
+                    ))
+                }
+                "begin" => {
+                    let mut out = vec![items[0].clone()];
+                    let mut ty = Type::Void;
+                    let last = items.len() - 1;
+                    for (i, form) in items[1..].iter().enumerate() {
+                        let want = if i + 1 == last { expected } else { None };
+                        let (t, f) = typecheck(tcx, form, want)?;
+                        ty = t;
+                        out.push(f);
+                    }
+                    Ok((ty, stx.with_data(SynData::List(out))))
+                }
+                "#%plain-lambda" => typecheck_lambda(tcx, stx, &items, expected),
+                "let-values" | "letrec-values" => {
+                    typecheck_let(tcx, stx, &items, expected, head.as_str() == "letrec-values")
+                }
+                "set!" => {
+                    let target = items[1]
+                        .sym()
+                        .ok_or_else(|| syntax_error("set!: expected identifier", &items[1]))?;
+                    let declared = tcx
+                        .lookup(target)
+                        .ok_or_else(|| type_error("set! of untyped variable", &items[1]))?;
+                    let (_, rhs) = typecheck(tcx, &items[2], Some(&declared))?;
+                    Ok((
+                        Type::Void,
+                        stx.with_data(SynData::List(vec![
+                            items[0].clone(),
+                            items[1].clone(),
+                            rhs,
+                        ])),
+                    ))
+                }
+                "#%plain-app" => typecheck_app(tcx, stx, &items),
+                other => Err(syntax_error(
+                    format!("typecheck: unexpected core form {other}"),
+                    stx,
+                )),
+            }
+        }
+    }
+}
+
+fn typecheck_lambda(
+    tcx: &Tcx,
+    stx: &Syntax,
+    items: &[Syntax],
+    expected: Option<&Type>,
+) -> Result<(Type, Syntax), RtError> {
+    let formals = match items[1].e() {
+        SynData::List(ids) => ids.clone(),
+        _ => {
+            return Err(type_error(
+                "rest arguments are not supported in typed code",
+                &items[1],
+            ))
+        }
+    };
+    let expected_fun = match expected {
+        Some(Type::Fun(doms, rng)) if doms.len() == formals.len() => {
+            Some((doms.clone(), (**rng).clone()))
+        }
+        _ => None,
+    };
+    let mut param_types = Vec::with_capacity(formals.len());
+    for (i, f) in formals.iter().enumerate() {
+        let ty = match tcx.annotation_of(f)? {
+            Some(ty) => ty,
+            None => match &expected_fun {
+                Some((doms, _)) => doms[i].clone(),
+                None => {
+                    return Err(type_error(
+                        format!("missing type annotation for parameter {f}"),
+                        f,
+                    ))
+                }
+            },
+        };
+        tcx.add_type(f.sym().expect("formal is an identifier"), &ty);
+        param_types.push(ty);
+    }
+    let ret_ann = match stx.property(prop_return()) {
+        Some(PropValue::Syntax(ty_stx)) => Some(tcx.parse_type(ty_stx)?),
+        Some(PropValue::Datum(d)) => Some(Type::from_datum(d)?),
+        None => expected_fun.map(|(_, r)| r),
+    };
+    let (body_ty, body) = typecheck(tcx, &items[2], ret_ann.as_ref())?;
+    let ret = ret_ann.unwrap_or(body_ty);
+    let ty = Type::fun(param_types, ret);
+    Ok((
+        ty,
+        stx.with_data(SynData::List(vec![items[0].clone(), items[1].clone(), body])),
+    ))
+}
+
+fn typecheck_let(
+    tcx: &Tcx,
+    stx: &Syntax,
+    items: &[Syntax],
+    expected: Option<&Type>,
+    rec: bool,
+) -> Result<(Type, Syntax), RtError> {
+    let clauses = items[1]
+        .as_list()
+        .ok_or_else(|| syntax_error("malformed let-values", stx))?
+        .to_vec();
+    let mut parsed = Vec::new();
+    for clause in &clauses {
+        let parts = clause.as_list().unwrap();
+        let binder = parts[0].as_list().unwrap()[0].clone();
+        parsed.push((binder, parts[1].clone()));
+    }
+    if rec {
+        // pre-bind every annotated (or fully-annotated-lambda) binder so
+        // recursive references check (paper §4.4: two-pass strategy)
+        for (binder, rhs) in &parsed {
+            if let Some(ty) = declared_or_inferable(tcx, binder, rhs)? {
+                tcx.add_type(binder.sym().unwrap(), &ty);
+            }
+        }
+    }
+    let mut out_clauses = Vec::new();
+    for (binder, rhs) in &parsed {
+        let declared = match tcx.annotation_of(binder)? {
+            Some(t) => Some(t),
+            None if rec => tcx.lookup(binder.sym().unwrap()),
+            None => None,
+        };
+        let (ty, rhs) = typecheck(tcx, rhs, declared.as_ref())?;
+        let bound = declared.unwrap_or(ty);
+        tcx.add_type(binder.sym().unwrap(), &bound);
+        out_clauses.push(lagoon_core::build::lst(vec![
+            lagoon_core::build::lst(vec![binder.clone()]),
+            rhs,
+        ]));
+    }
+    let (body_ty, body) = typecheck(tcx, &items[2], expected)?;
+    Ok((
+        body_ty,
+        stx.with_data(SynData::List(vec![
+            items[0].clone(),
+            lagoon_core::build::lst(out_clauses),
+            body,
+        ])),
+    ))
+}
+
+/// The declared type of a binder, or a function type inferable from a
+/// fully-annotated lambda right-hand side.
+fn declared_or_inferable(
+    tcx: &Tcx,
+    binder: &Syntax,
+    rhs: &Syntax,
+) -> Result<Option<Type>, RtError> {
+    if let Some(t) = tcx.annotation_of(binder)? {
+        return Ok(Some(t));
+    }
+    if head_sym(rhs) == Some(Symbol::intern("#%plain-lambda")) {
+        let items = rhs.as_list().unwrap();
+        if let SynData::List(formals) = items[1].e() {
+            let mut params = Vec::new();
+            for f in formals {
+                match tcx.annotation_of(f)? {
+                    Some(t) => params.push(t),
+                    None => return Ok(None),
+                }
+            }
+            let ret = match rhs.property(prop_return()) {
+                Some(PropValue::Syntax(ty_stx)) => tcx.parse_type(ty_stx)?,
+                Some(PropValue::Datum(d)) => Type::from_datum(d)?,
+                None => return Ok(None),
+            };
+            return Ok(Some(Type::fun(params, ret)));
+        }
+    }
+    Ok(None)
+}
+
+fn typecheck_app(tcx: &Tcx, stx: &Syntax, items: &[Syntax]) -> Result<(Type, Syntax), RtError> {
+    let op = &items[1];
+    let args = &items[2..];
+
+    // `cast` escape hatch: (typed-cast 'ty v)
+    if op.sym().map(strip_rename).as_deref() == Some("typed-cast") {
+        let quoted = args[0].to_datum();
+        let ty_datum = match quoted.as_list() {
+            Some(l) if l.len() == 2 => l[1].clone(),
+            _ => quoted,
+        };
+        let ty = Type::from_datum(&ty_datum)?;
+        let (_, v) = typecheck(tcx, &args[1], None)?;
+        let out = vec![items[0].clone(), op.clone(), args[0].clone(), v];
+        return Ok((ty, stx.with_data(SynData::List(out))));
+    }
+
+    // intrinsic rule for primitive operators used in call position
+    if let Some(op_sym) = op.sym() {
+        if tcx.lookup(op_sym).is_none() {
+            let base = strip_rename(op_sym);
+            let mut arg_types = Vec::with_capacity(args.len());
+            let mut out_args = Vec::with_capacity(args.len());
+            for a in args {
+                let (t, a) = typecheck(tcx, a, None)?;
+                arg_types.push(t);
+                out_args.push(a);
+            }
+            if let Some(result) = intrinsics::apply_rule(&base, &arg_types) {
+                let ty = result.map_err(|msg| type_error(msg, stx))?;
+                let mut out = vec![items[0].clone(), op.clone()];
+                out.extend(out_args);
+                return Ok((ty, stx.with_data(SynData::List(out))));
+            }
+            return Err(type_error(
+                format!("untyped operator {base}"),
+                op,
+            ));
+        }
+    }
+
+    // general application: operator must have a function type
+    let (op_ty, op_out) = typecheck(tcx, op, None)?;
+    match op_ty {
+        Type::Fun(doms, rng) => {
+            if doms.len() != args.len() {
+                return Err(type_error(
+                    format!(
+                        "wrong number of arguments (expected {}, got {})",
+                        doms.len(),
+                        args.len()
+                    ),
+                    stx,
+                ));
+            }
+            let mut out = vec![items[0].clone(), op_out];
+            for (dom, a) in doms.iter().zip(args) {
+                let (_, a) = typecheck(tcx, a, Some(dom))?;
+                out.push(a);
+            }
+            Ok(((*rng).clone(), stx.with_data(SynData::List(out))))
+        }
+        other => Err(type_error(format!("not a function type: {other}"), op)),
+    }
+}
+
+/// The whole-module driver of paper figure 2: collect declared types
+/// (pass 1), then check every form (pass 2). Returns the body with type
+/// properties attached.
+///
+/// # Errors
+///
+/// Returns the first type error encountered.
+pub fn typecheck_module(tcx: &Tcx, forms: &[Syntax]) -> Result<Vec<Syntax>, RtError> {
+    // pass 1: collect definitions with their types (paper §4.4)
+    for form in forms {
+        if head_sym(form) != Some(Symbol::intern("define-values")) {
+            continue;
+        }
+        let items = form.as_list().unwrap();
+        let binder = items[1].as_list().unwrap()[0].clone();
+        let rhs = &items[2];
+        let declared = match tcx.annotation_of(&binder)? {
+            Some(t) => Some(t),
+            None => {
+                let source = match binder.property(prop_source()) {
+                    Some(PropValue::Datum(Datum::Symbol(s))) => Some(*s),
+                    _ => None,
+                };
+                match source.and_then(|s| tcx.pending(s)) {
+                    Some(t) => Some(t),
+                    None => declared_or_inferable(tcx, &binder, rhs)?,
+                }
+            }
+        };
+        if let Some(ty) = declared {
+            tcx.add_type(binder.sym().unwrap(), &ty);
+        }
+    }
+    // pass 2: check each form in this type context
+    let mut out = Vec::with_capacity(forms.len());
+    for form in forms {
+        if head_sym(form) == Some(Symbol::intern("define-values")) {
+            let items = form.as_list().unwrap();
+            let binder = items[1].as_list().unwrap()[0].clone();
+            let name = binder.sym().unwrap();
+            if form.property(prop_ignore()).is_some() {
+                // require/typed residue: trust the annotation (§6.1)
+                let ty = tcx.annotation_of(&binder)?.ok_or_else(|| {
+                    type_error("trusted definition lacks a type annotation", form)
+                })?;
+                tcx.add_type(name, &ty);
+                out.push(form.clone());
+                continue;
+            }
+            let declared = tcx.lookup(name);
+            let (ty, rhs) = typecheck(tcx, &items[2], declared.as_ref())?;
+            if declared.is_none() {
+                tcx.add_type(name, &ty);
+            }
+            out.push(form.with_data(SynData::List(vec![
+                items[0].clone(),
+                items[1].clone(),
+                rhs,
+            ])));
+        } else {
+            let (_, checked) = typecheck(tcx, form, None)?;
+            out.push(checked);
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,553 @@
+//! Typing rules for base-language primitives.
+//!
+//! The paper's typechecker consults an "initial environment specifying
+//! types for any identifiers that the language provides, such as `+`"
+//! (§4.2). Lagoon's primitives are variadic and overloaded across the
+//! numeric tower, and the prelude's list functions are polymorphic, so a
+//! table of fixed `Type`s would not do: each primitive instead gets a
+//! *rule* from argument types to result type.
+
+use crate::types::Type;
+use std::rc::Rc;
+
+/// Outcome of an intrinsic rule.
+pub type RuleResult = Result<Type, String>;
+
+fn num(name: &str, args: &[Type]) -> Result<(), String> {
+    for a in args {
+        if !a.subtype(&Type::Number) {
+            return Err(format!("{name}: expected a number, got {a}"));
+        }
+    }
+    Ok(())
+}
+
+fn real(name: &str, args: &[Type]) -> Result<(), String> {
+    let real_t = Type::Union(vec![Type::Integer, Type::Float]);
+    for a in args {
+        if !a.subtype(&real_t) {
+            return Err(format!("{name}: expected a real number, got {a}"));
+        }
+    }
+    Ok(())
+}
+
+/// Numeric join: complex beats float beats integer.
+fn arith_result(args: &[Type]) -> Type {
+    let mut any_complex = false;
+    let mut any_float = false;
+    let mut any_number = false;
+    for a in args {
+        match a {
+            Type::FloatComplex => any_complex = true,
+            Type::Float => any_float = true,
+            Type::Integer => {}
+            _ => any_number = true,
+        }
+    }
+    if any_complex {
+        Type::FloatComplex
+    } else if any_number {
+        Type::Number
+    } else if any_float {
+        Type::Float
+    } else {
+        Type::Integer
+    }
+}
+
+fn elem_of(name: &str, t: &Type) -> Result<Type, String> {
+    match t {
+        Type::Listof(e) => Ok((**e).clone()),
+        Type::List(ts) => match ts.first() {
+            Some(hd) => Ok(hd.clone()),
+            None => Err(format!("{name}: the list is known to be empty")),
+        },
+        Type::Pairof(a, _) => Ok((**a).clone()),
+        other => Err(format!("{name}: expected a pair, got {other}")),
+    }
+}
+
+fn tail_of(name: &str, t: &Type) -> Result<Type, String> {
+    match t {
+        Type::Listof(_) => Ok(t.clone()),
+        Type::List(ts) => match ts.split_first() {
+            Some((_, tl)) => Ok(Type::List(tl.to_vec())),
+            None => Err(format!("{name}: the list is known to be empty")),
+        },
+        Type::Pairof(_, b) => Ok((**b).clone()),
+        other => Err(format!("{name}: expected a pair, got {other}")),
+    }
+}
+
+fn listof_elem(t: &Type) -> Option<Type> {
+    match t {
+        Type::Null => Some(Type::Union(Vec::new())),
+        Type::Listof(e) => Some((**e).clone()),
+        Type::List(ts) => Some(
+            ts.iter()
+                .fold(None::<Type>, |acc, t| {
+                    Some(match acc {
+                        None => t.clone(),
+                        Some(a) => a.join(t),
+                    })
+                })
+                .unwrap_or(Type::Union(Vec::new())),
+        ),
+        _ => None,
+    }
+}
+
+fn expect_fun(name: &str, t: &Type, arity: usize) -> Result<(Vec<Type>, Type), String> {
+    match t {
+        Type::Fun(args, ret) if args.len() == arity => Ok((args.clone(), (**ret).clone())),
+        other => Err(format!(
+            "{name}: expected a {arity}-argument function, got {other}"
+        )),
+    }
+}
+
+/// Applies the intrinsic typing rule for primitive `name` to argument
+/// types, if `name` has one.
+///
+/// Returns `None` when `name` is not an intrinsic (the checker then falls
+/// back to the variable's declared type). `Some(Err(_))` is a type error.
+pub fn apply_rule(name: &str, args: &[Type]) -> Option<RuleResult> {
+    let r = match name {
+        "+" | "-" | "*" => {
+            if let Err(e) = num(name, args) {
+                return Some(Err(e));
+            }
+            Ok(arith_result(args))
+        }
+        "/" => {
+            if let Err(e) = num(name, args) {
+                return Some(Err(e));
+            }
+            // integer division may produce a float (Lagoon has no exact
+            // rationals — DESIGN.md)
+            match arith_result(args) {
+                Type::Integer => Ok(Type::Number),
+                t => Ok(t),
+            }
+        }
+        "<" | "<=" | ">" | ">=" => {
+            if let Err(e) = real(name, args) {
+                return Some(Err(e));
+            }
+            Ok(Type::Boolean)
+        }
+        "=" => {
+            if let Err(e) = num(name, args) {
+                return Some(Err(e));
+            }
+            Ok(Type::Boolean)
+        }
+        "add1" | "sub1" | "abs" => {
+            if let Err(e) = real(name, args) {
+                return Some(Err(e));
+            }
+            Ok(arith_result(args))
+        }
+        "min" | "max" => {
+            if let Err(e) = real(name, args) {
+                return Some(Err(e));
+            }
+            Ok(arith_result(args))
+        }
+        "magnitude" => {
+            if let Err(e) = num(name, args) {
+                return Some(Err(e));
+            }
+            Ok(match args.first() {
+                Some(Type::Integer) => Type::Integer,
+                Some(Type::Float) | Some(Type::FloatComplex) => Type::Float,
+                _ => Type::Number,
+            })
+        }
+        "sqrt" => {
+            if let Err(e) = num(name, args) {
+                return Some(Err(e));
+            }
+            Ok(match args.first() {
+                // Typed Lagoon assumes Float sqrt stays real; see DESIGN.md
+                Some(Type::Float) => Type::Float,
+                Some(Type::FloatComplex) => Type::FloatComplex,
+                _ => Type::Number,
+            })
+        }
+        "sin" | "cos" | "tan" | "asin" | "acos" | "atan" | "log" | "exp" => {
+            if let Err(e) = real(name, args) {
+                return Some(Err(e));
+            }
+            Ok(Type::Float)
+        }
+        "expt" => {
+            if let Err(e) = num(name, args) {
+                return Some(Err(e));
+            }
+            Ok(match (args.first(), args.get(1)) {
+                (Some(Type::Integer), Some(Type::Integer)) => Type::Integer,
+                _ => Type::Float,
+            })
+        }
+        "quotient" | "remainder" | "modulo" => {
+            for a in args {
+                if !a.subtype(&Type::Integer) {
+                    return Some(Err(format!("{name}: expected an integer, got {a}")));
+                }
+            }
+            Ok(Type::Integer)
+        }
+        "exact->inexact" => Ok(match args.first() {
+            Some(Type::FloatComplex) => Type::FloatComplex,
+            _ => Type::Float,
+        }),
+        "exact" | "inexact->exact" => Ok(Type::Integer),
+        "floor" | "ceiling" | "round" | "truncate" => Ok(match args.first() {
+            Some(Type::Integer) => Type::Integer,
+            _ => Type::Float,
+        }),
+        "zero?" | "positive?" | "negative?" => {
+            if let Err(e) = num(name, args) {
+                return Some(Err(e));
+            }
+            Ok(Type::Boolean)
+        }
+        "even?" | "odd?" => {
+            for a in args {
+                if !a.subtype(&Type::Integer) {
+                    return Some(Err(format!("{name}: expected an integer, got {a}")));
+                }
+            }
+            Ok(Type::Boolean)
+        }
+        "number?" | "integer?" | "exact-integer?" | "flonum?" | "real?" | "exact?"
+        | "inexact?" | "boolean?" | "symbol?" | "string?" | "char?" | "procedure?" | "void?"
+        | "keyword?" | "box?" | "vector?" | "not" | "eq?" | "eqv?" | "equal?" | "null?"
+        | "pair?" | "list?" => Ok(Type::Boolean),
+
+        "make-rectangular" => {
+            if let Err(e) = real(name, args) {
+                return Some(Err(e));
+            }
+            Ok(Type::FloatComplex)
+        }
+        "real-part" | "imag-part" => Ok(match args.first() {
+            Some(Type::Integer) => Type::Integer,
+            _ => Type::Float,
+        }),
+
+        // pairs and lists
+        "cons" => {
+            let (a, b) = (args[0].clone(), args[1].clone());
+            Ok(match &b {
+                Type::Null => Type::List(vec![a]),
+                Type::List(ts) => {
+                    let mut out = vec![a];
+                    out.extend(ts.iter().cloned());
+                    Type::List(out)
+                }
+                Type::Listof(t) => Type::Listof(Rc::new(a.join(t))),
+                _ => Type::Pairof(Rc::new(a), Rc::new(b)),
+            })
+        }
+        "car" | "first" => elem_of(name, &args[0]),
+        "cdr" | "rest" => tail_of(name, &args[0]),
+        "cadr" | "second" => {
+            let t = match tail_of(name, &args[0]) {
+                Ok(t) => t,
+                Err(e) => return Some(Err(e)),
+            };
+            match elem_of(name, &t) {
+                Ok(t) => Ok(t),
+                Err(e) => Err(e),
+            }
+        }
+        "caddr" | "third" => {
+            let mut t = args[0].clone();
+            for _ in 0..2 {
+                t = match tail_of(name, &t) {
+                    Ok(t) => t,
+                    Err(e) => return Some(Err(e)),
+                };
+            }
+            match elem_of(name, &t) {
+                Ok(t) => Ok(t),
+                Err(e) => Err(e),
+            }
+        }
+        "list" => Ok(Type::List(args.to_vec())),
+        "length" => Ok(Type::Integer),
+        "reverse" => Ok(match &args[0] {
+            Type::List(ts) => Type::List(ts.iter().rev().cloned().collect()),
+            t => t.clone(),
+        }),
+        "append" => {
+            let mut elem: Option<Type> = None;
+            for a in args {
+                match listof_elem(a) {
+                    Some(e) => {
+                        elem = Some(match elem {
+                            None => e,
+                            Some(acc) => acc.join(&e),
+                        })
+                    }
+                    None => return Some(Err(format!("append: expected a list, got {a}"))),
+                }
+            }
+            Ok(match elem {
+                Some(Type::Union(ts)) if ts.is_empty() => Type::Null,
+                Some(e) => Type::Listof(Rc::new(e)),
+                None => Type::Null,
+            })
+        }
+        "list-ref" => match listof_elem(&args[0]) {
+            Some(e) => Ok(e),
+            None => Err(format!("list-ref: expected a list, got {}", args[0])),
+        },
+        "list-tail" => Ok(match &args[0] {
+            Type::Listof(_) => args[0].clone(),
+            t => match listof_elem(t) {
+                Some(e) => Type::Listof(Rc::new(e)),
+                None => return Some(Err(format!("list-tail: expected a list, got {t}"))),
+            },
+        }),
+        "last" => match listof_elem(&args[0]) {
+            Some(e) => Ok(e),
+            None => Err(format!("last: expected a list, got {}", args[0])),
+        },
+        "memq" | "memv" | "member" | "assq" | "assv" | "assoc" => Ok(Type::Any),
+
+        // vectors
+        "vector" => Ok(Type::Vectorof(Rc::new(
+            args.iter()
+                .fold(None::<Type>, |acc, t| {
+                    Some(match acc {
+                        None => t.clone(),
+                        Some(a) => a.join(t),
+                    })
+                })
+                .unwrap_or(Type::Any),
+        ))),
+        "make-vector" => Ok(Type::Vectorof(Rc::new(
+            args.get(1).cloned().unwrap_or(Type::Integer),
+        ))),
+        "vector-ref" => match &args[0] {
+            Type::Vectorof(t) => Ok((**t).clone()),
+            t => Err(format!("vector-ref: expected a vector, got {t}")),
+        },
+        "vector-set!" => Ok(Type::Void),
+        "vector-fill!" => Ok(Type::Void),
+        "vector-length" => Ok(Type::Integer),
+        "vector->list" => match &args[0] {
+            Type::Vectorof(t) => Ok(Type::Listof(t.clone())),
+            t => Err(format!("vector->list: expected a vector, got {t}")),
+        },
+        "list->vector" => match listof_elem(&args[0]) {
+            Some(e) => Ok(Type::Vectorof(Rc::new(e))),
+            None => Err(format!("list->vector: expected a list, got {}", args[0])),
+        },
+        "vector-copy" => Ok(args[0].clone()),
+
+        // strings and characters
+        "string-append" | "substring" | "string-upcase" | "string-downcase"
+        | "symbol->string" | "number->string" | "list->string" | "format" => Ok(Type::Str),
+        "string-length" | "char->integer" => Ok(Type::Integer),
+        "string-ref" | "integer->char" | "char-upcase" | "char-downcase" => Ok(Type::Char),
+        "string=?" | "string<?" | "char=?" | "char<?" | "char-alphabetic?"
+        | "char-numeric?" | "char-whitespace?" => Ok(Type::Boolean),
+        "string->symbol" | "gensym" => Ok(Type::Sym),
+        "string->number" => Ok(Type::Union(vec![Type::Number, Type::Boolean])),
+        "string->list" => Ok(Type::Listof(Rc::new(Type::Char))),
+        "string->bytes" => Ok(Type::Listof(Rc::new(Type::Integer))),
+
+        // I/O and misc
+        "display" | "displayln" | "write" | "print" | "newline" | "printf" | "void" => {
+            Ok(Type::Void)
+        }
+        "error" => Ok(Type::Any),
+        "current-seconds" => Ok(Type::Integer),
+        "current-inexact-milliseconds" => Ok(Type::Float),
+        "random" => Ok(match args.first() {
+            Some(Type::Integer) => Type::Integer,
+            None => Type::Float,
+            Some(t) => return Some(Err(format!("random: expected an integer, got {t}"))),
+        }),
+        "random-seed" => Ok(Type::Void),
+
+        // polymorphic prelude functions
+        "map" | "map1" => {
+            let (doms, rng) = match expect_fun(name, &args[0], args.len() - 1) {
+                Ok(f) => f,
+                Err(e) => return Some(Err(e)),
+            };
+            for (dom, lst) in doms.iter().zip(&args[1..]) {
+                match listof_elem(lst) {
+                    Some(e) => {
+                        if !e.subtype(dom) {
+                            return Some(Err(format!(
+                                "{name}: element type {e} does not fit parameter type {dom}"
+                            )));
+                        }
+                    }
+                    None => return Some(Err(format!("{name}: expected a list, got {lst}"))),
+                }
+            }
+            Ok(Type::Listof(Rc::new(rng)))
+        }
+        "for-each" | "vector-for-each" => Ok(Type::Void),
+        "filter" => match listof_elem(&args[1]) {
+            Some(e) => Ok(Type::Listof(Rc::new(e))),
+            None => Err(format!("filter: expected a list, got {}", args[1])),
+        },
+        "foldl" | "foldr" => {
+            let (doms, rng) = match expect_fun(name, &args[0], 2) {
+                Ok(f) => f,
+                Err(e) => return Some(Err(e)),
+            };
+            let elem = match listof_elem(&args[2]) {
+                Some(e) => e,
+                None => return Some(Err(format!("{name}: expected a list, got {}", args[2]))),
+            };
+            if !elem.subtype(&doms[0]) {
+                return Some(Err(format!(
+                    "{name}: element type {elem} does not fit parameter type {}",
+                    doms[0]
+                )));
+            }
+            Ok(args[1].join(&rng))
+        }
+        "build-list" => {
+            let (_, rng) = match expect_fun(name, &args[1], 1) {
+                Ok(f) => f,
+                Err(e) => return Some(Err(e)),
+            };
+            Ok(Type::Listof(Rc::new(rng)))
+        }
+        "andmap" | "ormap" => Ok(Type::Boolean),
+        "iota" | "range" => Ok(Type::Listof(Rc::new(Type::Integer))),
+        "sum" => Ok(Type::Number),
+        "list-max" => match listof_elem(&args[0]) {
+            Some(e) => Ok(e),
+            None => Err(format!("list-max: expected a list, got {}", args[0])),
+        },
+        "vector-map" => {
+            let (_, rng) = match expect_fun(name, &args[0], 1) {
+                Ok(f) => f,
+                Err(e) => return Some(Err(e)),
+            };
+            Ok(Type::Vectorof(Rc::new(rng)))
+        }
+        "list-copy" => Ok(args[0].clone()),
+        "apply" => Ok(Type::Any),
+
+        _ => return None,
+    };
+    Some(r)
+}
+
+/// A plain function type for a primitive used as a first-class value
+/// (e.g. `(foldl + 0 lst)`).
+pub fn first_class_type(name: &str) -> Option<Type> {
+    let t = match name {
+        "+" | "-" | "*" | "min" | "max" => {
+            Type::fun(vec![Type::Number, Type::Number], Type::Number)
+        }
+        "/" => Type::fun(vec![Type::Number, Type::Number], Type::Number),
+        "<" | "<=" | ">" | ">=" | "=" => {
+            Type::fun(vec![Type::Number, Type::Number], Type::Boolean)
+        }
+        "add1" | "sub1" | "abs" => Type::fun(vec![Type::Number], Type::Number),
+        "cons" => Type::fun(vec![Type::Any, Type::Any], Type::Pairof(Rc::new(Type::Any), Rc::new(Type::Any))),
+        "car" | "cdr" | "first" | "rest" => Type::fun(vec![Type::Any], Type::Any),
+        "not" => Type::fun(vec![Type::Any], Type::Boolean),
+        "zero?" | "even?" | "odd?" | "null?" | "pair?" => {
+            Type::fun(vec![Type::Any], Type::Boolean)
+        }
+        "display" | "displayln" | "write" => Type::fun(vec![Type::Any], Type::Void),
+        _ => return None,
+    };
+    Some(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(name: &str, args: &[Type]) -> Type {
+        apply_rule(name, args).unwrap().unwrap()
+    }
+
+    #[test]
+    fn arithmetic_results() {
+        assert_eq!(rule("+", &[Type::Integer, Type::Integer]), Type::Integer);
+        assert_eq!(rule("+", &[Type::Integer, Type::Float]), Type::Float);
+        assert_eq!(rule("*", &[Type::Float, Type::Float]), Type::Float);
+        assert_eq!(
+            rule("*", &[Type::FloatComplex, Type::Float]),
+            Type::FloatComplex
+        );
+        assert_eq!(rule("/", &[Type::Integer, Type::Integer]), Type::Number);
+        assert_eq!(rule("/", &[Type::Float, Type::Float]), Type::Float);
+    }
+
+    #[test]
+    fn arithmetic_rejects_non_numbers() {
+        assert!(apply_rule("+", &[Type::Str, Type::Integer]).unwrap().is_err());
+        assert!(apply_rule("<", &[Type::FloatComplex, Type::Integer])
+            .unwrap()
+            .is_err());
+    }
+
+    #[test]
+    fn list_rules() {
+        let li = Type::List(vec![Type::Integer, Type::Str]);
+        assert_eq!(rule("car", &[li.clone()]), Type::Integer);
+        assert_eq!(rule("cdr", &[li.clone()]), Type::List(vec![Type::Str]));
+        assert_eq!(rule("second", &[li.clone()]), Type::Str);
+        let lo = Type::Listof(Rc::new(Type::Float));
+        assert_eq!(rule("car", &[lo.clone()]), Type::Float);
+        assert_eq!(rule("cdr", &[lo.clone()]), lo);
+        assert!(apply_rule("car", &[Type::Integer]).unwrap().is_err());
+        assert!(apply_rule("car", &[Type::Null]).unwrap().is_err());
+    }
+
+    #[test]
+    fn cons_rules() {
+        assert_eq!(
+            rule("cons", &[Type::Integer, Type::Null]),
+            Type::List(vec![Type::Integer])
+        );
+        assert_eq!(
+            rule("cons", &[Type::Integer, Type::Listof(Rc::new(Type::Integer))]),
+            Type::Listof(Rc::new(Type::Integer))
+        );
+        assert_eq!(
+            rule("cons", &[Type::Float, Type::Listof(Rc::new(Type::Integer))]),
+            Type::Listof(Rc::new(Type::Number))
+        );
+    }
+
+    #[test]
+    fn higher_order_rules() {
+        let f = Type::fun(vec![Type::Integer], Type::Float);
+        let l = Type::Listof(Rc::new(Type::Integer));
+        assert_eq!(rule("map", &[f, l.clone()]), Type::Listof(Rc::new(Type::Float)));
+        let pred = Type::fun(vec![Type::Integer], Type::Boolean);
+        assert_eq!(rule("filter", &[pred, l.clone()]), l);
+        let acc = Type::fun(vec![Type::Integer, Type::Integer], Type::Integer);
+        assert_eq!(rule("foldl", &[acc, Type::Integer, l]), Type::Integer);
+    }
+
+    #[test]
+    fn unknown_primitives_are_not_intrinsic() {
+        assert!(apply_rule("definitely-not-a-primitive", &[]).is_none());
+    }
+
+    #[test]
+    fn first_class_types_exist_for_common_ops() {
+        assert!(first_class_type("+").is_some());
+        assert!(first_class_type("nope").is_none());
+    }
+}

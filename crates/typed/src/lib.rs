@@ -1,0 +1,30 @@
+//! # lagoon-typed
+//!
+//! The typed sister language of Lagoon — the paper's running example
+//! (*Languages as Libraries*, PLDI 2011, §§3–6) — implemented entirely as
+//! a library over `lagoon-core`'s public extension API:
+//!
+//! * [`types`] — the type language, serialization (§5), and
+//!   `type->contract` (§6);
+//! * [`intrinsics`] — typing rules for the base primitives (§4.2's
+//!   initial environment);
+//! * [`check`] — the whole-module typechecker over locally-expanded core
+//!   forms (figures 2–3), writing computed types back as syntax
+//!   properties for the optimizer;
+//! * [`lang`] — the language itself: annotation forms, the
+//!   `#%module-begin` driver, `require/typed`, export contracts, and the
+//!   `typed-context?` mechanism (§6.2).
+//!
+//! Register it with [`lang::register`]; pass an optimizer hook from
+//! `lagoon-optimizer` to enable §7's type-driven optimization.
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod intrinsics;
+pub mod lang;
+pub mod types;
+
+pub use check::{typecheck, typecheck_module, Tcx};
+pub use lang::{in_typed_context, register, OptimizeFn};
+pub use types::Type;

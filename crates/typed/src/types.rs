@@ -1,0 +1,444 @@
+//! The type language of Typed Lagoon.
+//!
+//! A pragmatic subset of Typed Racket's types, sufficient for the paper's
+//! examples and the benchmark suite: base types, fixed-length `List`
+//! types, `Listof`/`Pairof`/`Vectorof`, function types, and unions.
+//!
+//! Types are parsed from surface syntax ([`Type::parse`]), serialized to
+//! S-expression data for cross-compilation persistence ([`Type::to_datum`]
+//! / [`Type::from_datum`], the paper §5 `serialize` round trip), and
+//! compiled to run-time contracts ([`Type::to_contract`], the paper §6
+//! `type->contract`).
+
+use lagoon_core::syntax_error;
+use lagoon_runtime::{Contract, RtError};
+use lagoon_syntax::{Datum, Symbol, Syntax};
+use std::fmt;
+use std::rc::Rc;
+
+/// A Typed Lagoon type.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Type {
+    /// Exact integers.
+    Integer,
+    /// Inexact reals (`Float`).
+    Float,
+    /// Any number (integers, floats, float-complexes).
+    Number,
+    /// Inexact complex numbers (`Float-Complex`).
+    FloatComplex,
+    /// Booleans.
+    Boolean,
+    /// Strings.
+    Str,
+    /// Characters.
+    Char,
+    /// Symbols.
+    Sym,
+    /// The void value.
+    Void,
+    /// The empty list.
+    Null,
+    /// The top type.
+    Any,
+    /// Homogeneous lists: `(Listof T)`.
+    Listof(Rc<Type>),
+    /// Fixed-length heterogeneous lists: `(List T …)`.
+    List(Vec<Type>),
+    /// Pairs: `(Pairof A B)`.
+    Pairof(Rc<Type>, Rc<Type>),
+    /// Vectors: `(Vectorof T)`.
+    Vectorof(Rc<Type>),
+    /// Functions: `(-> A … R)`.
+    Fun(Vec<Type>, Rc<Type>),
+    /// Unions: `(U T …)`.
+    Union(Vec<Type>),
+}
+
+impl Type {
+    /// The function type `(-> args… ret)`.
+    pub fn fun(args: Vec<Type>, ret: Type) -> Type {
+        Type::Fun(args, Rc::new(ret))
+    }
+
+    /// Whether `self` is a subtype of `other`.
+    pub fn subtype(&self, other: &Type) -> bool {
+        use Type::*;
+        if self == other || matches!(other, Any) {
+            return true;
+        }
+        match (self, other) {
+            (Union(ts), _) => ts.iter().all(|t| t.subtype(other)),
+            (_, Union(ts)) => ts.iter().any(|t| self.subtype(t)),
+            (Integer, Number) | (Float, Number) | (FloatComplex, Number) => true,
+            (Null, Listof(_)) => true,
+            (List(ts), Listof(t)) => ts.iter().all(|x| x.subtype(t)),
+            (List(ts), Null) => ts.is_empty(),
+            (List(ts), Pairof(a, b)) => match ts.split_first() {
+                Some((hd, tl)) => hd.subtype(a) && List(tl.to_vec()).subtype(b),
+                None => false,
+            },
+            (List(a), List(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.subtype(y))
+            }
+            (Listof(a), Listof(b)) => a.subtype(b),
+            (Pairof(a1, b1), Pairof(a2, b2)) => a1.subtype(a2) && b1.subtype(b2),
+            (Vectorof(a), Vectorof(b)) => a == b, // mutable: invariant
+            (Fun(a1, r1), Fun(a2, r2)) => {
+                a1.len() == a2.len()
+                    && a2.iter().zip(a1).all(|(x, y)| x.subtype(y))
+                    && r1.subtype(r2)
+            }
+            _ => false,
+        }
+    }
+
+    /// The least practical upper bound of two types (used to join `if`
+    /// branches).
+    pub fn join(&self, other: &Type) -> Type {
+        if self.subtype(other) {
+            return other.clone();
+        }
+        if other.subtype(self) {
+            return self.clone();
+        }
+        use Type::*;
+        match (self, other) {
+            (Integer | Float | FloatComplex | Number, Integer | Float | FloatComplex | Number) => {
+                Number
+            }
+            (List(_) | Listof(_) | Null, List(_) | Listof(_) | Null) => {
+                let elem = |t: &Type| -> Type {
+                    match t {
+                        Listof(e) => (**e).clone(),
+                        List(ts) => ts
+                            .iter()
+                            .fold(None::<Type>, |acc, t| {
+                                Some(match acc {
+                                    None => t.clone(),
+                                    Some(a) => a.join(t),
+                                })
+                            })
+                            .unwrap_or(Any),
+                        _ => Any,
+                    }
+                };
+                Listof(Rc::new(elem(self).join(&elem(other))))
+            }
+            (Union(ts), o) | (o, Union(ts)) => {
+                let mut out = ts.clone();
+                if !out.iter().any(|t| o.subtype(t)) {
+                    out.push(o.clone());
+                }
+                Union(out)
+            }
+            _ => Union(vec![self.clone(), other.clone()]),
+        }
+    }
+
+    /// Parses a type expression, e.g. `Integer`, `(-> Number Number)`,
+    /// `(Listof String)`, `(Number -> Number)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a syntax error for unknown type constructors.
+    pub fn parse(stx: &Syntax) -> Result<Type, RtError> {
+        if let Some(sym) = stx.sym() {
+            return Type::parse_name(sym)
+                .ok_or_else(|| syntax_error(format!("unknown type {sym}"), stx));
+        }
+        let items = stx
+            .as_list()
+            .ok_or_else(|| syntax_error("malformed type", stx))?;
+        if items.is_empty() {
+            return Err(syntax_error("malformed type", stx));
+        }
+        // infix arrow: (A … -> R)
+        if let Some(pos) = items
+            .iter()
+            .position(|s| s.sym() == Some(Symbol::intern("->")))
+        {
+            if pos > 0 {
+                if pos != items.len() - 2 {
+                    return Err(syntax_error("-> type: expected one result", stx));
+                }
+                let args = items[..pos]
+                    .iter()
+                    .map(Type::parse)
+                    .collect::<Result<Vec<_>, _>>()?;
+                return Ok(Type::fun(args, Type::parse(&items[pos + 1])?));
+            }
+        }
+        let head = items[0]
+            .sym()
+            .ok_or_else(|| syntax_error("malformed type", stx))?;
+        match head.as_str().as_str() {
+            "->" => {
+                if items.len() < 2 {
+                    return Err(syntax_error("-> type: expected a result", stx));
+                }
+                let args = items[1..items.len() - 1]
+                    .iter()
+                    .map(Type::parse)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Type::fun(args, Type::parse(&items[items.len() - 1])?))
+            }
+            "Listof" if items.len() == 2 => {
+                Ok(Type::Listof(Rc::new(Type::parse(&items[1])?)))
+            }
+            "List" => Ok(Type::List(
+                items[1..]
+                    .iter()
+                    .map(Type::parse)
+                    .collect::<Result<Vec<_>, _>>()?,
+            )),
+            "Pairof" if items.len() == 3 => Ok(Type::Pairof(
+                Rc::new(Type::parse(&items[1])?),
+                Rc::new(Type::parse(&items[2])?),
+            )),
+            "Vectorof" if items.len() == 2 => {
+                Ok(Type::Vectorof(Rc::new(Type::parse(&items[1])?)))
+            }
+            "U" => Ok(Type::Union(
+                items[1..]
+                    .iter()
+                    .map(Type::parse)
+                    .collect::<Result<Vec<_>, _>>()?,
+            )),
+            other => Err(syntax_error(format!("unknown type constructor {other}"), stx)),
+        }
+    }
+
+    fn parse_name(sym: Symbol) -> Option<Type> {
+        Some(match sym.as_str().as_str() {
+            "Integer" | "Exact-Integer" | "Fixnum" | "Natural" => Type::Integer,
+            "Float" | "Flonum" | "Real" | "Inexact-Real" => Type::Float,
+            "Number" | "Complex" => Type::Number,
+            "Float-Complex" => Type::FloatComplex,
+            "Boolean" => Type::Boolean,
+            "String" => Type::Str,
+            "Char" => Type::Char,
+            "Symbol" => Type::Sym,
+            "Void" => Type::Void,
+            "Null" => Type::Null,
+            "Any" => Type::Any,
+            "Bytes" => Type::Listof(Rc::new(Type::Integer)), // byte strings are int lists (DESIGN.md)
+            "Path" => Type::Str,
+            _ => return None,
+        })
+    }
+
+    /// Serializes to S-expression data (the paper §5 `serialize`).
+    pub fn to_datum(&self) -> Datum {
+        use Type::*;
+        let sym = |s: &str| Datum::sym(s);
+        match self {
+            Integer => sym("Integer"),
+            Float => sym("Float"),
+            Number => sym("Number"),
+            FloatComplex => sym("Float-Complex"),
+            Boolean => sym("Boolean"),
+            Str => sym("String"),
+            Char => sym("Char"),
+            Sym => sym("Symbol"),
+            Void => sym("Void"),
+            Null => sym("Null"),
+            Any => sym("Any"),
+            Listof(t) => Datum::list(vec![sym("Listof"), t.to_datum()]),
+            List(ts) => {
+                let mut out = vec![sym("List")];
+                out.extend(ts.iter().map(Type::to_datum));
+                Datum::list(out)
+            }
+            Pairof(a, b) => Datum::list(vec![sym("Pairof"), a.to_datum(), b.to_datum()]),
+            Vectorof(t) => Datum::list(vec![sym("Vectorof"), t.to_datum()]),
+            Fun(args, ret) => {
+                let mut out = vec![sym("->")];
+                out.extend(args.iter().map(Type::to_datum));
+                out.push(ret.to_datum());
+                Datum::list(out)
+            }
+            Union(ts) => {
+                let mut out = vec![sym("U")];
+                out.extend(ts.iter().map(Type::to_datum));
+                Datum::list(out)
+            }
+        }
+    }
+
+    /// Deserializes from S-expression data (the paper §5 `parse-type` of a
+    /// persisted declaration).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed data.
+    pub fn from_datum(d: &Datum) -> Result<Type, RtError> {
+        let stx = Syntax::from_datum(d, lagoon_syntax::Span::synthetic(), &Default::default());
+        Type::parse(&stx)
+    }
+
+    /// Compiles to a run-time contract (the paper §6 `type->contract`).
+    pub fn to_contract(&self) -> Contract {
+        use Type::*;
+        match self {
+            Integer => Contract::Integer,
+            Float => Contract::Float,
+            Number => Contract::Number,
+            FloatComplex => Contract::FloatComplex,
+            Boolean => Contract::Boolean,
+            Str => Contract::Str,
+            Char => Contract::Char,
+            Sym => Contract::Sym,
+            Void => Contract::Void,
+            Null => Contract::Null,
+            Any => Contract::Any,
+            Listof(t) => Contract::ListOf(Box::new(t.to_contract())),
+            List(ts) => {
+                // fixed-length list: a chain of pair contracts
+                let mut c = Contract::Null;
+                for t in ts.iter().rev() {
+                    c = Contract::PairOf(Box::new(t.to_contract()), Box::new(c));
+                }
+                c
+            }
+            Pairof(a, b) => {
+                Contract::PairOf(Box::new(a.to_contract()), Box::new(b.to_contract()))
+            }
+            Vectorof(t) => Contract::VectorOf(Box::new(t.to_contract())),
+            Fun(args, ret) => Contract::Function(
+                args.iter().map(Type::to_contract).collect(),
+                Box::new(ret.to_contract()),
+            ),
+            Union(ts) => Contract::Union(ts.iter().map(Type::to_contract).collect()),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_datum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lagoon_syntax::read_syntax;
+
+    fn t(src: &str) -> Type {
+        Type::parse(&read_syntax(src, "<t>").unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parse_base_types() {
+        assert_eq!(t("Integer"), Type::Integer);
+        assert_eq!(t("Float"), Type::Float);
+        assert_eq!(t("Float-Complex"), Type::FloatComplex);
+        assert_eq!(t("Boolean"), Type::Boolean);
+        assert_eq!(t("Any"), Type::Any);
+    }
+
+    #[test]
+    fn parse_constructors() {
+        assert_eq!(t("(Listof Integer)"), Type::Listof(Rc::new(Type::Integer)));
+        assert_eq!(
+            t("(List Number Number Number)"),
+            Type::List(vec![Type::Number, Type::Number, Type::Number])
+        );
+        assert_eq!(
+            t("(-> Integer Integer)"),
+            Type::fun(vec![Type::Integer], Type::Integer)
+        );
+        // paper §3.2 infix style: (Number -> Number)
+        assert_eq!(
+            t("(Number -> Number)"),
+            Type::fun(vec![Type::Number], Type::Number)
+        );
+        assert_eq!(
+            t("(Integer Integer -> Integer)"),
+            Type::fun(vec![Type::Integer, Type::Integer], Type::Integer)
+        );
+        assert_eq!(t("(U Integer String)"), Type::Union(vec![Type::Integer, Type::Str]));
+        // paper §6.1: (Bytes -> Bytes)
+        assert!(matches!(t("(Bytes -> Bytes)"), Type::Fun(_, _)));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Type::parse(&read_syntax("Unknown-Type", "<t>").unwrap()).is_err());
+        assert!(Type::parse(&read_syntax("(Listof)", "<t>").unwrap()).is_err());
+        assert!(Type::parse(&read_syntax("(A -> B -> C)", "<t>").unwrap()).is_err());
+    }
+
+    #[test]
+    fn subtyping_lattice() {
+        assert!(Type::Integer.subtype(&Type::Number));
+        assert!(Type::Float.subtype(&Type::Number));
+        assert!(!Type::Number.subtype(&Type::Integer));
+        assert!(!Type::Integer.subtype(&Type::Float));
+        assert!(Type::Integer.subtype(&Type::Any));
+        assert!(t("(List Integer Integer)").subtype(&t("(Listof Integer)")));
+        assert!(t("(List Integer)").subtype(&t("(Listof Number)")));
+        assert!(!t("(Listof Number)").subtype(&t("(Listof Integer)")));
+        assert!(t("(Listof Integer)").subtype(&t("(Listof Number)")));
+        assert!(t("Null").subtype(&t("(Listof Integer)")));
+        assert!(t("(List Integer Float)").subtype(&t("(Pairof Integer (Listof Number))")));
+    }
+
+    #[test]
+    fn function_subtyping_variance() {
+        // contravariant domains, covariant range
+        let f1 = t("(-> Number Integer)");
+        let f2 = t("(-> Integer Number)");
+        assert!(f1.subtype(&f2));
+        assert!(!f2.subtype(&f1));
+    }
+
+    #[test]
+    fn union_subtyping() {
+        assert!(Type::Integer.subtype(&t("(U Integer String)")));
+        assert!(t("(U Integer Float)").subtype(&Type::Number));
+        assert!(!t("(U Integer String)").subtype(&Type::Number));
+    }
+
+    #[test]
+    fn joins() {
+        assert_eq!(Type::Integer.join(&Type::Integer), Type::Integer);
+        assert_eq!(Type::Integer.join(&Type::Float), Type::Number);
+        assert_eq!(Type::Integer.join(&Type::Number), Type::Number);
+        let j = Type::Integer.join(&Type::Str);
+        assert!(Type::Integer.subtype(&j));
+        assert!(Type::Str.subtype(&j));
+        let j = t("(List Integer)").join(&t("Null"));
+        assert!(t("Null").subtype(&j));
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        for src in [
+            "Integer",
+            "(-> Integer (Listof String))",
+            "(U Integer Float (Listof Any))",
+            "(Pairof Integer (Vectorof Float))",
+            "(List Number Number Number)",
+            "Float-Complex",
+        ] {
+            let ty = t(src);
+            let d = ty.to_datum();
+            assert_eq!(Type::from_datum(&d).unwrap(), ty, "round trip of {src}");
+        }
+    }
+
+    #[test]
+    fn contract_compilation() {
+        assert_eq!(t("Integer").to_contract(), Contract::Integer);
+        assert_eq!(
+            t("(-> Integer String)").to_contract(),
+            Contract::Function(vec![Contract::Integer], Box::new(Contract::Str))
+        );
+        assert_eq!(
+            t("(List Integer)").to_contract(),
+            Contract::PairOf(Box::new(Contract::Integer), Box::new(Contract::Null))
+        );
+    }
+}

@@ -1,0 +1,705 @@
+//! End-to-end tests for the typed sister language: the paper's §3–§6
+//! examples, run through the full read→expand→typecheck→compile→run
+//! pipeline on both engines.
+
+use lagoon_core::{EngineKind, ModuleRegistry};
+use lagoon_runtime::{Kind, Value};
+use std::rc::Rc;
+
+fn registry() -> Rc<ModuleRegistry> {
+    let reg = ModuleRegistry::new();
+    lagoon_typed::register(&reg, "typed/lagoon", None);
+    reg
+}
+
+fn run_typed(src: &str) -> Result<Value, lagoon_runtime::RtError> {
+    let reg = registry();
+    reg.add_module("main", src);
+    let vm = reg.run("main", EngineKind::Vm)?;
+    let interp = reg.run("main", EngineKind::Interp)?;
+    assert!(
+        vm.equal(&interp) || (vm.is_procedure() && interp.is_procedure()),
+        "engines disagree: vm={vm} interp={interp}"
+    );
+    Ok(vm)
+}
+
+// ----- §4.1: the simple-type example -----
+
+#[test]
+fn simple_typed_module() {
+    let v = run_typed(
+        "#lang typed/lagoon
+         (define: x : Integer 1)
+         (define: y : Integer 2)
+         (define: (f [z : Integer]) : Integer (* x (+ y z)))
+         (f 3)",
+    )
+    .unwrap();
+    assert!(matches!(v, Value::Int(5)));
+}
+
+#[test]
+fn wrong_type_is_a_compile_error() {
+    // paper: (define w : Integer 3.7) → typecheck: wrong type in: 3.7
+    let err = run_typed("#lang typed/lagoon\n(define: w : Integer 3.7)\n").unwrap_err();
+    assert!(err.message.contains("typecheck"), "got: {err}");
+    assert!(err.message.contains("wrong type"), "got: {err}");
+}
+
+#[test]
+fn application_type_errors() {
+    let err = run_typed(
+        "#lang typed/lagoon
+         (define: (f [x : Integer]) : Integer x)
+         (f \"hello\")",
+    )
+    .unwrap_err();
+    assert!(err.message.contains("typecheck"), "got: {err}");
+}
+
+#[test]
+fn arity_type_errors() {
+    let err = run_typed(
+        "#lang typed/lagoon
+         (define: (f [x : Integer]) : Integer x)
+         (f 1 2)",
+    )
+    .unwrap_err();
+    assert!(err.message.contains("wrong number of arguments"), "got: {err}");
+}
+
+// ----- §3.2: colon declarations and context sensitivity -----
+
+#[test]
+fn colon_declaration_form() {
+    let v = run_typed(
+        "#lang typed/lagoon
+         (: f (Number -> Number))
+         (define (f z) (sqrt (* 2 z)))
+         (f 8)",
+    )
+    .unwrap();
+    assert!(matches!(v, Value::Int(4)));
+}
+
+#[test]
+fn colon_infix_declaration() {
+    let v = run_typed
+        ("#lang typed/lagoon
+         (: add-5 : Integer -> Integer)
+         (define (add-5 x) (+ x 5))
+         (add-5 7)",
+    )
+    .unwrap();
+    assert!(matches!(v, Value::Int(12)));
+}
+
+#[test]
+fn checked_body_respects_declaration() {
+    let err = run_typed(
+        "#lang typed/lagoon
+         (: f (Integer -> Integer))
+         (define (f x) 3.7)
+         (f 1)",
+    )
+    .unwrap_err();
+    assert!(err.message.contains("typecheck"), "got: {err}");
+}
+
+// ----- recursion, loops, let: -----
+
+#[test]
+fn recursive_functions() {
+    let v = run_typed(
+        "#lang typed/lagoon
+         (define: (fact [n : Integer]) : Integer
+           (if (= n 0) 1 (* n (fact (- n 1)))))
+         (fact 12)",
+    )
+    .unwrap();
+    assert!(matches!(v, Value::Int(479001600)));
+}
+
+#[test]
+fn typed_named_let() {
+    // paper §3.2's count function, adapted
+    let v = run_typed(
+        "#lang typed/lagoon
+         (define: (count [f : Float-Complex]) : Integer
+           (let: loop : Integer ([f : Float-Complex f])
+             (if (< (magnitude f) 0.001)
+                 0
+                 (add1 (loop (/ f 2.0+2.0i))))))
+         (count 8.0+8.0i)",
+    )
+    .unwrap();
+    assert!(matches!(v, Value::Int(n) if n > 0));
+}
+
+#[test]
+fn typed_let_bindings() {
+    let v = run_typed(
+        "#lang typed/lagoon
+         (let: ([x : Integer 2] [y : Integer 3]) (+ x y))",
+    )
+    .unwrap();
+    assert!(matches!(v, Value::Int(5)));
+}
+
+#[test]
+fn lambda_colon_values() {
+    let v = run_typed(
+        "#lang typed/lagoon
+         (define: app2 : (-> (-> Integer Integer) Integer Integer)
+           (lambda: ([f : (-> Integer Integer)] [x : Integer]) (f x)))
+         (app2 (lambda: ([n : Integer]) (* n n)) 7)",
+    )
+    .unwrap();
+    assert!(matches!(v, Value::Int(49)));
+}
+
+// ----- lists, higher-order, paper §3.2 tag-check example -----
+
+#[test]
+fn list_types() {
+    let v = run_typed(
+        "#lang typed/lagoon
+         (define: p : (List Number Number Number) (list 1 2 3))
+         (first p)",
+    )
+    .unwrap();
+    assert!(matches!(v, Value::Int(1)));
+}
+
+#[test]
+fn polymorphic_prelude() {
+    let v = run_typed(
+        "#lang typed/lagoon
+         (define: l : (Listof Integer) (list 1 2 3))
+         (foldl + 0 (map (lambda: ([x : Integer]) (* x x)) l))",
+    )
+    .unwrap();
+    assert!(matches!(v, Value::Int(14)));
+}
+
+#[test]
+fn macros_still_work_in_typed_code() {
+    // paper §3.2: typed programmers reuse untyped syntactic libraries —
+    // the checker sees only their expansion
+    let v = run_typed(
+        "#lang typed/lagoon
+         (define-syntax twice (syntax-rules () [(_ e) (+ e e)]))
+         (define: x : Integer 21)
+         (twice x)",
+    )
+    .unwrap();
+    assert!(matches!(v, Value::Int(42)));
+}
+
+#[test]
+fn cond_expands_and_checks() {
+    let v = run_typed(
+        "#lang typed/lagoon
+         (define: (sign [n : Integer]) : Integer
+           (cond [(< n 0) -1]
+                 [(= n 0) 0]
+                 [else 1]))
+         (sign -5)",
+    )
+    .unwrap();
+    assert!(matches!(v, Value::Int(-1)));
+}
+
+// ----- ann and cast -----
+
+#[test]
+fn ann_is_static() {
+    let v = run_typed(
+        "#lang typed/lagoon
+         (define: x : Number (ann 3 Number))
+         x",
+    )
+    .unwrap();
+    assert!(matches!(v, Value::Int(3)));
+    let err = run_typed("#lang typed/lagoon\n(ann 3.7 Integer)\n").unwrap_err();
+    assert!(err.message.contains("typecheck"), "got: {err}");
+}
+
+#[test]
+fn cast_checks_at_runtime() {
+    let v = run_typed(
+        "#lang typed/lagoon
+         (define: x : Any 42)
+         (+ (cast x Integer) 1)",
+    )
+    .unwrap();
+    assert!(matches!(v, Value::Int(43)));
+    let err = run_typed(
+        "#lang typed/lagoon
+         (define: x : Any \"not a number\")
+         (cast x Integer)",
+    )
+    .unwrap_err();
+    assert!(matches!(err.kind, Kind::Contract { .. }), "got: {err}");
+}
+
+// ----- §5: modular typed programs -----
+
+#[test]
+fn types_flow_across_typed_modules() {
+    let reg = registry();
+    reg.add_module(
+        "server",
+        "#lang typed/lagoon
+         (: add-5 : Integer -> Integer)
+         (define (add-5 x) (+ x 5))
+         (provide add-5)",
+    );
+    reg.add_module(
+        "client",
+        "#lang typed/lagoon
+         (require server)
+         (add-5 7)",
+    );
+    let v = reg.run("client", EngineKind::Vm).unwrap();
+    assert!(matches!(v, Value::Int(12)));
+}
+
+#[test]
+fn type_errors_across_modules() {
+    let reg = registry();
+    reg.add_module(
+        "server",
+        "#lang typed/lagoon
+         (: add-5 : Integer -> Integer)
+         (define (add-5 x) (+ x 5))
+         (provide add-5)",
+    );
+    reg.add_module(
+        "client",
+        "#lang typed/lagoon
+         (require server)
+         (add-5 \"seven\")",
+    );
+    let err = reg.run("client", EngineKind::Vm).unwrap_err();
+    assert!(err.message.contains("typecheck"), "got: {err}");
+}
+
+// ----- §6.1: imports from untyped modules -----
+
+#[test]
+fn require_typed_wraps_imports() {
+    let reg = registry();
+    reg.add_module(
+        "file/md5",
+        "#lang lagoon
+         ;; an FNV-1a-style hash standing in for the md5 library (DESIGN.md)
+         (define (md5 bytes)
+           (foldl (lambda (b acc) (modulo (* (+ acc b) 16777619) 4294967296))
+                  2166136261 bytes))
+         (provide md5)",
+    );
+    reg.add_module(
+        "main",
+        "#lang typed/lagoon
+         (require/typed file/md5 [md5 ((Listof Integer) -> Integer)])
+         (md5 (string->bytes \"hello\"))",
+    );
+    let v = reg.run("main", EngineKind::Vm).unwrap();
+    assert!(matches!(v, Value::Int(n) if n > 0));
+}
+
+#[test]
+fn require_typed_misuse_is_static() {
+    let reg = registry();
+    reg.add_module(
+        "lib",
+        "#lang lagoon\n(define (f x) x)\n(provide f)",
+    );
+    reg.add_module(
+        "main",
+        "#lang typed/lagoon
+         (require/typed lib [f (Integer -> Integer)])
+         (f \"bad\")",
+    );
+    let err = reg.run("main", EngineKind::Vm).unwrap_err();
+    assert!(err.message.contains("typecheck"), "got: {err}");
+}
+
+#[test]
+fn require_typed_catches_lying_libraries() {
+    // paper §6.1: "if the library fails to return a byte string value, a
+    // dynamic contract error is produced"
+    let reg = registry();
+    reg.add_module(
+        "liar",
+        "#lang lagoon\n(define (f x) \"not an integer\")\n(provide f)",
+    );
+    reg.add_module(
+        "main",
+        "#lang typed/lagoon
+         (require/typed liar [f (Integer -> Integer)])
+         (f 1)",
+    );
+    let err = reg.run("main", EngineKind::Vm).unwrap_err();
+    match err.kind {
+        Kind::Contract { blame } => assert_eq!(blame.as_str(), "liar"),
+        _ => panic!("expected contract violation blaming the library, got: {err}"),
+    }
+}
+
+// ----- §6.2: exports to untyped modules -----
+
+#[test]
+fn untyped_clients_use_typed_exports_safely() {
+    let reg = registry();
+    reg.add_module(
+        "server",
+        "#lang typed/lagoon
+         (: add-5 : Integer -> Integer)
+         (define (add-5 x) (+ x 5))
+         (provide add-5)",
+    );
+    reg.add_module(
+        "client",
+        "#lang lagoon
+         (require server)
+         (add-5 12)",
+    );
+    let v = reg.run("client", EngineKind::Vm).unwrap();
+    assert!(matches!(v, Value::Int(17)));
+}
+
+#[test]
+fn untyped_misuse_raises_contract_error() {
+    // paper §6: (add-5 "bad") from untyped code must be caught dynamically
+    let reg = registry();
+    reg.add_module(
+        "server",
+        "#lang typed/lagoon
+         (: add-5 : Integer -> Integer)
+         (define (add-5 x) (+ x 5))
+         (provide add-5)",
+    );
+    reg.add_module(
+        "client",
+        "#lang lagoon
+         (require server)
+         (add-5 \"bad\")",
+    );
+    let err = reg.run("client", EngineKind::Vm).unwrap_err();
+    assert!(
+        matches!(err.kind, Kind::Contract { .. }),
+        "expected a contract violation, got: {err}"
+    );
+}
+
+#[test]
+fn typed_to_typed_links_without_contracts() {
+    // the §6.2 flag mechanism: a typed client gets the raw binding, so a
+    // use that *would* violate a (non-checked-at-runtime) deeper contract
+    // still runs at full speed; observable here by checking a typed
+    // client can call across 2 typed modules with no contract frames
+    let reg = registry();
+    reg.add_module(
+        "a",
+        "#lang typed/lagoon
+         (: inc : Integer -> Integer)
+         (define (inc x) (+ x 1))
+         (provide inc)",
+    );
+    reg.add_module(
+        "b",
+        "#lang typed/lagoon
+         (require a)
+         (: inc2 : Integer -> Integer)
+         (define (inc2 x) (inc (inc x)))
+         (provide inc2)",
+    );
+    reg.add_module(
+        "c",
+        "#lang typed/lagoon
+         (require b)
+         (inc2 40)",
+    );
+    let v = reg.run("c", EngineKind::Vm).unwrap();
+    assert!(matches!(v, Value::Int(42)));
+}
+
+#[test]
+fn mixed_typed_untyped_chain() {
+    // typed → untyped → typed chain with contracts at each boundary
+    let reg = registry();
+    reg.add_module(
+        "typed-base",
+        "#lang typed/lagoon
+         (: square : Integer -> Integer)
+         (define (square x) (* x x))
+         (provide square)",
+    );
+    reg.add_module(
+        "untyped-mid",
+        "#lang lagoon
+         (require typed-base)
+         (define (sum-squares lst) (foldl (lambda (x acc) (+ acc (square x))) 0 lst))
+         (provide sum-squares)",
+    );
+    reg.add_module(
+        "typed-top",
+        "#lang typed/lagoon
+         (require/typed untyped-mid [sum-squares ((Listof Integer) -> Integer)])
+         (sum-squares (list 1 2 3))",
+    );
+    let v = reg.run("typed-top", EngineKind::Vm).unwrap();
+    assert!(matches!(v, Value::Int(14)));
+}
+
+// ----- misc semantics -----
+
+#[test]
+fn float_arithmetic_types() {
+    let v = run_typed(
+        "#lang typed/lagoon
+         (define: (norm [x : Float] [y : Float]) : Float
+           (sqrt (+ (* x x) (* y y))))
+         (norm 3.0 4.0)",
+    )
+    .unwrap();
+    assert!(matches!(v, Value::Float(x) if x == 5.0));
+}
+
+#[test]
+fn mixed_int_float_promotes() {
+    let v = run_typed(
+        "#lang typed/lagoon
+         (define: x : Float (* 2 3.5))
+         x",
+    )
+    .unwrap();
+    assert!(matches!(v, Value::Float(x) if x == 7.0));
+}
+
+#[test]
+fn set_requires_declared_type() {
+    let err = run_typed(
+        "#lang typed/lagoon
+         (define: x : Integer 1)
+         (set! x \"nope\")",
+    )
+    .unwrap_err();
+    assert!(err.message.contains("typecheck"), "got: {err}");
+}
+
+#[test]
+fn untyped_operator_is_an_error() {
+    let err = run_typed(
+        "#lang typed/lagoon
+         (define (f x) x)
+         (f 1)",
+    )
+    .unwrap_err();
+    // unannotated parameter in typed code
+    assert!(err.message.contains("typecheck"), "got: {err}");
+}
+
+#[test]
+fn string_operations_typecheck() {
+    let v = run_typed(
+        "#lang typed/lagoon
+         (define: (greet [name : String]) : String
+           (string-append \"hello, \" name))
+         (greet \"world\")",
+    )
+    .unwrap();
+    assert_eq!(v.to_string(), "hello, world");
+}
+
+#[test]
+fn vectors_typecheck() {
+    let v = run_typed(
+        "#lang typed/lagoon
+         (define: v : (Vectorof Integer) (make-vector 3 7))
+         (vector-set! v 1 9)
+         (+ (vector-ref v 0) (vector-ref v 1))",
+    )
+    .unwrap();
+    assert!(matches!(v, Value::Int(16)));
+}
+
+// ----- define-type aliases -----
+
+#[test]
+fn define_type_aliases() {
+    let v = run_typed(
+        "#lang typed/lagoon
+         (define-type Point (List Float Float Float))
+         (: px : Point -> Float)
+         (define (px p) (first p))
+         (px (list 1.5 2.0 3.0))",
+    )
+    .unwrap();
+    assert!(matches!(v, Value::Float(x) if x == 1.5));
+}
+
+#[test]
+fn aliases_nest_and_cross_modules() {
+    let reg = registry();
+    reg.add_module(
+        "geometry",
+        "#lang typed/lagoon
+         (define-type Scalar Float)
+         (define-type Point (List Scalar Scalar))
+         (: mk : Scalar Scalar -> Point)
+         (define (mk x y) (list x y))
+         (provide mk)",
+    );
+    reg.add_module(
+        "use",
+        "#lang typed/lagoon
+         (require geometry)
+         (: flip : Point -> Point)
+         (define (flip p) (list (second p) (first p)))
+         (first (flip (mk 1.0 2.0)))",
+    );
+    let v = reg.run("use", EngineKind::Vm).unwrap();
+    assert!(matches!(v, Value::Float(x) if x == 2.0));
+}
+
+#[test]
+fn unknown_alias_errors() {
+    let err = run_typed(
+        "#lang typed/lagoon
+         (: f : Nonexistent -> Integer)
+         (define (f x) 1)
+         (f 1)",
+    )
+    .unwrap_err();
+    assert!(err.message.contains("unknown type"), "got: {err}");
+}
+
+#[test]
+fn cyclic_alias_errors() {
+    let err = run_typed(
+        "#lang typed/lagoon
+         (define-type A B)
+         (define-type B A)
+         (: f : A -> A)
+         (define (f x) x)
+         (f 1)",
+    )
+    .unwrap_err();
+    assert!(err.message.contains("cyclic") || err.message.contains("unknown"), "got: {err}");
+}
+
+// ----- type-system edges -----
+
+#[test]
+fn vectorof_is_invariant() {
+    // (Vectorof Integer) must NOT be usable as (Vectorof Number):
+    // vectors are mutable, so covariance would be unsound
+    let err = run_typed(
+        "#lang typed/lagoon
+         (: f : (Vectorof Number) -> Void)
+         (define (f v) (vector-set! v 0 1.5))
+         (define: v : (Vectorof Integer) (vector 1 2))
+         (f v)",
+    )
+    .unwrap_err();
+    assert!(err.message.contains("typecheck"), "got: {err}");
+}
+
+#[test]
+fn union_types_accept_all_branches() {
+    let v = run_typed(
+        "#lang typed/lagoon
+         (: pick : Boolean -> (U Integer String))
+         (define (pick b) (if b 1 \"one\"))
+         (list (pick #t) (pick #f))",
+    )
+    .unwrap();
+    assert_eq!(v.to_string(), "(1 one)");
+}
+
+#[test]
+fn if_branches_join() {
+    // unlike the paper's minimal checker (branches must agree), ours
+    // joins: Integer ∨ Float = Number
+    let v = run_typed(
+        "#lang typed/lagoon
+         (: f : Boolean -> Number)
+         (define (f b) (if b 1 2.5))
+         (f #t)",
+    )
+    .unwrap();
+    assert!(matches!(v, Value::Int(1)));
+}
+
+#[test]
+fn function_subtyping_at_use() {
+    // a function returning Integer can be passed where (-> Integer Number)
+    // is expected (covariant range)
+    let v = run_typed(
+        "#lang typed/lagoon
+         (: use : (-> Integer Number) -> Number)
+         (define (use f) (f 1))
+         (: g : Integer -> Integer)
+         (define (g x) (* x 10))
+         (use g)",
+    )
+    .unwrap();
+    assert!(matches!(v, Value::Int(10)));
+}
+
+#[test]
+fn fixed_lists_decay_to_listof() {
+    let v = run_typed(
+        "#lang typed/lagoon
+         (: sum-list : (Listof Integer) -> Integer)
+         (define (sum-list l) (if (null? l) 0 (+ (car l) (sum-list (cdr l)))))
+         (sum-list (list 1 2 3))",
+    )
+    .unwrap();
+    assert!(matches!(v, Value::Int(6)));
+}
+
+#[test]
+fn set_of_captured_typed_variable() {
+    let v = run_typed(
+        "#lang typed/lagoon
+         (: make-acc : -> (-> Integer Integer))
+         (define (make-acc)
+           (let: ([total : Integer 0])
+             (lambda: ([n : Integer]) : Integer
+               (begin (set! total (+ total n)) total))))
+         (define: acc : (-> Integer Integer) (make-acc))
+         (acc 1) (acc 10) (acc 100)",
+    )
+    .unwrap();
+    assert!(matches!(v, Value::Int(111)));
+}
+
+#[test]
+fn string_and_char_types() {
+    let v = run_typed(
+        "#lang typed/lagoon
+         (: initials : (Listof String) -> String)
+         (define (initials names)
+           (foldl (lambda: ([n : String] [acc : String])
+                    (string-append acc (substring n 0 1)))
+                  \"\" names))
+         (initials (list \"ada\" \"grace\" \"barbara\"))",
+    )
+    .unwrap();
+    assert_eq!(v.to_string(), "agb");
+}
+
+#[test]
+fn error_mentions_the_offending_expression() {
+    let err = run_typed(
+        "#lang typed/lagoon
+         (define: n : Integer (+ 1 \"two\"))",
+    )
+    .unwrap_err();
+    assert!(err.message.contains("expected a number"), "got: {err}");
+}

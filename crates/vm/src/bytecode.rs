@@ -1,0 +1,381 @@
+//! Bytecode definitions.
+//!
+//! The compiler ([`crate::compile`]) lowers core forms to this instruction
+//! set; the machine ([`crate::machine`]) executes it.
+//!
+//! Two instruction families matter for the paper's story:
+//!
+//! * **Generic operations** (`Add2`, `Car`, …) perform full tag dispatch
+//!   through the numeric tower, with overflow and type checks — the cost
+//!   profile of untyped code.
+//! * **Specialized operations** (`FlAdd`, `UnsafeCar`, …) assume the
+//!   operand tags, skipping dispatch and checks. The compiler emits them
+//!   only for calls to the `unsafe-*` primitives, which the type-driven
+//!   optimizer inserts after typechecking — “these primitives … serve as
+//!   signals to the Racket code generator” (paper §7.1).
+
+use lagoon_runtime::{Arity, Value};
+use lagoon_syntax::Symbol;
+use std::rc::Rc;
+
+/// Where a closure capture comes from in the *enclosing* frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CaptureSrc {
+    /// A local slot of the enclosing frame.
+    Local(u32),
+    /// A capture of the enclosing closure.
+    Capture(u32),
+}
+
+/// One bytecode instruction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Op {
+    /// Push constant `k`.
+    Const(u32),
+    /// Push the void value.
+    Void,
+    /// Push local slot `i`.
+    LoadLocal(u32),
+    /// Pop into local slot `i`.
+    StoreLocal(u32),
+    /// Push capture `i`.
+    LoadCapture(u32),
+    /// Push global `i` (error if undefined).
+    LoadGlobal(u32),
+    /// Pop into global `i`.
+    StoreGlobal(u32),
+    /// Unconditional jump to absolute instruction index.
+    Jump(u32),
+    /// Pop; jump if false.
+    JumpIfFalse(u32),
+    /// Instantiate child proto `i` as a closure, capturing per its spec.
+    MakeClosure(u32),
+    /// Call with `n` arguments; stack: `f a1 … an`.
+    Call(u16),
+    /// Tail call with `n` arguments, replacing the current frame.
+    TailCall(u16),
+    /// Return the top of stack from the current frame.
+    Return,
+    /// Discard the top of stack.
+    Pop,
+    /// Wrap the top of stack in a fresh box.
+    BoxNew,
+    /// Replace a box on the stack with its contents.
+    BoxGet,
+    /// Stack `box v` → store `v` in `box`, push void.
+    BoxSet,
+
+    // ----- generic (tag-dispatching) fast paths -----
+    /// Generic `+` on two operands.
+    Add2,
+    /// Generic `-`.
+    Sub2,
+    /// Generic `*`.
+    Mul2,
+    /// Generic `/`.
+    Div2,
+    /// Generic `<`.
+    Lt2,
+    /// Generic `<=`.
+    Le2,
+    /// Generic `>`.
+    Gt2,
+    /// Generic `>=`.
+    Ge2,
+    /// Generic `=`.
+    NumEq2,
+    /// Generic `add1`.
+    Add1,
+    /// Generic `sub1`.
+    Sub1,
+    /// Generic `zero?`.
+    ZeroP,
+    /// Checked `car`.
+    Car,
+    /// Checked `cdr`.
+    Cdr,
+    /// `cons`.
+    Cons,
+    /// `null?`.
+    NullP,
+    /// `pair?`.
+    PairP,
+    /// `not`.
+    Not,
+    /// `eq?`.
+    EqP,
+    /// Checked `vector-ref`.
+    VectorRef,
+    /// Checked `vector-set!`.
+    VectorSet,
+    /// `vector-length`.
+    VectorLength,
+
+    // ----- unsafe specialized instructions -----
+    /// `unsafe-fl+`.
+    FlAdd,
+    /// `unsafe-fl-`.
+    FlSub,
+    /// `unsafe-fl*`.
+    FlMul,
+    /// `unsafe-fl/`.
+    FlDiv,
+    /// `unsafe-fl<`.
+    FlLt,
+    /// `unsafe-fl<=`.
+    FlLe,
+    /// `unsafe-fl>`.
+    FlGt,
+    /// `unsafe-fl>=`.
+    FlGe,
+    /// `unsafe-fl=`.
+    FlEq,
+    /// `unsafe-flsqrt`.
+    FlSqrt,
+    /// `unsafe-flabs`.
+    FlAbs,
+    /// `unsafe-flmin`.
+    FlMin,
+    /// `unsafe-flmax`.
+    FlMax,
+    /// `unsafe-fx+` (wrapping).
+    FxAdd,
+    /// `unsafe-fx-` (wrapping).
+    FxSub,
+    /// `unsafe-fx*` (wrapping).
+    FxMul,
+    /// `unsafe-fx<`.
+    FxLt,
+    /// `unsafe-fx<=`.
+    FxLe,
+    /// `unsafe-fx>`.
+    FxGt,
+    /// `unsafe-fx>=`.
+    FxGe,
+    /// `unsafe-fx=`.
+    FxEq,
+    /// `unsafe-fc+`.
+    FcAdd,
+    /// `unsafe-fc-`.
+    FcSub,
+    /// `unsafe-fc*`.
+    FcMul,
+    /// `unsafe-fc/`.
+    FcDiv,
+    /// `unsafe-fcmagnitude`.
+    FcMag,
+    /// `unsafe-car`.
+    UnsafeCar,
+    /// `unsafe-cdr`.
+    UnsafeCdr,
+    /// `unsafe-vector-ref`.
+    UnsafeVectorRef,
+    /// `unsafe-vector-set!`.
+    UnsafeVectorSet,
+    /// `unsafe-vector-length`.
+    UnsafeVectorLength,
+    /// `unsafe-fx->fl`.
+    FxToFl,
+
+    // ----- unboxed float expression fusion -----
+    //
+    // The compiler fuses trees of `unsafe-fl*` operations into code over a
+    // dedicated unboxed `f64` stack, entering through `FlPush*`/`FlUnbox`
+    // and leaving through `FlBox`/`FlSCmp*`. This is the backend half of
+    // the paper's §7.1 channel: the unsafe primitives "serve as signals to
+    // the code generator to guide its unboxing optimizations". Generic
+    // operations are never fused — untyped code keeps paying for boxing.
+    /// Push local slot `i` onto the float stack (assumed `Float`).
+    FlPushLocal(u32),
+    /// Push capture `i` onto the float stack (assumed `Float`).
+    FlPushCapture(u32),
+    /// Push constant `k` onto the float stack (must be a float constant).
+    FlPushConst(u32),
+    /// Move the top of the value stack onto the float stack (assumed
+    /// `Float`; misapplication yields 0.0).
+    FlUnbox,
+    /// Move the top of the value stack (assumed `Integer`) onto the float
+    /// stack, converting.
+    FlUnboxFx,
+    /// Box the top of the float stack back onto the value stack.
+    FlBox,
+    /// Unboxed `+` on the float stack.
+    FlSAdd,
+    /// Unboxed `-`.
+    FlSSub,
+    /// Unboxed `*`.
+    FlSMul,
+    /// Unboxed `/`.
+    FlSDiv,
+    /// Unboxed `sqrt`.
+    FlSSqrt,
+    /// Unboxed `abs`.
+    FlSAbs,
+    /// Unboxed `min`.
+    FlSMin,
+    /// Unboxed `max`.
+    FlSMax,
+    /// Pop two floats, push a boolean `<` onto the *value* stack.
+    FlSLt,
+    /// Unboxed `<=` to the value stack.
+    FlSLe,
+    /// Unboxed `>` to the value stack.
+    FlSGt,
+    /// Unboxed `>=` to the value stack.
+    FlSGe,
+    /// Unboxed `=` to the value stack.
+    FlSEq,
+}
+
+/// A compiled procedure prototype.
+#[derive(Debug)]
+pub struct Proto {
+    /// Name for diagnostics.
+    pub name: Option<Symbol>,
+    /// Accepted argument counts.
+    pub arity: Arity,
+    /// Total local slots (params first).
+    pub nlocals: u32,
+    /// How to build this closure's captures from the enclosing frame.
+    pub captures: Vec<CaptureSrc>,
+    /// The code.
+    pub code: Vec<Op>,
+    /// Constant pool.
+    pub consts: Vec<Value>,
+    /// Child prototypes (for `MakeClosure`).
+    pub protos: Vec<Rc<Proto>>,
+}
+
+/// A compiled module: a top-level prototype plus the global-slot layout.
+#[derive(Debug)]
+pub struct ModuleCode {
+    /// Code for the module body (zero-argument).
+    pub top: Rc<Proto>,
+    /// Global slot `i` holds the variable named `global_names[i]`.
+    pub global_names: Vec<Symbol>,
+    /// Indices of globals defined (not imported) by this module.
+    pub defined: Vec<u32>,
+}
+
+impl Proto {
+    /// A human-readable disassembly, for debugging and tests.
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        self.disassemble_into(&mut out, 0);
+        out
+    }
+
+    fn disassemble_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        let _ = writeln!(
+            out,
+            "{pad}proto {} (arity {}, locals {}, captures {:?})",
+            self.name.map(|n| n.as_str()).unwrap_or_else(|| "<top>".into()),
+            self.arity,
+            self.nlocals,
+            self.captures
+        );
+        for (i, op) in self.code.iter().enumerate() {
+            let _ = writeln!(out, "{pad}  {i:4}: {op:?}");
+        }
+        for p in &self.protos {
+            p.disassemble_into(out, depth + 1);
+        }
+    }
+}
+
+/// Maps an `unsafe-*`/known-primitive name and argument count to a
+/// dedicated instruction, if one exists. This is the "signal channel"
+/// between the source-level optimizer and the backend.
+pub fn specialized_op(name: &str, argc: usize) -> Option<Op> {
+    let op = match (name, argc) {
+        ("+", 2) => Op::Add2,
+        ("-", 2) => Op::Sub2,
+        ("*", 2) => Op::Mul2,
+        ("/", 2) => Op::Div2,
+        ("<", 2) => Op::Lt2,
+        ("<=", 2) => Op::Le2,
+        (">", 2) => Op::Gt2,
+        (">=", 2) => Op::Ge2,
+        ("=", 2) => Op::NumEq2,
+        ("add1", 1) => Op::Add1,
+        ("sub1", 1) => Op::Sub1,
+        ("zero?", 1) => Op::ZeroP,
+        ("car", 1) => Op::Car,
+        ("cdr", 1) => Op::Cdr,
+        ("cons", 2) => Op::Cons,
+        ("null?", 1) => Op::NullP,
+        ("pair?", 1) => Op::PairP,
+        ("not", 1) => Op::Not,
+        ("eq?", 2) => Op::EqP,
+        ("vector-ref", 2) => Op::VectorRef,
+        ("vector-set!", 3) => Op::VectorSet,
+        ("vector-length", 1) => Op::VectorLength,
+        ("unsafe-fl+", 2) => Op::FlAdd,
+        ("unsafe-fl-", 2) => Op::FlSub,
+        ("unsafe-fl*", 2) => Op::FlMul,
+        ("unsafe-fl/", 2) => Op::FlDiv,
+        ("unsafe-fl<", 2) => Op::FlLt,
+        ("unsafe-fl<=", 2) => Op::FlLe,
+        ("unsafe-fl>", 2) => Op::FlGt,
+        ("unsafe-fl>=", 2) => Op::FlGe,
+        ("unsafe-fl=", 2) => Op::FlEq,
+        ("unsafe-flsqrt", 1) => Op::FlSqrt,
+        ("unsafe-flabs", 1) => Op::FlAbs,
+        ("unsafe-flmin", 2) => Op::FlMin,
+        ("unsafe-flmax", 2) => Op::FlMax,
+        ("unsafe-fx+", 2) => Op::FxAdd,
+        ("unsafe-fx-", 2) => Op::FxSub,
+        ("unsafe-fx*", 2) => Op::FxMul,
+        ("unsafe-fx<", 2) => Op::FxLt,
+        ("unsafe-fx<=", 2) => Op::FxLe,
+        ("unsafe-fx>", 2) => Op::FxGt,
+        ("unsafe-fx>=", 2) => Op::FxGe,
+        ("unsafe-fx=", 2) => Op::FxEq,
+        ("unsafe-fc+", 2) => Op::FcAdd,
+        ("unsafe-fc-", 2) => Op::FcSub,
+        ("unsafe-fc*", 2) => Op::FcMul,
+        ("unsafe-fc/", 2) => Op::FcDiv,
+        ("unsafe-fcmagnitude", 1) => Op::FcMag,
+        ("unsafe-car", 1) => Op::UnsafeCar,
+        ("unsafe-cdr", 1) => Op::UnsafeCdr,
+        ("unsafe-vector-ref", 2) => Op::UnsafeVectorRef,
+        ("unsafe-vector-set!", 3) => Op::UnsafeVectorSet,
+        ("unsafe-vector-length", 1) => Op::UnsafeVectorLength,
+        ("unsafe-fx->fl", 1) => Op::FxToFl,
+        _ => return None,
+    };
+    Some(op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specialization_table() {
+        assert_eq!(specialized_op("+", 2), Some(Op::Add2));
+        assert_eq!(specialized_op("+", 3), None, "variadic + goes through the native");
+        assert_eq!(specialized_op("unsafe-fl+", 2), Some(Op::FlAdd));
+        assert_eq!(specialized_op("no-such-prim", 1), None);
+        assert_eq!(specialized_op("car", 1), Some(Op::Car));
+        assert_eq!(specialized_op("car", 2), None);
+    }
+
+    #[test]
+    fn disassembly_is_nonempty() {
+        let p = Proto {
+            name: None,
+            arity: Arity::exactly(0),
+            nlocals: 0,
+            captures: vec![],
+            code: vec![Op::Void, Op::Return],
+            consts: vec![],
+            protos: vec![],
+        };
+        let d = p.disassemble();
+        assert!(d.contains("Void"));
+        assert!(d.contains("Return"));
+    }
+}

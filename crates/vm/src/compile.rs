@@ -1,0 +1,793 @@
+//! The bytecode compiler: core forms → [`Proto`]s.
+//!
+//! Responsibilities:
+//!
+//! * slot assignment for locals, capture threading for free variables,
+//!   global-slot layout for everything else;
+//! * assignment conversion — variables that are `set!` (and all
+//!   `letrec`-bound variables) live in boxes, so capture-by-value closures
+//!   observe mutation;
+//! * **primitive specialization** — a call to a known primitive (generic
+//!   like `+`, or unsafe like `unsafe-fl+`) with a matching argument count
+//!   compiles to a dedicated instruction instead of a procedure call. The
+//!   `unsafe-*` instructions skip tag dispatch entirely; this is the
+//!   backend channel the paper's optimizer communicates through (§7.1).
+//!
+//! Precondition (guaranteed by the expander): all bindings are globally
+//! uniquely named, so a reference spelled `+` can only denote the base
+//! environment's `+`.
+
+use crate::bytecode::{specialized_op, CaptureSrc, ModuleCode, Op, Proto};
+use crate::ir::{CoreExpr, CoreForm, LambdaCore};
+use lagoon_runtime::{Arity, Kind, RtError, Value};
+use lagoon_syntax::Symbol;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+#[derive(Debug)]
+struct FnScope {
+    name: Option<Symbol>,
+    arity: Arity,
+    locals: HashMap<Symbol, u32>,
+    nlocals: u32,
+    capture_names: Vec<Symbol>,
+    capture_srcs: Vec<CaptureSrc>,
+    code: Vec<Op>,
+    consts: Vec<Value>,
+    protos: Vec<Rc<Proto>>,
+}
+
+impl FnScope {
+    fn new(name: Option<Symbol>, arity: Arity) -> FnScope {
+        FnScope {
+            name,
+            arity,
+            locals: HashMap::new(),
+            nlocals: 0,
+            capture_names: Vec::new(),
+            capture_srcs: Vec::new(),
+            code: Vec::new(),
+            consts: Vec::new(),
+            protos: Vec::new(),
+        }
+    }
+
+    fn alloc_local(&mut self, sym: Symbol) -> u32 {
+        let slot = self.nlocals;
+        self.nlocals += 1;
+        self.locals.insert(sym, slot);
+        slot
+    }
+
+    fn add_const(&mut self, v: Value) -> u32 {
+        let idx = self.consts.len() as u32;
+        self.consts.push(v);
+        idx
+    }
+
+    fn emit(&mut self, op: Op) -> usize {
+        self.code.push(op);
+        self.code.len() - 1
+    }
+
+    fn patch_jump(&mut self, at: usize) {
+        let target = self.code.len() as u32;
+        match &mut self.code[at] {
+            Op::Jump(t) | Op::JumpIfFalse(t) => *t = target,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    fn finish(self) -> Proto {
+        Proto {
+            name: self.name,
+            arity: self.arity,
+            nlocals: self.nlocals,
+            captures: self.capture_srcs,
+            code: self.code,
+            consts: self.consts,
+            protos: self.protos,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Resolved {
+    Local(u32),
+    Capture(u32),
+    Global(u32),
+}
+
+/// The bytecode compiler. One instance compiles one module.
+#[derive(Debug)]
+pub struct Compiler {
+    fns: Vec<FnScope>,
+    globals: HashMap<Symbol, u32>,
+    global_names: Vec<Symbol>,
+    defined: HashSet<Symbol>,
+    mutated: HashSet<Symbol>,
+}
+
+impl Compiler {
+    /// Compiles a module body to bytecode.
+    ///
+    /// # Errors
+    ///
+    /// Returns an internal error for malformed input (which the expander
+    /// should never produce).
+    pub fn compile_module(forms: &[CoreForm]) -> Result<ModuleCode, RtError> {
+        let mut c = Compiler {
+            fns: vec![FnScope::new(None, Arity::exactly(0))],
+            globals: HashMap::new(),
+            global_names: Vec::new(),
+            defined: HashSet::new(),
+            mutated: HashSet::new(),
+        };
+        for form in forms {
+            match form {
+                CoreForm::Define(name, rhs, _) => {
+                    c.defined.insert(*name);
+                    collect_mutated(rhs, &mut c.mutated);
+                }
+                CoreForm::Expr(e) => collect_mutated(e, &mut c.mutated),
+            }
+        }
+        if forms.is_empty() {
+            c.fns[0].emit(Op::Void);
+        }
+        for (i, form) in forms.iter().enumerate() {
+            let last = i + 1 == forms.len();
+            match form {
+                CoreForm::Define(name, rhs, _) => {
+                    c.compile_expr(rhs, false)?;
+                    let g = c.global_index(*name);
+                    c.top().emit(Op::StoreGlobal(g));
+                    c.top().emit(Op::Void);
+                }
+                CoreForm::Expr(e) => {
+                    c.compile_expr(e, false)?;
+                }
+            }
+            if !last {
+                c.top().emit(Op::Pop);
+            }
+        }
+        c.top().emit(Op::Return);
+        let top = Rc::new(c.fns.pop().expect("top scope").finish());
+        let defined = c
+            .defined
+            .iter()
+            .filter_map(|s| c.globals.get(s).copied())
+            .collect();
+        Ok(ModuleCode {
+            top,
+            global_names: c.global_names,
+            defined,
+        })
+    }
+
+    fn top(&mut self) -> &mut FnScope {
+        self.fns.last_mut().expect("function scope")
+    }
+
+    fn global_index(&mut self, sym: Symbol) -> u32 {
+        if let Some(&i) = self.globals.get(&sym) {
+            return i;
+        }
+        let i = self.global_names.len() as u32;
+        self.global_names.push(sym);
+        self.globals.insert(sym, i);
+        i
+    }
+
+    fn resolve(&mut self, sym: Symbol) -> Resolved {
+        let depth = self.fns.len() - 1;
+        if let Some(&slot) = self.fns[depth].locals.get(&sym) {
+            return Resolved::Local(slot);
+        }
+        // find in an enclosing scope
+        let mut found: Option<(usize, CaptureSrc)> = None;
+        for d in (0..depth).rev() {
+            if let Some(&slot) = self.fns[d].locals.get(&sym) {
+                found = Some((d, CaptureSrc::Local(slot)));
+                break;
+            }
+            if let Some(pos) = self.fns[d].capture_names.iter().position(|n| *n == sym) {
+                found = Some((d, CaptureSrc::Capture(pos as u32)));
+                break;
+            }
+        }
+        match found {
+            None => Resolved::Global(self.global_index(sym)),
+            Some((d, mut src)) => {
+                // thread the capture through every intermediate function
+                for f in d + 1..=depth {
+                    let scope = &mut self.fns[f];
+                    let idx = match scope.capture_names.iter().position(|n| *n == sym) {
+                        Some(i) => i as u32,
+                        None => {
+                            scope.capture_names.push(sym);
+                            scope.capture_srcs.push(src);
+                            (scope.capture_names.len() - 1) as u32
+                        }
+                    };
+                    src = CaptureSrc::Capture(idx);
+                }
+                Resolved::Capture(match src {
+                    CaptureSrc::Capture(i) => i,
+                    CaptureSrc::Local(_) => unreachable!("threaded capture"),
+                })
+            }
+        }
+    }
+
+    fn emit_load(&mut self, sym: Symbol) {
+        let boxed = self.mutated.contains(&sym);
+        let r = self.resolve(sym);
+        let scope = self.top();
+        match r {
+            Resolved::Local(i) => {
+                scope.emit(Op::LoadLocal(i));
+                if boxed {
+                    scope.emit(Op::BoxGet);
+                }
+            }
+            Resolved::Capture(i) => {
+                scope.emit(Op::LoadCapture(i));
+                if boxed {
+                    scope.emit(Op::BoxGet);
+                }
+            }
+            Resolved::Global(i) => {
+                scope.emit(Op::LoadGlobal(i));
+            }
+        }
+    }
+
+    fn compile_body(&mut self, body: &[CoreExpr], tail: bool) -> Result<(), RtError> {
+        let (last, init) = body.split_last().expect("non-empty body");
+        for e in init {
+            self.compile_expr(e, false)?;
+            self.top().emit(Op::Pop);
+        }
+        self.compile_expr(last, tail)
+    }
+
+    fn compile_lambda(&mut self, lam: &LambdaCore) -> Result<(), RtError> {
+        let arity = if lam.rest.is_some() {
+            Arity::at_least(lam.formals.len())
+        } else {
+            Arity::exactly(lam.formals.len())
+        };
+        self.fns.push(FnScope::new(lam.name, arity));
+        for f in &lam.formals {
+            self.top().alloc_local(*f);
+        }
+        if let Some(rest) = lam.rest {
+            self.top().alloc_local(rest);
+        }
+        // assignment-convert mutated parameters
+        let param_count = lam.formals.len() + usize::from(lam.rest.is_some());
+        let params: Vec<Symbol> = lam
+            .formals
+            .iter()
+            .copied()
+            .chain(lam.rest)
+            .collect();
+        debug_assert_eq!(params.len(), param_count);
+        for (i, p) in params.iter().enumerate() {
+            if self.mutated.contains(p) {
+                let scope = self.top();
+                scope.emit(Op::LoadLocal(i as u32));
+                scope.emit(Op::BoxNew);
+                scope.emit(Op::StoreLocal(i as u32));
+            }
+        }
+        self.compile_body(&lam.body, true)?;
+        self.top().emit(Op::Return);
+        let proto = Rc::new(self.fns.pop().expect("lambda scope").finish());
+        let scope = self.top();
+        let idx = scope.protos.len() as u32;
+        scope.protos.push(proto);
+        scope.emit(Op::MakeClosure(idx));
+        Ok(())
+    }
+
+    fn compile_expr(&mut self, expr: &CoreExpr, tail: bool) -> Result<(), RtError> {
+        match expr {
+            CoreExpr::Quote(v) => {
+                let k = self.top().add_const(v.clone());
+                self.top().emit(Op::Const(k));
+            }
+            CoreExpr::QuoteSyntax(s) => {
+                let k = self.top().add_const(Value::Syntax(s.clone()));
+                self.top().emit(Op::Const(k));
+            }
+            CoreExpr::Var(sym, _) => self.emit_load(*sym),
+            CoreExpr::If(c, t, e) => {
+                self.compile_expr(c, false)?;
+                let jf = self.top().emit(Op::JumpIfFalse(0));
+                self.compile_expr(t, tail)?;
+                let j = self.top().emit(Op::Jump(0));
+                self.top().patch_jump(jf);
+                self.compile_expr(e, tail)?;
+                self.top().patch_jump(j);
+            }
+            CoreExpr::Begin(body) => self.compile_body(body, tail)?,
+            CoreExpr::Lambda(lam) => self.compile_lambda(lam)?,
+            CoreExpr::Let(bindings, body) => {
+                for (name, rhs) in bindings {
+                    self.compile_expr(rhs, false)?;
+                    if self.mutated.contains(name) {
+                        self.top().emit(Op::BoxNew);
+                    }
+                    let slot = self.top().alloc_local(*name);
+                    self.top().emit(Op::StoreLocal(slot));
+                }
+                self.compile_body(body, tail)?;
+            }
+            CoreExpr::Letrec(bindings, body) => {
+                // all letrec-bound names are boxed (collect_mutated marks them)
+                let mut slots = Vec::with_capacity(bindings.len());
+                for (name, _) in bindings {
+                    let scope = self.top();
+                    scope.emit(Op::Void);
+                    scope.emit(Op::BoxNew);
+                    let slot = self.fns.last_mut().unwrap().alloc_local(*name);
+                    self.top().emit(Op::StoreLocal(slot));
+                    slots.push(slot);
+                }
+                for ((_, rhs), slot) in bindings.iter().zip(&slots) {
+                    self.top().emit(Op::LoadLocal(*slot));
+                    self.compile_expr(rhs, false)?;
+                    let scope = self.top();
+                    scope.emit(Op::BoxSet);
+                    scope.emit(Op::Pop);
+                }
+                self.compile_body(body, tail)?;
+            }
+            CoreExpr::Set(sym, rhs, _span) => {
+                match self.resolve(*sym) {
+                    Resolved::Local(i) => {
+                        self.top().emit(Op::LoadLocal(i));
+                        self.compile_expr(rhs, false)?;
+                        self.top().emit(Op::BoxSet);
+                    }
+                    Resolved::Capture(i) => {
+                        self.top().emit(Op::LoadCapture(i));
+                        self.compile_expr(rhs, false)?;
+                        self.top().emit(Op::BoxSet);
+                    }
+                    Resolved::Global(i) => {
+                        self.compile_expr(rhs, false)?;
+                        let scope = self.top();
+                        scope.emit(Op::StoreGlobal(i));
+                        scope.emit(Op::Void);
+                    }
+                }
+            }
+            CoreExpr::App(f, args, _) => {
+                // primitive specialization: a head that is a free reference
+                // to a known primitive with a matching argument count
+                if let CoreExpr::Var(sym, _) = &**f {
+                    let is_local = self
+                        .fns
+                        .iter()
+                        .any(|s| s.locals.contains_key(sym) || s.capture_names.contains(sym));
+                    if !is_local && !self.defined.contains(sym) {
+                        // unboxed fusion for nested unsafe-fl trees (the
+                        // §7.1 unboxing channel); single operations use
+                        // the plain specialized instruction
+                        if self.fl_tree_weight(expr) >= 2 {
+                            if let Some(()) = self.try_compile_fl_root(expr)? {
+                                return Ok(());
+                            }
+                        }
+                        if let Some(op) = sym.with_str(|n| specialized_op(n, args.len())) {
+                            for a in args {
+                                self.compile_expr(a, false)?;
+                            }
+                            self.top().emit(op);
+                            return Ok(());
+                        }
+                    }
+                }
+                self.compile_expr(f, false)?;
+                for a in args {
+                    self.compile_expr(a, false)?;
+                }
+                let n = u16::try_from(args.len()).map_err(|_| {
+                    RtError::new(Kind::Internal, "too many arguments in one call")
+                })?;
+                self.top().emit(if tail { Op::TailCall(n) } else { Op::Call(n) });
+            }
+        }
+        Ok(())
+    }
+}
+
+fn fl_binary_op(name: &str) -> Option<Op> {
+    Some(match name {
+        "unsafe-fl+" => Op::FlSAdd,
+        "unsafe-fl-" => Op::FlSSub,
+        "unsafe-fl*" => Op::FlSMul,
+        "unsafe-fl/" => Op::FlSDiv,
+        "unsafe-flmin" => Op::FlSMin,
+        "unsafe-flmax" => Op::FlSMax,
+        _ => return None,
+    })
+}
+
+fn fl_unary_op(name: &str) -> Option<Op> {
+    Some(match name {
+        "unsafe-flsqrt" => Op::FlSSqrt,
+        "unsafe-flabs" => Op::FlSAbs,
+        _ => return None,
+    })
+}
+
+fn fl_compare_op(name: &str) -> Option<Op> {
+    Some(match name {
+        "unsafe-fl<" => Op::FlSLt,
+        "unsafe-fl<=" => Op::FlSLe,
+        "unsafe-fl>" => Op::FlSGt,
+        "unsafe-fl>=" => Op::FlSGe,
+        "unsafe-fl=" => Op::FlSEq,
+        _ => return None,
+    })
+}
+
+impl Compiler {
+    /// How many fusible `unsafe-fl*` operations this expression tree
+    /// contains at its top (fusion only pays off for nested trees).
+    fn fl_tree_weight(&self, expr: &CoreExpr) -> usize {
+        match expr {
+            CoreExpr::App(f, args, _) => {
+                let Some(sym) = (match &**f {
+                    CoreExpr::Var(sym, _) => Some(*sym),
+                    _ => None,
+                }) else {
+                    return 0;
+                };
+                let name = sym.as_str();
+                let is_fl = (args.len() == 2
+                    && (fl_binary_op(&name).is_some() || fl_compare_op(&name).is_some()))
+                    || (args.len() == 1
+                        && (fl_unary_op(&name).is_some() || name == "unsafe-fx->fl"));
+                if !is_fl {
+                    return 0;
+                }
+                1 + args.iter().map(|a| self.fl_tree_weight(a)).sum::<usize>()
+            }
+            _ => 0,
+        }
+    }
+
+    /// Compiles a root `unsafe-fl*` application as fused unboxed code.
+    /// Numeric roots end with `FlBox`; comparison roots push the boolean
+    /// directly. Returns `Ok(None)` if the root is not fusible.
+    fn try_compile_fl_root(&mut self, expr: &CoreExpr) -> Result<Option<()>, RtError> {
+        let CoreExpr::App(f, args, _) = expr else {
+            return Ok(None);
+        };
+        let CoreExpr::Var(sym, _) = &**f else {
+            return Ok(None);
+        };
+        let name = sym.as_str();
+        if args.len() == 2 {
+            if let Some(op) = fl_compare_op(&name) {
+                self.compile_fl_operand(&args[0])?;
+                self.compile_fl_operand(&args[1])?;
+                self.top().emit(op);
+                return Ok(Some(()));
+            }
+            if let Some(op) = fl_binary_op(&name) {
+                self.compile_fl_operand(&args[0])?;
+                self.compile_fl_operand(&args[1])?;
+                let scope = self.top();
+                scope.emit(op);
+                scope.emit(Op::FlBox);
+                return Ok(Some(()));
+            }
+        }
+        if args.len() == 1 {
+            if let Some(op) = fl_unary_op(&name) {
+                self.compile_fl_operand(&args[0])?;
+                let scope = self.top();
+                scope.emit(op);
+                scope.emit(Op::FlBox);
+                return Ok(Some(()));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Compiles an operand of a fused float expression, leaving one
+    /// unboxed `f64` on the float stack.
+    fn compile_fl_operand(&mut self, expr: &CoreExpr) -> Result<(), RtError> {
+        match expr {
+            CoreExpr::Quote(Value::Float(x)) => {
+                let k = self.top().add_const(Value::Float(*x));
+                self.top().emit(Op::FlPushConst(k));
+                return Ok(());
+            }
+            CoreExpr::Var(sym, _) if !self.mutated.contains(sym) => {
+                // only pure locals/captures stay unboxed; globals and
+                // boxed variables fall through to the generic path
+                match self.resolve(*sym) {
+                    Resolved::Local(i) => {
+                        self.top().emit(Op::FlPushLocal(i));
+                        return Ok(());
+                    }
+                    Resolved::Capture(i) => {
+                        self.top().emit(Op::FlPushCapture(i));
+                        return Ok(());
+                    }
+                    Resolved::Global(_) => {}
+                }
+            }
+            CoreExpr::App(f, args, _) => {
+                if let CoreExpr::Var(sym, _) = &**f {
+                    let is_local = self
+                        .fns
+                        .iter()
+                        .any(|s| s.locals.contains_key(sym) || s.capture_names.contains(sym));
+                    if !is_local && !self.defined.contains(sym) {
+                        let name = sym.as_str();
+                        if args.len() == 2 {
+                            if let Some(op) = fl_binary_op(&name) {
+                                self.compile_fl_operand(&args[0])?;
+                                self.compile_fl_operand(&args[1])?;
+                                self.top().emit(op);
+                                return Ok(());
+                            }
+                        }
+                        if args.len() == 1 {
+                            if let Some(op) = fl_unary_op(&name) {
+                                self.compile_fl_operand(&args[0])?;
+                                self.top().emit(op);
+                                return Ok(());
+                            }
+                            if name == "unsafe-fx->fl" {
+                                self.compile_expr(&args[0], false)?;
+                                self.top().emit(Op::FlUnboxFx);
+                                return Ok(());
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        // generic fallback: compute boxed, then move to the float stack
+        self.compile_expr(expr, false)?;
+        self.top().emit(Op::FlUnbox);
+        Ok(())
+    }
+}
+
+/// Collects every `set!` target and `letrec`-bound name — the variables
+/// that must live in boxes.
+fn collect_mutated(expr: &CoreExpr, out: &mut HashSet<Symbol>) {
+    match expr {
+        CoreExpr::Quote(_) | CoreExpr::QuoteSyntax(_) | CoreExpr::Var(_, _) => {}
+        CoreExpr::If(c, t, e) => {
+            collect_mutated(c, out);
+            collect_mutated(t, out);
+            collect_mutated(e, out);
+        }
+        CoreExpr::Begin(body) => body.iter().for_each(|e| collect_mutated(e, out)),
+        CoreExpr::Lambda(lam) => lam.body.iter().for_each(|e| collect_mutated(e, out)),
+        CoreExpr::Let(bindings, body) => {
+            for (_, rhs) in bindings {
+                collect_mutated(rhs, out);
+            }
+            body.iter().for_each(|e| collect_mutated(e, out));
+        }
+        CoreExpr::Letrec(bindings, body) => {
+            for (name, rhs) in bindings {
+                out.insert(*name);
+                collect_mutated(rhs, out);
+            }
+            body.iter().for_each(|e| collect_mutated(e, out));
+        }
+        CoreExpr::Set(name, rhs, _) => {
+            out.insert(*name);
+            collect_mutated(rhs, out);
+        }
+        CoreExpr::App(f, args, _) => {
+            collect_mutated(f, out);
+            args.iter().for_each(|a| collect_mutated(a, out));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::parse_form;
+    use lagoon_syntax::read_all;
+
+    fn compile(src: &str) -> ModuleCode {
+        let forms = read_all(src, "<t>")
+            .unwrap()
+            .iter()
+            .map(parse_form)
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
+        Compiler::compile_module(&forms).unwrap()
+    }
+
+    #[test]
+    fn constants_and_globals() {
+        let m = compile("(define-values (x) 3) x");
+        assert!(m.global_names.contains(&Symbol::from("x")));
+        assert_eq!(m.defined.len(), 1);
+        let d = m.top.disassemble();
+        assert!(d.contains("StoreGlobal"));
+        assert!(d.contains("LoadGlobal"));
+    }
+
+    #[test]
+    fn generic_primitives_specialize() {
+        let m = compile("(#%plain-app + 1 2)");
+        assert!(m.top.code.contains(&Op::Add2));
+        assert!(!m.top.disassemble().contains("Call"));
+    }
+
+    #[test]
+    fn unsafe_primitives_specialize() {
+        let m = compile("(#%plain-app unsafe-fl+ 1.0 2.0)");
+        assert!(m.top.code.contains(&Op::FlAdd));
+    }
+
+    #[test]
+    fn variadic_calls_do_not_specialize() {
+        let m = compile("(#%plain-app + 1 2 3)");
+        assert!(!m.top.code.contains(&Op::Add2));
+        assert!(m.top.code.iter().any(|op| matches!(op, Op::Call(3))));
+    }
+
+    #[test]
+    fn locally_shadowed_primitives_do_not_specialize() {
+        // a local named `+` must be called as a closure, not as Add2
+        let m = compile("(#%plain-app (#%plain-lambda (+) (#%plain-app + 1 2)) car)");
+        let inner = &m.top.protos[0];
+        assert!(!inner.code.contains(&Op::Add2));
+    }
+
+    #[test]
+    fn module_defined_primitive_name_does_not_specialize() {
+        let m = compile("(define-values (+) 1) (#%plain-app + 1 2)");
+        assert!(!m.top.code.contains(&Op::Add2));
+    }
+
+    #[test]
+    fn tail_calls_are_marked() {
+        let m = compile(
+            "(define-values (loop) (#%plain-lambda (n) (#%plain-app loop n)))",
+        );
+        let inner = &m.top.protos[0];
+        assert!(inner.code.iter().any(|op| matches!(op, Op::TailCall(1))));
+    }
+
+    #[test]
+    fn captures_thread_through_nested_lambdas() {
+        let m = compile(
+            "(#%plain-lambda (x) (#%plain-lambda () (#%plain-lambda () x)))",
+        );
+        let outer = &m.top.protos[0];
+        let mid = &outer.protos[0];
+        let inner = &mid.protos[0];
+        assert_eq!(mid.captures, vec![CaptureSrc::Local(0)]);
+        assert_eq!(inner.captures, vec![CaptureSrc::Capture(0)]);
+    }
+
+    #[test]
+    fn mutated_locals_are_boxed() {
+        let m = compile(
+            "(let-values ([(x) 1]) (begin (set! x 2) x))",
+        );
+        let d = m.top.disassemble();
+        assert!(d.contains("BoxNew"));
+        assert!(d.contains("BoxSet"));
+        assert!(d.contains("BoxGet"));
+    }
+
+    #[test]
+    fn unmutated_locals_are_not_boxed() {
+        let m = compile("(let-values ([(x) 1]) x)");
+        let d = m.top.disassemble();
+        assert!(!d.contains("Box"));
+    }
+}
+
+#[cfg(test)]
+mod fusion_tests {
+    use super::*;
+    use crate::ir::parse_form;
+    use lagoon_syntax::read_all;
+
+    fn compile(src: &str) -> ModuleCode {
+        let forms = read_all(src, "<t>")
+            .unwrap()
+            .iter()
+            .map(parse_form)
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
+        Compiler::compile_module(&forms).unwrap()
+    }
+
+    #[test]
+    fn nested_fl_trees_fuse() {
+        // (unsafe-flsqrt (unsafe-fl+ (unsafe-fl* x x) (unsafe-fl* y y)))
+        let m = compile(
+            "(#%plain-lambda (x y)
+               (#%plain-app unsafe-flsqrt
+                 (#%plain-app unsafe-fl+
+                   (#%plain-app unsafe-fl* x x)
+                   (#%plain-app unsafe-fl* y y))))",
+        );
+        let inner = &m.top.protos[0];
+        assert!(inner.code.contains(&Op::FlPushLocal(0)));
+        assert!(inner.code.contains(&Op::FlSMul));
+        assert!(inner.code.contains(&Op::FlSAdd));
+        assert!(inner.code.contains(&Op::FlSSqrt));
+        assert!(inner.code.contains(&Op::FlBox));
+        // no boxed float instructions remain
+        assert!(!inner.code.contains(&Op::FlMul));
+        assert!(!inner.code.contains(&Op::FlAdd));
+    }
+
+    #[test]
+    fn single_fl_ops_stay_unfused() {
+        let m = compile("(#%plain-lambda (x y) (#%plain-app unsafe-fl+ x y))");
+        let inner = &m.top.protos[0];
+        assert!(inner.code.contains(&Op::FlAdd));
+        assert!(!inner.code.contains(&Op::FlSAdd));
+    }
+
+    #[test]
+    fn fused_comparisons_produce_booleans() {
+        let m = compile(
+            "(#%plain-lambda (x y)
+               (#%plain-app unsafe-fl< (#%plain-app unsafe-fl* x x) y))",
+        );
+        let inner = &m.top.protos[0];
+        assert!(inner.code.contains(&Op::FlSLt));
+        assert!(!inner.code.contains(&Op::FlBox), "comparison must not box");
+    }
+
+    #[test]
+    fn generic_subexpressions_enter_via_unbox() {
+        // (unsafe-fl+ (f x) (unsafe-fl* x x)) — (f x) is a real call
+        let m = compile(
+            "(define-values (f) (#%plain-lambda (x) x))
+             (#%plain-lambda (x)
+               (#%plain-app unsafe-fl+ (#%plain-app f x) (#%plain-app unsafe-fl* x x)))",
+        );
+        let inner = &m.top.protos[1];
+        assert!(inner.code.contains(&Op::FlUnbox));
+        assert!(inner.code.contains(&Op::FlSAdd));
+    }
+
+    #[test]
+    fn fx_to_fl_leaves_convert_unboxed() {
+        let m = compile(
+            "(#%plain-lambda (i y)
+               (#%plain-app unsafe-fl+ (#%plain-app unsafe-fx->fl i) y))",
+        );
+        let inner = &m.top.protos[0];
+        assert!(inner.code.contains(&Op::FlUnboxFx));
+    }
+
+    #[test]
+    fn generic_float_code_is_never_fused() {
+        let m = compile("(#%plain-lambda (x y) (#%plain-app + (#%plain-app * x x) y))");
+        let inner = &m.top.protos[0];
+        assert!(!inner.code.iter().any(|op| matches!(
+            op,
+            Op::FlSAdd | Op::FlSMul | Op::FlPushLocal(_)
+        )));
+    }
+}

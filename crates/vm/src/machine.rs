@@ -1,0 +1,923 @@
+//! The stack machine.
+//!
+//! Executes [`Proto`] bytecode over a value stack with explicit frames.
+//! Tail calls replace the current frame, so hosted tail recursion runs in
+//! constant space on both the value stack and the Rust stack.
+//!
+//! The generic instructions (`Add2`, `Car`, …) route through the runtime's
+//! tag-dispatching numeric tower; the `Fl*`/`Fx*`/`Fc*`/`Unsafe*`
+//! instructions extract payloads with a single pattern match and no
+//! checks — the machine-level realization of the paper's unsafe
+//! primitives.
+
+use crate::bytecode::{CaptureSrc, ModuleCode, Op, Proto};
+use crate::engine::{apply_contracted, is_apply_native, splice_apply_args, Engine};
+use lagoon_runtime::{number, Closure, Kind, RtError, Value};
+use lagoon_syntax::Symbol;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A module instance's global-variable table.
+#[derive(Debug)]
+pub struct Globals {
+    /// Slot `i` holds the variable named `names[i]`.
+    pub names: Vec<Symbol>,
+    slots: RefCell<Vec<Option<Value>>>,
+}
+
+impl Globals {
+    /// Builds a table for `code`, resolving each imported name with
+    /// `resolve` (module-defined names start undefined).
+    pub fn for_module(
+        code: &ModuleCode,
+        mut resolve: impl FnMut(Symbol) -> Option<Value>,
+    ) -> Rc<Globals> {
+        let slots = code
+            .global_names
+            .iter()
+            .map(|name| resolve(*name))
+            .collect();
+        Rc::new(Globals {
+            names: code.global_names.clone(),
+            slots: RefCell::new(slots),
+        })
+    }
+
+    /// Reads a global by name (used to extract exports after the module
+    /// body runs).
+    pub fn get(&self, name: Symbol) -> Option<Value> {
+        let idx = self.names.iter().position(|n| *n == name)?;
+        self.slots.borrow()[idx].clone()
+    }
+
+    /// Every defined (non-`None`) global, by name.
+    pub fn snapshot(&self) -> Vec<(Symbol, Value)> {
+        self.names
+            .iter()
+            .zip(self.slots.borrow().iter())
+            .filter_map(|(n, v)| v.clone().map(|v| (*n, v)))
+            .collect()
+    }
+}
+
+/// The environment payload of a VM closure.
+#[derive(Debug)]
+pub struct VmEnv {
+    /// Captured values (boxes for mutable variables).
+    pub captures: Vec<Value>,
+    /// The defining module instance's globals.
+    pub globals: Rc<Globals>,
+}
+
+struct Frame {
+    proto: Rc<Proto>,
+    ip: usize,
+    /// Index of the first argument/local on the stack; `base - 1` holds
+    /// the callee value.
+    base: usize,
+    env: Rc<VmEnv>,
+}
+
+/// The bytecode engine.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Vm;
+
+impl Vm {
+    /// Instantiates and runs a compiled module body. Returns the body's
+    /// final value together with the instance's globals (for export
+    /// extraction).
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors from the module body.
+    pub fn run_module(
+        &self,
+        code: &ModuleCode,
+        resolve: impl FnMut(Symbol) -> Option<Value>,
+    ) -> Result<(Value, Rc<Globals>), RtError> {
+        let globals = Globals::for_module(code, resolve);
+        let env = Rc::new(VmEnv {
+            captures: Vec::new(),
+            globals: globals.clone(),
+        });
+        let v = run(code.top.clone(), env, &[])?;
+        Ok((v, globals))
+    }
+}
+
+impl Engine for Vm {
+    fn apply(&self, f: &Value, args: &[Value]) -> Result<Value, RtError> {
+        let mut f = f.clone();
+        let mut args = args.to_vec();
+        loop {
+            match &f {
+                Value::Native(n) => {
+                    if is_apply_native(&f) {
+                        (f, args) = splice_apply_args(&args)?;
+                        continue;
+                    }
+                    if !n.arity.accepts(args.len()) {
+                        return Err(arity_error(n.name.as_str(), n.arity, args.len()));
+                    }
+                    return (n.f)(&args);
+                }
+                Value::Contracted(c) => return apply_contracted(self, c, &args),
+                Value::Closure(c) => {
+                    let (proto, env) = downcast_closure(c)?;
+                    return run(proto, env, &args);
+                }
+                other => {
+                    return Err(RtError::type_error(format!(
+                        "application: not a procedure: {}",
+                        other.write_string()
+                    )))
+                }
+            }
+        }
+    }
+}
+
+fn arity_error(name: impl std::fmt::Display, arity: lagoon_runtime::Arity, got: usize) -> RtError {
+    RtError::arity(format!("{name}: expects {arity} argument(s), got {got}"))
+}
+
+fn downcast_closure(c: &Rc<Closure>) -> Result<(Rc<Proto>, Rc<VmEnv>), RtError> {
+    let proto = c
+        .code
+        .clone()
+        .downcast::<Proto>()
+        .map_err(|_| RtError::new(Kind::Internal, "closure from a different engine applied by the VM"))?;
+    let env = c
+        .env
+        .clone()
+        .downcast::<VmEnv>()
+        .map_err(|_| RtError::new(Kind::Internal, "VM closure has a foreign environment"))?;
+    Ok((proto, env))
+}
+
+macro_rules! flval {
+    ($v:expr) => {
+        match $v {
+            Value::Float(x) => x,
+            _ => 0.0, // unsafe op misapplied: arbitrary value, never UB
+        }
+    };
+}
+
+macro_rules! fxval {
+    ($v:expr) => {
+        match $v {
+            Value::Int(n) => n,
+            _ => 0,
+        }
+    };
+}
+
+macro_rules! fcval {
+    ($v:expr) => {
+        match $v {
+            Value::Complex(re, im) => (re, im),
+            _ => (0.0, 0.0),
+        }
+    };
+}
+
+/// Runs `proto` as the body of a call with `args`, to completion.
+fn run(proto: Rc<Proto>, env: Rc<VmEnv>, args: &[Value]) -> Result<Value, RtError> {
+    let mut stack: Vec<Value> = Vec::with_capacity(64);
+    // the unboxed float stack used by fused unsafe-fl* sequences; always
+    // empty at call/return boundaries (fused code never spans a call)
+    let mut fstack: Vec<f64> = Vec::with_capacity(16);
+    let mut frames: Vec<Frame> = Vec::with_capacity(16);
+    // dummy callee slot so every frame has `base - 1` valid
+    stack.push(Value::Void);
+    stack.extend_from_slice(args);
+    push_frame(&mut stack, &mut frames, proto, env, 1, args.len())?;
+
+    loop {
+        let frame = frames.last_mut().expect("active frame");
+        let op = frame.proto.code[frame.ip];
+        frame.ip += 1;
+        match op {
+            Op::Const(k) => stack.push(frame.proto.consts[k as usize].clone()),
+            Op::Void => stack.push(Value::Void),
+            Op::LoadLocal(i) => stack.push(stack[frame.base + i as usize].clone()),
+            Op::StoreLocal(i) => {
+                let v = stack.pop().expect("store operand");
+                let slot = frame.base + i as usize;
+                stack[slot] = v;
+            }
+            Op::LoadCapture(i) => stack.push(frame.env.captures[i as usize].clone()),
+            Op::LoadGlobal(i) => {
+                let v = frame.env.globals.slots.borrow()[i as usize].clone();
+                match v {
+                    Some(v) => stack.push(v),
+                    None => {
+                        let name = frame.env.globals.names[i as usize];
+                        return Err(RtError::unbound(name));
+                    }
+                }
+            }
+            Op::StoreGlobal(i) => {
+                let v = stack.pop().expect("global operand");
+                frame.env.globals.slots.borrow_mut()[i as usize] = Some(v);
+            }
+            Op::Jump(t) => frame.ip = t as usize,
+            Op::JumpIfFalse(t) => {
+                if !stack.pop().expect("condition").is_truthy() {
+                    frame.ip = t as usize;
+                }
+            }
+            Op::MakeClosure(i) => {
+                let child = frame.proto.protos[i as usize].clone();
+                let captures = child
+                    .captures
+                    .iter()
+                    .map(|src| match src {
+                        CaptureSrc::Local(s) => stack[frame.base + *s as usize].clone(),
+                        CaptureSrc::Capture(c) => frame.env.captures[*c as usize].clone(),
+                    })
+                    .collect();
+                let env = Rc::new(VmEnv {
+                    captures,
+                    globals: frame.env.globals.clone(),
+                });
+                stack.push(Value::Closure(Rc::new(Closure {
+                    name: child.name,
+                    arity: child.arity,
+                    code: child,
+                    env,
+                })));
+            }
+            Op::Call(n) => {
+                enter_call(&mut stack, &mut frames, n as usize, false)?;
+            }
+            Op::TailCall(n) => {
+                enter_call(&mut stack, &mut frames, n as usize, true)?;
+                if frames.is_empty() {
+                    return Ok(stack.pop().expect("result"));
+                }
+            }
+            Op::Return => {
+                let result = stack.pop().expect("return value");
+                let frame = frames.pop().expect("returning frame");
+                stack.truncate(frame.base - 1);
+                if frames.is_empty() {
+                    return Ok(result);
+                }
+                stack.push(result);
+            }
+            Op::Pop => {
+                stack.pop();
+            }
+            Op::BoxNew => {
+                let v = stack.pop().expect("box operand");
+                stack.push(Value::Box(Rc::new(RefCell::new(v))));
+            }
+            Op::BoxGet => {
+                let v = stack.pop().expect("box");
+                match v {
+                    Value::Box(b) => stack.push(b.borrow().clone()),
+                    _ => return Err(RtError::new(Kind::Internal, "BoxGet on non-box")),
+                }
+            }
+            Op::BoxSet => {
+                let v = stack.pop().expect("value");
+                let b = stack.pop().expect("box");
+                match b {
+                    Value::Box(b) => {
+                        *b.borrow_mut() = v;
+                        stack.push(Value::Void);
+                    }
+                    _ => return Err(RtError::new(Kind::Internal, "BoxSet on non-box")),
+                }
+            }
+
+            // ---- generic fast paths ----
+            Op::Add2 => binop(&mut stack, number::add)?,
+            Op::Sub2 => binop(&mut stack, number::sub)?,
+            Op::Mul2 => binop(&mut stack, number::mul)?,
+            Op::Div2 => binop(&mut stack, number::div)?,
+            Op::Lt2 => cmpop(&mut stack, "<", |o| o.is_lt())?,
+            Op::Le2 => cmpop(&mut stack, "<=", |o| o.is_le())?,
+            Op::Gt2 => cmpop(&mut stack, ">", |o| o.is_gt())?,
+            Op::Ge2 => cmpop(&mut stack, ">=", |o| o.is_ge())?,
+            Op::NumEq2 => {
+                let b = stack.pop().expect("rhs");
+                let a = stack.pop().expect("lhs");
+                stack.push(Value::Bool(number::num_eq(&a, &b)?));
+            }
+            Op::Add1 => {
+                let a = stack.pop().expect("operand");
+                stack.push(number::add(&a, &Value::Int(1))?);
+            }
+            Op::Sub1 => {
+                let a = stack.pop().expect("operand");
+                stack.push(number::sub(&a, &Value::Int(1))?);
+            }
+            Op::ZeroP => {
+                let a = stack.pop().expect("operand");
+                let z = match a {
+                    Value::Int(n) => n == 0,
+                    Value::Float(x) => x == 0.0,
+                    Value::Complex(re, im) => re == 0.0 && im == 0.0,
+                    v => {
+                        return Err(RtError::type_error(format!(
+                            "zero?: expected number, got {}",
+                            v.write_string()
+                        )))
+                    }
+                };
+                stack.push(Value::Bool(z));
+            }
+            Op::Car => {
+                let a = stack.pop().expect("operand");
+                match a {
+                    Value::Pair(p) => stack.push(p.0.clone()),
+                    v => {
+                        return Err(RtError::type_error(format!(
+                            "car: expected pair, got {}",
+                            v.write_string()
+                        )))
+                    }
+                }
+            }
+            Op::Cdr => {
+                let a = stack.pop().expect("operand");
+                match a {
+                    Value::Pair(p) => stack.push(p.1.clone()),
+                    v => {
+                        return Err(RtError::type_error(format!(
+                            "cdr: expected pair, got {}",
+                            v.write_string()
+                        )))
+                    }
+                }
+            }
+            Op::Cons => {
+                let b = stack.pop().expect("cdr");
+                let a = stack.pop().expect("car");
+                stack.push(Value::cons(a, b));
+            }
+            Op::NullP => {
+                let a = stack.pop().expect("operand");
+                stack.push(Value::Bool(matches!(a, Value::Nil)));
+            }
+            Op::PairP => {
+                let a = stack.pop().expect("operand");
+                stack.push(Value::Bool(matches!(a, Value::Pair(_))));
+            }
+            Op::Not => {
+                let a = stack.pop().expect("operand");
+                stack.push(Value::Bool(!a.is_truthy()));
+            }
+            Op::EqP => {
+                let b = stack.pop().expect("rhs");
+                let a = stack.pop().expect("lhs");
+                stack.push(Value::Bool(a.eq_identity(&b)));
+            }
+            Op::VectorRef => {
+                let i = stack.pop().expect("index");
+                let v = stack.pop().expect("vector");
+                match (&v, &i) {
+                    (Value::Vector(vec), Value::Int(n)) => {
+                        let vec = vec.borrow();
+                        let idx = *n as usize;
+                        if *n < 0 || idx >= vec.len() {
+                            return Err(RtError::new(
+                                Kind::Range,
+                                format!("vector-ref: index {n} out of range for length {}", vec.len()),
+                            ));
+                        }
+                        let x = vec[idx].clone();
+                        drop(vec);
+                        stack.push(x);
+                    }
+                    _ => {
+                        return Err(RtError::type_error(format!(
+                            "vector-ref: expected vector and index, got {} and {}",
+                            v.write_string(),
+                            i.write_string()
+                        )))
+                    }
+                }
+            }
+            Op::VectorSet => {
+                let x = stack.pop().expect("value");
+                let i = stack.pop().expect("index");
+                let v = stack.pop().expect("vector");
+                match (&v, &i) {
+                    (Value::Vector(vec), Value::Int(n)) => {
+                        let mut vec = vec.borrow_mut();
+                        let idx = *n as usize;
+                        if *n < 0 || idx >= vec.len() {
+                            return Err(RtError::new(
+                                Kind::Range,
+                                format!("vector-set!: index {n} out of range for length {}", vec.len()),
+                            ));
+                        }
+                        vec[idx] = x;
+                        stack.push(Value::Void);
+                    }
+                    _ => {
+                        return Err(RtError::type_error(
+                            "vector-set!: expected vector and index",
+                        ))
+                    }
+                }
+            }
+            Op::VectorLength => {
+                let v = stack.pop().expect("vector");
+                match v {
+                    Value::Vector(vec) => stack.push(Value::Int(vec.borrow().len() as i64)),
+                    v => {
+                        return Err(RtError::type_error(format!(
+                            "vector-length: expected vector, got {}",
+                            v.write_string()
+                        )))
+                    }
+                }
+            }
+
+            // ---- unsafe specialized instructions ----
+            Op::FlAdd => flbin(&mut stack, |a, b| a + b),
+            Op::FlSub => flbin(&mut stack, |a, b| a - b),
+            Op::FlMul => flbin(&mut stack, |a, b| a * b),
+            Op::FlDiv => flbin(&mut stack, |a, b| a / b),
+            Op::FlLt => flcmp(&mut stack, |a, b| a < b),
+            Op::FlLe => flcmp(&mut stack, |a, b| a <= b),
+            Op::FlGt => flcmp(&mut stack, |a, b| a > b),
+            Op::FlGe => flcmp(&mut stack, |a, b| a >= b),
+            Op::FlEq => flcmp(&mut stack, |a, b| a == b),
+            Op::FlSqrt => {
+                let a = flval!(stack.pop().expect("operand"));
+                stack.push(Value::Float(a.sqrt()));
+            }
+            Op::FlAbs => {
+                let a = flval!(stack.pop().expect("operand"));
+                stack.push(Value::Float(a.abs()));
+            }
+            Op::FlMin => flbin(&mut stack, f64::min),
+            Op::FlMax => flbin(&mut stack, f64::max),
+            Op::FxAdd => fxbin(&mut stack, i64::wrapping_add),
+            Op::FxSub => fxbin(&mut stack, i64::wrapping_sub),
+            Op::FxMul => fxbin(&mut stack, i64::wrapping_mul),
+            Op::FxLt => fxcmp(&mut stack, |a, b| a < b),
+            Op::FxLe => fxcmp(&mut stack, |a, b| a <= b),
+            Op::FxGt => fxcmp(&mut stack, |a, b| a > b),
+            Op::FxGe => fxcmp(&mut stack, |a, b| a >= b),
+            Op::FxEq => fxcmp(&mut stack, |a, b| a == b),
+            Op::FcAdd => fcbin(&mut stack, |(ar, ai), (br, bi)| (ar + br, ai + bi)),
+            Op::FcSub => fcbin(&mut stack, |(ar, ai), (br, bi)| (ar - br, ai - bi)),
+            Op::FcMul => fcbin(&mut stack, |(ar, ai), (br, bi)| {
+                (ar * br - ai * bi, ar * bi + ai * br)
+            }),
+            Op::FcDiv => fcbin(&mut stack, |(ar, ai), (br, bi)| {
+                let d = br * br + bi * bi;
+                ((ar * br + ai * bi) / d, (ai * br - ar * bi) / d)
+            }),
+            Op::FcMag => {
+                let (re, im) = fcval!(stack.pop().expect("operand"));
+                stack.push(Value::Float(re.hypot(im)));
+            }
+            Op::UnsafeCar => {
+                let a = stack.pop().expect("operand");
+                match a {
+                    Value::Pair(p) => stack.push(p.0.clone()),
+                    v => stack.push(v),
+                }
+            }
+            Op::UnsafeCdr => {
+                let a = stack.pop().expect("operand");
+                match a {
+                    Value::Pair(p) => stack.push(p.1.clone()),
+                    v => stack.push(v),
+                }
+            }
+            Op::UnsafeVectorRef => {
+                let i = stack.pop().expect("index");
+                let v = stack.pop().expect("vector");
+                match (&v, &i) {
+                    (Value::Vector(vec), Value::Int(n)) => {
+                        let x = vec
+                            .borrow()
+                            .get(*n as usize)
+                            .cloned()
+                            .unwrap_or(Value::Void);
+                        stack.push(x);
+                    }
+                    _ => stack.push(Value::Void),
+                }
+            }
+            Op::UnsafeVectorSet => {
+                let x = stack.pop().expect("value");
+                let i = stack.pop().expect("index");
+                let v = stack.pop().expect("vector");
+                if let (Value::Vector(vec), Value::Int(n)) = (&v, &i) {
+                    let mut vec = vec.borrow_mut();
+                    let idx = *n as usize;
+                    if idx < vec.len() {
+                        vec[idx] = x;
+                    }
+                }
+                stack.push(Value::Void);
+            }
+            Op::UnsafeVectorLength => {
+                let v = stack.pop().expect("vector");
+                match v {
+                    Value::Vector(vec) => stack.push(Value::Int(vec.borrow().len() as i64)),
+                    _ => stack.push(Value::Int(0)),
+                }
+            }
+            Op::FxToFl => {
+                let a = fxval!(stack.pop().expect("operand"));
+                stack.push(Value::Float(a as f64));
+            }
+
+            // ---- unboxed float fusion ----
+            Op::FlPushLocal(i) => {
+                let v = flval!(stack[frame.base + i as usize].clone());
+                fstack.push(v);
+            }
+            Op::FlPushCapture(i) => {
+                let v = flval!(frame.env.captures[i as usize].clone());
+                fstack.push(v);
+            }
+            Op::FlPushConst(k) => {
+                let v = flval!(frame.proto.consts[k as usize].clone());
+                fstack.push(v);
+            }
+            Op::FlUnbox => {
+                let v = flval!(stack.pop().expect("operand"));
+                fstack.push(v);
+            }
+            Op::FlUnboxFx => {
+                let v = fxval!(stack.pop().expect("operand"));
+                fstack.push(v as f64);
+            }
+            Op::FlBox => {
+                let v = fstack.pop().expect("float operand");
+                stack.push(Value::Float(v));
+            }
+            Op::FlSAdd => flfuse(&mut fstack, |a, b| a + b),
+            Op::FlSSub => flfuse(&mut fstack, |a, b| a - b),
+            Op::FlSMul => flfuse(&mut fstack, |a, b| a * b),
+            Op::FlSDiv => flfuse(&mut fstack, |a, b| a / b),
+            Op::FlSMin => flfuse(&mut fstack, f64::min),
+            Op::FlSMax => flfuse(&mut fstack, f64::max),
+            Op::FlSSqrt => {
+                let a = fstack.pop().expect("float operand");
+                fstack.push(a.sqrt());
+            }
+            Op::FlSAbs => {
+                let a = fstack.pop().expect("float operand");
+                fstack.push(a.abs());
+            }
+            Op::FlSLt => flfusecmp(&mut fstack, &mut stack, |a, b| a < b),
+            Op::FlSLe => flfusecmp(&mut fstack, &mut stack, |a, b| a <= b),
+            Op::FlSGt => flfusecmp(&mut fstack, &mut stack, |a, b| a > b),
+            Op::FlSGe => flfusecmp(&mut fstack, &mut stack, |a, b| a >= b),
+            Op::FlSEq => flfusecmp(&mut fstack, &mut stack, |a, b| a == b),
+        }
+    }
+}
+
+#[inline]
+fn flfuse(fstack: &mut Vec<f64>, f: fn(f64, f64) -> f64) {
+    let b = fstack.pop().expect("rhs");
+    let a = fstack.pop().expect("lhs");
+    fstack.push(f(a, b));
+}
+
+#[inline]
+fn flfusecmp(fstack: &mut Vec<f64>, stack: &mut Vec<Value>, f: fn(f64, f64) -> bool) {
+    let b = fstack.pop().expect("rhs");
+    let a = fstack.pop().expect("lhs");
+    stack.push(Value::Bool(f(a, b)));
+}
+
+#[inline]
+fn binop(
+    stack: &mut Vec<Value>,
+    f: fn(&Value, &Value) -> Result<Value, RtError>,
+) -> Result<(), RtError> {
+    let b = stack.pop().expect("rhs");
+    let a = stack.pop().expect("lhs");
+    stack.push(f(&a, &b)?);
+    Ok(())
+}
+
+#[inline]
+fn cmpop(
+    stack: &mut Vec<Value>,
+    name: &'static str,
+    ok: fn(std::cmp::Ordering) -> bool,
+) -> Result<(), RtError> {
+    let b = stack.pop().expect("rhs");
+    let a = stack.pop().expect("lhs");
+    stack.push(Value::Bool(ok(number::compare(name, &a, &b)?)));
+    Ok(())
+}
+
+#[inline]
+fn flbin(stack: &mut Vec<Value>, f: fn(f64, f64) -> f64) {
+    let b = flval!(stack.pop().expect("rhs"));
+    let a = flval!(stack.pop().expect("lhs"));
+    stack.push(Value::Float(f(a, b)));
+}
+
+#[inline]
+fn flcmp(stack: &mut Vec<Value>, f: fn(f64, f64) -> bool) {
+    let b = flval!(stack.pop().expect("rhs"));
+    let a = flval!(stack.pop().expect("lhs"));
+    stack.push(Value::Bool(f(a, b)));
+}
+
+#[inline]
+fn fxbin(stack: &mut Vec<Value>, f: fn(i64, i64) -> i64) {
+    let b = fxval!(stack.pop().expect("rhs"));
+    let a = fxval!(stack.pop().expect("lhs"));
+    stack.push(Value::Int(f(a, b)));
+}
+
+#[inline]
+fn fxcmp(stack: &mut Vec<Value>, f: fn(i64, i64) -> bool) {
+    let b = fxval!(stack.pop().expect("rhs"));
+    let a = fxval!(stack.pop().expect("lhs"));
+    stack.push(Value::Bool(f(a, b)));
+}
+
+type FcOp = fn((f64, f64), (f64, f64)) -> (f64, f64);
+
+#[inline]
+fn fcbin(stack: &mut Vec<Value>, f: FcOp) {
+    let b = fcval!(stack.pop().expect("rhs"));
+    let a = fcval!(stack.pop().expect("lhs"));
+    let (re, im) = f(a, b);
+    stack.push(Value::Complex(re, im));
+}
+
+/// Performs the call whose callee and `n` arguments are on top of the
+/// stack. For closures, pushes (or, if `tail`, replaces) a frame; for
+/// natives/contracted procedures, completes the call and pushes the
+/// result — in the tail case the caller's frame has already been popped,
+/// so the machine loop must check for an empty frame stack afterwards.
+fn enter_call(
+    stack: &mut Vec<Value>,
+    frames: &mut Vec<Frame>,
+    n: usize,
+    tail: bool,
+) -> Result<(), RtError> {
+    let mut n = n;
+    let mut argstart = stack.len() - n;
+
+    if tail {
+        // move callee + args down over the current frame
+        let frame = frames.pop().expect("tail-calling frame");
+        let dest = frame.base - 1;
+        let src = argstart - 1;
+        if src != dest {
+            for i in 0..=n {
+                stack[dest + i] = stack[src + i].clone();
+            }
+            stack.truncate(dest + n + 1);
+            argstart = dest + 1;
+        }
+    }
+
+    loop {
+        let f = stack[argstart - 1].clone();
+        match &f {
+            Value::Native(nat) => {
+                if is_apply_native(&f) {
+                    // replace `apply f a … lst` with `f a … lst-elems`;
+                    // the new callee lands back at `argstart - 1`
+                    let all: Vec<Value> = stack.drain(argstart - 1..).collect();
+                    let (nf, nargs) = splice_apply_args(&all[1..])?;
+                    stack.push(nf);
+                    n = nargs.len();
+                    stack.extend(nargs);
+                    continue;
+                }
+                if !nat.arity.accepts(n) {
+                    return Err(arity_error(nat.name.as_str(), nat.arity, n));
+                }
+                let result = (nat.f)(&stack[argstart..])?;
+                stack.truncate(argstart - 1);
+                stack.push(result);
+                return Ok(());
+            }
+            Value::Contracted(c) => {
+                let args: Vec<Value> = stack[argstart..].to_vec();
+                let result = apply_contracted(&Vm, c, &args)?;
+                stack.truncate(argstart - 1);
+                stack.push(result);
+                return Ok(());
+            }
+            Value::Closure(c) => {
+                let (proto, env) = downcast_closure(c)?;
+                push_frame(stack, frames, proto, env, argstart, n)?;
+                return Ok(());
+            }
+            other => {
+                return Err(RtError::type_error(format!(
+                    "application: not a procedure: {}",
+                    other.write_string()
+                )))
+            }
+        }
+    }
+}
+
+/// Sets up a frame for `proto` whose arguments occupy
+/// `stack[base..base + n]`: checks arity, collapses rest arguments, pads
+/// locals.
+fn push_frame(
+    stack: &mut Vec<Value>,
+    frames: &mut Vec<Frame>,
+    proto: Rc<Proto>,
+    env: Rc<VmEnv>,
+    base: usize,
+    n: usize,
+) -> Result<(), RtError> {
+    if !proto.arity.accepts(n) {
+        return Err(arity_error(
+            proto
+                .name
+                .map(|s| s.as_str())
+                .unwrap_or_else(|| "#<procedure>".into()),
+            proto.arity,
+            n,
+        ));
+    }
+    if proto.arity.rest {
+        let required = proto.arity.required;
+        let rest: Vec<Value> = stack.drain(base + required..).collect();
+        stack.push(Value::list(rest));
+    }
+    while stack.len() < base + proto.nlocals as usize {
+        stack.push(Value::Void);
+    }
+    frames.push(Frame {
+        proto,
+        ip: 0,
+        base,
+        env,
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::Compiler;
+    use crate::ir::parse_form;
+    use lagoon_runtime::prim::primitives;
+    use lagoon_syntax::read_all;
+    use std::collections::HashMap;
+
+    fn run_src(src: &str) -> Result<Value, RtError> {
+        let forms = read_all(src, "<t>")
+            .unwrap()
+            .iter()
+            .map(parse_form)
+            .collect::<Result<Vec<_>, _>>()?;
+        let code = Compiler::compile_module(&forms)?;
+        let prims: HashMap<_, _> = primitives()
+            .into_iter()
+            .chain([crate::engine::apply_placeholder()])
+            .collect();
+        let (v, _) = Vm.run_module(&code, |name| prims.get(&name).cloned())?;
+        Ok(v)
+    }
+
+    #[test]
+    fn constants_and_arith() {
+        assert!(matches!(run_src("42").unwrap(), Value::Int(42)));
+        assert!(matches!(run_src("(#%plain-app + 1 2)").unwrap(), Value::Int(3)));
+        assert!(matches!(run_src("(#%plain-app + 1 2 3)").unwrap(), Value::Int(6)));
+        assert!(matches!(run_src("(#%plain-app * 2.5 4.0)").unwrap(), Value::Float(x) if x == 10.0));
+    }
+
+    #[test]
+    fn define_and_reference() {
+        let v = run_src("(define-values (x) 10) (#%plain-app + x x)").unwrap();
+        assert!(matches!(v, Value::Int(20)));
+    }
+
+    #[test]
+    fn lambda_call_and_capture() {
+        let v = run_src(
+            "(define-values (make-adder) (#%plain-lambda (n) (#%plain-lambda (m) (#%plain-app + n m))))
+             (#%plain-app (#%plain-app make-adder 3) 4)",
+        )
+        .unwrap();
+        assert!(matches!(v, Value::Int(7)));
+    }
+
+    #[test]
+    fn recursion_via_global() {
+        let v = run_src(
+            "(define-values (fact)
+               (#%plain-lambda (n)
+                 (if (#%plain-app = n 0) 1 (#%plain-app * n (#%plain-app fact (#%plain-app - n 1))))))
+             (#%plain-app fact 10)",
+        )
+        .unwrap();
+        assert!(matches!(v, Value::Int(3628800)));
+    }
+
+    #[test]
+    fn deep_tail_recursion() {
+        let v = run_src(
+            "(define-values (loop)
+               (#%plain-lambda (n acc)
+                 (if (#%plain-app = n 0) acc (#%plain-app loop (#%plain-app - n 1) (#%plain-app + acc 1)))))
+             (#%plain-app loop 2000000 0)",
+        )
+        .unwrap();
+        assert!(matches!(v, Value::Int(2_000_000)));
+    }
+
+    #[test]
+    fn letrec_mutual_recursion() {
+        let v = run_src(
+            "(letrec-values ([(ev?) (#%plain-lambda (n) (if (#%plain-app = n 0) #t (#%plain-app od? (#%plain-app - n 1))))]
+                             [(od?) (#%plain-lambda (n) (if (#%plain-app = n 0) #f (#%plain-app ev? (#%plain-app - n 1))))])
+               (#%plain-app ev? 101))",
+        )
+        .unwrap();
+        assert!(!v.is_truthy());
+    }
+
+    #[test]
+    fn set_on_captured_variable() {
+        let v = run_src(
+            "(define-values (counter)
+               (let-values ([(n) 0])
+                 (#%plain-lambda () (begin (set! n (#%plain-app + n 1)) n))))
+             (#%plain-app counter)
+             (#%plain-app counter)
+             (#%plain-app counter)",
+        )
+        .unwrap();
+        assert!(matches!(v, Value::Int(3)));
+    }
+
+    #[test]
+    fn rest_args() {
+        let v = run_src("(#%plain-app (#%plain-lambda (a . rest) rest) 1 2 3)").unwrap();
+        assert_eq!(v.list_to_vec().unwrap().len(), 2);
+        let v = run_src("(#%plain-app (#%plain-lambda args args))").unwrap();
+        assert!(matches!(v, Value::Nil));
+    }
+
+    #[test]
+    fn unsafe_instructions_execute() {
+        let v = run_src("(#%plain-app unsafe-fl+ 1.5 2.5)").unwrap();
+        assert!(matches!(v, Value::Float(x) if x == 4.0));
+        let v = run_src("(#%plain-app unsafe-fc* 2.0+2.0i 2.0+2.0i)").unwrap();
+        assert!(matches!(v, Value::Complex(re, im) if re == 0.0 && im == 8.0));
+        let v = run_src("(#%plain-app unsafe-car (#%plain-app cons 1 2))").unwrap();
+        assert!(matches!(v, Value::Int(1)));
+    }
+
+    #[test]
+    fn apply_through_vm() {
+        let v = run_src("(#%plain-app apply + 1 (quote (2 3)))").unwrap();
+        assert!(matches!(v, Value::Int(6)));
+    }
+
+    #[test]
+    fn higher_order_natives() {
+        // pass a closure to a native-calling position via apply
+        let v = run_src(
+            "(define-values (twice) (#%plain-lambda (f x) (#%plain-app f (#%plain-app f x))))
+             (#%plain-app twice (#%plain-lambda (n) (#%plain-app * n n)) 3)",
+        )
+        .unwrap();
+        assert!(matches!(v, Value::Int(81)));
+    }
+
+    #[test]
+    fn errors_have_context() {
+        let e = run_src("(#%plain-app car 7)").unwrap_err();
+        assert!(e.message.contains("car"));
+        let e = run_src("missing").unwrap_err();
+        assert_eq!(e.kind, Kind::Unbound);
+        let e = run_src("(#%plain-app (#%plain-lambda (x) x))").unwrap_err();
+        assert_eq!(e.kind, Kind::Arity);
+    }
+
+    #[test]
+    fn vector_ops() {
+        let v = run_src(
+            "(define-values (v) (#%plain-app make-vector 3 0))
+             (#%plain-app vector-set! v 1 42)
+             (#%plain-app vector-ref v 1)",
+        )
+        .unwrap();
+        assert!(matches!(v, Value::Int(42)));
+        assert!(run_src("(#%plain-app vector-ref (#%plain-app vector 1) 5)").is_err());
+    }
+}

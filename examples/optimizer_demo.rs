@@ -1,0 +1,55 @@
+//! The type-driven optimizer at work (paper §7): compare the expanded
+//! core code of a typed module with and without the optimizer pass, then
+//! time the difference on the bytecode VM.
+//!
+//! Run with: `cargo run --release --example optimizer_demo`
+
+use lagoon::{EngineKind, Lagoon};
+use std::time::Instant;
+
+const KERNEL: &str = r#"
+(: poly : Float Float -> Float)
+(define (poly x acc) (+ (* acc x) (sqrt (+ (* x x) 1.0))))
+(: go : Integer Float -> Float)
+(define (go i acc)
+  (if (= i 0) acc (go (- i 1) (poly 1.000001 acc))))
+(go 2000000 0.0)
+"#;
+
+fn main() -> Result<(), lagoon::RtError> {
+    let lagoon = Lagoon::new();
+    lagoon.add_module("opt", &format!("#lang typed/lagoon\n{KERNEL}"));
+    lagoon.add_module("unopt", &format!("#lang typed/no-opt\n{KERNEL}"));
+
+    println!("== expanded core code, optimizer ON (typed/lagoon) ==");
+    for form in lagoon.expanded("opt")? {
+        let s = form.to_datum().to_string();
+        if s.contains("poly") && s.contains("lambda") {
+            println!("{s}\n");
+        }
+    }
+    println!("== expanded core code, optimizer OFF (typed/no-opt) ==");
+    for form in lagoon.expanded("unopt")? {
+        let s = form.to_datum().to_string();
+        if s.contains("poly") && s.contains("lambda") {
+            println!("{s}\n");
+        }
+    }
+
+    let t0 = Instant::now();
+    let v1 = lagoon.run("unopt", EngineKind::Vm)?;
+    let unopt_time = t0.elapsed();
+    let t0 = Instant::now();
+    let v2 = lagoon.run("opt", EngineKind::Vm)?;
+    let opt_time = t0.elapsed();
+    assert!(v1.equal(&v2), "optimizer changed the result!");
+
+    println!("result (both): {v1}");
+    println!("generic ops:   {unopt_time:?}");
+    println!("unsafe ops:    {opt_time:?}");
+    println!(
+        "speedup:       {:.0}%",
+        (unopt_time.as_secs_f64() / opt_time.as_secs_f64() - 1.0) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Quickstart: embed Lagoon, run untyped and typed modules, define a
+//! hygienic macro, and watch a type error get caught at compile time.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use lagoon::{EngineKind, Lagoon};
+
+fn main() -> Result<(), lagoon::RtError> {
+    let lagoon = Lagoon::new();
+
+    // 1. a plain untyped module
+    lagoon.add_module(
+        "hello",
+        r#"#lang lagoon
+(define (greet name) (string-append "hello, " name))
+(displayln (greet "world"))
+(* 6 7)
+"#,
+    );
+    let v = lagoon.run("hello", EngineKind::Vm)?;
+    println!("hello returned {v}");
+
+    // 2. a hygienic macro: the classic swap! — its temporary never
+    //    captures the user's variables, even one named `tmp`
+    lagoon.add_module(
+        "macros",
+        r#"#lang lagoon
+(define-syntax swap!
+  (syntax-rules ()
+    [(_ a b) (let ([tmp a]) (set! a b) (set! b tmp))]))
+(define tmp 1)
+(define other 2)
+(swap! tmp other)
+(list tmp other)
+"#,
+    );
+    println!("after swap!: {}", lagoon.run("macros", EngineKind::Vm)?);
+
+    // 3. the typed sister language — same runtime, static checking
+    lagoon.add_module(
+        "typed",
+        r#"#lang typed/lagoon
+(: fib : Integer -> Integer)
+(define (fib n)
+  (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+(fib 20)
+"#,
+    );
+    println!("typed fib 20 = {}", lagoon.run("typed", EngineKind::Vm)?);
+
+    // 4. type errors are compile-time errors (the paper's §4.1 example)
+    lagoon.add_module("oops", "#lang typed/lagoon\n(define: w : Integer 3.7)\n");
+    match lagoon.run("oops", EngineKind::Vm) {
+        Err(e) => println!("as expected: {e}"),
+        Ok(v) => unreachable!("type error not caught: {v}"),
+    }
+
+    // 5. both engines agree
+    let vm = lagoon.run("typed", EngineKind::Vm)?;
+    let interp = lagoon.run("typed", EngineKind::Interp)?;
+    assert!(vm.equal(&interp));
+    println!("interp and vm agree: {vm}");
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! A reverse-Polish-notation `#lang`, implemented entirely in hosted
+//! Lagoon code — no Rust. The language's `#%module-begin` receives every
+//! top-level form and a phase-1 helper converts each postfix sequence to
+//! ordinary prefix code *at compile time*. This is the paper's thesis in
+//! miniature: complete control over a module's semantics, as a library.
+//!
+//! Run with: `cargo run --example rpn_lang`
+
+use lagoon::{EngineKind, Lagoon};
+
+const RPN_LANGUAGE: &str = r#"#lang lagoon
+(begin-for-syntax
+  (define (rpn-convert items stack)
+    (if (null? items)
+        (car stack)
+        (let ([item (car items)])
+          (if (number? (syntax->datum item))
+              (rpn-convert (cdr items) (cons item stack))
+              (rpn-convert (cdr items)
+                           (cons (datum->syntax item
+                                   (list item (cadr stack) (car stack)))
+                                 (cddr stack))))))))
+(define-syntax (#%module-begin stx)
+  (syntax-parse stx
+    [(_ expr ...)
+     #`(#%plain-module-begin
+        #,@(map (lambda (e)
+                  #`(displayln #,(rpn-convert (syntax->list e) '())))
+                (syntax->list #'(expr ...))))]))
+(provide #%module-begin)
+"#;
+
+fn main() -> Result<(), lagoon::RtError> {
+    let lagoon = Lagoon::new();
+    lagoon.add_module("rpn", RPN_LANGUAGE);
+    lagoon.add_module(
+        "calc",
+        "#lang rpn
+(3 4 + 2 *)
+(10 2 -)
+(2.0 10.0 * 1.0 +)
+",
+    );
+    let (_, output) = lagoon.run_capturing("calc", EngineKind::Vm)?;
+    print!("{output}");
+    assert_eq!(output, "14\n8\n21.0\n");
+    println!("-- a complete postfix language, defined in ~20 lines of hosted code");
+    Ok(())
+}

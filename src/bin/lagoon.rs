@@ -1,0 +1,189 @@
+//! The `lagoon` command-line tool.
+//!
+//! ```text
+//! lagoon run <file.lag> [--interp]     run a program (deps loaded from
+//!                                      sibling <name>.lag files)
+//! lagoon expand <file.lag>             print the fully-expanded core forms
+//! lagoon repl [--typed]                interactive prompt
+//! ```
+
+use lagoon::{EngineKind, Lagoon};
+use std::collections::HashSet;
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  lagoon run <file.lag> [--interp]\n  lagoon expand <file.lag>\n  lagoon repl [--typed]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => {
+            let Some(file) = args.get(1) else { return usage() };
+            let engine = if args.iter().any(|a| a == "--interp") {
+                EngineKind::Interp
+            } else {
+                EngineKind::Vm
+            };
+            run_file(Path::new(file), engine)
+        }
+        Some("expand") => {
+            let Some(file) = args.get(1) else { return usage() };
+            expand_file(Path::new(file))
+        }
+        Some("repl") => repl(args.iter().any(|a| a == "--typed")),
+        _ => usage(),
+    }
+}
+
+/// Module names a program references through `require`/`require/typed`
+/// or its `#lang` line.
+fn referenced_modules(source: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    if let Ok(module) = lagoon_syntax::read_module(source, "<scan>") {
+        out.push(module.lang.as_str());
+        for form in &module.body {
+            let Some(items) = form.as_list() else { continue };
+            let Some(head) = items.first().and_then(lagoon_syntax::Syntax::sym) else {
+                continue;
+            };
+            match head.as_str().as_str() {
+                "require" => {
+                    for spec in &items[1..] {
+                        if let Some(s) = spec.sym() {
+                            out.push(s.as_str());
+                        }
+                    }
+                }
+                "require/typed" => {
+                    if let Some(s) = items.get(1).and_then(lagoon_syntax::Syntax::sym) {
+                        out.push(s.as_str());
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Loads `file` and, transitively, any referenced `<name>.lag` siblings.
+fn load_with_deps(lagoon: &Lagoon, file: &Path) -> Result<String, String> {
+    let main_name = file
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .ok_or_else(|| format!("bad file name: {}", file.display()))?
+        .to_string();
+    let dir = file.parent().unwrap_or(Path::new(".")).to_path_buf();
+    let mut pending = vec![(main_name.clone(), file.to_path_buf())];
+    let mut seen: HashSet<String> = HashSet::new();
+    while let Some((name, path)) = pending.pop() {
+        if !seen.insert(name.clone()) {
+            continue;
+        }
+        let source = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        for dep in referenced_modules(&source) {
+            let candidate: PathBuf = dir.join(format!("{dep}.lag"));
+            if candidate.exists() {
+                pending.push((dep, candidate));
+            }
+        }
+        lagoon.add_module(&name, &source);
+    }
+    Ok(main_name)
+}
+
+fn run_file(file: &Path, engine: EngineKind) -> ExitCode {
+    let lagoon = Lagoon::new();
+    let main = match load_with_deps(&lagoon, file) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match lagoon.run(&main, engine) {
+        Ok(v) => {
+            if !matches!(v, lagoon::Value::Void) {
+                println!("{}", v.write_string());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn expand_file(file: &Path) -> ExitCode {
+    let lagoon = Lagoon::new();
+    let main = match load_with_deps(&lagoon, file) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match lagoon.expanded(&main) {
+        Ok(forms) => {
+            for form in forms {
+                println!("{}", form.to_datum());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// A simple accumulating REPL: every input line is appended to a module
+/// body which is recompiled and rerun, and the value of the latest
+/// expression is printed.
+fn repl(typed: bool) -> ExitCode {
+    let lang = if typed { "typed/lagoon" } else { "lagoon" };
+    println!("lagoon repl (#lang {lang}) — ctrl-d to exit");
+    let stdin = std::io::stdin();
+    let mut history: Vec<String> = Vec::new();
+    let mut generation = 0usize;
+    loop {
+        print!("> ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => return ExitCode::SUCCESS,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lagoon = Lagoon::new();
+        generation += 1;
+        let module = format!("repl-{generation}");
+        let mut body = history.join("\n");
+        body.push('\n');
+        body.push_str(&line);
+        lagoon.add_module(&module, &format!("#lang {lang}\n{body}\n"));
+        match lagoon.run(&module, EngineKind::Vm) {
+            Ok(v) => {
+                history.push(line.trim_end().to_string());
+                if !matches!(v, lagoon::Value::Void) {
+                    println!("{}", v.write_string());
+                }
+            }
+            Err(e) => eprintln!("{e}"),
+        }
+    }
+}

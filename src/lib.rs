@@ -1,0 +1,133 @@
+//! # lagoon
+//!
+//! A Rust reproduction of **Languages as Libraries** (Tobin-Hochstadt,
+//! St-Amour, Culpepper, Flatt, Felleisen — PLDI 2011): a Racket-style
+//! extensible host language in which a full typed sister language — type
+//! system, typed/untyped interoperation via contracts, and a type-driven
+//! optimizer — is implemented *as a library*, with no changes to the host
+//! compiler.
+//!
+//! This crate is the facade: it wires the substrate crates together and
+//! exposes a small embedding API.
+//!
+//! ```
+//! use lagoon::{Lagoon, EngineKind};
+//!
+//! let lagoon = Lagoon::new();
+//! lagoon.add_module("hello", "#lang lagoon\n(+ 1 2)\n");
+//! let v = lagoon.run("hello", EngineKind::Vm)?;
+//! assert_eq!(v.to_string(), "3");
+//!
+//! lagoon.add_module("typed-hello", "#lang typed/lagoon\n(define: x : Integer 40)\n(+ x 2)\n");
+//! let v = lagoon.run("typed-hello", EngineKind::Vm)?;
+//! assert_eq!(v.to_string(), "42");
+//! # Ok::<(), lagoon::RtError>(())
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`lagoon_syntax`] | reader, syntax objects, scope sets, properties |
+//! | [`lagoon_runtime`] | values, numeric tower, primitives, contracts |
+//! | [`lagoon_vm`] | core IR, AST interpreter, bytecode compiler + VM |
+//! | [`lagoon_core`] | hygienic expander, macros, `local-expand`, modules, `#lang` |
+//! | [`lagoon_typed`] | the typed sister language (paper §§3–6) |
+//! | [`lagoon_optimizer`] | the type-driven optimizer (paper §7) |
+
+#![warn(missing_docs)]
+
+use std::rc::Rc;
+
+pub use lagoon_core::{CompiledModule, EngineKind, ModuleRegistry};
+pub use lagoon_runtime::io::capture_output;
+pub use lagoon_runtime::{Kind, RtError, Value};
+pub use lagoon_syntax::{Datum, Symbol, Syntax};
+pub use lagoon_typed::Type;
+
+/// An embedded Lagoon world with the base and typed languages installed.
+pub struct Lagoon {
+    registry: Rc<ModuleRegistry>,
+}
+
+impl Lagoon {
+    /// A fresh world with languages `lagoon`, `typed/lagoon` (typechecked
+    /// and optimized), and `typed/no-opt` (typechecked only) registered.
+    pub fn new() -> Lagoon {
+        let registry = ModuleRegistry::new();
+        lagoon_optimizer::register_typed_languages(&registry);
+        Lagoon { registry }
+    }
+
+    /// Registers (or replaces) a module's source text. The source must
+    /// start with a `#lang` line.
+    pub fn add_module(&self, name: &str, source: &str) {
+        self.registry.add_module(name, source);
+    }
+
+    /// Compiles and runs a module on the chosen engine, returning the
+    /// value of its last top-level expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns read, expansion, typecheck, or runtime errors.
+    pub fn run(&self, name: &str, engine: EngineKind) -> Result<Value, RtError> {
+        self.registry.run(name, engine)
+    }
+
+    /// Like [`Lagoon::run`] but captures everything the program printed.
+    ///
+    /// # Errors
+    ///
+    /// Returns read, expansion, typecheck, or runtime errors.
+    pub fn run_capturing(
+        &self,
+        name: &str,
+        engine: EngineKind,
+    ) -> Result<(Value, String), RtError> {
+        let (result, output) = capture_output(|| self.registry.run(name, engine));
+        Ok((result?, output))
+    }
+
+    /// An exported value from an instantiated module.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the module fails to run or has no such export.
+    pub fn exported(
+        &self,
+        module: &str,
+        export: &str,
+        engine: EngineKind,
+    ) -> Result<Value, RtError> {
+        self.registry.exported_value(module, export, engine)
+    }
+
+    /// The fully-expanded core forms of a module, as printable syntax —
+    /// useful for inspecting what the typechecker and optimizer produced.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors.
+    pub fn expanded(&self, module: &str) -> Result<Vec<Syntax>, RtError> {
+        self.registry.expanded_body(module)
+    }
+
+    /// The underlying registry, for advanced embedding (registering
+    /// additional languages, inspecting compiled modules).
+    pub fn registry(&self) -> &Rc<ModuleRegistry> {
+        &self.registry
+    }
+}
+
+impl Default for Lagoon {
+    fn default() -> Lagoon {
+        Lagoon::new()
+    }
+}
+
+impl std::fmt::Debug for Lagoon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("#<lagoon>")
+    }
+}

@@ -1,0 +1,198 @@
+//! Property-based tests over the whole stack.
+//!
+//! The headline property is the paper's implicit optimizer-correctness
+//! claim: for any well-typed program, the optimized and unoptimized
+//! builds compute the same value. We generate random well-typed
+//! arithmetic programs, run them as `#lang lagoon`, `#lang typed/no-opt`,
+//! and `#lang typed/lagoon` on both engines, and require agreement.
+
+use lagoon::{Datum, EngineKind, Lagoon};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// reader / printer round trip
+// ---------------------------------------------------------------------
+
+fn arb_datum() -> impl Strategy<Value = Datum> {
+    let leaf = prop_oneof![
+        (-1000i64..1000).prop_map(Datum::Int),
+        (-1000i64..1000).prop_map(|n| Datum::Float(n as f64 / 8.0)),
+        any::<bool>().prop_map(Datum::Bool),
+        "[a-z][a-z0-9-]{0,8}".prop_map(|s| Datum::sym(&s)),
+        "[ -~]{0,10}".prop_map(|s| Datum::string(&s)),
+        prop_oneof![Just('a'), Just('Z'), Just('0'), Just('\n'), Just(' ')]
+            .prop_map(Datum::Char),
+        ((-100i64..100), (-100i64..100))
+            .prop_map(|(re, im)| Datum::Complex(re as f64, im as f64 / 4.0)),
+    ];
+    leaf.prop_recursive(3, 24, 5, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..5).prop_map(Datum::List),
+            prop::collection::vec(inner, 0..4).prop_map(Datum::Vector),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn reader_printer_round_trip(d in arb_datum()) {
+        let printed = d.to_string();
+        let re_read = lagoon_syntax::read_datum(&printed, "<prop>").unwrap();
+        prop_assert_eq!(re_read, d);
+    }
+}
+
+// ---------------------------------------------------------------------
+// well-typed expression generator
+// ---------------------------------------------------------------------
+
+/// A generated arithmetic expression together with its static type
+/// (true = Float, false = Integer).
+#[derive(Clone, Debug)]
+struct Expr {
+    src: String,
+    is_float: bool,
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (1i64..50).prop_map(|n| Expr { src: n.to_string(), is_float: false }),
+        (1i64..50).prop_map(|n| Expr {
+            src: format!("{n}.5"),
+            is_float: true
+        }),
+        Just(Expr { src: "x".into(), is_float: false }),
+        Just(Expr { src: "y".into(), is_float: true }),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            // binary arithmetic: the result is float if either side is
+            (prop_oneof![Just("+"), Just("-"), Just("*")], inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Expr {
+                    src: format!("({op} {} {})", a.src, b.src),
+                    is_float: a.is_float || b.is_float,
+                }),
+            // float-only ops (operand coerced)
+            inner.clone().prop_map(|a| Expr {
+                src: format!("(sqrt (exact->inexact (abs {})))", a.src),
+                is_float: true,
+            }),
+            // comparisons guarded inside if
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| {
+                // branches must have the same type for simplicity: coerce
+                let (ts, es) = if t.is_float == e.is_float {
+                    (t.src.clone(), e.src.clone())
+                } else {
+                    (
+                        format!("(exact->inexact {})", t.src),
+                        format!("(exact->inexact {})", e.src),
+                    )
+                };
+                Expr {
+                    src: format!("(if (< (exact->inexact {}) 25.0) {ts} {es})", c.src),
+                    is_float: t.is_float || e.is_float,
+                }
+            }),
+            // min/max keep both real
+            (inner.clone(), inner).prop_map(|(a, b)| Expr {
+                src: format!(
+                    "(min (exact->inexact {}) (exact->inexact {}))",
+                    a.src, b.src
+                ),
+                is_float: true,
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The optimizer-correctness property: untyped, typed-unoptimized,
+    /// and typed-optimized builds of the same program agree on both
+    /// engines.
+    #[test]
+    fn optimizer_preserves_semantics(e in arb_expr()) {
+        let ret = if e.is_float { "Float" } else { "Integer" };
+        let typed_body = format!(
+            "(: f : Integer Float -> {ret})\n(define (f x y) {})\n(f 7 3.5)",
+            e.src
+        );
+        let untyped_body = format!("(define (f x y) {})\n(f 7 3.5)", e.src);
+
+        let lagoon = Lagoon::new();
+        lagoon.add_module("u", &format!("#lang lagoon\n{untyped_body}\n"));
+        lagoon.add_module("t", &format!("#lang typed/lagoon\n{typed_body}\n"));
+        lagoon.add_module("n", &format!("#lang typed/no-opt\n{typed_body}\n"));
+
+        let vu = lagoon.run("u", EngineKind::Vm).unwrap();
+        let vt = lagoon.run("t", EngineKind::Vm).unwrap();
+        let vn = lagoon.run("n", EngineKind::Vm).unwrap();
+        let vi = lagoon.run("t", EngineKind::Interp).unwrap();
+
+        prop_assert!(vu.equal(&vt), "untyped={} typed={} src={}", vu, vt, e.src);
+        prop_assert!(vt.equal(&vn), "typed={} no-opt={} src={}", vt, vn, e.src);
+        prop_assert!(vt.equal(&vi), "vm={} interp={} src={}", vt, vi, e.src);
+    }
+
+    /// Hygiene under adversarial user variable names: a macro-introduced
+    /// temporary never captures user bindings, whatever they're called.
+    #[test]
+    fn hygiene_survives_any_names(name in "[a-z]{1,6}") {
+        prop_assume!(!matches!(
+            name.as_str(),
+            "if" | "let" | "set" | "define" | "swap" | "a" | "b" | "tmp" | "t" | "x" | "y"
+                | "begin" | "quote" | "lambda" | "cond" | "case" | "when" | "unless" | "and"
+                | "or" | "else" | "map" | "list" | "cons" | "car" | "cdr" | "not" | "void"
+                | "min" | "max" | "abs" | "sqrt" | "sin" | "cos" | "tan" | "log" | "exp"
+                | "sum" | "iota" | "range" | "rest" | "first" | "last" | "error" | "sub"
+        ));
+        let lagoon = Lagoon::new();
+        lagoon.add_module(
+            "hygiene",
+            &format!(
+                "#lang lagoon
+(define-syntax swap!
+  (syntax-rules ()
+    [(_ a b) (let ([tmp a]) (set! a b) (set! b tmp))]))
+(define tmp 1)
+(define {name} 2)
+(swap! tmp {name})
+(list tmp {name})"
+            ),
+        );
+        let v = lagoon.run("hygiene", EngineKind::Vm).unwrap();
+        prop_assert_eq!(v.to_string(), "(2 1)");
+    }
+
+    /// Contracts are complete mediators: for any generated integer value,
+    /// a typed (Integer -> Integer) export accepts integers from untyped
+    /// clients and rejects every non-integer first-order value.
+    #[test]
+    fn contract_boundary_is_sound(n in -1000i64..1000, bad in "[a-z ]{0,8}") {
+        let lagoon = Lagoon::new();
+        lagoon.add_module(
+            "server",
+            "#lang typed/lagoon
+             (: inc : Integer -> Integer)
+             (define (inc x) (+ x 1))
+             (provide inc)",
+        );
+        lagoon.add_module(
+            "ok",
+            &format!("#lang lagoon\n(require server)\n(inc {n})\n"),
+        );
+        let v = lagoon.run("ok", EngineKind::Vm).unwrap();
+        prop_assert_eq!(v.to_string(), (n + 1).to_string());
+
+        lagoon.add_module(
+            "bad",
+            &format!("#lang lagoon\n(require server)\n(inc {:?})\n", bad),
+        );
+        let err = lagoon.run("bad", EngineKind::Vm).unwrap_err();
+        let is_contract = matches!(err.kind, lagoon::Kind::Contract { .. });
+        prop_assert!(is_contract, "expected contract violation, got {}", err);
+    }
+}
