@@ -3,13 +3,13 @@
 //! running float- and structure-heavy benchmarks under languages that
 //! enable exactly one family.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lagoon_bench::harness::Group;
 use lagoon_bench::{all_benchmarks, Config};
 use lagoon_core::ModuleRegistry;
 use std::time::Duration;
 
-fn bench_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation");
+fn main() {
+    let mut group = Group::new("ablation");
     group
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))
@@ -46,6 +46,3 @@ fn bench_ablation(c: &mut Criterion) {
     let _ = Config::all(); // keep the shared API exercised
     group.finish();
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

@@ -1,11 +1,11 @@
-//! Criterion bench regenerating figure 6 (gabriel).
+//! Bench regenerating figure 6 (gabriel); see `lagoon_bench::harness`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lagoon_bench::harness::Group;
 use lagoon_bench::{benchmarks_for, prepare, Config, Figure};
 use std::time::Duration;
 
-fn bench_figure(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig6_gabriel");
+fn main() {
+    let mut group = Group::new("fig6_gabriel");
     group
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))
@@ -20,6 +20,3 @@ fn bench_figure(c: &mut Criterion) {
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_figure);
-criterion_main!(benches);

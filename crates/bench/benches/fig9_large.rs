@@ -1,11 +1,11 @@
-//! Criterion bench regenerating figure 9 (large).
+//! Bench regenerating figure 9 (large); see `lagoon_bench::harness`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lagoon_bench::harness::Group;
 use lagoon_bench::{benchmarks_for, prepare, Config, Figure};
 use std::time::Duration;
 
-fn bench_figure(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9_large");
+fn main() {
+    let mut group = Group::new("fig9_large");
     group
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))
@@ -20,6 +20,3 @@ fn bench_figure(c: &mut Criterion) {
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_figure);
-criterion_main!(benches);

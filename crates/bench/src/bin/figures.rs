@@ -1,16 +1,17 @@
-//! Regenerates the paper's figures 6-9 as text tables.
+//! Regenerates the paper's figures 6-9 as text tables, plus a
+//! machine-readable metrics JSON attributing each speedup to optimizer
+//! decisions and the executed opcode mix.
 //!
 //! Usage: `cargo run --release -p lagoon-bench --bin figures [fig6|fig7|fig8|fig9|all] [reps]`
 
-use lagoon_bench::{format_figure, measure_figure, Figure};
+use lagoon_bench::{
+    benchmarks_for, collect_metrics, format_figure, measure_figure, metrics_json, Config, Figure,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let which = args.get(1).map(String::as_str).unwrap_or("all");
-    let reps: usize = args
-        .get(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3);
+    let reps: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
     let figures: Vec<Figure> = match which {
         "fig6" => vec![Figure::Fig6],
         "fig7" => vec![Figure::Fig7],
@@ -18,13 +19,35 @@ fn main() {
         "fig9" => vec![Figure::Fig9],
         _ => vec![Figure::Fig6, Figure::Fig7, Figure::Fig8, Figure::Fig9],
     };
-    for figure in figures {
-        match measure_figure(figure, reps) {
-            Ok(rows) => println!("{}\n", format_figure(figure, &rows)),
+    let mut metrics = Vec::new();
+    for figure in &figures {
+        match measure_figure(*figure, reps) {
+            Ok(rows) => println!("{}\n", format_figure(*figure, &rows)),
             Err(e) => {
                 eprintln!("error measuring {figure:?}: {e}");
                 std::process::exit(1);
             }
+        }
+        // a separate instrumented run per benchmark; the timed reps
+        // above stay diagnostics-off
+        for bench in benchmarks_for(*figure) {
+            for config in [Config::Vm, Config::VmTyped, Config::VmOpt] {
+                match collect_metrics(&bench, config) {
+                    Ok(m) => metrics.push(m),
+                    Err(e) => {
+                        eprintln!("error collecting metrics for {}: {e}", bench.name);
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+    }
+    let path = "figures-metrics.json";
+    match std::fs::write(path, metrics_json(&metrics)) {
+        Ok(()) => println!("wrote {path} ({} rows)", metrics.len()),
+        Err(e) => {
+            eprintln!("error writing {path}: {e}");
+            std::process::exit(1);
         }
     }
 }

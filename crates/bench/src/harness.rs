@@ -1,0 +1,104 @@
+//! A zero-dependency timing harness with a criterion-like surface.
+//!
+//! The workspace must build in registry-restricted environments, so the
+//! bench targets cannot depend on criterion. This module provides the
+//! small subset of its API they use — named groups with a warm-up
+//! period, a fixed sample count, and per-benchmark wall-clock reporting
+//! on stdout (min / median / max over the samples).
+
+use std::time::{Duration, Instant};
+
+/// A named group of benchmarks sharing sampling settings.
+pub struct Group {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+}
+
+impl Group {
+    /// A new group with criterion-like defaults (10 samples, 300 ms
+    /// warm-up).
+    pub fn new(name: &str) -> Group {
+        println!("group {name}");
+        Group {
+            name: name.to_string(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+        }
+    }
+
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Group {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets how long each benchmark runs untimed before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Group {
+        self.warm_up = d;
+        self
+    }
+
+    /// Accepted for criterion compatibility; sampling here is
+    /// count-based, so the measurement time is implied by
+    /// [`Group::sample_size`].
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Group {
+        self
+    }
+
+    /// Times `f` via the [`Bencher`] it receives and prints a
+    /// `group/name  min / median / max` line.
+    pub fn bench_function(&mut self, name: impl AsRef<str>, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        samples.sort();
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        if let (Some(min), Some(max)) = (samples.first(), samples.last()) {
+            let median = samples[samples.len() / 2];
+            println!(
+                "  {}/{}  min {:.3} ms  median {:.3} ms  max {:.3} ms",
+                self.name,
+                name.as_ref(),
+                ms(*min),
+                ms(median),
+                ms(*max),
+            );
+        }
+    }
+
+    /// Ends the group (prints a trailing blank line).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` untimed for the warm-up period, then `sample_size`
+    /// timed iterations.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let warm_start = Instant::now();
+        loop {
+            std::hint::black_box(f());
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}

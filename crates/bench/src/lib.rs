@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
 pub mod programs;
 
 use lagoon_core::{EngineKind, ModuleRegistry};
@@ -76,7 +77,12 @@ pub enum Config {
 impl Config {
     /// All configurations, slowest first.
     pub fn all() -> [Config; 4] {
-        [Config::AstInterp, Config::Vm, Config::VmTyped, Config::VmOpt]
+        [
+            Config::AstInterp,
+            Config::Vm,
+            Config::VmTyped,
+            Config::VmOpt,
+        ]
     }
 
     /// Display label.
@@ -287,7 +293,10 @@ pub fn format_figure(figure: Figure, rows: &[Row]) -> String {
         }
         let _ = writeln!(out, "{:>12.0}%", row.opt_speedup_percent());
     }
-    let _ = writeln!(out, "(columns normalized to vm = 1.00; absolute vm times below)");
+    let _ = writeln!(
+        out,
+        "(columns normalized to vm = 1.00; absolute vm times below)"
+    );
     for row in rows {
         let vm_ms = row
             .times
@@ -297,6 +306,103 @@ pub fn format_figure(figure: Figure, rows: &[Row]) -> String {
             .unwrap_or(f64::NAN);
         let _ = writeln!(out, "  {:<14} vm = {vm_ms:.1} ms", row.name);
     }
+    out
+}
+
+/// Where a benchmark's speedup comes from, for one configuration: the
+/// optimizer decision counts (compile time) and the executed opcode mix
+/// (run time, all zero unless the `vm-counters` feature is on).
+#[derive(Clone, Debug)]
+pub struct Metrics {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Configuration label (see [`Config::label`]).
+    pub config: &'static str,
+    /// Optimizer rewrites applied while compiling the benchmark.
+    pub rewrites: u64,
+    /// Optimizer near-misses (specializations blocked, with reasons).
+    pub near_misses: u64,
+    /// Executed generic (tag-dispatching) instructions.
+    pub generic_ops: u64,
+    /// Executed specialized (unsafe-derived) instructions.
+    pub specialized_ops: u64,
+    /// All executed instructions.
+    pub total_ops: u64,
+}
+
+/// Compiles and runs a benchmark once with the diagnostics sink (and,
+/// when available, the VM's opcode counters) enabled, and distills the
+/// collected events into a [`Metrics`] row.
+///
+/// This is a *separate* instrumented run — the timed reps in
+/// [`measure_figure`] stay diagnostics-off.
+///
+/// # Errors
+///
+/// Propagates compile-time and runtime errors.
+pub fn collect_metrics(bench: &Benchmark, config: Config) -> Result<Metrics, RtError> {
+    let collector = lagoon_diag::Collector::install();
+    let result = (|| {
+        let mut runner = prepare(bench, config)?;
+        #[cfg(feature = "vm-counters")]
+        {
+            lagoon_vm::counters::reset();
+            lagoon_vm::counters::set_active(true);
+        }
+        let run = runner();
+        #[cfg(feature = "vm-counters")]
+        lagoon_vm::counters::set_active(false);
+        run
+    })();
+    lagoon_diag::uninstall();
+    result?;
+    #[cfg_attr(not(feature = "vm-counters"), allow(unused_mut))]
+    let mut report = collector.report();
+    #[cfg(feature = "vm-counters")]
+    report.set_opcodes(
+        lagoon_vm::counters::snapshot()
+            .into_iter()
+            .map(|(op, class, count)| lagoon_diag::OpcodeRow {
+                op: op.to_string(),
+                class: class.name().to_string(),
+                count,
+            })
+            .collect(),
+    );
+    Ok(Metrics {
+        name: bench.name,
+        config: config.label(),
+        rewrites: report.rewrites.len() as u64,
+        near_misses: report.near_misses.len() as u64,
+        generic_ops: report.generic_ops(),
+        specialized_ops: report.specialized_ops(),
+        total_ops: report.total_ops(),
+    })
+}
+
+/// Serializes metrics rows as a JSON array (hand-rolled; the workspace
+/// takes no serialization dependency).
+pub fn metrics_json(rows: &[Metrics]) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("[");
+    for (i, m) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"config\":{},\"rewrites\":{},\"near_misses\":{},\
+             \"generic_ops\":{},\"specialized_ops\":{},\"total_ops\":{}}}",
+            lagoon_diag::json_string(m.name),
+            lagoon_diag::json_string(m.config),
+            m.rewrites,
+            m.near_misses,
+            m.generic_ops,
+            m.specialized_ops,
+            m.total_ops,
+        );
+    }
+    out.push(']');
     out
 }
 
@@ -370,5 +476,25 @@ mod tests {
             .unwrap()
             .join()
             .unwrap();
+    }
+
+    #[test]
+    fn metrics_attribute_the_speedup() {
+        let bench = all_benchmarks()
+            .into_iter()
+            .find(|b| b.name == "mbrot")
+            .unwrap();
+        let typed = collect_metrics(&bench, Config::VmTyped).unwrap();
+        let opt = collect_metrics(&bench, Config::VmOpt).unwrap();
+        assert_eq!(typed.rewrites, 0);
+        assert!(opt.rewrites > 0, "optimizer applied nothing on mbrot");
+        #[cfg(feature = "vm-counters")]
+        {
+            assert!(opt.specialized_ops > 0);
+            assert!(opt.generic_ops < typed.generic_ops);
+        }
+        let json = metrics_json(&[typed, opt]);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"specialized_ops\""));
     }
 }

@@ -191,10 +191,10 @@ impl BindingTable {
                     && !cand.0.is_subset(best_ss)
                     && cand.0.len() == best_ss.len()
                 {
-                    return Err(RtError::user(format!(
-                        "{sym}: identifier's binding is ambiguous"
-                    ))
-                    .with_span(id.span()));
+                    return Err(
+                        RtError::user(format!("{sym}: identifier's binding is ambiguous"))
+                            .with_span(id.span()),
+                    );
                 }
             }
         }
@@ -222,8 +222,16 @@ mod tests {
         let b = Scope::fresh();
         let outer = ScopeSet::from_scopes(vec![a]);
         let inner = ScopeSet::from_scopes(vec![a, b]);
-        t.bind(Symbol::from("x"), outer.clone(), Binding::Variable(Symbol::from("x-outer")));
-        t.bind(Symbol::from("x"), inner.clone(), Binding::Variable(Symbol::from("x-inner")));
+        t.bind(
+            Symbol::from("x"),
+            outer.clone(),
+            Binding::Variable(Symbol::from("x-outer")),
+        );
+        t.bind(
+            Symbol::from("x"),
+            inner.clone(),
+            Binding::Variable(Symbol::from("x-inner")),
+        );
 
         // reference with both scopes sees the inner binding
         match t.resolve(&id("x", &inner)).unwrap().unwrap() {
@@ -252,8 +260,16 @@ mod tests {
         let intro = Scope::fresh();
         let user_scopes = ScopeSet::from_scopes(vec![module]);
         let macro_scopes = ScopeSet::from_scopes(vec![module, intro]);
-        t.bind(Symbol::from("i"), user_scopes.clone(), Binding::Variable(Symbol::from("i-user")));
-        t.bind(Symbol::from("i"), macro_scopes.clone(), Binding::Variable(Symbol::from("i-macro")));
+        t.bind(
+            Symbol::from("i"),
+            user_scopes.clone(),
+            Binding::Variable(Symbol::from("i-user")),
+        );
+        t.bind(
+            Symbol::from("i"),
+            macro_scopes.clone(),
+            Binding::Variable(Symbol::from("i-macro")),
+        );
 
         match t.resolve(&id("i", &user_scopes)).unwrap().unwrap() {
             Binding::Variable(v) => assert_eq!(v.as_str(), "i-user"),
@@ -289,8 +305,16 @@ mod tests {
     fn rebinding_same_scopes_replaces() {
         let t = BindingTable::new();
         let ss = ScopeSet::from_scopes(vec![Scope::fresh()]);
-        t.bind(Symbol::from("z"), ss.clone(), Binding::Variable(Symbol::from("z1")));
-        t.bind(Symbol::from("z"), ss.clone(), Binding::Variable(Symbol::from("z2")));
+        t.bind(
+            Symbol::from("z"),
+            ss.clone(),
+            Binding::Variable(Symbol::from("z1")),
+        );
+        t.bind(
+            Symbol::from("z"),
+            ss.clone(),
+            Binding::Variable(Symbol::from("z2")),
+        );
         match t.resolve(&id("z", &ss)).unwrap().unwrap() {
             Binding::Variable(v) => assert_eq!(v.as_str(), "z2"),
             _ => panic!(),

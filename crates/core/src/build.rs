@@ -31,7 +31,10 @@ pub fn app(f: Syntax, args: Vec<Syntax>) -> Syntax {
 
 /// `(quote datum)`.
 pub fn quote_datum(d: Datum) -> Syntax {
-    lst(vec![id("quote"), Syntax::from_datum(&d, Span::synthetic(), &Default::default())])
+    lst(vec![
+        id("quote"),
+        Syntax::from_datum(&d, Span::synthetic(), &Default::default()),
+    ])
 }
 
 /// `(quote sym)`.
@@ -113,16 +116,29 @@ mod tests {
 
     #[test]
     fn builders_produce_expected_shapes() {
-        assert_eq!(app(id("f"), vec![int(1)]).to_datum().to_string(), "(#%plain-app f 1)");
-        assert_eq!(quote_sym(Symbol::from("x")).to_datum().to_string(), "(quote x)");
         assert_eq!(
-            let1(Symbol::from("t"), int(1), vec![id("t")]).to_datum().to_string(),
+            app(id("f"), vec![int(1)]).to_datum().to_string(),
+            "(#%plain-app f 1)"
+        );
+        assert_eq!(
+            quote_sym(Symbol::from("x")).to_datum().to_string(),
+            "(quote x)"
+        );
+        assert_eq!(
+            let1(Symbol::from("t"), int(1), vec![id("t")])
+                .to_datum()
+                .to_string(),
             "(let-values (((t) 1)) t)"
         );
         assert_eq!(begin(vec![int(1)]).to_datum().to_string(), "1");
-        assert_eq!(begin(vec![int(1), int(2)]).to_datum().to_string(), "(begin 1 2)");
         assert_eq!(
-            lambda(vec![Symbol::from("x")], vec![id("x")]).to_datum().to_string(),
+            begin(vec![int(1), int(2)]).to_datum().to_string(),
+            "(begin 1 2)"
+        );
+        assert_eq!(
+            lambda(vec![Symbol::from("x")], vec![id("x")])
+                .to_datum()
+                .to_string(),
             "(#%plain-lambda (x) x)"
         );
     }

@@ -22,7 +22,7 @@
 
 use crate::binding::{Binding, BindingTable, CoreFormKind, ExpandCtx, Expanded, NativeMacro};
 use lagoon_runtime::{Kind, RtError, Value};
-use lagoon_syntax::{Datum, Scope, ScopeSet, SynData, Symbol, Syntax};
+use lagoon_syntax::{Datum, Scope, ScopeSet, Symbol, SynData, Syntax};
 use lagoon_vm::{Engine, Env, Interp};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -194,8 +194,11 @@ impl Expander {
     /// environment — how substrate libraries (the typed language, the
     /// optimizer) plug in.
     pub fn bind_native(&self, name: &str, native: Rc<NativeMacro>) {
-        self.table
-            .bind(Symbol::intern(name), ScopeSet::new(), Binding::Native(native));
+        self.table.bind(
+            Symbol::intern(name),
+            ScopeSet::new(),
+            Binding::Native(native),
+        );
     }
 
     // ----- phase-1 evaluation -----
@@ -278,6 +281,7 @@ impl Expander {
             };
             match self.resolve(&head)? {
                 Some(Binding::Macro(transformer)) => {
+                    lagoon_diag::count("macro-steps", self.module_name, 1);
                     stx = self.apply_hosted_macro(&transformer, &stx)?;
                 }
                 Some(Binding::Native(native)) => match (native.expand)(self, stx, ctx)? {
@@ -304,10 +308,9 @@ impl Expander {
                 SynData::Atom(Datum::Symbol(_)) => self.expand_reference(&stx),
                 // self-evaluating literals expand to (quote lit), as in
                 // Racket's core grammar
-                SynData::Atom(_) | SynData::Vector(_) => Ok(stx.with_data(SynData::List(vec![
-                    crate::build::id("quote"),
-                    stx.clone(),
-                ]))),
+                SynData::Atom(_) | SynData::Vector(_) => {
+                    Ok(stx.with_data(SynData::List(vec![crate::build::id("quote"), stx.clone()])))
+                }
                 SynData::List(items) if !items.is_empty() => {
                     // application with #%plain-app inserted
                     let mut out = vec![crate::build::id("#%plain-app")];
@@ -350,11 +353,10 @@ impl Expander {
                     Expanded::Surface(s) => self.expand_expr(&s),
                 }
             }
-            None => Err(RtError::new(
-                Kind::Unbound,
-                format!("{}: unbound identifier", id),
-            )
-            .with_span(id.span())),
+            None => Err(
+                RtError::new(Kind::Unbound, format!("{}: unbound identifier", id))
+                    .with_span(id.span()),
+            ),
         }
     }
 
@@ -447,12 +449,9 @@ impl Expander {
                 "definition used in an expression context",
                 stx,
             )),
-            CoreFormKind::BeginForSyntax
-            | CoreFormKind::Provide
-            | CoreFormKind::Require => Err(syntax_error(
-                "module-level form used in an expression context",
-                stx,
-            )),
+            CoreFormKind::BeginForSyntax | CoreFormKind::Provide | CoreFormKind::Require => Err(
+                syntax_error("module-level form used in an expression context", stx),
+            ),
         }
     }
 
@@ -602,7 +601,10 @@ impl Expander {
             return Err(RtError::user("body has no expression"));
         }
         if has_defs {
-            let mut out = vec![crate::build::id("letrec-values"), crate::build::lst(clauses)];
+            let mut out = vec![
+                crate::build::id("letrec-values"),
+                crate::build::lst(clauses),
+            ];
             out.extend(exprs);
             Ok(crate::build::lst(out))
         } else {
@@ -614,7 +616,10 @@ impl Expander {
         let (id, rhs) = parse_define_syntaxes(stx)?;
         let transformer = self.eval_phase1(&rhs)?;
         if !transformer.is_procedure() {
-            return Err(syntax_error("define-syntax: transformer is not a procedure", stx));
+            return Err(syntax_error(
+                "define-syntax: transformer is not a procedure",
+                stx,
+            ));
         }
         self.table
             .bind_id(&id, Binding::Macro(Rc::new(transformer)));
@@ -782,7 +787,10 @@ fn parse_define_values(stx: &Syntax) -> Result<(Syntax, Syntax), RtError> {
         .as_list()
         .filter(|ids| ids.len() == 1 && ids[0].is_identifier())
         .ok_or_else(|| {
-            syntax_error("define-values: Lagoon supports single identifiers", &items[1])
+            syntax_error(
+                "define-values: Lagoon supports single identifiers",
+                &items[1],
+            )
         })?;
     Ok((ids[0].clone(), items[2].clone()))
 }
@@ -792,13 +800,14 @@ fn parse_define_syntaxes(stx: &Syntax) -> Result<(Syntax, Syntax), RtError> {
         .as_list()
         .ok_or_else(|| syntax_error("malformed define-syntaxes", stx))?;
     if items.len() != 3 {
-        return Err(syntax_error("define-syntaxes: expects (id) and a transformer", stx));
+        return Err(syntax_error(
+            "define-syntaxes: expects (id) and a transformer",
+            stx,
+        ));
     }
     let ids = items[1]
         .as_list()
         .filter(|ids| ids.len() == 1 && ids[0].is_identifier())
-        .ok_or_else(|| {
-            syntax_error("define-syntaxes: expects a single identifier", &items[1])
-        })?;
+        .ok_or_else(|| syntax_error("define-syntaxes: expects a single identifier", &items[1]))?;
     Ok((ids[0].clone(), items[2].clone()))
 }

@@ -24,9 +24,7 @@ use crate::binding::{Binding, BindingTable, CoreFormKind};
 use crate::expander::Expander;
 use lagoon_runtime::{Kind, RtError, Value};
 use lagoon_syntax::{read_module, Datum, ScopeSet, Span, Symbol, Syntax};
-use lagoon_vm::{
-    parse_form, Compiler, CoreForm, Env, Globals, Interp, Vm,
-};
+use lagoon_vm::{parse_form, Compiler, CoreForm, Env, Globals, Interp, Vm};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
@@ -176,9 +174,7 @@ impl ModuleRegistry {
         let body = lagoon_syntax::read_all(crate::prelude::PRELUDE_SOURCE, "lagoon/prelude")
             .expect("prelude parses");
         let scoped: Vec<Syntax> = body.iter().map(|f| f.add_scope(exp.module_scope)).collect();
-        let core = exp
-            .expand_module_forms(scoped)
-            .expect("prelude expands");
+        let core = exp.expand_module_forms(scoped).expect("prelude expands");
         let forms: Vec<CoreForm> = core
             .iter()
             .map(parse_form)
@@ -282,8 +278,11 @@ impl ModuleRegistry {
             .get(&name)
             .cloned()
             .ok_or_else(|| RtError::user(format!("unknown module: {name}")))?;
-        let module = read_module(&source, &name.as_str())
-            .map_err(|e| RtError::user(e.to_string()).with_span(e.span))?;
+        let module = {
+            let _t = lagoon_diag::time(lagoon_diag::Phase::Read, name);
+            read_module(&source, &name.as_str())
+                .map_err(|e| RtError::user(e.to_string()).with_span(e.span))?
+        };
 
         let exp = Expander::new(
             self.table.clone(),
@@ -301,14 +300,21 @@ impl ModuleRegistry {
             vec![Syntax::ident(Symbol::intern("#%module-begin"), Span::synthetic()).add_scope(msc)];
         mb_items.extend(module.body.iter().map(|f| f.add_scope(msc)));
         let mb = Syntax::list(mb_items, Span::synthetic());
-        let core = exp.expand_module_begin(mb)?;
+        let core = {
+            let _t = lagoon_diag::time(lagoon_diag::Phase::Expand, name);
+            exp.expand_module_begin(mb)?
+        };
 
         let expanded: Vec<Syntax> = core
             .as_list()
             .map(|items| items[1..].to_vec())
             .unwrap_or_default();
-        let forms: Vec<CoreForm> = expanded.iter().map(parse_form).collect::<Result<_, _>>()?;
-        let code = Compiler::compile_module(&forms)?;
+        let (forms, code) = {
+            let _t = lagoon_diag::time(lagoon_diag::Phase::Compile, name);
+            let forms: Vec<CoreForm> = expanded.iter().map(parse_form).collect::<Result<_, _>>()?;
+            let code = Compiler::compile_module(&forms)?;
+            (forms, code)
+        };
 
         // resolve provides into exports
         let mut exports: Vec<(Symbol, Binding)> = exp.extra_exports.borrow().clone();
@@ -364,9 +370,7 @@ impl ModuleRegistry {
     ///
     /// Propagates compilation errors for `dep`.
     pub fn import_into(&self, exp: &Expander, dep: Symbol, span: Span) -> Result<(), RtError> {
-        let compiled = self
-            .compile(dep)
-            .map_err(|e| e.with_span(span))?;
+        let compiled = self.compile(dep).map_err(|e| e.with_span(span))?;
         let msc = ScopeSet::new().with(exp.module_scope);
         for (name, binding) in &compiled.exports {
             exp.table.bind(*name, msc.clone(), binding.clone());
@@ -466,7 +470,10 @@ impl ModuleRegistry {
             }
             let vm_base = self.vm_base.borrow();
             let (value, globals) = Vm.run_module(&compiled.code, |sym| {
-                imports.get(&sym).cloned().or_else(|| vm_base.get(&sym).cloned())
+                imports
+                    .get(&sym)
+                    .cloned()
+                    .or_else(|| vm_base.get(&sym).cloned())
             })?;
             Ok((globals, value))
         })();
@@ -511,13 +518,14 @@ impl ModuleRegistry {
                 })
             })
             .ok_or_else(|| {
-                RtError::user(format!("{module} does not export a variable named {export}"))
+                RtError::user(format!(
+                    "{module} does not export a variable named {export}"
+                ))
             })?;
         match engine {
             EngineKind::Interp => {
                 let (env, _) = self.instantiate_interp(name)?;
-                env.lookup(rt)
-                    .ok_or_else(|| RtError::unbound(rt))
+                env.lookup(rt).ok_or_else(|| RtError::unbound(rt))
             }
             EngineKind::Vm => {
                 let (globals, _) = self.instantiate_vm(name)?;

@@ -137,7 +137,10 @@ fn define_macro() -> Rc<NativeMacro> {
         }
         if items[1].is_identifier() {
             if items.len() != 3 {
-                return Err(syntax_error("define: multiple expressions after identifier", &stx));
+                return Err(syntax_error(
+                    "define: multiple expressions after identifier",
+                    &stx,
+                ));
             }
             return Ok(Expanded::Surface(lst(vec![
                 id("define-values"),
@@ -186,7 +189,10 @@ fn let_macro() -> Rc<NativeMacro> {
         // named let: (let loop ([x e] …) body …)
         if items[1].is_identifier() {
             if items.len() < 4 {
-                return Err(syntax_error("let: named let expects bindings and a body", &stx));
+                return Err(syntax_error(
+                    "let: named let expects bindings and a body",
+                    &stx,
+                ));
             }
             let name = items[1].clone();
             let clauses = parse_let_clauses(&items[2])?;
@@ -323,7 +329,11 @@ fn case_macro() -> Rc<NativeMacro> {
                 out = build::if3(test, build::begin(parts[1..].to_vec()), out);
             }
         }
-        Ok(Expanded::Surface(build::let1(t, items[1].clone(), vec![out])))
+        Ok(Expanded::Surface(build::let1(
+            t,
+            items[1].clone(),
+            vec![out],
+        )))
     })
 }
 
@@ -420,8 +430,7 @@ fn qq_expand(tmpl: &Syntax) -> Syntax {
         let mut out = lst(vec![id("quote"), lst(vec![])]);
         for item in items.iter().rev() {
             if let Some(parts) = item.as_list() {
-                if parts.len() == 2 && parts[0].sym() == Some(Symbol::intern("unquote-splicing"))
-                {
+                if parts.len() == 2 && parts[0].sym() == Some(Symbol::intern("unquote-splicing")) {
                     out = build::app(id("append"), vec![parts[1].clone(), out]);
                     continue;
                 }

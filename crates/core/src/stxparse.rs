@@ -15,7 +15,7 @@ use crate::template::{match_pattern, pattern_vars};
 use lagoon_runtime::prim::primitives;
 use lagoon_runtime::value::{Arity, Native};
 use lagoon_runtime::{RtError, Value};
-use lagoon_syntax::{Datum, Scope, SynData, Symbol, Syntax};
+use lagoon_syntax::{Datum, Scope, Symbol, SynData, Syntax};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -86,9 +86,7 @@ fn mark_pattern_vars(
 fn template_call(tmpl: Syntax, bindings: Vec<(Symbol, Syntax)>) -> Syntax {
     let pairs = bindings
         .into_iter()
-        .map(|(marker, value_expr)| {
-            build::app(id("cons"), vec![quote_sym(marker), value_expr])
-        })
+        .map(|(marker, value_expr)| build::app(id("cons"), vec![quote_sym(marker), value_expr]))
         .collect();
     build::app(
         id("instantiate-template"),
@@ -151,9 +149,7 @@ fn quasi_walk(
         for item in items {
             // element (unsyntax-splicing e) → marker followed by ellipsis
             if let Some(parts) = item.as_list() {
-                if parts.len() == 2
-                    && parts[0].sym() == Some(Symbol::intern("unsyntax-splicing"))
-                {
+                if parts.len() == 2 && parts[0].sym() == Some(Symbol::intern("unsyntax-splicing")) {
                     let marker = Symbol::fresh("uss");
                     let e_core = exp.expand_expr(&parts[1])?;
                     bindings.push((marker, build::app(id("coerce-syntax-list"), vec![e_core])));
@@ -241,7 +237,10 @@ pub fn syntax_parse_macro() -> Rc<NativeMacro> {
     native("syntax-parse", |exp, stx, _| {
         let items = items_of(&stx, "syntax-parse")?;
         if items.len() < 3 {
-            return Err(syntax_error("syntax-parse: expects a scrutinee and clauses", &stx));
+            return Err(syntax_error(
+                "syntax-parse: expects a scrutinee and clauses",
+                &stx,
+            ));
         }
         let scrut_core = exp.expand_expr(&items[1])?;
         let e = Symbol::fresh("stx");
@@ -267,10 +266,7 @@ pub fn syntax_parse_macro() -> Rc<NativeMacro> {
             let matched = bind_lookups(m, &vars, body_core);
             chain = build::let1(
                 m,
-                build::app(
-                    id("match-pattern"),
-                    vec![quote_syntax(pat), id_sym(e)],
-                ),
+                build::app(id("match-pattern"), vec![quote_syntax(pat), id_sym(e)]),
                 vec![build::if3(
                     build::app(id("not"), vec![id_sym(m)]),
                     chain,
@@ -289,7 +285,10 @@ pub fn with_syntax_macro() -> Rc<NativeMacro> {
     native("with-syntax", |exp, stx, _| {
         let items = items_of(&stx, "with-syntax")?;
         if items.len() < 3 {
-            return Err(syntax_error("with-syntax: expects bindings and a body", &stx));
+            return Err(syntax_error(
+                "with-syntax: expects bindings and a body",
+                &stx,
+            ));
         }
         let clauses = items[1]
             .to_list()
@@ -308,10 +307,7 @@ pub fn with_syntax_macro() -> Rc<NativeMacro> {
             let m = Symbol::fresh("wm");
             matches.push((
                 m,
-                build::app(
-                    id("with-syntax-match"),
-                    vec![quote_syntax(pat), expr_core],
-                ),
+                build::app(id("with-syntax-match"), vec![quote_syntax(pat), expr_core]),
             ));
             all_vars.push((m, vars));
         }
@@ -365,7 +361,10 @@ pub fn syntax_rules_macro() -> Rc<NativeMacro> {
     native("syntax-rules", |_exp, stx, _| {
         let items = items_of(&stx, "syntax-rules")?;
         if items.len() < 2 {
-            return Err(syntax_error("syntax-rules: expects literals and clauses", &stx));
+            return Err(syntax_error(
+                "syntax-rules: expects literals and clauses",
+                &stx,
+            ));
         }
         let lits = items[1]
             .to_list()
@@ -434,11 +433,14 @@ pub fn phase1_natives() -> Vec<(Symbol, Value)> {
 
     type PrimFn = Box<dyn Fn(&[Value]) -> Result<Value, RtError>>;
     let mut def = |name: &str, arity: Arity, f: PrimFn| {
-        out.push((Symbol::intern(name), Value::Native(Rc::new(Native {
-            name: Symbol::intern(name),
-            arity,
-            f,
-        }))));
+        out.push((
+            Symbol::intern(name),
+            Value::Native(Rc::new(Native {
+                name: Symbol::intern(name),
+                arity,
+                f,
+            })),
+        ));
     };
 
     def(
@@ -507,9 +509,9 @@ pub fn phase1_natives() -> Vec<(Symbol, Value)> {
             Value::Syntax(s) => Ok(Value::Syntax(s.clone())),
             other => {
                 let ctx = Syntax::ident(Symbol::intern("ctx"), lagoon_syntax::Span::synthetic());
-                Ok(Value::Syntax(
-                    lagoon_runtime::prim::value_to_syntax(&ctx, other)?,
-                ))
+                Ok(Value::Syntax(lagoon_runtime::prim::value_to_syntax(
+                    &ctx, other,
+                )?))
             }
         }),
     );
@@ -518,9 +520,9 @@ pub fn phase1_natives() -> Vec<(Symbol, Value)> {
         "coerce-syntax-list",
         Arity::exactly(1),
         Box::new(|args| {
-            let items = args[0].list_to_vec().ok_or_else(|| {
-                RtError::type_error("unsyntax-splicing: expected a list")
-            })?;
+            let items = args[0]
+                .list_to_vec()
+                .ok_or_else(|| RtError::type_error("unsyntax-splicing: expected a list"))?;
             let ctx = Syntax::ident(Symbol::intern("ctx"), lagoon_syntax::Span::synthetic());
             let coerced = items
                 .into_iter()
@@ -613,9 +615,9 @@ pub fn phase1_natives() -> Vec<(Symbol, Value)> {
         Arity::at_least(1),
         Box::new(|args| {
             let stx = expect_syntax_arg("local-expand", &args[0])?;
-            let exp = crate::expander::current_expander().ok_or_else(|| {
-                RtError::user("local-expand: not currently expanding")
-            })?;
+            let exp = crate::expander::current_expander()
+                .ok_or_else(|| RtError::user("local-expand: not currently expanding"))?;
+            lagoon_diag::count("local-expand", exp.module_name, 1);
             let ctx_sym = match args.get(1) {
                 Some(Value::Symbol(s)) => s.as_str(),
                 _ => "expression".to_string(),
@@ -635,11 +637,12 @@ pub fn phase1_natives() -> Vec<(Symbol, Value)> {
             let a = expect_syntax_arg("free-identifier=?", &args[0])?;
             let b = expect_syntax_arg("free-identifier=?", &args[1])?;
             if !a.is_identifier() || !b.is_identifier() {
-                return Err(RtError::type_error("free-identifier=?: expected identifiers"));
+                return Err(RtError::type_error(
+                    "free-identifier=?: expected identifiers",
+                ));
             }
-            let exp = crate::expander::current_expander().ok_or_else(|| {
-                RtError::user("free-identifier=?: not currently expanding")
-            })?;
+            let exp = crate::expander::current_expander()
+                .ok_or_else(|| RtError::user("free-identifier=?: not currently expanding"))?;
             let ra = exp.resolve(&a)?;
             let rb = exp.resolve(&b)?;
             Ok(Value::Bool(match (ra, rb) {

@@ -17,7 +17,7 @@
 //! | `(p … . r)` | an improper list |
 
 use lagoon_runtime::{RtError, Value};
-use lagoon_syntax::{Datum, SynData, Symbol, Syntax};
+use lagoon_syntax::{Datum, Symbol, SynData, Syntax};
 use std::collections::HashMap;
 
 fn ellipsis() -> Symbol {
@@ -199,10 +199,7 @@ fn match_list(
     out: &mut Vec<(Symbol, Value)>,
 ) -> Option<()> {
     // find a single ellipsis position
-    let ell = pitems
-        .iter()
-        .position(is_ellipsis)
-        .filter(|&j| j > 0);
+    let ell = pitems.iter().position(is_ellipsis).filter(|&j| j > 0);
     match ell {
         None => {
             if pitems.len() != iitems.len() {
@@ -342,10 +339,10 @@ fn expand_ellipsis(
     }
     let len = drivers[0].1.len();
     if drivers.iter().any(|(_, items)| items.len() != len) {
-        return Err(RtError::user(
-            "syntax template: ellipsis variables have mismatched lengths",
-        )
-        .with_span(elem.span()));
+        return Err(
+            RtError::user("syntax template: ellipsis variables have mismatched lengths")
+                .with_span(elem.span()),
+        );
     }
     let mut out = Vec::new();
     for i in 0..len {
@@ -497,8 +494,10 @@ mod tests {
 
     #[test]
     fn template_ellipsis() {
-        let bs: HashMap<Symbol, Value> =
-            m("(f body ...)", "(g 1 2 3)").unwrap().into_iter().collect();
+        let bs: HashMap<Symbol, Value> = m("(f body ...)", "(g 1 2 3)")
+            .unwrap()
+            .into_iter()
+            .collect();
         let out = instantiate_template(&stx("(begin body ...)"), &bs).unwrap();
         assert_eq!(out.to_datum().to_string(), "(begin 1 2 3)");
         let out = instantiate_template(&stx("(list (q body) ...)"), &bs).unwrap();
@@ -511,8 +510,7 @@ mod tests {
             .unwrap()
             .into_iter()
             .collect();
-        let out =
-            instantiate_template(&stx("((lambda (x ...) body ...) v ...)"), &bs).unwrap();
+        let out = instantiate_template(&stx("((lambda (x ...) body ...) v ...)"), &bs).unwrap();
         assert_eq!(out.to_datum().to_string(), "((lambda (a b) a b) 1 2)");
     }
 

@@ -379,7 +379,10 @@ fn module_instances_are_cached() {
         reg.run("a", EngineKind::Vm).unwrap();
         reg.run("b", EngineKind::Vm).unwrap();
     });
-    assert_eq!(out, "instantiated", "dependency must instantiate exactly once");
+    assert_eq!(
+        out, "instantiated",
+        "dependency must instantiate exactly once"
+    );
 }
 
 #[test]

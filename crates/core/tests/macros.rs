@@ -21,60 +21,52 @@ fn run_out(src: &str) -> (Value, String) {
 
 #[test]
 fn macro_defining_macro() {
-    let v = run(
-        "#lang lagoon
+    let v = run("#lang lagoon
          (define-syntax define-constant-fn
            (syntax-rules ()
              [(_ name value)
               (define-syntax name (syntax-rules () [(_) value]))]))
          (define-constant-fn seven 7)
          (define-constant-fn eight 8)
-         (+ (seven) (eight))",
-    )
+         (+ (seven) (eight))")
     .unwrap();
     assert!(matches!(v, Value::Int(15)));
 }
 
 #[test]
 fn syntax_rules_literals_match_exactly() {
-    let v = run(
-        "#lang lagoon
+    let v = run("#lang lagoon
          (define-syntax arrows
            (syntax-rules (=>)
              [(_ a => b) (list 'forward a b)]
              [(_ a b) (list 'plain a b)]))
-         (list (arrows 1 => 2) (arrows 1 2))",
-    )
+         (list (arrows 1 => 2) (arrows 1 2))")
     .unwrap();
     assert_eq!(v.to_string(), "((forward 1 2) (plain 1 2))");
 }
 
 #[test]
 fn nested_ellipsis_template() {
-    let v = run(
-        "#lang lagoon
+    let v = run("#lang lagoon
          (define-syntax my-let*
            (syntax-rules ()
              [(_ () body ...) (begin body ...)]
              [(_ ([x v] rest ...) body ...)
               (let ([x v]) (my-let* (rest ...) body ...))]))
-         (my-let* ([a 1] [b (+ a 1)] [c (* b 3)]) (list a b c))",
-    )
+         (my-let* ([a 1] [b (+ a 1)] [c (* b 3)]) (list a b c))")
     .unwrap();
     assert_eq!(v.to_string(), "(1 2 6)");
 }
 
 #[test]
 fn with_syntax_multiple_clauses() {
-    let v = run(
-        "#lang lagoon
+    let v = run("#lang lagoon
          (define-syntax (three-lets stx)
            (syntax-parse stx
              [(_ e1 e2 e3)
               (with-syntax ([a #'e1] [b #'e2] [c #'e3])
                 #'(list a b c))]))
-         (three-lets 1 (+ 1 1) 3)",
-    )
+         (three-lets 1 (+ 1 1) 3)")
     .unwrap();
     assert_eq!(v.to_string(), "(1 2 3)");
 }
@@ -83,15 +75,13 @@ fn with_syntax_multiple_clauses() {
 fn with_syntax_coerces_values() {
     // paper §2.1's when-compiled pattern: with-syntax binds non-syntax
     // values by coercing them to syntax
-    let v = run(
-        "#lang lagoon
+    let v = run("#lang lagoon
          (define-syntax (list-of-n stx)
            (syntax-parse stx
              [(_ n:number)
               (with-syntax ([items (iota (syntax->datum #'n))])
                 #'(quote items))]))
-         (list-of-n 4)",
-    )
+         (list-of-n 4)")
     .unwrap();
     assert_eq!(v.to_string(), "(0 1 2 3)");
 }
@@ -99,28 +89,24 @@ fn with_syntax_coerces_values() {
 #[test]
 fn phase1_computation_with_prelude() {
     // transformers can call prelude functions at compile time
-    let v = run(
-        "#lang lagoon
+    let v = run("#lang lagoon
          (define-syntax (sum-at-compile-time stx)
            (syntax-parse stx
              [(_ n:number)
               #`(quote #,(sum (iota (syntax->datum #'n))))]))
-         (sum-at-compile-time 10)",
-    )
+         (sum-at-compile-time 10)")
     .unwrap();
     assert!(matches!(v, Value::Int(45)));
 }
 
 #[test]
 fn unsyntax_splicing_in_templates() {
-    let v = run(
-        "#lang lagoon
+    let v = run("#lang lagoon
          (define-syntax (reverse-args stx)
            (syntax-parse stx
              [(_ f arg ...)
               #`(f #,@(reverse (syntax->list #'(arg ...))))]))
-         (reverse-args - 1 10)",
-    )
+         (reverse-args - 1 10)")
     .unwrap();
     assert!(matches!(v, Value::Int(9)));
 }
@@ -142,13 +128,11 @@ fn pattern_classes_reject() {
 
 #[test]
 fn improper_patterns_in_macros() {
-    let v = run(
-        "#lang lagoon
+    let v = run("#lang lagoon
          (define-syntax (head-of stx)
            (syntax-parse stx
              [(_ (h . t)) #''h]))
-         (head-of (a b c))",
-    )
+         (head-of (a b c))")
     .unwrap();
     assert_eq!(v.to_string(), "a");
 }
@@ -156,13 +140,11 @@ fn improper_patterns_in_macros() {
 #[test]
 fn bound_identifier_distinctions() {
     // free-identifier=? sees through renaming; different bindings differ
-    let v = run(
-        "#lang lagoon
+    let v = run("#lang lagoon
          (define-syntax (same-as-car? stx)
            (syntax-parse stx
              [(_ x) (if (free-identifier=? #'x #'car) #'#t #'#f)]))
-         (list (same-as-car? car) (same-as-car? cdr))",
-    )
+         (list (same-as-car? car) (same-as-car? cdr))")
     .unwrap();
     assert_eq!(v.to_string(), "(#t #f)");
 }
@@ -190,27 +172,23 @@ fn begin_for_syntax_runs_at_compile_time() {
 
 #[test]
 fn define_for_syntax_via_begin_for_syntax() {
-    let v = run(
-        "#lang lagoon
+    let v = run("#lang lagoon
          (begin-for-syntax
            (define (triple n) (* 3 n)))
          (define-syntax (use-helper stx)
            (syntax-parse stx
              [(_ n:number) #`(quote #,(triple (syntax->datum #'n)))]))
-         (use-helper 14)",
-    )
+         (use-helper 14)")
     .unwrap();
     assert!(matches!(v, Value::Int(42)));
 }
 
 #[test]
 fn shadowing_macros_with_variables() {
-    let v = run(
-        "#lang lagoon
+    let v = run("#lang lagoon
          (define-syntax twice (syntax-rules () [(_ e) (+ e e)]))
          (define (f twice) (twice 5))
-         (f (lambda (x) (* x 100)))",
-    )
+         (f (lambda (x) (* x 100)))")
     .unwrap();
     assert!(matches!(v, Value::Int(500)));
 }
@@ -218,8 +196,7 @@ fn shadowing_macros_with_variables() {
 #[test]
 fn recursive_template_escape() {
     // (... ...) escapes ellipses so macros can generate macros
-    let v = run(
-        "#lang lagoon
+    let v = run("#lang lagoon
          (define-syntax define-list-maker
            (syntax-rules ()
              [(_ name)
@@ -227,8 +204,7 @@ fn recursive_template_escape() {
                 (syntax-rules ()
                   [(_ x (... ...)) (list x (... ...))]))]))
          (define-list-maker mk)
-         (mk 1 2 3)",
-    )
+         (mk 1 2 3)")
     .unwrap();
     assert_eq!(v.to_string(), "(1 2 3)");
 }
@@ -279,11 +255,9 @@ fn deeply_nested_macro_expansion() {
 
 #[test]
 fn quasiquote_nests_with_lists() {
-    let v = run(
-        "#lang lagoon
+    let v = run("#lang lagoon
          (define xs '(2 3))
-         `(1 ,@xs (4 ,(+ 2 3)))",
-    )
+         `(1 ,@xs (4 ,(+ 2 3)))")
     .unwrap();
     assert_eq!(v.to_string(), "(1 2 3 (4 5))");
 }

@@ -1,0 +1,808 @@
+//! # lagoon-diag
+//!
+//! A zero-dependency diagnostics subsystem threaded through every layer of
+//! the Lagoon pipeline: the reader/expander, the typechecker, the
+//! type-driven optimizer, the bytecode VM, and the contract system all
+//! emit structured [`Event`]s into a thread-local [`DiagSink`].
+//!
+//! The sink is **off by default** and the emission sites guard on
+//! [`enabled`] (a single thread-local flag read), so instrumented code
+//! costs nothing when diagnostics are disabled. Consumers install a sink
+//! (usually a [`Collector`]) around the work they want to observe:
+//!
+//! ```
+//! use lagoon_diag::{Collector, Event, Phase};
+//! use lagoon_syntax::Symbol;
+//!
+//! let collector = Collector::install();
+//! {
+//!     let _timer = lagoon_diag::time(Phase::Expand, Symbol::intern("main"));
+//!     lagoon_diag::count("macro-steps", Symbol::intern("main"), 1);
+//! }
+//! lagoon_diag::uninstall();
+//! let report = collector.report();
+//! assert_eq!(report.phases.len(), 1);
+//! ```
+//!
+//! [`Report`] aggregates the raw event stream into the tables the CLI
+//! (`lagoon run --stats`) and the bench harness print, and renders them
+//! either as text or as machine-readable JSON (hand-rolled — this crate
+//! deliberately depends on nothing but `lagoon-syntax`, for [`Span`]s).
+
+#![warn(missing_docs)]
+
+use lagoon_syntax::{Span, Symbol};
+use std::cell::{Cell, RefCell};
+use std::fmt::Write as _;
+use std::rc::Rc;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// the event model
+// ---------------------------------------------------------------------
+
+/// A pipeline phase, for enter/exit timing events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Reading source text into syntax objects.
+    Read,
+    /// Macro expansion down to core forms (for typed modules this phase
+    /// *contains* typechecking and optimization, which also report their
+    /// own nested phases).
+    Expand,
+    /// Typechecking a typed module (nested inside [`Phase::Expand`]).
+    Typecheck,
+    /// The type-driven optimizer pass (nested inside [`Phase::Expand`]).
+    Optimize,
+    /// Parsing core forms and compiling them to bytecode.
+    Compile,
+    /// Instantiating and running module bodies.
+    Run,
+}
+
+impl Phase {
+    /// The lower-case display name used in tables and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Read => "read",
+            Phase::Expand => "expand",
+            Phase::Typecheck => "typecheck",
+            Phase::Optimize => "optimize",
+            Phase::Compile => "compile",
+            Phase::Run => "run",
+        }
+    }
+}
+
+/// One structured diagnostic event.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// A phase began for `module`.
+    PhaseStart {
+        /// Which phase began.
+        phase: Phase,
+        /// The module being processed.
+        module: Symbol,
+    },
+    /// A phase finished for `module`, `nanos` of wall-clock time after it
+    /// began.
+    PhaseEnd {
+        /// Which phase ended.
+        phase: Phase,
+        /// The module being processed.
+        module: Symbol,
+        /// Wall-clock duration in nanoseconds.
+        nanos: u128,
+    },
+    /// A named counter increment (macro-expansion steps, `local-expand`
+    /// invocations, annotations consulted, flat contract checks, …).
+    Counter {
+        /// Counter name.
+        name: &'static str,
+        /// The module the count is attributed to.
+        module: Symbol,
+        /// Amount to add.
+        delta: u64,
+    },
+    /// The optimizer applied a specializing rewrite.
+    Rewrite {
+        /// Rewrite family (`"float"`, `"float-complex"`, `"fixnum"`,
+        /// `"pairs"` — the paper §7.2 catalogue).
+        family: &'static str,
+        /// The generic operation that was rewritten (e.g. `"+"`).
+        op: String,
+        /// The `unsafe-*` primitive it became (e.g. `"unsafe-fl+"`).
+        rule: &'static str,
+        /// The module being optimized.
+        module: Symbol,
+        /// Source location of the application site.
+        span: Span,
+    },
+    /// The optimizer matched a rewrite's shape but was blocked — a site
+    /// worth knowing about when tuning type annotations.
+    NearMiss {
+        /// Rewrite family that almost fired.
+        family: &'static str,
+        /// The generic operation at the site.
+        op: String,
+        /// The module being optimized.
+        module: Symbol,
+        /// Source location of the application site.
+        span: Span,
+        /// Why the rewrite was blocked.
+        reason: String,
+    },
+    /// A call crossed a contracted typed/untyped boundary (paper §6).
+    ContractCrossing {
+        /// The wrapped procedure's name, when known.
+        export: Option<Symbol>,
+        /// The positive blame party (the implementation side).
+        positive: Symbol,
+        /// The negative blame party (the client side).
+        negative: Symbol,
+    },
+}
+
+/// A consumer of diagnostic events.
+pub trait DiagSink {
+    /// Receives one event. Called only while the sink is installed and on
+    /// the installing thread.
+    fn event(&self, event: &Event);
+}
+
+// ---------------------------------------------------------------------
+// the thread-local sink
+// ---------------------------------------------------------------------
+
+thread_local! {
+    static SINK: RefCell<Option<Rc<dyn DiagSink>>> = const { RefCell::new(None) };
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when a sink is installed on this thread. Instrumentation sites
+/// whose event construction is not free should guard on this; it is a
+/// single thread-local flag read.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.with(Cell::get)
+}
+
+/// Installs `sink` as this thread's diagnostic sink, replacing any
+/// previous one, and enables emission.
+pub fn install(sink: Rc<dyn DiagSink>) {
+    SINK.with(|s| *s.borrow_mut() = Some(sink));
+    ENABLED.with(|e| e.set(true));
+}
+
+/// Removes and returns this thread's sink, disabling emission.
+pub fn uninstall() -> Option<Rc<dyn DiagSink>> {
+    ENABLED.with(|e| e.set(false));
+    SINK.with(|s| s.borrow_mut().take())
+}
+
+/// Sends `event` to the installed sink; a no-op when disabled.
+pub fn emit(event: Event) {
+    if !enabled() {
+        return;
+    }
+    let sink = SINK.with(|s| s.borrow().clone());
+    if let Some(sink) = sink {
+        sink.event(&event);
+    }
+}
+
+/// Emits a counter increment; a no-op when disabled.
+pub fn count(name: &'static str, module: Symbol, delta: u64) {
+    if enabled() {
+        emit(Event::Counter {
+            name,
+            module,
+            delta,
+        });
+    }
+}
+
+/// Starts timing a phase: emits [`Event::PhaseStart`] now and
+/// [`Event::PhaseEnd`] when the returned guard drops. When diagnostics
+/// are disabled the guard is inert and no clock is read.
+pub fn time(phase: Phase, module: Symbol) -> PhaseTimer {
+    if !enabled() {
+        return PhaseTimer(None);
+    }
+    emit(Event::PhaseStart { phase, module });
+    PhaseTimer(Some((phase, module, Instant::now())))
+}
+
+/// Drop guard created by [`time`]; emits the matching
+/// [`Event::PhaseEnd`] when dropped.
+pub struct PhaseTimer(Option<(Phase, Symbol, Instant)>);
+
+impl Drop for PhaseTimer {
+    fn drop(&mut self) {
+        if let Some((phase, module, start)) = self.0.take() {
+            emit(Event::PhaseEnd {
+                phase,
+                module,
+                nanos: start.elapsed().as_nanos(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// the collecting sink
+// ---------------------------------------------------------------------
+
+/// A sink that records every event, for building a [`Report`] afterwards.
+#[derive(Default)]
+pub struct Collector {
+    events: RefCell<Vec<Event>>,
+}
+
+impl Collector {
+    /// Creates a collector and installs it as this thread's sink.
+    pub fn install() -> Rc<Collector> {
+        let c = Rc::new(Collector::default());
+        install(c.clone());
+        c
+    }
+
+    /// A copy of every event recorded so far, in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.borrow().clone()
+    }
+
+    /// Aggregates the recorded events into a [`Report`].
+    pub fn report(&self) -> Report {
+        Report::from_events(&self.events.borrow())
+    }
+}
+
+impl DiagSink for Collector {
+    fn event(&self, event: &Event) {
+        self.events.borrow_mut().push(event.clone());
+    }
+}
+
+// ---------------------------------------------------------------------
+// the aggregated report
+// ---------------------------------------------------------------------
+
+/// One phase-timing row.
+#[derive(Clone, Debug)]
+pub struct PhaseRow {
+    /// Module the phase processed.
+    pub module: String,
+    /// Phase display name.
+    pub phase: &'static str,
+    /// Wall-clock duration in nanoseconds.
+    pub nanos: u128,
+}
+
+/// One aggregated counter row.
+#[derive(Clone, Debug)]
+pub struct CounterRow {
+    /// Module the counts are attributed to.
+    pub module: String,
+    /// Counter name.
+    pub name: String,
+    /// Total of all increments.
+    pub value: u64,
+}
+
+/// One applied optimizer rewrite.
+#[derive(Clone, Debug)]
+pub struct RewriteRow {
+    /// Rewrite family.
+    pub family: &'static str,
+    /// The generic operation that was rewritten.
+    pub op: String,
+    /// The `unsafe-*` primitive it became.
+    pub rule: String,
+    /// Module being optimized.
+    pub module: String,
+    /// Rendered source location (`source:line:col`).
+    pub span: String,
+    /// 1-based source line (0 for synthesized syntax).
+    pub line: u32,
+}
+
+/// One blocked optimizer rewrite.
+#[derive(Clone, Debug)]
+pub struct NearMissRow {
+    /// Rewrite family that almost fired.
+    pub family: &'static str,
+    /// The generic operation at the site.
+    pub op: String,
+    /// Module being optimized.
+    pub module: String,
+    /// Rendered source location.
+    pub span: String,
+    /// 1-based source line (0 for synthesized syntax).
+    pub line: u32,
+    /// Why the rewrite was blocked.
+    pub reason: String,
+}
+
+/// One contracted boundary, with its crossing count.
+#[derive(Clone, Debug)]
+pub struct ContractRow {
+    /// The wrapped procedure's name (`"<anonymous>"` when unknown).
+    pub export: String,
+    /// Positive blame party.
+    pub positive: String,
+    /// Negative blame party.
+    pub negative: String,
+    /// Number of calls through the boundary.
+    pub count: u64,
+}
+
+/// One opcode-execution row (supplied by the VM's `vm-counters` feature).
+#[derive(Clone, Debug)]
+pub struct OpcodeRow {
+    /// Instruction mnemonic.
+    pub op: String,
+    /// Instruction class: `"control"`, `"generic"`, or `"specialized"`.
+    pub class: String,
+    /// Times executed.
+    pub count: u64,
+}
+
+/// An aggregated diagnostics report, renderable as text or JSON.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Completed phases, in completion order.
+    pub phases: Vec<PhaseRow>,
+    /// Aggregated counters, in first-seen order.
+    pub counters: Vec<CounterRow>,
+    /// Applied optimizer rewrites, in emission order.
+    pub rewrites: Vec<RewriteRow>,
+    /// Blocked optimizer rewrites, in emission order.
+    pub near_misses: Vec<NearMissRow>,
+    /// Contract boundary crossings, aggregated per boundary.
+    pub contracts: Vec<ContractRow>,
+    /// Opcode execution counts (empty unless the VM ran with counters).
+    pub opcodes: Vec<OpcodeRow>,
+}
+
+impl Report {
+    /// Aggregates a raw event stream.
+    pub fn from_events(events: &[Event]) -> Report {
+        let mut report = Report::default();
+        for event in events {
+            match event {
+                Event::PhaseStart { .. } => {}
+                Event::PhaseEnd {
+                    phase,
+                    module,
+                    nanos,
+                } => report.phases.push(PhaseRow {
+                    module: module.as_str(),
+                    phase: phase.name(),
+                    nanos: *nanos,
+                }),
+                Event::Counter {
+                    name,
+                    module,
+                    delta,
+                } => {
+                    let module = module.as_str();
+                    match report
+                        .counters
+                        .iter_mut()
+                        .find(|c| c.module == module && c.name == *name)
+                    {
+                        Some(row) => row.value += delta,
+                        None => report.counters.push(CounterRow {
+                            module,
+                            name: (*name).to_string(),
+                            value: *delta,
+                        }),
+                    }
+                }
+                Event::Rewrite {
+                    family,
+                    op,
+                    rule,
+                    module,
+                    span,
+                } => report.rewrites.push(RewriteRow {
+                    family,
+                    op: op.clone(),
+                    rule: (*rule).to_string(),
+                    module: module.as_str(),
+                    span: span.to_string(),
+                    line: span.line,
+                }),
+                Event::NearMiss {
+                    family,
+                    op,
+                    module,
+                    span,
+                    reason,
+                } => report.near_misses.push(NearMissRow {
+                    family,
+                    op: op.clone(),
+                    module: module.as_str(),
+                    span: span.to_string(),
+                    line: span.line,
+                    reason: reason.clone(),
+                }),
+                Event::ContractCrossing {
+                    export,
+                    positive,
+                    negative,
+                } => {
+                    let export = export
+                        .map(|s| strip_gensym(&s.as_str()))
+                        .unwrap_or_else(|| "<anonymous>".to_string());
+                    let positive = positive.as_str();
+                    let negative = negative.as_str();
+                    match report.contracts.iter_mut().find(|c| {
+                        c.export == export && c.positive == positive && c.negative == negative
+                    }) {
+                        Some(row) => row.count += 1,
+                        None => report.contracts.push(ContractRow {
+                            export,
+                            positive,
+                            negative,
+                            count: 1,
+                        }),
+                    }
+                }
+            }
+        }
+        report
+    }
+
+    /// Installs opcode-execution counts (from the VM's `vm-counters`
+    /// snapshot; this crate cannot depend on the VM).
+    pub fn set_opcodes(&mut self, opcodes: Vec<OpcodeRow>) {
+        self.opcodes = opcodes;
+    }
+
+    /// Total executions of generic (tag-dispatching) instructions.
+    pub fn generic_ops(&self) -> u64 {
+        self.class_total("generic")
+    }
+
+    /// Total executions of specialized (`unsafe-*`-derived) instructions.
+    pub fn specialized_ops(&self) -> u64 {
+        self.class_total("specialized")
+    }
+
+    /// Total executions across all instruction classes.
+    pub fn total_ops(&self) -> u64 {
+        self.opcodes.iter().map(|o| o.count).sum()
+    }
+
+    fn class_total(&self, class: &str) -> u64 {
+        self.opcodes
+            .iter()
+            .filter(|o| o.class == class)
+            .map(|o| o.count)
+            .sum()
+    }
+
+    /// Specialized share of dispatch-bearing executions:
+    /// `specialized / (generic + specialized)`; `None` when neither ran.
+    pub fn specialized_share(&self) -> Option<f64> {
+        let g = self.generic_ops();
+        let s = self.specialized_ops();
+        if g + s == 0 {
+            None
+        } else {
+            Some(s as f64 / (g + s) as f64)
+        }
+    }
+
+    /// The phase-timing table alone (used by `lagoon expand --timings`).
+    pub fn render_phases(&self) -> String {
+        let mut out = String::new();
+        if self.phases.is_empty() {
+            return out;
+        }
+        let _ = writeln!(out, "phase timings");
+        let _ = writeln!(out, "  {:<20} {:<10} {:>10}", "module", "phase", "ms");
+        for p in &self.phases {
+            let _ = writeln!(
+                out,
+                "  {:<20} {:<10} {:>10.3}",
+                p.module,
+                p.phase,
+                p.nanos as f64 / 1e6
+            );
+        }
+        out
+    }
+
+    /// The full human-readable report (empty sections are omitted).
+    pub fn render_text(&self) -> String {
+        let mut out = self.render_phases();
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters");
+            for c in &self.counters {
+                let _ = writeln!(out, "  {:<20} {:<24} {:>8}", c.module, c.name, c.value);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "optimizer decisions: {} applied, {} near miss(es)",
+            self.rewrites.len(),
+            self.near_misses.len()
+        );
+        for r in &self.rewrites {
+            let _ = writeln!(
+                out,
+                "  {:<24} {} -> {}  [{}]",
+                r.span, r.op, r.rule, r.family
+            );
+        }
+        for n in &self.near_misses {
+            let _ = writeln!(
+                out,
+                "  {:<24} {} blocked [{}]: {}",
+                n.span, n.op, n.family, n.reason
+            );
+        }
+        if !self.contracts.is_empty() {
+            let _ = writeln!(out, "contract boundary crossings");
+            for c in &self.contracts {
+                let _ = writeln!(
+                    out,
+                    "  {:<20} ({} <-> {}): {}",
+                    c.export, c.positive, c.negative, c.count
+                );
+            }
+        }
+        if !self.opcodes.is_empty() {
+            let share = self
+                .specialized_share()
+                .map(|s| format!("{:.1}%", s * 100.0))
+                .unwrap_or_else(|| "n/a".to_string());
+            let _ = writeln!(
+                out,
+                "opcode mix: {} executed ({} generic, {} specialized; specialized share {})",
+                self.total_ops(),
+                self.generic_ops(),
+                self.specialized_ops(),
+                share
+            );
+            for o in &self.opcodes {
+                let _ = writeln!(out, "  {:<20} {:<12} {:>12}", o.op, o.class, o.count);
+            }
+        }
+        out
+    }
+
+    /// The report as a machine-readable JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str("\"phases\":[");
+        push_rows(&mut out, &self.phases, |out, p| {
+            let _ = write!(
+                out,
+                "{{\"module\":{},\"phase\":{},\"ms\":{:.6}}}",
+                json_string(&p.module),
+                json_string(p.phase),
+                p.nanos as f64 / 1e6
+            );
+        });
+        out.push_str("],\"counters\":[");
+        push_rows(&mut out, &self.counters, |out, c| {
+            let _ = write!(
+                out,
+                "{{\"module\":{},\"name\":{},\"value\":{}}}",
+                json_string(&c.module),
+                json_string(&c.name),
+                c.value
+            );
+        });
+        out.push_str("],\"rewrites\":[");
+        push_rows(&mut out, &self.rewrites, |out, r| {
+            let _ = write!(
+                out,
+                "{{\"module\":{},\"family\":{},\"op\":{},\"rule\":{},\"span\":{},\"line\":{}}}",
+                json_string(&r.module),
+                json_string(r.family),
+                json_string(&r.op),
+                json_string(&r.rule),
+                json_string(&r.span),
+                r.line
+            );
+        });
+        out.push_str("],\"near_misses\":[");
+        push_rows(&mut out, &self.near_misses, |out, n| {
+            let _ = write!(
+                out,
+                "{{\"module\":{},\"family\":{},\"op\":{},\"span\":{},\"line\":{},\"reason\":{}}}",
+                json_string(&n.module),
+                json_string(n.family),
+                json_string(&n.op),
+                json_string(&n.span),
+                n.line,
+                json_string(&n.reason)
+            );
+        });
+        out.push_str("],\"contracts\":[");
+        push_rows(&mut out, &self.contracts, |out, c| {
+            let _ = write!(
+                out,
+                "{{\"export\":{},\"positive\":{},\"negative\":{},\"count\":{}}}",
+                json_string(&c.export),
+                json_string(&c.positive),
+                json_string(&c.negative),
+                c.count
+            );
+        });
+        out.push_str("],\"opcodes\":[");
+        push_rows(&mut out, &self.opcodes, |out, o| {
+            let _ = write!(
+                out,
+                "{{\"op\":{},\"class\":{},\"count\":{}}}",
+                json_string(&o.op),
+                json_string(&o.class),
+                o.count
+            );
+        });
+        let _ = write!(
+            out,
+            "],\"summary\":{{\"rewrites\":{},\"near_misses\":{},\"generic_ops\":{},\"specialized_ops\":{},\"total_ops\":{}}}}}",
+            self.rewrites.len(),
+            self.near_misses.len(),
+            self.generic_ops(),
+            self.specialized_ops(),
+            self.total_ops()
+        );
+        out
+    }
+}
+
+fn push_rows<T>(out: &mut String, rows: &[T], mut f: impl FnMut(&mut String, &T)) {
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        f(out, row);
+    }
+}
+
+/// Drops a `~N` gensym suffix so reports show the name the user wrote
+/// (`shout~122` → `shout`). Names without an all-digit suffix pass
+/// through untouched.
+fn strip_gensym(name: &str) -> String {
+    match name.rsplit_once('~') {
+        Some((base, digits))
+            if !base.is_empty()
+                && !digits.is_empty()
+                && digits.bytes().all(|b| b.is_ascii_digit()) =>
+        {
+            base.to_string()
+        }
+        _ => name.to_string(),
+    }
+}
+
+/// Renders `s` as a JSON string literal (with escaping).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(name: &str) -> Symbol {
+        Symbol::intern(name)
+    }
+
+    #[test]
+    fn disabled_by_default_and_emission_is_dropped() {
+        assert!(!enabled());
+        emit(Event::Counter {
+            name: "x",
+            module: m("main"),
+            delta: 1,
+        });
+        // nothing to observe: no sink, no panic
+        let timer = time(Phase::Read, m("main"));
+        drop(timer);
+    }
+
+    #[test]
+    fn collector_records_and_reports() {
+        let c = Collector::install();
+        assert!(enabled());
+        count("macro-steps", m("main"), 2);
+        count("macro-steps", m("main"), 3);
+        {
+            let _t = time(Phase::Expand, m("main"));
+        }
+        emit(Event::Rewrite {
+            family: "float",
+            op: "+".to_string(),
+            rule: "unsafe-fl+",
+            module: m("main"),
+            span: Span::synthetic(),
+        });
+        emit(Event::ContractCrossing {
+            export: Some(m("inc")),
+            positive: m("lib"),
+            negative: m("untyped-client"),
+        });
+        emit(Event::ContractCrossing {
+            export: Some(m("inc")),
+            positive: m("lib"),
+            negative: m("untyped-client"),
+        });
+        uninstall();
+        assert!(!enabled());
+
+        let report = c.report();
+        assert_eq!(report.counters.len(), 1);
+        assert_eq!(report.counters[0].value, 5);
+        assert_eq!(report.phases.len(), 1);
+        assert_eq!(report.phases[0].phase, "expand");
+        assert_eq!(report.rewrites.len(), 1);
+        assert_eq!(report.contracts.len(), 1);
+        assert_eq!(report.contracts[0].count, 2);
+
+        let text = report.render_text();
+        assert!(text.contains("phase timings"));
+        assert!(text.contains("unsafe-fl+"));
+        assert!(text.contains("inc"));
+    }
+
+    #[test]
+    fn json_is_wellformed_enough() {
+        let c = Collector::install();
+        count("steps", m("a\"b"), 1);
+        uninstall();
+        let json = c.report().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"a\\\"b\""));
+        assert!(json.contains("\"summary\""));
+    }
+
+    #[test]
+    fn opcode_summaries() {
+        let mut report = Report::default();
+        report.set_opcodes(vec![
+            OpcodeRow {
+                op: "Add2".to_string(),
+                class: "generic".to_string(),
+                count: 10,
+            },
+            OpcodeRow {
+                op: "FlAdd".to_string(),
+                class: "specialized".to_string(),
+                count: 30,
+            },
+            OpcodeRow {
+                op: "Return".to_string(),
+                class: "control".to_string(),
+                count: 5,
+            },
+        ]);
+        assert_eq!(report.generic_ops(), 10);
+        assert_eq!(report.specialized_ops(), 30);
+        assert_eq!(report.total_ops(), 45);
+        assert!((report.specialized_share().unwrap() - 0.75).abs() < 1e-9);
+    }
+}

@@ -33,8 +33,9 @@
 
 use lagoon_core::build::{self, id};
 use lagoon_core::ModuleRegistry;
+use lagoon_diag::Event;
 use lagoon_runtime::RtError;
-use lagoon_syntax::{Datum, PropValue, SynData, Symbol, Syntax};
+use lagoon_syntax::{Datum, PropValue, Span, Symbol, SynData, Syntax};
 use lagoon_typed::check::prop_type;
 use lagoon_typed::{Tcx, Type};
 use std::cell::Cell;
@@ -42,16 +43,69 @@ use std::rc::Rc;
 
 thread_local! {
     static REWRITE_COUNT: Cell<u64> = const { Cell::new(0) };
+    static REWRITE_MODULE: Cell<Option<Symbol>> = const { Cell::new(None) };
 }
 
-/// Number of specializing rewrites performed on this thread so far
-/// (diagnostics for tests and the demo example).
+/// Number of specializing rewrites performed on this thread *for the
+/// module currently (or most recently) being optimized*. The counter
+/// resets each time optimization moves to a new module.
+#[deprecated(note = "install a lagoon_diag::Collector and read the decision log \
+            (Event::Rewrite) instead")]
 pub fn rewrite_count() -> u64 {
     REWRITE_COUNT.with(Cell::get)
 }
 
-fn bump() {
+/// Resets the legacy counter whenever optimization enters a new module,
+/// so back-to-back runs no longer report cumulative counts.
+fn note_module(module: Symbol) {
+    REWRITE_MODULE.with(|m| {
+        if m.get() != Some(module) {
+            m.set(Some(module));
+            REWRITE_COUNT.with(|c| c.set(0));
+        }
+    });
+}
+
+/// The per-expression optimization context: which module is being
+/// optimized (for attributing diagnostics) and which rewrite families are
+/// enabled.
+struct Ctx {
+    module: Symbol,
+    options: Options,
+}
+
+/// Records an applied rewrite: bumps the legacy counter and, when
+/// diagnostics are on, logs the decision with its source span.
+fn applied(ctx: &Ctx, family: &'static str, op: &str, rule: &'static str, span: Span) {
     REWRITE_COUNT.with(|c| c.set(c.get() + 1));
+    if lagoon_diag::enabled() {
+        lagoon_diag::emit(Event::Rewrite {
+            family,
+            op: op.to_string(),
+            rule,
+            module: ctx.module,
+            span,
+        });
+    }
+}
+
+/// Records a near-miss: a site that matched a rewrite's shape but was
+/// blocked, with the reason. Only constructed when diagnostics are on.
+fn near_miss(ctx: &Ctx, family: &'static str, op: &str, span: Span, reason: String) {
+    lagoon_diag::emit(Event::NearMiss {
+        family,
+        op: op.to_string(),
+        module: ctx.module,
+        span,
+        reason,
+    });
+}
+
+/// The operand's static type rendered for near-miss reasons.
+fn type_name(stx: &Syntax) -> String {
+    type_of(stx)
+        .map(|t| t.to_string())
+        .unwrap_or_else(|| "an unannotated type".to_string())
 }
 
 /// The computed type the checker attached to an expression, if any.
@@ -134,7 +188,10 @@ fn coerce_to_complex(stx: &Syntax) -> Option<Syntax> {
     if let Some(n) = int_literal(stx) {
         return Some(build::lst(vec![
             id("quote"),
-            Syntax::atom(Datum::Complex(n as f64, 0.0), lagoon_syntax::Span::synthetic()),
+            Syntax::atom(
+                Datum::Complex(n as f64, 0.0),
+                lagoon_syntax::Span::synthetic(),
+            ),
         ]));
     }
     if let SynData::List(items) = stx.e() {
@@ -248,9 +305,17 @@ impl Default for Options {
     }
 }
 
+/// Generic arithmetic that stays generic on `Integer` operands: Lagoon
+/// integers are overflow-checked, so wrapping `unsafe-fx` arithmetic
+/// would change semantics (only *comparisons* are fixnum-specialized).
+const INT_ARITH: &[&str] = &["+", "-", "*", "/", "min", "max"];
+
 /// Rewrites one application whose operands have already been optimized.
-/// Returns `None` if no specialization applies.
-fn specialize_app(op_name: &str, args: &[Syntax], options: &Options) -> Option<Syntax> {
+/// Returns `None` if no specialization applies; `span` is the original
+/// application's source location, attached to logged decisions.
+fn specialize_app(op_name: &str, args: &[Syntax], span: Span, ctx: &Ctx) -> Option<Syntax> {
+    let options = &ctx.options;
+    let diag = lagoon_diag::enabled();
     // float binary ops: both operands coercible to Float, at least one
     // actually Float (otherwise leave integer arithmetic alone)
     if args.len() == 2 {
@@ -260,84 +325,193 @@ fn specialize_app(op_name: &str, args: &[Syntax], options: &Options) -> Option<S
                 && !is_complex(&args[0])
                 && !is_complex(&args[1])
             {
-                if let (Some(a), Some(b)) = (coerce_to_float(&args[0]), coerce_to_float(&args[1]))
-                {
-                    bump();
-                    return Some(build::app(id(unsafe_op), vec![a, b]));
+                match (coerce_to_float(&args[0]), coerce_to_float(&args[1])) {
+                    (Some(a), Some(b)) => {
+                        applied(ctx, "float", op_name, unsafe_op, span);
+                        return Some(build::app(id(unsafe_op), vec![a, b]));
+                    }
+                    (a, _) => {
+                        if diag {
+                            let bad = if a.is_none() { &args[0] } else { &args[1] };
+                            near_miss(
+                                ctx,
+                                "float",
+                                op_name,
+                                span,
+                                format!(
+                                    "mixed operands: one side has static type {}, \
+                                     which cannot be coerced to Float",
+                                    type_name(bad)
+                                ),
+                            );
+                        }
+                    }
                 }
             }
         }
         if let Some((_, unsafe_op)) = FC_BINOPS.iter().find(|(g, _)| *g == op_name) {
             if options.complexes && (is_complex(&args[0]) || is_complex(&args[1])) {
-                if let (Some(a), Some(b)) =
-                    (coerce_to_complex(&args[0]), coerce_to_complex(&args[1]))
-                {
-                    bump();
-                    return Some(build::app(id(unsafe_op), vec![a, b]));
+                match (coerce_to_complex(&args[0]), coerce_to_complex(&args[1])) {
+                    (Some(a), Some(b)) => {
+                        applied(ctx, "float-complex", op_name, unsafe_op, span);
+                        return Some(build::app(id(unsafe_op), vec![a, b]));
+                    }
+                    (a, _) => {
+                        if diag {
+                            let bad = if a.is_none() { &args[0] } else { &args[1] };
+                            near_miss(
+                                ctx,
+                                "float-complex",
+                                op_name,
+                                span,
+                                format!(
+                                    "mixed operands: one side has static type {}, \
+                                     which cannot be coerced to Float-Complex",
+                                    type_name(bad)
+                                ),
+                            );
+                        }
+                    }
                 }
             }
         }
         if let Some((_, unsafe_op)) = FX_CMPS.iter().find(|(g, _)| *g == op_name) {
-            if options.fixnums && is_int(&args[0]) && is_int(&args[1]) {
-                bump();
-                return Some(build::app(id(unsafe_op), vec![args[0].clone(), args[1].clone()]));
+            if options.fixnums {
+                if is_int(&args[0]) && is_int(&args[1]) {
+                    applied(ctx, "fixnum", op_name, unsafe_op, span);
+                    return Some(build::app(
+                        id(unsafe_op),
+                        vec![args[0].clone(), args[1].clone()],
+                    ));
+                }
+                // one known-Integer side against a wider type, and the
+                // float family above didn't already claim the site
+                if diag
+                    && (is_int(&args[0]) ^ is_int(&args[1]))
+                    && !is_float(&args[0])
+                    && !is_float(&args[1])
+                {
+                    let other = if is_int(&args[0]) { &args[1] } else { &args[0] };
+                    near_miss(
+                        ctx,
+                        "fixnum",
+                        op_name,
+                        span,
+                        format!(
+                            "mixed operands: one side has static type {}, not Integer",
+                            type_name(other)
+                        ),
+                    );
+                }
             }
+        }
+        if diag
+            && options.fixnums
+            && INT_ARITH.contains(&op_name)
+            && is_int(&args[0])
+            && is_int(&args[1])
+        {
+            near_miss(
+                ctx,
+                "fixnum",
+                op_name,
+                span,
+                "Integer arithmetic is overflow-checked; wrapping unsafe-fx \
+                 arithmetic would change semantics (comparisons do specialize)"
+                    .to_string(),
+            );
         }
     }
     if args.len() == 1 {
         let a = &args[0];
         if let Some((_, unsafe_op)) = FL_UNOPS.iter().find(|(g, _)| *g == op_name) {
             if options.floats && is_float(a) {
-                bump();
+                applied(ctx, "float", op_name, unsafe_op, span);
                 return Some(build::app(id(unsafe_op), vec![a.clone()]));
             }
         }
         match op_name {
             "add1" if options.floats && is_float(a) => {
-                bump();
-                return Some(build::app(id("unsafe-fl+"), vec![a.clone(), float_literal_stx(1.0)]));
+                applied(ctx, "float", op_name, "unsafe-fl+", span);
+                return Some(build::app(
+                    id("unsafe-fl+"),
+                    vec![a.clone(), float_literal_stx(1.0)],
+                ));
             }
             "sub1" if options.floats && is_float(a) => {
-                bump();
-                return Some(build::app(id("unsafe-fl-"), vec![a.clone(), float_literal_stx(1.0)]));
+                applied(ctx, "float", op_name, "unsafe-fl-", span);
+                return Some(build::app(
+                    id("unsafe-fl-"),
+                    vec![a.clone(), float_literal_stx(1.0)],
+                ));
             }
             "zero?" if options.floats && is_float(a) => {
-                bump();
-                return Some(build::app(id("unsafe-fl="), vec![a.clone(), float_literal_stx(0.0)]));
+                applied(ctx, "float", op_name, "unsafe-fl=", span);
+                return Some(build::app(
+                    id("unsafe-fl="),
+                    vec![a.clone(), float_literal_stx(0.0)],
+                ));
             }
             "zero?" if options.fixnums && is_int(a) => {
-                bump();
+                applied(ctx, "fixnum", op_name, "unsafe-fx=", span);
                 return Some(build::app(
                     id("unsafe-fx="),
                     vec![a.clone(), build::lst(vec![id("quote"), build::int(0)])],
                 ));
             }
             "magnitude" if options.complexes && is_complex(a) => {
-                bump();
+                applied(ctx, "float-complex", op_name, "unsafe-fcmagnitude", span);
                 return Some(build::app(id("unsafe-fcmagnitude"), vec![a.clone()]));
             }
             "exact->inexact" if options.floats && is_int(a) => {
-                bump();
+                applied(ctx, "float", op_name, "unsafe-fx->fl", span);
                 return Some(build::app(id("unsafe-fx->fl"), vec![a.clone()]));
             }
             "car" | "first" if options.pairs && is_known_pair(a) => {
-                bump();
+                applied(ctx, "pairs", op_name, "unsafe-car", span);
                 return Some(build::app(id("unsafe-car"), vec![a.clone()]));
             }
             "cdr" | "rest" if options.pairs && is_known_pair(a) => {
-                bump();
+                applied(ctx, "pairs", op_name, "unsafe-cdr", span);
                 return Some(build::app(id("unsafe-cdr"), vec![a.clone()]));
             }
             "second" | "cadr" if options.pairs && is_known_pair(a) && pair_depth(a) >= 2 => {
-                bump();
+                applied(ctx, "pairs", op_name, "unsafe-car", span);
                 let cdr = build::app(id("unsafe-cdr"), vec![a.clone()]);
                 return Some(build::app(id("unsafe-car"), vec![cdr]));
             }
             "third" | "caddr" if options.pairs && is_known_pair(a) && pair_depth(a) >= 3 => {
-                bump();
+                applied(ctx, "pairs", op_name, "unsafe-car", span);
                 let cdr = build::app(id("unsafe-cdr"), vec![a.clone()]);
                 let cddr = build::app(id("unsafe-cdr"), vec![cdr]);
                 return Some(build::app(id("unsafe-car"), vec![cddr]));
+            }
+            "car" | "first" | "cdr" | "rest"
+                if diag && options.pairs && matches!(type_of(a), Some(Type::Listof(_))) =>
+            {
+                near_miss(
+                    ctx,
+                    "pairs",
+                    op_name,
+                    span,
+                    format!(
+                        "operand has possibly-empty static type {}; the pair \
+                         tag check cannot be dropped",
+                        type_name(a)
+                    ),
+                );
+            }
+            "second" | "cadr" | "third" | "caddr" if diag && options.pairs && is_known_pair(a) => {
+                near_miss(
+                    ctx,
+                    "pairs",
+                    op_name,
+                    span,
+                    format!(
+                        "known list prefix of {} is too short for {op_name}",
+                        type_name(a)
+                    ),
+                );
             }
             _ => {}
         }
@@ -370,17 +544,28 @@ fn pair_depth_ty(t: &Type) -> usize {
 ///
 /// Returns an error only on malformed core syntax (an internal bug).
 pub fn optimize(tcx: &Tcx, stx: &Syntax) -> Result<Syntax, RtError> {
-    let _ = tcx; // type information rides on the syntax itself
-    optimize_expr(stx, &Options::full())
+    let ctx = Ctx {
+        module: tcx.exp.module_name,
+        options: Options::full(),
+    };
+    note_module(ctx.module);
+    optimize_expr(stx, &ctx)
 }
 
 /// Like [`optimize`] but with a configurable rewrite-family selection —
 /// the ablation hook.
 pub fn optimize_with(options: Options) -> std::rc::Rc<lagoon_typed::OptimizeFn> {
-    Rc::new(move |_tcx: &Tcx, stx: &Syntax| optimize_expr(stx, &options))
+    Rc::new(move |tcx: &Tcx, stx: &Syntax| {
+        let ctx = Ctx {
+            module: tcx.exp.module_name,
+            options,
+        };
+        note_module(ctx.module);
+        optimize_expr(stx, &ctx)
+    })
 }
 
-fn optimize_expr(stx: &Syntax, options: &Options) -> Result<Syntax, RtError> {
+fn optimize_expr(stx: &Syntax, ctx: &Ctx) -> Result<Syntax, RtError> {
     let Some(items) = stx.as_list() else {
         return Ok(stx.clone());
     };
@@ -401,14 +586,14 @@ fn optimize_expr(stx: &Syntax, options: &Options) -> Result<Syntax, RtError> {
                 1
             };
             for e in &items[start..] {
-                out.push(optimize_expr(e, options)?);
+                out.push(optimize_expr(e, ctx)?);
             }
             Ok(rebuilt(out))
         }
         "#%plain-lambda" => {
             let mut out = vec![items[0].clone(), items[1].clone()];
             for e in &items[2..] {
-                out.push(optimize_expr(e, options)?);
+                out.push(optimize_expr(e, ctx)?);
             }
             Ok(rebuilt(out))
         }
@@ -421,7 +606,7 @@ fn optimize_expr(stx: &Syntax, options: &Options) -> Result<Syntax, RtError> {
                             let parts = clause.as_list().unwrap();
                             Ok(clause.with_data(SynData::List(vec![
                                 parts[0].clone(),
-                                optimize_expr(&parts[1], options)?,
+                                optimize_expr(&parts[1], ctx)?,
                             ])))
                         })
                         .collect::<Result<Vec<_>, RtError>>()
@@ -430,29 +615,29 @@ fn optimize_expr(stx: &Syntax, options: &Options) -> Result<Syntax, RtError> {
                 .unwrap_or_default();
             let mut out = vec![items[0].clone(), items[1].with_data(SynData::List(clauses))];
             for e in &items[2..] {
-                out.push(optimize_expr(e, options)?);
+                out.push(optimize_expr(e, ctx)?);
             }
             Ok(rebuilt(out))
         }
         "define-values" => {
             let mut out = vec![items[0].clone(), items[1].clone()];
-            out.push(optimize_expr(&items[2], options)?);
+            out.push(optimize_expr(&items[2], ctx)?);
             Ok(rebuilt(out))
         }
         "#%plain-app" => {
             let op = &items[1];
             let args = items[2..]
                 .iter()
-                .map(|a| optimize_expr(a, options))
+                .map(|a| optimize_expr(a, ctx))
                 .collect::<Result<Vec<_>, _>>()?;
             if let Some(op_sym) = op.sym() {
                 let name = strip_rename(op_sym);
-                if let Some(specialized) = specialize_app(&name, &args, options) {
+                if let Some(specialized) = specialize_app(&name, &args, stx.span(), ctx) {
                     // keep the application's computed type annotation
                     return Ok(specialized.copy_properties_from(stx));
                 }
             }
-            let mut out = vec![items[0].clone(), optimize_expr(op, options)?];
+            let mut out = vec![items[0].clone(), optimize_expr(op, ctx)?];
             out.extend(args);
             Ok(rebuilt(out))
         }
@@ -476,10 +661,34 @@ pub fn register_typed_languages(registry: &Rc<ModuleRegistry>) {
 /// study).
 pub fn register_ablation_languages(registry: &Rc<ModuleRegistry>) {
     let families: [(&str, Options); 4] = [
-        ("typed/only-floats", Options { floats: true, ..Options::none() }),
-        ("typed/only-complexes", Options { complexes: true, ..Options::none() }),
-        ("typed/only-fixnums", Options { fixnums: true, ..Options::none() }),
-        ("typed/only-pairs", Options { pairs: true, ..Options::none() }),
+        (
+            "typed/only-floats",
+            Options {
+                floats: true,
+                ..Options::none()
+            },
+        ),
+        (
+            "typed/only-complexes",
+            Options {
+                complexes: true,
+                ..Options::none()
+            },
+        ),
+        (
+            "typed/only-fixnums",
+            Options {
+                fixnums: true,
+                ..Options::none()
+            },
+        ),
+        (
+            "typed/only-pairs",
+            Options {
+                pairs: true,
+                ..Options::none()
+            },
+        ),
     ];
     for (name, options) in families {
         lagoon_typed::register(registry, name, Some(optimize_with(options)));
@@ -531,7 +740,10 @@ mod tests {
             "#lang typed/lagoon
              (define: (f [x : Integer] [y : Integer]) : Integer (+ x y))",
         );
-        assert!(!out.contains("unsafe-fx+"), "unsafe integer arith in: {out}");
+        assert!(
+            !out.contains("unsafe-fx+"),
+            "unsafe integer arith in: {out}"
+        );
         assert!(!out.contains("unsafe-fl+"), "float rewrite in: {out}");
     }
 
@@ -613,24 +825,20 @@ mod tests {
 
     #[test]
     fn optimized_programs_compute_the_same_results() {
-        let v = run(
-            "#lang typed/lagoon
+        let v = run("#lang typed/lagoon
              (define: (norm [x : Float] [y : Float]) : Float
                (sqrt (+ (* x x) (* y y))))
-             (norm 3.0 4.0)",
-        );
+             (norm 3.0 4.0)");
         assert!(matches!(v, Value::Float(x) if x == 5.0));
 
         // the paper §3.2 Float-Complex loop
-        let v = run(
-            "#lang typed/lagoon
+        let v = run("#lang typed/lagoon
              (define: (count [f : Float-Complex]) : Integer
                (let: loop : Integer ([f : Float-Complex f])
                  (if (< (magnitude f) 0.001)
                      0
                      (add1 (loop (/ f 2.0+2.0i))))))
-             (count 8.0+8.0i)",
-        );
+             (count 8.0+8.0i)");
         assert!(matches!(v, Value::Int(n) if n > 5));
     }
 
@@ -668,6 +876,168 @@ mod tests {
         let unopt_str: String = unopt_code.iter().map(|s| s.to_string()).collect();
         assert!(opt_str.contains("unsafe-fl"));
         assert!(!unopt_str.contains("unsafe-fl"));
+    }
+}
+
+#[cfg(test)]
+mod decision_log_tests {
+    use super::*;
+    use lagoon_core::ModuleRegistry;
+    use lagoon_diag::{Collector, Event};
+
+    /// Expands `src` as module `main` with a collector installed and
+    /// returns the recorded events.
+    fn events_for(src: &str) -> Vec<Event> {
+        let reg = ModuleRegistry::new();
+        register_typed_languages(&reg);
+        reg.add_module("main", src);
+        let collector = Collector::install();
+        let result = reg.expanded_body("main");
+        lagoon_diag::uninstall();
+        result.unwrap();
+        collector.events()
+    }
+
+    fn rewrites(events: &[Event]) -> Vec<(&'static str, String, &'static str, u32)> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Rewrite {
+                    family,
+                    op,
+                    rule,
+                    span,
+                    ..
+                } => Some((*family, op.clone(), *rule, span.line)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn near_misses(events: &[Event]) -> Vec<(&'static str, String, String, u32)> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                Event::NearMiss {
+                    family,
+                    op,
+                    reason,
+                    span,
+                    ..
+                } => Some((*family, op.clone(), reason.clone(), span.line)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn float_rewrite_logs_one_event_with_span() {
+        let events =
+            events_for("#lang typed/lagoon\n(define: (f [x : Float] [y : Float]) : Float (+ x y))");
+        let rs = rewrites(&events);
+        assert_eq!(rs.len(), 1, "expected exactly one rewrite: {rs:?}");
+        let (family, op, rule, line) = &rs[0];
+        assert_eq!(*family, "float");
+        assert_eq!(op, "+");
+        assert_eq!(*rule, "unsafe-fl+");
+        assert_eq!(*line, 2, "span should point at the source line");
+    }
+
+    #[test]
+    fn fixnum_comparison_logs_one_event() {
+        let events =
+            events_for("#lang typed/lagoon\n(define: (f [x : Integer]) : Boolean (< x 10))");
+        let rs = rewrites(&events);
+        assert_eq!(rs.len(), 1, "{rs:?}");
+        assert_eq!(rs[0].0, "fixnum");
+        assert_eq!(rs[0].2, "unsafe-fx<");
+        assert_eq!(rs[0].3, 2);
+    }
+
+    #[test]
+    fn float_complex_rewrite_logs_one_event() {
+        let events = events_for(
+            "#lang typed/lagoon\n(define: (f [z : Float-Complex]) : Float-Complex (* z 2.0+2.0i))",
+        );
+        let rs = rewrites(&events);
+        assert_eq!(rs.len(), 1, "{rs:?}");
+        assert_eq!(rs[0].0, "float-complex");
+        assert_eq!(rs[0].2, "unsafe-fc*");
+        assert_eq!(rs[0].3, 2);
+    }
+
+    #[test]
+    fn tag_check_elimination_logs_one_event() {
+        let events = events_for(
+            "#lang typed/lagoon\n(define: (f [p : (List Integer Integer)]) : Integer (first p))",
+        );
+        let rs = rewrites(&events);
+        assert_eq!(rs.len(), 1, "{rs:?}");
+        assert_eq!(rs[0].0, "pairs");
+        assert_eq!(rs[0].2, "unsafe-car");
+        assert_eq!(rs[0].3, 2);
+    }
+
+    #[test]
+    fn mixed_type_arithmetic_logs_a_near_miss_with_reason() {
+        let events = events_for(
+            "#lang typed/lagoon\n(define: (f [x : Float] [y : Number]) : Number (+ x y))",
+        );
+        assert!(rewrites(&events).is_empty());
+        let ns = near_misses(&events);
+        assert_eq!(ns.len(), 1, "{ns:?}");
+        let (family, op, reason, line) = &ns[0];
+        assert_eq!(*family, "float");
+        assert_eq!(op, "+");
+        assert!(
+            reason.contains("Number"),
+            "reason should name the type: {reason}"
+        );
+        assert_eq!(*line, 2);
+    }
+
+    #[test]
+    fn possibly_empty_listof_logs_a_near_miss() {
+        let events = events_for(
+            "#lang typed/lagoon\n(define: (f [l : (Listof Integer)]) : Integer (car l))",
+        );
+        assert!(rewrites(&events).is_empty());
+        let ns = near_misses(&events);
+        assert_eq!(ns.len(), 1, "{ns:?}");
+        assert_eq!(ns[0].0, "pairs");
+        assert!(ns[0].2.contains("Listof"), "{}", ns[0].2);
+    }
+
+    #[test]
+    fn integer_arithmetic_logs_overflow_near_miss() {
+        let events = events_for(
+            "#lang typed/lagoon\n(define: (f [x : Integer] [y : Integer]) : Integer (+ x y))",
+        );
+        assert!(rewrites(&events).is_empty());
+        let ns = near_misses(&events);
+        assert_eq!(ns.len(), 1, "{ns:?}");
+        assert_eq!(ns[0].0, "fixnum");
+        assert!(ns[0].2.contains("overflow"), "{}", ns[0].2);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_counter_resets_per_module() {
+        let reg = ModuleRegistry::new();
+        register_typed_languages(&reg);
+        reg.add_module(
+            "a",
+            "#lang typed/lagoon\n(define: (f [x : Float] [y : Float]) : Float (+ x y))",
+        );
+        reg.add_module(
+            "b",
+            "#lang typed/lagoon\n(define: (g [x : Float]) : Float (* x x))",
+        );
+        reg.expanded_body("a").unwrap();
+        let after_a = rewrite_count();
+        assert_eq!(after_a, 1);
+        reg.expanded_body("b").unwrap();
+        assert_eq!(rewrite_count(), 1, "count must reset between modules");
     }
 }
 

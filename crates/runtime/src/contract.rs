@@ -90,9 +90,7 @@ impl Contract {
                 _ => false,
             },
             Contract::VectorOf(inner) => match v {
-                Value::Vector(items) => {
-                    items.borrow().iter().all(|x| inner.check_first_order(x))
-                }
+                Value::Vector(items) => items.borrow().iter().all(|x| inner.check_first_order(x)),
                 _ => false,
             },
             Contract::Function(_, _) => v.is_procedure(),
@@ -170,6 +168,7 @@ pub fn apply_contract(
             })))
         }
         flat => {
+            lagoon_diag::count("contract-flat-checks", positive, 1);
             if flat.check_first_order(&value) {
                 Ok(value)
             } else {

@@ -45,10 +45,7 @@ pub fn capture_output<R>(f: impl FnOnce() -> R) -> (R, String) {
 /// # Errors
 ///
 /// Returns a message if directives and arguments don't line up.
-pub fn racket_format(
-    fmt: &str,
-    args: &[crate::value::Value],
-) -> Result<String, String> {
+pub fn racket_format(fmt: &str, args: &[crate::value::Value]) -> Result<String, String> {
     let mut out = String::new();
     let mut chars = fmt.chars().peekable();
     let mut next_arg = 0usize;

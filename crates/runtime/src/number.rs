@@ -136,9 +136,7 @@ pub fn num_eq(a: &Value, b: &Value) -> Result<bool, RtError> {
 /// `quotient` on integers.
 pub fn quotient(a: &Value, b: &Value) -> Result<Value, RtError> {
     match (a, b) {
-        (Value::Int(_), Value::Int(0)) => {
-            Err(RtError::new(Kind::DivideByZero, "quotient by zero"))
-        }
+        (Value::Int(_), Value::Int(0)) => Err(RtError::new(Kind::DivideByZero, "quotient by zero")),
         (Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_div(*y))),
         _ => Err(RtError::type_error(format!(
             "quotient: expected integers, got {} and {}",
@@ -165,7 +163,11 @@ pub fn modulo(a: &Value, b: &Value) -> Result<Value, RtError> {
         (Value::Int(_), Value::Int(0)) => Err(RtError::new(Kind::DivideByZero, "modulo by zero")),
         (Value::Int(x), Value::Int(y)) => {
             let r = x.wrapping_rem(*y);
-            let m = if r != 0 && (r < 0) != (*y < 0) { r + y } else { r };
+            let m = if r != 0 && (r < 0) != (*y < 0) {
+                r + y
+            } else {
+                r
+            };
             Ok(Value::Int(m))
         }
         _ => Err(RtError::type_error("modulo: expected integers")),
@@ -246,7 +248,12 @@ pub fn float_unary(op: &str, v: &Value) -> Result<Value, RtError> {
         "atan" => x.atan(),
         "log" => x.ln(),
         "exp" => x.exp(),
-        _ => return Err(RtError::new(Kind::Internal, format!("unknown float op {op}"))),
+        _ => {
+            return Err(RtError::new(
+                Kind::Internal,
+                format!("unknown float op {op}"),
+            ))
+        }
     };
     Ok(Value::Float(y))
 }
@@ -291,7 +298,12 @@ pub fn round_family(op: &str, v: &Value) -> Result<Value, RtError> {
                 }
             }
             "truncate" => x.trunc(),
-            _ => return Err(RtError::new(Kind::Internal, format!("unknown rounding {op}"))),
+            _ => {
+                return Err(RtError::new(
+                    Kind::Internal,
+                    format!("unknown rounding {op}"),
+                ))
+            }
         })),
         other => Err(not_number(op, other)),
     }
@@ -355,8 +367,14 @@ mod tests {
 
     #[test]
     fn overflow_is_an_error() {
-        assert_eq!(add(&int(i64::MAX), &int(1)).unwrap_err().kind, Kind::Overflow);
-        assert_eq!(mul(&int(i64::MAX), &int(2)).unwrap_err().kind, Kind::Overflow);
+        assert_eq!(
+            add(&int(i64::MAX), &int(1)).unwrap_err().kind,
+            Kind::Overflow
+        );
+        assert_eq!(
+            mul(&int(i64::MAX), &int(2)).unwrap_err().kind,
+            Kind::Overflow
+        );
     }
 
     #[test]
@@ -387,15 +405,23 @@ mod tests {
     fn sqrt_tower() {
         assert!(matches!(sqrt(&int(9)).unwrap(), Value::Int(3)));
         assert!(matches!(sqrt(&int(2)).unwrap(), Value::Float(_)));
-        assert!(matches!(sqrt(&int(-4)).unwrap(), Value::Complex(re, im) if re == 0.0 && im == 2.0));
+        assert!(
+            matches!(sqrt(&int(-4)).unwrap(), Value::Complex(re, im) if re == 0.0 && im == 2.0)
+        );
         assert!(matches!(sqrt(&fl(2.25)).unwrap(), Value::Float(x) if x == 1.5));
     }
 
     #[test]
     fn quotient_remainder_modulo() {
         assert!(matches!(quotient(&int(7), &int(2)).unwrap(), Value::Int(3)));
-        assert!(matches!(remainder(&int(7), &int(2)).unwrap(), Value::Int(1)));
-        assert!(matches!(remainder(&int(-7), &int(2)).unwrap(), Value::Int(-1)));
+        assert!(matches!(
+            remainder(&int(7), &int(2)).unwrap(),
+            Value::Int(1)
+        ));
+        assert!(matches!(
+            remainder(&int(-7), &int(2)).unwrap(),
+            Value::Int(-1)
+        ));
         assert!(matches!(modulo(&int(-7), &int(2)).unwrap(), Value::Int(1)));
         assert!(matches!(modulo(&int(7), &int(-2)).unwrap(), Value::Int(-1)));
         assert!(quotient(&int(1), &int(0)).is_err());
@@ -405,7 +431,10 @@ mod tests {
     fn expt_exactness() {
         assert!(matches!(expt(&int(2), &int(10)).unwrap(), Value::Int(1024)));
         assert!(matches!(expt(&int(2), &fl(0.5)).unwrap(), Value::Float(_)));
-        assert_eq!(expt(&int(i64::MAX), &int(2)).unwrap_err().kind, Kind::Overflow);
+        assert_eq!(
+            expt(&int(i64::MAX), &int(2)).unwrap_err().kind,
+            Kind::Overflow
+        );
     }
 
     #[test]
@@ -414,7 +443,9 @@ mod tests {
         assert!(matches!(round_family("ceiling", &fl(2.2)).unwrap(), Value::Float(x) if x == 3.0));
         assert!(matches!(round_family("round", &fl(2.5)).unwrap(), Value::Float(x) if x == 2.0));
         assert!(matches!(round_family("round", &fl(3.5)).unwrap(), Value::Float(x) if x == 4.0));
-        assert!(matches!(round_family("truncate", &fl(-2.7)).unwrap(), Value::Float(x) if x == -2.0));
+        assert!(
+            matches!(round_family("truncate", &fl(-2.7)).unwrap(), Value::Float(x) if x == -2.0)
+        );
     }
 
     #[test]

@@ -42,15 +42,55 @@ fn chain_compare(
 }
 
 pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
-    def(out, "+", Arity::at_least(0), fold_variadic("+", Value::Int(0), number::add));
-    def(out, "-", Arity::at_least(1), fold_variadic("-", Value::Int(0), number::sub));
-    def(out, "*", Arity::at_least(0), fold_variadic("*", Value::Int(1), number::mul));
-    def(out, "/", Arity::at_least(1), fold_variadic("/", Value::Int(1), number::div));
+    def(
+        out,
+        "+",
+        Arity::at_least(0),
+        fold_variadic("+", Value::Int(0), number::add),
+    );
+    def(
+        out,
+        "-",
+        Arity::at_least(1),
+        fold_variadic("-", Value::Int(0), number::sub),
+    );
+    def(
+        out,
+        "*",
+        Arity::at_least(0),
+        fold_variadic("*", Value::Int(1), number::mul),
+    );
+    def(
+        out,
+        "/",
+        Arity::at_least(1),
+        fold_variadic("/", Value::Int(1), number::div),
+    );
 
-    def(out, "<", Arity::at_least(2), chain_compare("<", Ordering::is_lt));
-    def(out, "<=", Arity::at_least(2), chain_compare("<=", Ordering::is_le));
-    def(out, ">", Arity::at_least(2), chain_compare(">", Ordering::is_gt));
-    def(out, ">=", Arity::at_least(2), chain_compare(">=", Ordering::is_ge));
+    def(
+        out,
+        "<",
+        Arity::at_least(2),
+        chain_compare("<", Ordering::is_lt),
+    );
+    def(
+        out,
+        "<=",
+        Arity::at_least(2),
+        chain_compare("<=", Ordering::is_le),
+    );
+    def(
+        out,
+        ">",
+        Arity::at_least(2),
+        chain_compare(">", Ordering::is_gt),
+    );
+    def(
+        out,
+        ">=",
+        Arity::at_least(2),
+        chain_compare(">=", Ordering::is_ge),
+    );
     def(out, "=", Arity::at_least(2), |args| {
         for w in args.windows(2) {
             if !number::num_eq(&w[0], &w[1])? {
@@ -102,7 +142,9 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
         number::modulo(&args[0], &args[1])
     });
 
-    def(out, "sqrt", Arity::exactly(1), |args| number::sqrt(&args[0]));
+    def(out, "sqrt", Arity::exactly(1), |args| {
+        number::sqrt(&args[0])
+    });
     def(out, "expt", Arity::exactly(2), |args| {
         number::expt(&args[0], &args[1])
     });
@@ -150,7 +192,11 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
             Value::Int(n) => *n == 0,
             Value::Float(x) => *x == 0.0,
             Value::Complex(re, im) => *re == 0.0 && *im == 0.0,
-            v => return Err(RtError::type_error(format!("zero?: expected number, got {v}"))),
+            v => {
+                return Err(RtError::type_error(format!(
+                    "zero?: expected number, got {v}"
+                )))
+            }
         }))
     });
     def(out, "positive?", Arity::exactly(1), |args| {
@@ -165,11 +211,15 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
     });
     def(out, "even?", Arity::exactly(1), |args| match &args[0] {
         Value::Int(n) => Ok(Value::Bool(n % 2 == 0)),
-        v => Err(RtError::type_error(format!("even?: expected integer, got {v}"))),
+        v => Err(RtError::type_error(format!(
+            "even?: expected integer, got {v}"
+        ))),
     });
     def(out, "odd?", Arity::exactly(1), |args| match &args[0] {
         Value::Int(n) => Ok(Value::Bool(n % 2 != 0)),
-        v => Err(RtError::type_error(format!("odd?: expected integer, got {v}"))),
+        v => Err(RtError::type_error(format!(
+            "odd?: expected integer, got {v}"
+        ))),
     });
 
     def(out, "number?", Arity::exactly(1), |args| {
@@ -192,7 +242,10 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
         Ok(Value::Bool(matches!(args[0], Value::Float(_))))
     });
     def(out, "real?", Arity::exactly(1), |args| {
-        Ok(Value::Bool(matches!(args[0], Value::Int(_) | Value::Float(_))))
+        Ok(Value::Bool(matches!(
+            args[0],
+            Value::Int(_) | Value::Float(_)
+        )))
     });
     def(out, "exact?", Arity::exactly(1), |args| {
         Ok(Value::Bool(matches!(args[0], Value::Int(_))))
@@ -220,13 +273,17 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
     def(out, "real-part", Arity::exactly(1), |args| match &args[0] {
         Value::Complex(re, _) => Ok(Value::Float(*re)),
         Value::Int(_) | Value::Float(_) => Ok(args[0].clone()),
-        v => Err(RtError::type_error(format!("real-part: expected number, got {v}"))),
+        v => Err(RtError::type_error(format!(
+            "real-part: expected number, got {v}"
+        ))),
     });
     def(out, "imag-part", Arity::exactly(1), |args| match &args[0] {
         Value::Complex(_, im) => Ok(Value::Float(*im)),
         Value::Int(_) => Ok(Value::Int(0)),
         Value::Float(_) => Ok(Value::Float(0.0)),
-        v => Err(RtError::type_error(format!("imag-part: expected number, got {v}"))),
+        v => Err(RtError::type_error(format!(
+            "imag-part: expected number, got {v}"
+        ))),
     });
 }
 
@@ -251,7 +308,10 @@ mod tests {
     #[test]
     fn variadic_addition() {
         assert!(matches!(call("+", &[]).unwrap(), Value::Int(0)));
-        assert!(matches!(call("+", &[Value::Int(5)]).unwrap(), Value::Int(5)));
+        assert!(matches!(
+            call("+", &[Value::Int(5)]).unwrap(),
+            Value::Int(5)
+        ));
         assert!(matches!(
             call("+", &[Value::Int(1), Value::Int(2), Value::Int(3)]).unwrap(),
             Value::Int(6)
@@ -260,7 +320,10 @@ mod tests {
 
     #[test]
     fn unary_minus_negates() {
-        assert!(matches!(call("-", &[Value::Int(5)]).unwrap(), Value::Int(-5)));
+        assert!(matches!(
+            call("-", &[Value::Int(5)]).unwrap(),
+            Value::Int(-5)
+        ));
         assert!(matches!(call("/", &[Value::Int(4)]).unwrap(), Value::Float(x) if x == 0.25));
     }
 
@@ -280,15 +343,21 @@ mod tests {
         assert!(call("flonum?", &[Value::Float(1.0)]).unwrap().is_truthy());
         assert!(!call("flonum?", &[Value::Int(1)]).unwrap().is_truthy());
         assert!(call("integer?", &[Value::Float(2.0)]).unwrap().is_truthy());
-        assert!(call("exact-integer?", &[Value::Int(2)]).unwrap().is_truthy());
-        assert!(!call("exact-integer?", &[Value::Float(2.0)]).unwrap().is_truthy());
+        assert!(call("exact-integer?", &[Value::Int(2)])
+            .unwrap()
+            .is_truthy());
+        assert!(!call("exact-integer?", &[Value::Float(2.0)])
+            .unwrap()
+            .is_truthy());
     }
 
     #[test]
     fn complex_constructors() {
         let c = call("make-rectangular", &[Value::Float(1.0), Value::Float(2.0)]).unwrap();
         assert!(matches!(c, Value::Complex(1.0, 2.0)));
-        assert!(matches!(call("real-part", &[c.clone()]).unwrap(), Value::Float(x) if x == 1.0));
+        assert!(
+            matches!(call("real-part", std::slice::from_ref(&c)).unwrap(), Value::Float(x) if x == 1.0)
+        );
         assert!(matches!(call("imag-part", &[c]).unwrap(), Value::Float(x) if x == 2.0));
     }
 

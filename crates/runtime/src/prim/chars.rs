@@ -21,12 +21,22 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
     def(out, "char->integer", Arity::exactly(1), |args| {
         Ok(Value::Int(expect_char("char->integer", &args[0])? as i64))
     });
-    def(out, "integer->char", Arity::exactly(1), |args| match &args[0] {
-        Value::Int(n) => char::from_u32(*n as u32).map(Value::Char).ok_or_else(|| {
-            RtError::new(crate::error::Kind::Range, format!("integer->char: {n} is not a scalar value"))
-        }),
-        v => Err(RtError::type_error(format!("integer->char: expected integer, got {v}"))),
-    });
+    def(
+        out,
+        "integer->char",
+        Arity::exactly(1),
+        |args| match &args[0] {
+            Value::Int(n) => char::from_u32(*n as u32).map(Value::Char).ok_or_else(|| {
+                RtError::new(
+                    crate::error::Kind::Range,
+                    format!("integer->char: {n} is not a scalar value"),
+                )
+            }),
+            v => Err(RtError::type_error(format!(
+                "integer->char: expected integer, got {v}"
+            ))),
+        },
+    );
     def(out, "char=?", Arity::at_least(2), |args| {
         for w in args.windows(2) {
             if expect_char("char=?", &w[0])? != expect_char("char=?", &w[1])? {
@@ -41,13 +51,19 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
         ))
     });
     def(out, "char-alphabetic?", Arity::exactly(1), |args| {
-        Ok(Value::Bool(expect_char("char-alphabetic?", &args[0])?.is_alphabetic()))
+        Ok(Value::Bool(
+            expect_char("char-alphabetic?", &args[0])?.is_alphabetic(),
+        ))
     });
     def(out, "char-numeric?", Arity::exactly(1), |args| {
-        Ok(Value::Bool(expect_char("char-numeric?", &args[0])?.is_numeric()))
+        Ok(Value::Bool(
+            expect_char("char-numeric?", &args[0])?.is_numeric(),
+        ))
     });
     def(out, "char-whitespace?", Arity::exactly(1), |args| {
-        Ok(Value::Bool(expect_char("char-whitespace?", &args[0])?.is_whitespace()))
+        Ok(Value::Bool(
+            expect_char("char-whitespace?", &args[0])?.is_whitespace(),
+        ))
     });
     def(out, "char-upcase", Arity::exactly(1), |args| {
         Ok(Value::Char(
@@ -69,7 +85,10 @@ mod tests {
 
     fn call(name: &str, args: &[Value]) -> Result<Value, crate::error::RtError> {
         let prims = primitives();
-        let (_, v) = prims.iter().find(|(n, _)| *n == Symbol::from(name)).unwrap();
+        let (_, v) = prims
+            .iter()
+            .find(|(n, _)| *n == Symbol::from(name))
+            .unwrap();
         match v {
             Value::Native(n) => (n.f)(args),
             _ => unreachable!(),
@@ -78,22 +97,38 @@ mod tests {
 
     #[test]
     fn char_integer_round_trip() {
-        assert!(matches!(call("char->integer", &[Value::Char('A')]).unwrap(), Value::Int(65)));
-        assert!(matches!(call("integer->char", &[Value::Int(97)]).unwrap(), Value::Char('a')));
+        assert!(matches!(
+            call("char->integer", &[Value::Char('A')]).unwrap(),
+            Value::Int(65)
+        ));
+        assert!(matches!(
+            call("integer->char", &[Value::Int(97)]).unwrap(),
+            Value::Char('a')
+        ));
         assert!(call("integer->char", &[Value::Int(-1)]).is_err());
     }
 
     #[test]
     fn classification() {
-        assert!(call("char-alphabetic?", &[Value::Char('x')]).unwrap().is_truthy());
-        assert!(call("char-numeric?", &[Value::Char('7')]).unwrap().is_truthy());
-        assert!(call("char-whitespace?", &[Value::Char(' ')]).unwrap().is_truthy());
+        assert!(call("char-alphabetic?", &[Value::Char('x')])
+            .unwrap()
+            .is_truthy());
+        assert!(call("char-numeric?", &[Value::Char('7')])
+            .unwrap()
+            .is_truthy());
+        assert!(call("char-whitespace?", &[Value::Char(' ')])
+            .unwrap()
+            .is_truthy());
     }
 
     #[test]
     fn comparisons() {
-        assert!(call("char=?", &[Value::Char('a'), Value::Char('a')]).unwrap().is_truthy());
-        assert!(call("char<?", &[Value::Char('a'), Value::Char('b')]).unwrap().is_truthy());
+        assert!(call("char=?", &[Value::Char('a'), Value::Char('a')])
+            .unwrap()
+            .is_truthy());
+        assert!(call("char<?", &[Value::Char('a'), Value::Char('b')])
+            .unwrap()
+            .is_truthy());
         assert!(call("char=?", &[Value::Int(1), Value::Char('a')]).is_err());
     }
 }

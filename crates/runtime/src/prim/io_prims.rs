@@ -52,7 +52,10 @@ mod tests {
 
     fn call(name: &str, args: &[Value]) -> Result<Value, crate::error::RtError> {
         let prims = primitives();
-        let (_, v) = prims.iter().find(|(n, _)| *n == Symbol::from(name)).unwrap();
+        let (_, v) = prims
+            .iter()
+            .find(|(n, _)| *n == Symbol::from(name))
+            .unwrap();
         match v {
             Value::Native(n) => (n.f)(args),
             _ => unreachable!(),

@@ -25,16 +25,24 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
         Ok(expect_pair("cdr", &args[0])?.1.clone())
     });
     def(out, "caar", Arity::exactly(1), |args| {
-        Ok(expect_pair("caar", &expect_pair("caar", &args[0])?.0)?.0.clone())
+        Ok(expect_pair("caar", &expect_pair("caar", &args[0])?.0)?
+            .0
+            .clone())
     });
     def(out, "cadr", Arity::exactly(1), |args| {
-        Ok(expect_pair("cadr", &expect_pair("cadr", &args[0])?.1)?.0.clone())
+        Ok(expect_pair("cadr", &expect_pair("cadr", &args[0])?.1)?
+            .0
+            .clone())
     });
     def(out, "cdar", Arity::exactly(1), |args| {
-        Ok(expect_pair("cdar", &expect_pair("cdar", &args[0])?.0)?.1.clone())
+        Ok(expect_pair("cdar", &expect_pair("cdar", &args[0])?.0)?
+            .1
+            .clone())
     });
     def(out, "cddr", Arity::exactly(1), |args| {
-        Ok(expect_pair("cddr", &expect_pair("cddr", &args[0])?.1)?.1.clone())
+        Ok(expect_pair("cddr", &expect_pair("cddr", &args[0])?.1)?
+            .1
+            .clone())
     });
     def(out, "caddr", Arity::exactly(1), |args| {
         let cdr = expect_pair("caddr", &args[0])?.1.clone();
@@ -57,7 +65,10 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
     });
     def(out, "length", Arity::exactly(1), |args| {
         let items = args[0].list_to_vec().ok_or_else(|| {
-            RtError::type_error(format!("length: expected list, got {}", args[0].write_string()))
+            RtError::type_error(format!(
+                "length: expected list, got {}",
+                args[0].write_string()
+            ))
         })?;
         Ok(Value::Int(items.len() as i64))
     });
@@ -142,12 +153,24 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
         Ok(items.last().unwrap().clone())
     });
 
-    def(out, "memq", Arity::exactly(2), |args| member_by(args, Value::eq_identity));
-    def(out, "memv", Arity::exactly(2), |args| member_by(args, Value::eqv));
-    def(out, "member", Arity::exactly(2), |args| member_by(args, Value::equal));
-    def(out, "assq", Arity::exactly(2), |args| assoc_by(args, Value::eq_identity));
-    def(out, "assv", Arity::exactly(2), |args| assoc_by(args, Value::eqv));
-    def(out, "assoc", Arity::exactly(2), |args| assoc_by(args, Value::equal));
+    def(out, "memq", Arity::exactly(2), |args| {
+        member_by(args, Value::eq_identity)
+    });
+    def(out, "memv", Arity::exactly(2), |args| {
+        member_by(args, Value::eqv)
+    });
+    def(out, "member", Arity::exactly(2), |args| {
+        member_by(args, Value::equal)
+    });
+    def(out, "assq", Arity::exactly(2), |args| {
+        assoc_by(args, Value::eq_identity)
+    });
+    def(out, "assv", Arity::exactly(2), |args| {
+        assoc_by(args, Value::eqv)
+    });
+    def(out, "assoc", Arity::exactly(2), |args| {
+        assoc_by(args, Value::equal)
+    });
 }
 
 fn member_by(args: &[Value], eq: fn(&Value, &Value) -> bool) -> Result<Value, RtError> {
@@ -203,7 +226,10 @@ mod tests {
 
     fn call(name: &str, args: &[Value]) -> Result<Value, crate::error::RtError> {
         let prims = primitives();
-        let (_, v) = prims.iter().find(|(n, _)| *n == Symbol::from(name)).unwrap();
+        let (_, v) = prims
+            .iter()
+            .find(|(n, _)| *n == Symbol::from(name))
+            .unwrap();
         match v {
             Value::Native(n) => (n.f)(args),
             _ => unreachable!(),
@@ -217,7 +243,10 @@ mod tests {
     #[test]
     fn cons_car_cdr() {
         let p = call("cons", &[Value::Int(1), Value::Int(2)]).unwrap();
-        assert!(matches!(call("car", &[p.clone()]).unwrap(), Value::Int(1)));
+        assert!(matches!(
+            call("car", std::slice::from_ref(&p)).unwrap(),
+            Value::Int(1)
+        ));
         assert!(matches!(call("cdr", &[p]).unwrap(), Value::Int(2)));
         assert!(call("car", &[Value::Int(7)]).is_err());
     }
@@ -225,11 +254,26 @@ mod tests {
     #[test]
     fn list_accessors() {
         let l = ilist(&[10, 20, 30]);
-        assert!(matches!(call("length", &[l.clone()]).unwrap(), Value::Int(3)));
-        assert!(matches!(call("first", &[l.clone()]).unwrap(), Value::Int(10)));
-        assert!(matches!(call("second", &[l.clone()]).unwrap(), Value::Int(20)));
-        assert!(matches!(call("third", &[l.clone()]).unwrap(), Value::Int(30)));
-        assert!(matches!(call("last", &[l.clone()]).unwrap(), Value::Int(30)));
+        assert!(matches!(
+            call("length", std::slice::from_ref(&l)).unwrap(),
+            Value::Int(3)
+        ));
+        assert!(matches!(
+            call("first", std::slice::from_ref(&l)).unwrap(),
+            Value::Int(10)
+        ));
+        assert!(matches!(
+            call("second", std::slice::from_ref(&l)).unwrap(),
+            Value::Int(20)
+        ));
+        assert!(matches!(
+            call("third", std::slice::from_ref(&l)).unwrap(),
+            Value::Int(30)
+        ));
+        assert!(matches!(
+            call("last", std::slice::from_ref(&l)).unwrap(),
+            Value::Int(30)
+        ));
         assert!(matches!(
             call("list-ref", &[l.clone(), Value::Int(1)]).unwrap(),
             Value::Int(20)
@@ -262,7 +306,10 @@ mod tests {
             Value::cons(Value::Symbol(Symbol::from("b")), Value::Int(2)),
         ]);
         let hit = call("assq", &[Value::Symbol(Symbol::from("b")), alist.clone()]).unwrap();
-        assert!(hit.equal(&Value::cons(Value::Symbol(Symbol::from("b")), Value::Int(2))));
+        assert!(hit.equal(&Value::cons(
+            Value::Symbol(Symbol::from("b")),
+            Value::Int(2)
+        )));
         let miss = call("assq", &[Value::Symbol(Symbol::from("z")), alist]).unwrap();
         assert!(!miss.is_truthy());
     }

@@ -79,28 +79,41 @@ pub(super) fn install(out: &mut Vec<(Symbol, Value)>) {
             .unwrap_or(0);
         Ok(Value::Int(secs))
     });
-    def(out, "current-inexact-milliseconds", Arity::exactly(0), |_| {
-        let ms = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_secs_f64() * 1000.0)
-            .unwrap_or(0.0);
-        Ok(Value::Float(ms))
-    });
+    def(
+        out,
+        "current-inexact-milliseconds",
+        Arity::exactly(0),
+        |_| {
+            let ms = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs_f64() * 1000.0)
+                .unwrap_or(0.0);
+            Ok(Value::Float(ms))
+        },
+    );
 
-    def(out, "random", Arity::at_least(0), |args| match args.first() {
-        None => Ok(Value::Float((next_u64() >> 11) as f64 / (1u64 << 53) as f64)),
-        Some(Value::Int(n)) if *n > 0 => Ok(Value::Int((next_u64() % (*n as u64)) as i64)),
-        Some(v) => Err(RtError::type_error(format!(
-            "random: expected positive integer, got {}",
-            v.write_string()
-        ))),
-    });
-    def(out, "random-seed", Arity::exactly(1), |args| match &args[0] {
-        Value::Int(n) => {
-            RNG.with(|state| state.set((*n as u64) | 1));
-            Ok(Value::Void)
+    def(out, "random", Arity::at_least(0), |args| {
+        match args.first() {
+            None => Ok(Value::Float(
+                (next_u64() >> 11) as f64 / (1u64 << 53) as f64,
+            )),
+            Some(Value::Int(n)) if *n > 0 => Ok(Value::Int((next_u64() % (*n as u64)) as i64)),
+            Some(v) => Err(RtError::type_error(format!(
+                "random: expected positive integer, got {}",
+                v.write_string()
+            ))),
         }
-        v => Err(RtError::type_error(format!("random-seed: expected integer, got {v}"))),
+    });
+    def(out, "random-seed", Arity::exactly(1), |args| {
+        match &args[0] {
+            Value::Int(n) => {
+                RNG.with(|state| state.set((*n as u64) | 1));
+                Ok(Value::Void)
+            }
+            v => Err(RtError::type_error(format!(
+                "random-seed: expected integer, got {v}"
+            ))),
+        }
     });
 }
 
@@ -112,7 +125,10 @@ mod tests {
 
     fn call(name: &str, args: &[Value]) -> Result<Value, crate::error::RtError> {
         let prims = primitives();
-        let (_, v) = prims.iter().find(|(n, _)| *n == Symbol::from(name)).unwrap();
+        let (_, v) = prims
+            .iter()
+            .find(|(n, _)| *n == Symbol::from(name))
+            .unwrap();
         match v {
             Value::Native(n) => (n.f)(args),
             _ => unreachable!(),

@@ -43,7 +43,10 @@ pub(crate) fn def(
     arity: crate::value::Arity,
     f: impl Fn(&[Value]) -> Result<Value, crate::error::RtError> + 'static,
 ) {
-    out.push((Symbol::intern(name), crate::value::Native::value(name, arity, f)));
+    out.push((
+        Symbol::intern(name),
+        crate::value::Native::value(name, arity, f),
+    ));
 }
 
 #[cfg(test)]
@@ -57,7 +60,10 @@ mod tests {
         for (name, _) in &prims {
             assert!(seen.insert(*name), "duplicate primitive {name}");
         }
-        assert!(prims.len() > 100, "expected a substantial primitive library");
+        assert!(
+            prims.len() > 100,
+            "expected a substantial primitive library"
+        );
     }
 
     #[test]

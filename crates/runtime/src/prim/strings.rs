@@ -22,7 +22,9 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
         Ok(Value::Bool(matches!(args[0], Value::Str(_))))
     });
     def(out, "string-length", Arity::exactly(1), |args| {
-        Ok(Value::Int(expect_str("string-length", &args[0])?.chars().count() as i64))
+        Ok(Value::Int(
+            expect_str("string-length", &args[0])?.chars().count() as i64,
+        ))
     });
     def(out, "string-append", Arity::at_least(0), |args| {
         let mut s = String::new();
@@ -46,7 +48,10 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
         if start > end || end > chars.len() {
             return Err(RtError::new(
                 crate::error::Kind::Range,
-                format!("substring: [{start}, {end}) out of range for length {}", chars.len()),
+                format!(
+                    "substring: [{start}, {end}) out of range for length {}",
+                    chars.len()
+                ),
             ));
         }
         Ok(Value::string(&chars[start..end].iter().collect::<String>()))
@@ -58,7 +63,10 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
             v => return Err(RtError::type_error(format!("string-ref: bad index {v}"))),
         };
         s.chars().nth(n).map(Value::Char).ok_or_else(|| {
-            RtError::new(crate::error::Kind::Range, format!("string-ref: index {n} out of range"))
+            RtError::new(
+                crate::error::Kind::Range,
+                format!("string-ref: index {n} out of range"),
+            )
         })
     });
     def(out, "string=?", Arity::at_least(2), |args| {
@@ -75,18 +83,32 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
         ))
     });
     def(out, "string-upcase", Arity::exactly(1), |args| {
-        Ok(Value::string(&expect_str("string-upcase", &args[0])?.to_uppercase()))
+        Ok(Value::string(
+            &expect_str("string-upcase", &args[0])?.to_uppercase(),
+        ))
     });
     def(out, "string-downcase", Arity::exactly(1), |args| {
-        Ok(Value::string(&expect_str("string-downcase", &args[0])?.to_lowercase()))
+        Ok(Value::string(
+            &expect_str("string-downcase", &args[0])?.to_lowercase(),
+        ))
     });
     def(out, "string->symbol", Arity::exactly(1), |args| {
-        Ok(Value::Symbol(Symbol::intern(&expect_str("string->symbol", &args[0])?)))
+        Ok(Value::Symbol(Symbol::intern(&expect_str(
+            "string->symbol",
+            &args[0],
+        )?)))
     });
-    def(out, "symbol->string", Arity::exactly(1), |args| match &args[0] {
-        Value::Symbol(s) => Ok(Value::string(&s.as_str())),
-        v => Err(RtError::type_error(format!("symbol->string: expected symbol, got {v}"))),
-    });
+    def(
+        out,
+        "symbol->string",
+        Arity::exactly(1),
+        |args| match &args[0] {
+            Value::Symbol(s) => Ok(Value::string(&s.as_str())),
+            v => Err(RtError::type_error(format!(
+                "symbol->string: expected symbol, got {v}"
+            ))),
+        },
+    );
     def(out, "string->list", Arity::exactly(1), |args| {
         let s = expect_str("string->list", &args[0])?;
         Ok(Value::list(s.chars().map(Value::Char).collect::<Vec<_>>()))
@@ -108,12 +130,19 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
         }
         Ok(Value::string(&s))
     });
-    def(out, "number->string", Arity::exactly(1), |args| match &args[0] {
-        Value::Int(_) | Value::Float(_) | Value::Complex(_, _) => {
-            Ok(Value::string(&args[0].to_string()))
-        }
-        v => Err(RtError::type_error(format!("number->string: expected number, got {v}"))),
-    });
+    def(
+        out,
+        "number->string",
+        Arity::exactly(1),
+        |args| match &args[0] {
+            Value::Int(_) | Value::Float(_) | Value::Complex(_, _) => {
+                Ok(Value::string(&args[0].to_string()))
+            }
+            v => Err(RtError::type_error(format!(
+                "number->string: expected number, got {v}"
+            ))),
+        },
+    );
     def(out, "string->number", Arity::exactly(1), |args| {
         let s = expect_str("string->number", &args[0])?;
         Ok(match parse_number(&s) {
@@ -134,7 +163,9 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
         // Lagoon models byte strings as lists of integers (see DESIGN.md's
         // md5 substitution).
         let s = expect_str("string->bytes", &args[0])?;
-        Ok(Value::list(s.bytes().map(|b| Value::Int(b as i64)).collect::<Vec<_>>()))
+        Ok(Value::list(
+            s.bytes().map(|b| Value::Int(b as i64)).collect::<Vec<_>>(),
+        ))
     });
 }
 
@@ -146,7 +177,10 @@ mod tests {
 
     fn call(name: &str, args: &[Value]) -> Result<Value, crate::error::RtError> {
         let prims = primitives();
-        let (_, v) = prims.iter().find(|(n, _)| *n == Symbol::from(name)).unwrap();
+        let (_, v) = prims
+            .iter()
+            .find(|(n, _)| *n == Symbol::from(name))
+            .unwrap();
         match v {
             Value::Native(n) => (n.f)(args),
             _ => unreachable!(),
@@ -165,19 +199,31 @@ mod tests {
 
     #[test]
     fn substring_bounds() {
-        let s = call("substring", &[Value::string("hello"), Value::Int(1), Value::Int(3)]).unwrap();
+        let s = call(
+            "substring",
+            &[Value::string("hello"), Value::Int(1), Value::Int(3)],
+        )
+        .unwrap();
         assert_eq!(s.to_string(), "el");
-        assert!(call("substring", &[Value::string("x"), Value::Int(0), Value::Int(5)]).is_err());
+        assert!(call(
+            "substring",
+            &[Value::string("x"), Value::Int(0), Value::Int(5)]
+        )
+        .is_err());
     }
 
     #[test]
     fn conversions() {
         assert_eq!(
-            call("string->symbol", &[Value::string("abc")]).unwrap().to_string(),
+            call("string->symbol", &[Value::string("abc")])
+                .unwrap()
+                .to_string(),
             "abc"
         );
         assert_eq!(
-            call("number->string", &[Value::Float(2.5)]).unwrap().to_string(),
+            call("number->string", &[Value::Float(2.5)])
+                .unwrap()
+                .to_string(),
             "2.5"
         );
         assert!(matches!(

@@ -29,7 +29,9 @@ fn expect_identifier(name: &str, v: &Value) -> Result<Syntax, RtError> {
     if s.is_identifier() {
         Ok(s)
     } else {
-        Err(RtError::type_error(format!("{name}: expected identifier, got {s}")))
+        Err(RtError::type_error(format!(
+            "{name}: expected identifier, got {s}"
+        )))
     }
 }
 
@@ -38,7 +40,9 @@ fn expect_identifier(name: &str, v: &Value) -> Result<Syntax, RtError> {
 pub fn value_to_syntax(ctx: &Syntax, v: &Value) -> Result<Syntax, RtError> {
     match v {
         Value::Syntax(s) => Ok(s.clone()),
-        Value::Nil => Ok(ctx.with_data(SynData::List(Vec::new())).with_span(Span::synthetic())),
+        Value::Nil => Ok(ctx
+            .with_data(SynData::List(Vec::new()))
+            .with_span(Span::synthetic())),
         Value::Pair(_) => {
             let mut items = Vec::new();
             let mut cur = v.clone();
@@ -68,7 +72,9 @@ pub fn value_to_syntax(ctx: &Syntax, v: &Value) -> Result<Syntax, RtError> {
                 .iter()
                 .map(|x| value_to_syntax(ctx, x))
                 .collect::<Result<Vec<_>, _>>()?;
-            Ok(ctx.with_data(SynData::Vector(items)).with_span(Span::synthetic()))
+            Ok(ctx
+                .with_data(SynData::Vector(items))
+                .with_span(Span::synthetic()))
         }
         other => {
             let d = other.to_datum().ok_or_else(|| {
@@ -108,13 +114,17 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
         Ok(Value::Bool(matches!(args[0], Value::Syntax(_))))
     });
     def(out, "identifier?", Arity::exactly(1), |args| {
-        Ok(Value::Bool(matches!(&args[0], Value::Syntax(s) if s.is_identifier())))
+        Ok(Value::Bool(
+            matches!(&args[0], Value::Syntax(s) if s.is_identifier()),
+        ))
     });
     def(out, "syntax-e", Arity::exactly(1), |args| {
         Ok(syntax_e(&expect_syntax("syntax-e", &args[0])?))
     });
     def(out, "syntax->datum", Arity::exactly(1), |args| {
-        Ok(Value::from_datum(&expect_syntax("syntax->datum", &args[0])?.to_datum()))
+        Ok(Value::from_datum(
+            &expect_syntax("syntax->datum", &args[0])?.to_datum(),
+        ))
     });
     def(out, "syntax->list", Arity::exactly(1), |args| {
         let s = expect_syntax("syntax->list", &args[0])?;
@@ -204,7 +214,10 @@ mod tests {
 
     fn call(name: &str, args: &[Value]) -> Result<Value, RtError> {
         let prims = crate::prim::primitives();
-        let (_, v) = prims.iter().find(|(n, _)| *n == Symbol::from(name)).unwrap();
+        let (_, v) = prims
+            .iter()
+            .find(|(n, _)| *n == Symbol::from(name))
+            .unwrap();
         match v {
             Value::Native(n) => (n.f)(args),
             _ => unreachable!(),
@@ -238,7 +251,10 @@ mod tests {
     fn datum_to_syntax_preserves_embedded_syntax() {
         let ctx = read_syntax("ctx", "<t>").unwrap();
         let inner = read_syntax("inner", "<t>").unwrap();
-        let v = Value::list(vec![Value::Symbol(Symbol::from("f")), Value::Syntax(inner.clone())]);
+        let v = Value::list(vec![
+            Value::Symbol(Symbol::from("f")),
+            Value::Syntax(inner.clone()),
+        ]);
         let s = value_to_syntax(&ctx, &v).unwrap();
         let items = s.as_list().unwrap();
         assert!(items[1].ptr_eq(&inner));
@@ -247,8 +263,11 @@ mod tests {
     #[test]
     fn property_round_trip() {
         let key = Value::Symbol(Symbol::from("type-annotation"));
-        let annotated =
-            call("syntax-property-put", &[stx("x"), key.clone(), stx("Integer")]).unwrap();
+        let annotated = call(
+            "syntax-property-put",
+            &[stx("x"), key.clone(), stx("Integer")],
+        )
+        .unwrap();
         let got = call("syntax-property-get", &[annotated, key.clone()]).unwrap();
         match got {
             Value::Syntax(s) => assert_eq!(s.sym(), Some(Symbol::from("Integer"))),
@@ -262,7 +281,10 @@ mod tests {
     fn raise_syntax_error_raises() {
         let e = call(
             "raise-syntax-error",
-            &[Value::Symbol(Symbol::from("only-λ")), Value::string("not λ")],
+            &[
+                Value::Symbol(Symbol::from("only-λ")),
+                Value::string("not λ"),
+            ],
         )
         .unwrap_err();
         assert!(e.message.contains("not λ"));

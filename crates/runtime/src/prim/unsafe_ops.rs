@@ -52,29 +52,63 @@ fn cpx(v: &Value) -> (f64, f64) {
 
 pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
     // Floating-point specializations.
-    def(out, "unsafe-fl+", Arity::exactly(2), |a| Ok(Value::Float(fl(&a[0]) + fl(&a[1]))));
-    def(out, "unsafe-fl-", Arity::exactly(2), |a| Ok(Value::Float(fl(&a[0]) - fl(&a[1]))));
-    def(out, "unsafe-fl*", Arity::exactly(2), |a| Ok(Value::Float(fl(&a[0]) * fl(&a[1]))));
-    def(out, "unsafe-fl/", Arity::exactly(2), |a| Ok(Value::Float(fl(&a[0]) / fl(&a[1]))));
-    def(out, "unsafe-fl<", Arity::exactly(2), |a| Ok(Value::Bool(fl(&a[0]) < fl(&a[1]))));
-    def(out, "unsafe-fl<=", Arity::exactly(2), |a| Ok(Value::Bool(fl(&a[0]) <= fl(&a[1]))));
-    def(out, "unsafe-fl>", Arity::exactly(2), |a| Ok(Value::Bool(fl(&a[0]) > fl(&a[1]))));
-    def(out, "unsafe-fl>=", Arity::exactly(2), |a| Ok(Value::Bool(fl(&a[0]) >= fl(&a[1]))));
-    def(out, "unsafe-fl=", Arity::exactly(2), |a| Ok(Value::Bool(fl(&a[0]) == fl(&a[1]))));
-    def(out, "unsafe-flabs", Arity::exactly(1), |a| Ok(Value::Float(fl(&a[0]).abs())));
-    def(out, "unsafe-flsqrt", Arity::exactly(1), |a| Ok(Value::Float(fl(&a[0]).sqrt())));
+    def(out, "unsafe-fl+", Arity::exactly(2), |a| {
+        Ok(Value::Float(fl(&a[0]) + fl(&a[1])))
+    });
+    def(out, "unsafe-fl-", Arity::exactly(2), |a| {
+        Ok(Value::Float(fl(&a[0]) - fl(&a[1])))
+    });
+    def(out, "unsafe-fl*", Arity::exactly(2), |a| {
+        Ok(Value::Float(fl(&a[0]) * fl(&a[1])))
+    });
+    def(out, "unsafe-fl/", Arity::exactly(2), |a| {
+        Ok(Value::Float(fl(&a[0]) / fl(&a[1])))
+    });
+    def(out, "unsafe-fl<", Arity::exactly(2), |a| {
+        Ok(Value::Bool(fl(&a[0]) < fl(&a[1])))
+    });
+    def(out, "unsafe-fl<=", Arity::exactly(2), |a| {
+        Ok(Value::Bool(fl(&a[0]) <= fl(&a[1])))
+    });
+    def(out, "unsafe-fl>", Arity::exactly(2), |a| {
+        Ok(Value::Bool(fl(&a[0]) > fl(&a[1])))
+    });
+    def(out, "unsafe-fl>=", Arity::exactly(2), |a| {
+        Ok(Value::Bool(fl(&a[0]) >= fl(&a[1])))
+    });
+    def(out, "unsafe-fl=", Arity::exactly(2), |a| {
+        Ok(Value::Bool(fl(&a[0]) == fl(&a[1])))
+    });
+    def(out, "unsafe-flabs", Arity::exactly(1), |a| {
+        Ok(Value::Float(fl(&a[0]).abs()))
+    });
+    def(out, "unsafe-flsqrt", Arity::exactly(1), |a| {
+        Ok(Value::Float(fl(&a[0]).sqrt()))
+    });
     def(out, "unsafe-flmin", Arity::exactly(2), |a| {
         Ok(Value::Float(fl(&a[0]).min(fl(&a[1]))))
     });
     def(out, "unsafe-flmax", Arity::exactly(2), |a| {
         Ok(Value::Float(fl(&a[0]).max(fl(&a[1]))))
     });
-    def(out, "unsafe-flsin", Arity::exactly(1), |a| Ok(Value::Float(fl(&a[0]).sin())));
-    def(out, "unsafe-flcos", Arity::exactly(1), |a| Ok(Value::Float(fl(&a[0]).cos())));
-    def(out, "unsafe-flatan", Arity::exactly(1), |a| Ok(Value::Float(fl(&a[0]).atan())));
-    def(out, "unsafe-fllog", Arity::exactly(1), |a| Ok(Value::Float(fl(&a[0]).ln())));
-    def(out, "unsafe-flexp", Arity::exactly(1), |a| Ok(Value::Float(fl(&a[0]).exp())));
-    def(out, "unsafe-flfloor", Arity::exactly(1), |a| Ok(Value::Float(fl(&a[0]).floor())));
+    def(out, "unsafe-flsin", Arity::exactly(1), |a| {
+        Ok(Value::Float(fl(&a[0]).sin()))
+    });
+    def(out, "unsafe-flcos", Arity::exactly(1), |a| {
+        Ok(Value::Float(fl(&a[0]).cos()))
+    });
+    def(out, "unsafe-flatan", Arity::exactly(1), |a| {
+        Ok(Value::Float(fl(&a[0]).atan()))
+    });
+    def(out, "unsafe-fllog", Arity::exactly(1), |a| {
+        Ok(Value::Float(fl(&a[0]).ln()))
+    });
+    def(out, "unsafe-flexp", Arity::exactly(1), |a| {
+        Ok(Value::Float(fl(&a[0]).exp()))
+    });
+    def(out, "unsafe-flfloor", Arity::exactly(1), |a| {
+        Ok(Value::Float(fl(&a[0]).floor()))
+    });
 
     // Fixnum specializations (unchecked, wrapping).
     def(out, "unsafe-fx+", Arity::exactly(2), |a| {
@@ -88,17 +122,35 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
     });
     def(out, "unsafe-fxquotient", Arity::exactly(2), |a| {
         let d = fx(&a[1]);
-        Ok(Value::Int(if d == 0 { 0 } else { fx(&a[0]).wrapping_div(d) }))
+        Ok(Value::Int(if d == 0 {
+            0
+        } else {
+            fx(&a[0]).wrapping_div(d)
+        }))
     });
     def(out, "unsafe-fxremainder", Arity::exactly(2), |a| {
         let d = fx(&a[1]);
-        Ok(Value::Int(if d == 0 { 0 } else { fx(&a[0]).wrapping_rem(d) }))
+        Ok(Value::Int(if d == 0 {
+            0
+        } else {
+            fx(&a[0]).wrapping_rem(d)
+        }))
     });
-    def(out, "unsafe-fx<", Arity::exactly(2), |a| Ok(Value::Bool(fx(&a[0]) < fx(&a[1]))));
-    def(out, "unsafe-fx<=", Arity::exactly(2), |a| Ok(Value::Bool(fx(&a[0]) <= fx(&a[1]))));
-    def(out, "unsafe-fx>", Arity::exactly(2), |a| Ok(Value::Bool(fx(&a[0]) > fx(&a[1]))));
-    def(out, "unsafe-fx>=", Arity::exactly(2), |a| Ok(Value::Bool(fx(&a[0]) >= fx(&a[1]))));
-    def(out, "unsafe-fx=", Arity::exactly(2), |a| Ok(Value::Bool(fx(&a[0]) == fx(&a[1]))));
+    def(out, "unsafe-fx<", Arity::exactly(2), |a| {
+        Ok(Value::Bool(fx(&a[0]) < fx(&a[1])))
+    });
+    def(out, "unsafe-fx<=", Arity::exactly(2), |a| {
+        Ok(Value::Bool(fx(&a[0]) <= fx(&a[1])))
+    });
+    def(out, "unsafe-fx>", Arity::exactly(2), |a| {
+        Ok(Value::Bool(fx(&a[0]) > fx(&a[1])))
+    });
+    def(out, "unsafe-fx>=", Arity::exactly(2), |a| {
+        Ok(Value::Bool(fx(&a[0]) >= fx(&a[1])))
+    });
+    def(out, "unsafe-fx=", Arity::exactly(2), |a| {
+        Ok(Value::Bool(fx(&a[0]) == fx(&a[1])))
+    });
 
     // Float-complex specializations: the "arity-raised" representation the
     // optimizer targets for complex arithmetic (paper §7.2). Operating on
@@ -122,7 +174,10 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
         let (xr, xi) = cpx(&a[0]);
         let (yr, yi) = cpx(&a[1]);
         let d = yr * yr + yi * yi;
-        Ok(Value::Complex((xr * yr + xi * yi) / d, (xi * yr - xr * yi) / d))
+        Ok(Value::Complex(
+            (xr * yr + xi * yi) / d,
+            (xi * yr - xr * yi) / d,
+        ))
     });
     def(out, "unsafe-fcmagnitude", Arity::exactly(1), |a| {
         let (re, im) = cpx(&a[0]);
@@ -145,49 +200,60 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
             Ok(v.clone())
         }
     });
-    def(out, "unsafe-vector-ref", Arity::exactly(2), |a| match (&a[0], &a[1]) {
-        (Value::Vector(v), Value::Int(i)) => {
-            let v = v.borrow();
-            match v.get(*i as usize) {
-                Some(x) => Ok(x.clone()),
-                None => {
-                    debug_assert!(false, "unsafe-vector-ref out of range");
-                    Ok(Value::Void)
+    def(out, "unsafe-vector-ref", Arity::exactly(2), |a| {
+        match (&a[0], &a[1]) {
+            (Value::Vector(v), Value::Int(i)) => {
+                let v = v.borrow();
+                match v.get(*i as usize) {
+                    Some(x) => Ok(x.clone()),
+                    None => {
+                        debug_assert!(false, "unsafe-vector-ref out of range");
+                        Ok(Value::Void)
+                    }
                 }
             }
-        }
-        _ => {
-            debug_assert!(false, "unsafe-vector-ref misapplied");
-            Ok(Value::Void)
-        }
-    });
-    def(out, "unsafe-vector-set!", Arity::exactly(3), |a| match (&a[0], &a[1]) {
-        (Value::Vector(v), Value::Int(i)) => {
-            let mut v = v.borrow_mut();
-            let i = *i as usize;
-            if i < v.len() {
-                v[i] = a[2].clone();
-            } else {
-                debug_assert!(false, "unsafe-vector-set! out of range");
+            _ => {
+                debug_assert!(false, "unsafe-vector-ref misapplied");
+                Ok(Value::Void)
             }
-            Ok(Value::Void)
-        }
-        _ => {
-            debug_assert!(false, "unsafe-vector-set! misapplied");
-            Ok(Value::Void)
         }
     });
-    def(out, "unsafe-vector-length", Arity::exactly(1), |a| match &a[0] {
-        Value::Vector(v) => Ok(Value::Int(v.borrow().len() as i64)),
-        _ => {
-            debug_assert!(false, "unsafe-vector-length misapplied");
-            Ok(Value::Int(0))
+    def(out, "unsafe-vector-set!", Arity::exactly(3), |a| {
+        match (&a[0], &a[1]) {
+            (Value::Vector(v), Value::Int(i)) => {
+                let mut v = v.borrow_mut();
+                let i = *i as usize;
+                if i < v.len() {
+                    v[i] = a[2].clone();
+                } else {
+                    debug_assert!(false, "unsafe-vector-set! out of range");
+                }
+                Ok(Value::Void)
+            }
+            _ => {
+                debug_assert!(false, "unsafe-vector-set! misapplied");
+                Ok(Value::Void)
+            }
         }
     });
+    def(
+        out,
+        "unsafe-vector-length",
+        Arity::exactly(1),
+        |a| match &a[0] {
+            Value::Vector(v) => Ok(Value::Int(v.borrow().len() as i64)),
+            _ => {
+                debug_assert!(false, "unsafe-vector-length misapplied");
+                Ok(Value::Int(0))
+            }
+        },
+    );
 
     // Coercions emitted by the optimizer when it has proved one side is
     // already a float / when mixing proved-int with proved-float operands.
-    def(out, "unsafe-fx->fl", Arity::exactly(1), |a| Ok(Value::Float(fx(&a[0]) as f64)));
+    def(out, "unsafe-fx->fl", Arity::exactly(1), |a| {
+        Ok(Value::Float(fx(&a[0]) as f64))
+    });
 
     // A checked escape hatch used by tests to confirm the unsafe ops are
     // reachable from hosted code.
@@ -204,7 +270,10 @@ mod tests {
 
     fn call(name: &str, args: &[Value]) -> Value {
         let prims = primitives();
-        let (_, v) = prims.iter().find(|(n, _)| *n == Symbol::from(name)).unwrap();
+        let (_, v) = prims
+            .iter()
+            .find(|(n, _)| *n == Symbol::from(name))
+            .unwrap();
         match v {
             Value::Native(n) => (n.f)(args).unwrap(),
             _ => unreachable!(),
@@ -213,8 +282,12 @@ mod tests {
 
     #[test]
     fn fl_ops() {
-        assert!(matches!(call("unsafe-fl+", &[Value::Float(1.5), Value::Float(2.0)]), Value::Float(x) if x == 3.5));
-        assert!(matches!(call("unsafe-fl*", &[Value::Float(2.0), Value::Float(4.0)]), Value::Float(x) if x == 8.0));
+        assert!(
+            matches!(call("unsafe-fl+", &[Value::Float(1.5), Value::Float(2.0)]), Value::Float(x) if x == 3.5)
+        );
+        assert!(
+            matches!(call("unsafe-fl*", &[Value::Float(2.0), Value::Float(4.0)]), Value::Float(x) if x == 8.0)
+        );
         assert!(call("unsafe-fl<", &[Value::Float(1.0), Value::Float(2.0)]).is_truthy());
         assert!(matches!(call("unsafe-flsqrt", &[Value::Float(9.0)]), Value::Float(x) if x == 3.0));
     }
@@ -248,12 +321,20 @@ mod tests {
     #[test]
     fn structure_ops() {
         let p = Value::cons(Value::Int(1), Value::Int(2));
-        assert!(matches!(call("unsafe-car", &[p.clone()]), Value::Int(1)));
+        assert!(matches!(
+            call("unsafe-car", std::slice::from_ref(&p)),
+            Value::Int(1)
+        ));
         assert!(matches!(call("unsafe-cdr", &[p]), Value::Int(2)));
-        let v = call("unsafe-vector-ref", &[
-            Value::Vector(std::rc::Rc::new(std::cell::RefCell::new(vec![Value::Int(9)]))),
-            Value::Int(0),
-        ]);
+        let v = call(
+            "unsafe-vector-ref",
+            &[
+                Value::Vector(std::rc::Rc::new(std::cell::RefCell::new(vec![Value::Int(
+                    9,
+                )]))),
+                Value::Int(0),
+            ],
+        );
         assert!(matches!(v, Value::Int(9)));
     }
 

@@ -46,7 +46,9 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
         Ok(Value::Bool(matches!(args[0], Value::Vector(_))))
     });
     def(out, "vector-length", Arity::exactly(1), |args| {
-        Ok(Value::Int(expect_vector("vector-length", &args[0])?.borrow().len() as i64))
+        Ok(Value::Int(
+            expect_vector("vector-length", &args[0])?.borrow().len() as i64,
+        ))
     });
     def(out, "vector-ref", Arity::exactly(2), |args| {
         let v = expect_vector("vector-ref", &args[0])?;
@@ -70,7 +72,9 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
         Ok(Value::Void)
     });
     def(out, "vector->list", Arity::exactly(1), |args| {
-        Ok(Value::list(expect_vector("vector->list", &args[0])?.borrow().clone()))
+        Ok(Value::list(
+            expect_vector("vector->list", &args[0])?.borrow().clone(),
+        ))
     });
     def(out, "list->vector", Arity::exactly(1), |args| {
         let items = args[0]
@@ -99,7 +103,9 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
             *b.borrow_mut() = args[1].clone();
             Ok(Value::Void)
         }
-        v => Err(RtError::type_error(format!("set-box!: expected box, got {v}"))),
+        v => Err(RtError::type_error(format!(
+            "set-box!: expected box, got {v}"
+        ))),
     });
 }
 
@@ -111,7 +117,10 @@ mod tests {
 
     fn call(name: &str, args: &[Value]) -> Result<Value, crate::error::RtError> {
         let prims = primitives();
-        let (_, v) = prims.iter().find(|(n, _)| *n == Symbol::from(name)).unwrap();
+        let (_, v) = prims
+            .iter()
+            .find(|(n, _)| *n == Symbol::from(name))
+            .unwrap();
         match v {
             Value::Native(n) => (n.f)(args),
             _ => unreachable!(),
@@ -121,7 +130,10 @@ mod tests {
     #[test]
     fn vector_lifecycle() {
         let v = call("make-vector", &[Value::Int(3), Value::Int(7)]).unwrap();
-        assert!(matches!(call("vector-length", &[v.clone()]).unwrap(), Value::Int(3)));
+        assert!(matches!(
+            call("vector-length", std::slice::from_ref(&v)).unwrap(),
+            Value::Int(3)
+        ));
         assert!(matches!(
             call("vector-ref", &[v.clone(), Value::Int(1)]).unwrap(),
             Value::Int(7)
@@ -137,7 +149,7 @@ mod tests {
     #[test]
     fn list_conversions() {
         let l = Value::list(vec![Value::Int(1), Value::Int(2)]);
-        let v = call("list->vector", &[l.clone()]).unwrap();
+        let v = call("list->vector", std::slice::from_ref(&l)).unwrap();
         let back = call("vector->list", &[v]).unwrap();
         assert!(back.equal(&l));
     }
@@ -145,7 +157,10 @@ mod tests {
     #[test]
     fn boxes() {
         let b = call("box", &[Value::Int(1)]).unwrap();
-        assert!(matches!(call("unbox", &[b.clone()]).unwrap(), Value::Int(1)));
+        assert!(matches!(
+            call("unbox", std::slice::from_ref(&b)).unwrap(),
+            Value::Int(1)
+        ));
         call("set-box!", &[b.clone(), Value::Int(2)]).unwrap();
         assert!(matches!(call("unbox", &[b]).unwrap(), Value::Int(2)));
         assert!(call("unbox", &[Value::Int(3)]).is_err());
@@ -154,7 +169,7 @@ mod tests {
     #[test]
     fn vector_copy_is_shallow_fresh() {
         let v = call("vector", &[Value::Int(1)]).unwrap();
-        let c = call("vector-copy", &[v.clone()]).unwrap();
+        let c = call("vector-copy", std::slice::from_ref(&v)).unwrap();
         call("vector-set!", &[v, Value::Int(0), Value::Int(5)]).unwrap();
         assert!(matches!(
             call("vector-ref", &[c, Value::Int(0)]).unwrap(),

@@ -215,6 +215,17 @@ impl Value {
         )
     }
 
+    /// The name of a procedure value, when it carries one (contracted
+    /// procedures answer with their wrapped procedure's name).
+    pub fn procedure_name(&self) -> Option<Symbol> {
+        match self {
+            Value::Closure(c) => c.name,
+            Value::Native(n) => Some(n.name),
+            Value::Contracted(c) => c.inner.procedure_name(),
+            _ => None,
+        }
+    }
+
     /// The elements, if this is a proper list.
     pub fn list_to_vec(&self) -> Option<Vec<Value>> {
         let mut out = Vec::new();
@@ -279,9 +290,7 @@ impl Value {
                             items.push(p.0.to_datum()?);
                             cur = p.1.clone();
                         }
-                        other => {
-                            return Some(Datum::Improper(items, Box::new(other.to_datum()?)))
-                        }
+                        other => return Some(Datum::Improper(items, Box::new(other.to_datum()?))),
                     }
                 }
             }
@@ -483,7 +492,9 @@ mod tests {
         let v = l.list_to_vec().unwrap();
         assert_eq!(v.len(), 3);
         assert!(matches!(v[2], Value::Int(3)));
-        assert!(Value::cons(Value::Int(1), Value::Int(2)).list_to_vec().is_none());
+        assert!(Value::cons(Value::Int(1), Value::Int(2))
+            .list_to_vec()
+            .is_none());
     }
 
     #[test]

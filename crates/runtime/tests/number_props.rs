@@ -1,14 +1,36 @@
-//! Property tests on the numeric tower.
+//! Property tests on the numeric tower, driven by a fixed-seed
+//! splitmix64 stream so the workspace stays dependency-free and every
+//! failure reproduces exactly.
 
 use lagoon_runtime::{number, Value};
-use proptest::prelude::*;
 
-fn num_strategy() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        (-1_000_000i64..1_000_000).prop_map(Value::Int),
-        (-1e6..1e6).prop_map(Value::Float),
-        ((-1e3..1e3), (-1e3..1e3)).prop_map(|(re, im)| Value::Complex(re, im)),
-    ]
+/// Deterministic splitmix64 stream.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn int(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % (hi - lo) as u64) as i64
+    }
+
+    fn float(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (self.next() as f64 / u64::MAX as f64) * (hi - lo)
+    }
+
+    fn num(&mut self) -> Value {
+        match self.next() % 3 {
+            0 => Value::Int(self.int(-1_000_000, 1_000_000)),
+            1 => Value::Float(self.float(-1e6, 1e6)),
+            _ => Value::Complex(self.float(-1e3, 1e3), self.float(-1e3, 1e3)),
+        }
+    }
 }
 
 fn approx_eq(a: &Value, b: &Value) -> bool {
@@ -22,99 +44,123 @@ fn approx_eq(a: &Value, b: &Value) -> bool {
     }
     let (ar, ai) = parts(a);
     let (br, bi) = parts(b);
-    let close = |x: f64, y: f64| {
-        (x - y).abs() <= 1e-6 * (1.0 + x.abs().max(y.abs()))
-    };
+    let close = |x: f64, y: f64| (x - y).abs() <= 1e-6 * (1.0 + x.abs().max(y.abs()));
     close(ar, br) && close(ai, bi)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn addition_commutes(a in num_strategy(), b in num_strategy()) {
-        let ab = number::add(&a, &b);
-        let ba = number::add(&b, &a);
-        match (ab, ba) {
-            (Ok(x), Ok(y)) => prop_assert!(approx_eq(&x, &y), "{x} vs {y}"),
+#[test]
+fn addition_commutes() {
+    let mut rng = Rng(1);
+    for _ in 0..256 {
+        let (a, b) = (rng.num(), rng.num());
+        match (number::add(&a, &b), number::add(&b, &a)) {
+            (Ok(x), Ok(y)) => assert!(approx_eq(&x, &y), "{x} vs {y}"),
             (Err(_), Err(_)) => {}
-            (x, y) => prop_assert!(false, "asymmetric: {x:?} vs {y:?}"),
+            (x, y) => panic!("asymmetric: {x:?} vs {y:?}"),
         }
     }
+}
 
-    #[test]
-    fn multiplication_commutes(a in num_strategy(), b in num_strategy()) {
-        let ab = number::mul(&a, &b);
-        let ba = number::mul(&b, &a);
-        match (ab, ba) {
-            (Ok(x), Ok(y)) => prop_assert!(approx_eq(&x, &y), "{x} vs {y}"),
+#[test]
+fn multiplication_commutes() {
+    let mut rng = Rng(2);
+    for _ in 0..256 {
+        let (a, b) = (rng.num(), rng.num());
+        match (number::mul(&a, &b), number::mul(&b, &a)) {
+            (Ok(x), Ok(y)) => assert!(approx_eq(&x, &y), "{x} vs {y}"),
             (Err(_), Err(_)) => {}
-            (x, y) => prop_assert!(false, "asymmetric: {x:?} vs {y:?}"),
+            (x, y) => panic!("asymmetric: {x:?} vs {y:?}"),
         }
     }
+}
 
-    #[test]
-    fn subtraction_inverts_addition(a in num_strategy(), b in num_strategy()) {
-        if let (Ok(sum), true) = (number::add(&a, &b), true) {
+#[test]
+fn subtraction_inverts_addition() {
+    let mut rng = Rng(3);
+    for _ in 0..256 {
+        let (a, b) = (rng.num(), rng.num());
+        if let Ok(sum) = number::add(&a, &b) {
             if let Ok(back) = number::sub(&sum, &b) {
-                prop_assert!(approx_eq(&back, &a), "{back} vs {a}");
+                assert!(approx_eq(&back, &a), "{back} vs {a}");
             }
         }
     }
+}
 
-    #[test]
-    fn comparison_is_total_on_reals(
-        a in -1_000_000i64..1_000_000,
-        b in prop_oneof![(-1e6..1e6)],
-    ) {
-        let ai = Value::Int(a);
-        let bf = Value::Float(b);
+#[test]
+fn comparison_is_total_on_reals() {
+    let mut rng = Rng(4);
+    for _ in 0..256 {
+        let ai = Value::Int(rng.int(-1_000_000, 1_000_000));
+        let bf = Value::Float(rng.float(-1e6, 1e6));
         let lt = number::compare("<", &ai, &bf).unwrap().is_lt();
         let gt = number::compare(">", &ai, &bf).unwrap().is_gt();
         let eq = number::num_eq(&ai, &bf).unwrap();
-        prop_assert_eq!([lt, gt, eq].iter().filter(|x| **x).count(), 1);
+        assert_eq!([lt, gt, eq].iter().filter(|x| **x).count(), 1);
     }
+}
 
-    #[test]
-    fn quotient_remainder_identity(a in -100_000i64..100_000, b in 1i64..1000) {
+#[test]
+fn quotient_remainder_identity() {
+    let mut rng = Rng(5);
+    for _ in 0..256 {
+        let a = rng.int(-100_000, 100_000);
+        let b = rng.int(1, 1000);
         let q = number::quotient(&Value::Int(a), &Value::Int(b)).unwrap();
         let r = number::remainder(&Value::Int(a), &Value::Int(b)).unwrap();
         match (q, r) {
             (Value::Int(q), Value::Int(r)) => {
-                prop_assert_eq!(q * b + r, a);
-                prop_assert!(r.abs() < b);
+                assert_eq!(q * b + r, a);
+                assert!(r.abs() < b);
             }
-            _ => prop_assert!(false),
+            _ => panic!("non-integer quotient/remainder"),
         }
     }
+}
 
-    #[test]
-    fn modulo_sign_follows_divisor(a in -100_000i64..100_000, b in prop_oneof![1i64..1000, -1000i64..-1]) {
+#[test]
+fn modulo_sign_follows_divisor() {
+    let mut rng = Rng(6);
+    for _ in 0..256 {
+        let a = rng.int(-100_000, 100_000);
+        let b = if rng.next().is_multiple_of(2) {
+            rng.int(1, 1000)
+        } else {
+            rng.int(-1000, -1)
+        };
         match number::modulo(&Value::Int(a), &Value::Int(b)).unwrap() {
             Value::Int(m) => {
-                prop_assert!(m == 0 || (m > 0) == (b > 0), "m={m} b={b}");
-                prop_assert!(m.abs() < b.abs());
+                assert!(m == 0 || (m > 0) == (b > 0), "m={m} b={b}");
+                assert!(m.abs() < b.abs());
                 // congruence
-                prop_assert_eq!((a - m) % b, 0);
+                assert_eq!((a - m) % b, 0);
             }
-            _ => prop_assert!(false),
+            _ => panic!("non-integer modulo"),
         }
     }
+}
 
-    #[test]
-    fn sqrt_squares_back(x in 0.0f64..1e12) {
+#[test]
+fn sqrt_squares_back() {
+    let mut rng = Rng(7);
+    for _ in 0..256 {
+        let x = rng.float(0.0, 1e12);
         match number::sqrt(&Value::Float(x)).unwrap() {
-            Value::Float(r) => prop_assert!((r * r - x).abs() <= 1e-6 * (1.0 + x)),
-            _ => prop_assert!(false),
+            Value::Float(r) => assert!((r * r - x).abs() <= 1e-6 * (1.0 + x)),
+            _ => panic!("sqrt of a nonnegative float must be a float"),
         }
     }
+}
 
-    #[test]
-    fn magnitude_is_nonnegative(v in num_strategy()) {
+#[test]
+fn magnitude_is_nonnegative() {
+    let mut rng = Rng(8);
+    for _ in 0..256 {
+        let v = rng.num();
         match number::magnitude(&v) {
-            Ok(Value::Int(n)) => prop_assert!(n >= 0),
-            Ok(Value::Float(x)) => prop_assert!(x >= 0.0),
-            Ok(_) => prop_assert!(false),
+            Ok(Value::Int(n)) => assert!(n >= 0),
+            Ok(Value::Float(x)) => assert!(x >= 0.0),
+            Ok(other) => panic!("non-real magnitude {other}"),
             Err(_) => {}
         }
     }

@@ -395,10 +395,7 @@ impl<'a> Lexer<'a> {
                             self.bump();
                         }
                         let name = &self.src[word_start..self.pos];
-                        Ok((
-                            Token::Keyword(Symbol::intern(name)),
-                            self.span_from(start),
-                        ))
+                        Ok((Token::Keyword(Symbol::intern(name)), self.span_from(start)))
                     }
                     Some(b'%') => {
                         // core-form identifiers like #%plain-lambda
@@ -457,8 +454,7 @@ pub fn parse_number(word: &str) -> Option<Token> {
     // Must start like a number: digit, or sign/dot followed by digit-ish.
     let looks_numeric = {
         let b = word.as_bytes()[0];
-        b.is_ascii_digit()
-            || ((b == b'+' || b == b'-' || b == b'.') && word.len() > 1)
+        b.is_ascii_digit() || ((b == b'+' || b == b'-' || b == b'.') && word.len() > 1)
     };
     if !looks_numeric {
         return None;
@@ -587,10 +583,7 @@ mod tests {
 
     #[test]
     fn strings_and_chars() {
-        assert_eq!(
-            lex_all(r#""hi\n""#),
-            vec![Token::Str(Arc::from("hi\n"))]
-        );
+        assert_eq!(lex_all(r#""hi\n""#), vec![Token::Str(Arc::from("hi\n"))]);
         assert_eq!(lex_all(r"#\a"), vec![Token::Char('a')]);
         assert_eq!(lex_all(r"#\newline"), vec![Token::Char('\n')]);
         assert_eq!(lex_all(r"#\space"), vec![Token::Char(' ')]);
@@ -598,16 +591,19 @@ mod tests {
 
     #[test]
     fn booleans_and_keywords() {
-        assert_eq!(lex_all("#t #f"), vec![Token::Bool(true), Token::Bool(false)]);
         assert_eq!(
-            lex_all("#:key"),
-            vec![Token::Keyword(Symbol::from("key"))]
+            lex_all("#t #f"),
+            vec![Token::Bool(true), Token::Bool(false)]
         );
+        assert_eq!(lex_all("#:key"), vec![Token::Keyword(Symbol::from("key"))]);
     }
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(lex_all("1 ; comment\n2"), vec![Token::Int(1), Token::Int(2)]);
+        assert_eq!(
+            lex_all("1 ; comment\n2"),
+            vec![Token::Int(1), Token::Int(2)]
+        );
         assert_eq!(
             lex_all("1 #| block #| nested |# |# 2"),
             vec![Token::Int(1), Token::Int(2)]

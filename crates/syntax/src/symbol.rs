@@ -15,11 +15,10 @@
 //! assert_eq!(a.as_str(), "lambda");
 //! ```
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{OnceLock, RwLock};
 
 /// An interned symbol: a cheap, copyable handle to a string.
 ///
@@ -48,12 +47,12 @@ impl Symbol {
     /// Interns `name`, returning the canonical symbol for it.
     pub fn intern(name: &str) -> Symbol {
         {
-            let rd = interner().read();
+            let rd = interner().read().unwrap();
             if let Some(&id) = rd.table.get(name) {
                 return Symbol(id);
             }
         }
-        let mut wr = interner().write();
+        let mut wr = interner().write().unwrap();
         if let Some(&id) = wr.table.get(name) {
             return Symbol(id);
         }
@@ -73,7 +72,7 @@ impl Symbol {
         static COUNTER: AtomicU64 = AtomicU64::new(0);
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
         let name = format!("{base}~{n}");
-        let mut wr = interner().write();
+        let mut wr = interner().write().unwrap();
         let id = wr.names.len() as u32;
         // Deliberately *not* added to the lookup table: a later
         // `Symbol::intern("x~0")` must not collide with this gensym.
@@ -84,12 +83,12 @@ impl Symbol {
     /// The symbol's name. Allocates a `String` because the interner may
     /// grow; the name itself is immutable.
     pub fn as_str(&self) -> String {
-        interner().read().names[self.0 as usize].clone()
+        interner().read().unwrap().names[self.0 as usize].clone()
     }
 
     /// Runs `f` on the symbol's name without cloning it.
     pub fn with_str<R>(&self, f: impl FnOnce(&str) -> R) -> R {
-        f(&interner().read().names[self.0 as usize])
+        f(&interner().read().unwrap().names[self.0 as usize])
     }
 
     /// The raw interner index. Useful only for debugging.

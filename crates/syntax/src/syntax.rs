@@ -218,12 +218,22 @@ impl Syntax {
 
     /// Replaces the structure, keeping span, scopes, and properties.
     pub fn with_data(&self, data: SynData) -> Syntax {
-        Syntax::make(data, self.0.span, self.0.scopes.clone(), self.0.props.clone())
+        Syntax::make(
+            data,
+            self.0.span,
+            self.0.scopes.clone(),
+            self.0.props.clone(),
+        )
     }
 
     /// Replaces the span, keeping everything else.
     pub fn with_span(&self, span: Span) -> Syntax {
-        Syntax::make(self.0.data.clone(), span, self.0.scopes.clone(), self.0.props.clone())
+        Syntax::make(
+            self.0.data.clone(),
+            span,
+            self.0.scopes.clone(),
+            self.0.props.clone(),
+        )
     }
 
     fn map_scopes(&self, f: &impl Fn(&ScopeSet) -> ScopeSet) -> Syntax {
@@ -427,7 +437,13 @@ mod tests {
             .with_property(k1, Datum::Int(1).into())
             .with_property(k2, Datum::Int(2).into());
         let dst = Syntax::ident(Symbol::from("d"), sp()).copy_properties_from(&src);
-        assert_eq!(dst.property(k1).and_then(PropValue::as_datum), Some(&Datum::Int(1)));
-        assert_eq!(dst.property(k2).and_then(PropValue::as_datum), Some(&Datum::Int(2)));
+        assert_eq!(
+            dst.property(k1).and_then(PropValue::as_datum),
+            Some(&Datum::Int(1))
+        );
+        assert_eq!(
+            dst.property(k2).and_then(PropValue::as_datum),
+            Some(&Datum::Int(2))
+        );
     }
 }

@@ -1,36 +1,88 @@
 //! Robustness: the reader must never panic, whatever bytes it is fed —
 //! it either parses or returns a `ReadError`.
+//!
+//! The inputs come from a fixed-seed splitmix64 stream rather than a
+//! property-testing framework, so the workspace stays dependency-free
+//! and every failure reproduces exactly.
 
-use proptest::prelude::*;
+/// Deterministic splitmix64 stream.
+struct Rng(u64);
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn reader_never_panics_on_arbitrary_text(src in "\\PC{0,120}") {
-        let _ = lagoon_syntax::read_all(&src, "<fuzz>");
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 
-    #[test]
-    fn reader_never_panics_on_sexpr_shaped_text(
-        src in "[ ()\\[\\]'`,#\\\\\"a-z0-9.+-]{0,120}"
-    ) {
-        let _ = lagoon_syntax::read_all(&src, "<fuzz>");
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
     }
 
-    #[test]
-    fn module_reader_never_panics(src in "\\PC{0,160}") {
+    fn string(&mut self, charset: &[char], max_len: usize) -> String {
+        let len = self.below(max_len + 1);
+        (0..len)
+            .map(|_| charset[self.below(charset.len())])
+            .collect()
+    }
+}
+
+/// Printable characters, including multi-byte ones, standing in for the
+/// old `\PC` regex class.
+fn printable() -> Vec<char> {
+    let mut cs: Vec<char> = (' '..='~').collect();
+    cs.extend(['\n', '\t', 'λ', 'é', '中', '∀', '🦀', '"', '\\']);
+    cs
+}
+
+#[test]
+fn reader_never_panics_on_arbitrary_text() {
+    let mut rng = Rng(0xF00D);
+    let cs = printable();
+    for _ in 0..512 {
+        let src = rng.string(&cs, 120);
+        let _ = lagoon_syntax::read_all(&src, "<fuzz>");
+    }
+}
+
+#[test]
+fn reader_never_panics_on_sexpr_shaped_text() {
+    let mut rng = Rng(0xBEEF);
+    let cs: Vec<char> = " ()[]'`,#\\\"abcdefghijklmnopqrstuvwxyz0123456789.+-"
+        .chars()
+        .collect();
+    for _ in 0..512 {
+        let src = rng.string(&cs, 120);
+        let _ = lagoon_syntax::read_all(&src, "<fuzz>");
+    }
+}
+
+#[test]
+fn module_reader_never_panics() {
+    let mut rng = Rng(0xCAFE);
+    let cs = printable();
+    for _ in 0..512 {
+        let src = rng.string(&cs, 160);
         let _ = lagoon_syntax::read_module(&src, "<fuzz>");
     }
+}
 
-    #[test]
-    fn successful_parses_reprint_and_reparse(src in "[ ()a-z0-9.+-]{0,80}") {
+#[test]
+fn successful_parses_reprint_and_reparse() {
+    let mut rng = Rng(0xABCD);
+    let cs: Vec<char> = " ()abcdefghijklmnopqrstuvwxyz0123456789.+-"
+        .chars()
+        .collect();
+    for _ in 0..512 {
+        let src = rng.string(&cs, 80);
         if let Ok(forms) = lagoon_syntax::read_all(&src, "<fuzz>") {
             for form in forms {
                 let printed = form.to_datum().to_string();
                 let reread = lagoon_syntax::read_datum(&printed, "<fuzz2>")
                     .expect("printer output must re-read");
-                prop_assert_eq!(reread, form.to_datum());
+                assert_eq!(reread, form.to_datum(), "source: {src:?}");
             }
         }
     }

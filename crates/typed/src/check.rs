@@ -21,7 +21,7 @@ use crate::intrinsics;
 use crate::types::Type;
 use lagoon_core::{syntax_error, Expander};
 use lagoon_runtime::RtError;
-use lagoon_syntax::{Datum, PropValue, SynData, Symbol, Syntax};
+use lagoon_syntax::{Datum, PropValue, Symbol, SynData, Syntax};
 
 fn space_types() -> Symbol {
     Symbol::intern("typed#types")
@@ -153,8 +153,14 @@ impl<'a> Tcx<'a> {
     /// Returns an error if the annotation fails to parse as a type.
     pub fn annotation_of(&self, id: &Syntax) -> Result<Option<Type>, RtError> {
         match id.property(prop_annotation()) {
-            Some(PropValue::Syntax(ty_stx)) => Ok(Some(self.parse_type(ty_stx)?)),
-            Some(PropValue::Datum(d)) => Ok(Some(Type::from_datum(d)?)),
+            Some(PropValue::Syntax(ty_stx)) => {
+                lagoon_diag::count("annotations-consulted", self.exp.module_name, 1);
+                Ok(Some(self.parse_type(ty_stx)?))
+            }
+            Some(PropValue::Datum(d)) => {
+                lagoon_diag::count("annotations-consulted", self.exp.module_name, 1);
+                Ok(Some(Type::from_datum(d)?))
+            }
             None => Ok(None),
         }
     }
@@ -213,7 +219,11 @@ fn head_sym(stx: &Syntax) -> Option<Symbol> {
 /// # Errors
 ///
 /// Returns a `typecheck:` error (paper §4.1 format) on any violation.
-pub fn typecheck(tcx: &Tcx, stx: &Syntax, expected: Option<&Type>) -> Result<(Type, Syntax), RtError> {
+pub fn typecheck(
+    tcx: &Tcx,
+    stx: &Syntax,
+    expected: Option<&Type>,
+) -> Result<(Type, Syntax), RtError> {
     // static ascription first
     if let Some(PropValue::Syntax(ty_stx)) = stx.property(prop_ascribe()) {
         let ty = tcx.parse_type(ty_stx)?;
@@ -238,7 +248,10 @@ fn finish(
 ) -> Result<(Type, Syntax), RtError> {
     if let Some(want) = expected {
         if !ty.subtype(want) {
-            return Err(type_error(format!("wrong type (expected {want}, got {ty})"), orig));
+            return Err(type_error(
+                format!("wrong type (expected {want}, got {ty})"),
+                orig,
+            ));
         }
     }
     let out = out.with_property(prop_type(), PropValue::Datum(ty.to_datum()));
@@ -263,8 +276,8 @@ fn typecheck_unascribed(
         }
         SynData::Atom(d) => Ok((type_of_datum(d), stx.clone())),
         _ => {
-            let head = head_sym(stx)
-                .ok_or_else(|| syntax_error("typecheck: not a core form", stx))?;
+            let head =
+                head_sym(stx).ok_or_else(|| syntax_error("typecheck: not a core form", stx))?;
             let items = stx.as_list().unwrap().to_vec();
             match head.as_str().as_str() {
                 "quote" => Ok((type_of_datum(&items[1].to_datum()), stx.clone())),
@@ -305,11 +318,7 @@ fn typecheck_unascribed(
                     let (_, rhs) = typecheck(tcx, &items[2], Some(&declared))?;
                     Ok((
                         Type::Void,
-                        stx.with_data(SynData::List(vec![
-                            items[0].clone(),
-                            items[1].clone(),
-                            rhs,
-                        ])),
+                        stx.with_data(SynData::List(vec![items[0].clone(), items[1].clone(), rhs])),
                     ))
                 }
                 "#%plain-app" => typecheck_app(tcx, stx, &items),
@@ -370,7 +379,11 @@ fn typecheck_lambda(
     let ty = Type::fun(param_types, ret);
     Ok((
         ty,
-        stx.with_data(SynData::List(vec![items[0].clone(), items[1].clone(), body])),
+        stx.with_data(SynData::List(vec![
+            items[0].clone(),
+            items[1].clone(),
+            body,
+        ])),
     ))
 }
 
@@ -491,10 +504,7 @@ fn typecheck_app(tcx: &Tcx, stx: &Syntax, items: &[Syntax]) -> Result<(Type, Syn
                 out.extend(out_args);
                 return Ok((ty, stx.with_data(SynData::List(out))));
             }
-            return Err(type_error(
-                format!("untyped operator {base}"),
-                op,
-            ));
+            return Err(type_error(format!("untyped operator {base}"), op));
         }
     }
 
@@ -577,11 +587,7 @@ pub fn typecheck_module(tcx: &Tcx, forms: &[Syntax]) -> Result<Vec<Syntax>, RtEr
             if declared.is_none() {
                 tcx.add_type(name, &ty);
             }
-            out.push(form.with_data(SynData::List(vec![
-                items[0].clone(),
-                items[1].clone(),
-                rhs,
-            ])));
+            out.push(form.with_data(SynData::List(vec![items[0].clone(), items[1].clone(), rhs])));
         } else {
             let (_, checked) = typecheck(tcx, form, None)?;
             out.push(checked);

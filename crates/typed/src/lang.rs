@@ -26,7 +26,7 @@ use lagoon_core::{
 };
 use lagoon_runtime::value::{Arity, Native};
 use lagoon_runtime::{apply_contract, Contract, RtError, Value};
-use lagoon_syntax::{Datum, ScopeSet, SynData, Symbol, Syntax};
+use lagoon_syntax::{Datum, ScopeSet, Symbol, SynData, Syntax};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -57,9 +57,7 @@ pub type OptimizeFn = dyn Fn(&Tcx, &Syntax) -> Result<Syntax, RtError>;
 fn parse_param(stx: &Syntax) -> Result<Syntax, RtError> {
     let parts = stx
         .to_list()
-        .filter(|p| {
-            p.len() == 3 && p[0].is_identifier() && p[1].sym() == Some(Symbol::intern(":"))
-        })
+        .filter(|p| p.len() == 3 && p[0].is_identifier() && p[1].sym() == Some(Symbol::intern(":")))
         .ok_or_else(|| syntax_error("expected [identifier : Type]", stx))?;
     Ok(parts[0]
         .clone()
@@ -114,8 +112,7 @@ fn define_colon() -> Rc<NativeMacro> {
         fun_ty.extend(param_types);
         fun_ty.push(ret.clone());
         let fname = fname.with_property(prop_annotation(), lst(fun_ty).into());
-        let lam = lst(vec![id("lambda"), lst(params)])
-            .with_property(prop_return(), ret.into());
+        let lam = lst(vec![id("lambda"), lst(params)]).with_property(prop_return(), ret.into());
         let mut lam_items = lam.to_list().unwrap();
         lam_items.extend(body);
         let lam = lam.with_data(SynData::List(lam_items));
@@ -197,9 +194,7 @@ fn let_colon() -> Rc<NativeMacro> {
             let parts = clause
                 .to_list()
                 .filter(|p| {
-                    p.len() == 4
-                        && p[0].is_identifier()
-                        && p[1].sym() == Some(Symbol::intern(":"))
+                    p.len() == 4 && p[0].is_identifier() && p[1].sym() == Some(Symbol::intern(":"))
                 })
                 .ok_or_else(|| syntax_error("let:: expected [x : T rhs]", clause))?;
             Ok((parts[0].clone(), parts[2].clone(), parts[3].clone()))
@@ -226,10 +221,7 @@ fn let_colon() -> Rc<NativeMacro> {
             let loop_ann = loop_name.with_property(prop_annotation(), lst(fun_ty).into());
             let params: Vec<Syntax> = clauses
                 .iter()
-                .map(|(x, t, _)| {
-                    x.clone()
-                        .with_property(prop_annotation(), t.clone().into())
-                })
+                .map(|(x, t, _)| x.clone().with_property(prop_annotation(), t.clone().into()))
                 .collect();
             let mut lam = vec![id("lambda"), lst(params)];
             lam.extend(items[5..].iter().cloned());
@@ -251,10 +243,7 @@ fn let_colon() -> Rc<NativeMacro> {
             .collect::<Result<Vec<_>, _>>()?;
         let params: Vec<Syntax> = clauses
             .iter()
-            .map(|(x, t, _)| {
-                x.clone()
-                    .with_property(prop_annotation(), t.clone().into())
-            })
+            .map(|(x, t, _)| x.clone().with_property(prop_annotation(), t.clone().into()))
             .collect();
         let mut lam = vec![id("lambda"), lst(params)];
         lam.extend(items[2..].iter().cloned());
@@ -333,16 +322,17 @@ fn require_typed() -> Rc<NativeMacro> {
             .to_list()
             .filter(|p| p.len() >= 3 && p[1].is_identifier())
             .ok_or_else(|| {
-                syntax_error("require/typed: expected (require/typed mod [id Type] ...)", &stx)
+                syntax_error(
+                    "require/typed: expected (require/typed mod [id Type] ...)",
+                    &stx,
+                )
             })?;
         let dep = items[1].sym().unwrap();
         let registry = exp
             .registry
             .upgrade()
             .ok_or_else(|| RtError::user("module registry is gone"))?;
-        let compiled = registry
-            .compile(dep)
-            .map_err(|e| e.with_span(stx.span()))?;
+        let compiled = registry.compile(dep).map_err(|e| e.with_span(stx.span()))?;
         {
             let mut requires = exp.requires.borrow_mut();
             if !requires.contains(&dep) {
@@ -411,10 +401,14 @@ fn typed_module_begin(optimize: Option<Rc<OptimizeFn>>) -> Rc<NativeMacro> {
 
         // figures 2–3: typecheck each form in a shared context
         let tcx = Tcx::new(exp);
-        let mut checked = typecheck_module(&tcx, &forms)?;
+        let mut checked = {
+            let _t = lagoon_diag::time(lagoon_diag::Phase::Typecheck, exp.module_name);
+            typecheck_module(&tcx, &forms)?
+        };
 
         // §7: type-driven optimization over validated, annotated syntax
         if let Some(opt) = &optimize {
+            let _t = lagoon_diag::time(lagoon_diag::Phase::Optimize, exp.module_name);
             checked = checked
                 .iter()
                 .map(|f| opt(&tcx, f))
@@ -426,9 +420,9 @@ fn typed_module_begin(optimize: Option<Rc<OptimizeFn>>) -> Rc<NativeMacro> {
         let provides: Vec<_> = exp.provides.borrow_mut().drain(..).collect();
         let mut extra_forms = Vec::new();
         for item in provides {
-            let binding = exp.resolve(&item.internal)?.ok_or_else(|| {
-                syntax_error("provide: unbound identifier", &item.internal)
-            })?;
+            let binding = exp
+                .resolve(&item.internal)?
+                .ok_or_else(|| syntax_error("provide: unbound identifier", &item.internal))?;
             let rt = match binding {
                 Binding::Variable(rt) => rt,
                 other => {
@@ -441,9 +435,9 @@ fn typed_module_begin(optimize: Option<Rc<OptimizeFn>>) -> Rc<NativeMacro> {
                     ));
                 }
             };
-            let ty = tcx.lookup(rt).ok_or_else(|| {
-                type_error("provided identifier has no type", &item.internal)
-            })?;
+            let ty = tcx
+                .lookup(rt)
+                .ok_or_else(|| type_error("provided identifier has no type", &item.internal))?;
             // §5: persist the export's type for later compilations
             tcx.add_type_persistent(rt, &ty);
             // stage 1 (§6.2): the defensive, contract-protected variant
@@ -487,7 +481,11 @@ fn typed_module_begin(optimize: Option<Rc<OptimizeFn>>) -> Rc<NativeMacro> {
 /// an untyped compilation, to the contract-protected one.
 fn export_indirection(external: Symbol, raw: Symbol, defensive: Symbol) -> Rc<NativeMacro> {
     native(&external.as_str(), move |exp, stx, _| {
-        let chosen = if in_typed_context(exp) { raw } else { defensive };
+        let chosen = if in_typed_context(exp) {
+            raw
+        } else {
+            defensive
+        };
         if stx.is_identifier() {
             return Ok(Expanded::Core(Syntax::ident(chosen, stx.span())));
         }
@@ -598,7 +596,10 @@ pub fn register(registry: &Rc<ModuleRegistry>, name: &str, optimize: Option<Rc<O
         );
     }
     let exports: Vec<(Symbol, Binding)> = vec![
-        ("#%module-begin", Binding::Native(typed_module_begin(optimize))),
+        (
+            "#%module-begin",
+            Binding::Native(typed_module_begin(optimize)),
+        ),
         ("define:", Binding::Native(define_colon())),
         (":", Binding::Native(colon_decl())),
         ("lambda:", Binding::Native(lambda_colon("lambda:"))),

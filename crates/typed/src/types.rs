@@ -78,9 +78,7 @@ impl Type {
                 Some((hd, tl)) => hd.subtype(a) && List(tl.to_vec()).subtype(b),
                 None => false,
             },
-            (List(a), List(b)) => {
-                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.subtype(y))
-            }
+            (List(a), List(b)) => a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.subtype(y)),
             (Listof(a), Listof(b)) => a.subtype(b),
             (Pairof(a1, b1), Pairof(a2, b2)) => a1.subtype(a2) && b1.subtype(b2),
             (Vectorof(a), Vectorof(b)) => a == b, // mutable: invariant
@@ -183,9 +181,7 @@ impl Type {
                     .collect::<Result<Vec<_>, _>>()?;
                 Ok(Type::fun(args, Type::parse(&items[items.len() - 1])?))
             }
-            "Listof" if items.len() == 2 => {
-                Ok(Type::Listof(Rc::new(Type::parse(&items[1])?)))
-            }
+            "Listof" if items.len() == 2 => Ok(Type::Listof(Rc::new(Type::parse(&items[1])?))),
             "List" => Ok(Type::List(
                 items[1..]
                     .iter()
@@ -196,16 +192,17 @@ impl Type {
                 Rc::new(Type::parse(&items[1])?),
                 Rc::new(Type::parse(&items[2])?),
             )),
-            "Vectorof" if items.len() == 2 => {
-                Ok(Type::Vectorof(Rc::new(Type::parse(&items[1])?)))
-            }
+            "Vectorof" if items.len() == 2 => Ok(Type::Vectorof(Rc::new(Type::parse(&items[1])?))),
             "U" => Ok(Type::Union(
                 items[1..]
                     .iter()
                     .map(Type::parse)
                     .collect::<Result<Vec<_>, _>>()?,
             )),
-            other => Err(syntax_error(format!("unknown type constructor {other}"), stx)),
+            other => Err(syntax_error(
+                format!("unknown type constructor {other}"),
+                stx,
+            )),
         }
     }
 
@@ -301,9 +298,7 @@ impl Type {
                 }
                 c
             }
-            Pairof(a, b) => {
-                Contract::PairOf(Box::new(a.to_contract()), Box::new(b.to_contract()))
-            }
+            Pairof(a, b) => Contract::PairOf(Box::new(a.to_contract()), Box::new(b.to_contract())),
             Vectorof(t) => Contract::VectorOf(Box::new(t.to_contract())),
             Fun(args, ret) => Contract::Function(
                 args.iter().map(Type::to_contract).collect(),
@@ -358,7 +353,10 @@ mod tests {
             t("(Integer Integer -> Integer)"),
             Type::fun(vec![Type::Integer, Type::Integer], Type::Integer)
         );
-        assert_eq!(t("(U Integer String)"), Type::Union(vec![Type::Integer, Type::Str]));
+        assert_eq!(
+            t("(U Integer String)"),
+            Type::Union(vec![Type::Integer, Type::Str])
+        );
         // paper §6.1: (Bytes -> Bytes)
         assert!(matches!(t("(Bytes -> Bytes)"), Type::Fun(_, _)));
     }

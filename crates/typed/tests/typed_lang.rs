@@ -66,7 +66,10 @@ fn arity_type_errors() {
          (f 1 2)",
     )
     .unwrap_err();
-    assert!(err.message.contains("wrong number of arguments"), "got: {err}");
+    assert!(
+        err.message.contains("wrong number of arguments"),
+        "got: {err}"
+    );
 }
 
 // ----- §3.2: colon declarations and context sensitivity -----
@@ -85,8 +88,8 @@ fn colon_declaration_form() {
 
 #[test]
 fn colon_infix_declaration() {
-    let v = run_typed
-        ("#lang typed/lagoon
+    let v = run_typed(
+        "#lang typed/lagoon
          (: add-5 : Integer -> Integer)
          (define (add-5 x) (+ x 5))
          (add-5 7)",
@@ -313,10 +316,7 @@ fn require_typed_wraps_imports() {
 #[test]
 fn require_typed_misuse_is_static() {
     let reg = registry();
-    reg.add_module(
-        "lib",
-        "#lang lagoon\n(define (f x) x)\n(provide f)",
-    );
+    reg.add_module("lib", "#lang lagoon\n(define (f x) x)\n(provide f)");
     reg.add_module(
         "main",
         "#lang typed/lagoon
@@ -589,7 +589,10 @@ fn cyclic_alias_errors() {
          (f 1)",
     )
     .unwrap_err();
-    assert!(err.message.contains("cyclic") || err.message.contains("unknown"), "got: {err}");
+    assert!(
+        err.message.contains("cyclic") || err.message.contains("unknown"),
+        "got: {err}"
+    );
 }
 
 // ----- type-system edges -----

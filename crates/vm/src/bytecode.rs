@@ -227,6 +227,209 @@ pub enum Op {
     FlSEq,
 }
 
+/// The coarse cost class of an instruction, for diagnostics: the
+/// generic-vs-specialized execution mix is exactly the paper's §7.3
+/// story about where the optimizer's speedup comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Stack/frame plumbing: loads, stores, jumps, calls.
+    Control,
+    /// Tag-dispatching operations with full checks (`Add2`, `Car`, …).
+    Generic,
+    /// Specialized operations that assume operand tags (`FlAdd`,
+    /// `UnsafeCar`, the unboxed `FlS*` family, …).
+    Specialized,
+}
+
+impl OpClass {
+    /// The lower-case display name used in reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Control => "control",
+            OpClass::Generic => "generic",
+            OpClass::Specialized => "specialized",
+        }
+    }
+}
+
+impl Op {
+    /// The instruction mnemonic, ignoring any operand payload.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Op::Const(_) => "Const",
+            Op::Void => "Void",
+            Op::LoadLocal(_) => "LoadLocal",
+            Op::StoreLocal(_) => "StoreLocal",
+            Op::LoadCapture(_) => "LoadCapture",
+            Op::LoadGlobal(_) => "LoadGlobal",
+            Op::StoreGlobal(_) => "StoreGlobal",
+            Op::Jump(_) => "Jump",
+            Op::JumpIfFalse(_) => "JumpIfFalse",
+            Op::MakeClosure(_) => "MakeClosure",
+            Op::Call(_) => "Call",
+            Op::TailCall(_) => "TailCall",
+            Op::Return => "Return",
+            Op::Pop => "Pop",
+            Op::BoxNew => "BoxNew",
+            Op::BoxGet => "BoxGet",
+            Op::BoxSet => "BoxSet",
+            Op::Add2 => "Add2",
+            Op::Sub2 => "Sub2",
+            Op::Mul2 => "Mul2",
+            Op::Div2 => "Div2",
+            Op::Lt2 => "Lt2",
+            Op::Le2 => "Le2",
+            Op::Gt2 => "Gt2",
+            Op::Ge2 => "Ge2",
+            Op::NumEq2 => "NumEq2",
+            Op::Add1 => "Add1",
+            Op::Sub1 => "Sub1",
+            Op::ZeroP => "ZeroP",
+            Op::Car => "Car",
+            Op::Cdr => "Cdr",
+            Op::Cons => "Cons",
+            Op::NullP => "NullP",
+            Op::PairP => "PairP",
+            Op::Not => "Not",
+            Op::EqP => "EqP",
+            Op::VectorRef => "VectorRef",
+            Op::VectorSet => "VectorSet",
+            Op::VectorLength => "VectorLength",
+            Op::FlAdd => "FlAdd",
+            Op::FlSub => "FlSub",
+            Op::FlMul => "FlMul",
+            Op::FlDiv => "FlDiv",
+            Op::FlLt => "FlLt",
+            Op::FlLe => "FlLe",
+            Op::FlGt => "FlGt",
+            Op::FlGe => "FlGe",
+            Op::FlEq => "FlEq",
+            Op::FlSqrt => "FlSqrt",
+            Op::FlAbs => "FlAbs",
+            Op::FlMin => "FlMin",
+            Op::FlMax => "FlMax",
+            Op::FxAdd => "FxAdd",
+            Op::FxSub => "FxSub",
+            Op::FxMul => "FxMul",
+            Op::FxLt => "FxLt",
+            Op::FxLe => "FxLe",
+            Op::FxGt => "FxGt",
+            Op::FxGe => "FxGe",
+            Op::FxEq => "FxEq",
+            Op::FcAdd => "FcAdd",
+            Op::FcSub => "FcSub",
+            Op::FcMul => "FcMul",
+            Op::FcDiv => "FcDiv",
+            Op::FcMag => "FcMag",
+            Op::UnsafeCar => "UnsafeCar",
+            Op::UnsafeCdr => "UnsafeCdr",
+            Op::UnsafeVectorRef => "UnsafeVectorRef",
+            Op::UnsafeVectorSet => "UnsafeVectorSet",
+            Op::UnsafeVectorLength => "UnsafeVectorLength",
+            Op::FxToFl => "FxToFl",
+            Op::FlPushLocal(_) => "FlPushLocal",
+            Op::FlPushCapture(_) => "FlPushCapture",
+            Op::FlPushConst(_) => "FlPushConst",
+            Op::FlUnbox => "FlUnbox",
+            Op::FlUnboxFx => "FlUnboxFx",
+            Op::FlBox => "FlBox",
+            Op::FlSAdd => "FlSAdd",
+            Op::FlSSub => "FlSSub",
+            Op::FlSMul => "FlSMul",
+            Op::FlSDiv => "FlSDiv",
+            Op::FlSSqrt => "FlSSqrt",
+            Op::FlSAbs => "FlSAbs",
+            Op::FlSMin => "FlSMin",
+            Op::FlSMax => "FlSMax",
+            Op::FlSLt => "FlSLt",
+            Op::FlSLe => "FlSLe",
+            Op::FlSGt => "FlSGt",
+            Op::FlSGe => "FlSGe",
+            Op::FlSEq => "FlSEq",
+        }
+    }
+
+    /// Which [`OpClass`] this instruction belongs to.
+    pub fn class(&self) -> OpClass {
+        match self {
+            Op::Add2
+            | Op::Sub2
+            | Op::Mul2
+            | Op::Div2
+            | Op::Lt2
+            | Op::Le2
+            | Op::Gt2
+            | Op::Ge2
+            | Op::NumEq2
+            | Op::Add1
+            | Op::Sub1
+            | Op::ZeroP
+            | Op::Car
+            | Op::Cdr
+            | Op::Cons
+            | Op::NullP
+            | Op::PairP
+            | Op::Not
+            | Op::EqP
+            | Op::VectorRef
+            | Op::VectorSet
+            | Op::VectorLength => OpClass::Generic,
+            Op::FlAdd
+            | Op::FlSub
+            | Op::FlMul
+            | Op::FlDiv
+            | Op::FlLt
+            | Op::FlLe
+            | Op::FlGt
+            | Op::FlGe
+            | Op::FlEq
+            | Op::FlSqrt
+            | Op::FlAbs
+            | Op::FlMin
+            | Op::FlMax
+            | Op::FxAdd
+            | Op::FxSub
+            | Op::FxMul
+            | Op::FxLt
+            | Op::FxLe
+            | Op::FxGt
+            | Op::FxGe
+            | Op::FxEq
+            | Op::FcAdd
+            | Op::FcSub
+            | Op::FcMul
+            | Op::FcDiv
+            | Op::FcMag
+            | Op::UnsafeCar
+            | Op::UnsafeCdr
+            | Op::UnsafeVectorRef
+            | Op::UnsafeVectorSet
+            | Op::UnsafeVectorLength
+            | Op::FxToFl
+            | Op::FlPushLocal(_)
+            | Op::FlPushCapture(_)
+            | Op::FlPushConst(_)
+            | Op::FlUnbox
+            | Op::FlUnboxFx
+            | Op::FlBox
+            | Op::FlSAdd
+            | Op::FlSSub
+            | Op::FlSMul
+            | Op::FlSDiv
+            | Op::FlSSqrt
+            | Op::FlSAbs
+            | Op::FlSMin
+            | Op::FlSMax
+            | Op::FlSLt
+            | Op::FlSLe
+            | Op::FlSGt
+            | Op::FlSGe
+            | Op::FlSEq => OpClass::Specialized,
+            _ => OpClass::Control,
+        }
+    }
+}
+
 /// A compiled procedure prototype.
 #[derive(Debug)]
 pub struct Proto {
@@ -271,7 +474,9 @@ impl Proto {
         let _ = writeln!(
             out,
             "{pad}proto {} (arity {}, locals {}, captures {:?})",
-            self.name.map(|n| n.as_str()).unwrap_or_else(|| "<top>".into()),
+            self.name
+                .map(|n| n.as_str())
+                .unwrap_or_else(|| "<top>".into()),
             self.arity,
             self.nlocals,
             self.captures
@@ -356,11 +561,29 @@ mod tests {
     #[test]
     fn specialization_table() {
         assert_eq!(specialized_op("+", 2), Some(Op::Add2));
-        assert_eq!(specialized_op("+", 3), None, "variadic + goes through the native");
+        assert_eq!(
+            specialized_op("+", 3),
+            None,
+            "variadic + goes through the native"
+        );
         assert_eq!(specialized_op("unsafe-fl+", 2), Some(Op::FlAdd));
         assert_eq!(specialized_op("no-such-prim", 1), None);
         assert_eq!(specialized_op("car", 1), Some(Op::Car));
         assert_eq!(specialized_op("car", 2), None);
+    }
+
+    #[test]
+    fn op_classification() {
+        assert_eq!(Op::Add2.class(), OpClass::Generic);
+        assert_eq!(Op::Car.class(), OpClass::Generic);
+        assert_eq!(Op::FlAdd.class(), OpClass::Specialized);
+        assert_eq!(Op::UnsafeCar.class(), OpClass::Specialized);
+        assert_eq!(Op::FlSAdd.class(), OpClass::Specialized);
+        assert_eq!(Op::FlPushLocal(0).class(), OpClass::Specialized);
+        assert_eq!(Op::Call(2).class(), OpClass::Control);
+        assert_eq!(Op::Return.class(), OpClass::Control);
+        assert_eq!(Op::Const(7).mnemonic(), "Const");
+        assert_eq!(Op::FlAdd.mnemonic(), "FlAdd");
     }
 
     #[test]

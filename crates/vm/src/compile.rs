@@ -268,12 +268,7 @@ impl Compiler {
         }
         // assignment-convert mutated parameters
         let param_count = lam.formals.len() + usize::from(lam.rest.is_some());
-        let params: Vec<Symbol> = lam
-            .formals
-            .iter()
-            .copied()
-            .chain(lam.rest)
-            .collect();
+        let params: Vec<Symbol> = lam.formals.iter().copied().chain(lam.rest).collect();
         debug_assert_eq!(params.len(), param_count);
         for (i, p) in params.iter().enumerate() {
             if self.mutated.contains(p) {
@@ -346,26 +341,24 @@ impl Compiler {
                 }
                 self.compile_body(body, tail)?;
             }
-            CoreExpr::Set(sym, rhs, _span) => {
-                match self.resolve(*sym) {
-                    Resolved::Local(i) => {
-                        self.top().emit(Op::LoadLocal(i));
-                        self.compile_expr(rhs, false)?;
-                        self.top().emit(Op::BoxSet);
-                    }
-                    Resolved::Capture(i) => {
-                        self.top().emit(Op::LoadCapture(i));
-                        self.compile_expr(rhs, false)?;
-                        self.top().emit(Op::BoxSet);
-                    }
-                    Resolved::Global(i) => {
-                        self.compile_expr(rhs, false)?;
-                        let scope = self.top();
-                        scope.emit(Op::StoreGlobal(i));
-                        scope.emit(Op::Void);
-                    }
+            CoreExpr::Set(sym, rhs, _span) => match self.resolve(*sym) {
+                Resolved::Local(i) => {
+                    self.top().emit(Op::LoadLocal(i));
+                    self.compile_expr(rhs, false)?;
+                    self.top().emit(Op::BoxSet);
                 }
-            }
+                Resolved::Capture(i) => {
+                    self.top().emit(Op::LoadCapture(i));
+                    self.compile_expr(rhs, false)?;
+                    self.top().emit(Op::BoxSet);
+                }
+                Resolved::Global(i) => {
+                    self.compile_expr(rhs, false)?;
+                    let scope = self.top();
+                    scope.emit(Op::StoreGlobal(i));
+                    scope.emit(Op::Void);
+                }
+            },
             CoreExpr::App(f, args, _) => {
                 // primitive specialization: a head that is a free reference
                 // to a known primitive with a matching argument count
@@ -396,10 +389,10 @@ impl Compiler {
                 for a in args {
                     self.compile_expr(a, false)?;
                 }
-                let n = u16::try_from(args.len()).map_err(|_| {
-                    RtError::new(Kind::Internal, "too many arguments in one call")
-                })?;
-                self.top().emit(if tail { Op::TailCall(n) } else { Op::Call(n) });
+                let n = u16::try_from(args.len())
+                    .map_err(|_| RtError::new(Kind::Internal, "too many arguments in one call"))?;
+                self.top()
+                    .emit(if tail { Op::TailCall(n) } else { Op::Call(n) });
             }
         }
         Ok(())
@@ -664,18 +657,14 @@ mod tests {
 
     #[test]
     fn tail_calls_are_marked() {
-        let m = compile(
-            "(define-values (loop) (#%plain-lambda (n) (#%plain-app loop n)))",
-        );
+        let m = compile("(define-values (loop) (#%plain-lambda (n) (#%plain-app loop n)))");
         let inner = &m.top.protos[0];
         assert!(inner.code.iter().any(|op| matches!(op, Op::TailCall(1))));
     }
 
     #[test]
     fn captures_thread_through_nested_lambdas() {
-        let m = compile(
-            "(#%plain-lambda (x) (#%plain-lambda () (#%plain-lambda () x)))",
-        );
+        let m = compile("(#%plain-lambda (x) (#%plain-lambda () (#%plain-lambda () x)))");
         let outer = &m.top.protos[0];
         let mid = &outer.protos[0];
         let inner = &mid.protos[0];
@@ -685,9 +674,7 @@ mod tests {
 
     #[test]
     fn mutated_locals_are_boxed() {
-        let m = compile(
-            "(let-values ([(x) 1]) (begin (set! x 2) x))",
-        );
+        let m = compile("(let-values ([(x) 1]) (begin (set! x 2) x))");
         let d = m.top.disassemble();
         assert!(d.contains("BoxNew"));
         assert!(d.contains("BoxSet"));
@@ -785,9 +772,9 @@ mod fusion_tests {
     fn generic_float_code_is_never_fused() {
         let m = compile("(#%plain-lambda (x y) (#%plain-app + (#%plain-app * x x) y))");
         let inner = &m.top.protos[0];
-        assert!(!inner.code.iter().any(|op| matches!(
-            op,
-            Op::FlSAdd | Op::FlSMul | Op::FlPushLocal(_)
-        )));
+        assert!(!inner
+            .code
+            .iter()
+            .any(|op| matches!(op, Op::FlSAdd | Op::FlSMul | Op::FlPushLocal(_))));
     }
 }

@@ -1,0 +1,76 @@
+//! Per-opcode execution counters (the `vm-counters` feature).
+//!
+//! Counting is doubly gated: the feature compiles the counting path in at
+//! all, and [`set_active`] turns it on for a particular run. The machine
+//! ([`crate::machine`]) checks [`active`] once per VM entry and selects a
+//! monomorphized interpreter loop, so the hot loop carries no per-opcode
+//! branch when counting is off.
+
+use crate::bytecode::{Op, OpClass};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+thread_local! {
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static COUNTS: RefCell<HashMap<&'static str, (OpClass, u64)>> =
+        RefCell::new(HashMap::new());
+}
+
+/// Turns opcode counting on or off for this thread. The machine samples
+/// this once per entry, so toggling mid-run affects only later entries.
+pub fn set_active(active: bool) {
+    ACTIVE.with(|a| a.set(active));
+}
+
+/// Whether opcode counting is currently active on this thread.
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.with(Cell::get)
+}
+
+/// Records one execution of `op`.
+#[inline]
+pub fn record(op: &Op) {
+    COUNTS.with(|c| {
+        c.borrow_mut()
+            .entry(op.mnemonic())
+            .or_insert((op.class(), 0))
+            .1 += 1;
+    });
+}
+
+/// Clears all recorded counts.
+pub fn reset() {
+    COUNTS.with(|c| c.borrow_mut().clear());
+}
+
+/// The recorded counts, sorted by descending count (ties by mnemonic for
+/// stable output).
+pub fn snapshot() -> Vec<(&'static str, OpClass, u64)> {
+    let mut rows: Vec<_> = COUNTS.with(|c| {
+        c.borrow()
+            .iter()
+            .map(|(&name, &(class, count))| (name, class, count))
+            .collect()
+    });
+    rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        reset();
+        record(&Op::Add2);
+        record(&Op::Add2);
+        record(&Op::FlAdd);
+        let snap = snapshot();
+        assert_eq!(snap[0], ("Add2", OpClass::Generic, 2));
+        assert_eq!(snap[1], ("FlAdd", OpClass::Specialized, 1));
+        reset();
+        assert!(snapshot().is_empty());
+    }
+}

@@ -36,6 +36,13 @@ pub fn apply_contracted(
     c: &Contracted,
     args: &[Value],
 ) -> Result<Value, RtError> {
+    if lagoon_diag::enabled() {
+        lagoon_diag::emit(lagoon_diag::Event::ContractCrossing {
+            export: c.inner.procedure_name(),
+            positive: c.positive,
+            negative: c.negative,
+        });
+    }
     let Contract::Function(doms, rng) = &c.contract else {
         return Err(RtError::new(
             lagoon_runtime::Kind::Internal,

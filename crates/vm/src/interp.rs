@@ -136,7 +136,11 @@ impl Interp {
                         .ok_or_else(|| RtError::unbound(*name).with_span(*span))
                 }
                 CoreExpr::If(c, t, e) => {
-                    expr = if self.eval(c, &env)?.is_truthy() { t } else { e };
+                    expr = if self.eval(c, &env)?.is_truthy() {
+                        t
+                    } else {
+                        e
+                    };
                 }
                 CoreExpr::Begin(body) => {
                     let (last, init) = body.split_last().expect("non-empty begin");
@@ -255,7 +259,9 @@ impl Engine for Interp {
                     if !c.arity.accepts(args.len()) {
                         return Err(RtError::arity(format!(
                             "{}: expects {} argument(s), got {}",
-                            c.name.map(|n| n.as_str()).unwrap_or_else(|| "#<procedure>".into()),
+                            c.name
+                                .map(|n| n.as_str())
+                                .unwrap_or_else(|| "#<procedure>".into()),
                             c.arity,
                             args.len()
                         )));
@@ -353,11 +359,9 @@ mod tests {
 
     #[test]
     fn set_mutates() {
-        let v = run(
-            "(define-values (x) 1)
+        let v = run("(define-values (x) 1)
              (set! x 5)
-             x",
-        )
+             x")
         .unwrap();
         assert!(matches!(v, Value::Int(5)));
         assert!(run("(set! nope 1)").is_err());
@@ -394,10 +398,8 @@ mod tests {
 
     #[test]
     fn begin_sequences() {
-        let v = run(
-            "(define-values (b) (#%plain-app box 0))
-             (begin (#%plain-app set-box! b 1) (#%plain-app unbox b))",
-        )
+        let v = run("(define-values (b) (#%plain-app box 0))
+             (begin (#%plain-app set-box! b 1) (#%plain-app unbox b))")
         .unwrap();
         assert!(matches!(v, Value::Int(1)));
     }

@@ -12,7 +12,7 @@
 //! guarantees this; paper §4.3 relies on the same invariant).
 
 use lagoon_runtime::{RtError, Value};
-use lagoon_syntax::{Datum, Span, SynData, Symbol, Syntax};
+use lagoon_syntax::{Datum, Span, Symbol, SynData, Syntax};
 
 /// A fully-expanded expression.
 #[derive(Clone, Debug)]
@@ -157,9 +157,7 @@ pub fn parse_expr(stx: &Syntax) -> Result<CoreExpr, RtError> {
     match stx.e() {
         SynData::Atom(Datum::Symbol(s)) => Ok(CoreExpr::Var(*s, stx.span())),
         SynData::Atom(d) => Ok(CoreExpr::Quote(Value::from_datum(d))),
-        SynData::Vector(_) | SynData::Improper(_, _) => {
-            Err(ir_error("not a core expression", stx))
-        }
+        SynData::Vector(_) | SynData::Improper(_, _) => Err(ir_error("not a core expression", stx)),
         SynData::List(items) => {
             let head = items.first().and_then(Syntax::sym);
             match head.map(|s| s.as_str()).as_deref() {
@@ -225,10 +223,7 @@ fn parse_formals(stx: &Syntax) -> Result<(Vec<Symbol>, Option<Symbol>), RtError>
             .ok_or_else(|| ir_error("formals: expected identifier", s))
     };
     match stx.e() {
-        SynData::List(ids) => Ok((
-            ids.iter().map(id_of).collect::<Result<Vec<_>, _>>()?,
-            None,
-        )),
+        SynData::List(ids) => Ok((ids.iter().map(id_of).collect::<Result<Vec<_>, _>>()?, None)),
         SynData::Improper(ids, tail) => Ok((
             ids.iter().map(id_of).collect::<Result<Vec<_>, _>>()?,
             Some(id_of(tail)?),
@@ -252,7 +247,10 @@ mod tests {
         assert!(matches!(parse("42"), CoreExpr::Quote(Value::Int(42))));
         assert!(matches!(parse("x"), CoreExpr::Var(_, _)));
         assert!(matches!(parse("(quote (1 2))"), CoreExpr::Quote(_)));
-        assert!(matches!(parse("(quote-syntax (f x))"), CoreExpr::QuoteSyntax(_)));
+        assert!(matches!(
+            parse("(quote-syntax (f x))"),
+            CoreExpr::QuoteSyntax(_)
+        ));
     }
 
     #[test]
@@ -305,10 +303,9 @@ mod tests {
 
     #[test]
     fn lambda_rhs_gets_named() {
-        let f = parse_form(
-            &read_syntax("(define-values (f) (#%plain-lambda (x) x))", "<t>").unwrap(),
-        )
-        .unwrap();
+        let f =
+            parse_form(&read_syntax("(define-values (f) (#%plain-lambda (x) x))", "<t>").unwrap())
+                .unwrap();
         match f {
             CoreForm::Define(_, CoreExpr::Lambda(lam), _) => {
                 assert_eq!(lam.name.unwrap().as_str(), "f")

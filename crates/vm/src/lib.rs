@@ -17,6 +17,8 @@
 
 pub mod bytecode;
 pub mod compile;
+#[cfg(feature = "vm-counters")]
+pub mod counters;
 pub mod engine;
 pub mod interp;
 pub mod ir;

@@ -142,11 +142,12 @@ fn arity_error(name: impl std::fmt::Display, arity: lagoon_runtime::Arity, got: 
 }
 
 fn downcast_closure(c: &Rc<Closure>) -> Result<(Rc<Proto>, Rc<VmEnv>), RtError> {
-    let proto = c
-        .code
-        .clone()
-        .downcast::<Proto>()
-        .map_err(|_| RtError::new(Kind::Internal, "closure from a different engine applied by the VM"))?;
+    let proto = c.code.clone().downcast::<Proto>().map_err(|_| {
+        RtError::new(
+            Kind::Internal,
+            "closure from a different engine applied by the VM",
+        )
+    })?;
     let env = c
         .env
         .clone()
@@ -183,7 +184,25 @@ macro_rules! fcval {
 }
 
 /// Runs `proto` as the body of a call with `args`, to completion.
+///
+/// Selects between the counting and non-counting monomorphizations of
+/// [`exec`] once per entry, so the hot loop itself carries no counting
+/// branch when opcode counters are off (or compiled out).
 fn run(proto: Rc<Proto>, env: Rc<VmEnv>, args: &[Value]) -> Result<Value, RtError> {
+    #[cfg(feature = "vm-counters")]
+    if crate::counters::active() {
+        return exec::<true>(proto, env, args);
+    }
+    exec::<false>(proto, env, args)
+}
+
+/// The interpreter loop, monomorphized over whether per-opcode counters
+/// are recorded.
+fn exec<const COUNT: bool>(
+    proto: Rc<Proto>,
+    env: Rc<VmEnv>,
+    args: &[Value],
+) -> Result<Value, RtError> {
     let mut stack: Vec<Value> = Vec::with_capacity(64);
     // the unboxed float stack used by fused unsafe-fl* sequences; always
     // empty at call/return boundaries (fused code never spans a call)
@@ -198,6 +217,10 @@ fn run(proto: Rc<Proto>, env: Rc<VmEnv>, args: &[Value]) -> Result<Value, RtErro
         let frame = frames.last_mut().expect("active frame");
         let op = frame.proto.code[frame.ip];
         frame.ip += 1;
+        #[cfg(feature = "vm-counters")]
+        if COUNT {
+            crate::counters::record(&op);
+        }
         match op {
             Op::Const(k) => stack.push(frame.proto.consts[k as usize].clone()),
             Op::Void => stack.push(Value::Void),
@@ -386,7 +409,10 @@ fn run(proto: Rc<Proto>, env: Rc<VmEnv>, args: &[Value]) -> Result<Value, RtErro
                         if *n < 0 || idx >= vec.len() {
                             return Err(RtError::new(
                                 Kind::Range,
-                                format!("vector-ref: index {n} out of range for length {}", vec.len()),
+                                format!(
+                                    "vector-ref: index {n} out of range for length {}",
+                                    vec.len()
+                                ),
                             ));
                         }
                         let x = vec[idx].clone();
@@ -413,7 +439,10 @@ fn run(proto: Rc<Proto>, env: Rc<VmEnv>, args: &[Value]) -> Result<Value, RtErro
                         if *n < 0 || idx >= vec.len() {
                             return Err(RtError::new(
                                 Kind::Range,
-                                format!("vector-set!: index {n} out of range for length {}", vec.len()),
+                                format!(
+                                    "vector-set!: index {n} out of range for length {}",
+                                    vec.len()
+                                ),
                             ));
                         }
                         vec[idx] = x;
@@ -794,9 +823,17 @@ mod tests {
     #[test]
     fn constants_and_arith() {
         assert!(matches!(run_src("42").unwrap(), Value::Int(42)));
-        assert!(matches!(run_src("(#%plain-app + 1 2)").unwrap(), Value::Int(3)));
-        assert!(matches!(run_src("(#%plain-app + 1 2 3)").unwrap(), Value::Int(6)));
-        assert!(matches!(run_src("(#%plain-app * 2.5 4.0)").unwrap(), Value::Float(x) if x == 10.0));
+        assert!(matches!(
+            run_src("(#%plain-app + 1 2)").unwrap(),
+            Value::Int(3)
+        ));
+        assert!(matches!(
+            run_src("(#%plain-app + 1 2 3)").unwrap(),
+            Value::Int(6)
+        ));
+        assert!(
+            matches!(run_src("(#%plain-app * 2.5 4.0)").unwrap(), Value::Float(x) if x == 10.0)
+        );
     }
 
     #[test]

@@ -1,9 +1,13 @@
 //! The `lagoon` command-line tool.
 //!
 //! ```text
-//! lagoon run <file.lag> [--interp]     run a program (deps loaded from
-//!                                      sibling <name>.lag files)
-//! lagoon expand <file.lag>             print the fully-expanded core forms
+//! lagoon run <file.lag> [--interp] [--stats [--json]]
+//!                                      run a program (deps loaded from
+//!                                      sibling <name>.lag files);
+//!                                      --stats prints phase timings, the
+//!                                      optimizer decision log, and opcode
+//!                                      counters, --json machine-readably
+//! lagoon expand <file.lag> [--timings] print the fully-expanded core forms
 //! lagoon repl [--typed]                interactive prompt
 //! ```
 
@@ -15,7 +19,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  lagoon run <file.lag> [--interp]\n  lagoon expand <file.lag>\n  lagoon repl [--typed]"
+        "usage:\n  lagoon run <file.lag> [--interp] [--stats [--json]]\n  lagoon expand <file.lag> [--timings]\n  lagoon repl [--typed]"
     );
     ExitCode::from(2)
 }
@@ -24,17 +28,27 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => {
-            let Some(file) = args.get(1) else { return usage() };
+            let Some(file) = args.get(1) else {
+                return usage();
+            };
             let engine = if args.iter().any(|a| a == "--interp") {
                 EngineKind::Interp
             } else {
                 EngineKind::Vm
             };
-            run_file(Path::new(file), engine)
+            let stats = args.iter().any(|a| a == "--stats");
+            let json = args.iter().any(|a| a == "--json");
+            if stats {
+                run_file_with_stats(Path::new(file), engine, json)
+            } else {
+                run_file(Path::new(file), engine)
+            }
         }
         Some("expand") => {
-            let Some(file) = args.get(1) else { return usage() };
-            expand_file(Path::new(file))
+            let Some(file) = args.get(1) else {
+                return usage();
+            };
+            expand_file(Path::new(file), args.iter().any(|a| a == "--timings"))
         }
         Some("repl") => repl(args.iter().any(|a| a == "--typed")),
         _ => usage(),
@@ -48,7 +62,9 @@ fn referenced_modules(source: &str) -> Vec<String> {
     if let Ok(module) = lagoon_syntax::read_module(source, "<scan>") {
         out.push(module.lang.as_str());
         for form in &module.body {
-            let Some(items) = form.as_list() else { continue };
+            let Some(items) = form.as_list() else {
+                continue;
+            };
             let Some(head) = items.first().and_then(lagoon_syntax::Syntax::sym) else {
                 continue;
             };
@@ -122,7 +138,7 @@ fn run_file(file: &Path, engine: EngineKind) -> ExitCode {
     }
 }
 
-fn expand_file(file: &Path) -> ExitCode {
+fn run_file_with_stats(file: &Path, engine: EngineKind, json: bool) -> ExitCode {
     let lagoon = Lagoon::new();
     let main = match load_with_deps(&lagoon, file) {
         Ok(m) => m,
@@ -131,13 +147,54 @@ fn expand_file(file: &Path) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match lagoon.expanded(&main) {
-        Ok(forms) => {
-            for form in forms {
-                println!("{}", form.to_datum());
+    match lagoon.run_with_stats(&main, engine) {
+        Ok((v, report)) => {
+            if json {
+                println!(
+                    "{{\"result\":{},\"report\":{}}}",
+                    lagoon::diag::json_string(&v.write_string()),
+                    report.to_json()
+                );
+            } else {
+                if !matches!(v, lagoon::Value::Void) {
+                    println!("{}", v.write_string());
+                }
+                print!("{}", report.render_text());
             }
             ExitCode::SUCCESS
         }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn expand_file(file: &Path, timings: bool) -> ExitCode {
+    let lagoon = Lagoon::new();
+    let main = match load_with_deps(&lagoon, file) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = if timings {
+        lagoon.expand_with_stats(&main).map(|(forms, report)| {
+            for form in forms {
+                println!("{}", form.to_datum());
+            }
+            print!("{}", report.render_phases());
+        })
+    } else {
+        lagoon.expanded(&main).map(|forms| {
+            for form in forms {
+                println!("{}", form.to_datum());
+            }
+        })
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("{e}");
             ExitCode::FAILURE

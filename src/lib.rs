@@ -40,6 +40,7 @@
 use std::rc::Rc;
 
 pub use lagoon_core::{CompiledModule, EngineKind, ModuleRegistry};
+pub use lagoon_diag as diag;
 pub use lagoon_runtime::io::capture_output;
 pub use lagoon_runtime::{Kind, RtError, Value};
 pub use lagoon_syntax::{Datum, Symbol, Syntax};
@@ -111,6 +112,74 @@ impl Lagoon {
     /// Propagates compilation errors.
     pub fn expanded(&self, module: &str) -> Result<Vec<Syntax>, RtError> {
         self.registry.expanded_body(module)
+    }
+
+    /// Like [`Lagoon::run`] but with the diagnostics sink installed for
+    /// the duration: returns the result value together with a
+    /// [`diag::Report`] covering phase timings, macro/typechecker
+    /// counters, the optimizer decision log, contract boundary crossings,
+    /// and (when the `vm-counters` feature is on) the executed opcode mix.
+    ///
+    /// The module (and anything it pulls in) is compiled first, then run
+    /// on fresh instances, so the run-phase timing and opcode counts cover
+    /// the full execution rather than a cached instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns read, expansion, typecheck, or runtime errors.
+    pub fn run_with_stats(
+        &self,
+        name: &str,
+        engine: EngineKind,
+    ) -> Result<(Value, diag::Report), RtError> {
+        let collector = diag::Collector::install();
+        if let Err(e) = self.registry.compile(Symbol::intern(name)) {
+            diag::uninstall();
+            return Err(e);
+        }
+        // run on fresh instances so the counters see the whole execution
+        self.registry.reset_instances();
+        #[cfg(feature = "vm-counters")]
+        {
+            lagoon_vm::counters::reset();
+            lagoon_vm::counters::set_active(true);
+        }
+        let result = {
+            let _t = diag::time(diag::Phase::Run, Symbol::intern(name));
+            self.registry.run(name, engine)
+        };
+        #[cfg(feature = "vm-counters")]
+        lagoon_vm::counters::set_active(false);
+        diag::uninstall();
+        let value = result?;
+        #[cfg_attr(not(feature = "vm-counters"), allow(unused_mut))]
+        let mut report = collector.report();
+        #[cfg(feature = "vm-counters")]
+        report.set_opcodes(
+            lagoon_vm::counters::snapshot()
+                .into_iter()
+                .map(|(op, class, count)| diag::OpcodeRow {
+                    op: op.to_string(),
+                    class: class.name().to_string(),
+                    count,
+                })
+                .collect(),
+        );
+        Ok((value, report))
+    }
+
+    /// Like [`Lagoon::expanded`] but with the diagnostics sink installed:
+    /// returns the expanded forms together with a report of per-phase
+    /// timings and expansion counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors.
+    pub fn expand_with_stats(&self, module: &str) -> Result<(Vec<Syntax>, diag::Report), RtError> {
+        let collector = diag::Collector::install();
+        let result = self.registry.expanded_body(module);
+        diag::uninstall();
+        Ok((result?, collector.report()))
     }
 
     /// The underlying registry, for advanced embedding (registering

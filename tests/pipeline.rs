@@ -18,27 +18,59 @@ fn both(lagoon: &Lagoon, name: &str) -> lagoon::Value {
 #[test]
 fn corpus_untyped() {
     let corpus: &[(&str, &str, &str)] = &[
-        ("tak-ish", "(define (tak x y z)
+        (
+            "tak-ish",
+            "(define (tak x y z)
             (if (not (< y x)) z
                 (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y))))
-          (tak 10 5 0)", "5"),
-        ("string-building", r#"(define (repeat s n)
+          (tak 10 5 0)",
+            "5",
+        ),
+        (
+            "string-building",
+            r#"(define (repeat s n)
             (if (= n 0) "" (string-append s (repeat s (- n 1)))))
-          (string-length (repeat "ab" 10))"#, "20"),
-        ("assoc-lists", "(define table '((a . 1) (b . 2) (c . 3)))
-          (cdr (assq 'b table))", "2"),
-        ("vectors", "(define v (make-vector 10 0))
+          (string-length (repeat "ab" 10))"#,
+            "20",
+        ),
+        (
+            "assoc-lists",
+            "(define table '((a . 1) (b . 2) (c . 3)))
+          (cdr (assq 'b table))",
+            "2",
+        ),
+        (
+            "vectors",
+            "(define v (make-vector 10 0))
           (let loop ([i 0])
             (when (< i 10) (vector-set! v i (* i i)) (loop (+ i 1))))
-          (vector-ref v 7)", "49"),
-        ("higher-order", "(foldl + 0 (map (lambda (x) (* x x)) (range 1 11)))", "385"),
+          (vector-ref v 7)",
+            "49",
+        ),
+        (
+            "higher-order",
+            "(foldl + 0 (map (lambda (x) (* x x)) (range 1 11)))",
+            "385",
+        ),
         ("char-code", "(char->integer (char-upcase #\\a))", "65"),
-        ("deep-quasiquote", "(define x 5) `(1 (2 ,x) ,@(list 3 4))", "(1 (2 5) 3 4)"),
-        ("mutual-recursion", "(define (even2? n) (if (= n 0) #t (odd2? (- n 1))))
+        (
+            "deep-quasiquote",
+            "(define x 5) `(1 (2 ,x) ,@(list 3 4))",
+            "(1 (2 5) 3 4)",
+        ),
+        (
+            "mutual-recursion",
+            "(define (even2? n) (if (= n 0) #t (odd2? (- n 1))))
           (define (odd2? n) (if (= n 0) #f (even2? (- n 1))))
-          (even2? 100)", "#t"),
-        ("closures-over-loops", "(define fs (map (lambda (i) (lambda () i)) '(1 2 3)))
-          (foldl + 0 (map (lambda (f) (f)) fs))", "6"),
+          (even2? 100)",
+            "#t",
+        ),
+        (
+            "closures-over-loops",
+            "(define fs (map (lambda (i) (lambda () i)) '(1 2 3)))
+          (foldl + 0 (map (lambda (f) (f)) fs))",
+            "6",
+        ),
         ("floats", "(exact->inexact (+ 1 (/ 1 2)))", "1.5"),
     ];
     let lagoon = Lagoon::new();
@@ -117,9 +149,18 @@ fn diamond_dependencies_instantiate_once() {
         "base",
         "#lang lagoon\n(display \"!\")\n(define one 1)\n(provide one)\n",
     );
-    lagoon.add_module("left", "#lang lagoon\n(require base)\n(define l (+ one 1))\n(provide l)\n");
-    lagoon.add_module("right", "#lang lagoon\n(require base)\n(define r (+ one 2))\n(provide r)\n");
-    lagoon.add_module("top", "#lang lagoon\n(require left)\n(require right)\n(+ l r)\n");
+    lagoon.add_module(
+        "left",
+        "#lang lagoon\n(require base)\n(define l (+ one 1))\n(provide l)\n",
+    );
+    lagoon.add_module(
+        "right",
+        "#lang lagoon\n(require base)\n(define r (+ one 2))\n(provide r)\n",
+    );
+    lagoon.add_module(
+        "top",
+        "#lang lagoon\n(require left)\n(require right)\n(+ l r)\n",
+    );
     let (v, out) = lagoon.run_capturing("top", EngineKind::Vm).unwrap();
     assert_eq!(v.to_string(), "5");
     assert_eq!(out, "!", "base must instantiate exactly once");
@@ -205,7 +246,10 @@ fn separate_compilation_persists_types() {
          (provide add-5)",
     );
     // force compilation of the server first
-    lagoon.registry().compile(lagoon::Symbol::intern("server")).unwrap();
+    lagoon
+        .registry()
+        .compile(lagoon::Symbol::intern("server"))
+        .unwrap();
     lagoon.add_module(
         "client",
         "#lang typed/lagoon

@@ -5,42 +5,83 @@
 //! builds compute the same value. We generate random well-typed
 //! arithmetic programs, run them as `#lang lagoon`, `#lang typed/no-opt`,
 //! and `#lang typed/lagoon` on both engines, and require agreement.
+//!
+//! The generators are driven by a fixed-seed splitmix64 stream rather
+//! than a property-testing framework, so the workspace stays
+//! dependency-free and every failure reproduces exactly.
 
 use lagoon::{Datum, EngineKind, Lagoon};
-use proptest::prelude::*;
+
+/// Deterministic splitmix64 stream.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn int(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % (hi - lo) as u64) as i64
+    }
+}
 
 // ---------------------------------------------------------------------
 // reader / printer round trip
 // ---------------------------------------------------------------------
 
-fn arb_datum() -> impl Strategy<Value = Datum> {
-    let leaf = prop_oneof![
-        (-1000i64..1000).prop_map(Datum::Int),
-        (-1000i64..1000).prop_map(|n| Datum::Float(n as f64 / 8.0)),
-        any::<bool>().prop_map(Datum::Bool),
-        "[a-z][a-z0-9-]{0,8}".prop_map(|s| Datum::sym(&s)),
-        "[ -~]{0,10}".prop_map(|s| Datum::string(&s)),
-        prop_oneof![Just('a'), Just('Z'), Just('0'), Just('\n'), Just(' ')]
-            .prop_map(Datum::Char),
-        ((-100i64..100), (-100i64..100))
-            .prop_map(|(re, im)| Datum::Complex(re as f64, im as f64 / 4.0)),
-    ];
-    leaf.prop_recursive(3, 24, 5, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 0..5).prop_map(Datum::List),
-            prop::collection::vec(inner, 0..4).prop_map(Datum::Vector),
-        ]
-    })
+fn arb_datum(rng: &mut Rng, depth: usize) -> Datum {
+    if depth > 0 && rng.below(3) == 0 {
+        let len = rng.below(5);
+        let items = (0..len).map(|_| arb_datum(rng, depth - 1)).collect();
+        return if rng.below(2) == 0 {
+            Datum::List(items)
+        } else {
+            Datum::Vector(items)
+        };
+    }
+    match rng.below(7) {
+        0 => Datum::Int(rng.int(-1000, 1000)),
+        1 => Datum::Float(rng.int(-1000, 1000) as f64 / 8.0),
+        2 => Datum::Bool(rng.next().is_multiple_of(2)),
+        3 => {
+            let len = 1 + rng.below(8);
+            let first = (b'a' + rng.below(26) as u8) as char;
+            let rest: String = (0..len)
+                .map(|_| {
+                    let cs = b"abcdefghijklmnopqrstuvwxyz0123456789-";
+                    cs[rng.below(cs.len())] as char
+                })
+                .collect();
+            Datum::sym(&format!("{first}{rest}"))
+        }
+        4 => {
+            let len = rng.below(10);
+            let s: String = (0..len)
+                .map(|_| (b' ' + rng.below(95) as u8) as char)
+                .collect();
+            Datum::string(&s)
+        }
+        5 => Datum::Char(['a', 'Z', '0', '\n', ' '][rng.below(5)]),
+        _ => Datum::Complex(rng.int(-100, 100) as f64, rng.int(-100, 100) as f64 / 4.0),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn reader_printer_round_trip(d in arb_datum()) {
+#[test]
+fn reader_printer_round_trip() {
+    let mut rng = Rng(0x5EED);
+    for _ in 0..128 {
+        let d = arb_datum(&mut rng, 3);
         let printed = d.to_string();
         let re_read = lagoon_syntax::read_datum(&printed, "<prop>").unwrap();
-        prop_assert_eq!(re_read, d);
+        assert_eq!(re_read, d);
     }
 }
 
@@ -56,65 +97,88 @@ struct Expr {
     is_float: bool,
 }
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (1i64..50).prop_map(|n| Expr { src: n.to_string(), is_float: false }),
-        (1i64..50).prop_map(|n| Expr {
-            src: format!("{n}.5"),
-            is_float: true
-        }),
-        Just(Expr { src: "x".into(), is_float: false }),
-        Just(Expr { src: "y".into(), is_float: true }),
-    ];
-    leaf.prop_recursive(4, 32, 3, |inner| {
-        prop_oneof![
-            // binary arithmetic: the result is float if either side is
-            (prop_oneof![Just("+"), Just("-"), Just("*")], inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| Expr {
-                    src: format!("({op} {} {})", a.src, b.src),
-                    is_float: a.is_float || b.is_float,
-                }),
-            // float-only ops (operand coerced)
-            inner.clone().prop_map(|a| Expr {
+fn arb_expr(rng: &mut Rng, depth: usize) -> Expr {
+    if depth == 0 || rng.below(3) == 0 {
+        return match rng.below(4) {
+            0 => Expr {
+                src: rng.int(1, 50).to_string(),
+                is_float: false,
+            },
+            1 => Expr {
+                src: format!("{}.5", rng.int(1, 50)),
+                is_float: true,
+            },
+            2 => Expr {
+                src: "x".into(),
+                is_float: false,
+            },
+            _ => Expr {
+                src: "y".into(),
+                is_float: true,
+            },
+        };
+    }
+    match rng.below(4) {
+        // binary arithmetic: the result is float if either side is
+        0 => {
+            let op = ["+", "-", "*"][rng.below(3)];
+            let a = arb_expr(rng, depth - 1);
+            let b = arb_expr(rng, depth - 1);
+            Expr {
+                src: format!("({op} {} {})", a.src, b.src),
+                is_float: a.is_float || b.is_float,
+            }
+        }
+        // float-only ops (operand coerced)
+        1 => {
+            let a = arb_expr(rng, depth - 1);
+            Expr {
                 src: format!("(sqrt (exact->inexact (abs {})))", a.src),
                 is_float: true,
-            }),
-            // comparisons guarded inside if
-            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| {
-                // branches must have the same type for simplicity: coerce
-                let (ts, es) = if t.is_float == e.is_float {
-                    (t.src.clone(), e.src.clone())
-                } else {
-                    (
-                        format!("(exact->inexact {})", t.src),
-                        format!("(exact->inexact {})", e.src),
-                    )
-                };
-                Expr {
-                    src: format!("(if (< (exact->inexact {}) 25.0) {ts} {es})", c.src),
-                    is_float: t.is_float || e.is_float,
-                }
-            }),
-            // min/max keep both real
-            (inner.clone(), inner).prop_map(|(a, b)| Expr {
+            }
+        }
+        // comparisons guarded inside if
+        2 => {
+            let c = arb_expr(rng, depth - 1);
+            let t = arb_expr(rng, depth - 1);
+            let e = arb_expr(rng, depth - 1);
+            // branches must have the same type for simplicity: coerce
+            let (ts, es) = if t.is_float == e.is_float {
+                (t.src.clone(), e.src.clone())
+            } else {
+                (
+                    format!("(exact->inexact {})", t.src),
+                    format!("(exact->inexact {})", e.src),
+                )
+            };
+            Expr {
+                src: format!("(if (< (exact->inexact {}) 25.0) {ts} {es})", c.src),
+                is_float: t.is_float || e.is_float,
+            }
+        }
+        // min/max keep both real
+        _ => {
+            let a = arb_expr(rng, depth - 1);
+            let b = arb_expr(rng, depth - 1);
+            Expr {
                 src: format!(
                     "(min (exact->inexact {}) (exact->inexact {}))",
                     a.src, b.src
                 ),
                 is_float: true,
-            }),
-        ]
-    })
+            }
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The optimizer-correctness property: untyped, typed-unoptimized,
-    /// and typed-optimized builds of the same program agree on both
-    /// engines.
-    #[test]
-    fn optimizer_preserves_semantics(e in arb_expr()) {
+/// The optimizer-correctness property: untyped, typed-unoptimized,
+/// and typed-optimized builds of the same program agree on both
+/// engines.
+#[test]
+fn optimizer_preserves_semantics() {
+    let mut rng = Rng(0x0B51D1A);
+    for _ in 0..48 {
+        let e = arb_expr(&mut rng, 4);
         let ret = if e.is_float { "Float" } else { "Integer" };
         let typed_body = format!(
             "(: f : Integer Float -> {ret})\n(define (f x y) {})\n(f 7 3.5)",
@@ -132,23 +196,73 @@ proptest! {
         let vn = lagoon.run("n", EngineKind::Vm).unwrap();
         let vi = lagoon.run("t", EngineKind::Interp).unwrap();
 
-        prop_assert!(vu.equal(&vt), "untyped={} typed={} src={}", vu, vt, e.src);
-        prop_assert!(vt.equal(&vn), "typed={} no-opt={} src={}", vt, vn, e.src);
-        prop_assert!(vt.equal(&vi), "vm={} interp={} src={}", vt, vi, e.src);
+        assert!(vu.equal(&vt), "untyped={} typed={} src={}", vu, vt, e.src);
+        assert!(vt.equal(&vn), "typed={} no-opt={} src={}", vt, vn, e.src);
+        assert!(vt.equal(&vi), "vm={} interp={} src={}", vt, vi, e.src);
     }
+}
 
-    /// Hygiene under adversarial user variable names: a macro-introduced
-    /// temporary never captures user bindings, whatever they're called.
-    #[test]
-    fn hygiene_survives_any_names(name in "[a-z]{1,6}") {
-        prop_assume!(!matches!(
+/// Hygiene under adversarial user variable names: a macro-introduced
+/// temporary never captures user bindings, whatever they're called.
+#[test]
+fn hygiene_survives_any_names() {
+    let mut rng = Rng(0x416E);
+    let mut tried = 0;
+    while tried < 32 {
+        let len = 1 + rng.below(6);
+        let name: String = (0..len)
+            .map(|_| (b'a' + rng.below(26) as u8) as char)
+            .collect();
+        if matches!(
             name.as_str(),
-            "if" | "let" | "set" | "define" | "swap" | "a" | "b" | "tmp" | "t" | "x" | "y"
-                | "begin" | "quote" | "lambda" | "cond" | "case" | "when" | "unless" | "and"
-                | "or" | "else" | "map" | "list" | "cons" | "car" | "cdr" | "not" | "void"
-                | "min" | "max" | "abs" | "sqrt" | "sin" | "cos" | "tan" | "log" | "exp"
-                | "sum" | "iota" | "range" | "rest" | "first" | "last" | "error" | "sub"
-        ));
+            "if" | "let"
+                | "set"
+                | "define"
+                | "swap"
+                | "a"
+                | "b"
+                | "tmp"
+                | "t"
+                | "x"
+                | "y"
+                | "begin"
+                | "quote"
+                | "lambda"
+                | "cond"
+                | "case"
+                | "when"
+                | "unless"
+                | "and"
+                | "or"
+                | "else"
+                | "map"
+                | "list"
+                | "cons"
+                | "car"
+                | "cdr"
+                | "not"
+                | "void"
+                | "min"
+                | "max"
+                | "abs"
+                | "sqrt"
+                | "sin"
+                | "cos"
+                | "tan"
+                | "log"
+                | "exp"
+                | "sum"
+                | "iota"
+                | "range"
+                | "rest"
+                | "first"
+                | "last"
+                | "error"
+                | "sub"
+        ) {
+            continue;
+        }
+        tried += 1;
         let lagoon = Lagoon::new();
         lagoon.add_module(
             "hygiene",
@@ -164,14 +278,25 @@ proptest! {
             ),
         );
         let v = lagoon.run("hygiene", EngineKind::Vm).unwrap();
-        prop_assert_eq!(v.to_string(), "(2 1)");
+        assert_eq!(v.to_string(), "(2 1)", "name: {name}");
     }
+}
 
-    /// Contracts are complete mediators: for any generated integer value,
-    /// a typed (Integer -> Integer) export accepts integers from untyped
-    /// clients and rejects every non-integer first-order value.
-    #[test]
-    fn contract_boundary_is_sound(n in -1000i64..1000, bad in "[a-z ]{0,8}") {
+/// Contracts are complete mediators: for any generated integer value,
+/// a typed (Integer -> Integer) export accepts integers from untyped
+/// clients and rejects every non-integer first-order value.
+#[test]
+fn contract_boundary_is_sound() {
+    let mut rng = Rng(0xC0117AC7);
+    for _ in 0..32 {
+        let n = rng.int(-1000, 1000);
+        let bad_len = rng.below(9);
+        let bad: String = (0..bad_len)
+            .map(|_| {
+                let cs = b"abcdefghijklmnopqrstuvwxyz ";
+                cs[rng.below(cs.len())] as char
+            })
+            .collect();
         let lagoon = Lagoon::new();
         lagoon.add_module(
             "server",
@@ -185,7 +310,7 @@ proptest! {
             &format!("#lang lagoon\n(require server)\n(inc {n})\n"),
         );
         let v = lagoon.run("ok", EngineKind::Vm).unwrap();
-        prop_assert_eq!(v.to_string(), (n + 1).to_string());
+        assert_eq!(v.to_string(), (n + 1).to_string());
 
         lagoon.add_module(
             "bad",
@@ -193,6 +318,6 @@ proptest! {
         );
         let err = lagoon.run("bad", EngineKind::Vm).unwrap_err();
         let is_contract = matches!(err.kind, lagoon::Kind::Contract { .. });
-        prop_assert!(is_contract, "expected contract violation, got {}", err);
+        assert!(is_contract, "expected contract violation, got {err}");
     }
 }
