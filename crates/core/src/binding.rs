@@ -149,12 +149,11 @@ impl BindingTable {
     }
 
     /// Convenience: binds using an identifier's own symbol and scopes.
+    /// Silently ignores non-identifiers (callers check first).
     pub fn bind_id(&self, id: &Syntax, binding: Binding) {
-        self.bind(
-            id.sym().expect("bind_id on non-identifier"),
-            id.scopes().clone(),
-            binding,
-        );
+        if let Some(sym) = id.sym() {
+            self.bind(sym, id.scopes().clone(), binding);
+        }
     }
 
     /// Resolves a reference: the binding whose scope set is the largest

@@ -63,7 +63,9 @@ pub fn if3(c: Syntax, t: Syntax, e: Syntax) -> Syntax {
 /// `(begin e…)`.
 pub fn begin(mut exprs: Vec<Syntax>) -> Syntax {
     if exprs.len() == 1 {
-        return exprs.pop().unwrap();
+        if let Some(only) = exprs.pop() {
+            return only;
+        }
     }
     let mut items = vec![id("begin")];
     items.extend(exprs);

@@ -119,6 +119,18 @@ impl Expander {
         exp
     }
 
+    /// Converts a budget exhaustion into a span-carrying diagnostic,
+    /// emitting the structured [`lagoon_diag::Event::Limit`] on the way.
+    fn exhaust(&self, e: lagoon_diag::Exhausted, stx: &Syntax) -> RtError {
+        lagoon_diag::limit_event(&e, self.module_name, Some(stx.span()));
+        RtError::from(e).with_span(stx.span())
+    }
+
+    /// Charges one macro-expansion step against the installed budget.
+    fn charge_expansion(&self, stx: &Syntax) -> Result<(), RtError> {
+        lagoon_diag::limits::expansion_step().map_err(|e| self.exhaust(e, stx))
+    }
+
     fn with_current<R>(&self, f: impl FnOnce() -> R) -> R {
         let me = self.self_ref.borrow().clone();
         CURRENT.with(|c| c.borrow_mut().push(me));
@@ -212,7 +224,11 @@ impl Expander {
     pub fn apply_hosted_macro(&self, transformer: &Value, stx: &Syntax) -> Result<Syntax, RtError> {
         let intro = Scope::fresh();
         let input = stx.flip_scope(intro);
-        let result = self.with_current(|| Interp.apply(transformer, &[Value::Syntax(input)]))?;
+        let result = self.with_current(|| {
+            // transformer bodies run on the phase-1 step budget
+            let _p1 = lagoon_diag::limits::phase1_scope();
+            Interp.apply(transformer, &[Value::Syntax(input)])
+        })?;
         match result {
             Value::Syntax(s) => Ok(s.flip_scope(intro)),
             other => Err(RtError::user(format!(
@@ -231,7 +247,10 @@ impl Expander {
     pub fn eval_phase1(&self, stx: &Syntax) -> Result<Value, RtError> {
         let core = self.expand_expr(stx)?;
         let expr = lagoon_vm::parse_expr(&core)?;
-        self.with_current(|| Interp.eval(&expr, &self.phase1))
+        self.with_current(|| {
+            let _p1 = lagoon_diag::limits::phase1_scope();
+            Interp.eval(&expr, &self.phase1)
+        })
     }
 
     /// Evaluates a phase-1 *form*: `define-values` defines into the
@@ -246,7 +265,10 @@ impl Expander {
                 let (id, rhs) = parse_define_values(&stx)?;
                 let binder = self.fresh_binder(&id)?;
                 let v = self.eval_phase1(&rhs)?;
-                self.phase1.define(binder.sym().unwrap(), v);
+                let name = binder
+                    .sym()
+                    .ok_or_else(|| syntax_error("define-values: expected identifier", &binder))?;
+                self.phase1.define(name, v);
                 Ok(Value::Void)
             }
             Classified::Core(CoreFormKind::DefineSyntaxes, stx) => {
@@ -254,7 +276,9 @@ impl Expander {
                 Ok(Value::Void)
             }
             Classified::Core(CoreFormKind::Begin, stx) => {
-                let items = stx.as_list().unwrap();
+                let items = stx
+                    .as_list()
+                    .ok_or_else(|| syntax_error("malformed begin", &stx))?;
                 let mut last = Value::Void;
                 for f in &items[1..] {
                     last = self.eval_phase1_form(f)?;
@@ -263,7 +287,10 @@ impl Expander {
             }
             Classified::Done(core) => {
                 let expr = lagoon_vm::parse_expr(&core)?;
-                self.with_current(|| Interp.eval(&expr, &self.phase1))
+                self.with_current(|| {
+                    let _p1 = lagoon_diag::limits::phase1_scope();
+                    Interp.eval(&expr, &self.phase1)
+                })
             }
             Classified::Core(_, stx) | Classified::Other(stx) => self.eval_phase1(&stx),
         }
@@ -281,13 +308,24 @@ impl Expander {
             };
             match self.resolve(&head)? {
                 Some(Binding::Macro(transformer)) => {
+                    self.charge_expansion(&stx)?;
                     lagoon_diag::count("macro-steps", self.module_name, 1);
                     stx = self.apply_hosted_macro(&transformer, &stx)?;
+                    // bill the transcription by its width so a
+                    // self-doubling macro pays for the syntax it builds
+                    let width = stx.as_list().map_or(0, |l| l.len() as u64);
+                    if width > 1 {
+                        lagoon_diag::limits::expansion_steps(width - 1)
+                            .map_err(|e| self.exhaust(e, &stx))?;
+                    }
                 }
-                Some(Binding::Native(native)) => match (native.expand)(self, stx, ctx)? {
-                    Expanded::Surface(s) => stx = s,
-                    Expanded::Core(s) => return Ok(Classified::Done(s)),
-                },
+                Some(Binding::Native(native)) => {
+                    self.charge_expansion(&stx)?;
+                    match (native.expand)(self, stx, ctx)? {
+                        Expanded::Surface(s) => stx = s,
+                        Expanded::Core(s) => return Ok(Classified::Done(s)),
+                    }
+                }
                 Some(Binding::Core(kind)) => return Ok(Classified::Core(kind, stx)),
                 _ => return Ok(Classified::Other(stx)),
             }
@@ -301,6 +339,7 @@ impl Expander {
     ///
     /// Returns syntax errors for malformed forms and unbound identifiers.
     pub fn expand_expr(&self, stx: &Syntax) -> Result<Syntax, RtError> {
+        let _depth = lagoon_diag::limits::enter_expansion().map_err(|e| self.exhaust(e, stx))?;
         match self.classify(stx.clone(), ExpandCtx::Expression)? {
             Classified::Done(core) => Ok(core),
             Classified::Core(kind, stx) => self.expand_core(kind, &stx),
@@ -456,7 +495,9 @@ impl Expander {
     }
 
     fn expand_lambda(&self, stx: &Syntax) -> Result<Syntax, RtError> {
-        let items = stx.as_list().unwrap();
+        let items = stx
+            .as_list()
+            .ok_or_else(|| syntax_error("malformed lambda", stx))?;
         if items.len() < 3 {
             return Err(syntax_error("lambda: expects formals and a body", stx));
         }
@@ -491,7 +532,9 @@ impl Expander {
     }
 
     fn expand_let(&self, stx: &Syntax, rec: bool) -> Result<Syntax, RtError> {
-        let items = stx.as_list().unwrap();
+        let items = stx
+            .as_list()
+            .ok_or_else(|| syntax_error("malformed let-values", stx))?;
         if items.len() < 3 {
             return Err(syntax_error("let-values: expects bindings and a body", stx));
         }
@@ -565,7 +608,9 @@ impl Expander {
             match self.classify(form, ExpandCtx::InternalDefine)? {
                 Classified::Done(core) => items.push(Item::Done(core)),
                 Classified::Core(CoreFormKind::Begin, stx) => {
-                    let inner = stx.as_list().unwrap();
+                    let inner = stx
+                        .as_list()
+                        .ok_or_else(|| syntax_error("malformed begin", &stx))?;
                     for f in inner[1..].iter().rev() {
                         work.push_front(f.clone());
                     }
@@ -650,7 +695,9 @@ impl Expander {
             match self.classify(form, ExpandCtx::ModuleBegin)? {
                 Classified::Done(core) => items.push(Item::Done(core)),
                 Classified::Core(CoreFormKind::Begin, stx) => {
-                    let inner = stx.as_list().unwrap();
+                    let inner = stx
+                        .as_list()
+                        .ok_or_else(|| syntax_error("malformed begin", &stx))?;
                     for f in inner[1..].iter().rev() {
                         work.push_front(f.clone());
                     }
@@ -664,7 +711,9 @@ impl Expander {
                     self.handle_define_syntaxes(&stx)?;
                 }
                 Classified::Core(CoreFormKind::BeginForSyntax, stx) => {
-                    let inner = stx.as_list().unwrap();
+                    let inner = stx
+                        .as_list()
+                        .ok_or_else(|| syntax_error("malformed begin-for-syntax", &stx))?;
                     for f in &inner[1..] {
                         self.eval_phase1_form(f)?;
                     }
@@ -697,7 +746,9 @@ impl Expander {
     }
 
     fn handle_require(&self, stx: &Syntax) -> Result<(), RtError> {
-        let items = stx.as_list().unwrap();
+        let items = stx
+            .as_list()
+            .ok_or_else(|| syntax_error("malformed require", stx))?;
         for spec in &items[1..] {
             let name = spec
                 .sym()
@@ -712,23 +763,29 @@ impl Expander {
     }
 
     fn handle_provide(&self, stx: &Syntax) -> Result<(), RtError> {
-        let items = stx.as_list().unwrap();
+        let items = stx
+            .as_list()
+            .ok_or_else(|| syntax_error("malformed provide", stx))?;
         for spec in &items[1..] {
-            if spec.is_identifier() {
+            if let Some(external) = spec.sym().filter(|_| spec.is_identifier()) {
                 self.provides.borrow_mut().push(ProvideItem {
                     internal: spec.clone(),
-                    external: spec.sym().unwrap(),
+                    external,
                 });
             } else if let Some(parts) = spec.as_list() {
                 // (rename internal external)
-                if parts.len() == 3
-                    && parts[0].sym() == Some(Symbol::intern("rename"))
-                    && parts[1].is_identifier()
-                    && parts[2].is_identifier()
-                {
+                if let (3, Some(rename), true, Some(external)) = (
+                    parts.len(),
+                    parts.first().and_then(|p| p.sym()),
+                    parts.get(1).is_some_and(|p| p.is_identifier()),
+                    parts.get(2).and_then(|p| p.sym()),
+                ) {
+                    if rename != Symbol::intern("rename") {
+                        return Err(syntax_error("malformed provide spec", spec));
+                    }
                     self.provides.borrow_mut().push(ProvideItem {
                         internal: parts[1].clone(),
-                        external: parts[2].sym().unwrap(),
+                        external,
                     });
                 } else {
                     return Err(syntax_error("provide: malformed spec", spec));

@@ -21,6 +21,9 @@
 //! for them, which is the paper's thesis.
 
 #![warn(missing_docs)]
+// panic-free core: unwrap/expect in non-test code must be justified
+// with an explicit #[allow] (CI promotes these to errors)
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod binding;
 pub mod build;

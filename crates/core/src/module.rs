@@ -23,7 +23,7 @@
 use crate::binding::{Binding, BindingTable, CoreFormKind};
 use crate::expander::Expander;
 use lagoon_runtime::{Kind, RtError, Value};
-use lagoon_syntax::{read_module, Datum, ScopeSet, Span, Symbol, Syntax};
+use lagoon_syntax::{read_module_recover, Datum, ScopeSet, Span, Symbol, Syntax};
 use lagoon_vm::{parse_form, Compiler, CoreForm, Env, Globals, Interp, Vm};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
@@ -128,6 +128,9 @@ impl ModuleRegistry {
     /// # Panics
     ///
     /// Panics if the built-in prelude fails to compile — a Lagoon bug.
+    /// (This is deterministic init-time code, exercised by every test, so
+    /// the expects below are deliberate rather than error-converted.)
+    #[allow(clippy::expect_used)]
     pub fn new() -> Rc<ModuleRegistry> {
         let table = Rc::new(BindingTable::new());
 
@@ -280,8 +283,24 @@ impl ModuleRegistry {
             .ok_or_else(|| RtError::user(format!("unknown module: {name}")))?;
         let module = {
             let _t = lagoon_diag::time(lagoon_diag::Phase::Read, name);
-            read_module(&source, &name.as_str())
-                .map_err(|e| RtError::user(e.to_string()).with_span(e.span))?
+            let (module, read_errors) = read_module_recover(&source, &name.as_str())
+                .map_err(|e| RtError::user(e.to_string()).with_span(e.span))?;
+            if !read_errors.is_empty() {
+                // the reader resynchronized at top-level form boundaries,
+                // so report every problem in one go instead of the first
+                let mut msg = if read_errors.len() == 1 {
+                    read_errors[0].message.clone()
+                } else {
+                    format!("{} read errors in module {name}", read_errors.len())
+                };
+                if read_errors.len() > 1 {
+                    for e in &read_errors {
+                        msg.push_str(&format!("\n  {e}"));
+                    }
+                }
+                return Err(RtError::user(msg).with_span(read_errors[0].span));
+            }
+            module
         };
 
         let exp = Expander::new(
@@ -415,7 +434,7 @@ impl ModuleRegistry {
         }
         let compiled = self.compile(name)?;
         self.guard_instantiation(name)?;
-        let result = (|| {
+        let result = (|| -> Result<(Rc<Env>, Value), RtError> {
             let env = Env::child(&self.interp_base.borrow());
             for dep in &compiled.requires {
                 // a language registered with native values?
@@ -450,7 +469,7 @@ impl ModuleRegistry {
         }
         let compiled = self.compile(name)?;
         self.guard_instantiation(name)?;
-        let result = (|| {
+        let result = (|| -> Result<(Rc<Globals>, Value), RtError> {
             // gather import values: dependency exports + language natives
             let mut imports: HashMap<Symbol, Value> = HashMap::new();
             for dep in &compiled.requires {

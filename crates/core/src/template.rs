@@ -181,7 +181,7 @@ fn match_into(
                         input.with_data(SynData::Improper(rest, tail.clone()))
                     }
                 }
-                _ => unreachable!(),
+                _ => return None,
             };
             match_into(ptail, &remainder, literals, out)
         }

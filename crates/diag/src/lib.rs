@@ -31,6 +31,11 @@
 
 #![warn(missing_docs)]
 
+pub mod gen;
+pub mod limits;
+
+pub use limits::{Budget, Exhausted, FaultPlan, Limits};
+
 use lagoon_syntax::{Span, Symbol};
 use std::cell::{Cell, RefCell};
 use std::fmt::Write as _;
@@ -141,6 +146,33 @@ pub enum Event {
         /// The negative blame party (the client side).
         negative: Symbol,
     },
+    /// A resource budget was exhausted (or an injected fault fired) and
+    /// the pipeline unwound with a structured diagnostic.
+    Limit {
+        /// Which budget ran out (see [`limits::Budget::name`]).
+        budget: &'static str,
+        /// The module being processed when the budget ran out.
+        module: Symbol,
+        /// Source location of the charge site, when known.
+        span: Option<Span>,
+    },
+}
+
+/// Emits a budget-exhaustion event; a no-op when disabled.
+pub fn limit_event(exhausted: &Exhausted, module: Symbol, span: Option<Span>) {
+    limit_event_named(exhausted.budget.name(), module, span);
+}
+
+/// Like [`limit_event`] for callers that only have the budget's name
+/// (e.g. recovered from an error kind rather than a live [`Exhausted`]).
+pub fn limit_event_named(budget: &'static str, module: Symbol, span: Option<Span>) {
+    if enabled() {
+        emit(Event::Limit {
+            budget,
+            module,
+            span,
+        });
+    }
 }
 
 /// A consumer of diagnostic events.
@@ -337,6 +369,17 @@ pub struct ContractRow {
     pub count: u64,
 }
 
+/// One budget-exhaustion row.
+#[derive(Clone, Debug)]
+pub struct LimitRow {
+    /// Which budget ran out.
+    pub budget: String,
+    /// Module being processed.
+    pub module: String,
+    /// Rendered source location (empty when unknown).
+    pub span: String,
+}
+
 /// One opcode-execution row (supplied by the VM's `vm-counters` feature).
 #[derive(Clone, Debug)]
 pub struct OpcodeRow {
@@ -361,6 +404,8 @@ pub struct Report {
     pub near_misses: Vec<NearMissRow>,
     /// Contract boundary crossings, aggregated per boundary.
     pub contracts: Vec<ContractRow>,
+    /// Budget exhaustions, in emission order.
+    pub limits: Vec<LimitRow>,
     /// Opcode execution counts (empty unless the VM ran with counters).
     pub opcodes: Vec<OpcodeRow>,
 }
@@ -450,6 +495,15 @@ impl Report {
                         }),
                     }
                 }
+                Event::Limit {
+                    budget,
+                    module,
+                    span,
+                } => report.limits.push(LimitRow {
+                    budget: (*budget).to_string(),
+                    module: module.as_str(),
+                    span: span.map(|s| s.to_string()).unwrap_or_default(),
+                }),
             }
         }
         report
@@ -555,6 +609,12 @@ impl Report {
                 );
             }
         }
+        if !self.limits.is_empty() {
+            let _ = writeln!(out, "resource limits hit");
+            for l in &self.limits {
+                let _ = writeln!(out, "  {:<20} {:<18} {}", l.module, l.budget, l.span);
+            }
+        }
         if !self.opcodes.is_empty() {
             let share = self
                 .specialized_share()
@@ -633,6 +693,16 @@ impl Report {
                 json_string(&c.positive),
                 json_string(&c.negative),
                 c.count
+            );
+        });
+        out.push_str("],\"limits\":[");
+        push_rows(&mut out, &self.limits, |out, l| {
+            let _ = write!(
+                out,
+                "{{\"budget\":{},\"module\":{},\"span\":{}}}",
+                json_string(&l.budget),
+                json_string(&l.module),
+                json_string(&l.span)
             );
         });
         out.push_str("],\"opcodes\":[");

@@ -31,6 +31,13 @@ pub enum Kind {
     },
     /// `(error ...)` was called by the program.
     User,
+    /// A resource budget ran out — expansion/evaluation fuel, stack
+    /// depth, a wall-clock deadline, or an injected fault (see
+    /// `lagoon_diag::limits`).
+    ResourceExhausted {
+        /// The budget that ran out (`lagoon_diag::Budget::name`).
+        budget: &'static str,
+    },
     /// An internal invariant was broken (a bug in Lagoon itself).
     Internal,
 }
@@ -46,14 +53,16 @@ impl fmt::Display for Kind {
             Kind::Range => f.write_str("index out of range"),
             Kind::Contract { blame } => write!(f, "contract violation (blaming {blame})"),
             Kind::User => f.write_str("error"),
+            Kind::ResourceExhausted { budget } => write!(f, "resource exhausted ({budget})"),
             Kind::Internal => f.write_str("internal error"),
         }
     }
 }
 
-/// A runtime error.
+/// The payload of an [`RtError`]. Its fields are readable directly on
+/// the error itself (`e.kind`, `e.message`, `e.span`) via `Deref`.
 #[derive(Clone, Debug, PartialEq)]
-pub struct RtError {
+pub struct ErrData {
     /// What went wrong.
     pub kind: Kind,
     /// Human-readable details.
@@ -62,14 +71,39 @@ pub struct RtError {
     pub span: Option<Span>,
 }
 
+/// A runtime error.
+///
+/// The payload is boxed so `RtError` is a single pointer: errors thread
+/// through deeply recursive code (expander, interpreter, compiler), and a
+/// by-value error type inflates every `Result` temporary on the way down
+/// — enough to matter for host stack headroom in debug builds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RtError(Box<ErrData>);
+
+// the whole point of the box: keep error Results pointer-thin
+const _: () = assert!(std::mem::size_of::<RtError>() == std::mem::size_of::<usize>());
+
+impl std::ops::Deref for RtError {
+    type Target = ErrData;
+    fn deref(&self) -> &ErrData {
+        &self.0
+    }
+}
+
+impl std::ops::DerefMut for RtError {
+    fn deref_mut(&mut self) -> &mut ErrData {
+        &mut self.0
+    }
+}
+
 impl RtError {
     /// A new error of the given kind.
     pub fn new(kind: Kind, message: impl Into<String>) -> RtError {
-        RtError {
+        RtError(Box::new(ErrData {
             kind,
             message: message.into(),
             span: None,
-        }
+        }))
     }
 
     /// A tag/type error.
@@ -99,8 +133,24 @@ impl RtError {
 
     /// Attaches a source span (keeps an existing one).
     pub fn with_span(mut self, span: Span) -> RtError {
-        self.span.get_or_insert(span);
+        self.0.span.get_or_insert(span);
         self
+    }
+
+    /// True for budget-exhaustion errors (any budget).
+    pub fn is_resource_exhausted(&self) -> bool {
+        matches!(self.kind, Kind::ResourceExhausted { .. })
+    }
+}
+
+impl From<lagoon_diag::Exhausted> for RtError {
+    fn from(e: lagoon_diag::Exhausted) -> RtError {
+        RtError::new(
+            Kind::ResourceExhausted {
+                budget: e.budget.name(),
+            },
+            e.to_string(),
+        )
     }
 }
 

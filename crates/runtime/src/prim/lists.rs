@@ -2,9 +2,9 @@
 
 use super::def;
 use crate::error::RtError;
-use crate::value::{Arity, Value};
+use crate::value::{Arity, Pair, Value};
 
-fn expect_pair(name: &str, v: &Value) -> Result<std::rc::Rc<(Value, Value)>, RtError> {
+fn expect_pair(name: &str, v: &Value) -> Result<std::rc::Rc<Pair>, RtError> {
     match v {
         Value::Pair(p) => Ok(p.clone()),
         other => Err(RtError::type_error(format!(
@@ -73,10 +73,9 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
         Ok(Value::Int(items.len() as i64))
     });
     def(out, "append", Arity::at_least(0), |args| {
-        if args.is_empty() {
+        let Some((last, init)) = args.split_last() else {
             return Ok(Value::Nil);
-        }
-        let (last, init) = args.split_last().unwrap();
+        };
         let mut acc = last.clone();
         for l in init.iter().rev() {
             let items = l.list_to_vec().ok_or_else(|| {
@@ -146,11 +145,10 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
         Ok(expect_pair("third", &cddr)?.0.clone())
     });
     def(out, "last", Arity::exactly(1), |args| {
-        let items = args[0]
+        args[0]
             .list_to_vec()
-            .filter(|v| !v.is_empty())
-            .ok_or_else(|| RtError::type_error("last: expected non-empty list"))?;
-        Ok(items.last().unwrap().clone())
+            .and_then(|v| v.last().cloned())
+            .ok_or_else(|| RtError::type_error("last: expected non-empty list"))
     });
 
     def(out, "memq", Arity::exactly(2), |args| {

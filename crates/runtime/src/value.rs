@@ -167,7 +167,7 @@ pub enum Value {
     /// The empty list.
     Nil,
     /// An immutable cons cell.
-    Pair(Rc<(Value, Value)>),
+    Pair(Rc<Pair>),
     /// A mutable vector.
     Vector(Rc<RefCell<Vec<Value>>>),
     /// A mutable box.
@@ -182,10 +182,31 @@ pub enum Value {
     Syntax(Syntax),
 }
 
+/// A cons cell: `.0` is the car, `.1` the cdr.
+#[derive(Debug)]
+pub struct Pair(pub Value, pub Value);
+
+impl Drop for Pair {
+    // walk the cdr spine iteratively: the derived drop would recurse
+    // once per cell, and releasing a long list (easily millions of
+    // cells under a hostile macro) must not overflow the host stack
+    fn drop(&mut self) {
+        let mut tail = std::mem::replace(&mut self.1, Value::Nil);
+        while let Value::Pair(rc) = tail {
+            match Rc::try_unwrap(rc) {
+                // sole owner: detach the cell's cdr and keep walking
+                Ok(mut cell) => tail = std::mem::replace(&mut cell.1, Value::Nil),
+                // shared: the rest of the spine stays alive elsewhere
+                Err(_) => break,
+            }
+        }
+    }
+}
+
 impl Value {
     /// Builds a cons cell.
     pub fn cons(car: Value, cdr: Value) -> Value {
-        Value::Pair(Rc::new((car, cdr)))
+        Value::Pair(Rc::new(Pair(car, cdr)))
     }
 
     /// Builds a proper list.
@@ -359,7 +380,23 @@ impl Value {
     pub fn equal(&self, other: &Value) -> bool {
         match (self, other) {
             (Value::Str(a), Value::Str(b)) => a == b,
-            (Value::Pair(a), Value::Pair(b)) => a.0.equal(&b.0) && a.1.equal(&b.1),
+            // iterate the cdr spine: recursing per cell would overflow
+            // the host stack on long lists
+            (Value::Pair(_), Value::Pair(_)) => {
+                let (mut a, mut b) = (self.clone(), other.clone());
+                loop {
+                    match (a, b) {
+                        (Value::Pair(pa), Value::Pair(pb)) => {
+                            if !pa.0.equal(&pb.0) {
+                                return false;
+                            }
+                            a = pa.1.clone();
+                            b = pb.1.clone();
+                        }
+                        (x, y) => return x.equal(&y),
+                    }
+                }
+            }
             (Value::Vector(a), Value::Vector(b)) => {
                 let (a, b) = (a.borrow(), b.borrow());
                 a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.equal(y))

@@ -260,7 +260,9 @@ impl<'a> Lexer<'a> {
                 Some(_) => {
                     // multi-byte UTF-8: re-decode from the source
                     let ch_start = self.pos - 1;
-                    let ch = self.src[ch_start..].chars().next().unwrap();
+                    let ch = self.src[ch_start..].chars().next().ok_or_else(|| {
+                        ReadError::new("invalid UTF-8 in string literal", self.span_from(start))
+                    })?;
                     for _ in 1..ch.len_utf8() {
                         self.bump();
                     }
@@ -296,13 +298,15 @@ impl<'a> Lexer<'a> {
             "tab" => '\t',
             "nul" | "null" => '\0',
             "return" => '\r',
-            w if w.chars().count() == 1 => w.chars().next().unwrap(),
-            w => {
-                return Err(ReadError::new(
-                    format!("unknown character literal #\\{w}"),
-                    self.span_from(start),
-                ))
-            }
+            w => match (w.chars().next(), w.chars().nth(1)) {
+                (Some(c), None) => c,
+                _ => {
+                    return Err(ReadError::new(
+                        format!("unknown character literal #\\{w}"),
+                        self.span_from(start),
+                    ))
+                }
+            },
         };
         Ok((Token::Char(c), self.span_from(start)))
     }

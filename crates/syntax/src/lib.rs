@@ -25,6 +25,9 @@
 //! ```
 
 #![warn(missing_docs)]
+// panic-free core: unwrap/expect in non-test code must be justified
+// with an explicit #[allow] (CI promotes these to errors)
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod datum;
 mod lexer;
@@ -36,7 +39,10 @@ mod syntax;
 
 pub use datum::Datum;
 pub use lexer::{parse_number, Lexer, ReadError, Token};
-pub use reader::{read_all, read_datum, read_module, read_syntax, ModuleSource};
+pub use reader::{
+    read_all, read_all_recover, read_datum, read_module, read_module_recover, read_syntax,
+    ModuleSource,
+};
 pub use scope::{Scope, ScopeSet};
 pub use span::Span;
 pub use symbol::Symbol;

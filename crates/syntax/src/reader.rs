@@ -35,9 +35,16 @@ pub struct ModuleSource {
     pub source: Symbol,
 }
 
+/// Nesting deeper than this is rejected with a read error rather than
+/// risking host-stack exhaustion in the recursive-descent reader. Kept
+/// well under what a 2 MiB thread stack tolerates in debug builds; the
+/// deepest real source in this repository nests 11 levels.
+const MAX_READER_DEPTH: u32 = 256;
+
 struct Reader<'a> {
     lexer: Lexer<'a>,
     peeked: Option<(Token, Span)>,
+    depth: u32,
 }
 
 impl<'a> Reader<'a> {
@@ -45,6 +52,7 @@ impl<'a> Reader<'a> {
         Reader {
             lexer: Lexer::new(src, source),
             peeked: None,
+            depth: 0,
         }
     }
 
@@ -59,7 +67,51 @@ impl<'a> Reader<'a> {
         if self.peeked.is_none() {
             self.peeked = Some(self.lexer.next_token()?);
         }
-        Ok(self.peeked.as_ref().unwrap())
+        self.peeked
+            .as_ref()
+            .ok_or_else(|| ReadError::new("reader lost its lookahead", Span::synthetic()))
+    }
+
+    /// An item the surrounding loop's `peek` proved is there; reports a
+    /// structured error (never panics) if that invariant breaks.
+    fn read_peeked_item(&mut self) -> Result<Syntax, ReadError> {
+        self.read_one()?
+            .ok_or_else(|| ReadError::new("unexpected end of input", Span::synthetic()))
+    }
+
+    /// Skips tokens up to the start of the next plausible top-level
+    /// form, so reading can continue after an error. Balances parens
+    /// while skipping; bounded so a degenerate token stream cannot spin.
+    fn resync(&mut self) {
+        let mut depth = 0u32;
+        for _ in 0..1_000_000 {
+            match self.peek() {
+                Ok((Token::Eof, _)) => return,
+                Ok((Token::Close, _)) => {
+                    let _ = self.next();
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return;
+                    }
+                }
+                Ok((Token::Open | Token::VecOpen, _)) => {
+                    if depth == 0 {
+                        return;
+                    }
+                    let _ = self.next();
+                    depth += 1;
+                }
+                Ok(_) => {
+                    if depth == 0 {
+                        return;
+                    }
+                    let _ = self.next();
+                }
+                Err(_) => {
+                    let _ = self.next();
+                }
+            }
+        }
     }
 
     fn shorthand(&mut self, name: &str, span: Span) -> Result<Syntax, ReadError> {
@@ -76,6 +128,22 @@ impl<'a> Reader<'a> {
     /// Reads one form; `Ok(None)` at end of input.
     fn read_one(&mut self) -> Result<Option<Syntax>, ReadError> {
         let (tok, span) = self.next()?;
+        // charge the depth after consuming the token so every error
+        // path has made progress (resync relies on this)
+        self.depth += 1;
+        let result = if self.depth > MAX_READER_DEPTH {
+            Err(ReadError::new(
+                format!("nesting too deep (limit {MAX_READER_DEPTH})"),
+                span,
+            ))
+        } else {
+            self.read_dispatch(tok, span)
+        };
+        self.depth -= 1;
+        result
+    }
+
+    fn read_dispatch(&mut self, tok: Token, span: Span) -> Result<Option<Syntax>, ReadError> {
         match tok {
             Token::Eof => Ok(None),
             Token::Close => Err(ReadError::new("unexpected `)`", span)),
@@ -93,7 +161,7 @@ impl<'a> Reader<'a> {
                             return Err(ReadError::new("unterminated vector", *eof_span))
                         }
                         _ => {
-                            let item = self.read_one()?.expect("peeked non-eof");
+                            let item = self.read_peeked_item()?;
                             items.push(item);
                         }
                     }
@@ -148,7 +216,7 @@ impl<'a> Reader<'a> {
                     return Err(ReadError::new("unterminated list", *eof_span))
                 }
                 _ => {
-                    let item = self.read_one()?.expect("peeked non-eof");
+                    let item = self.read_peeked_item()?;
                     items.push(item);
                 }
             }
@@ -221,6 +289,23 @@ pub fn read_all(src: &str, source: &str) -> Result<Vec<Syntax>, ReadError> {
 /// ```
 pub fn read_module(src: &str, source: &str) -> Result<ModuleSource, ReadError> {
     let source_sym = Symbol::intern(source);
+    let (lang, body_src) = split_lang_line(src, source_sym)?;
+    let mut rd = Reader::new(&body_src, source_sym);
+    let mut body = Vec::new();
+    while let Some(stx) = rd.read_one()? {
+        body.push(stx);
+    }
+    Ok(ModuleSource {
+        lang,
+        body,
+        source: source_sym,
+    })
+}
+
+/// Splits off the `#lang` line, returning the language name and the body
+/// text with a newline prepended so body spans start on line 2 (the
+/// `#lang` line was line 1).
+fn split_lang_line(src: &str, source_sym: Symbol) -> Result<(Symbol, String), ReadError> {
     let src = src.trim_start_matches('\u{feff}');
     let mut lines = src.splitn(2, '\n');
     let first = lines.next().unwrap_or("").trim();
@@ -238,20 +323,65 @@ pub fn read_module(src: &str, source: &str) -> Result<ModuleSource, ReadError> {
             Span::new(source_sym, 0, first.len() as u32, 1, 1),
         ));
     }
-    // Body spans start on line 2; we re-lex the remainder with an offset
-    // reader. Simplest correct approach: prepend a newline so line numbers
-    // line up (the #lang line was line 1).
-    let body_src = format!("\n{rest}");
+    Ok((Symbol::intern(lang), format!("\n{rest}")))
+}
+
+/// Reading stops accumulating after this many errors; one garbled file
+/// should not produce an unbounded diagnostic flood.
+const MAX_READ_ERRORS: usize = 64;
+
+/// Reads every form in `src`, resynchronizing at the next top-level form
+/// after each error so one bad form does not mask later ones. Returns
+/// the forms that did read alongside every error encountered (capped at
+/// [`MAX_READ_ERRORS`]).
+pub fn read_all_recover(src: &str, source: &str) -> (Vec<Syntax>, Vec<ReadError>) {
+    let mut rd = Reader::new(src, Symbol::intern(source));
+    read_forms_recover(&mut rd)
+}
+
+/// Like [`read_module`], but recovers after body errors the way
+/// [`read_all_recover`] does.
+///
+/// # Errors
+///
+/// Returns `Err` only for a missing or malformed `#lang` line — nothing
+/// can be read without knowing the language. Body errors come back in
+/// the `Vec` alongside whatever forms did parse.
+pub fn read_module_recover(
+    src: &str,
+    source: &str,
+) -> Result<(ModuleSource, Vec<ReadError>), ReadError> {
+    let source_sym = Symbol::intern(source);
+    let (lang, body_src) = split_lang_line(src, source_sym)?;
     let mut rd = Reader::new(&body_src, source_sym);
-    let mut body = Vec::new();
-    while let Some(stx) = rd.read_one()? {
-        body.push(stx);
+    let (body, errors) = read_forms_recover(&mut rd);
+    Ok((
+        ModuleSource {
+            lang,
+            body,
+            source: source_sym,
+        },
+        errors,
+    ))
+}
+
+fn read_forms_recover(rd: &mut Reader) -> (Vec<Syntax>, Vec<ReadError>) {
+    let mut forms = Vec::new();
+    let mut errors = Vec::new();
+    loop {
+        match rd.read_one() {
+            Ok(Some(stx)) => forms.push(stx),
+            Ok(None) => break,
+            Err(e) => {
+                errors.push(e);
+                if errors.len() >= MAX_READ_ERRORS {
+                    break;
+                }
+                rd.resync();
+            }
+        }
     }
-    Ok(ModuleSource {
-        lang: Symbol::intern(lang),
-        body,
-        source: source_sym,
-    })
+    (forms, errors)
 }
 
 #[cfg(test)]
@@ -331,6 +461,59 @@ mod tests {
         let items = s.as_list().unwrap();
         assert_eq!(items[0].span().start, 1);
         assert_eq!(items[1].span().start, 5);
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_crash() {
+        let depth = 50_000;
+        let src = format!("{}{}{}", "(".repeat(depth), "x", ")".repeat(depth));
+        let err = read_syntax(&src, "<t>").unwrap_err();
+        assert!(err.message.contains("nesting too deep"));
+    }
+
+    #[test]
+    fn recovery_reports_multiple_errors() {
+        // an unexpected `)` and an unterminated string, with good forms
+        // before, between, and after
+        let src = "(a b)\n)\n(c d)\n\"oops\n(e f)";
+        let (forms, errors) = read_all_recover(src, "<t>");
+        assert!(forms.len() >= 2, "good forms survive: {forms:?}");
+        assert_eq!(forms[0].to_datum().to_string(), "(a b)");
+        assert_eq!(forms[1].to_datum().to_string(), "(c d)");
+        assert!(errors.len() >= 2, "both errors reported: {errors:?}");
+        assert!(errors[0].message.contains("unexpected"));
+    }
+
+    #[test]
+    fn recovery_skips_a_broken_nested_form() {
+        let src = "(a (b . ) c)\n(ok 1)";
+        let (forms, errors) = read_all_recover(src, "<t>");
+        // the broken inner form errors once; the outer list's orphaned
+        // `)` may add a follow-on error — what matters is recovery
+        assert!(!errors.is_empty() && errors.len() <= 2);
+        assert!(forms.iter().any(|f| f.to_datum().to_string() == "(ok 1)"));
+    }
+
+    #[test]
+    fn module_recovery_keeps_lang_errors_fatal() {
+        assert!(read_module_recover("(f 1)", "m").is_err());
+        let (m, errors) = read_module_recover("#lang lagoon\n(f 1)\n)\n(g 2)\n", "m").unwrap();
+        assert_eq!(m.lang.as_str(), "lagoon");
+        assert_eq!(m.body.len(), 2);
+        assert_eq!(errors.len(), 1);
+        // spans still line up after recovery: body line numbers are 1-based
+        // with the #lang line as line 1
+        assert_eq!(m.body[0].span().line, 2);
+        assert_eq!(m.body[1].span().line, 4);
+    }
+
+    #[test]
+    fn unterminated_literals_error_with_spans() {
+        let err = read_syntax("\"abc", "<t>").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        assert_eq!(err.span.line, 1);
+        let err = read_syntax("#\\", "<t>").unwrap_err();
+        assert!(err.message.contains("character"));
     }
 
     #[test]

@@ -43,16 +43,19 @@ fn interner() -> &'static RwLock<Interner> {
     })
 }
 
+// Lock poisoning below is recovered with `into_inner`: the interner is
+// append-only (an entry is fully constructed before the guard drops), so a
+// panic elsewhere never leaves it in an inconsistent state.
 impl Symbol {
     /// Interns `name`, returning the canonical symbol for it.
     pub fn intern(name: &str) -> Symbol {
         {
-            let rd = interner().read().unwrap();
+            let rd = interner().read().unwrap_or_else(|e| e.into_inner());
             if let Some(&id) = rd.table.get(name) {
                 return Symbol(id);
             }
         }
-        let mut wr = interner().write().unwrap();
+        let mut wr = interner().write().unwrap_or_else(|e| e.into_inner());
         if let Some(&id) = wr.table.get(name) {
             return Symbol(id);
         }
@@ -72,7 +75,7 @@ impl Symbol {
         static COUNTER: AtomicU64 = AtomicU64::new(0);
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
         let name = format!("{base}~{n}");
-        let mut wr = interner().write().unwrap();
+        let mut wr = interner().write().unwrap_or_else(|e| e.into_inner());
         let id = wr.names.len() as u32;
         // Deliberately *not* added to the lookup table: a later
         // `Symbol::intern("x~0")` must not collide with this gensym.
@@ -83,12 +86,12 @@ impl Symbol {
     /// The symbol's name. Allocates a `String` because the interner may
     /// grow; the name itself is immutable.
     pub fn as_str(&self) -> String {
-        interner().read().unwrap().names[self.0 as usize].clone()
+        interner().read().unwrap_or_else(|e| e.into_inner()).names[self.0 as usize].clone()
     }
 
     /// Runs `f` on the symbol's name without cloning it.
     pub fn with_str<R>(&self, f: impl FnOnce(&str) -> R) -> R {
-        f(&interner().read().unwrap().names[self.0 as usize])
+        f(&interner().read().unwrap_or_else(|e| e.into_inner()).names[self.0 as usize])
     }
 
     /// The raw interner index. Useful only for debugging.

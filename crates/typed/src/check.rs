@@ -539,7 +539,9 @@ fn typecheck_app(tcx: &Tcx, stx: &Syntax, items: &[Syntax]) -> Result<(Type, Syn
 ///
 /// # Errors
 ///
-/// Returns the first type error encountered.
+/// Checks every top-level form even after one fails, so a module with
+/// several independent type errors reports them all in one diagnostic
+/// (the span is the first error's).
 pub fn typecheck_module(tcx: &Tcx, forms: &[Syntax]) -> Result<Vec<Syntax>, RtError> {
     // pass 1: collect definitions with their types (paper §4.4)
     for form in forms {
@@ -566,32 +568,53 @@ pub fn typecheck_module(tcx: &Tcx, forms: &[Syntax]) -> Result<Vec<Syntax>, RtEr
             tcx.add_type(binder.sym().unwrap(), &ty);
         }
     }
-    // pass 2: check each form in this type context
+    // pass 2: check each form in this type context, continuing past a
+    // failed form so the module reports all its errors at once
     let mut out = Vec::with_capacity(forms.len());
+    let mut errors: Vec<RtError> = Vec::new();
     for form in forms {
-        if head_sym(form) == Some(Symbol::intern("define-values")) {
-            let items = form.as_list().unwrap();
-            let binder = items[1].as_list().unwrap()[0].clone();
-            let name = binder.sym().unwrap();
-            if form.property(prop_ignore()).is_some() {
-                // require/typed residue: trust the annotation (§6.1)
-                let ty = tcx.annotation_of(&binder)?.ok_or_else(|| {
-                    type_error("trusted definition lacks a type annotation", form)
-                })?;
-                tcx.add_type(name, &ty);
-                out.push(form.clone());
-                continue;
-            }
-            let declared = tcx.lookup(name);
-            let (ty, rhs) = typecheck(tcx, &items[2], declared.as_ref())?;
-            if declared.is_none() {
-                tcx.add_type(name, &ty);
-            }
-            out.push(form.with_data(SynData::List(vec![items[0].clone(), items[1].clone(), rhs])));
-        } else {
-            let (_, checked) = typecheck(tcx, form, None)?;
-            out.push(checked);
+        match check_form(tcx, form) {
+            Ok(checked) => out.push(checked),
+            Err(e) => errors.push(e),
         }
     }
-    Ok(out)
+    match errors.len() {
+        0 => Ok(out),
+        1 => Err(errors.remove(0)),
+        n => {
+            let mut agg = errors.remove(0);
+            agg.message = format!("{n} type errors in module:\n  {}", agg.message);
+            for e in &errors {
+                agg.message.push_str("\n  ");
+                agg.message.push_str(&e.message);
+            }
+            Err(agg)
+        }
+    }
+}
+
+/// Checks one top-level core form (pass 2 of [`typecheck_module`]).
+fn check_form(tcx: &Tcx, form: &Syntax) -> Result<Syntax, RtError> {
+    if head_sym(form) == Some(Symbol::intern("define-values")) {
+        let items = form.as_list().unwrap();
+        let binder = items[1].as_list().unwrap()[0].clone();
+        let name = binder.sym().unwrap();
+        if form.property(prop_ignore()).is_some() {
+            // require/typed residue: trust the annotation (§6.1)
+            let ty = tcx
+                .annotation_of(&binder)?
+                .ok_or_else(|| type_error("trusted definition lacks a type annotation", form))?;
+            tcx.add_type(name, &ty);
+            return Ok(form.clone());
+        }
+        let declared = tcx.lookup(name);
+        let (ty, rhs) = typecheck(tcx, &items[2], declared.as_ref())?;
+        if declared.is_none() {
+            tcx.add_type(name, &ty);
+        }
+        Ok(form.with_data(SynData::List(vec![items[0].clone(), items[1].clone(), rhs])))
+    } else {
+        let (_, checked) = typecheck(tcx, form, None)?;
+        Ok(checked)
+    }
 }

@@ -113,6 +113,22 @@ fn expect_fun(name: &str, t: &Type, arity: usize) -> Result<(Vec<Type>, Type), S
 /// Returns `None` when `name` is not an intrinsic (the checker then falls
 /// back to the variable's declared type). `Some(Err(_))` is a type error.
 pub fn apply_rule(name: &str, args: &[Type]) -> Option<RuleResult> {
+    // arity floor: the rules below index `args` directly, so a call with
+    // too few arguments must become a type error here, not a panic
+    let min = match name {
+        "foldl" | "foldr" => 3,
+        "cons" | "filter" | "build-list" => 2,
+        "car" | "first" | "cdr" | "rest" | "cadr" | "second" | "caddr" | "third" | "reverse"
+        | "list-ref" | "list-tail" | "last" | "vector-ref" | "vector->list" | "list->vector"
+        | "vector-copy" | "map" | "map1" | "list-max" | "vector-map" | "list-copy" => 1,
+        _ => 0,
+    };
+    if args.len() < min {
+        return Some(Err(format!(
+            "{name}: expects at least {min} argument(s), got {}",
+            args.len()
+        )));
+    }
     let r = match name {
         "+" | "-" | "*" => {
             if let Err(e) = num(name, args) {

@@ -153,7 +153,11 @@ impl Compiler {
             }
         }
         c.top().emit(Op::Return);
-        let top = Rc::new(c.fns.pop().expect("top scope").finish());
+        let top = c
+            .fns
+            .pop()
+            .ok_or_else(|| RtError::new(Kind::Internal, "compiler lost its top scope"))?;
+        let top = Rc::new(top.finish());
         let defined = c
             .defined
             .iter()
@@ -166,6 +170,9 @@ impl Compiler {
         })
     }
 
+    // `fns` is non-empty between the pushes in `compile_module` /
+    // `compile_lambda` and their matching pops, which bracket every call
+    #[allow(clippy::expect_used)]
     fn top(&mut self) -> &mut FnScope {
         self.fns.last_mut().expect("function scope")
     }
@@ -245,7 +252,9 @@ impl Compiler {
     }
 
     fn compile_body(&mut self, body: &[CoreExpr], tail: bool) -> Result<(), RtError> {
-        let (last, init) = body.split_last().expect("non-empty body");
+        let (last, init) = body
+            .split_last()
+            .ok_or_else(|| RtError::new(Kind::Internal, "empty body in core form"))?;
         for e in init {
             self.compile_expr(e, false)?;
             self.top().emit(Op::Pop);
@@ -280,7 +289,11 @@ impl Compiler {
         }
         self.compile_body(&lam.body, true)?;
         self.top().emit(Op::Return);
-        let proto = Rc::new(self.fns.pop().expect("lambda scope").finish());
+        let proto = self
+            .fns
+            .pop()
+            .ok_or_else(|| RtError::new(Kind::Internal, "compiler lost its lambda scope"))?;
+        let proto = Rc::new(proto.finish());
         let scope = self.top();
         let idx = scope.protos.len() as u32;
         scope.protos.push(proto);
@@ -328,7 +341,7 @@ impl Compiler {
                     let scope = self.top();
                     scope.emit(Op::Void);
                     scope.emit(Op::BoxNew);
-                    let slot = self.fns.last_mut().unwrap().alloc_local(*name);
+                    let slot = self.top().alloc_local(*name);
                     self.top().emit(Op::StoreLocal(slot));
                     slots.push(slot);
                 }

@@ -15,10 +15,33 @@
 use crate::engine::{apply_contracted, is_apply_native, splice_apply_args, Engine};
 use crate::ir::{CoreExpr, CoreForm, LambdaCore};
 use lagoon_runtime::{Arity, Closure, Kind, RtError, Value};
-use lagoon_syntax::Symbol;
+use lagoon_syntax::{Span, Symbol};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+
+// Non-tail evaluation recurses through the Rust stack, so each level is
+// charged against the shared host-recursion counter in
+// `lagoon_diag::limits` (shared with the expander, which can be beneath
+// us on the same stack during phase-1 evaluation).
+fn enter_eval(span: Option<Span>) -> Result<lagoon_diag::limits::HostDepth, RtError> {
+    lagoon_diag::limits::enter_interp().map_err(|e| {
+        let mut err = RtError::from(e);
+        if let Some(sp) = span {
+            err = err.with_span(sp);
+        }
+        err
+    })
+}
+
+fn expr_span(expr: &CoreExpr) -> Option<Span> {
+    match expr {
+        CoreExpr::Var(_, span) | CoreExpr::Set(_, _, span) | CoreExpr::App(_, _, span) => {
+            Some(*span)
+        }
+        _ => None,
+    }
+}
 
 /// A chained environment frame mapping (globally unique) symbols to
 /// values.
@@ -85,6 +108,11 @@ enum Step {
     Call(Value, Vec<Value>),
 }
 
+fn split_body(body: &[CoreExpr]) -> Result<(&CoreExpr, &[CoreExpr]), RtError> {
+    body.split_last()
+        .ok_or_else(|| RtError::new(Kind::Internal, "empty body in core form"))
+}
+
 impl Interp {
     /// Evaluates a sequence of top-level forms; returns the last
     /// expression's value. `define-values` forms bind in `globals`.
@@ -113,6 +141,7 @@ impl Interp {
     ///
     /// Propagates runtime errors (unbound variables, type errors, …).
     pub fn eval(&self, expr: &CoreExpr, env: &Rc<Env>) -> Result<Value, RtError> {
+        let _depth = enter_eval(expr_span(expr))?;
         match self.eval_step(expr, env)? {
             Step::Done(v) => Ok(v),
             Step::Call(f, args) => self.apply(&f, &args),
@@ -126,6 +155,13 @@ impl Interp {
         let mut expr = expr;
         let mut env = env.clone();
         loop {
+            if let Err(e) = lagoon_diag::limits::interp_step() {
+                let mut err = RtError::from(e);
+                if let Some(sp) = expr_span(expr) {
+                    err = err.with_span(sp);
+                }
+                return Err(err);
+            }
             match expr {
                 CoreExpr::Quote(v) => return Ok(Step::Done(v.clone())),
                 CoreExpr::QuoteSyntax(s) => return Ok(Step::Done(Value::Syntax(s.clone()))),
@@ -143,7 +179,7 @@ impl Interp {
                     };
                 }
                 CoreExpr::Begin(body) => {
-                    let (last, init) = body.split_last().expect("non-empty begin");
+                    let (last, init) = split_body(body)?;
                     for e in init {
                         self.eval(e, &env)?;
                     }
@@ -159,7 +195,7 @@ impl Interp {
                         frame.define(*name, v);
                     }
                     env = frame;
-                    let (last, init) = body.split_last().expect("non-empty body");
+                    let (last, init) = split_body(body)?;
                     for e in init {
                         self.eval(e, &env)?;
                     }
@@ -175,7 +211,7 @@ impl Interp {
                         frame.define(*name, v);
                     }
                     env = frame;
-                    let (last, init) = body.split_last().expect("non-empty body");
+                    let (last, init) = split_body(body)?;
                     for e in init {
                         self.eval(e, &env)?;
                     }
@@ -243,6 +279,7 @@ impl Engine for Interp {
                             args.len()
                         )));
                     }
+                    lagoon_diag::limits::prim_call().map_err(RtError::from)?;
                     return (n.f)(&args);
                 }
                 Value::Contracted(c) => return apply_contracted(self, c, &args),
@@ -273,7 +310,7 @@ impl Engine for Interp {
                     if let Some(rest) = lam.rest {
                         frame.define(rest, Value::list(args[lam.formals.len()..].to_vec()));
                     }
-                    let (last, init) = lam.body.split_last().expect("non-empty body");
+                    let (last, init) = split_body(&lam.body)?;
                     for e in init {
                         self.eval(e, &frame)?;
                     }

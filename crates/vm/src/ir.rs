@@ -85,7 +85,9 @@ fn head_symbol(stx: &Syntax) -> Option<Symbol> {
 /// grammar.
 pub fn parse_form(stx: &Syntax) -> Result<CoreForm, RtError> {
     if head_symbol(stx) == Some(Symbol::intern("define-values")) {
-        let items = stx.as_list().unwrap();
+        let items = stx
+            .as_list()
+            .ok_or_else(|| ir_error("malformed define-values", stx))?;
         if items.len() != 3 {
             return Err(ir_error("malformed define-values", stx));
         }

@@ -14,6 +14,9 @@
 //!   application shared by both engines (paper §6).
 
 #![warn(missing_docs)]
+// panic-free core: unwrap/expect in non-test code must be justified
+// with an explicit #[allow] (CI promotes these to errors)
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bytecode;
 pub mod compile;

@@ -119,6 +119,7 @@ impl Engine for Vm {
                     if !n.arity.accepts(args.len()) {
                         return Err(arity_error(n.name.as_str(), n.arity, args.len()));
                     }
+                    lagoon_diag::limits::prim_call().map_err(RtError::from)?;
                     return (n.f)(&args);
                 }
                 Value::Contracted(c) => return apply_contracted(self, c, &args),
@@ -154,6 +155,21 @@ fn downcast_closure(c: &Rc<Closure>) -> Result<(Rc<Proto>, Rc<VmEnv>), RtError> 
         .downcast::<VmEnv>()
         .map_err(|_| RtError::new(Kind::Internal, "VM closure has a foreign environment"))?;
     Ok((proto, env))
+}
+
+fn underflow() -> RtError {
+    RtError::new(Kind::Internal, "value stack underflow")
+}
+
+/// Pops a value, surfacing a corrupted stack as a structured internal
+/// error instead of a panic.
+macro_rules! pop {
+    ($stack:expr) => {
+        match $stack.pop() {
+            Some(v) => v,
+            None => return Err(underflow()),
+        }
+    };
 }
 
 macro_rules! flval {
@@ -198,10 +214,27 @@ fn run(proto: Rc<Proto>, env: Rc<VmEnv>, args: &[Value]) -> Result<Value, RtErro
 
 /// The interpreter loop, monomorphized over whether per-opcode counters
 /// are recorded.
+///
+/// Fuel is drawn from the shared step budget in chunks
+/// ([`lagoon_diag::limits::vm_take_fuel`]) and counted down in a local,
+/// so the per-opcode cost is a decrement-and-test. Natives can re-enter
+/// the VM, so the unused remainder is returned on every exit path.
 fn exec<const COUNT: bool>(
     proto: Rc<Proto>,
     env: Rc<VmEnv>,
     args: &[Value],
+) -> Result<Value, RtError> {
+    let mut fuel: u64 = 0;
+    let result = exec_loop::<COUNT>(proto, env, args, &mut fuel);
+    lagoon_diag::limits::vm_return_fuel(fuel);
+    result
+}
+
+fn exec_loop<const COUNT: bool>(
+    proto: Rc<Proto>,
+    env: Rc<VmEnv>,
+    args: &[Value],
+    fuel: &mut u64,
 ) -> Result<Value, RtError> {
     let mut stack: Vec<Value> = Vec::with_capacity(64);
     // the unboxed float stack used by fused unsafe-fl* sequences; always
@@ -214,7 +247,14 @@ fn exec<const COUNT: bool>(
     push_frame(&mut stack, &mut frames, proto, env, 1, args.len())?;
 
     loop {
-        let frame = frames.last_mut().expect("active frame");
+        if *fuel == 0 {
+            *fuel = lagoon_diag::limits::vm_take_fuel().map_err(RtError::from)?;
+        }
+        *fuel -= 1;
+        let frame = match frames.last_mut() {
+            Some(f) => f,
+            None => return Err(RtError::new(Kind::Internal, "VM ran with no active frame")),
+        };
         let op = frame.proto.code[frame.ip];
         frame.ip += 1;
         #[cfg(feature = "vm-counters")]
@@ -226,7 +266,7 @@ fn exec<const COUNT: bool>(
             Op::Void => stack.push(Value::Void),
             Op::LoadLocal(i) => stack.push(stack[frame.base + i as usize].clone()),
             Op::StoreLocal(i) => {
-                let v = stack.pop().expect("store operand");
+                let v = pop!(stack);
                 let slot = frame.base + i as usize;
                 stack[slot] = v;
             }
@@ -242,12 +282,12 @@ fn exec<const COUNT: bool>(
                 }
             }
             Op::StoreGlobal(i) => {
-                let v = stack.pop().expect("global operand");
+                let v = pop!(stack);
                 frame.env.globals.slots.borrow_mut()[i as usize] = Some(v);
             }
             Op::Jump(t) => frame.ip = t as usize,
             Op::JumpIfFalse(t) => {
-                if !stack.pop().expect("condition").is_truthy() {
+                if !pop!(stack).is_truthy() {
                     frame.ip = t as usize;
                 }
             }
@@ -278,12 +318,15 @@ fn exec<const COUNT: bool>(
             Op::TailCall(n) => {
                 enter_call(&mut stack, &mut frames, n as usize, true)?;
                 if frames.is_empty() {
-                    return Ok(stack.pop().expect("result"));
+                    return Ok(pop!(stack));
                 }
             }
             Op::Return => {
-                let result = stack.pop().expect("return value");
-                let frame = frames.pop().expect("returning frame");
+                let result = pop!(stack);
+                let frame = match frames.pop() {
+                    Some(f) => f,
+                    None => return Err(underflow()),
+                };
                 stack.truncate(frame.base - 1);
                 if frames.is_empty() {
                     return Ok(result);
@@ -294,19 +337,19 @@ fn exec<const COUNT: bool>(
                 stack.pop();
             }
             Op::BoxNew => {
-                let v = stack.pop().expect("box operand");
+                let v = pop!(stack);
                 stack.push(Value::Box(Rc::new(RefCell::new(v))));
             }
             Op::BoxGet => {
-                let v = stack.pop().expect("box");
+                let v = pop!(stack);
                 match v {
                     Value::Box(b) => stack.push(b.borrow().clone()),
                     _ => return Err(RtError::new(Kind::Internal, "BoxGet on non-box")),
                 }
             }
             Op::BoxSet => {
-                let v = stack.pop().expect("value");
-                let b = stack.pop().expect("box");
+                let v = pop!(stack);
+                let b = pop!(stack);
                 match b {
                     Value::Box(b) => {
                         *b.borrow_mut() = v;
@@ -326,20 +369,20 @@ fn exec<const COUNT: bool>(
             Op::Gt2 => cmpop(&mut stack, ">", |o| o.is_gt())?,
             Op::Ge2 => cmpop(&mut stack, ">=", |o| o.is_ge())?,
             Op::NumEq2 => {
-                let b = stack.pop().expect("rhs");
-                let a = stack.pop().expect("lhs");
+                let b = pop!(stack);
+                let a = pop!(stack);
                 stack.push(Value::Bool(number::num_eq(&a, &b)?));
             }
             Op::Add1 => {
-                let a = stack.pop().expect("operand");
+                let a = pop!(stack);
                 stack.push(number::add(&a, &Value::Int(1))?);
             }
             Op::Sub1 => {
-                let a = stack.pop().expect("operand");
+                let a = pop!(stack);
                 stack.push(number::sub(&a, &Value::Int(1))?);
             }
             Op::ZeroP => {
-                let a = stack.pop().expect("operand");
+                let a = pop!(stack);
                 let z = match a {
                     Value::Int(n) => n == 0,
                     Value::Float(x) => x == 0.0,
@@ -354,7 +397,7 @@ fn exec<const COUNT: bool>(
                 stack.push(Value::Bool(z));
             }
             Op::Car => {
-                let a = stack.pop().expect("operand");
+                let a = pop!(stack);
                 match a {
                     Value::Pair(p) => stack.push(p.0.clone()),
                     v => {
@@ -366,7 +409,7 @@ fn exec<const COUNT: bool>(
                 }
             }
             Op::Cdr => {
-                let a = stack.pop().expect("operand");
+                let a = pop!(stack);
                 match a {
                     Value::Pair(p) => stack.push(p.1.clone()),
                     v => {
@@ -378,30 +421,30 @@ fn exec<const COUNT: bool>(
                 }
             }
             Op::Cons => {
-                let b = stack.pop().expect("cdr");
-                let a = stack.pop().expect("car");
+                let b = pop!(stack);
+                let a = pop!(stack);
                 stack.push(Value::cons(a, b));
             }
             Op::NullP => {
-                let a = stack.pop().expect("operand");
+                let a = pop!(stack);
                 stack.push(Value::Bool(matches!(a, Value::Nil)));
             }
             Op::PairP => {
-                let a = stack.pop().expect("operand");
+                let a = pop!(stack);
                 stack.push(Value::Bool(matches!(a, Value::Pair(_))));
             }
             Op::Not => {
-                let a = stack.pop().expect("operand");
+                let a = pop!(stack);
                 stack.push(Value::Bool(!a.is_truthy()));
             }
             Op::EqP => {
-                let b = stack.pop().expect("rhs");
-                let a = stack.pop().expect("lhs");
+                let b = pop!(stack);
+                let a = pop!(stack);
                 stack.push(Value::Bool(a.eq_identity(&b)));
             }
             Op::VectorRef => {
-                let i = stack.pop().expect("index");
-                let v = stack.pop().expect("vector");
+                let i = pop!(stack);
+                let v = pop!(stack);
                 match (&v, &i) {
                     (Value::Vector(vec), Value::Int(n)) => {
                         let vec = vec.borrow();
@@ -429,9 +472,9 @@ fn exec<const COUNT: bool>(
                 }
             }
             Op::VectorSet => {
-                let x = stack.pop().expect("value");
-                let i = stack.pop().expect("index");
-                let v = stack.pop().expect("vector");
+                let x = pop!(stack);
+                let i = pop!(stack);
+                let v = pop!(stack);
                 match (&v, &i) {
                     (Value::Vector(vec), Value::Int(n)) => {
                         let mut vec = vec.borrow_mut();
@@ -456,7 +499,7 @@ fn exec<const COUNT: bool>(
                 }
             }
             Op::VectorLength => {
-                let v = stack.pop().expect("vector");
+                let v = pop!(stack);
                 match v {
                     Value::Vector(vec) => stack.push(Value::Int(vec.borrow().len() as i64)),
                     v => {
@@ -469,63 +512,63 @@ fn exec<const COUNT: bool>(
             }
 
             // ---- unsafe specialized instructions ----
-            Op::FlAdd => flbin(&mut stack, |a, b| a + b),
-            Op::FlSub => flbin(&mut stack, |a, b| a - b),
-            Op::FlMul => flbin(&mut stack, |a, b| a * b),
-            Op::FlDiv => flbin(&mut stack, |a, b| a / b),
-            Op::FlLt => flcmp(&mut stack, |a, b| a < b),
-            Op::FlLe => flcmp(&mut stack, |a, b| a <= b),
-            Op::FlGt => flcmp(&mut stack, |a, b| a > b),
-            Op::FlGe => flcmp(&mut stack, |a, b| a >= b),
-            Op::FlEq => flcmp(&mut stack, |a, b| a == b),
+            Op::FlAdd => flbin(&mut stack, |a, b| a + b)?,
+            Op::FlSub => flbin(&mut stack, |a, b| a - b)?,
+            Op::FlMul => flbin(&mut stack, |a, b| a * b)?,
+            Op::FlDiv => flbin(&mut stack, |a, b| a / b)?,
+            Op::FlLt => flcmp(&mut stack, |a, b| a < b)?,
+            Op::FlLe => flcmp(&mut stack, |a, b| a <= b)?,
+            Op::FlGt => flcmp(&mut stack, |a, b| a > b)?,
+            Op::FlGe => flcmp(&mut stack, |a, b| a >= b)?,
+            Op::FlEq => flcmp(&mut stack, |a, b| a == b)?,
             Op::FlSqrt => {
-                let a = flval!(stack.pop().expect("operand"));
+                let a = flval!(pop!(stack));
                 stack.push(Value::Float(a.sqrt()));
             }
             Op::FlAbs => {
-                let a = flval!(stack.pop().expect("operand"));
+                let a = flval!(pop!(stack));
                 stack.push(Value::Float(a.abs()));
             }
-            Op::FlMin => flbin(&mut stack, f64::min),
-            Op::FlMax => flbin(&mut stack, f64::max),
-            Op::FxAdd => fxbin(&mut stack, i64::wrapping_add),
-            Op::FxSub => fxbin(&mut stack, i64::wrapping_sub),
-            Op::FxMul => fxbin(&mut stack, i64::wrapping_mul),
-            Op::FxLt => fxcmp(&mut stack, |a, b| a < b),
-            Op::FxLe => fxcmp(&mut stack, |a, b| a <= b),
-            Op::FxGt => fxcmp(&mut stack, |a, b| a > b),
-            Op::FxGe => fxcmp(&mut stack, |a, b| a >= b),
-            Op::FxEq => fxcmp(&mut stack, |a, b| a == b),
-            Op::FcAdd => fcbin(&mut stack, |(ar, ai), (br, bi)| (ar + br, ai + bi)),
-            Op::FcSub => fcbin(&mut stack, |(ar, ai), (br, bi)| (ar - br, ai - bi)),
+            Op::FlMin => flbin(&mut stack, f64::min)?,
+            Op::FlMax => flbin(&mut stack, f64::max)?,
+            Op::FxAdd => fxbin(&mut stack, i64::wrapping_add)?,
+            Op::FxSub => fxbin(&mut stack, i64::wrapping_sub)?,
+            Op::FxMul => fxbin(&mut stack, i64::wrapping_mul)?,
+            Op::FxLt => fxcmp(&mut stack, |a, b| a < b)?,
+            Op::FxLe => fxcmp(&mut stack, |a, b| a <= b)?,
+            Op::FxGt => fxcmp(&mut stack, |a, b| a > b)?,
+            Op::FxGe => fxcmp(&mut stack, |a, b| a >= b)?,
+            Op::FxEq => fxcmp(&mut stack, |a, b| a == b)?,
+            Op::FcAdd => fcbin(&mut stack, |(ar, ai), (br, bi)| (ar + br, ai + bi))?,
+            Op::FcSub => fcbin(&mut stack, |(ar, ai), (br, bi)| (ar - br, ai - bi))?,
             Op::FcMul => fcbin(&mut stack, |(ar, ai), (br, bi)| {
                 (ar * br - ai * bi, ar * bi + ai * br)
-            }),
+            })?,
             Op::FcDiv => fcbin(&mut stack, |(ar, ai), (br, bi)| {
                 let d = br * br + bi * bi;
                 ((ar * br + ai * bi) / d, (ai * br - ar * bi) / d)
-            }),
+            })?,
             Op::FcMag => {
-                let (re, im) = fcval!(stack.pop().expect("operand"));
+                let (re, im) = fcval!(pop!(stack));
                 stack.push(Value::Float(re.hypot(im)));
             }
             Op::UnsafeCar => {
-                let a = stack.pop().expect("operand");
+                let a = pop!(stack);
                 match a {
                     Value::Pair(p) => stack.push(p.0.clone()),
                     v => stack.push(v),
                 }
             }
             Op::UnsafeCdr => {
-                let a = stack.pop().expect("operand");
+                let a = pop!(stack);
                 match a {
                     Value::Pair(p) => stack.push(p.1.clone()),
                     v => stack.push(v),
                 }
             }
             Op::UnsafeVectorRef => {
-                let i = stack.pop().expect("index");
-                let v = stack.pop().expect("vector");
+                let i = pop!(stack);
+                let v = pop!(stack);
                 match (&v, &i) {
                     (Value::Vector(vec), Value::Int(n)) => {
                         let x = vec
@@ -539,9 +582,9 @@ fn exec<const COUNT: bool>(
                 }
             }
             Op::UnsafeVectorSet => {
-                let x = stack.pop().expect("value");
-                let i = stack.pop().expect("index");
-                let v = stack.pop().expect("vector");
+                let x = pop!(stack);
+                let i = pop!(stack);
+                let v = pop!(stack);
                 if let (Value::Vector(vec), Value::Int(n)) = (&v, &i) {
                     let mut vec = vec.borrow_mut();
                     let idx = *n as usize;
@@ -552,14 +595,14 @@ fn exec<const COUNT: bool>(
                 stack.push(Value::Void);
             }
             Op::UnsafeVectorLength => {
-                let v = stack.pop().expect("vector");
+                let v = pop!(stack);
                 match v {
                     Value::Vector(vec) => stack.push(Value::Int(vec.borrow().len() as i64)),
                     _ => stack.push(Value::Int(0)),
                 }
             }
             Op::FxToFl => {
-                let a = fxval!(stack.pop().expect("operand"));
+                let a = fxval!(pop!(stack));
                 stack.push(Value::Float(a as f64));
             }
 
@@ -577,52 +620,58 @@ fn exec<const COUNT: bool>(
                 fstack.push(v);
             }
             Op::FlUnbox => {
-                let v = flval!(stack.pop().expect("operand"));
+                let v = flval!(pop!(stack));
                 fstack.push(v);
             }
             Op::FlUnboxFx => {
-                let v = fxval!(stack.pop().expect("operand"));
+                let v = fxval!(pop!(stack));
                 fstack.push(v as f64);
             }
             Op::FlBox => {
-                let v = fstack.pop().expect("float operand");
+                let v = pop!(fstack);
                 stack.push(Value::Float(v));
             }
-            Op::FlSAdd => flfuse(&mut fstack, |a, b| a + b),
-            Op::FlSSub => flfuse(&mut fstack, |a, b| a - b),
-            Op::FlSMul => flfuse(&mut fstack, |a, b| a * b),
-            Op::FlSDiv => flfuse(&mut fstack, |a, b| a / b),
-            Op::FlSMin => flfuse(&mut fstack, f64::min),
-            Op::FlSMax => flfuse(&mut fstack, f64::max),
+            Op::FlSAdd => flfuse(&mut fstack, |a, b| a + b)?,
+            Op::FlSSub => flfuse(&mut fstack, |a, b| a - b)?,
+            Op::FlSMul => flfuse(&mut fstack, |a, b| a * b)?,
+            Op::FlSDiv => flfuse(&mut fstack, |a, b| a / b)?,
+            Op::FlSMin => flfuse(&mut fstack, f64::min)?,
+            Op::FlSMax => flfuse(&mut fstack, f64::max)?,
             Op::FlSSqrt => {
-                let a = fstack.pop().expect("float operand");
+                let a = pop!(fstack);
                 fstack.push(a.sqrt());
             }
             Op::FlSAbs => {
-                let a = fstack.pop().expect("float operand");
+                let a = pop!(fstack);
                 fstack.push(a.abs());
             }
-            Op::FlSLt => flfusecmp(&mut fstack, &mut stack, |a, b| a < b),
-            Op::FlSLe => flfusecmp(&mut fstack, &mut stack, |a, b| a <= b),
-            Op::FlSGt => flfusecmp(&mut fstack, &mut stack, |a, b| a > b),
-            Op::FlSGe => flfusecmp(&mut fstack, &mut stack, |a, b| a >= b),
-            Op::FlSEq => flfusecmp(&mut fstack, &mut stack, |a, b| a == b),
+            Op::FlSLt => flfusecmp(&mut fstack, &mut stack, |a, b| a < b)?,
+            Op::FlSLe => flfusecmp(&mut fstack, &mut stack, |a, b| a <= b)?,
+            Op::FlSGt => flfusecmp(&mut fstack, &mut stack, |a, b| a > b)?,
+            Op::FlSGe => flfusecmp(&mut fstack, &mut stack, |a, b| a >= b)?,
+            Op::FlSEq => flfusecmp(&mut fstack, &mut stack, |a, b| a == b)?,
         }
     }
 }
 
 #[inline]
-fn flfuse(fstack: &mut Vec<f64>, f: fn(f64, f64) -> f64) {
-    let b = fstack.pop().expect("rhs");
-    let a = fstack.pop().expect("lhs");
+fn flfuse(fstack: &mut Vec<f64>, f: fn(f64, f64) -> f64) -> Result<(), RtError> {
+    let b = pop!(fstack);
+    let a = pop!(fstack);
     fstack.push(f(a, b));
+    Ok(())
 }
 
 #[inline]
-fn flfusecmp(fstack: &mut Vec<f64>, stack: &mut Vec<Value>, f: fn(f64, f64) -> bool) {
-    let b = fstack.pop().expect("rhs");
-    let a = fstack.pop().expect("lhs");
+fn flfusecmp(
+    fstack: &mut Vec<f64>,
+    stack: &mut Vec<Value>,
+    f: fn(f64, f64) -> bool,
+) -> Result<(), RtError> {
+    let b = pop!(fstack);
+    let a = pop!(fstack);
     stack.push(Value::Bool(f(a, b)));
+    Ok(())
 }
 
 #[inline]
@@ -630,8 +679,8 @@ fn binop(
     stack: &mut Vec<Value>,
     f: fn(&Value, &Value) -> Result<Value, RtError>,
 ) -> Result<(), RtError> {
-    let b = stack.pop().expect("rhs");
-    let a = stack.pop().expect("lhs");
+    let b = pop!(stack);
+    let a = pop!(stack);
     stack.push(f(&a, &b)?);
     Ok(())
 }
@@ -642,48 +691,53 @@ fn cmpop(
     name: &'static str,
     ok: fn(std::cmp::Ordering) -> bool,
 ) -> Result<(), RtError> {
-    let b = stack.pop().expect("rhs");
-    let a = stack.pop().expect("lhs");
+    let b = pop!(stack);
+    let a = pop!(stack);
     stack.push(Value::Bool(ok(number::compare(name, &a, &b)?)));
     Ok(())
 }
 
 #[inline]
-fn flbin(stack: &mut Vec<Value>, f: fn(f64, f64) -> f64) {
-    let b = flval!(stack.pop().expect("rhs"));
-    let a = flval!(stack.pop().expect("lhs"));
+fn flbin(stack: &mut Vec<Value>, f: fn(f64, f64) -> f64) -> Result<(), RtError> {
+    let b = flval!(pop!(stack));
+    let a = flval!(pop!(stack));
     stack.push(Value::Float(f(a, b)));
+    Ok(())
 }
 
 #[inline]
-fn flcmp(stack: &mut Vec<Value>, f: fn(f64, f64) -> bool) {
-    let b = flval!(stack.pop().expect("rhs"));
-    let a = flval!(stack.pop().expect("lhs"));
+fn flcmp(stack: &mut Vec<Value>, f: fn(f64, f64) -> bool) -> Result<(), RtError> {
+    let b = flval!(pop!(stack));
+    let a = flval!(pop!(stack));
     stack.push(Value::Bool(f(a, b)));
+    Ok(())
 }
 
 #[inline]
-fn fxbin(stack: &mut Vec<Value>, f: fn(i64, i64) -> i64) {
-    let b = fxval!(stack.pop().expect("rhs"));
-    let a = fxval!(stack.pop().expect("lhs"));
+fn fxbin(stack: &mut Vec<Value>, f: fn(i64, i64) -> i64) -> Result<(), RtError> {
+    let b = fxval!(pop!(stack));
+    let a = fxval!(pop!(stack));
     stack.push(Value::Int(f(a, b)));
+    Ok(())
 }
 
 #[inline]
-fn fxcmp(stack: &mut Vec<Value>, f: fn(i64, i64) -> bool) {
-    let b = fxval!(stack.pop().expect("rhs"));
-    let a = fxval!(stack.pop().expect("lhs"));
+fn fxcmp(stack: &mut Vec<Value>, f: fn(i64, i64) -> bool) -> Result<(), RtError> {
+    let b = fxval!(pop!(stack));
+    let a = fxval!(pop!(stack));
     stack.push(Value::Bool(f(a, b)));
+    Ok(())
 }
 
 type FcOp = fn((f64, f64), (f64, f64)) -> (f64, f64);
 
 #[inline]
-fn fcbin(stack: &mut Vec<Value>, f: FcOp) {
-    let b = fcval!(stack.pop().expect("rhs"));
-    let a = fcval!(stack.pop().expect("lhs"));
+fn fcbin(stack: &mut Vec<Value>, f: FcOp) -> Result<(), RtError> {
+    let b = fcval!(pop!(stack));
+    let a = fcval!(pop!(stack));
     let (re, im) = f(a, b);
     stack.push(Value::Complex(re, im));
+    Ok(())
 }
 
 /// Performs the call whose callee and `n` arguments are on top of the
@@ -702,7 +756,10 @@ fn enter_call(
 
     if tail {
         // move callee + args down over the current frame
-        let frame = frames.pop().expect("tail-calling frame");
+        let frame = match frames.pop() {
+            Some(f) => f,
+            None => return Err(underflow()),
+        };
         let dest = frame.base - 1;
         let src = argstart - 1;
         if src != dest {
@@ -731,6 +788,7 @@ fn enter_call(
                 if !nat.arity.accepts(n) {
                     return Err(arity_error(nat.name.as_str(), nat.arity, n));
                 }
+                lagoon_diag::limits::prim_call().map_err(RtError::from)?;
                 let result = (nat.f)(&stack[argstart..])?;
                 stack.truncate(argstart - 1);
                 stack.push(result);
@@ -769,6 +827,12 @@ fn push_frame(
     base: usize,
     n: usize,
 ) -> Result<(), RtError> {
+    // frames live on the heap, so this is a policy limit rather than a
+    // host-stack safety one: deep non-tail recursion gets a structured
+    // stack-overflow diagnostic instead of unbounded memory growth
+    if frames.len() as u64 >= lagoon_diag::limits::max_stack_depth() {
+        return Err(RtError::from(lagoon_diag::limits::stack_overflow()));
+    }
     if !proto.arity.accepts(n) {
         return Err(arity_error(
             proto

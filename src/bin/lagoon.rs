@@ -1,7 +1,7 @@
 //! The `lagoon` command-line tool.
 //!
 //! ```text
-//! lagoon run <file.lag> [--interp] [--stats [--json]]
+//! lagoon run <file.lag> [--interp] [--stats [--json]] [limit options]
 //!                                      run a program (deps loaded from
 //!                                      sibling <name>.lag files);
 //!                                      --stats prints phase timings, the
@@ -9,9 +9,17 @@
 //!                                      counters, --json machine-readably
 //! lagoon expand <file.lag> [--timings] print the fully-expanded core forms
 //! lagoon repl [--typed]                interactive prompt
+//!
+//! limit options (resource budgets; runaway programs become diagnostics):
+//!   --max-steps <n>          run-time VM/interpreter steps
+//!   --max-expand-steps <n>   macro-expansion steps
+//!   --max-expand-depth <n>   expansion nesting depth
+//!   --max-phase1-steps <n>   compile-time (phase-1) evaluation steps
+//!   --max-stack-depth <n>    call-frame depth
+//!   --timeout-ms <n>         wall-clock deadline in milliseconds
 //! ```
 
-use lagoon::{EngineKind, Lagoon};
+use lagoon::{EngineKind, Lagoon, Limits};
 use std::collections::HashSet;
 use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
@@ -19,9 +27,44 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  lagoon run <file.lag> [--interp] [--stats [--json]]\n  lagoon expand <file.lag> [--timings]\n  lagoon repl [--typed]"
+        "usage:\n  lagoon run <file.lag> [--interp] [--stats [--json]] [limit options]\n  lagoon expand <file.lag> [--timings]\n  lagoon repl [--typed]\n\nlimit options:\n  --max-steps <n>  --max-expand-steps <n>  --max-expand-depth <n>\n  --max-phase1-steps <n>  --max-stack-depth <n>  --timeout-ms <n>"
     );
     ExitCode::from(2)
+}
+
+/// Parses the `--max-*`/`--timeout-ms` flags into a [`Limits`] over the
+/// defaults. `Ok(None)` means no flag was given.
+fn parse_limits(args: &[String]) -> Result<Option<Limits>, String> {
+    let mut limits = Limits::default();
+    let mut any = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let slot: &mut u64 = match arg.as_str() {
+            "--max-steps" => &mut limits.max_vm_steps,
+            "--max-expand-steps" => &mut limits.max_expansion_steps,
+            "--max-expand-depth" => &mut limits.max_expansion_depth,
+            "--max-phase1-steps" => &mut limits.max_phase1_steps,
+            "--max-stack-depth" => &mut limits.max_stack_depth,
+            "--timeout-ms" => {
+                let v = iter
+                    .next()
+                    .ok_or_else(|| format!("{arg} needs a value"))?
+                    .parse::<u64>()
+                    .map_err(|e| format!("{arg}: {e}"))?;
+                limits.timeout = Some(std::time::Duration::from_millis(v));
+                any = true;
+                continue;
+            }
+            _ => continue,
+        };
+        *slot = iter
+            .next()
+            .ok_or_else(|| format!("{arg} needs a value"))?
+            .parse::<u64>()
+            .map_err(|e| format!("{arg}: {e}"))?;
+        any = true;
+    }
+    Ok(if any { Some(limits) } else { None })
 }
 
 fn main() -> ExitCode {
@@ -38,10 +81,17 @@ fn main() -> ExitCode {
             };
             let stats = args.iter().any(|a| a == "--stats");
             let json = args.iter().any(|a| a == "--json");
+            let limits = match parse_limits(&args) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            };
             if stats {
-                run_file_with_stats(Path::new(file), engine, json)
+                run_file_with_stats(Path::new(file), engine, json, limits)
             } else {
-                run_file(Path::new(file), engine)
+                run_file(Path::new(file), engine, limits)
             }
         }
         Some("expand") => {
@@ -115,8 +165,11 @@ fn load_with_deps(lagoon: &Lagoon, file: &Path) -> Result<String, String> {
     Ok(main_name)
 }
 
-fn run_file(file: &Path, engine: EngineKind) -> ExitCode {
+fn run_file(file: &Path, engine: EngineKind, limits: Option<Limits>) -> ExitCode {
     let lagoon = Lagoon::new();
+    if let Some(limits) = limits {
+        lagoon.set_limits(limits);
+    }
     let main = match load_with_deps(&lagoon, file) {
         Ok(m) => m,
         Err(e) => {
@@ -138,8 +191,16 @@ fn run_file(file: &Path, engine: EngineKind) -> ExitCode {
     }
 }
 
-fn run_file_with_stats(file: &Path, engine: EngineKind, json: bool) -> ExitCode {
+fn run_file_with_stats(
+    file: &Path,
+    engine: EngineKind,
+    json: bool,
+    limits: Option<Limits>,
+) -> ExitCode {
     let lagoon = Lagoon::new();
+    if let Some(limits) = limits {
+        lagoon.set_limits(limits);
+    }
     let main = match load_with_deps(&lagoon, file) {
         Ok(m) => m,
         Err(e) => {

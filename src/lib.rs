@@ -41,10 +41,35 @@ use std::rc::Rc;
 
 pub use lagoon_core::{CompiledModule, EngineKind, ModuleRegistry};
 pub use lagoon_diag as diag;
+pub use lagoon_diag::{FaultPlan, Limits};
 pub use lagoon_runtime::io::capture_output;
 pub use lagoon_runtime::{Kind, RtError, Value};
 pub use lagoon_syntax::{Datum, Symbol, Syntax};
 pub use lagoon_typed::Type;
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+/// Runs `f` behind the embedding boundary: refills the per-run resource
+/// budgets and converts any escaped panic into an `internal-error`
+/// diagnostic instead of unwinding through the caller.
+fn guarded<T>(f: impl FnOnce() -> Result<T, RtError>) -> Result<T, RtError> {
+    diag::limits::refill();
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => Err(RtError::new(
+            Kind::Internal,
+            format!("internal error: {}", panic_message(payload)),
+        )),
+    }
+}
 
 /// An embedded Lagoon world with the base and typed languages installed.
 pub struct Lagoon {
@@ -73,7 +98,7 @@ impl Lagoon {
     ///
     /// Returns read, expansion, typecheck, or runtime errors.
     pub fn run(&self, name: &str, engine: EngineKind) -> Result<Value, RtError> {
-        self.registry.run(name, engine)
+        guarded(|| self.registry.run(name, engine))
     }
 
     /// Like [`Lagoon::run`] but captures everything the program printed.
@@ -86,7 +111,7 @@ impl Lagoon {
         name: &str,
         engine: EngineKind,
     ) -> Result<(Value, String), RtError> {
-        let (result, output) = capture_output(|| self.registry.run(name, engine));
+        let (result, output) = capture_output(|| guarded(|| self.registry.run(name, engine)));
         Ok((result?, output))
     }
 
@@ -101,7 +126,7 @@ impl Lagoon {
         export: &str,
         engine: EngineKind,
     ) -> Result<Value, RtError> {
-        self.registry.exported_value(module, export, engine)
+        guarded(|| self.registry.exported_value(module, export, engine))
     }
 
     /// The fully-expanded core forms of a module, as printable syntax —
@@ -111,7 +136,7 @@ impl Lagoon {
     ///
     /// Propagates compilation errors.
     pub fn expanded(&self, module: &str) -> Result<Vec<Syntax>, RtError> {
-        self.registry.expanded_body(module)
+        guarded(|| self.registry.expanded_body(module))
     }
 
     /// Like [`Lagoon::run`] but with the diagnostics sink installed for
@@ -133,23 +158,29 @@ impl Lagoon {
         engine: EngineKind,
     ) -> Result<(Value, diag::Report), RtError> {
         let collector = diag::Collector::install();
-        if let Err(e) = self.registry.compile(Symbol::intern(name)) {
-            diag::uninstall();
-            return Err(e);
+        let result = guarded(|| {
+            self.registry.compile(Symbol::intern(name))?;
+            // run on fresh instances so the counters see the whole execution
+            self.registry.reset_instances();
+            #[cfg(feature = "vm-counters")]
+            {
+                lagoon_vm::counters::reset();
+                lagoon_vm::counters::set_active(true);
+            }
+            let result = {
+                let _t = diag::time(diag::Phase::Run, Symbol::intern(name));
+                self.registry.run(name, engine)
+            };
+            #[cfg(feature = "vm-counters")]
+            lagoon_vm::counters::set_active(false);
+            result
+        });
+        if let Err(e) = &result {
+            // surface budget exhaustion in the report's limits table
+            if let Kind::ResourceExhausted { budget } = e.kind {
+                diag::limit_event_named(budget, Symbol::intern(name), e.span);
+            }
         }
-        // run on fresh instances so the counters see the whole execution
-        self.registry.reset_instances();
-        #[cfg(feature = "vm-counters")]
-        {
-            lagoon_vm::counters::reset();
-            lagoon_vm::counters::set_active(true);
-        }
-        let result = {
-            let _t = diag::time(diag::Phase::Run, Symbol::intern(name));
-            self.registry.run(name, engine)
-        };
-        #[cfg(feature = "vm-counters")]
-        lagoon_vm::counters::set_active(false);
         diag::uninstall();
         let value = result?;
         #[cfg_attr(not(feature = "vm-counters"), allow(unused_mut))]
@@ -177,9 +208,23 @@ impl Lagoon {
     /// Propagates compilation errors.
     pub fn expand_with_stats(&self, module: &str) -> Result<(Vec<Syntax>, diag::Report), RtError> {
         let collector = diag::Collector::install();
-        let result = self.registry.expanded_body(module);
+        let result = guarded(|| self.registry.expanded_body(module));
         diag::uninstall();
         Ok((result?, collector.report()))
+    }
+
+    /// Installs resource limits for everything this thread subsequently
+    /// runs: expansion steps/depth, phase-1 and run-time step budgets, VM
+    /// stack depth, and an optional wall-clock deadline. Budgets refill to
+    /// these limits at every entry point ([`Lagoon::run`] and friends), so
+    /// each run gets the full allowance.
+    pub fn set_limits(&self, limits: Limits) {
+        diag::limits::install(limits);
+    }
+
+    /// The resource limits currently in force on this thread.
+    pub fn limits(&self) -> Limits {
+        diag::limits::current()
     }
 
     /// The underlying registry, for advanced embedding (registering
