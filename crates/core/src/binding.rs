@@ -53,6 +53,53 @@ pub enum CoreFormKind {
     PlainModuleBegin,
 }
 
+impl CoreFormKind {
+    /// Stable tag used by the compiled-module store. Order is frozen —
+    /// append only (the store's format version covers incompatible
+    /// changes).
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            CoreFormKind::Quote => 0,
+            CoreFormKind::QuoteSyntax => 1,
+            CoreFormKind::If => 2,
+            CoreFormKind::Begin => 3,
+            CoreFormKind::Lambda => 4,
+            CoreFormKind::LetValues => 5,
+            CoreFormKind::LetrecValues => 6,
+            CoreFormKind::Set => 7,
+            CoreFormKind::App => 8,
+            CoreFormKind::DefineValues => 9,
+            CoreFormKind::DefineSyntaxes => 10,
+            CoreFormKind::BeginForSyntax => 11,
+            CoreFormKind::Provide => 12,
+            CoreFormKind::Require => 13,
+            CoreFormKind::PlainModuleBegin => 14,
+        }
+    }
+
+    /// Inverse of [`CoreFormKind::wire_tag`].
+    pub fn from_wire_tag(tag: u8) -> Option<CoreFormKind> {
+        Some(match tag {
+            0 => CoreFormKind::Quote,
+            1 => CoreFormKind::QuoteSyntax,
+            2 => CoreFormKind::If,
+            3 => CoreFormKind::Begin,
+            4 => CoreFormKind::Lambda,
+            5 => CoreFormKind::LetValues,
+            6 => CoreFormKind::LetrecValues,
+            7 => CoreFormKind::Set,
+            8 => CoreFormKind::App,
+            9 => CoreFormKind::DefineValues,
+            10 => CoreFormKind::DefineSyntaxes,
+            11 => CoreFormKind::BeginForSyntax,
+            12 => CoreFormKind::Provide,
+            13 => CoreFormKind::Require,
+            14 => CoreFormKind::PlainModuleBegin,
+            _ => return None,
+        })
+    }
+}
+
 /// What a native (Rust-implemented) transformer returns.
 pub enum Expanded {
     /// Surface syntax the expander should keep expanding.
@@ -85,6 +132,11 @@ pub struct NativeMacro {
     pub name: Symbol,
     /// The transformer.
     pub expand: Box<NativeFn>,
+    /// Serialization recipe for the compiled-module store: a registered
+    /// rehydrator tag plus the datum it reconstructs this transformer
+    /// from. `None` means the transformer (and so any module exporting
+    /// it) is uncacheable.
+    pub recipe: Option<(Symbol, lagoon_syntax::Datum)>,
 }
 
 impl fmt::Debug for NativeMacro {

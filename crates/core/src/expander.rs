@@ -541,8 +541,8 @@ impl Expander {
         let clauses = items[1]
             .as_list()
             .ok_or_else(|| syntax_error("let-values: malformed bindings", &items[1]))?;
-        let sc = Scope::fresh();
-        let mut parsed = Vec::new();
+        let mut raw = Vec::new();
+        let mut multi = false;
         for clause in clauses {
             let parts = clause
                 .as_list()
@@ -550,12 +550,28 @@ impl Expander {
                 .ok_or_else(|| syntax_error("let-values: malformed clause", clause))?;
             let ids = parts[0]
                 .as_list()
-                .filter(|ids| ids.len() == 1)
-                .ok_or_else(|| {
-                    syntax_error("let-values: Lagoon supports single-value clauses", clause)
-                })?;
-            parsed.push((ids[0].clone(), parts[1].clone()));
+                .ok_or_else(|| syntax_error("let-values: malformed clause", clause))?;
+            for id in ids {
+                if !id.is_identifier() {
+                    return Err(syntax_error("let-values: expected an identifier", id));
+                }
+            }
+            multi |= ids.len() != 1;
+            raw.push((ids.to_vec(), parts[1].clone()));
         }
+        if multi {
+            // clauses binding zero or several identifiers desugar through
+            // the multiple-values helpers into all-single clauses, then
+            // re-expand (the rewritten head is the original identifier, so
+            // it resolves back here)
+            let rewritten = desugar_let_values(&items[0], &raw, &items[2..], rec);
+            return self.expand_expr(&rewritten);
+        }
+        let sc = Scope::fresh();
+        let parsed: Vec<(Syntax, Syntax)> = raw
+            .into_iter()
+            .map(|(ids, rhs)| (ids[0].clone(), rhs))
+            .collect();
         let mut out_clauses = Vec::new();
         if rec {
             // bind first, expand right-hand sides under the scope
@@ -616,9 +632,15 @@ impl Expander {
                     }
                 }
                 Classified::Core(CoreFormKind::DefineValues, stx) => {
-                    let (id, rhs) = parse_define_values(&stx)?;
-                    let binder = self.fresh_binder(&id)?;
-                    items.push(Item::Def(binder, rhs));
+                    let (ids, rhs) = parse_define_values_ids(&stx)?;
+                    if let [id] = ids.as_slice() {
+                        let binder = self.fresh_binder(id)?;
+                        items.push(Item::Def(binder, rhs));
+                    } else {
+                        for f in desugar_define_values(&stx, &ids, &rhs)?.into_iter().rev() {
+                            work.push_front(f);
+                        }
+                    }
                 }
                 Classified::Core(CoreFormKind::DefineSyntaxes, stx) => {
                     self.handle_define_syntaxes(&stx)?;
@@ -703,9 +725,15 @@ impl Expander {
                     }
                 }
                 Classified::Core(CoreFormKind::DefineValues, stx) => {
-                    let (id, rhs) = parse_define_values(&stx)?;
-                    let binder = self.fresh_binder(&id)?;
-                    items.push(Item::Def(binder, rhs, stx));
+                    let (ids, rhs) = parse_define_values_ids(&stx)?;
+                    if let [id] = ids.as_slice() {
+                        let binder = self.fresh_binder(id)?;
+                        items.push(Item::Def(binder, rhs, stx));
+                    } else {
+                        for f in desugar_define_values(&stx, &ids, &rhs)?.into_iter().rev() {
+                            work.push_front(f);
+                        }
+                    }
                 }
                 Classified::Core(CoreFormKind::DefineSyntaxes, stx) => {
                     self.handle_define_syntaxes(&stx)?;
@@ -831,6 +859,132 @@ impl Expander {
 /// Builds a syntax error at `stx`.
 pub fn syntax_error(message: impl std::fmt::Display, stx: &Syntax) -> RtError {
     RtError::user(format!("{message} in: {stx}")).with_span(stx.span())
+}
+
+/// Builds the surface application `(#%values-check rhs n)` — at run
+/// time it verifies `rhs` produced exactly `n` values.
+fn values_check(rhs: Syntax, n: usize) -> Syntax {
+    crate::build::lst(vec![
+        crate::build::id("#%values-check"),
+        rhs,
+        crate::build::int(n as i64),
+    ])
+}
+
+/// Builds the surface application `(#%values-ref tmp i n)` — extracts
+/// the `i`-th of `n` values from a checked values package.
+fn values_ref(tmp: &Syntax, i: usize, n: usize) -> Syntax {
+    crate::build::lst(vec![
+        crate::build::id("#%values-ref"),
+        tmp.clone(),
+        crate::build::int(i as i64),
+        crate::build::int(n as i64),
+    ])
+}
+
+/// Rewrites a `let-values`/`letrec-values` form with clauses binding a
+/// number of identifiers other than one into all-single clauses over the
+/// `values` runtime helpers. Temporaries are uninterned gensyms with no
+/// scopes, so user code cannot capture (or shadow) them.
+///
+/// Non-recursive: the checked packages bind in an outer `let-values`
+/// (right-hand sides still see only the surrounding environment) and the
+/// destructured identifiers bind in an inner one wrapping the body.
+/// Recursive: everything stays one flat `letrec-values`, whose
+/// sequential semantics make each package available to its refs.
+fn desugar_let_values(
+    head: &Syntax,
+    clauses: &[(Vec<Syntax>, Syntax)],
+    body: &[Syntax],
+    rec: bool,
+) -> Syntax {
+    let mut outer: Vec<Syntax> = Vec::new();
+    let mut inner: Vec<Syntax> = Vec::new();
+    for (ids, rhs) in clauses {
+        if let [id] = ids.as_slice() {
+            outer.push(crate::build::lst(vec![
+                crate::build::lst(vec![id.clone()]),
+                rhs.clone(),
+            ]));
+            continue;
+        }
+        let n = ids.len();
+        let tmp = Syntax::ident(Symbol::fresh("mv"), rhs.span());
+        outer.push(crate::build::lst(vec![
+            crate::build::lst(vec![tmp.clone()]),
+            values_check(rhs.clone(), n),
+        ]));
+        let refs = ids.iter().enumerate().map(|(i, id)| {
+            crate::build::lst(vec![
+                crate::build::lst(vec![id.clone()]),
+                values_ref(&tmp, i, n),
+            ])
+        });
+        if rec {
+            outer.extend(refs);
+        } else {
+            inner.extend(refs);
+        }
+    }
+    let mut out = vec![head.clone(), crate::build::lst(outer)];
+    if inner.is_empty() {
+        out.extend(body.iter().cloned());
+    } else {
+        let mut inner_form = vec![head.clone(), crate::build::lst(inner)];
+        inner_form.extend(body.iter().cloned());
+        out.push(crate::build::lst(inner_form));
+    }
+    crate::build::lst(out)
+}
+
+/// Splits `(define-values (id ...) rhs)` binding a number of identifiers
+/// other than one into a temporary define of the checked values package
+/// plus one single-identifier define per bound name. Each emitted form
+/// reuses the original head identifier, so re-classification routes it
+/// back to the `DefineValues` core form.
+fn desugar_define_values(
+    stx: &Syntax,
+    ids: &[Syntax],
+    rhs: &Syntax,
+) -> Result<Vec<Syntax>, RtError> {
+    let items = stx
+        .as_list()
+        .ok_or_else(|| syntax_error("malformed define-values", stx))?;
+    let head = items[0].clone();
+    let n = ids.len();
+    let tmp = Syntax::ident(Symbol::fresh("mv"), stx.span());
+    let mut out = vec![stx.with_data(SynData::List(vec![
+        head.clone(),
+        crate::build::lst(vec![tmp.clone()]),
+        values_check(rhs.clone(), n),
+    ]))];
+    for (i, id) in ids.iter().enumerate() {
+        out.push(stx.with_data(SynData::List(vec![
+            head.clone(),
+            crate::build::lst(vec![id.clone()]),
+            values_ref(&tmp, i, n),
+        ])));
+    }
+    Ok(out)
+}
+
+/// Parses `(define-values (id ...) rhs)`, allowing any number of bound
+/// identifiers (the desugaring above handles n != 1).
+fn parse_define_values_ids(stx: &Syntax) -> Result<(Vec<Syntax>, Syntax), RtError> {
+    let items = stx
+        .as_list()
+        .ok_or_else(|| syntax_error("malformed define-values", stx))?;
+    if items.len() != 3 {
+        return Err(syntax_error(
+            "define-values: expects (id ...) and a value",
+            stx,
+        ));
+    }
+    let ids = items[1]
+        .as_list()
+        .filter(|ids| ids.iter().all(|id| id.is_identifier()))
+        .ok_or_else(|| syntax_error("define-values: expects identifiers", &items[1]))?;
+    Ok((ids.to_vec(), items[2].clone()))
 }
 
 fn parse_define_values(stx: &Syntax) -> Result<(Syntax, Syntax), RtError> {

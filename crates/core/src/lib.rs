@@ -30,10 +30,11 @@ pub mod build;
 pub mod expander;
 pub mod module;
 pub mod prelude;
+pub mod store;
 pub mod stxparse;
 pub mod template;
 
 pub use binding::{Binding, BindingTable, CoreFormKind, ExpandCtx, Expanded, NativeMacro};
 pub use expander::{current_expander, syntax_error, Expander, ProvideItem};
 pub use module::{CompiledModule, EngineKind, Language, ModuleRegistry};
-pub use stxparse::{native, phase1_natives};
+pub use stxparse::{native, native_with_recipe, phase1_natives};

@@ -20,13 +20,15 @@
 //! — over the shared binding table, which is how the `typed-context?` flag
 //! trick of paper §6.2 stays sound.
 
-use crate::binding::{Binding, BindingTable, CoreFormKind};
+use crate::binding::{Binding, BindingTable, CoreFormKind, NativeMacro};
 use crate::expander::Expander;
+use crate::store;
 use lagoon_runtime::{Kind, RtError, Value};
 use lagoon_syntax::{read_module_recover, Datum, ScopeSet, Span, Symbol, Syntax};
 use lagoon_vm::{parse_form, Compiler, CoreForm, Env, Globals, Interp, Vm};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
 use std::rc::Rc;
 
 /// Which execution engine to instantiate a module on.
@@ -89,12 +91,51 @@ pub struct ModuleRegistry {
     instances_vm: RefCell<HashMap<Symbol, (Rc<Globals>, Value)>>,
     instantiating: RefCell<HashSet<Symbol>>,
     self_ref: RefCell<std::rc::Weak<ModuleRegistry>>,
+    /// Where `.lagc` artifacts live; `None` disables the compiled store.
+    store_dir: RefCell<Option<PathBuf>>,
+    /// Lazy source resolver: consulted (and memoized into `sources`) when
+    /// a required module has no registered source.
+    #[allow(clippy::type_complexity)]
+    loader: RefCell<Option<Box<dyn Fn(Symbol) -> Option<String>>>>,
+    /// Rehydrators for persisted native-transformer exports, by recipe tag.
+    #[allow(clippy::type_complexity)]
+    rehydrators: RefCell<HashMap<Symbol, Rc<dyn Fn(&Datum) -> Option<Rc<NativeMacro>>>>>,
+    /// Per-module artifact digests this session: (digest of the artifact
+    /// bytes, whether the module was *loaded* from the store rather than
+    /// compiled fresh). Importers may only hit the cache when every
+    /// dependency was itself loaded with a matching digest — fresh
+    /// compiles use live gensyms a decoded importer cannot reference.
+    artifact_digests: RefCell<HashMap<Symbol, (u64, bool)>>,
+    /// Digest of the base environment's global names (see `store`).
+    env_digest: Cell<u64>,
 }
 
 impl std::fmt::Debug for ModuleRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "#<module-registry>")
     }
+}
+
+/// How a `compile` request interacted with the compiled store.
+enum CacheOutcome {
+    /// Loaded from a valid artifact — skip compilation entirely.
+    Hit(Rc<CompiledModule>),
+    /// Compile from source; `reported` says whether a stale/corrupt
+    /// cache event already explained why.
+    Miss {
+        /// A diagnostic event for this module was already emitted.
+        reported: bool,
+    },
+}
+
+/// Module names that map to a file inside the store directory. Names
+/// with path separators (or traversal) are compiled but never stored.
+fn cacheable_name(name: Symbol) -> bool {
+    name.with_str(|s| !s.is_empty() && !s.contains(['/', '\\']) && !s.contains(".."))
+}
+
+fn artifact_path(dir: &std::path::Path, name: Symbol) -> PathBuf {
+    dir.join(format!("{name}.lagc"))
 }
 
 fn core_form_bindings() -> Vec<(&'static str, CoreFormKind)> {
@@ -161,6 +202,11 @@ impl ModuleRegistry {
             instances_vm: RefCell::new(HashMap::new()),
             instantiating: RefCell::new(HashSet::new()),
             self_ref: RefCell::new(std::rc::Weak::new()),
+            store_dir: RefCell::new(None),
+            loader: RefCell::new(None),
+            rehydrators: RefCell::new(HashMap::new()),
+            artifact_digests: RefCell::new(HashMap::new()),
+            env_digest: Cell::new(0),
         });
         *registry.self_ref.borrow_mut() = Rc::downgrade(&registry);
 
@@ -208,6 +254,37 @@ impl ModuleRegistry {
             .expect("prelude evaluates (vm)");
         let mut vm_base = value_map;
         vm_base.extend(globals.snapshot());
+
+        // 6.5 the compiled store re-interns symbol names on load, but the
+        // prelude's globals are alpha-renamed gensyms that interning cannot
+        // reach; alias each such global under its interned twin so decoded
+        // bytecode resolves the same base environment, and digest the
+        // resulting name set so artifacts compiled against a different
+        // base read as stale.
+        let twins: Vec<(Symbol, Symbol)> = vm_base
+            .keys()
+            .filter_map(|sym| {
+                let interned = Symbol::intern(&sym.as_str());
+                (interned != *sym).then_some((*sym, interned))
+            })
+            .collect();
+        for (orig, twin) in &twins {
+            if let Some(v) = vm_base.get(orig).cloned() {
+                vm_base.insert(*twin, v);
+            }
+            if let Some(v) = interp_base.lookup(*orig) {
+                interp_base.define(*twin, v);
+            }
+        }
+        let mut names: Vec<String> = vm_base.keys().map(|s| s.as_str()).collect();
+        names.sort();
+        names.dedup();
+        let mut digest_input = Vec::new();
+        for n in &names {
+            digest_input.extend_from_slice(n.as_bytes());
+            digest_input.push(0);
+        }
+        registry.env_digest.set(lagoon_syntax::fnv1a(&digest_input));
         *registry.vm_base.borrow_mut() = vm_base;
 
         // 7. the real phase-1 base: primitives + natives over the interp
@@ -251,6 +328,226 @@ impl ModuleRegistry {
         self.languages.borrow_mut().insert(lang.name, Rc::new(lang));
     }
 
+    // ----- the compiled-module store -----
+
+    /// Points the registry at a directory of `.lagc` artifacts, or
+    /// disables the store with `None` (the default). See [`store`].
+    pub fn set_store_dir(&self, dir: Option<PathBuf>) {
+        *self.store_dir.borrow_mut() = dir;
+    }
+
+    /// Installs a lazy source resolver: when a required module has no
+    /// registered source, the loader is consulted and its result
+    /// memoized. Because `require` triggers compilation *during
+    /// expansion*, this resolves macro-generated requires that no
+    /// pre-scan of the source text could have seen.
+    pub fn set_loader(&self, f: impl Fn(Symbol) -> Option<String> + 'static) {
+        *self.loader.borrow_mut() = Some(Box::new(f));
+    }
+
+    /// Registers a rehydrator for persisted native-transformer exports
+    /// carrying recipe tag `tag` (see
+    /// [`NativeMacro::recipe`](crate::binding::NativeMacro::recipe)).
+    pub fn register_rehydrator(
+        &self,
+        tag: &str,
+        f: impl Fn(&Datum) -> Option<Rc<NativeMacro>> + 'static,
+    ) {
+        self.rehydrators
+            .borrow_mut()
+            .insert(Symbol::intern(tag), Rc::new(f));
+    }
+
+    /// Drops compiled modules and instances (sources, languages, and the
+    /// binding table survive). The next `run` re-resolves every module —
+    /// through the compiled store, when one is configured.
+    pub fn reset_compiled(&self) {
+        self.compiled.borrow_mut().clear();
+        self.instances_interp.borrow_mut().clear();
+        self.instances_vm.borrow_mut().clear();
+    }
+
+    /// The module's source text, consulting the lazy loader on a miss.
+    fn source_of(&self, name: Symbol) -> Option<String> {
+        if let Some(s) = self.sources.borrow().get(&name) {
+            return Some(s.clone());
+        }
+        let loaded = {
+            let loader = self.loader.borrow();
+            loader.as_ref().and_then(|l| l(name))
+        }?;
+        self.sources.borrow_mut().insert(name, loaded.clone());
+        Some(loaded)
+    }
+
+    /// Attempts to satisfy `compile(name)` from the on-disk store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dependency compilation failures; every *artifact*
+    /// problem (corrupt bytes, stale digests) degrades to a cache miss
+    /// with a diagnostic event, never an error or a panic.
+    fn try_load_cached(&self, name: Symbol) -> Result<CacheOutcome, RtError> {
+        use lagoon_diag::CacheStatus;
+        let quiet = CacheOutcome::Miss { reported: false };
+        let Some(dir) = self.store_dir.borrow().clone() else {
+            return Ok(quiet);
+        };
+        if !cacheable_name(name) {
+            return Ok(quiet);
+        }
+        let Ok(bytes) = std::fs::read(artifact_path(&dir, name)) else {
+            return Ok(quiet);
+        };
+        let _t = lagoon_diag::time(lagoon_diag::Phase::Load, name);
+        let stale = |detail: String| {
+            lagoon_diag::cache_event(name, CacheStatus::Stale, detail);
+            Ok(CacheOutcome::Miss { reported: true })
+        };
+        let rehydrators = self.rehydrators.borrow().clone();
+        let artifact = match store::decode(&bytes, &|tag, datum| {
+            rehydrators.get(&tag).and_then(|f| f(datum))
+        }) {
+            Ok(a) => a,
+            Err(store::DecodeError::Version { found }) => {
+                return stale(format!("format version {found}"));
+            }
+            Err(store::DecodeError::Corrupt(e)) => {
+                lagoon_diag::cache_event(name, CacheStatus::Corrupt, e.to_string());
+                return Ok(CacheOutcome::Miss { reported: true });
+            }
+        };
+        if artifact.name != name {
+            return stale(format!("artifact names module {}", artifact.name));
+        }
+        if artifact.env_digest != self.env_digest.get() {
+            return stale("base environment changed".to_owned());
+        }
+        let Some(source) = self.source_of(name) else {
+            return stale("module source unavailable".to_owned());
+        };
+        if artifact.source_digest != store::source_digest(&source) {
+            return stale("source changed".to_owned());
+        }
+        // dependencies: registered languages by constant digest; module
+        // dependencies must themselves have come from the store, with the
+        // digest this artifact was compiled against (a freshly compiled
+        // dep uses live gensyms a decoded importer cannot reference)
+        for (dep, recorded) in &artifact.dep_digests {
+            if self.languages.borrow().contains_key(dep) {
+                if *recorded != store::language_digest(*dep) {
+                    return stale(format!("language {dep} changed"));
+                }
+                continue;
+            }
+            self.compile(*dep)?;
+            match self.artifact_digests.borrow().get(dep) {
+                Some((digest, true)) if digest == recorded => {}
+                _ => return stale(format!("dependency {dep} recompiled")),
+            }
+        }
+        // collision guard: decoding re-interns gensym names, so a global
+        // this module defines must not collide with any name visible to
+        // it — the base environment or a dependency's exports
+        let mut visible: HashSet<Symbol> = self
+            .vm_base
+            .borrow()
+            .keys()
+            .map(|s| Symbol::intern(&s.as_str()))
+            .collect();
+        for (dep, _) in &artifact.dep_digests {
+            if let Some(language) = self.languages.borrow().get(dep).cloned() {
+                visible.extend(language.values.keys().map(|s| Symbol::intern(&s.as_str())));
+                continue;
+            }
+            if let Some(dep_compiled) = self.compiled.borrow().get(dep) {
+                for (_, binding) in &dep_compiled.exports {
+                    if let Binding::Variable(rt) = binding {
+                        visible.insert(*rt);
+                    }
+                }
+            }
+        }
+        for idx in &artifact.code.defined {
+            if let Some(sym) = artifact.code.global_names.get(*idx as usize) {
+                if visible.contains(sym) {
+                    return stale(format!("symbol collision on {sym}"));
+                }
+            }
+        }
+        self.artifact_digests
+            .borrow_mut()
+            .insert(name, (store::artifact_digest(&bytes), true));
+        lagoon_diag::cache_event(name, CacheStatus::Hit, format!("{} bytes", bytes.len()));
+        Ok(CacheOutcome::Hit(Rc::new(artifact.into_compiled())))
+    }
+
+    /// Best-effort write of a fresh compile's artifact. Emits this
+    /// compile's cache event unless the load side already `reported` why
+    /// the module had to be recompiled. Write failures only disable
+    /// caching — they never fail the compile.
+    fn store_artifact(&self, compiled: &CompiledModule, reported: bool) {
+        use lagoon_diag::CacheStatus;
+        let miss = |detail: String| {
+            if !reported {
+                lagoon_diag::cache_event(compiled.name, CacheStatus::Miss, detail);
+            }
+        };
+        let Some(dir) = self.store_dir.borrow().clone() else {
+            return;
+        };
+        let name = compiled.name;
+        if !cacheable_name(name) {
+            miss("not cached: unstorable module name".to_owned());
+            return;
+        }
+        // this compile supersedes any digest recorded for an older artifact
+        self.artifact_digests.borrow_mut().remove(&name);
+        let mut dep_digests = Vec::with_capacity(compiled.requires.len());
+        for dep in &compiled.requires {
+            if self.languages.borrow().contains_key(dep) {
+                dep_digests.push((*dep, store::language_digest(*dep)));
+                continue;
+            }
+            match self.artifact_digests.borrow().get(dep) {
+                Some((digest, _)) => dep_digests.push((*dep, *digest)),
+                None => {
+                    miss(format!("not cached: dependency {dep} is uncacheable"));
+                    let _ = std::fs::remove_file(artifact_path(&dir, name));
+                    return;
+                }
+            }
+        }
+        let Some(source) = self.source_of(name) else {
+            miss("not cached: module source unavailable".to_owned());
+            return;
+        };
+        let encoded = store::encode(
+            compiled,
+            self.env_digest.get(),
+            store::source_digest(&source),
+            &dep_digests,
+        );
+        let bytes = match encoded {
+            Ok(b) => b,
+            Err(e) => {
+                miss(format!("not cached: {e}"));
+                let _ = std::fs::remove_file(artifact_path(&dir, name));
+                return;
+            }
+        };
+        let path = artifact_path(&dir, name);
+        match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, &bytes)) {
+            Ok(()) => {
+                self.artifact_digests
+                    .borrow_mut()
+                    .insert(name, (store::artifact_digest(&bytes), false));
+                miss("compiled and stored".to_owned());
+            }
+            Err(e) => miss(format!("not cached: {e}")),
+        }
+    }
+
     /// The compiled form of `name`, compiling it (and its dependencies)
     /// on demand.
     ///
@@ -267,7 +564,14 @@ impl ModuleRegistry {
                 "cycle in module requires involving {name}"
             )));
         }
-        let result = self.compile_inner(name);
+        let result: Result<Rc<CompiledModule>, RtError> = (|| match self.try_load_cached(name)? {
+            CacheOutcome::Hit(m) => Ok(m),
+            CacheOutcome::Miss { reported } => {
+                let compiled = self.compile_inner(name)?;
+                self.store_artifact(&compiled, reported);
+                Ok(compiled)
+            }
+        })();
         self.compiling.borrow_mut().remove(&name);
         let compiled = result?;
         self.compiled.borrow_mut().insert(name, compiled.clone());
@@ -276,10 +580,7 @@ impl ModuleRegistry {
 
     fn compile_inner(&self, name: Symbol) -> Result<Rc<CompiledModule>, RtError> {
         let source = self
-            .sources
-            .borrow()
-            .get(&name)
-            .cloned()
+            .source_of(name)
             .ok_or_else(|| RtError::user(format!("unknown module: {name}")))?;
         let module = {
             let _t = lagoon_diag::time(lagoon_diag::Phase::Read, name);
@@ -375,7 +676,7 @@ impl ModuleRegistry {
             return Ok(());
         }
         // a module-backed language: import its exports
-        if self.sources.borrow().contains_key(&lang) {
+        if self.source_of(lang).is_some() {
             return self.import_into(exp, lang, span);
         }
         Err(RtError::user(format!("unknown language: {lang}")).with_span(span))

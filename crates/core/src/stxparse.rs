@@ -27,6 +27,23 @@ pub fn native(
     Rc::new(NativeMacro {
         name: Symbol::intern(name),
         expand: Box::new(f),
+        recipe: None,
+    })
+}
+
+/// Builds a native macro that the compiled-module store can persist:
+/// `tag` names a rehydrator registered on the module registry, and
+/// `datum` is what that rehydrator rebuilds the transformer from.
+pub fn native_with_recipe(
+    name: &str,
+    tag: &str,
+    datum: lagoon_syntax::Datum,
+    f: impl Fn(&Expander, Syntax, crate::binding::ExpandCtx) -> Result<Expanded, RtError> + 'static,
+) -> Rc<NativeMacro> {
+    Rc::new(NativeMacro {
+        name: Symbol::intern(name),
+        expand: Box::new(f),
+        recipe: Some((Symbol::intern(tag), datum)),
     })
 }
 
@@ -430,6 +447,7 @@ fn assoc_to_map(v: &Value) -> Result<HashMap<Symbol, Value>, RtError> {
 pub fn phase1_natives() -> Vec<(Symbol, Value)> {
     let mut out: Vec<(Symbol, Value)> = primitives();
     out.push(lagoon_vm::apply_placeholder());
+    out.push(lagoon_vm::cwv_placeholder());
 
     type PrimFn = Box<dyn Fn(&[Value]) -> Result<Value, RtError>>;
     let mut def = |name: &str, arity: Arity, f: PrimFn| {

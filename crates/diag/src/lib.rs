@@ -61,6 +61,9 @@ pub enum Phase {
     Optimize,
     /// Parsing core forms and compiling them to bytecode.
     Compile,
+    /// Loading a compiled artifact from the on-disk store (replaces
+    /// read/expand/check/compile on a warm cache hit).
+    Load,
     /// Instantiating and running module bodies.
     Run,
 }
@@ -74,7 +77,35 @@ impl Phase {
             Phase::Typecheck => "typecheck",
             Phase::Optimize => "optimize",
             Phase::Compile => "compile",
+            Phase::Load => "load",
             Phase::Run => "run",
+        }
+    }
+}
+
+/// What happened when the compiled-module store was consulted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// A fresh artifact was loaded; compilation was skipped.
+    Hit,
+    /// No artifact existed (or the module is uncacheable); compiled
+    /// from source.
+    Miss,
+    /// An artifact existed but was out of date (source, dependency, or
+    /// environment changed); recompiled.
+    Stale,
+    /// An artifact existed but failed to decode; recompiled.
+    Corrupt,
+}
+
+impl CacheStatus {
+    /// The lower-case display name used in tables and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+            CacheStatus::Stale => "stale",
+            CacheStatus::Corrupt => "corrupt",
         }
     }
 }
@@ -146,6 +177,15 @@ pub enum Event {
         /// The negative blame party (the client side).
         negative: Symbol,
     },
+    /// The compiled-module store was consulted for `module`.
+    Cache {
+        /// The module looked up.
+        module: Symbol,
+        /// What the store found.
+        status: CacheStatus,
+        /// Human-readable detail (why stale/corrupt; empty otherwise).
+        detail: String,
+    },
     /// A resource budget was exhausted (or an injected fault fired) and
     /// the pipeline unwound with a structured diagnostic.
     Limit {
@@ -156,6 +196,17 @@ pub enum Event {
         /// Source location of the charge site, when known.
         span: Option<Span>,
     },
+}
+
+/// Emits a compiled-module-store lookup event; a no-op when disabled.
+pub fn cache_event(module: Symbol, status: CacheStatus, detail: impl Into<String>) {
+    if enabled() {
+        emit(Event::Cache {
+            module,
+            status,
+            detail: detail.into(),
+        });
+    }
 }
 
 /// Emits a budget-exhaustion event; a no-op when disabled.
@@ -380,6 +431,17 @@ pub struct LimitRow {
     pub span: String,
 }
 
+/// One compiled-module-store lookup row.
+#[derive(Clone, Debug)]
+pub struct CacheRow {
+    /// The module looked up.
+    pub module: String,
+    /// Lookup outcome (`"hit"`, `"miss"`, `"stale"`, `"corrupt"`).
+    pub status: &'static str,
+    /// Why the lookup went the way it did (empty for plain hits/misses).
+    pub detail: String,
+}
+
 /// One opcode-execution row (supplied by the VM's `vm-counters` feature).
 #[derive(Clone, Debug)]
 pub struct OpcodeRow {
@@ -406,6 +468,8 @@ pub struct Report {
     pub contracts: Vec<ContractRow>,
     /// Budget exhaustions, in emission order.
     pub limits: Vec<LimitRow>,
+    /// Compiled-module-store lookups, in emission order.
+    pub caches: Vec<CacheRow>,
     /// Opcode execution counts (empty unless the VM ran with counters).
     pub opcodes: Vec<OpcodeRow>,
 }
@@ -495,6 +559,15 @@ impl Report {
                         }),
                     }
                 }
+                Event::Cache {
+                    module,
+                    status,
+                    detail,
+                } => report.caches.push(CacheRow {
+                    module: module.as_str(),
+                    status: status.name(),
+                    detail: detail.clone(),
+                }),
                 Event::Limit {
                     budget,
                     module,
@@ -550,6 +623,49 @@ impl Report {
         }
     }
 
+    /// Number of store lookups that were warm hits.
+    pub fn cache_hits(&self) -> usize {
+        self.caches.iter().filter(|c| c.status == "hit").count()
+    }
+
+    /// Number of store lookups that ended in compilation (miss, stale,
+    /// or corrupt artifact).
+    pub fn cache_misses(&self) -> usize {
+        self.caches.len() - self.cache_hits()
+    }
+
+    /// Phase time aggregated into coarse pipeline buckets, in pipeline
+    /// order: `read`, `expand`, `check`, `compile`, `load`, `run`.
+    /// Typecheck and optimize phases are nested *inside* expand, so
+    /// `expand` here excludes them; the optimizer is billed to
+    /// `compile` (both produce the executable artifact) and
+    /// typechecking to `check`.
+    pub fn timing_buckets(&self) -> [(&'static str, u128); 6] {
+        let (mut read, mut expand, mut check, mut optimize, mut compile, mut load, mut run) =
+            (0u128, 0u128, 0u128, 0u128, 0u128, 0u128, 0u128);
+        for p in &self.phases {
+            match p.phase {
+                "read" => read += p.nanos,
+                "expand" => expand += p.nanos,
+                "typecheck" => check += p.nanos,
+                "optimize" => optimize += p.nanos,
+                "compile" => compile += p.nanos,
+                "load" => load += p.nanos,
+                "run" => run += p.nanos,
+                _ => {}
+            }
+        }
+        let expand = expand.saturating_sub(check + optimize);
+        [
+            ("read", read),
+            ("expand", expand),
+            ("check", check),
+            ("compile", compile + optimize),
+            ("load", load),
+            ("run", run),
+        ]
+    }
+
     /// The phase-timing table alone (used by `lagoon expand --timings`).
     pub fn render_phases(&self) -> String {
         let mut out = String::new();
@@ -573,6 +689,29 @@ impl Report {
     /// The full human-readable report (empty sections are omitted).
     pub fn render_text(&self) -> String {
         let mut out = self.render_phases();
+        if !self.phases.is_empty() {
+            let rendered: Vec<String> = self
+                .timing_buckets()
+                .iter()
+                .map(|(name, nanos)| format!("{name} {:.3}ms", *nanos as f64 / 1e6))
+                .collect();
+            let _ = writeln!(out, "pipeline buckets: {}", rendered.join(", "));
+        }
+        if !self.caches.is_empty() {
+            let _ = writeln!(
+                out,
+                "compiled store: {} hit(s), {} compile(s)",
+                self.cache_hits(),
+                self.cache_misses()
+            );
+            for c in &self.caches {
+                if c.detail.is_empty() {
+                    let _ = writeln!(out, "  {:<20} {}", c.module, c.status);
+                } else {
+                    let _ = writeln!(out, "  {:<20} {:<8} {}", c.module, c.status, c.detail);
+                }
+            }
+        }
         if !self.counters.is_empty() {
             let _ = writeln!(out, "counters");
             for c in &self.counters {
@@ -705,7 +844,24 @@ impl Report {
                 json_string(&l.span)
             );
         });
-        out.push_str("],\"opcodes\":[");
+        out.push_str("],\"cache\":[");
+        push_rows(&mut out, &self.caches, |out, c| {
+            let _ = write!(
+                out,
+                "{{\"module\":{},\"status\":{},\"detail\":{}}}",
+                json_string(&c.module),
+                json_string(c.status),
+                json_string(&c.detail)
+            );
+        });
+        out.push_str("],\"buckets\":{");
+        for (i, (name, nanos)) in self.timing_buckets().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{:.6}", json_string(name), *nanos as f64 / 1e6);
+        }
+        out.push_str("},\"opcodes\":[");
         push_rows(&mut out, &self.opcodes, |out, o| {
             let _ = write!(
                 out,
@@ -717,12 +873,14 @@ impl Report {
         });
         let _ = write!(
             out,
-            "],\"summary\":{{\"rewrites\":{},\"near_misses\":{},\"generic_ops\":{},\"specialized_ops\":{},\"total_ops\":{}}}}}",
+            "],\"summary\":{{\"rewrites\":{},\"near_misses\":{},\"generic_ops\":{},\"specialized_ops\":{},\"total_ops\":{},\"cache_hits\":{},\"cache_misses\":{}}}}}",
             self.rewrites.len(),
             self.near_misses.len(),
             self.generic_ops(),
             self.specialized_ops(),
-            self.total_ops()
+            self.total_ops(),
+            self.cache_hits(),
+            self.cache_misses()
         );
         out
     }

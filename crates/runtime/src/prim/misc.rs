@@ -54,6 +54,69 @@ pub(super) fn install(out: &mut Vec<(Symbol, Value)>) {
     });
     def(out, "void", Arity::at_least(0), |_| Ok(Value::Void));
 
+    // ----- multiple values -----
+    //
+    // `(values x)` is just `x`; other counts package into
+    // `Value::Values`, unpacked by `call-with-values` (an engine
+    // intercept, like `apply`) and by the `let-values`/`define-values`
+    // desugaring through the two `#%values-*` helpers below.
+    def(out, "values", Arity::at_least(0), |args| {
+        if args.len() == 1 {
+            Ok(args[0].clone())
+        } else {
+            Ok(Value::Values(std::rc::Rc::new(args.to_vec())))
+        }
+    });
+    // (#%values-check v n): v must be a package of exactly n values
+    // (a non-package counts as one value); returns v unchanged
+    def(out, "#%values-check", Arity::exactly(2), |args| {
+        let expected = match &args[1] {
+            Value::Int(n) if *n >= 0 => *n as usize,
+            v => {
+                return Err(RtError::type_error(format!(
+                    "#%values-check: expected a count, got {}",
+                    v.write_string()
+                )))
+            }
+        };
+        let got = match &args[0] {
+            Value::Values(vs) => vs.len(),
+            _ => 1,
+        };
+        if got != expected {
+            return Err(RtError::arity(format!(
+                "expected {expected} values, received {got}: {}",
+                args[0].write_string()
+            )));
+        }
+        Ok(args[0].clone())
+    });
+    // (#%values-ref v i n): the i-th of n bound values
+    def(out, "#%values-ref", Arity::exactly(3), |args| {
+        let idx = match &args[1] {
+            Value::Int(n) if *n >= 0 => *n as usize,
+            v => {
+                return Err(RtError::type_error(format!(
+                    "#%values-ref: expected an index, got {}",
+                    v.write_string()
+                )))
+            }
+        };
+        match &args[0] {
+            Value::Values(vs) => vs.get(idx).cloned().ok_or_else(|| {
+                RtError::arity(format!(
+                    "#%values-ref: index {idx} out of range for {} values",
+                    vs.len()
+                ))
+            }),
+            v if idx == 0 => Ok(v.clone()),
+            v => Err(RtError::arity(format!(
+                "#%values-ref: index {idx} out of range for single value {}",
+                v.write_string()
+            ))),
+        }
+    });
+
     def(out, "error", Arity::at_least(1), |args| {
         let msg = args
             .iter()

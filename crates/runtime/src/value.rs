@@ -180,6 +180,10 @@ pub enum Value {
     Contracted(Rc<Contracted>),
     /// A syntax object (phase-1 data).
     Syntax(Syntax),
+    /// A package of zero or more values produced by `values` and
+    /// consumed by `call-with-values` / the `let-values` desugaring.
+    /// A single value is never packaged — `(values x)` is just `x`.
+    Values(Rc<Vec<Value>>),
 }
 
 /// A cons cell: `.0` is the car, `.1` the cdr.
@@ -344,6 +348,7 @@ impl Value {
             Value::Box(_) => "box",
             Value::Closure(_) | Value::Native(_) | Value::Contracted(_) => "procedure",
             Value::Syntax(_) => "syntax",
+            Value::Values(_) => "values",
         }
     }
 
@@ -363,6 +368,7 @@ impl Value {
             (Value::Closure(a), Value::Closure(b)) => Rc::ptr_eq(a, b),
             (Value::Native(a), Value::Native(b)) => Rc::ptr_eq(a, b),
             (Value::Contracted(a), Value::Contracted(b)) => Rc::ptr_eq(a, b),
+            (Value::Values(a), Value::Values(b)) => Rc::ptr_eq(a, b),
             _ => false,
         }
     }
@@ -487,6 +493,14 @@ fn fmt_value(v: &Value, f: &mut fmt::Formatter<'_>, write: bool, top: bool) -> f
             f.write_str(">")
         }
         Value::Syntax(s) => write!(f, "#<syntax {s}>"),
+        Value::Values(vs) => {
+            f.write_str("#<values:")?;
+            for (i, x) in vs.iter().enumerate() {
+                f.write_str(if i > 0 { " " } else { "" })?;
+                fmt_value(x, f, write, false)?;
+            }
+            f.write_str(">")
+        }
     }
 }
 

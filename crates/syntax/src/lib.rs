@@ -36,6 +36,7 @@ mod scope;
 mod span;
 mod symbol;
 mod syntax;
+pub mod wire;
 
 pub use datum::Datum;
 pub use lexer::{parse_number, Lexer, ReadError, Token};
@@ -47,3 +48,4 @@ pub use scope::{Scope, ScopeSet};
 pub use span::Span;
 pub use symbol::Symbol;
 pub use syntax::{PropValue, SynData, Syntax};
+pub use wire::{fnv1a, Reader as WireReader, WireError, Writer as WireWriter};

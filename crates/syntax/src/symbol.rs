@@ -73,9 +73,18 @@ impl Symbol {
     /// globally unique binding names.
     pub fn fresh(base: &str) -> Symbol {
         static COUNTER: AtomicU64 = AtomicU64::new(0);
-        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let name = format!("{base}~{n}");
         let mut wr = interner().write().unwrap_or_else(|e| e.into_inner());
+        let name = loop {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let name = format!("{base}~{n}");
+            // Skip names the interner already knows: decoding a compiled
+            // artifact interns the gensym names it recorded, and a live
+            // gensym must stay distinct from those by *name*, not just
+            // identity, for its own artifact to be loadable later.
+            if !wr.table.contains_key(&name) {
+                break name;
+            }
+        };
         let id = wr.names.len() as u32;
         // Deliberately *not* added to the lookup table: a later
         // `Symbol::intern("x~0")` must not collide with this gensym.

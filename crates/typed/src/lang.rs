@@ -22,7 +22,8 @@ use crate::check::{
 use crate::types::Type;
 use lagoon_core::build::{self, id, id_sym, lst, quote_datum, quote_sym};
 use lagoon_core::{
-    native, syntax_error, Binding, Expanded, Expander, Language, ModuleRegistry, NativeMacro,
+    native, native_with_recipe, syntax_error, Binding, Expanded, Expander, Language,
+    ModuleRegistry, NativeMacro,
 };
 use lagoon_runtime::value::{Arity, Native};
 use lagoon_runtime::{apply_contract, Contract, RtError, Value};
@@ -476,11 +477,25 @@ fn typed_module_begin(optimize: Option<Rc<OptimizeFn>>) -> Rc<NativeMacro> {
     })
 }
 
+/// Recipe tag under which [`export_indirection`] transformers persist in
+/// the compiled-module store (see `lagoon_core::store`).
+const TYPED_EXPORT_RECIPE: &str = "typed-export-indirection";
+
 /// Builds the per-export indirection transformer (paper §6.2's
 /// `export-n`): in a typed compilation it expands to the raw variable; in
 /// an untyped compilation, to the contract-protected one.
+///
+/// The transformer is pure in its three symbols, so it persists to the
+/// compiled store as `(external raw defensive)` under
+/// [`TYPED_EXPORT_RECIPE`] and rehydrates on load.
 fn export_indirection(external: Symbol, raw: Symbol, defensive: Symbol) -> Rc<NativeMacro> {
-    native(&external.as_str(), move |exp, stx, _| {
+    let recipe = Datum::list(vec![
+        Datum::Symbol(external),
+        Datum::Symbol(raw),
+        Datum::Symbol(defensive),
+    ]);
+    let name = external.as_str();
+    native_with_recipe(&name, TYPED_EXPORT_RECIPE, recipe, move |exp, stx, _| {
         let chosen = if in_typed_context(exp) {
             raw
         } else {
@@ -580,6 +595,18 @@ fn runtime_values() -> HashMap<Symbol, Value> {
 /// Registers the typed sister language with `registry` under `name`,
 /// optionally with a type-driven optimizer pass (§7).
 pub fn register(registry: &Rc<ModuleRegistry>, name: &str, optimize: Option<Rc<OptimizeFn>>) {
+    // typed exports loaded from the compiled store rebuild their
+    // indirection transformers from the persisted symbol triple
+    registry.register_rehydrator(TYPED_EXPORT_RECIPE, |datum| {
+        let items = match datum {
+            Datum::List(items) if items.len() == 3 => items,
+            _ => return None,
+        };
+        let external = items[0].as_symbol()?;
+        let raw = items[1].as_symbol()?;
+        let defensive = items[2].as_symbol()?;
+        Some(export_indirection(external, raw, defensive))
+    });
     // foreign-ref is an ambient helper for generated interop code
     registry.table.bind(
         Symbol::intern("foreign-ref"),

@@ -116,6 +116,55 @@ pub fn apply_placeholder() -> (lagoon_syntax::Symbol, Value) {
     )
 }
 
+/// Reduces a `call-with-values` invocation to an ordinary call: runs the
+/// producer through `engine`, unpacks its (possibly multiple) result, and
+/// returns the consumer with the unpacked argument list.
+///
+/// # Errors
+///
+/// Propagates producer errors; errors on an argument-count mismatch.
+pub fn splice_cwv_args(
+    engine: &dyn Engine,
+    args: &[Value],
+) -> Result<(Value, Vec<Value>), RtError> {
+    let [producer, consumer] = args else {
+        return Err(RtError::arity(
+            "call-with-values: expects a producer and a consumer",
+        ));
+    };
+    let produced = engine.apply(producer, &[])?;
+    let vals = match produced {
+        Value::Values(vs) => (*vs).clone(),
+        v => vec![v],
+    };
+    Ok((consumer.clone(), vals))
+}
+
+/// True when `v` is the distinguished `call-with-values` primitive, which
+/// engines must intercept (running the producer needs the engine itself).
+pub fn is_cwv_native(v: &Value) -> bool {
+    matches!(v, Value::Native(n) if n.name == lagoon_syntax::Symbol::intern("call-with-values"))
+}
+
+/// The placeholder `call-with-values` primitive; engines intercept
+/// applications of it before the fallback body can run.
+pub fn cwv_placeholder() -> (lagoon_syntax::Symbol, Value) {
+    let name = lagoon_syntax::Symbol::intern("call-with-values");
+    (
+        name,
+        lagoon_runtime::Native::value(
+            "call-with-values",
+            lagoon_runtime::Arity::exactly(2),
+            |_| {
+                Err(RtError::new(
+                    lagoon_runtime::Kind::Internal,
+                    "call-with-values must be handled by an execution engine",
+                ))
+            },
+        ),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -271,6 +271,12 @@ impl Engine for Interp {
                         args = nargs;
                         continue;
                     }
+                    if crate::engine::is_cwv_native(&f) {
+                        let (nf, nargs) = crate::engine::splice_cwv_args(self, &args)?;
+                        f = nf;
+                        args = nargs;
+                        continue;
+                    }
                     if !n.arity.accepts(args.len()) {
                         return Err(RtError::arity(format!(
                             "{}: expects {} argument(s), got {}",
@@ -342,7 +348,10 @@ mod tests {
     fn run(src: &str) -> Result<Value, RtError> {
         let globals = Env::root();
         globals.install(lagoon_runtime::prim::primitives());
-        globals.install([crate::engine::apply_placeholder()]);
+        globals.install([
+            crate::engine::apply_placeholder(),
+            crate::engine::cwv_placeholder(),
+        ]);
         let forms = read_all(src, "<t>")
             .unwrap()
             .iter()

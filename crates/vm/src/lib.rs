@@ -27,8 +27,10 @@ pub mod interp;
 pub mod ir;
 pub mod machine;
 
+pub mod codec;
+
 pub use compile::Compiler;
-pub use engine::{apply_placeholder, Engine};
+pub use engine::{apply_placeholder, cwv_placeholder, Engine};
 pub use interp::{Env, Interp};
 pub use ir::{parse_expr, parse_form, CoreExpr, CoreForm, LambdaCore};
 pub use machine::{Globals, Vm, VmEnv};

@@ -116,6 +116,10 @@ impl Engine for Vm {
                         (f, args) = splice_apply_args(&args)?;
                         continue;
                     }
+                    if crate::engine::is_cwv_native(&f) {
+                        (f, args) = crate::engine::splice_cwv_args(self, &args)?;
+                        continue;
+                    }
                     if !n.arity.accepts(args.len()) {
                         return Err(arity_error(n.name.as_str(), n.arity, args.len()));
                     }
@@ -785,6 +789,16 @@ fn enter_call(
                     stack.extend(nargs);
                     continue;
                 }
+                if crate::engine::is_cwv_native(&f) {
+                    // replace `call-with-values producer consumer` with
+                    // `consumer v…` (the producer runs reentrantly)
+                    let all: Vec<Value> = stack.drain(argstart - 1..).collect();
+                    let (nf, nargs) = crate::engine::splice_cwv_args(&Vm, &all[1..])?;
+                    stack.push(nf);
+                    n = nargs.len();
+                    stack.extend(nargs);
+                    continue;
+                }
                 if !nat.arity.accepts(n) {
                     return Err(arity_error(nat.name.as_str(), nat.arity, n));
                 }
@@ -878,7 +892,10 @@ mod tests {
         let code = Compiler::compile_module(&forms)?;
         let prims: HashMap<_, _> = primitives()
             .into_iter()
-            .chain([crate::engine::apply_placeholder()])
+            .chain([
+                crate::engine::apply_placeholder(),
+                crate::engine::cwv_placeholder(),
+            ])
             .collect();
         let (v, _) = Vm.run_module(&code, |name| prims.get(&name).cloned())?;
         Ok(v)

@@ -1,12 +1,18 @@
 //! The `lagoon` command-line tool.
 //!
 //! ```text
-//! lagoon run <file.lag> [--interp] [--stats [--json]] [limit options]
-//!                                      run a program (deps loaded from
-//!                                      sibling <name>.lag files);
+//! lagoon run <file.lag> [--interp] [--stats [--json]]
+//!            [--no-cache] [--cache-dir <dir>] [limit options]
+//!                                      run a program (required modules
+//!                                      resolve lazily to sibling
+//!                                      <name>.lag files at compile time);
 //!                                      --stats prints phase timings, the
 //!                                      optimizer decision log, and opcode
-//!                                      counters, --json machine-readably
+//!                                      counters, --json machine-readably.
+//!                                      Compiled modules persist as .lagc
+//!                                      artifacts under <dir>/compiled (or
+//!                                      --cache-dir) and are reused while
+//!                                      fresh; --no-cache disables this.
 //! lagoon expand <file.lag> [--timings] print the fully-expanded core forms
 //! lagoon repl [--typed]                interactive prompt
 //!
@@ -20,14 +26,13 @@
 //! ```
 
 use lagoon::{EngineKind, Lagoon, Limits};
-use std::collections::HashSet;
 use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  lagoon run <file.lag> [--interp] [--stats [--json]] [limit options]\n  lagoon expand <file.lag> [--timings]\n  lagoon repl [--typed]\n\nlimit options:\n  --max-steps <n>  --max-expand-steps <n>  --max-expand-depth <n>\n  --max-phase1-steps <n>  --max-stack-depth <n>  --timeout-ms <n>"
+        "usage:\n  lagoon run <file.lag> [--interp] [--stats [--json]] [--no-cache] [--cache-dir <dir>] [limit options]\n  lagoon expand <file.lag> [--timings]\n  lagoon repl [--typed]\n\nlimit options:\n  --max-steps <n>  --max-expand-steps <n>  --max-expand-depth <n>\n  --max-phase1-steps <n>  --max-stack-depth <n>  --timeout-ms <n>"
     );
     ExitCode::from(2)
 }
@@ -88,10 +93,23 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
+            let file = Path::new(file);
+            let cache_dir =
+                if args.iter().any(|a| a == "--no-cache") {
+                    None
+                } else {
+                    let explicit = args
+                        .windows(2)
+                        .find(|w| w[0] == "--cache-dir")
+                        .map(|w| PathBuf::from(&w[1]));
+                    Some(explicit.unwrap_or_else(|| {
+                        file.parent().unwrap_or(Path::new(".")).join("compiled")
+                    }))
+                };
             if stats {
-                run_file_with_stats(Path::new(file), engine, json, limits)
+                run_file_with_stats(file, engine, json, limits, cache_dir)
             } else {
-                run_file(Path::new(file), engine, limits)
+                run_file(file, engine, limits, cache_dir)
             }
         }
         Some("expand") => {
@@ -105,72 +123,42 @@ fn main() -> ExitCode {
     }
 }
 
-/// Module names a program references through `require`/`require/typed`
-/// or its `#lang` line.
-fn referenced_modules(source: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    if let Ok(module) = lagoon_syntax::read_module(source, "<scan>") {
-        out.push(module.lang.as_str());
-        for form in &module.body {
-            let Some(items) = form.as_list() else {
-                continue;
-            };
-            let Some(head) = items.first().and_then(lagoon_syntax::Syntax::sym) else {
-                continue;
-            };
-            match head.as_str().as_str() {
-                "require" => {
-                    for spec in &items[1..] {
-                        if let Some(s) = spec.sym() {
-                            out.push(s.as_str());
-                        }
-                    }
-                }
-                "require/typed" => {
-                    if let Some(s) = items.get(1).and_then(lagoon_syntax::Syntax::sym) {
-                        out.push(s.as_str());
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-    out
-}
-
-/// Loads `file` and, transitively, any referenced `<name>.lag` siblings.
-fn load_with_deps(lagoon: &Lagoon, file: &Path) -> Result<String, String> {
+/// Registers `file` as the main module and installs a lazy loader that
+/// resolves any module `require`d during compilation — including requires
+/// a macro generates mid-expansion, which no pre-scan of the source text
+/// could have seen — to a sibling `<name>.lag` file.
+fn setup_program(lagoon: &Lagoon, file: &Path) -> Result<String, String> {
     let main_name = file
         .file_stem()
         .and_then(|s| s.to_str())
         .ok_or_else(|| format!("bad file name: {}", file.display()))?
         .to_string();
+    let source = std::fs::read_to_string(file)
+        .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+    lagoon.add_module(&main_name, &source);
     let dir = file.parent().unwrap_or(Path::new(".")).to_path_buf();
-    let mut pending = vec![(main_name.clone(), file.to_path_buf())];
-    let mut seen: HashSet<String> = HashSet::new();
-    while let Some((name, path)) = pending.pop() {
-        if !seen.insert(name.clone()) {
-            continue;
+    lagoon.set_module_loader(move |name| {
+        // keep lookups inside the program's directory
+        if name.is_empty() || name.contains(['/', '\\']) || name.contains("..") {
+            return None;
         }
-        let source = std::fs::read_to_string(&path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        for dep in referenced_modules(&source) {
-            let candidate: PathBuf = dir.join(format!("{dep}.lag"));
-            if candidate.exists() {
-                pending.push((dep, candidate));
-            }
-        }
-        lagoon.add_module(&name, &source);
-    }
+        std::fs::read_to_string(dir.join(format!("{name}.lag"))).ok()
+    });
     Ok(main_name)
 }
 
-fn run_file(file: &Path, engine: EngineKind, limits: Option<Limits>) -> ExitCode {
+fn run_file(
+    file: &Path,
+    engine: EngineKind,
+    limits: Option<Limits>,
+    cache_dir: Option<PathBuf>,
+) -> ExitCode {
     let lagoon = Lagoon::new();
     if let Some(limits) = limits {
         lagoon.set_limits(limits);
     }
-    let main = match load_with_deps(&lagoon, file) {
+    lagoon.set_cache_dir(cache_dir);
+    let main = match setup_program(&lagoon, file) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("{e}");
@@ -196,12 +184,14 @@ fn run_file_with_stats(
     engine: EngineKind,
     json: bool,
     limits: Option<Limits>,
+    cache_dir: Option<PathBuf>,
 ) -> ExitCode {
     let lagoon = Lagoon::new();
     if let Some(limits) = limits {
         lagoon.set_limits(limits);
     }
-    let main = match load_with_deps(&lagoon, file) {
+    lagoon.set_cache_dir(cache_dir);
+    let main = match setup_program(&lagoon, file) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("{e}");
@@ -232,8 +222,10 @@ fn run_file_with_stats(
 }
 
 fn expand_file(file: &Path, timings: bool) -> ExitCode {
+    // no compiled store here: `expand` exists to show the expansion,
+    // which a cache hit would skip
     let lagoon = Lagoon::new();
-    let main = match load_with_deps(&lagoon, file) {
+    let main = match setup_program(&lagoon, file) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("{e}");

@@ -271,3 +271,77 @@ fn errors_carry_useful_positions() {
     let span = err.span.expect("type errors carry spans");
     assert_eq!(span.line, 3, "error should point at line 3: {err}");
 }
+
+#[test]
+fn multiple_values_bind_and_check_arity() {
+    let corpus: &[(&str, &str, &str)] = &[
+        (
+            "let-values-basic",
+            "(let-values ([(a b) (values 1 2)]) (+ a b))",
+            "3",
+        ),
+        (
+            "let-values-mixed-clauses",
+            "(let-values ([(a b) (values 1 2)] [(c) 10] [() (values)])
+               (list a b c))",
+            "(1 2 10)",
+        ),
+        (
+            "let-values-evaluation-order",
+            // non-recursive: right-hand sides see the outer x
+            "(define x 100)
+             (let-values ([(x y) (values 1 2)] [(z) x]) (list x y z))",
+            "(1 2 100)",
+        ),
+        (
+            "letrec-values-mutual-recursion",
+            "(letrec-values ([(even? odd?)
+                              (values (lambda (n) (if (= n 0) #t (odd? (- n 1))))
+                                      (lambda (n) (if (= n 0) #f (even? (- n 1)))))])
+               (list (even? 10) (odd? 7)))",
+            "(#t #t)",
+        ),
+        (
+            "define-values",
+            "(define-values (q r) (values (quotient 17 5) (remainder 17 5)))
+             (list q r)",
+            "(3 2)",
+        ),
+        (
+            "call-with-values",
+            "(call-with-values (lambda () (values 1 2 3)) list)",
+            "(1 2 3)",
+        ),
+        (
+            "values-passthrough",
+            // a single value is not packaged, so it flows anywhere
+            "(+ (values 40) 2)",
+            "42",
+        ),
+    ];
+    for (name, body, expected) in corpus {
+        let lagoon = Lagoon::new();
+        lagoon.add_module(name, &format!("#lang lagoon\n{body}\n"));
+        let v = both(&lagoon, name);
+        assert_eq!(&v.to_string(), expected, "{name}");
+    }
+}
+
+#[test]
+fn multiple_values_arity_mismatch_is_an_error_not_a_panic() {
+    for (name, body) in [
+        ("too-many", "(define-values (a b) (values 1 2 3)) a"),
+        ("too-few", "(let-values ([(a b c) (values 1 2)]) a)"),
+        ("non-values", "(let-values ([(a b) 7]) a)"),
+    ] {
+        for engine in [EngineKind::Vm, EngineKind::Interp] {
+            let lagoon = Lagoon::new();
+            lagoon.add_module(name, &format!("#lang lagoon\n{body}\n"));
+            let err = lagoon.run(name, engine).unwrap_err();
+            assert!(
+                err.to_string().contains("values"),
+                "{name} ({engine:?}): {err}"
+            );
+        }
+    }
+}

@@ -282,3 +282,124 @@ fn fuzz_sweep_never_panics() {
 fn gen_input(rng: &mut SplitMix64) -> String {
     lagoon::diag::gen::gen_module(rng, 6, true)
 }
+
+#[test]
+fn compiled_store_codec_is_a_fixed_point() {
+    // seeded generator → compile → encode → decode → re-encode must
+    // reproduce the artifact bytes exactly (symbols, spans, consts,
+    // bytecode, persisted declarations — everything survives the trip)
+    let n: u64 = if cfg!(debug_assertions) { 150 } else { 600 };
+    let mut rng = SplitMix64::new(0xc0dec);
+    let lagoon = Lagoon::new();
+    lagoon.set_limits(strict());
+    let registry = lagoon.registry();
+    let mut checked = 0u64;
+    // a fixed corpus that always compiles, covering the value/form shapes
+    // the generator only hits by luck, then the seeded sweep
+    let corpus = [
+        "#lang lagoon\n(define (f x) (* x 2.5)) (provide f) (f 4)\n",
+        "#lang lagoon\n(define v (vector 1 \"two\" #\\3 'four)) (vector-ref v 0)\n",
+        "#lang lagoon\n(define-values (q r) (values (quotient 7 2) (remainder 7 2))) (+ q r)\n",
+        "#lang lagoon\n(let loop ([i 0] [acc '()]) (if (= i 3) acc (loop (+ i 1) (cons i acc))))\n",
+        "#lang typed/lagoon\n(: inc : Integer -> Integer)\n(define (inc n) (+ n 1)) (provide inc) (inc 1)\n",
+        "#lang lagoon\n(define c 2.0+3.0i) (+ c c)\n",
+        "#lang lagoon\n`(1 ,(+ 1 1) ,@(list 3 4))\n",
+    ];
+    for i in 0..(corpus.len() as u64 + n) {
+        let src = corpus
+            .get(i as usize)
+            .map(|s| (*s).to_string())
+            .unwrap_or_else(|| lagoon::diag::gen::gen_module(&mut rng, 5, false));
+        let name = format!("codec-{i}");
+        lagoon.add_module(&name, &src);
+        let Ok(compiled) = registry.compile(lagoon::Symbol::intern(&name)) else {
+            continue; // generator output that doesn't compile is off-topic here
+        };
+        let deps: Vec<_> = compiled
+            .requires
+            .iter()
+            .enumerate()
+            .map(|(j, d)| (*d, j as u64))
+            .collect();
+        let Ok(bytes) = lagoon_core::store::encode(&compiled, 11, 22, &deps) else {
+            continue; // uncacheable (e.g. exports a hosted macro)
+        };
+        // a name/tag/datum-preserving rehydrator (the shape the typed
+        // language registers) so recipe exports make the round trip too
+        let rehydrate = |tag: lagoon::Symbol, datum: &lagoon::Datum| {
+            let name = match datum {
+                lagoon::Datum::List(items) => items.first()?.as_symbol()?,
+                _ => return None,
+            };
+            Some(lagoon_core::native_with_recipe(
+                &name.as_str(),
+                &tag.as_str(),
+                datum.clone(),
+                |_, stx, _| Ok(lagoon_core::Expanded::Surface(stx)),
+            ))
+        };
+        let artifact = lagoon_core::store::decode(&bytes, &rehydrate)
+            .unwrap_or_else(|e| panic!("fresh artifact must decode, got {e}\nsource:\n{src}"));
+        let back = artifact.into_compiled();
+        let bytes2 = lagoon_core::store::encode(&back, 11, 22, &deps)
+            .unwrap_or_else(|e| panic!("decoded module must re-encode, got {e}\nsource:\n{src}"));
+        assert_eq!(bytes, bytes2, "codec is not a fixed point for:\n{src}");
+        checked += 1;
+    }
+    lagoon.set_limits(Limits::default());
+    // the generator is deliberately adversarial, so most of its output
+    // fails to compile; the fixed corpus plus its survivors must all
+    // have made the round trip
+    assert!(
+        checked >= corpus.len() as u64 + n / 10,
+        "only {checked} inputs reached the codec"
+    );
+}
+
+#[test]
+fn lagc_corruption_sweep_never_panics() {
+    // random byte flips (and truncations) in on-disk artifacts must
+    // surface as corrupt-artifact diagnostics followed by a clean
+    // recompile — never a panic, never an internal error, and never a
+    // silently different program result
+    let n: u64 = std::env::var("LAGOON_FUZZ_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(|v: u64| v / 20)
+        .unwrap_or(if cfg!(debug_assertions) { 60 } else { 200 });
+    let dir = std::env::temp_dir().join(format!("lagoon-corrupt-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let lagoon = Lagoon::new();
+    lagoon.set_cache_dir(Some(dir.clone()));
+    lagoon.add_module(
+        "base",
+        "#lang lagoon\n(define (shout s) (string-append s \"!\"))\n(provide shout)\n",
+    );
+    lagoon.add_module("app", "#lang lagoon\n(require base)\n(shout \"hey\")\n");
+    let expected = lagoon.run("app", EngineKind::Vm).unwrap().to_string();
+    let mut rng = SplitMix64::new(0x1a6c);
+    for i in 0..n {
+        let victim = dir.join(if i % 2 == 0 { "base.lagc" } else { "app.lagc" });
+        let mut bytes = std::fs::read(&victim).unwrap();
+        if rng.chance(1, 4) {
+            // truncate somewhere
+            bytes.truncate(rng.below(bytes.len() as u64 + 1) as usize);
+        } else {
+            for _ in 0..=rng.below(3) {
+                let at = rng.below(bytes.len().max(1) as u64) as usize;
+                bytes[at] ^= (1 + rng.below(255)) as u8;
+            }
+        }
+        std::fs::write(&victim, &bytes).unwrap();
+        lagoon.registry().reset_compiled();
+        match lagoon.run("app", EngineKind::Vm) {
+            Ok(v) => assert_eq!(v.to_string(), expected, "iteration {i} changed the result"),
+            Err(e) => panic!(
+                "iteration {i}: corruption must recompile, not fail (kind {:?}): {e}",
+                e.kind
+            ),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,269 @@
+//! End-to-end tests for the on-disk compiled-module store: warm runs
+//! load `.lagc` artifacts instead of compiling, edits invalidate a
+//! module *and* its dependents, corrupt artifacts fall back to
+//! recompilation with a structured diagnostic, typed exports rehydrate
+//! from their persisted recipes, and the lazy module loader resolves
+//! requires — including macro-generated ones — at compile time.
+
+use lagoon::{EngineKind, Lagoon};
+use std::path::PathBuf;
+
+const UTIL: &str = "#lang typed/lagoon
+(: triple : Integer -> Integer)
+(define (triple n) (* 3 n))
+(provide triple)
+";
+
+const MAIN: &str = "#lang lagoon
+(require util)
+(triple 14)
+";
+
+/// A fresh, empty store directory unique to this test.
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lagoon-store-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn cached_world(tag: &str) -> (Lagoon, PathBuf) {
+    let dir = temp_store(tag);
+    let lagoon = Lagoon::new();
+    lagoon.set_cache_dir(Some(dir.clone()));
+    lagoon.add_module("util", UTIL);
+    lagoon.add_module("main", MAIN);
+    (lagoon, dir)
+}
+
+#[test]
+fn warm_run_hits_the_store_for_every_module() {
+    let (lagoon, dir) = cached_world("warm");
+    let (v1, cold) = lagoon.run_with_stats("main", EngineKind::Vm).unwrap();
+    assert_eq!(v1.to_string(), "42");
+    assert_eq!(
+        cold.cache_hits(),
+        0,
+        "cold run cannot hit: {:?}",
+        cold.caches
+    );
+    assert_eq!(cold.cache_misses(), 2);
+    assert!(dir.join("util.lagc").is_file());
+    assert!(dir.join("main.lagc").is_file());
+
+    lagoon.registry().reset_compiled();
+    let (v2, warm) = lagoon.run_with_stats("main", EngineKind::Vm).unwrap();
+    assert_eq!(v2.to_string(), "42");
+    assert_eq!(
+        warm.cache_misses(),
+        0,
+        "warm run compiled: {:?}",
+        warm.caches
+    );
+    assert_eq!(warm.cache_hits(), 2);
+
+    // the decoded core forms drive the interpreter engine too
+    let v3 = lagoon.run("main", EngineKind::Interp).unwrap();
+    assert_eq!(v3.to_string(), "42");
+}
+
+#[test]
+fn fresh_importers_use_rehydrated_typed_exports() {
+    let (lagoon, _dir) = cached_world("rehydrate");
+    lagoon.run("main", EngineKind::Vm).unwrap();
+    lagoon.registry().reset_compiled();
+
+    // an untyped client compiled against the cache-loaded typed module:
+    // the export indirection was rebuilt from its persisted recipe, and
+    // picks the contract-protected variant here
+    lagoon.add_module("client", "#lang lagoon\n(require util)\n(triple 5)\n");
+    let (v, report) = lagoon.run_with_stats("client", EngineKind::Vm).unwrap();
+    assert_eq!(v.to_string(), "15");
+    assert!(
+        report
+            .caches
+            .iter()
+            .any(|r| r.module == "util" && r.status == "hit"),
+        "util should load from the store: {:?}",
+        report.caches
+    );
+
+    // a typed client needs util's *persisted type declarations* replayed
+    // from the artifact, and links against the raw (uncontracted) export
+    lagoon.registry().reset_compiled();
+    lagoon.add_module(
+        "typed-client",
+        "#lang typed/lagoon\n(require util)\n(define: x : Integer (triple 7))\nx\n",
+    );
+    let v = lagoon.run("typed-client", EngineKind::Vm).unwrap();
+    assert_eq!(v.to_string(), "21");
+}
+
+#[test]
+fn editing_a_module_invalidates_it_and_its_dependents() {
+    let (lagoon, _dir) = cached_world("edit");
+    lagoon.run("main", EngineKind::Vm).unwrap();
+
+    lagoon.add_module("util", &UTIL.replace("(* 3 n)", "(* 4 n)"));
+    lagoon.registry().reset_compiled();
+    let (v, report) = lagoon.run_with_stats("main", EngineKind::Vm).unwrap();
+    assert_eq!(v.to_string(), "56");
+    let status = |m: &str| {
+        report
+            .caches
+            .iter()
+            .find(|r| r.module == m)
+            .map(|r| (r.status, r.detail.clone()))
+            .unwrap_or_else(|| panic!("no cache row for {m}: {:?}", report.caches))
+    };
+    assert_eq!(status("util").0, "stale");
+    assert_eq!(status("util").1, "source changed");
+    assert_eq!(status("main").0, "stale");
+    assert_eq!(status("main").1, "dependency util recompiled");
+
+    // and the rewritten artifacts hit on the next warm run
+    lagoon.registry().reset_compiled();
+    let (_, warm) = lagoon.run_with_stats("main", EngineKind::Vm).unwrap();
+    assert_eq!(warm.cache_hits(), 2, "{:?}", warm.caches);
+}
+
+#[test]
+fn corrupt_artifacts_recompile_with_a_diagnostic() {
+    let (lagoon, dir) = cached_world("corrupt");
+    lagoon.run("main", EngineKind::Vm).unwrap();
+
+    // flip a byte in the middle of util's artifact
+    let path = dir.join("util.lagc");
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&path, &bytes).unwrap();
+
+    lagoon.registry().reset_compiled();
+    let (v, report) = lagoon.run_with_stats("main", EngineKind::Vm).unwrap();
+    assert_eq!(v.to_string(), "42", "corruption must not change behavior");
+    assert!(
+        report
+            .caches
+            .iter()
+            .any(|r| r.module == "util" && r.status == "corrupt"),
+        "expected a corrupt row: {:?}",
+        report.caches
+    );
+
+    // truncation is also corruption, and also recovers
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len().min(10)]).unwrap();
+    lagoon.registry().reset_compiled();
+    let (v, report) = lagoon.run_with_stats("main", EngineKind::Vm).unwrap();
+    assert_eq!(v.to_string(), "42");
+    assert!(
+        report
+            .caches
+            .iter()
+            .any(|r| r.module == "util" && r.status == "corrupt"),
+        "expected a corrupt row: {:?}",
+        report.caches
+    );
+}
+
+#[test]
+fn stats_report_timing_buckets_and_load_phase() {
+    let (lagoon, _dir) = cached_world("buckets");
+    let (_, cold) = lagoon.run_with_stats("main", EngineKind::Vm).unwrap();
+    let bucket = |report: &lagoon::diag::Report, name: &str| {
+        report
+            .timing_buckets()
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, ns)| *ns)
+            .unwrap()
+    };
+    assert!(bucket(&cold, "expand") > 0, "cold run expands");
+    assert!(bucket(&cold, "compile") > 0, "cold run compiles");
+
+    lagoon.registry().reset_compiled();
+    let (_, warm) = lagoon.run_with_stats("main", EngineKind::Vm).unwrap();
+    assert_eq!(bucket(&warm, "read"), 0, "warm run reads nothing");
+    assert_eq!(bucket(&warm, "expand"), 0, "warm run expands nothing");
+    assert_eq!(bucket(&warm, "compile"), 0, "warm run compiles nothing");
+    assert!(bucket(&warm, "load") > 0, "warm run loads artifacts");
+    let json = warm.to_json();
+    assert!(json.contains("\"buckets\""), "buckets missing from {json}");
+    assert!(json.contains("\"cache\""), "cache rows missing from {json}");
+}
+
+#[test]
+fn macro_generated_requires_resolve_through_the_lazy_loader() {
+    // no pre-scan of this source can see the require — it only exists
+    // after (use-math) expands, at which point the loader supplies the
+    // module's source on demand
+    let lagoon = Lagoon::new();
+    lagoon.set_module_loader(|name| match name {
+        "mathlib" => {
+            Some("#lang lagoon\n(define (add2 a b) (+ a b))\n(provide add2)\n".to_string())
+        }
+        _ => None,
+    });
+    lagoon.add_module(
+        "main",
+        "#lang lagoon
+(define-syntax use-math (syntax-rules () [(_) (require mathlib)]))
+(use-math)
+(add2 40 2)
+",
+    );
+    assert_eq!(
+        lagoon.run("main", EngineKind::Vm).unwrap().to_string(),
+        "42"
+    );
+    assert_eq!(
+        lagoon.run("main", EngineKind::Interp).unwrap().to_string(),
+        "42"
+    );
+    // unknown modules still error cleanly through the loader path
+    lagoon.add_module("broken", "#lang lagoon\n(require no-such-module)\n1\n");
+    let err = lagoon.run("broken", EngineKind::Vm).unwrap_err();
+    assert!(err.to_string().contains("no-such-module"), "{err}");
+}
+
+#[test]
+fn modules_with_macro_exports_are_skipped_not_broken() {
+    // a hosted macro export has no serialized form, so the module is
+    // uncacheable — it recompiles every run, and stays correct
+    let dir = temp_store("uncacheable");
+    let lagoon = Lagoon::new();
+    lagoon.set_cache_dir(Some(dir.clone()));
+    lagoon.add_module(
+        "macros",
+        "#lang lagoon
+(define-syntax twice (syntax-rules () [(_ e) (begin e e)]))
+(provide twice)
+",
+    );
+    lagoon.add_module(
+        "user",
+        "#lang lagoon\n(require macros)\n(define c 0)\n(twice (set! c (+ c 1)))\nc\n",
+    );
+    let (v, report) = lagoon.run_with_stats("user", EngineKind::Vm).unwrap();
+    assert_eq!(v.to_string(), "2");
+    assert!(
+        !dir.join("macros.lagc").exists(),
+        "macro module must not cache"
+    );
+    assert!(
+        report
+            .caches
+            .iter()
+            .any(|r| r.module == "macros" && r.detail.contains("not cached")),
+        "expected an uncacheable diagnostic: {:?}",
+        report.caches
+    );
+    // its importer cannot cache either (its dependency has no digest)
+    assert!(!dir.join("user.lagc").exists());
+
+    // and on a second pass everything still runs
+    lagoon.registry().reset_compiled();
+    let v = lagoon.run("user", EngineKind::Vm).unwrap();
+    assert_eq!(v.to_string(), "2");
+}
