@@ -2,15 +2,45 @@
 //! machine-readable metrics JSON attributing each speedup to optimizer
 //! decisions and the executed opcode mix.
 //!
-//! Usage: `cargo run --release -p lagoon-bench --bin figures [fig6|fig7|fig8|fig9|all] [reps]`
+//! Usage:
+//! `cargo run --release -p lagoon-bench --bin figures [fig6|fig7|fig8|fig9|all] [reps]`
+//!
+//! The `bench4` mode instead runs the peephole A/B sweep — every
+//! benchmark of figures 6-8 under all four configurations with the
+//! superinstruction pass on and off — and writes the flat records to a
+//! JSON file (default `BENCH_4.json`):
+//! `cargo run --release -p lagoon-bench --bin figures bench4 [reps] [out.json]`
 
 use lagoon_bench::{
-    benchmarks_for, collect_metrics, format_figure, measure_figure, metrics_json, Config, Figure,
+    bench4_json, bench4_sweep, benchmarks_for, collect_metrics, format_figure, measure_figure,
+    metrics_json, Config, Figure,
 };
+
+fn run_bench4(args: &[String]) {
+    let reps: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let path = args.get(3).map(String::as_str).unwrap_or("BENCH_4.json");
+    let rows = match bench4_sweep(&[Figure::Fig6, Figure::Fig7, Figure::Fig8], reps) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("error in bench4 sweep: {e}");
+            std::process::exit(1);
+        }
+    };
+    match std::fs::write(path, bench4_json(&rows)) {
+        Ok(()) => println!("wrote {path} ({} records, {reps} reps)", rows.len()),
+        Err(e) => {
+            eprintln!("error writing {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let which = args.get(1).map(String::as_str).unwrap_or("all");
+    if which == "bench4" {
+        return run_bench4(&args);
+    }
     let reps: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
     let figures: Vec<Figure> = match which {
         "fig6" => vec![Figure::Fig6],

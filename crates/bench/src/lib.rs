@@ -326,6 +326,8 @@ pub struct Metrics {
     pub generic_ops: u64,
     /// Executed specialized (unsafe-derived) instructions.
     pub specialized_ops: u64,
+    /// Executed peephole superinstructions (fused opcodes).
+    pub fused_ops: u64,
     /// All executed instructions.
     pub total_ops: u64,
 }
@@ -362,9 +364,10 @@ pub fn collect_metrics(bench: &Benchmark, config: Config) -> Result<Metrics, RtE
     report.set_opcodes(
         lagoon_vm::counters::snapshot()
             .into_iter()
-            .map(|(op, class, count)| lagoon_diag::OpcodeRow {
+            .map(|(op, class, fused, count)| lagoon_diag::OpcodeRow {
                 op: op.to_string(),
                 class: class.name().to_string(),
+                fused,
                 count,
             })
             .collect(),
@@ -376,6 +379,7 @@ pub fn collect_metrics(bench: &Benchmark, config: Config) -> Result<Metrics, RtE
         near_misses: report.near_misses.len() as u64,
         generic_ops: report.generic_ops(),
         specialized_ops: report.specialized_ops(),
+        fused_ops: report.fused_ops(),
         total_ops: report.total_ops(),
     })
 }
@@ -392,14 +396,184 @@ pub fn metrics_json(rows: &[Metrics]) -> String {
         let _ = write!(
             out,
             "{{\"name\":{},\"config\":{},\"rewrites\":{},\"near_misses\":{},\
-             \"generic_ops\":{},\"specialized_ops\":{},\"total_ops\":{}}}",
+             \"generic_ops\":{},\"specialized_ops\":{},\"fused_ops\":{},\"total_ops\":{}}}",
             lagoon_diag::json_string(m.name),
             lagoon_diag::json_string(m.config),
             m.rewrites,
             m.near_misses,
             m.generic_ops,
             m.specialized_ops,
+            m.fused_ops,
             m.total_ops,
+        );
+    }
+    out.push(']');
+    out
+}
+
+/// One record of the peephole A/B sweep behind `BENCH_4.json`: a
+/// benchmark under one configuration with the superinstruction pass on
+/// or off, with the median wall time over the timed reps and the opcode
+/// totals from one separate instrumented run (zeros without the
+/// `vm-counters` feature, and for `ast-interp`, which executes no
+/// bytecode).
+#[derive(Clone, Debug)]
+pub struct Bench4Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Figure label (`"fig6"`…`"fig9"`).
+    pub figure: &'static str,
+    /// Configuration label (see [`Config::label`]).
+    pub config: &'static str,
+    /// Whether the peephole pass was enabled for this record.
+    pub peephole: bool,
+    /// Median wall-clock time over the reps, in milliseconds.
+    pub median_ms: f64,
+    /// Executed generic (tag-dispatching) instructions.
+    pub generic_ops: u64,
+    /// Executed specialized (unsafe-derived) instructions.
+    pub specialized_ops: u64,
+    /// Executed peephole superinstructions.
+    pub fused_ops: u64,
+    /// All executed instructions.
+    pub total_ops: u64,
+}
+
+fn figure_label(figure: Figure) -> &'static str {
+    match figure {
+        Figure::Fig6 => "fig6",
+        Figure::Fig7 => "fig7",
+        Figure::Fig8 => "fig8",
+        Figure::Fig9 => "fig9",
+    }
+}
+
+fn median(times: &mut [f64]) -> f64 {
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = times.len();
+    if n == 0 {
+        f64::NAN
+    } else if n % 2 == 1 {
+        times[n / 2]
+    } else {
+        (times[n / 2 - 1] + times[n / 2]) / 2.0
+    }
+}
+
+/// Runs the peephole A/B sweep over `figures`: every benchmark under
+/// every configuration, peephole on and (for the bytecode configs) off,
+/// `reps` timed runs each plus one instrumented run for opcode totals.
+/// All records of a benchmark must agree on the produced value — this
+/// doubles as the correctness gate CI's `bench-smoke` job runs.
+///
+/// The thread-local peephole setting is restored to *on* before
+/// returning.
+///
+/// # Errors
+///
+/// Propagates compile and runtime errors; errors if any configuration
+/// (with either peephole setting) disagrees on a benchmark's result.
+pub fn bench4_sweep(figures: &[Figure], reps: usize) -> Result<Vec<Bench4Row>, RtError> {
+    let result = bench4_sweep_inner(figures, reps);
+    lagoon_vm::peephole::set_enabled(true);
+    result
+}
+
+fn bench4_sweep_inner(figures: &[Figure], reps: usize) -> Result<Vec<Bench4Row>, RtError> {
+    let mut rows = Vec::new();
+    for figure in figures {
+        for bench in benchmarks_for(*figure) {
+            let mut reference: Option<Value> = None;
+            for config in Config::all() {
+                // ast-interp never executes bytecode, so the off record
+                // would duplicate the on record exactly
+                let settings: &[bool] = match config {
+                    Config::AstInterp => &[true],
+                    _ => &[true, false],
+                };
+                for &peephole in settings {
+                    lagoon_vm::peephole::set_enabled(peephole);
+                    let mut runner = prepare(&bench, config)?;
+                    let mut times = Vec::with_capacity(reps);
+                    for _ in 0..reps {
+                        let start = Instant::now();
+                        let v = runner()?;
+                        times.push(start.elapsed().as_secs_f64() * 1000.0);
+                        match &reference {
+                            None => reference = Some(v),
+                            Some(r) => {
+                                if !r.equal(&v) {
+                                    return Err(RtError::user(format!(
+                                        "{}: {} (peephole {}) produced {v}, expected {r}",
+                                        bench.name,
+                                        config.label(),
+                                        if peephole { "on" } else { "off" },
+                                    )));
+                                }
+                            }
+                        }
+                    }
+                    #[cfg_attr(not(feature = "vm-counters"), allow(unused_mut))]
+                    let mut totals = (0u64, 0u64, 0u64, 0u64);
+                    #[cfg(feature = "vm-counters")]
+                    {
+                        lagoon_vm::counters::reset();
+                        lagoon_vm::counters::set_active(true);
+                        let counted = runner();
+                        lagoon_vm::counters::set_active(false);
+                        counted?;
+                        for (_, class, fused, count) in lagoon_vm::counters::snapshot() {
+                            match class {
+                                lagoon_vm::bytecode::OpClass::Generic => totals.0 += count,
+                                lagoon_vm::bytecode::OpClass::Specialized => totals.1 += count,
+                                lagoon_vm::bytecode::OpClass::Control => {}
+                            }
+                            if fused {
+                                totals.2 += count;
+                            }
+                            totals.3 += count;
+                        }
+                    }
+                    rows.push(Bench4Row {
+                        name: bench.name,
+                        figure: figure_label(*figure),
+                        config: config.label(),
+                        peephole,
+                        median_ms: median(&mut times),
+                        generic_ops: totals.0,
+                        specialized_ops: totals.1,
+                        fused_ops: totals.2,
+                        total_ops: totals.3,
+                    });
+                }
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// Serializes [`Bench4Row`]s as a JSON array (hand-rolled; the
+/// workspace takes no serialization dependency).
+pub fn bench4_json(rows: &[Bench4Row]) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"figure\":{},\"config\":{},\"peephole\":{},\"median_ms\":{:.6},\
+             \"generic_ops\":{},\"specialized_ops\":{},\"fused_ops\":{},\"total_ops\":{}}}",
+            lagoon_diag::json_string(r.name),
+            lagoon_diag::json_string(r.figure),
+            lagoon_diag::json_string(r.config),
+            r.peephole,
+            r.median_ms,
+            r.generic_ops,
+            r.specialized_ops,
+            r.fused_ops,
+            r.total_ops,
         );
     }
     out.push(']');
@@ -476,6 +650,44 @@ mod tests {
             .unwrap()
             .join()
             .unwrap();
+    }
+
+    #[test]
+    fn bench4_sweep_covers_both_settings_and_agrees() {
+        let rows = bench4_sweep(&[Figure::Fig8], 1).unwrap();
+        // ast-interp appears once (peephole-on only); the three bytecode
+        // configs appear with the pass both on and off
+        assert_eq!(rows.len(), 7);
+        assert!(rows.iter().all(|r| r.figure == "fig8"));
+        assert_eq!(rows.iter().filter(|r| r.config == "ast-interp").count(), 1);
+        assert_eq!(rows.iter().filter(|r| !r.peephole).count(), 3);
+        #[cfg(feature = "vm-counters")]
+        {
+            let on = rows
+                .iter()
+                .find(|r| r.config == "vm" && r.peephole)
+                .unwrap();
+            let off = rows
+                .iter()
+                .find(|r| r.config == "vm" && !r.peephole)
+                .unwrap();
+            assert!(on.fused_ops > 0, "no fusions executed on pseudoknot");
+            assert_eq!(off.fused_ops, 0);
+            assert!(on.total_ops < off.total_ops);
+        }
+        // the sweep restores the thread-local default
+        assert!(lagoon_vm::peephole::enabled());
+        let json = bench4_json(&rows);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"peephole\":false"));
+        assert!(json.contains("\"fused_ops\""));
+    }
+
+    #[test]
+    fn median_is_order_insensitive() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert!(median(&mut []).is_nan());
     }
 
     #[test]

@@ -420,6 +420,17 @@ impl ModuleRegistry {
         if artifact.name != name {
             return stale(format!("artifact names module {}", artifact.name));
         }
+        if artifact.peephole != lagoon_vm::peephole::enabled() {
+            return stale(format!(
+                "compiled with peephole {}, session runs with it {}",
+                if artifact.peephole { "on" } else { "off" },
+                if lagoon_vm::peephole::enabled() {
+                    "on"
+                } else {
+                    "off"
+                },
+            ));
+        }
         if artifact.env_digest != self.env_digest.get() {
             return stale("base environment changed".to_owned());
         }
@@ -633,6 +644,11 @@ impl ModuleRegistry {
             let _t = lagoon_diag::time(lagoon_diag::Phase::Compile, name);
             let forms: Vec<CoreForm> = expanded.iter().map(parse_form).collect::<Result<_, _>>()?;
             let code = Compiler::compile_module(&forms)?;
+            let peep = lagoon_vm::peephole::last_stats();
+            if peep.fused > 0 {
+                lagoon_diag::count("peephole-fused", name, peep.fused);
+                lagoon_diag::count("peephole-removed", name, peep.removed);
+            }
             (forms, code)
         };
 

@@ -20,6 +20,9 @@
 //!   for;
 //! * the **source digest** — a hash of the module's current source
 //!   text (which includes its `#lang` line);
+//! * the **peephole flag** — whether the superinstruction pass was on
+//!   when the artifact was compiled. A session running with
+//!   `--no-peephole` must not reuse fused bytecode (and vice versa);
 //! * every **dependency digest** — a hash of the dependency's own
 //!   artifact *bytes*, and the dependency must itself have been loaded
 //!   from the store this session. A freshly compiled dependency uses
@@ -51,7 +54,10 @@ use std::rc::Rc;
 
 /// Bumped whenever the artifact layout (or anything it embeds, like the
 /// opcode table) changes incompatibly. Old artifacts read as stale.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// History: 2 added the peephole superinstruction opcodes and the
+/// artifact's `peephole` flag.
+pub const FORMAT_VERSION: u32 = 2;
 
 const MAGIC: &[u8; 4] = b"LAGC";
 
@@ -92,6 +98,10 @@ pub struct Artifact {
     pub env_digest: u64,
     /// Digest of the module's source text at compile time.
     pub source_digest: u64,
+    /// Whether the peephole superinstruction pass was enabled when the
+    /// module was compiled. Bytecode with (or without) fused ops is
+    /// only a cache hit for a session running the same configuration.
+    pub peephole: bool,
     /// The module's name.
     pub name: Symbol,
     /// The module's language.
@@ -235,6 +245,7 @@ pub fn encode(
     let mut w = WireWriter::new();
     w.uint(env_digest);
     w.uint(src_digest);
+    w.bool(lagoon_vm::peephole::enabled());
     w.symbol(module.name);
     w.symbol(module.lang);
     w.len(dep_digests.len());
@@ -305,6 +316,7 @@ pub fn decode(
     let mut r = WireReader::new(body);
     let env_digest = r.uint()?;
     let source_digest = r.uint()?;
+    let peephole = r.bool()?;
     let name = r.symbol()?;
     let lang = r.symbol()?;
     let ndeps = r.len()?;
@@ -344,6 +356,7 @@ pub fn decode(
     Ok(Artifact {
         env_digest,
         source_digest,
+        peephole,
         name,
         lang,
         dep_digests,
@@ -410,6 +423,7 @@ mod tests {
         let a = decode(&bytes, &no_rehydrate).unwrap();
         assert_eq!(a.env_digest, 11);
         assert_eq!(a.source_digest, 22);
+        assert_eq!(a.peephole, lagoon_vm::peephole::enabled());
         assert_eq!(a.name, m.name);
         assert_eq!(a.lang, m.lang);
         assert_eq!(a.dep_digests, deps);

@@ -449,6 +449,8 @@ pub struct OpcodeRow {
     pub op: String,
     /// Instruction class: `"control"`, `"generic"`, or `"specialized"`.
     pub class: String,
+    /// Whether this is a peephole superinstruction (fused opcode).
+    pub fused: bool,
     /// Times executed.
     pub count: u64,
 }
@@ -623,6 +625,26 @@ impl Report {
         }
     }
 
+    /// Total executions of peephole superinstructions (fused opcodes).
+    pub fn fused_ops(&self) -> u64 {
+        self.opcodes
+            .iter()
+            .filter(|o| o.fused)
+            .map(|o| o.count)
+            .sum()
+    }
+
+    /// Fused share of all executed instructions: `fused / total`;
+    /// `None` when nothing ran.
+    pub fn fusion_share(&self) -> Option<f64> {
+        let total = self.total_ops();
+        if total == 0 {
+            None
+        } else {
+            Some(self.fused_ops() as f64 / total as f64)
+        }
+    }
+
     /// Number of store lookups that were warm hits.
     pub fn cache_hits(&self) -> usize {
         self.caches.iter().filter(|c| c.status == "hit").count()
@@ -759,16 +781,23 @@ impl Report {
                 .specialized_share()
                 .map(|s| format!("{:.1}%", s * 100.0))
                 .unwrap_or_else(|| "n/a".to_string());
+            let fusion = self
+                .fusion_share()
+                .map(|s| format!("{:.1}%", s * 100.0))
+                .unwrap_or_else(|| "n/a".to_string());
             let _ = writeln!(
                 out,
-                "opcode mix: {} executed ({} generic, {} specialized; specialized share {})",
+                "opcode mix: {} executed ({} generic, {} specialized; specialized share {}; {} fused, fusion share {})",
                 self.total_ops(),
                 self.generic_ops(),
                 self.specialized_ops(),
-                share
+                share,
+                self.fused_ops(),
+                fusion
             );
             for o in &self.opcodes {
-                let _ = writeln!(out, "  {:<20} {:<12} {:>12}", o.op, o.class, o.count);
+                let mark = if o.fused { " fused" } else { "" };
+                let _ = writeln!(out, "  {:<20} {:<12} {:>12}{mark}", o.op, o.class, o.count);
             }
         }
         out
@@ -865,19 +894,21 @@ impl Report {
         push_rows(&mut out, &self.opcodes, |out, o| {
             let _ = write!(
                 out,
-                "{{\"op\":{},\"class\":{},\"count\":{}}}",
+                "{{\"op\":{},\"class\":{},\"fused\":{},\"count\":{}}}",
                 json_string(&o.op),
                 json_string(&o.class),
+                o.fused,
                 o.count
             );
         });
         let _ = write!(
             out,
-            "],\"summary\":{{\"rewrites\":{},\"near_misses\":{},\"generic_ops\":{},\"specialized_ops\":{},\"total_ops\":{},\"cache_hits\":{},\"cache_misses\":{}}}}}",
+            "],\"summary\":{{\"rewrites\":{},\"near_misses\":{},\"generic_ops\":{},\"specialized_ops\":{},\"fused_ops\":{},\"total_ops\":{},\"cache_hits\":{},\"cache_misses\":{}}}}}",
             self.rewrites.len(),
             self.near_misses.len(),
             self.generic_ops(),
             self.specialized_ops(),
+            self.fused_ops(),
             self.total_ops(),
             self.cache_hits(),
             self.cache_misses()
@@ -1015,22 +1046,38 @@ mod tests {
             OpcodeRow {
                 op: "Add2".to_string(),
                 class: "generic".to_string(),
+                fused: false,
                 count: 10,
             },
             OpcodeRow {
                 op: "FlAdd".to_string(),
                 class: "specialized".to_string(),
+                fused: false,
                 count: 30,
+            },
+            OpcodeRow {
+                op: "BrLt2".to_string(),
+                class: "generic".to_string(),
+                fused: true,
+                count: 15,
             },
             OpcodeRow {
                 op: "Return".to_string(),
                 class: "control".to_string(),
+                fused: false,
                 count: 5,
             },
         ]);
-        assert_eq!(report.generic_ops(), 10);
+        assert_eq!(report.generic_ops(), 25);
         assert_eq!(report.specialized_ops(), 30);
-        assert_eq!(report.total_ops(), 45);
-        assert!((report.specialized_share().unwrap() - 0.75).abs() < 1e-9);
+        assert_eq!(report.total_ops(), 60);
+        assert!((report.specialized_share().unwrap() - (30.0 / 55.0)).abs() < 1e-9);
+        assert_eq!(report.fused_ops(), 15);
+        assert!((report.fusion_share().unwrap() - 0.25).abs() < 1e-9);
+        let text = report.render_text();
+        assert!(text.contains("fusion share 25.0%"));
+        let json = report.to_json();
+        assert!(json.contains("\"fused\":true"));
+        assert!(json.contains("\"fused_ops\":15"));
     }
 }

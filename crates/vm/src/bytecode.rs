@@ -225,6 +225,92 @@ pub enum Op {
     FlSGe,
     /// Unboxed `=` to the value stack.
     FlSEq,
+
+    // ----- peephole superinstructions -----
+    //
+    // Emitted only by the [`crate::peephole`] pass, never by the compiler
+    // directly. Each is the exact fusion of a two- or three-instruction
+    // window and preserves the unfused sequence's stack effect and error
+    // behaviour. The `Br*` family fuses a comparison with the
+    // `JumpIfFalse` that consumes it: operands are popped exactly as the
+    // comparison would pop them, and the jump is taken when the
+    // comparison is false.
+    /// `Lt2; JumpIfFalse t` — pop two, jump unless `a < b`.
+    BrLt2(u32),
+    /// `Le2; JumpIfFalse t`.
+    BrLe2(u32),
+    /// `Gt2; JumpIfFalse t`.
+    BrGt2(u32),
+    /// `Ge2; JumpIfFalse t`.
+    BrGe2(u32),
+    /// `NumEq2; JumpIfFalse t`.
+    BrNumEq2(u32),
+    /// `ZeroP; JumpIfFalse t` — pop one, jump unless it is numeric zero.
+    BrZeroP(u32),
+    /// `NullP; JumpIfFalse t`.
+    BrNullP(u32),
+    /// `PairP; JumpIfFalse t`.
+    BrPairP(u32),
+    /// `FlLt; JumpIfFalse t`.
+    BrFlLt(u32),
+    /// `FlLe; JumpIfFalse t`.
+    BrFlLe(u32),
+    /// `FlGt; JumpIfFalse t`.
+    BrFlGt(u32),
+    /// `FlGe; JumpIfFalse t`.
+    BrFlGe(u32),
+    /// `FlEq; JumpIfFalse t`.
+    BrFlEq(u32),
+    /// `FxLt; JumpIfFalse t`.
+    BrFxLt(u32),
+    /// `FxLe; JumpIfFalse t`.
+    BrFxLe(u32),
+    /// `FxGt; JumpIfFalse t`.
+    BrFxGt(u32),
+    /// `FxGe; JumpIfFalse t`.
+    BrFxGe(u32),
+    /// `FxEq; JumpIfFalse t`.
+    BrFxEq(u32),
+    /// `FlSLt; JumpIfFalse t` — pop two floats from the float stack.
+    BrFlSLt(u32),
+    /// `FlSLe; JumpIfFalse t`.
+    BrFlSLe(u32),
+    /// `FlSGt; JumpIfFalse t`.
+    BrFlSGt(u32),
+    /// `FlSGe; JumpIfFalse t`.
+    BrFlSGe(u32),
+    /// `FlSEq; JumpIfFalse t`.
+    BrFlSEq(u32),
+    /// `LoadLocal i; Car` — push the checked car of local `i`.
+    CarL(u32),
+    /// `LoadLocal i; Cdr`.
+    CdrL(u32),
+    /// `LoadLocal i; UnsafeCar`.
+    UnsafeCarL(u32),
+    /// `LoadLocal i; UnsafeCdr`.
+    UnsafeCdrL(u32),
+    /// `LoadLocal i; LoadLocal j; Add2` — push `local[i] + local[j]`.
+    AddLL(u32, u32),
+    /// `LoadLocal i; LoadLocal j; Sub2`.
+    SubLL(u32, u32),
+    /// `LoadLocal i; LoadLocal j; Mul2`.
+    MulLL(u32, u32),
+    /// `LoadLocal i; Const k; Add2` — push `local[i] + consts[k]`.
+    AddLC(u32, u32),
+    /// `LoadLocal i; Const k; Sub2`.
+    SubLC(u32, u32),
+    /// `LoadLocal i; LoadLocal j; VectorRef`.
+    VectorRefLL(u32, u32),
+    /// `LoadLocal i; LoadLocal j; FxAdd`.
+    FxAddLL(u32, u32),
+    /// `LoadLocal i; LoadLocal j; FxSub`.
+    FxSubLL(u32, u32),
+    /// `LoadLocal i; Const k; FxAdd`.
+    FxAddLC(u32, u32),
+    /// `LoadLocal i; Const k; FxSub`.
+    FxSubLC(u32, u32),
+    /// `LoadLocal i; LoadLocal j; UnsafeVectorRef`.
+    UnsafeVectorRefLL(u32, u32),
 }
 
 /// The coarse cost class of an instruction, for diagnostics: the
@@ -346,6 +432,44 @@ impl Op {
             Op::FlSGt => "FlSGt",
             Op::FlSGe => "FlSGe",
             Op::FlSEq => "FlSEq",
+            Op::BrLt2(_) => "BrLt2",
+            Op::BrLe2(_) => "BrLe2",
+            Op::BrGt2(_) => "BrGt2",
+            Op::BrGe2(_) => "BrGe2",
+            Op::BrNumEq2(_) => "BrNumEq2",
+            Op::BrZeroP(_) => "BrZeroP",
+            Op::BrNullP(_) => "BrNullP",
+            Op::BrPairP(_) => "BrPairP",
+            Op::BrFlLt(_) => "BrFlLt",
+            Op::BrFlLe(_) => "BrFlLe",
+            Op::BrFlGt(_) => "BrFlGt",
+            Op::BrFlGe(_) => "BrFlGe",
+            Op::BrFlEq(_) => "BrFlEq",
+            Op::BrFxLt(_) => "BrFxLt",
+            Op::BrFxLe(_) => "BrFxLe",
+            Op::BrFxGt(_) => "BrFxGt",
+            Op::BrFxGe(_) => "BrFxGe",
+            Op::BrFxEq(_) => "BrFxEq",
+            Op::BrFlSLt(_) => "BrFlSLt",
+            Op::BrFlSLe(_) => "BrFlSLe",
+            Op::BrFlSGt(_) => "BrFlSGt",
+            Op::BrFlSGe(_) => "BrFlSGe",
+            Op::BrFlSEq(_) => "BrFlSEq",
+            Op::CarL(_) => "CarL",
+            Op::CdrL(_) => "CdrL",
+            Op::UnsafeCarL(_) => "UnsafeCarL",
+            Op::UnsafeCdrL(_) => "UnsafeCdrL",
+            Op::AddLL(_, _) => "AddLL",
+            Op::SubLL(_, _) => "SubLL",
+            Op::MulLL(_, _) => "MulLL",
+            Op::AddLC(_, _) => "AddLC",
+            Op::SubLC(_, _) => "SubLC",
+            Op::VectorRefLL(_, _) => "VectorRefLL",
+            Op::FxAddLL(_, _) => "FxAddLL",
+            Op::FxSubLL(_, _) => "FxSubLL",
+            Op::FxAddLC(_, _) => "FxAddLC",
+            Op::FxSubLC(_, _) => "FxSubLC",
+            Op::UnsafeVectorRefLL(_, _) => "UnsafeVectorRefLL",
         }
     }
 
@@ -373,7 +497,23 @@ impl Op {
             | Op::EqP
             | Op::VectorRef
             | Op::VectorSet
-            | Op::VectorLength => OpClass::Generic,
+            | Op::VectorLength
+            | Op::BrLt2(_)
+            | Op::BrLe2(_)
+            | Op::BrGt2(_)
+            | Op::BrGe2(_)
+            | Op::BrNumEq2(_)
+            | Op::BrZeroP(_)
+            | Op::BrNullP(_)
+            | Op::BrPairP(_)
+            | Op::CarL(_)
+            | Op::CdrL(_)
+            | Op::AddLL(_, _)
+            | Op::SubLL(_, _)
+            | Op::MulLL(_, _)
+            | Op::AddLC(_, _)
+            | Op::SubLC(_, _)
+            | Op::VectorRefLL(_, _) => OpClass::Generic,
             Op::FlAdd
             | Op::FlSub
             | Op::FlMul
@@ -424,9 +564,78 @@ impl Op {
             | Op::FlSLe
             | Op::FlSGt
             | Op::FlSGe
-            | Op::FlSEq => OpClass::Specialized,
+            | Op::FlSEq
+            | Op::BrFlLt(_)
+            | Op::BrFlLe(_)
+            | Op::BrFlGt(_)
+            | Op::BrFlGe(_)
+            | Op::BrFlEq(_)
+            | Op::BrFxLt(_)
+            | Op::BrFxLe(_)
+            | Op::BrFxGt(_)
+            | Op::BrFxGe(_)
+            | Op::BrFxEq(_)
+            | Op::BrFlSLt(_)
+            | Op::BrFlSLe(_)
+            | Op::BrFlSGt(_)
+            | Op::BrFlSGe(_)
+            | Op::BrFlSEq(_)
+            | Op::UnsafeCarL(_)
+            | Op::UnsafeCdrL(_)
+            | Op::FxAddLL(_, _)
+            | Op::FxSubLL(_, _)
+            | Op::FxAddLC(_, _)
+            | Op::FxSubLC(_, _)
+            | Op::UnsafeVectorRefLL(_, _) => OpClass::Specialized,
             _ => OpClass::Control,
         }
+    }
+
+    /// True for superinstructions produced by the [`crate::peephole`]
+    /// pass. The counters report a fusion rate (fused executions over
+    /// total executions) from this flag.
+    pub fn is_fused(&self) -> bool {
+        matches!(
+            self,
+            Op::BrLt2(_)
+                | Op::BrLe2(_)
+                | Op::BrGt2(_)
+                | Op::BrGe2(_)
+                | Op::BrNumEq2(_)
+                | Op::BrZeroP(_)
+                | Op::BrNullP(_)
+                | Op::BrPairP(_)
+                | Op::BrFlLt(_)
+                | Op::BrFlLe(_)
+                | Op::BrFlGt(_)
+                | Op::BrFlGe(_)
+                | Op::BrFlEq(_)
+                | Op::BrFxLt(_)
+                | Op::BrFxLe(_)
+                | Op::BrFxGt(_)
+                | Op::BrFxGe(_)
+                | Op::BrFxEq(_)
+                | Op::BrFlSLt(_)
+                | Op::BrFlSLe(_)
+                | Op::BrFlSGt(_)
+                | Op::BrFlSGe(_)
+                | Op::BrFlSEq(_)
+                | Op::CarL(_)
+                | Op::CdrL(_)
+                | Op::UnsafeCarL(_)
+                | Op::UnsafeCdrL(_)
+                | Op::AddLL(_, _)
+                | Op::SubLL(_, _)
+                | Op::MulLL(_, _)
+                | Op::AddLC(_, _)
+                | Op::SubLC(_, _)
+                | Op::VectorRefLL(_, _)
+                | Op::FxAddLL(_, _)
+                | Op::FxSubLL(_, _)
+                | Op::FxAddLC(_, _)
+                | Op::FxSubLC(_, _)
+                | Op::UnsafeVectorRefLL(_, _)
+        )
     }
 }
 

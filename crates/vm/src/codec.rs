@@ -32,9 +32,10 @@ const MAX_DEPTH: usize = 512;
 
 macro_rules! op_codec {
     (
-        plain { $($pt:literal => $pv:ident,)* }
-        index { $($it:literal => $iv:ident,)* }
-        argc  { $($at:literal => $av:ident,)* }
+        plain  { $($pt:literal => $pv:ident,)* }
+        index  { $($it:literal => $iv:ident,)* }
+        argc   { $($at:literal => $av:ident,)* }
+        index2 { $($dt:literal => $dv:ident,)* }
     ) => {
         /// Encodes one instruction (a `u8` tag plus varint operands).
         pub fn encode_op(w: &mut WireWriter, op: Op) {
@@ -47,6 +48,11 @@ macro_rules! op_codec {
                 $(Op::$av(n) => {
                     w.u8($at);
                     w.uint(u64::from(n));
+                })*
+                $(Op::$dv(x, y) => {
+                    w.u8($dt);
+                    w.u32(x);
+                    w.u32(y);
                 })*
             }
         }
@@ -63,6 +69,7 @@ macro_rules! op_codec {
                 $($pt => Op::$pv,)*
                 $($it => Op::$iv(r.u32()?),)*
                 $($at => Op::$av(r.u16()?),)*
+                $($dt => Op::$dv(r.u32()?, r.u32()?),)*
                 other => {
                     return Err(WireError::new(format!("unknown opcode tag {other}"), at))
                 }
@@ -71,7 +78,7 @@ macro_rules! op_codec {
 
         #[cfg(test)]
         fn all_ops() -> Vec<Op> {
-            vec![$(Op::$pv,)* $(Op::$iv(7),)* $(Op::$av(3),)*]
+            vec![$(Op::$pv,)* $(Op::$iv(7),)* $(Op::$av(3),)* $(Op::$dv(7, 5),)*]
         }
     };
 }
@@ -168,10 +175,53 @@ op_codec! {
         71 => FlPushLocal,
         72 => FlPushCapture,
         73 => FlPushConst,
+        // peephole compare-and-branch fusions (operand: jump target)
+        90 => BrLt2,
+        91 => BrLe2,
+        92 => BrGt2,
+        93 => BrGe2,
+        94 => BrNumEq2,
+        95 => BrZeroP,
+        96 => BrNullP,
+        97 => BrPairP,
+        98 => BrFlLt,
+        99 => BrFlLe,
+        100 => BrFlGt,
+        101 => BrFlGe,
+        102 => BrFlEq,
+        103 => BrFxLt,
+        104 => BrFxLe,
+        105 => BrFxGt,
+        106 => BrFxGe,
+        107 => BrFxEq,
+        108 => BrFlSLt,
+        109 => BrFlSLe,
+        110 => BrFlSGt,
+        111 => BrFlSGe,
+        112 => BrFlSEq,
+        // peephole load+unop fusions (operand: local slot)
+        113 => CarL,
+        114 => CdrL,
+        115 => UnsafeCarL,
+        116 => UnsafeCdrL,
     }
     argc {
         10 => Call,
         11 => TailCall,
+    }
+    index2 {
+        // peephole load/operate superinstructions (two u32 operands)
+        117 => AddLL,
+        118 => SubLL,
+        119 => MulLL,
+        120 => AddLC,
+        121 => SubLC,
+        122 => VectorRefLL,
+        123 => FxAddLL,
+        124 => FxSubLL,
+        125 => FxAddLC,
+        126 => FxSubLC,
+        127 => UnsafeVectorRefLL,
     }
 }
 
@@ -613,7 +663,10 @@ mod tests {
     #[test]
     fn every_opcode_round_trips() {
         let ops = all_ops();
-        assert!(ops.len() >= 90, "expected the full instruction set");
+        assert!(
+            ops.len() >= 128,
+            "expected the full instruction set incl. peephole superinstructions"
+        );
         let mut w = WireWriter::new();
         for op in &ops {
             encode_op(&mut w, *op);
@@ -637,6 +690,28 @@ mod tests {
             encode_op(&mut w, *op);
             assert!(tags.insert(w.bytes()[0]), "duplicate tag for {op:?}");
         }
+    }
+
+    #[test]
+    fn fused_two_operand_ops_keep_operand_order() {
+        // asymmetric operands so a swapped encode/decode would show
+        let ops = [
+            Op::AddLL(1, 2),
+            Op::SubLC(9, 4),
+            Op::VectorRefLL(0, 3),
+            Op::FxAddLC(6, 8),
+            Op::UnsafeVectorRefLL(2, 1),
+        ];
+        let mut w = WireWriter::new();
+        for op in &ops {
+            encode_op(&mut w, *op);
+        }
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        for op in &ops {
+            assert_eq!(decode_op(&mut r).unwrap(), *op);
+        }
+        assert!(r.is_empty());
     }
 
     #[test]

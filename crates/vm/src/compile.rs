@@ -163,11 +163,20 @@ impl Compiler {
             .iter()
             .filter_map(|s| c.globals.get(s).copied())
             .collect();
-        Ok(ModuleCode {
+        let code = ModuleCode {
             top,
             global_names: c.global_names,
             defined,
-        })
+        };
+        // the superinstruction pass runs here so every compilation path
+        // (module pipeline, prelude, tests) shares one choke point; the
+        // thread-local knob is the `--no-peephole` escape hatch
+        if crate::peephole::enabled() {
+            Ok(crate::peephole::optimize_module(code))
+        } else {
+            crate::peephole::clear_stats();
+            Ok(code)
+        }
     }
 
     // `fns` is non-empty between the pushes in `compile_module` /

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 
 thread_local! {
     static ACTIVE: Cell<bool> = const { Cell::new(false) };
-    static COUNTS: RefCell<HashMap<&'static str, (OpClass, u64)>> =
+    static COUNTS: RefCell<HashMap<&'static str, (OpClass, bool, u64)>> =
         RefCell::new(HashMap::new());
 }
 
@@ -34,8 +34,8 @@ pub fn record(op: &Op) {
     COUNTS.with(|c| {
         c.borrow_mut()
             .entry(op.mnemonic())
-            .or_insert((op.class(), 0))
-            .1 += 1;
+            .or_insert((op.class(), op.is_fused(), 0))
+            .2 += 1;
     });
 }
 
@@ -44,16 +44,17 @@ pub fn reset() {
     COUNTS.with(|c| c.borrow_mut().clear());
 }
 
-/// The recorded counts, sorted by descending count (ties by mnemonic for
-/// stable output).
-pub fn snapshot() -> Vec<(&'static str, OpClass, u64)> {
+/// The recorded counts as `(mnemonic, class, fused, count)`, sorted by
+/// descending count (ties by mnemonic for stable output). `fused` marks
+/// peephole superinstructions, so reports can show a fusion rate.
+pub fn snapshot() -> Vec<(&'static str, OpClass, bool, u64)> {
     let mut rows: Vec<_> = COUNTS.with(|c| {
         c.borrow()
             .iter()
-            .map(|(&name, &(class, count))| (name, class, count))
+            .map(|(&name, &(class, fused, count))| (name, class, fused, count))
             .collect()
     });
-    rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)));
+    rows.sort_by(|a, b| b.3.cmp(&a.3).then(a.0.cmp(b.0)));
     rows
 }
 
@@ -67,9 +68,11 @@ mod tests {
         record(&Op::Add2);
         record(&Op::Add2);
         record(&Op::FlAdd);
+        record(&Op::BrLt2(0));
         let snap = snapshot();
-        assert_eq!(snap[0], ("Add2", OpClass::Generic, 2));
-        assert_eq!(snap[1], ("FlAdd", OpClass::Specialized, 1));
+        assert_eq!(snap[0], ("Add2", OpClass::Generic, false, 2));
+        assert!(snap.contains(&("FlAdd", OpClass::Specialized, false, 1)));
+        assert!(snap.contains(&("BrLt2", OpClass::Generic, true, 1)));
         reset();
         assert!(snapshot().is_empty());
     }

@@ -26,6 +26,7 @@ pub mod engine;
 pub mod interp;
 pub mod ir;
 pub mod machine;
+pub mod peephole;
 
 pub mod codec;
 

@@ -15,6 +15,7 @@ use crate::engine::{apply_contracted, is_apply_native, splice_apply_args, Engine
 use lagoon_runtime::{number, Closure, Kind, RtError, Value};
 use lagoon_syntax::Symbol;
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::rc::Rc;
 
 /// A module instance's global-variable table.
@@ -22,6 +23,11 @@ use std::rc::Rc;
 pub struct Globals {
     /// Slot `i` holds the variable named `names[i]`.
     pub names: Vec<Symbol>,
+    /// Name → slot, built once at instantiation so by-name lookups
+    /// (export extraction does one per export, per dependant) are O(1)
+    /// instead of a linear scan of `names`. First slot wins, matching
+    /// the scan it replaces.
+    index: HashMap<Symbol, usize>,
     slots: RefCell<Vec<Option<Value>>>,
 }
 
@@ -37,8 +43,13 @@ impl Globals {
             .iter()
             .map(|name| resolve(*name))
             .collect();
+        let mut index = HashMap::with_capacity(code.global_names.len());
+        for (i, name) in code.global_names.iter().enumerate() {
+            index.entry(*name).or_insert(i);
+        }
         Rc::new(Globals {
             names: code.global_names.clone(),
+            index,
             slots: RefCell::new(slots),
         })
     }
@@ -46,7 +57,7 @@ impl Globals {
     /// Reads a global by name (used to extract exports after the module
     /// body runs).
     pub fn get(&self, name: Symbol) -> Option<Value> {
-        let idx = self.names.iter().position(|n| *n == name)?;
+        let idx = *self.index.get(&name)?;
         self.slots.borrow()[idx].clone()
     }
 
@@ -244,70 +255,91 @@ fn exec_loop<const COUNT: bool>(
     // the unboxed float stack used by fused unsafe-fl* sequences; always
     // empty at call/return boundaries (fused code never spans a call)
     let mut fstack: Vec<f64> = Vec::with_capacity(16);
+    // suspended callers only — the active frame lives in the `cur`
+    // local, so per-instruction dispatch touches frame state (proto,
+    // code, ip, base, env) through a local instead of re-borrowing the
+    // frame vector every iteration
     let mut frames: Vec<Frame> = Vec::with_capacity(16);
     // dummy callee slot so every frame has `base - 1` valid
     stack.push(Value::Void);
     stack.extend_from_slice(args);
-    push_frame(&mut stack, &mut frames, proto, env, 1, args.len())?;
+    let mut cur = make_frame(&mut stack, proto, env, 1, args.len(), 0)?;
 
     loop {
         if *fuel == 0 {
             *fuel = lagoon_diag::limits::vm_take_fuel().map_err(RtError::from)?;
         }
         *fuel -= 1;
-        let frame = match frames.last_mut() {
-            Some(f) => f,
-            None => return Err(RtError::new(Kind::Internal, "VM ran with no active frame")),
-        };
-        let op = frame.proto.code[frame.ip];
-        frame.ip += 1;
+        let op = cur.proto.code[cur.ip];
+        cur.ip += 1;
         #[cfg(feature = "vm-counters")]
         if COUNT {
             crate::counters::record(&op);
         }
         match op {
-            Op::Const(k) => stack.push(frame.proto.consts[k as usize].clone()),
+            Op::Const(k) => stack.push(cur.proto.consts[k as usize].clone()),
             Op::Void => stack.push(Value::Void),
-            Op::LoadLocal(i) => stack.push(stack[frame.base + i as usize].clone()),
+            Op::LoadLocal(i) => stack.push(stack[cur.base + i as usize].clone()),
             Op::StoreLocal(i) => {
                 let v = pop!(stack);
-                let slot = frame.base + i as usize;
+                let slot = cur.base + i as usize;
                 stack[slot] = v;
             }
-            Op::LoadCapture(i) => stack.push(frame.env.captures[i as usize].clone()),
+            Op::LoadCapture(i) => stack.push(cur.env.captures[i as usize].clone()),
             Op::LoadGlobal(i) => {
-                let v = frame.env.globals.slots.borrow()[i as usize].clone();
-                match v {
-                    Some(v) => stack.push(v),
-                    None => {
-                        let name = frame.env.globals.names[i as usize];
-                        return Err(RtError::unbound(name));
+                // straight-line runs of loads (argument setup for a call
+                // is the common case) share one slot borrow: each extra
+                // load still pays its fuel and its counter, so budgets
+                // and recorded opcode mixes are identical to dispatching
+                // them individually, and the borrow ends before any
+                // other instruction (or a re-entrant native) runs
+                let slots = cur.env.globals.slots.borrow();
+                let mut idx = i;
+                loop {
+                    match &slots[idx as usize] {
+                        Some(v) => stack.push(v.clone()),
+                        None => {
+                            let name = cur.env.globals.names[idx as usize];
+                            return Err(RtError::unbound(name));
+                        }
+                    }
+                    match cur.proto.code.get(cur.ip).copied() {
+                        Some(Op::LoadGlobal(j)) if *fuel > 0 => {
+                            idx = j;
+                            cur.ip += 1;
+                            *fuel -= 1;
+                            #[cfg(feature = "vm-counters")]
+                            if COUNT {
+                                crate::counters::record(&Op::LoadGlobal(idx));
+                            }
+                        }
+                        _ => break,
                     }
                 }
             }
             Op::StoreGlobal(i) => {
                 let v = pop!(stack);
-                frame.env.globals.slots.borrow_mut()[i as usize] = Some(v);
+                cur.env.globals.slots.borrow_mut()[i as usize] = Some(v);
             }
-            Op::Jump(t) => frame.ip = t as usize,
+            Op::Jump(t) => cur.ip = t as usize,
             Op::JumpIfFalse(t) => {
                 if !pop!(stack).is_truthy() {
-                    frame.ip = t as usize;
+                    cur.ip = t as usize;
                 }
             }
             Op::MakeClosure(i) => {
-                let child = frame.proto.protos[i as usize].clone();
+                let child = cur.proto.protos[i as usize].clone();
                 let captures = child
                     .captures
                     .iter()
                     .map(|src| match src {
-                        CaptureSrc::Local(s) => stack[frame.base + *s as usize].clone(),
-                        CaptureSrc::Capture(c) => frame.env.captures[*c as usize].clone(),
+                        CaptureSrc::Local(s) => stack[cur.base + *s as usize].clone(),
+                        CaptureSrc::Capture(c) => cur.env.captures[*c as usize].clone(),
                     })
                     .collect();
                 let env = Rc::new(VmEnv {
                     captures,
-                    globals: frame.env.globals.clone(),
+                    globals: cur.env.globals.clone(),
                 });
                 stack.push(Value::Closure(Rc::new(Closure {
                     name: child.name,
@@ -316,26 +348,38 @@ fn exec_loop<const COUNT: bool>(
                     env,
                 })));
             }
-            Op::Call(n) => {
-                enter_call(&mut stack, &mut frames, n as usize, false)?;
-            }
+            Op::Call(n) => match enter_call(&mut stack, n as usize, None, frames.len() + 1)? {
+                Dispatch::Frame(f) => frames.push(std::mem::replace(&mut cur, f)),
+                Dispatch::Done => {}
+            },
             Op::TailCall(n) => {
-                enter_call(&mut stack, &mut frames, n as usize, true)?;
-                if frames.is_empty() {
-                    return Ok(pop!(stack));
+                match enter_call(&mut stack, n as usize, Some(cur.base), frames.len())? {
+                    Dispatch::Frame(f) => cur = f,
+                    Dispatch::Done => {
+                        // a native/contracted callee completed the tail
+                        // call; unwind to the caller as `Return` would
+                        let result = pop!(stack);
+                        stack.truncate(cur.base - 1);
+                        match frames.pop() {
+                            Some(f) => {
+                                cur = f;
+                                stack.push(result);
+                            }
+                            None => return Ok(result),
+                        }
+                    }
                 }
             }
             Op::Return => {
                 let result = pop!(stack);
-                let frame = match frames.pop() {
-                    Some(f) => f,
-                    None => return Err(underflow()),
-                };
-                stack.truncate(frame.base - 1);
-                if frames.is_empty() {
-                    return Ok(result);
+                stack.truncate(cur.base - 1);
+                match frames.pop() {
+                    Some(f) => {
+                        cur = f;
+                        stack.push(result);
+                    }
+                    None => return Ok(result),
                 }
-                stack.push(result);
             }
             Op::Pop => {
                 stack.pop();
@@ -387,42 +431,15 @@ fn exec_loop<const COUNT: bool>(
             }
             Op::ZeroP => {
                 let a = pop!(stack);
-                let z = match a {
-                    Value::Int(n) => n == 0,
-                    Value::Float(x) => x == 0.0,
-                    Value::Complex(re, im) => re == 0.0 && im == 0.0,
-                    v => {
-                        return Err(RtError::type_error(format!(
-                            "zero?: expected number, got {}",
-                            v.write_string()
-                        )))
-                    }
-                };
-                stack.push(Value::Bool(z));
+                stack.push(Value::Bool(zero_value(&a)?));
             }
             Op::Car => {
                 let a = pop!(stack);
-                match a {
-                    Value::Pair(p) => stack.push(p.0.clone()),
-                    v => {
-                        return Err(RtError::type_error(format!(
-                            "car: expected pair, got {}",
-                            v.write_string()
-                        )))
-                    }
-                }
+                stack.push(car_value(&a)?);
             }
             Op::Cdr => {
                 let a = pop!(stack);
-                match a {
-                    Value::Pair(p) => stack.push(p.1.clone()),
-                    v => {
-                        return Err(RtError::type_error(format!(
-                            "cdr: expected pair, got {}",
-                            v.write_string()
-                        )))
-                    }
-                }
+                stack.push(cdr_value(&a)?);
             }
             Op::Cons => {
                 let b = pop!(stack);
@@ -449,31 +466,7 @@ fn exec_loop<const COUNT: bool>(
             Op::VectorRef => {
                 let i = pop!(stack);
                 let v = pop!(stack);
-                match (&v, &i) {
-                    (Value::Vector(vec), Value::Int(n)) => {
-                        let vec = vec.borrow();
-                        let idx = *n as usize;
-                        if *n < 0 || idx >= vec.len() {
-                            return Err(RtError::new(
-                                Kind::Range,
-                                format!(
-                                    "vector-ref: index {n} out of range for length {}",
-                                    vec.len()
-                                ),
-                            ));
-                        }
-                        let x = vec[idx].clone();
-                        drop(vec);
-                        stack.push(x);
-                    }
-                    _ => {
-                        return Err(RtError::type_error(format!(
-                            "vector-ref: expected vector and index, got {} and {}",
-                            v.write_string(),
-                            i.write_string()
-                        )))
-                    }
-                }
+                stack.push(vector_ref_value(&v, &i)?);
             }
             Op::VectorSet => {
                 let x = pop!(stack);
@@ -558,32 +551,16 @@ fn exec_loop<const COUNT: bool>(
             }
             Op::UnsafeCar => {
                 let a = pop!(stack);
-                match a {
-                    Value::Pair(p) => stack.push(p.0.clone()),
-                    v => stack.push(v),
-                }
+                stack.push(unsafe_car_value(a));
             }
             Op::UnsafeCdr => {
                 let a = pop!(stack);
-                match a {
-                    Value::Pair(p) => stack.push(p.1.clone()),
-                    v => stack.push(v),
-                }
+                stack.push(unsafe_cdr_value(a));
             }
             Op::UnsafeVectorRef => {
                 let i = pop!(stack);
                 let v = pop!(stack);
-                match (&v, &i) {
-                    (Value::Vector(vec), Value::Int(n)) => {
-                        let x = vec
-                            .borrow()
-                            .get(*n as usize)
-                            .cloned()
-                            .unwrap_or(Value::Void);
-                        stack.push(x);
-                    }
-                    _ => stack.push(Value::Void),
-                }
+                stack.push(unsafe_vector_ref_value(&v, &i));
             }
             Op::UnsafeVectorSet => {
                 let x = pop!(stack);
@@ -612,15 +589,15 @@ fn exec_loop<const COUNT: bool>(
 
             // ---- unboxed float fusion ----
             Op::FlPushLocal(i) => {
-                let v = flval!(stack[frame.base + i as usize].clone());
+                let v = flval!(stack[cur.base + i as usize].clone());
                 fstack.push(v);
             }
             Op::FlPushCapture(i) => {
-                let v = flval!(frame.env.captures[i as usize].clone());
+                let v = flval!(cur.env.captures[i as usize].clone());
                 fstack.push(v);
             }
             Op::FlPushConst(k) => {
-                let v = flval!(frame.proto.consts[k as usize].clone());
+                let v = flval!(cur.proto.consts[k as usize].clone());
                 fstack.push(v);
             }
             Op::FlUnbox => {
@@ -654,6 +631,123 @@ fn exec_loop<const COUNT: bool>(
             Op::FlSGt => flfusecmp(&mut fstack, &mut stack, |a, b| a > b)?,
             Op::FlSGe => flfusecmp(&mut fstack, &mut stack, |a, b| a >= b)?,
             Op::FlSEq => flfusecmp(&mut fstack, &mut stack, |a, b| a == b)?,
+
+            // ---- peephole superinstructions ----
+            //
+            // Each arm is the exact composition of its unfused window:
+            // same operand order, same error paths, same stack effect.
+            // The `Br*` forms jump when the comparison is *false*,
+            // matching `cmp; JumpIfFalse`.
+            Op::BrLt2(t) => brcmp(&mut stack, &mut cur.ip, t, "<", |o| o.is_lt())?,
+            Op::BrLe2(t) => brcmp(&mut stack, &mut cur.ip, t, "<=", |o| o.is_le())?,
+            Op::BrGt2(t) => brcmp(&mut stack, &mut cur.ip, t, ">", |o| o.is_gt())?,
+            Op::BrGe2(t) => brcmp(&mut stack, &mut cur.ip, t, ">=", |o| o.is_ge())?,
+            Op::BrNumEq2(t) => {
+                let b = pop!(stack);
+                let a = pop!(stack);
+                if !number::num_eq(&a, &b)? {
+                    cur.ip = t as usize;
+                }
+            }
+            Op::BrZeroP(t) => {
+                let a = pop!(stack);
+                if !zero_value(&a)? {
+                    cur.ip = t as usize;
+                }
+            }
+            Op::BrNullP(t) => {
+                if !matches!(pop!(stack), Value::Nil) {
+                    cur.ip = t as usize;
+                }
+            }
+            Op::BrPairP(t) => {
+                if !matches!(pop!(stack), Value::Pair(_)) {
+                    cur.ip = t as usize;
+                }
+            }
+            Op::BrFlLt(t) => brflcmp(&mut stack, &mut cur.ip, t, |a, b| a < b)?,
+            Op::BrFlLe(t) => brflcmp(&mut stack, &mut cur.ip, t, |a, b| a <= b)?,
+            Op::BrFlGt(t) => brflcmp(&mut stack, &mut cur.ip, t, |a, b| a > b)?,
+            Op::BrFlGe(t) => brflcmp(&mut stack, &mut cur.ip, t, |a, b| a >= b)?,
+            Op::BrFlEq(t) => brflcmp(&mut stack, &mut cur.ip, t, |a, b| a == b)?,
+            Op::BrFxLt(t) => brfxcmp(&mut stack, &mut cur.ip, t, |a, b| a < b)?,
+            Op::BrFxLe(t) => brfxcmp(&mut stack, &mut cur.ip, t, |a, b| a <= b)?,
+            Op::BrFxGt(t) => brfxcmp(&mut stack, &mut cur.ip, t, |a, b| a > b)?,
+            Op::BrFxGe(t) => brfxcmp(&mut stack, &mut cur.ip, t, |a, b| a >= b)?,
+            Op::BrFxEq(t) => brfxcmp(&mut stack, &mut cur.ip, t, |a, b| a == b)?,
+            Op::BrFlSLt(t) => brflscmp(&mut fstack, &mut cur.ip, t, |a, b| a < b)?,
+            Op::BrFlSLe(t) => brflscmp(&mut fstack, &mut cur.ip, t, |a, b| a <= b)?,
+            Op::BrFlSGt(t) => brflscmp(&mut fstack, &mut cur.ip, t, |a, b| a > b)?,
+            Op::BrFlSGe(t) => brflscmp(&mut fstack, &mut cur.ip, t, |a, b| a >= b)?,
+            Op::BrFlSEq(t) => brflscmp(&mut fstack, &mut cur.ip, t, |a, b| a == b)?,
+            Op::CarL(i) => {
+                let x = car_value(&stack[cur.base + i as usize])?;
+                stack.push(x);
+            }
+            Op::CdrL(i) => {
+                let x = cdr_value(&stack[cur.base + i as usize])?;
+                stack.push(x);
+            }
+            Op::UnsafeCarL(i) => {
+                let x = unsafe_car_value(stack[cur.base + i as usize].clone());
+                stack.push(x);
+            }
+            Op::UnsafeCdrL(i) => {
+                let x = unsafe_cdr_value(stack[cur.base + i as usize].clone());
+                stack.push(x);
+            }
+            Op::AddLL(i, j) => {
+                let x = number::add(&stack[cur.base + i as usize], &stack[cur.base + j as usize])?;
+                stack.push(x);
+            }
+            Op::SubLL(i, j) => {
+                let x = number::sub(&stack[cur.base + i as usize], &stack[cur.base + j as usize])?;
+                stack.push(x);
+            }
+            Op::MulLL(i, j) => {
+                let x = number::mul(&stack[cur.base + i as usize], &stack[cur.base + j as usize])?;
+                stack.push(x);
+            }
+            Op::AddLC(i, k) => {
+                let x = number::add(&stack[cur.base + i as usize], &cur.proto.consts[k as usize])?;
+                stack.push(x);
+            }
+            Op::SubLC(i, k) => {
+                let x = number::sub(&stack[cur.base + i as usize], &cur.proto.consts[k as usize])?;
+                stack.push(x);
+            }
+            Op::VectorRefLL(i, j) => {
+                let x =
+                    vector_ref_value(&stack[cur.base + i as usize], &stack[cur.base + j as usize])?;
+                stack.push(x);
+            }
+            Op::FxAddLL(i, j) => {
+                let a = fxval!(stack[cur.base + i as usize].clone());
+                let b = fxval!(stack[cur.base + j as usize].clone());
+                stack.push(Value::Int(a.wrapping_add(b)));
+            }
+            Op::FxSubLL(i, j) => {
+                let a = fxval!(stack[cur.base + i as usize].clone());
+                let b = fxval!(stack[cur.base + j as usize].clone());
+                stack.push(Value::Int(a.wrapping_sub(b)));
+            }
+            Op::FxAddLC(i, k) => {
+                let a = fxval!(stack[cur.base + i as usize].clone());
+                let b = fxval!(cur.proto.consts[k as usize].clone());
+                stack.push(Value::Int(a.wrapping_add(b)));
+            }
+            Op::FxSubLC(i, k) => {
+                let a = fxval!(stack[cur.base + i as usize].clone());
+                let b = fxval!(cur.proto.consts[k as usize].clone());
+                stack.push(Value::Int(a.wrapping_sub(b)));
+            }
+            Op::UnsafeVectorRefLL(i, j) => {
+                let x = unsafe_vector_ref_value(
+                    &stack[cur.base + i as usize],
+                    &stack[cur.base + j as usize],
+                );
+                stack.push(x);
+            }
         }
     }
 }
@@ -675,6 +769,169 @@ fn flfusecmp(
     let b = pop!(fstack);
     let a = pop!(fstack);
     stack.push(Value::Bool(f(a, b)));
+    Ok(())
+}
+
+/// `car` with the checked error path, shared by `Car` and `CarL`.
+#[inline]
+fn car_value(a: &Value) -> Result<Value, RtError> {
+    match a {
+        Value::Pair(p) => Ok(p.0.clone()),
+        v => Err(RtError::type_error(format!(
+            "car: expected pair, got {}",
+            v.write_string()
+        ))),
+    }
+}
+
+/// `cdr` with the checked error path, shared by `Cdr` and `CdrL`.
+#[inline]
+fn cdr_value(a: &Value) -> Result<Value, RtError> {
+    match a {
+        Value::Pair(p) => Ok(p.1.clone()),
+        v => Err(RtError::type_error(format!(
+            "cdr: expected pair, got {}",
+            v.write_string()
+        ))),
+    }
+}
+
+/// `unsafe-car`: a non-pair passes through unchanged (arbitrary but
+/// never UB), shared by `UnsafeCar` and `UnsafeCarL`.
+#[inline]
+fn unsafe_car_value(a: Value) -> Value {
+    match a {
+        Value::Pair(p) => p.0.clone(),
+        v => v,
+    }
+}
+
+/// `unsafe-cdr`, shared by `UnsafeCdr` and `UnsafeCdrL`.
+#[inline]
+fn unsafe_cdr_value(a: Value) -> Value {
+    match a {
+        Value::Pair(p) => p.1.clone(),
+        v => v,
+    }
+}
+
+/// `zero?` with the checked error path, shared by `ZeroP` and `BrZeroP`.
+#[inline]
+fn zero_value(a: &Value) -> Result<bool, RtError> {
+    match a {
+        Value::Int(n) => Ok(*n == 0),
+        Value::Float(x) => Ok(*x == 0.0),
+        Value::Complex(re, im) => Ok(*re == 0.0 && *im == 0.0),
+        v => Err(RtError::type_error(format!(
+            "zero?: expected number, got {}",
+            v.write_string()
+        ))),
+    }
+}
+
+/// Checked `vector-ref`, shared by `VectorRef` and `VectorRefLL`.
+#[inline]
+fn vector_ref_value(v: &Value, i: &Value) -> Result<Value, RtError> {
+    match (v, i) {
+        (Value::Vector(vec), Value::Int(n)) => {
+            let vec = vec.borrow();
+            let idx = *n as usize;
+            if *n < 0 || idx >= vec.len() {
+                return Err(RtError::new(
+                    Kind::Range,
+                    format!(
+                        "vector-ref: index {n} out of range for length {}",
+                        vec.len()
+                    ),
+                ));
+            }
+            Ok(vec[idx].clone())
+        }
+        _ => Err(RtError::type_error(format!(
+            "vector-ref: expected vector and index, got {} and {}",
+            v.write_string(),
+            i.write_string()
+        ))),
+    }
+}
+
+/// `unsafe-vector-ref` (out-of-range/non-vector yields void), shared by
+/// `UnsafeVectorRef` and `UnsafeVectorRefLL`.
+#[inline]
+fn unsafe_vector_ref_value(v: &Value, i: &Value) -> Value {
+    match (v, i) {
+        (Value::Vector(vec), Value::Int(n)) => vec
+            .borrow()
+            .get(*n as usize)
+            .cloned()
+            .unwrap_or(Value::Void),
+        _ => Value::Void,
+    }
+}
+
+/// Fused generic compare-and-branch: pops like the comparison, jumps to
+/// `t` when it is false (like the `JumpIfFalse` it replaces).
+#[inline]
+fn brcmp(
+    stack: &mut Vec<Value>,
+    ip: &mut usize,
+    t: u32,
+    name: &'static str,
+    ok: fn(std::cmp::Ordering) -> bool,
+) -> Result<(), RtError> {
+    let b = pop!(stack);
+    let a = pop!(stack);
+    if !ok(number::compare(name, &a, &b)?) {
+        *ip = t as usize;
+    }
+    Ok(())
+}
+
+/// Fused `Fl*` compare-and-branch.
+#[inline]
+fn brflcmp(
+    stack: &mut Vec<Value>,
+    ip: &mut usize,
+    t: u32,
+    f: fn(f64, f64) -> bool,
+) -> Result<(), RtError> {
+    let b = flval!(pop!(stack));
+    let a = flval!(pop!(stack));
+    if !f(a, b) {
+        *ip = t as usize;
+    }
+    Ok(())
+}
+
+/// Fused `Fx*` compare-and-branch.
+#[inline]
+fn brfxcmp(
+    stack: &mut Vec<Value>,
+    ip: &mut usize,
+    t: u32,
+    f: fn(i64, i64) -> bool,
+) -> Result<(), RtError> {
+    let b = fxval!(pop!(stack));
+    let a = fxval!(pop!(stack));
+    if !f(a, b) {
+        *ip = t as usize;
+    }
+    Ok(())
+}
+
+/// Fused float-stack compare-and-branch.
+#[inline]
+fn brflscmp(
+    fstack: &mut Vec<f64>,
+    ip: &mut usize,
+    t: u32,
+    f: fn(f64, f64) -> bool,
+) -> Result<(), RtError> {
+    let b = pop!(fstack);
+    let a = pop!(fstack);
+    if !f(a, b) {
+        *ip = t as usize;
+    }
     Ok(())
 }
 
@@ -744,27 +1001,33 @@ fn fcbin(stack: &mut Vec<Value>, f: FcOp) -> Result<(), RtError> {
     Ok(())
 }
 
+/// What [`enter_call`] resolved the callee to.
+enum Dispatch {
+    /// A closure: the machine loop should activate this frame (pushing
+    /// or replacing the current one depending on tailness).
+    Frame(Frame),
+    /// A native/contracted procedure that ran to completion; its result
+    /// is on top of the stack.
+    Done,
+}
+
 /// Performs the call whose callee and `n` arguments are on top of the
-/// stack. For closures, pushes (or, if `tail`, replaces) a frame; for
-/// natives/contracted procedures, completes the call and pushes the
-/// result — in the tail case the caller's frame has already been popped,
-/// so the machine loop must check for an empty frame stack afterwards.
+/// stack. For a tail call, `tail_base` is the current frame's base: the
+/// callee and arguments are moved down over the frame being replaced.
+/// `depth` is the number of frames that would sit *below* the callee's
+/// frame (for the stack-depth limit).
 fn enter_call(
     stack: &mut Vec<Value>,
-    frames: &mut Vec<Frame>,
     n: usize,
-    tail: bool,
-) -> Result<(), RtError> {
+    tail_base: Option<usize>,
+    depth: usize,
+) -> Result<Dispatch, RtError> {
     let mut n = n;
     let mut argstart = stack.len() - n;
 
-    if tail {
+    if let Some(base) = tail_base {
         // move callee + args down over the current frame
-        let frame = match frames.pop() {
-            Some(f) => f,
-            None => return Err(underflow()),
-        };
-        let dest = frame.base - 1;
+        let dest = base - 1;
         let src = argstart - 1;
         if src != dest {
             for i in 0..=n {
@@ -806,19 +1069,19 @@ fn enter_call(
                 let result = (nat.f)(&stack[argstart..])?;
                 stack.truncate(argstart - 1);
                 stack.push(result);
-                return Ok(());
+                return Ok(Dispatch::Done);
             }
             Value::Contracted(c) => {
                 let args: Vec<Value> = stack[argstart..].to_vec();
                 let result = apply_contracted(&Vm, c, &args)?;
                 stack.truncate(argstart - 1);
                 stack.push(result);
-                return Ok(());
+                return Ok(Dispatch::Done);
             }
             Value::Closure(c) => {
                 let (proto, env) = downcast_closure(c)?;
-                push_frame(stack, frames, proto, env, argstart, n)?;
-                return Ok(());
+                let frame = make_frame(stack, proto, env, argstart, n, depth)?;
+                return Ok(Dispatch::Frame(frame));
             }
             other => {
                 return Err(RtError::type_error(format!(
@@ -832,19 +1095,19 @@ fn enter_call(
 
 /// Sets up a frame for `proto` whose arguments occupy
 /// `stack[base..base + n]`: checks arity, collapses rest arguments, pads
-/// locals.
-fn push_frame(
+/// locals. `depth` is the number of frames already below this one.
+fn make_frame(
     stack: &mut Vec<Value>,
-    frames: &mut Vec<Frame>,
     proto: Rc<Proto>,
     env: Rc<VmEnv>,
     base: usize,
     n: usize,
-) -> Result<(), RtError> {
+    depth: usize,
+) -> Result<Frame, RtError> {
     // frames live on the heap, so this is a policy limit rather than a
     // host-stack safety one: deep non-tail recursion gets a structured
     // stack-overflow diagnostic instead of unbounded memory growth
-    if frames.len() as u64 >= lagoon_diag::limits::max_stack_depth() {
+    if depth as u64 >= lagoon_diag::limits::max_stack_depth() {
         return Err(RtError::from(lagoon_diag::limits::stack_overflow()));
     }
     if !proto.arity.accepts(n) {
@@ -865,13 +1128,12 @@ fn push_frame(
     while stack.len() < base + proto.nlocals as usize {
         stack.push(Value::Void);
     }
-    frames.push(Frame {
+    Ok(Frame {
         proto,
         ip: 0,
         base,
         env,
-    });
-    Ok(())
+    })
 }
 
 #[cfg(test)]

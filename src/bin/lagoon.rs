@@ -1,14 +1,19 @@
 //! The `lagoon` command-line tool.
 //!
 //! ```text
-//! lagoon run <file.lag> [--interp] [--stats [--json]]
+//! lagoon run <file.lag> [--interp] [--stats [--json]] [--no-peephole]
 //!            [--no-cache] [--cache-dir <dir>] [limit options]
 //!                                      run a program (required modules
 //!                                      resolve lazily to sibling
 //!                                      <name>.lag files at compile time);
 //!                                      --stats prints phase timings, the
 //!                                      optimizer decision log, and opcode
-//!                                      counters, --json machine-readably.
+//!                                      counters (including fused
+//!                                      superinstructions), --json
+//!                                      machine-readably. --no-peephole
+//!                                      disables the VM's bytecode fusion
+//!                                      pass (artifacts record the setting,
+//!                                      so switching it recompiles).
 //!                                      Compiled modules persist as .lagc
 //!                                      artifacts under <dir>/compiled (or
 //!                                      --cache-dir) and are reused while
@@ -32,7 +37,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  lagoon run <file.lag> [--interp] [--stats [--json]] [--no-cache] [--cache-dir <dir>] [limit options]\n  lagoon expand <file.lag> [--timings]\n  lagoon repl [--typed]\n\nlimit options:\n  --max-steps <n>  --max-expand-steps <n>  --max-expand-depth <n>\n  --max-phase1-steps <n>  --max-stack-depth <n>  --timeout-ms <n>"
+        "usage:\n  lagoon run <file.lag> [--interp] [--stats [--json]] [--no-peephole] [--no-cache] [--cache-dir <dir>] [limit options]\n  lagoon expand <file.lag> [--timings]\n  lagoon repl [--typed]\n\nlimit options:\n  --max-steps <n>  --max-expand-steps <n>  --max-expand-depth <n>\n  --max-phase1-steps <n>  --max-stack-depth <n>  --timeout-ms <n>"
     );
     ExitCode::from(2)
 }
@@ -86,6 +91,9 @@ fn main() -> ExitCode {
             };
             let stats = args.iter().any(|a| a == "--stats");
             let json = args.iter().any(|a| a == "--json");
+            // applies to everything this thread compiles, so set it
+            // before any Lagoon world is built
+            lagoon::set_peephole(!args.iter().any(|a| a == "--no-peephole"));
             let limits = match parse_limits(&args) {
                 Ok(l) => l,
                 Err(e) => {

@@ -284,6 +284,99 @@ fn gen_input(rng: &mut SplitMix64) -> String {
 }
 
 #[test]
+fn peephole_differential_sweep_matches_unfused_semantics() {
+    use lagoon_bench::{all_benchmarks, Config};
+
+    // normalizes process-global gensym counters (`f~123` → `f~`) so two
+    // independent compilations of the same source compare equal
+    fn normalize(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        let mut chars = s.chars().peekable();
+        while let Some(c) = chars.next() {
+            out.push(c);
+            if c == '~' {
+                while chars.peek().is_some_and(char::is_ascii_digit) {
+                    chars.next();
+                }
+            }
+        }
+        out
+    }
+
+    // one observation: value + captured output on success, or
+    // (was-it-a-budget-death, message) on failure
+    fn observe(
+        src: &str,
+        engine: EngineKind,
+        limits: Limits,
+        peephole: bool,
+    ) -> Result<(String, String), (bool, String)> {
+        lagoon::set_peephole(peephole);
+        let lagoon = Lagoon::new();
+        lagoon.set_limits(limits);
+        lagoon.add_module("diff", src);
+        let result = lagoon.run_capturing("diff", engine);
+        lagoon.set_limits(Limits::default());
+        lagoon::set_peephole(true);
+        match result {
+            Ok((v, out)) => Ok((normalize(&v.write_string()), normalize(&out))),
+            Err(e) => Err((e.is_resource_exhausted(), normalize(&e.to_string()))),
+        }
+    }
+
+    let mut sources: Vec<(String, Vec<EngineKind>, Limits)> = Vec::new();
+    // seeded generator modules, on both engines
+    let mut rng = SplitMix64::new(0xd1ff);
+    let n = if cfg!(debug_assertions) { 120 } else { 400 };
+    for _ in 0..n {
+        sources.push((
+            gen_input(&mut rng),
+            vec![EngineKind::Vm, EngineKind::Interp],
+            strict(),
+        ));
+    }
+    // the benchmark programs (untyped and optimized-typed), on the VM
+    for bench in all_benchmarks() {
+        for config in [Config::Vm, Config::VmOpt] {
+            sources.push((
+                bench.source_for(config),
+                vec![EngineKind::Vm],
+                Limits::default(),
+            ));
+        }
+    }
+    let (mut compared, mut skipped) = (0u64, 0u64);
+    for (src, engines, limits) in &sources {
+        for engine in engines {
+            let on = observe(src, *engine, *limits, true);
+            let off = observe(src, *engine, *limits, false);
+            match (on, off) {
+                // fused code executes no more steps than unfused code, so
+                // a budget death on either side need not reproduce on the
+                // other; everything else must match exactly
+                (Err((true, _)), _) | (_, Err((true, _))) => skipped += 1,
+                (Ok(on), Ok(off)) => {
+                    assert_eq!(on, off, "peephole changed value/output for:\n{src}");
+                    compared += 1;
+                }
+                (Err((_, on)), Err((_, off))) => {
+                    assert_eq!(on, off, "peephole changed the error for:\n{src}");
+                    compared += 1;
+                }
+                (on, off) => {
+                    panic!("peephole changed the outcome for:\n{src}\non:  {on:?}\noff: {off:?}")
+                }
+            }
+        }
+    }
+    // sanity: the sweep must actually compare things, or it proves nothing
+    assert!(
+        compared > sources.len() as u64 / 2,
+        "only {compared} comparisons ran ({skipped} skipped)"
+    );
+}
+
+#[test]
 fn compiled_store_codec_is_a_fixed_point() {
     // seeded generator → compile → encode → decode → re-encode must
     // reproduce the artifact bytes exactly (symbols, spans, consts,

@@ -168,6 +168,82 @@ fn corrupt_artifacts_recompile_with_a_diagnostic() {
 }
 
 #[test]
+fn old_format_artifacts_are_stale_not_corrupt() {
+    let (lagoon, dir) = cached_world("oldformat");
+    lagoon.run("main", EngineKind::Vm).unwrap();
+
+    // rewrite util's artifact as a previous-format one: the version is a
+    // single-byte varint right after the 4-byte magic, and it sits in the
+    // outer frame, *outside* the body content digest — so this is exactly
+    // what a leftover pre-bump artifact looks like, digest intact
+    let path = dir.join("util.lagc");
+    let mut bytes = std::fs::read(&path).unwrap();
+    assert_eq!(&bytes[..4], b"LAGC");
+    assert_eq!(u32::from(bytes[4]), lagoon_core::store::FORMAT_VERSION);
+    bytes[4] = 1;
+    std::fs::write(&path, &bytes).unwrap();
+
+    lagoon.registry().reset_compiled();
+    let (v, report) = lagoon.run_with_stats("main", EngineKind::Vm).unwrap();
+    assert_eq!(v.to_string(), "42", "stale artifact must recompile cleanly");
+    let util = report
+        .caches
+        .iter()
+        .find(|r| r.module == "util")
+        .unwrap_or_else(|| panic!("no cache row for util: {:?}", report.caches));
+    assert_eq!(
+        util.status, "stale",
+        "old format must be stale, not corrupt"
+    );
+    assert!(
+        util.detail.contains("format version 1"),
+        "diagnostic should name the found version: {}",
+        util.detail
+    );
+
+    // the recompile rewrote a current-format artifact that now hits
+    lagoon.registry().reset_compiled();
+    let (_, warm) = lagoon.run_with_stats("main", EngineKind::Vm).unwrap();
+    assert_eq!(warm.cache_hits(), 2, "{:?}", warm.caches);
+}
+
+#[test]
+fn peephole_setting_is_part_of_cache_validity() {
+    let (lagoon, _dir) = cached_world("peephole");
+    assert!(lagoon::peephole_enabled(), "peephole defaults to on");
+    lagoon.run("main", EngineKind::Vm).unwrap();
+
+    // a --no-peephole session must not reuse fused bytecode
+    lagoon.set_peephole(false);
+    lagoon.registry().reset_compiled();
+    let (v, report) = lagoon.run_with_stats("main", EngineKind::Vm).unwrap();
+    assert_eq!(v.to_string(), "42");
+    let util = report
+        .caches
+        .iter()
+        .find(|r| r.module == "util")
+        .unwrap_or_else(|| panic!("no cache row for util: {:?}", report.caches));
+    assert_eq!(util.status, "stale");
+    assert!(
+        util.detail.contains("peephole"),
+        "diagnostic should name the mismatch: {}",
+        util.detail
+    );
+
+    // the unfused artifacts hit while the setting is unchanged...
+    lagoon.registry().reset_compiled();
+    let (_, warm) = lagoon.run_with_stats("main", EngineKind::Vm).unwrap();
+    assert_eq!(warm.cache_hits(), 2, "{:?}", warm.caches);
+
+    // ...and switching back invalidates them again
+    lagoon.set_peephole(true);
+    lagoon.registry().reset_compiled();
+    let (v, report) = lagoon.run_with_stats("main", EngineKind::Vm).unwrap();
+    assert_eq!(v.to_string(), "42");
+    assert_eq!(report.cache_hits(), 0, "{:?}", report.caches);
+}
+
+#[test]
 fn stats_report_timing_buckets_and_load_phase() {
     let (lagoon, _dir) = cached_world("buckets");
     let (_, cold) = lagoon.run_with_stats("main", EngineKind::Vm).unwrap();
