@@ -10,6 +10,13 @@
 //! superinstruction pass on and off — and writes the flat records to a
 //! JSON file (default `BENCH_4.json`):
 //! `cargo run --release -p lagoon-bench --bin figures bench4 [reps] [out.json]`
+//!
+//! The `bench5` mode measures the parallel-build scheduler and the
+//! evaluation daemon — cold-store builds of the 13-module typed graph at
+//! `--jobs 1/2/4/8` (with artifact digests proving byte-identity) plus
+//! daemon throughput against per-request cold worlds — and writes
+//! `BENCH_5.json`:
+//! `cargo run --release -p lagoon-bench --bin figures bench5 [reps] [out.json]`
 
 use lagoon_bench::{
     bench4_json, bench4_sweep, benchmarks_for, collect_metrics, format_figure, measure_figure,
@@ -35,11 +42,54 @@ fn run_bench4(args: &[String]) {
     }
 }
 
+fn run_bench5(args: &[String]) {
+    let reps: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let path = args.get(3).map(String::as_str).unwrap_or("BENCH_5.json");
+    let builds = match lagoon_bench::bench5::bench5_build_sweep(&[1, 2, 4, 8], reps) {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!("error in bench5 build sweep: {e}");
+            std::process::exit(1);
+        }
+    };
+    for b in &builds {
+        println!(
+            "build --jobs {}: {:8.2} ms  utilization {:4.2}  store digest {:016x}",
+            b.jobs, b.best_ms, b.utilization, b.artifacts_digest
+        );
+    }
+    let serve = match lagoon_bench::bench5::bench5_serve(32, 4) {
+        Ok(serve) => serve,
+        Err(e) => {
+            eprintln!("error in bench5 serve measurement: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "serve ({} workers, {} requests): daemon {:.2} ms vs cold {:.2} ms ({:.2}x)",
+        serve.workers,
+        serve.requests,
+        serve.daemon_ms,
+        serve.cold_ms,
+        serve.speedup()
+    );
+    match std::fs::write(path, lagoon_bench::bench5::bench5_json(&builds, &serve)) {
+        Ok(()) => println!("wrote {path} ({} build records, {reps} reps)", builds.len()),
+        Err(e) => {
+            eprintln!("error writing {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let which = args.get(1).map(String::as_str).unwrap_or("all");
     if which == "bench4" {
         return run_bench4(&args);
+    }
+    if which == "bench5" {
+        return run_bench5(&args);
     }
     let reps: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
     let figures: Vec<Figure> = match which {

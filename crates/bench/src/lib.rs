@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bench5;
 pub mod harness;
 pub mod programs;
 

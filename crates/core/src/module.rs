@@ -138,6 +138,43 @@ fn artifact_path(dir: &std::path::Path, name: Symbol) -> PathBuf {
     dir.join(format!("{name}.lagc"))
 }
 
+/// Writes `bytes` to `path` via a uniquely named `*.tmp` sibling and an
+/// atomic `rename`, so concurrent readers of the store never observe a
+/// half-written artifact and concurrent writers racing on the same key
+/// each land a complete file (last rename wins — harmless, because
+/// deterministic compilation makes racing writers produce identical
+/// bytes; even a divergent winner is caught by the artifact's content
+/// digest and validity checks on load, as staleness, never corruption).
+fn write_atomically(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NONCE: AtomicU64 = AtomicU64::new(0);
+    let tmp = path.with_extension(format!(
+        "lagc.{}.{}.tmp",
+        std::process::id(),
+        NONCE.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&tmp, bytes)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            // never leave a stray tmp file behind a failed publish
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// The deterministic gensym-scope digest for compiling a module: a hash
+/// of its name and source text. Including the name keeps two modules
+/// with identical sources from freshening identical (colliding) names.
+fn module_fresh_digest(name: Symbol, source: &str) -> u64 {
+    let mut bytes = Vec::with_capacity(source.len() + 16);
+    name.with_str(|s| bytes.extend_from_slice(s.as_bytes()));
+    bytes.push(0);
+    bytes.extend_from_slice(source.as_bytes());
+    lagoon_syntax::fnv1a(&bytes)
+}
+
 fn core_form_bindings() -> Vec<(&'static str, CoreFormKind)> {
     use CoreFormKind::*;
     vec![
@@ -173,6 +210,17 @@ impl ModuleRegistry {
     /// the expects below are deliberate rather than error-converted.)
     #[allow(clippy::expect_used)]
     pub fn new() -> Rc<ModuleRegistry> {
+        // Registry bootstrap freshens names (pattern-variable markers,
+        // prelude alpha-renaming) inside a deterministic gensym scope
+        // keyed on the prelude source: every registry — across threads
+        // and across processes — builds a base environment with the
+        // *same* global names, which is what lets parallel build
+        // workers exchange `.lagc` artifacts (the artifact's
+        // env-digest check) and keeps those artifacts byte-identical
+        // to a serial build's.
+        let _fresh = lagoon_syntax::fresh_scope(lagoon_syntax::fnv1a(
+            crate::prelude::PRELUDE_SOURCE.as_bytes(),
+        ));
         let table = Rc::new(BindingTable::new());
 
         // 1. core forms at the empty scope set (the base environment)
@@ -314,6 +362,20 @@ impl ModuleRegistry {
         self.compiled.borrow_mut().remove(&name);
         self.instances_interp.borrow_mut().remove(&name);
         self.instances_vm.borrow_mut().remove(&name);
+    }
+
+    /// Removes a module entirely: its source, compiled form, instances,
+    /// and artifact-digest record (the on-disk artifact, if any, is left
+    /// alone). The evaluation daemon uses this to drop per-request
+    /// scratch modules so a long-lived worker's registry does not grow
+    /// without bound.
+    pub fn remove_module(&self, name: &str) {
+        let name = Symbol::intern(name);
+        self.sources.borrow_mut().remove(&name);
+        self.compiled.borrow_mut().remove(&name);
+        self.instances_interp.borrow_mut().remove(&name);
+        self.instances_vm.borrow_mut().remove(&name);
+        self.artifact_digests.borrow_mut().remove(&name);
     }
 
     /// Drops all cached module instances (compiled modules are kept).
@@ -548,7 +610,7 @@ impl ModuleRegistry {
             }
         };
         let path = artifact_path(&dir, name);
-        match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, &bytes)) {
+        match std::fs::create_dir_all(&dir).and_then(|()| write_atomically(&path, &bytes)) {
             Ok(()) => {
                 self.artifact_digests
                     .borrow_mut()
@@ -593,6 +655,14 @@ impl ModuleRegistry {
         let source = self
             .source_of(name)
             .ok_or_else(|| RtError::user(format!("unknown module: {name}")))?;
+        // Freshened names (expander renames, macro gensyms, typed
+        // defensive wrappers) are a pure function of the module's name
+        // and source text: any worker — thread or process — compiling
+        // this module emits the same names, so parallel builds produce
+        // byte-identical artifacts and names from different modules
+        // cannot collide in serialized form. Scopes nest, so compiling
+        // a dependency mid-expansion restores this module's counter.
+        let _fresh = lagoon_syntax::fresh_scope(module_fresh_digest(name, &source));
         let module = {
             let _t = lagoon_diag::time(lagoon_diag::Phase::Read, name);
             let (module, read_errors) = read_module_recover(&source, &name.as_str())

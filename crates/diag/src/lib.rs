@@ -590,6 +590,46 @@ impl Report {
         self.opcodes = opcodes;
     }
 
+    /// Folds another report into this one: rows append (in `other`'s
+    /// order after this report's), and counter/contract rows for the
+    /// same key merge by summing. The parallel build scheduler uses
+    /// this to combine per-worker collectors into one build report.
+    pub fn merge(&mut self, other: Report) {
+        self.phases.extend(other.phases);
+        for c in other.counters {
+            match self
+                .counters
+                .iter_mut()
+                .find(|row| row.module == c.module && row.name == c.name)
+            {
+                Some(row) => row.value += c.value,
+                None => self.counters.push(c),
+            }
+        }
+        self.rewrites.extend(other.rewrites);
+        self.near_misses.extend(other.near_misses);
+        for c in other.contracts {
+            match self.contracts.iter_mut().find(|row| {
+                row.export == c.export && row.positive == c.positive && row.negative == c.negative
+            }) {
+                Some(row) => row.count += c.count,
+                None => self.contracts.push(c),
+            }
+        }
+        self.limits.extend(other.limits);
+        self.caches.extend(other.caches);
+        for o in other.opcodes {
+            match self
+                .opcodes
+                .iter_mut()
+                .find(|row| row.op == o.op && row.class == o.class && row.fused == o.fused)
+            {
+                Some(row) => row.count += o.count,
+                None => self.opcodes.push(o),
+            }
+        }
+    }
+
     /// Total executions of generic (tag-dispatching) instructions.
     pub fn generic_ops(&self) -> u64 {
         self.class_total("generic")
@@ -917,6 +957,133 @@ impl Report {
     }
 }
 
+// ---------------------------------------------------------------------
+// latency histograms
+// ---------------------------------------------------------------------
+
+/// Number of power-of-two latency buckets: `[0,1µs)`, `[1,2µs)`, … up
+/// to a final catch-all bucket for everything ≥ 2^30 µs (~18 minutes).
+const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A fixed-footprint latency histogram with power-of-two microsecond
+/// buckets. The evaluation daemon keeps one per request op; `merge`
+/// lets per-worker histograms fold into a server-wide view.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    total_micros: u128,
+    max_micros: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            total_micros: 0,
+            max_micros: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, latency: std::time::Duration) {
+        let micros64 = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = (64 - micros64.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.total_micros += u128::from(micros64);
+        self.max_micros = self.max_micros.max(micros64);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_micros as f64 / self.count as f64
+        }
+    }
+
+    /// Largest observed latency in microseconds.
+    pub fn max_micros(&self) -> u64 {
+        self.max_micros
+    }
+
+    /// An upper bound (µs) below which at least `q` of observations
+    /// fall, read off the bucket boundaries (so it is quantized to the
+    /// next power of two). Returns 0 for an empty histogram.
+    pub fn quantile_upper_micros(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (idx, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target.max(1) {
+                return if idx == 0 { 1 } else { 1u64 << idx };
+            }
+        }
+        self.max_micros
+    }
+
+    /// Folds `other` into this histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.total_micros += other.total_micros;
+        self.max_micros = self.max_micros.max(other.max_micros);
+    }
+
+    /// The non-empty buckets as `(upper_bound_micros, count)` pairs.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(idx, n)| (if idx == 0 { 1 } else { 1u64 << idx }, *n))
+            .collect()
+    }
+
+    /// The histogram as a JSON object (`count`, `mean_us`, `max_us`,
+    /// `p50_us`, `p99_us`, and the non-empty `buckets`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"count\":{},\"mean_us\":{:.1},\"max_us\":{},\"p50_us\":{},\"p99_us\":{},\"buckets\":[",
+            self.count,
+            self.mean_micros(),
+            self.max_micros,
+            self.quantile_upper_micros(0.5),
+            self.quantile_upper_micros(0.99)
+        );
+        for (i, (bound, n)) in self.nonzero_buckets().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"le_us\":{bound},\"count\":{n}}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
 fn push_rows<T>(out: &mut String, rows: &[T], mut f: impl FnMut(&mut String, &T)) {
     for (i, row) in rows.iter().enumerate() {
         if i > 0 {
@@ -926,20 +1093,12 @@ fn push_rows<T>(out: &mut String, rows: &[T], mut f: impl FnMut(&mut String, &T)
     }
 }
 
-/// Drops a `~N` gensym suffix so reports show the name the user wrote
-/// (`shout~122` → `shout`). Names without an all-digit suffix pass
-/// through untouched.
+/// Drops a gensym suffix so reports show the name the user wrote:
+/// `shout~122` → `shout` (global-counter form) and
+/// `shout~1a2b3c4d.7` → `shout` (deterministic scoped form). Names
+/// without a recognized suffix pass through untouched.
 fn strip_gensym(name: &str) -> String {
-    match name.rsplit_once('~') {
-        Some((base, digits))
-            if !base.is_empty()
-                && !digits.is_empty()
-                && digits.bytes().all(|b| b.is_ascii_digit()) =>
-        {
-            base.to_string()
-        }
-        _ => name.to_string(),
-    }
+    lagoon_syntax::strip_gensym(name).to_string()
 }
 
 /// Renders `s` as a JSON string literal (with escaping).
@@ -1079,5 +1238,71 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"fused\":true"));
         assert!(json.contains("\"fused_ops\":15"));
+    }
+
+    #[test]
+    fn strip_gensym_handles_both_forms() {
+        assert_eq!(strip_gensym("shout~122"), "shout");
+        assert_eq!(strip_gensym("shout~1a2b3c4d.7"), "shout");
+        assert_eq!(strip_gensym("shout"), "shout");
+        assert_eq!(strip_gensym("a~b"), "a~b");
+        assert_eq!(strip_gensym("x~12345678."), "x~12345678.");
+        assert_eq!(strip_gensym("x~123.4"), "x~123.4"); // hex part must be 8 chars
+    }
+
+    #[test]
+    fn reports_merge() {
+        let mut a = Report::default();
+        a.counters.push(CounterRow {
+            module: "m".into(),
+            name: "steps".into(),
+            value: 2,
+        });
+        a.caches.push(CacheRow {
+            module: "m".into(),
+            status: "hit",
+            detail: String::new(),
+        });
+        let mut b = Report::default();
+        b.counters.push(CounterRow {
+            module: "m".into(),
+            name: "steps".into(),
+            value: 3,
+        });
+        b.caches.push(CacheRow {
+            module: "n".into(),
+            status: "miss",
+            detail: String::new(),
+        });
+        a.merge(b);
+        assert_eq!(a.counters.len(), 1);
+        assert_eq!(a.counters[0].value, 5);
+        assert_eq!(a.caches.len(), 2);
+        assert_eq!(a.cache_hits(), 1);
+        assert_eq!(a.cache_misses(), 1);
+    }
+
+    #[test]
+    fn histogram_records_and_merges() {
+        use std::time::Duration;
+        let mut h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_upper_micros(0.5), 0);
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(100));
+        h.record(Duration::from_millis(2));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max_micros(), 2000);
+        assert!(h.mean_micros() > 0.0);
+        assert!(h.quantile_upper_micros(0.5) >= 4);
+        assert!(h.quantile_upper_micros(0.99) >= 2000);
+
+        let mut other = Histogram::new();
+        other.record(Duration::from_micros(0));
+        h.merge(&other);
+        assert_eq!(h.count(), 4);
+        let json = h.to_json();
+        assert!(json.contains("\"count\":4"), "{json}");
+        assert!(json.contains("\"le_us\":1"), "{json}");
     }
 }

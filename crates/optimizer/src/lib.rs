@@ -215,11 +215,7 @@ fn coerce_to_complex(stx: &Syntax) -> Option<Syntax> {
 }
 
 fn strip_rename(sym: Symbol) -> String {
-    let s = sym.as_str();
-    match s.rfind('~') {
-        Some(i) if s[i + 1..].chars().all(|c| c.is_ascii_digit()) && i > 0 => s[..i].to_string(),
-        _ => s,
-    }
+    sym.with_str(|s| lagoon_syntax::strip_gensym(s).to_string())
 }
 
 const FL_BINOPS: &[(&str, &str)] = &[

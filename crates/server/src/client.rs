@@ -1,0 +1,91 @@
+//! A minimal client for the evaluation daemon: one JSON line out, one
+//! JSON line back. Backs the `lagoon remote` subcommand and the
+//! integration tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::json::{obj, Json};
+
+/// Sends one newline-delimited request line and reads one response
+/// line. `timeout` bounds both the connect and the read.
+///
+/// # Errors
+///
+/// Propagates connection and I/O failures.
+pub fn request_line(addr: &str, line: &str, timeout: Option<Duration>) -> std::io::Result<String> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let mut response = String::new();
+    BufReader::new(stream).read_line(&mut response)?;
+    Ok(response.trim_end().to_string())
+}
+
+/// A persistent connection that can pipeline several requests.
+pub struct Connection {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Connection {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: &str, timeout: Option<Duration>) -> std::io::Result<Connection> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
+        let writer = stream.try_clone()?;
+        Ok(Connection {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one request line and reads the response line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn roundtrip(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        self.reader.read_line(&mut response)?;
+        Ok(response.trim_end().to_string())
+    }
+}
+
+/// Builds a request object for `op` against an inline source text.
+pub fn inline_request(op: &str, source: &str, limits: Vec<(&str, u64)>) -> String {
+    let mut fields = vec![
+        ("op", Json::Str(op.to_string())),
+        ("source", Json::Str(source.to_string())),
+    ];
+    let limit_obj = obj(limits
+        .into_iter()
+        .map(|(k, v)| (k, Json::Num(v as f64)))
+        .collect());
+    if limit_obj != obj(vec![]) {
+        fields.push(("limits", limit_obj));
+    }
+    obj(fields).to_string()
+}
+
+/// Builds a request object for `op` against a named module.
+pub fn module_request(op: &str, module: &str) -> String {
+    obj(vec![
+        ("op", Json::Str(op.to_string())),
+        ("module", Json::Str(module.to_string())),
+    ])
+    .to_string()
+}

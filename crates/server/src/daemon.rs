@@ -1,0 +1,663 @@
+//! The evaluation daemon.
+//!
+//! [`Server::start`] binds a TCP listener and serves newline-delimited
+//! JSON requests (`{"op":"run"|"expand"|"check"|"stats"|"shutdown", …}`)
+//! across a pool of worker threads. Each worker owns a private Lagoon
+//! world — registry, languages, compiled-store handle — so requests
+//! never share live values; compiled modules are shared only through
+//! the serialized `.lagc` store. The request queue is bounded: when it
+//! fills, new requests are rejected immediately with a structured
+//! `resource-exhausted` error instead of queuing without bound.
+//!
+//! Each request runs under its own [`Limits`] (merged over the server's
+//! defaults) with the diagnostics collector installed, behind the same
+//! panic barrier as the embedding API. `{"op":"shutdown"}` — or, on
+//! unix, `SIGTERM` — drains the queue and stops the workers gracefully.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lagoon_core::{EngineKind, ModuleRegistry};
+use lagoon_diag::{Collector, Histogram, Limits};
+use lagoon_runtime::{Kind, RtError};
+use lagoon_syntax::Symbol;
+
+use crate::json::{self, obj, Json};
+
+/// Options for [`Server::start`].
+#[derive(Clone)]
+pub struct ServeOptions {
+    /// Bind address, e.g. `127.0.0.1:7878` (port 0 picks one).
+    pub addr: String,
+    /// Worker thread count (clamped to at least 1).
+    pub workers: usize,
+    /// Bounded request-queue capacity; beyond it requests are rejected.
+    pub queue_cap: usize,
+    /// Shared `.lagc` store directory for the workers.
+    pub cache_dir: Option<PathBuf>,
+    /// Directory of `<name>.lag` files resolving named modules.
+    pub source_root: Option<PathBuf>,
+    /// Default per-request limits (a request may tighten them).
+    pub limits: Limits,
+    /// Whether workers run the VM peephole pass.
+    pub peephole: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_cap: 64,
+            cache_dir: None,
+            source_root: None,
+            limits: Limits::default(),
+            peephole: lagoon_vm::peephole::enabled(),
+        }
+    }
+}
+
+struct Job {
+    request: Json,
+    reply: mpsc::Sender<String>,
+}
+
+struct QueueState {
+    jobs: std::collections::VecDeque<Job>,
+}
+
+/// Aggregated server statistics, updated by workers and the acceptor.
+#[derive(Default)]
+struct StatsInner {
+    enqueued: u64,
+    rejected: u64,
+    max_depth: u64,
+    done: u64,
+    errors: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    per_op: BTreeMap<String, Histogram>,
+    worker_busy: Vec<Duration>,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    stats: Mutex<StatsInner>,
+    opts: ServeOptions,
+    started: Instant,
+}
+
+impl Shared {
+    /// Enqueues a job; `Err` when the queue is full or draining.
+    fn enqueue(&self, job: Job) -> Result<(), &'static str> {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err("server is shutting down");
+        }
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if q.jobs.len() >= self.opts.queue_cap {
+            let mut stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+            stats.rejected += 1;
+            return Err("request queue full");
+        }
+        q.jobs.push_back(job);
+        let depth = q.jobs.len();
+        drop(q);
+        let mut stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        stats.enqueued += 1;
+        stats.max_depth = stats.max_depth.max(depth as u64);
+        drop(stats);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+
+    fn stats_json(&self) -> Json {
+        let depth = self
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .jobs
+            .len();
+        let s = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        let hit_share = if s.cache_hits + s.cache_misses > 0 {
+            s.cache_hits as f64 / (s.cache_hits + s.cache_misses) as f64
+        } else {
+            0.0
+        };
+        let wall = self.started.elapsed().as_secs_f64();
+        let mut busy_ms = Vec::new();
+        let mut busy_total = 0.0;
+        for b in &s.worker_busy {
+            busy_ms.push(Json::Num(b.as_secs_f64() * 1e3));
+            busy_total += b.as_secs_f64();
+        }
+        let utilization = if wall > 0.0 && !s.worker_busy.is_empty() {
+            busy_total / (wall * s.worker_busy.len() as f64)
+        } else {
+            0.0
+        };
+        let mut ops = BTreeMap::new();
+        for (op, h) in &s.per_op {
+            // Histogram::to_json emits a JSON object; round-trip it
+            // through the parser to embed it structurally.
+            let parsed = json::parse(&h.to_json()).unwrap_or(Json::Null);
+            ops.insert(op.clone(), parsed);
+        }
+        obj(vec![
+            ("uptime_ms", Json::Num(wall * 1e3)),
+            ("workers", Json::Num(self.opts.workers as f64)),
+            (
+                "queue",
+                obj(vec![
+                    ("depth", Json::Num(depth as f64)),
+                    ("max_depth", Json::Num(s.max_depth as f64)),
+                    ("capacity", Json::Num(self.opts.queue_cap as f64)),
+                    ("enqueued", Json::Num(s.enqueued as f64)),
+                    ("rejected", Json::Num(s.rejected as f64)),
+                ]),
+            ),
+            (
+                "requests",
+                obj(vec![
+                    ("done", Json::Num(s.done as f64)),
+                    ("errors", Json::Num(s.errors as f64)),
+                ]),
+            ),
+            (
+                "cache",
+                obj(vec![
+                    ("hits", Json::Num(s.cache_hits as f64)),
+                    ("misses", Json::Num(s.cache_misses as f64)),
+                    ("hit_share", Json::Num(hit_share)),
+                ]),
+            ),
+            ("utilization", Json::Num(utilization)),
+            ("worker_busy_ms", Json::Arr(busy_ms)),
+            ("ops", Json::Obj(ops)),
+        ])
+    }
+}
+
+impl StatsInner {
+    fn record_op(&mut self, op: &str, latency: Duration, worker: usize, err: bool) {
+        self.done += 1;
+        if err {
+            self.errors += 1;
+        }
+        self.per_op
+            .entry(op.to_string())
+            .or_default()
+            .record(latency);
+        if self.worker_busy.len() <= worker {
+            self.worker_busy.resize(worker + 1, Duration::ZERO);
+        }
+        self.worker_busy[worker] += latency;
+    }
+}
+
+/// A running daemon; dropping it does **not** stop it — call
+/// [`Server::shutdown`] and [`Server::wait`].
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the acceptor and worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn start(opts: ServeOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let workers = opts.workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                jobs: std::collections::VecDeque::new(),
+            }),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            stats: Mutex::new(StatsInner::default()),
+            opts,
+            started: Instant::now(),
+        });
+
+        let mut worker_handles = Vec::with_capacity(workers);
+        for index in 0..workers {
+            let shared = Arc::clone(&shared);
+            worker_handles.push(std::thread::spawn(move || worker_main(index, &shared)));
+        }
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || acceptor_main(listener, &shared))
+        };
+        Ok(Server {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Starts a graceful drain: stop accepting, finish queued work.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Whether a shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the acceptor and all workers have drained and
+    /// exited (call [`Server::shutdown`] first, or rely on a client's
+    /// `{"op":"shutdown"}` / SIGTERM).
+    pub fn wait(mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// The server's current statistics as a JSON object.
+    pub fn stats_json(&self) -> String {
+        self.shared.stats_json().to_string()
+    }
+
+    /// Like [`Server::wait`], then returns the final statistics.
+    pub fn wait_with_stats(mut self) -> String {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.shared.stats_json().to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SIGTERM (unix): flag checked by the acceptor loop.
+// ---------------------------------------------------------------------------
+
+#[cfg(unix)]
+mod sig {
+    use std::os::raw::c_int;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static TERM: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_term(_signum: c_int) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: c_int, handler: extern "C" fn(c_int)) -> usize;
+    }
+
+    /// Installs the handler for SIGTERM (15). std already links libc,
+    /// so no new dependency is involved.
+    pub fn install() {
+        unsafe {
+            signal(15, on_term);
+        }
+    }
+
+    pub fn triggered() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
+}
+
+/// Installs the SIGTERM → graceful-drain hook (no-op off unix).
+pub fn install_sigterm_handler() {
+    #[cfg(unix)]
+    sig::install();
+}
+
+fn sigterm_triggered() -> bool {
+    #[cfg(unix)]
+    {
+        sig::triggered()
+    }
+    #[cfg(not(unix))]
+    {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Acceptor and connections
+// ---------------------------------------------------------------------------
+
+fn acceptor_main(listener: TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if sigterm_triggered() {
+            shared.begin_shutdown();
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || connection_main(stream, &shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn error_json(kind: &str, message: &str) -> Json {
+    obj(vec![
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            obj(vec![
+                ("kind", Json::Str(kind.to_string())),
+                ("message", Json::Str(message.to_string())),
+            ]),
+        ),
+    ])
+}
+
+fn connection_main(stream: TcpStream, shared: &Arc<Shared>) {
+    let Ok(peer) = stream.try_clone() else { return };
+    let mut writer = peer;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match json::parse(&line) {
+            Err(e) => error_json("protocol", &format!("bad request: {e}")).to_string(),
+            Ok(request) => match request.get("op").and_then(Json::as_str) {
+                Some("shutdown") => {
+                    shared.begin_shutdown();
+                    obj(vec![
+                        ("ok", Json::Bool(true)),
+                        ("draining", Json::Bool(true)),
+                    ])
+                    .to_string()
+                }
+                Some("stats") => {
+                    let mut o = shared.stats_json();
+                    if let Json::Obj(map) = &mut o {
+                        map.insert("ok".to_string(), Json::Bool(true));
+                    }
+                    o.to_string()
+                }
+                Some("run" | "expand" | "check") => {
+                    let (tx, rx) = mpsc::channel();
+                    match shared.enqueue(Job { request, reply: tx }) {
+                        Err(why) => error_json("resource-exhausted", why).to_string(),
+                        Ok(()) => rx.recv().unwrap_or_else(|_| {
+                            error_json("internal", "worker dropped the request").to_string()
+                        }),
+                    }
+                }
+                Some(other) => error_json("protocol", &format!("unknown op '{other}'")).to_string(),
+                None => error_json("protocol", "missing \"op\"").to_string(),
+            },
+        };
+        if writer.write_all(response.as_bytes()).is_err() {
+            return;
+        }
+        if writer.write_all(b"\n").is_err() || writer.flush().is_err() {
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+fn kind_slug(kind: &Kind) -> &'static str {
+    match kind {
+        Kind::Type => "type",
+        Kind::Arity => "arity",
+        Kind::Unbound => "unbound",
+        Kind::Overflow => "overflow",
+        Kind::DivideByZero => "divide-by-zero",
+        Kind::Range => "range",
+        Kind::Contract { .. } => "contract",
+        Kind::User => "user",
+        Kind::ResourceExhausted { .. } => "resource-exhausted",
+        Kind::Internal => "internal",
+    }
+}
+
+fn rt_error_json(e: &RtError) -> Json {
+    let mut fields = vec![
+        ("kind", Json::Str(kind_slug(&e.kind).to_string())),
+        ("message", Json::Str(e.message.clone())),
+    ];
+    match &e.kind {
+        Kind::ResourceExhausted { budget } => {
+            fields.push(("budget", Json::Str((*budget).to_string())));
+        }
+        Kind::Contract { blame } => {
+            fields.push(("blame", Json::Str(blame.as_str())));
+        }
+        _ => {}
+    }
+    obj(vec![("ok", Json::Bool(false)), ("error", obj(fields))])
+}
+
+/// Merges a request's `"limits"` object over the server defaults.
+pub fn merge_limits(base: Limits, spec: Option<&Json>) -> Limits {
+    let mut limits = base;
+    let Some(spec) = spec else { return limits };
+    if let Some(n) = spec.get("max_expansion_steps").and_then(Json::as_u64) {
+        limits.max_expansion_steps = n;
+    }
+    if let Some(n) = spec.get("max_expansion_depth").and_then(Json::as_u64) {
+        limits.max_expansion_depth = n;
+    }
+    if let Some(n) = spec.get("max_phase1_steps").and_then(Json::as_u64) {
+        limits.max_phase1_steps = n;
+    }
+    if let Some(n) = spec.get("max_vm_steps").and_then(Json::as_u64) {
+        limits.max_vm_steps = n;
+    }
+    if let Some(n) = spec.get("max_stack_depth").and_then(Json::as_u64) {
+        limits.max_stack_depth = n;
+    }
+    if let Some(ms) = spec.get("timeout_ms").and_then(Json::as_u64) {
+        limits.timeout = Some(Duration::from_millis(ms));
+    }
+    limits
+}
+
+/// One worker's world and request loop. The registry persists across
+/// requests — compiled modules stay warm — but instances are reset per
+/// request and inline sources get unique un-cacheable names, so no
+/// run-time state crosses requests.
+fn worker_main(index: usize, shared: &Arc<Shared>) {
+    lagoon_vm::peephole::set_enabled(shared.opts.peephole);
+    let registry = ModuleRegistry::new();
+    lagoon_optimizer::register_typed_languages(&registry);
+    registry.set_store_dir(shared.opts.cache_dir.clone());
+    if let Some(root) = shared.opts.source_root.clone() {
+        registry.set_loader(move |name: Symbol| {
+            name.with_str(|s| {
+                if s.contains('/') || s.contains('\\') || s.contains("..") {
+                    return None;
+                }
+                std::fs::read_to_string(root.join(format!("{s}.lag"))).ok()
+            })
+        });
+    }
+    static REQ_ID: AtomicU64 = AtomicU64::new(0);
+
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break Some(job);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .cv
+                    .wait_timeout(q, Duration::from_millis(200))
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+        };
+        let Some(job) = job else { return };
+
+        let start = Instant::now();
+        let op = job
+            .request
+            .get("op")
+            .and_then(Json::as_str)
+            .unwrap_or("run")
+            .to_string();
+        let response = handle_request(&registry, &job.request, &op, shared, &REQ_ID);
+        let latency = start.elapsed();
+        let is_err = response.get("ok").and_then(Json::as_bool) != Some(true);
+        {
+            let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+            stats.record_op(&op, latency, index, is_err);
+        }
+        let mut response = response;
+        if let Json::Obj(map) = &mut response {
+            map.insert("micros".to_string(), Json::Num(latency.as_micros() as f64));
+        }
+        let _ = job.reply.send(response.to_string());
+    }
+}
+
+fn handle_request(
+    registry: &std::rc::Rc<ModuleRegistry>,
+    request: &Json,
+    op: &str,
+    shared: &Arc<Shared>,
+    req_id: &AtomicU64,
+) -> Json {
+    // Resolve the target module: inline source gets a unique name that
+    // `cacheable_name` rejects (it contains '/'), so request bodies
+    // never enter the shared store and never collide across requests.
+    let inline = request.get("source").and_then(Json::as_str);
+    let named = request.get("module").and_then(Json::as_str);
+    let name = match (inline, named) {
+        (Some(src), _) => {
+            let id = req_id.fetch_add(1, Ordering::Relaxed);
+            let name = format!("req/{id}");
+            registry.add_module(&name, src);
+            name
+        }
+        (None, Some(m)) => {
+            if m.contains("..") || m.contains('\\') {
+                return error_json("protocol", "invalid module name");
+            }
+            m.to_string()
+        }
+        (None, None) => return error_json("protocol", "need \"module\" or \"source\""),
+    };
+    let engine = match request.get("engine").and_then(Json::as_str) {
+        Some("interp") => EngineKind::Interp,
+        _ => EngineKind::Vm,
+    };
+    let limits = merge_limits(shared.opts.limits, request.get("limits"));
+    let want_diag = request.get("diag").and_then(Json::as_bool) == Some(true);
+
+    lagoon_diag::limits::install(limits);
+    let collector = Collector::install();
+    // Fresh instances per request: compiled code stays warm, run-time
+    // module state does not leak between requests.
+    registry.reset_instances();
+    let result: Result<Json, RtError> = {
+        lagoon_diag::limits::refill();
+        let guarded = catch_unwind(AssertUnwindSafe(|| match op {
+            "run" => {
+                let (result, output) =
+                    lagoon_runtime::io::capture_output(|| registry.run(&name, engine));
+                result.map(|value| {
+                    obj(vec![
+                        ("ok", Json::Bool(true)),
+                        ("value", Json::Str(value.to_string())),
+                        ("output", Json::Str(output)),
+                    ])
+                })
+            }
+            "expand" => registry.expanded_body(&name).map(|forms| {
+                let rendered: Vec<Json> = forms
+                    .iter()
+                    .map(|f| Json::Str(f.to_datum().to_string()))
+                    .collect();
+                obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("forms", Json::Arr(rendered)),
+                ])
+            }),
+            "check" => registry
+                .compile(Symbol::intern(&name))
+                .map(|_| obj(vec![("ok", Json::Bool(true))])),
+            _ => Err(RtError::new(Kind::Internal, "unreachable op".to_string())),
+        }));
+        match guarded {
+            Ok(r) => r,
+            Err(_) => Err(RtError::new(
+                Kind::Internal,
+                "internal error: request panicked".to_string(),
+            )),
+        }
+    };
+    lagoon_diag::uninstall();
+    // Restore the server-default limits for whatever runs next.
+    lagoon_diag::limits::install(shared.opts.limits);
+    if inline.is_some() {
+        registry.remove_module(&name);
+    }
+
+    let report = collector.report();
+    {
+        let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+        stats.cache_hits += report.cache_hits() as u64;
+        stats.cache_misses += report.cache_misses() as u64;
+    }
+
+    let mut response = match result {
+        Ok(v) => v,
+        Err(e) => rt_error_json(&e),
+    };
+    if want_diag {
+        if let Json::Obj(map) = &mut response {
+            let parsed = json::parse(&report.to_json()).unwrap_or(Json::Null);
+            map.insert("report".to_string(), parsed);
+        }
+    }
+    response
+}

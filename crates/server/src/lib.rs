@@ -1,0 +1,35 @@
+//! # lagoon-server
+//!
+//! The serving layer of Lagoon: parallel module-graph builds and a
+//! multi-worker evaluation daemon.
+//!
+//! Lagoon's values are `Rc`-based and single-threaded by design, so
+//! neither subsystem shares live objects across threads. Instead, every
+//! worker owns a full world (registry + languages), and workers
+//! cooperate through the *serialized* layer: the content-addressed
+//! `.lagc` store, whose artifacts are byte-identical no matter which
+//! worker produced them (deterministic gensym freshening makes compiled
+//! output a pure function of module content).
+//!
+//! - [`build`] schedules a statically-scanned dependency graph as a
+//!   wavefront over N compile workers (`lagoon build --jobs N`).
+//! - [`daemon`] serves `run`/`expand`/`check` requests over
+//!   newline-delimited JSON on TCP with a bounded queue, per-request
+//!   resource limits, and graceful drain (`lagoon serve`).
+//! - [`client`] is the matching one-line-out, one-line-back client
+//!   (`lagoon remote`).
+//! - [`json`] is the std-only JSON used on the wire (the workspace
+//!   builds offline; no external crates).
+
+#![warn(missing_docs)]
+// panic-free core: unwrap/expect in non-test code must be justified
+// with an explicit #[allow] (CI promotes these to errors)
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod build;
+pub mod client;
+pub mod daemon;
+pub mod json;
+
+pub use build::{build, build_from_map, dir_source, BuildOptions, BuildReport, ModuleStatus};
+pub use daemon::{install_sigterm_handler, ServeOptions, Server};

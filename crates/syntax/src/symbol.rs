@@ -15,6 +15,7 @@
 //! assert_eq!(a.as_str(), "lambda");
 //! ```
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -41,6 +42,73 @@ fn interner() -> &'static RwLock<Interner> {
             table: HashMap::new(),
         })
     })
+}
+
+thread_local! {
+    /// The fresh-scope stack: `(digest, next counter)` per open scope.
+    /// See [`fresh_scope`].
+    static FRESH_SCOPES: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A guard holding a deterministic gensym scope open on this thread;
+/// created by [`fresh_scope`], closes the scope on drop.
+#[derive(Debug)]
+pub struct FreshScope(());
+
+impl Drop for FreshScope {
+    fn drop(&mut self) {
+        FRESH_SCOPES.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Opens a *deterministic gensym scope* on this thread until the
+/// returned guard drops: every [`Symbol::fresh`] call inside the scope
+/// is named `{base}~{digest:08x}.{n}` with `n` counting up from 0 per
+/// scope, instead of drawing from the process-global counter.
+///
+/// Module compilation opens a scope keyed on a digest of the module's
+/// name and source text, which makes freshened names a pure function of
+/// the module's content: two workers (threads, or whole processes)
+/// compiling the same module emit byte-identical artifacts, and names
+/// from different modules cannot collide because their digests differ.
+/// Scopes nest — compiling a dependency mid-expansion pushes the
+/// dependency's scope and restores the importer's counter afterwards.
+pub fn fresh_scope(digest: u64) -> FreshScope {
+    FRESH_SCOPES.with(|s| s.borrow_mut().push((digest, 0)));
+    FreshScope(())
+}
+
+/// Folds a 64-bit digest to the 32 bits used in scoped gensym names.
+fn fold_digest(digest: u64) -> u32 {
+    (digest ^ (digest >> 32)) as u32
+}
+
+/// Strips a gensym suffix from a printed symbol name, recovering the
+/// base the user (or the prelude) wrote: both the global-counter form
+/// (`map~3` → `map`) and the deterministic scoped form
+/// (`map~1a2b3c4d.7` → `map`). Names without a recognized suffix pass
+/// through unchanged. The typechecker and optimizer use this to
+/// recognize alpha-renamed primitives; diagnostics use it for display.
+pub fn strip_gensym(name: &str) -> &str {
+    fn is_counter(s: &str) -> bool {
+        !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit())
+    }
+    fn is_scoped(s: &str) -> bool {
+        match s.split_once('.') {
+            Some((hex, digits)) => {
+                hex.len() == 8 && hex.bytes().all(|b| b.is_ascii_hexdigit()) && is_counter(digits)
+            }
+            None => false,
+        }
+    }
+    match name.rsplit_once('~') {
+        Some((base, suffix)) if !base.is_empty() && (is_counter(suffix) || is_scoped(suffix)) => {
+            base
+        }
+        _ => name,
+    }
 }
 
 // Lock poisoning below is recovered with `into_inner`: the interner is
@@ -71,18 +139,37 @@ impl Symbol {
     ///
     /// This is the analogue of Lisp's `gensym`, used by the expander for
     /// globally unique binding names.
+    ///
+    /// Inside a [`fresh_scope`] the name is `{base}~{digest:08x}.{n}` —
+    /// deterministic per scope, so parallel builds of the same module
+    /// freshen identically (the name may coincide with an interned
+    /// symbol decoded from the module's own artifact; identities stay
+    /// distinct, and by construction the names refer to the same
+    /// binding). Outside any scope the name draws from a process-global
+    /// counter and skips names the interner already knows: decoding a
+    /// compiled artifact interns the gensym names it recorded, and an
+    /// unscoped live gensym must stay distinct from those by *name*,
+    /// not just identity, for its own artifact to be loadable later.
     pub fn fresh(base: &str) -> Symbol {
-        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let scoped = FRESH_SCOPES.with(|s| {
+            s.borrow_mut().last_mut().map(|(digest, n)| {
+                let name = format!("{base}~{:08x}.{n}", fold_digest(*digest));
+                *n += 1;
+                name
+            })
+        });
         let mut wr = interner().write().unwrap_or_else(|e| e.into_inner());
-        let name = loop {
-            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-            let name = format!("{base}~{n}");
-            // Skip names the interner already knows: decoding a compiled
-            // artifact interns the gensym names it recorded, and a live
-            // gensym must stay distinct from those by *name*, not just
-            // identity, for its own artifact to be loadable later.
-            if !wr.table.contains_key(&name) {
-                break name;
+        let name = match scoped {
+            Some(name) => name,
+            None => {
+                static COUNTER: AtomicU64 = AtomicU64::new(0);
+                loop {
+                    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+                    let name = format!("{base}~{n}");
+                    if !wr.table.contains_key(&name) {
+                        break name;
+                    }
+                }
             }
         };
         let id = wr.names.len() as u32;
@@ -170,5 +257,65 @@ mod tests {
     fn display_matches_name() {
         assert_eq!(format!("{}", Symbol::from("abc")), "abc");
         assert_eq!(format!("{:?}", Symbol::from("abc")), "'abc");
+    }
+
+    #[test]
+    fn scoped_fresh_is_deterministic_per_digest() {
+        let names_a: Vec<String> = {
+            let _scope = fresh_scope(0xDEAD_BEEF_0000_0001);
+            (0..3).map(|_| Symbol::fresh("t").as_str()).collect()
+        };
+        let names_b: Vec<String> = {
+            let _scope = fresh_scope(0xDEAD_BEEF_0000_0001);
+            (0..3).map(|_| Symbol::fresh("t").as_str()).collect()
+        };
+        assert_eq!(names_a, names_b, "same digest must freshen identically");
+        let other: Vec<String> = {
+            let _scope = fresh_scope(0xDEAD_BEEF_0000_0002);
+            (0..3).map(|_| Symbol::fresh("t").as_str()).collect()
+        };
+        assert_ne!(names_a, other, "different digests must not collide");
+        // identities are still unique even when names repeat
+        let a = {
+            let _scope = fresh_scope(7);
+            Symbol::fresh("x")
+        };
+        let b = {
+            let _scope = fresh_scope(7);
+            Symbol::fresh("x")
+        };
+        assert_eq!(a.as_str(), b.as_str());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn scoped_fresh_is_deterministic_across_threads() {
+        let spawn = || {
+            std::thread::spawn(|| {
+                let _scope = fresh_scope(42);
+                (0..4)
+                    .map(|_| Symbol::fresh("w").as_str())
+                    .collect::<Vec<_>>()
+            })
+        };
+        let (a, b) = (spawn(), spawn());
+        let a = a.join().expect("thread a");
+        let b = b.join().expect("thread b");
+        assert_eq!(a, b, "threads with the same scope must agree");
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let _outer = fresh_scope(1);
+        let first = Symbol::fresh("o").as_str();
+        {
+            let _inner = fresh_scope(2);
+            let inner = Symbol::fresh("i").as_str();
+            assert!(inner.contains('.'), "scoped name: {inner}");
+            assert_ne!(inner, first);
+        }
+        let second = Symbol::fresh("o").as_str();
+        // the outer counter kept counting from where it left off
+        assert!(second.ends_with(".1"), "outer scope resumed: {second}");
     }
 }

@@ -171,14 +171,11 @@ pub fn type_error(message: impl std::fmt::Display, stx: &Syntax) -> RtError {
     RtError::user(format!("typecheck: {message} in: {stx}")).with_span(stx.span())
 }
 
-/// Strips the expander's `~n` uniquifier to recover a primitive's source
-/// name (`map~3` → `map`); canonical primitive names pass through.
+/// Strips the expander's gensym uniquifier (global `~n` or scoped
+/// `~hex8.n`) to recover a primitive's source name (`map~3` → `map`);
+/// canonical primitive names pass through.
 fn strip_rename(sym: Symbol) -> String {
-    let s = sym.as_str();
-    match s.rfind('~') {
-        Some(i) if s[i + 1..].chars().all(|c| c.is_ascii_digit()) && i > 0 => s[..i].to_string(),
-        _ => s,
-    }
+    sym.with_str(|s| lagoon_syntax::strip_gensym(s).to_string())
 }
 
 fn type_of_datum(d: &Datum) -> Type {

@@ -158,11 +158,15 @@ impl Compiler {
             .pop()
             .ok_or_else(|| RtError::new(Kind::Internal, "compiler lost its top scope"))?;
         let top = Rc::new(top.finish());
-        let defined = c
+        // sorted so the artifact encoding is deterministic: HashSet
+        // iteration order varies with interner state, and `.lagc`
+        // bytes must be a pure function of module content
+        let mut defined: Vec<u32> = c
             .defined
             .iter()
             .filter_map(|s| c.globals.get(s).copied())
             .collect();
+        defined.sort_unstable();
         let code = ModuleCode {
             top,
             global_names: c.global_names,

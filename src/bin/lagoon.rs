@@ -21,6 +21,27 @@
 //! lagoon expand <file.lag> [--timings] print the fully-expanded core forms
 //! lagoon repl [--typed]                interactive prompt
 //!
+//! lagoon build <entry.lag>... [--jobs N] [--cache-dir <dir>]
+//!              [--no-peephole] [--stats [--json]] [limit options]
+//!                                      compile a module graph in parallel:
+//!                                      the graph is scanned from top-level
+//!                                      (require ...) forms and scheduled as
+//!                                      a wavefront over N workers sharing
+//!                                      one .lagc store. Deterministic
+//!                                      freshening makes --jobs N output
+//!                                      byte-identical to --jobs 1.
+//! lagoon serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//!              [--root <dir>] [--cache-dir <dir>] [--no-peephole]
+//!              [limit options]         evaluation daemon: newline-delimited
+//!                                      JSON requests over TCP, bounded
+//!                                      queue with backpressure, per-request
+//!                                      limits, graceful drain on SIGTERM or
+//!                                      {"op":"shutdown"}.
+//! lagoon remote --addr HOST:PORT <run|expand|check> <file.lag> [--json]
+//!              [limit options]
+//! lagoon remote --addr HOST:PORT <stats|shutdown> [--json]
+//!                                      client for a running daemon.
+//!
 //! limit options (resource budgets; runaway programs become diagnostics):
 //!   --max-steps <n>          run-time VM/interpreter steps
 //!   --max-expand-steps <n>   macro-expansion steps
@@ -37,9 +58,23 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  lagoon run <file.lag> [--interp] [--stats [--json]] [--no-peephole] [--no-cache] [--cache-dir <dir>] [limit options]\n  lagoon expand <file.lag> [--timings]\n  lagoon repl [--typed]\n\nlimit options:\n  --max-steps <n>  --max-expand-steps <n>  --max-expand-depth <n>\n  --max-phase1-steps <n>  --max-stack-depth <n>  --timeout-ms <n>"
+        "usage:\n  lagoon run <file.lag> [--interp] [--stats [--json]] [--no-peephole] [--no-cache] [--cache-dir <dir>] [limit options]\n  lagoon expand <file.lag> [--timings]\n  lagoon repl [--typed]\n  lagoon build <entry.lag>... [--jobs N] [--cache-dir <dir>] [--no-peephole] [--stats [--json]] [limit options]\n  lagoon serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--root <dir>] [--cache-dir <dir>] [--no-peephole] [limit options]\n  lagoon remote --addr HOST:PORT <run|expand|check|stats|shutdown> [<file.lag>] [--json] [limit options]\n\nlimit options:\n  --max-steps <n>  --max-expand-steps <n>  --max-expand-depth <n>\n  --max-phase1-steps <n>  --max-stack-depth <n>  --timeout-ms <n>"
     );
     ExitCode::from(2)
+}
+
+/// The value after a `--flag value` pair, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.windows(2)
+        .find(|w| w[0] == flag)
+        .map(|w| w[1].as_str())
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("{flag}: bad value '{v}'")),
+    }
 }
 
 /// Parses the `--max-*`/`--timeout-ms` flags into a [`Limits`] over the
@@ -127,7 +162,254 @@ fn main() -> ExitCode {
             expand_file(Path::new(file), args.iter().any(|a| a == "--timings"))
         }
         Some("repl") => repl(args.iter().any(|a| a == "--typed")),
+        Some("build") => build_cmd(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
+        Some("remote") => remote_cmd(&args[1..]),
         _ => usage(),
+    }
+}
+
+/// `lagoon build`: parallel wavefront compile of a module graph.
+fn build_cmd(args: &[String]) -> ExitCode {
+    let entries: Vec<&String> = args
+        .iter()
+        .filter(|a| a.ends_with(".lag") && !a.starts_with("--"))
+        .collect();
+    if entries.is_empty() {
+        return usage();
+    }
+    let jobs = match parse_flag(args, "--jobs", 1usize) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let limits = match parse_limits(args) {
+        Ok(l) => l.unwrap_or_default(),
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let first = Path::new(entries[0]);
+    let root = first.parent().unwrap_or(Path::new(".")).to_path_buf();
+    let cache_dir = flag_value(args, "--cache-dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| root.join("compiled"));
+    let mut names = Vec::new();
+    for entry in &entries {
+        let path = Path::new(entry);
+        if path.parent().unwrap_or(Path::new(".")) != root.as_path() {
+            eprintln!("all entries must live in one directory: {entry}");
+            return ExitCode::from(2);
+        }
+        match path.file_stem().and_then(|s| s.to_str()) {
+            Some(stem) => names.push(stem.to_string()),
+            None => {
+                eprintln!("bad file name: {entry}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let opts = lagoon::server::BuildOptions {
+        jobs,
+        cache_dir: Some(cache_dir),
+        limits,
+        peephole: !args.iter().any(|a| a == "--no-peephole"),
+    };
+    let report = lagoon::server::build(&names, lagoon::server::dir_source(root), &opts);
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report.to_json());
+    } else {
+        let built = report
+            .modules
+            .iter()
+            .filter(|m| m.status == lagoon::server::ModuleStatus::Built)
+            .count();
+        println!(
+            "built {built}/{} modules with {} jobs in {:.1} ms ({} store hits, {} misses, utilization {:.0}%)",
+            report.modules.len(),
+            report.jobs,
+            report.wall.as_secs_f64() * 1e3,
+            report.cache_hits,
+            report.cache_misses,
+            report.utilization() * 100.0,
+        );
+        for failure in report.failures() {
+            match &failure.status {
+                lagoon::server::ModuleStatus::Failed(e) => {
+                    eprintln!("{}: {e}", failure.name);
+                }
+                lagoon::server::ModuleStatus::Skipped(why) => {
+                    eprintln!("{}: skipped ({why})", failure.name);
+                }
+                lagoon::server::ModuleStatus::Built => {}
+            }
+        }
+        if args.iter().any(|a| a == "--stats") {
+            print!("{}", report.diag.render_text());
+        }
+    }
+    if report.success() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `lagoon serve`: the evaluation daemon.
+fn serve_cmd(args: &[String]) -> ExitCode {
+    let limits = match parse_limits(args) {
+        Ok(l) => l.unwrap_or_default(),
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let workers = match parse_flag(args, "--workers", 2usize) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let queue_cap = match parse_flag(args, "--queue-cap", 64usize) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let opts = lagoon::server::ServeOptions {
+        addr: flag_value(args, "--addr")
+            .unwrap_or("127.0.0.1:0")
+            .to_string(),
+        workers,
+        queue_cap,
+        cache_dir: flag_value(args, "--cache-dir").map(PathBuf::from),
+        source_root: flag_value(args, "--root").map(PathBuf::from),
+        limits,
+        peephole: !args.iter().any(|a| a == "--no-peephole"),
+    };
+    lagoon::server::install_sigterm_handler();
+    let server = match lagoon::server::Server::start(opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.addr());
+    let _ = std::io::stdout().flush();
+    if args.iter().any(|a| a == "--stats") {
+        eprintln!("{}", server.wait_with_stats());
+    } else {
+        server.wait();
+    }
+    ExitCode::SUCCESS
+}
+
+/// `lagoon remote`: one request against a running daemon.
+fn remote_cmd(args: &[String]) -> ExitCode {
+    let Some(addr) = flag_value(args, "--addr") else {
+        eprintln!("remote needs --addr HOST:PORT");
+        return ExitCode::from(2);
+    };
+    let op = args.iter().find(|a| {
+        matches!(
+            a.as_str(),
+            "run" | "expand" | "check" | "stats" | "shutdown"
+        )
+    });
+    let Some(op) = op else {
+        return usage();
+    };
+    let request = if matches!(op.as_str(), "stats" | "shutdown") {
+        format!("{{\"op\":\"{op}\"}}")
+    } else {
+        let Some(file) = args.iter().find(|a| a.ends_with(".lag")) else {
+            eprintln!("remote {op} needs a <file.lag>");
+            return ExitCode::from(2);
+        };
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let limits = match parse_limits(args) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut wire = Vec::new();
+        if let Some(l) = limits {
+            wire = vec![
+                ("max_expansion_steps", l.max_expansion_steps),
+                ("max_expansion_depth", l.max_expansion_depth),
+                ("max_phase1_steps", l.max_phase1_steps),
+                ("max_vm_steps", l.max_vm_steps),
+                ("max_stack_depth", l.max_stack_depth),
+            ];
+            if let Some(t) = l.timeout {
+                wire.push(("timeout_ms", t.as_millis() as u64));
+            }
+        }
+        lagoon::server::client::inline_request(op, &source, wire)
+    };
+    let timeout = Some(std::time::Duration::from_secs(60));
+    match lagoon::server::client::request_line(addr, &request, timeout) {
+        Ok(response) => {
+            if args.iter().any(|a| a == "--json") {
+                println!("{response}");
+                return ExitCode::SUCCESS;
+            }
+            match lagoon::server::json::parse(&response) {
+                Ok(parsed) => {
+                    let ok = parsed
+                        .get("ok")
+                        .and_then(lagoon::server::json::Json::as_bool)
+                        == Some(true);
+                    if ok {
+                        if let Some(v) = parsed
+                            .get("value")
+                            .and_then(lagoon::server::json::Json::as_str)
+                        {
+                            if let Some(out) = parsed
+                                .get("output")
+                                .and_then(lagoon::server::json::Json::as_str)
+                            {
+                                print!("{out}");
+                            }
+                            println!("{v}");
+                        } else {
+                            println!("{response}");
+                        }
+                        ExitCode::SUCCESS
+                    } else {
+                        let msg = parsed
+                            .get("error")
+                            .and_then(|e| e.get("message"))
+                            .and_then(lagoon::server::json::Json::as_str)
+                            .unwrap_or("unknown error");
+                        eprintln!("{msg}");
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(_) => {
+                    println!("{response}");
+                    ExitCode::SUCCESS
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("request failed: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

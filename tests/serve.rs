@@ -1,0 +1,294 @@
+//! Integration tests for the evaluation daemon: a real `lagoon serve`
+//! process takes 16 concurrent requests mixing well-typed programs,
+//! type errors, runtime errors, and deadline-exceeding loops — every
+//! response is structured JSON, per-request limits hold, and no state
+//! crosses requests.
+
+use lagoon::server::client;
+use lagoon::server::json::{self, Json};
+use std::io::BufRead;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn spawn(extra: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_lagoon"))
+            .arg("serve")
+            .args(["--addr", "127.0.0.1:0", "--workers", "4"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn lagoon serve");
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read listen line");
+        let addr = line
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+            .to_string();
+        Daemon { child, addr }
+    }
+
+    /// Sends `{"op":"shutdown"}` and waits (bounded) for the drain.
+    fn shutdown(mut self) {
+        let _ = client::request_line(
+            &self.addr,
+            "{\"op\":\"shutdown\"}",
+            Some(Duration::from_secs(10)),
+        );
+        for _ in 0..200 {
+            match self.child.try_wait() {
+                Ok(Some(status)) => {
+                    assert!(status.success(), "daemon exited with {status}");
+                    return;
+                }
+                Ok(None) => std::thread::sleep(Duration::from_millis(50)),
+                Err(e) => panic!("try_wait: {e}"),
+            }
+        }
+        let _ = self.child.kill();
+        panic!("daemon did not drain within 10s of shutdown");
+    }
+}
+
+fn roundtrip(addr: &str, request: &str) -> Json {
+    let response = client::request_line(addr, request, Some(Duration::from_secs(30)))
+        .unwrap_or_else(|e| panic!("request failed: {e}"));
+    json::parse(&response).unwrap_or_else(|e| panic!("non-JSON response {response:?}: {e}"))
+}
+
+fn err_kind(response: &Json) -> Option<&str> {
+    response.get("error")?.get("kind")?.as_str()
+}
+
+#[test]
+fn daemon_serves_16_concurrent_mixed_requests() {
+    let daemon = Daemon::spawn(&[]);
+    let addr = daemon.addr.clone();
+
+    // Four request shapes × four repetitions = 16 concurrent clients.
+    // The well-typed one defines and mutates module state, so any
+    // cross-request bleed would change its observed value.
+    let well_typed = client::inline_request(
+        "run",
+        "#lang typed/lagoon\n(define: c : Integer 0)\n(set! c (+ c 1))\n(display c)\nc\n",
+        vec![],
+    );
+    let type_error = client::inline_request(
+        "run",
+        "#lang typed/lagoon\n(define: x : Integer \"not an int\")\nx\n",
+        vec![],
+    );
+    let runtime_error = client::inline_request("run", "#lang lagoon\n(car 5)\n", vec![]);
+    let deadline = client::inline_request(
+        "run",
+        "#lang lagoon\n(define (spin n) (spin (+ n 1)))\n(spin 0)\n",
+        vec![("max_vm_steps", 50_000), ("timeout_ms", 2_000)],
+    );
+
+    let responses: Vec<(usize, Json)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..16)
+            .map(|i| {
+                let addr = addr.clone();
+                let request = match i % 4 {
+                    0 => well_typed.clone(),
+                    1 => type_error.clone(),
+                    2 => runtime_error.clone(),
+                    _ => deadline.clone(),
+                };
+                scope.spawn(move || (i, roundtrip(&addr, &request)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    assert_eq!(responses.len(), 16);
+    for (i, response) in &responses {
+        match i % 4 {
+            0 => {
+                assert_eq!(
+                    response.get("ok").and_then(Json::as_bool),
+                    Some(true),
+                    "well-typed request failed: {response}"
+                );
+                // no cross-request bleed: the counter always starts at 0
+                assert_eq!(
+                    response.get("value").and_then(Json::as_str),
+                    Some("1"),
+                    "module state leaked between requests: {response}"
+                );
+                assert_eq!(response.get("output").and_then(Json::as_str), Some("1"));
+            }
+            1 => {
+                assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+                let message = response
+                    .get("error")
+                    .and_then(|e| e.get("message"))
+                    .and_then(Json::as_str)
+                    .unwrap_or_default();
+                assert!(
+                    message.contains("typecheck"),
+                    "expected a typecheck error: {response}"
+                );
+            }
+            2 => {
+                assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+                assert_eq!(
+                    err_kind(response),
+                    Some("type"),
+                    "expected a structured type error: {response}"
+                );
+            }
+            _ => {
+                assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+                assert_eq!(
+                    err_kind(response),
+                    Some("resource-exhausted"),
+                    "expected Kind::ResourceExhausted: {response}"
+                );
+                assert!(
+                    response
+                        .get("error")
+                        .and_then(|e| e.get("budget"))
+                        .and_then(Json::as_str)
+                        .is_some(),
+                    "exhaustion must name its budget: {response}"
+                );
+            }
+        }
+        // every response carries its latency
+        assert!(
+            response.get("micros").and_then(Json::as_u64).is_some(),
+            "missing micros: {response}"
+        );
+    }
+
+    // the stats op reflects the traffic: 16 requests done, with run
+    // latencies recorded in the per-op histogram
+    let stats = roundtrip(&addr, "{\"op\":\"stats\"}");
+    assert_eq!(stats.get("ok").and_then(Json::as_bool), Some(true));
+    let done = stats
+        .get("requests")
+        .and_then(|r| r.get("done"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    assert!(done >= 16, "stats lost requests: {stats}");
+    let run_count = stats
+        .get("ops")
+        .and_then(|o| o.get("run"))
+        .and_then(|r| r.get("count"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    assert!(run_count >= 16, "run histogram lost samples: {stats}");
+
+    daemon.shutdown();
+}
+
+#[test]
+fn daemon_expand_check_and_protocol_errors() {
+    let daemon = Daemon::spawn(&[]);
+    let addr = daemon.addr.clone();
+
+    let expanded = roundtrip(
+        &addr,
+        &client::inline_request(
+            "expand",
+            "#lang lagoon\n(define (f x) (* x x))\n(f 3)\n",
+            vec![],
+        ),
+    );
+    assert_eq!(expanded.get("ok").and_then(Json::as_bool), Some(true));
+    let forms = match expanded.get("forms") {
+        Some(Json::Arr(forms)) => forms,
+        other => panic!("expand returned no forms: {other:?}"),
+    };
+    assert!(!forms.is_empty());
+
+    let checked = roundtrip(
+        &addr,
+        &client::inline_request(
+            "check",
+            "#lang typed/lagoon\n(: ok : Integer -> Integer)\n(define (ok n) (+ n 1))\n",
+            vec![],
+        ),
+    );
+    assert_eq!(checked.get("ok").and_then(Json::as_bool), Some(true));
+
+    // malformed JSON and unknown ops come back as protocol errors, not
+    // dropped connections
+    let garbage = roundtrip(&addr, "this is not json");
+    assert_eq!(err_kind(&garbage), Some("protocol"));
+    let unknown = roundtrip(&addr, "{\"op\":\"reboot\"}");
+    assert_eq!(err_kind(&unknown), Some("protocol"));
+    let missing = roundtrip(&addr, "{\"op\":\"run\"}");
+    assert_eq!(err_kind(&missing), Some("protocol"));
+
+    // one connection can pipeline several requests
+    let mut conn =
+        client::Connection::connect(&addr, Some(Duration::from_secs(30))).expect("connect");
+    for i in 0..3 {
+        let request = client::inline_request("run", &format!("#lang lagoon\n(+ {i} 10)\n"), vec![]);
+        let response = conn.roundtrip(&request).expect("pipelined request");
+        let parsed = json::parse(&response).expect("json");
+        assert_eq!(
+            parsed.get("value").and_then(Json::as_str),
+            Some(format!("{}", i + 10).as_str())
+        );
+    }
+
+    daemon.shutdown();
+}
+
+#[test]
+fn daemon_backpressure_rejects_rather_than_queues_unboundedly() {
+    // one worker and a 2-deep queue: flooding with slow requests must
+    // produce resource-exhausted rejections, and the daemon must stay
+    // healthy afterwards
+    let daemon = Daemon::spawn(&["--queue-cap", "2", "--workers", "1"]);
+    let addr = daemon.addr.clone();
+
+    let slow = client::inline_request(
+        "run",
+        "#lang lagoon\n(define (spin n) (if (= n 0) 'done (spin (- n 1))))\n(spin 3000000)\n",
+        vec![],
+    );
+    let rejected = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..12)
+            .map(|_| {
+                let addr = addr.clone();
+                let slow = slow.clone();
+                scope.spawn(move || roundtrip(&addr, &slow))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .filter(|r| err_kind(r) == Some("resource-exhausted"))
+            .count()
+    });
+    assert!(
+        rejected > 0,
+        "a 2-deep queue under 12 concurrent slow requests must reject some"
+    );
+
+    // after the flood, the daemon still answers
+    let after = roundtrip(
+        &addr,
+        &client::inline_request("run", "#lang lagoon\n(+ 1 2)\n", vec![]),
+    );
+    assert_eq!(after.get("value").and_then(Json::as_str), Some("3"));
+
+    daemon.shutdown();
+}

@@ -343,3 +343,284 @@ fn modules_with_macro_exports_are_skipped_not_broken() {
     let v = lagoon.run("user", EngineKind::Vm).unwrap();
     assert_eq!(v.to_string(), "2");
 }
+
+// ---------------------------------------------------------------------------
+// Parallel builds against a shared store
+// ---------------------------------------------------------------------------
+
+/// A 12-module diamond-and-chain graph mixing typed and untyped
+/// languages: `top` requires two mid modules, each chaining down to a
+/// shared typed leaf.
+fn stress_graph() -> std::collections::BTreeMap<String, String> {
+    let mut sources = std::collections::BTreeMap::new();
+    sources.insert(
+        "leaf".to_string(),
+        "#lang typed/lagoon
+(: base : Integer -> Integer)
+(define (base n) (+ n 1))
+(provide base)
+"
+        .to_string(),
+    );
+    // two chains of 4 typed modules each, both ending at the leaf
+    for chain in ["a", "b"] {
+        for i in 0..4 {
+            let prev = if i == 3 {
+                "leaf".to_string()
+            } else {
+                format!("{chain}{}", i + 1)
+            };
+            let prev_fn = if i == 3 {
+                "base".to_string()
+            } else {
+                format!("f{chain}{}", i + 1)
+            };
+            sources.insert(
+                format!("{chain}{i}"),
+                format!(
+                    "#lang typed/lagoon
+(require {prev})
+(: f{chain}{i} : Integer -> Integer)
+(define (f{chain}{i} n) (+ 1 ({prev_fn} n)))
+(provide f{chain}{i})
+"
+                ),
+            );
+        }
+    }
+    sources.insert(
+        "mid".to_string(),
+        "#lang lagoon
+(require a0 b0)
+(define (both n) (+ (fa0 n) (fb0 n)))
+(provide both)
+"
+        .to_string(),
+    );
+    sources.insert(
+        "top".to_string(),
+        "#lang lagoon
+(require mid)
+(both 10)
+"
+        .to_string(),
+    );
+    sources
+}
+
+fn artifact_bytes(dir: &std::path::Path) -> std::collections::BTreeMap<String, Vec<u8>> {
+    let mut map = std::collections::BTreeMap::new();
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "lagc") {
+            map.insert(
+                path.file_name().unwrap().to_string_lossy().into_owned(),
+                std::fs::read(&path).unwrap(),
+            );
+        }
+    }
+    map
+}
+
+#[test]
+fn concurrent_builders_share_one_store_byte_identically() {
+    let sources = stress_graph();
+    assert!(sources.len() >= 10, "graph must be 10+ modules");
+    let entries = vec!["top".to_string()];
+
+    // serial reference build
+    let serial_dir = temp_store("stress-serial");
+    let serial = lagoon::server::build_from_map(
+        &entries,
+        sources.clone(),
+        &lagoon::server::BuildOptions {
+            jobs: 1,
+            cache_dir: Some(serial_dir.clone()),
+            ..Default::default()
+        },
+    );
+    assert!(
+        serial.success(),
+        "serial build failed: {:?}",
+        serial.failures()
+    );
+    assert_eq!(serial.modules.len(), sources.len());
+
+    // two OS threads race parallel builds of the same graph against one
+    // shared cache directory
+    let shared_dir = temp_store("stress-shared");
+    let reports: Vec<lagoon::server::BuildReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let sources = sources.clone();
+                let entries = entries.clone();
+                let dir = shared_dir.clone();
+                scope.spawn(move || {
+                    lagoon::server::build_from_map(
+                        &entries,
+                        sources,
+                        &lagoon::server::BuildOptions {
+                            jobs: 2,
+                            cache_dir: Some(dir),
+                            ..Default::default()
+                        },
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for report in &reports {
+        assert!(
+            report.success(),
+            "concurrent build failed: {:?}",
+            report.failures()
+        );
+        assert_eq!(report.modules.len(), sources.len());
+        // the store counters add up: every module in the graph produced
+        // at least one store lookup (hit, miss, or stale — a stale row
+        // is the fresh-dep-forces-recompile rule at work), and the
+        // summary counters agree with the merged diag cache rows
+        let graph_rows = |status: &str| {
+            report
+                .diag
+                .caches
+                .iter()
+                .filter(|c| c.status == status && sources.contains_key(&c.module))
+                .count()
+        };
+        let (hits, misses, stale) = (graph_rows("hit"), graph_rows("miss"), graph_rows("stale"));
+        assert_eq!(hits, report.cache_hits, "summary hits disagree with rows");
+        assert_eq!(
+            misses, report.cache_misses,
+            "summary misses disagree with rows"
+        );
+        assert!(
+            hits + misses + stale >= sources.len(),
+            "hits {hits} + misses {misses} + stale {stale} cannot cover {} modules",
+            sources.len()
+        );
+    }
+
+    // artifacts written under contention are byte-identical to the
+    // serial build's (atomic tmp+rename writes, deterministic gensyms)
+    let serial_artifacts = artifact_bytes(&serial_dir);
+    let shared_artifacts = artifact_bytes(&shared_dir);
+    assert_eq!(
+        serial_artifacts.keys().collect::<Vec<_>>(),
+        shared_artifacts.keys().collect::<Vec<_>>(),
+        "same artifact set"
+    );
+    assert_eq!(serial_artifacts.len(), sources.len());
+    for (name, bytes) in &serial_artifacts {
+        assert_eq!(
+            bytes, &shared_artifacts[name],
+            "artifact {name} differs between serial and contended builds"
+        );
+    }
+
+    // no tmp files leak from the atomic-write path
+    let leftovers: Vec<_> = std::fs::read_dir(&shared_dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+        .collect();
+    assert!(leftovers.is_empty(), "leaked tmp files: {leftovers:?}");
+
+    // and the contended store is immediately usable by a fresh world
+    let lagoon = Lagoon::new();
+    lagoon.set_cache_dir(Some(shared_dir));
+    for (name, source) in &sources {
+        lagoon.add_module(name, source);
+    }
+    let (v, report) = lagoon.run_with_stats("top", EngineKind::Vm).unwrap();
+    assert_eq!(v.to_string(), "30");
+    assert_eq!(
+        report.cache_misses(),
+        0,
+        "warm world recompiled: {:?}",
+        report.caches
+    );
+}
+
+#[test]
+fn parallel_build_jobs_do_not_change_artifacts() {
+    let sources = stress_graph();
+    let entries = vec!["top".to_string()];
+    let mut reference: Option<std::collections::BTreeMap<String, Vec<u8>>> = None;
+    for jobs in [1usize, 4] {
+        let dir = temp_store(&format!("jobs-{jobs}"));
+        let report = lagoon::server::build_from_map(
+            &entries,
+            sources.clone(),
+            &lagoon::server::BuildOptions {
+                jobs,
+                cache_dir: Some(dir.clone()),
+                ..Default::default()
+            },
+        );
+        assert!(report.success(), "jobs={jobs}: {:?}", report.failures());
+        let artifacts = artifact_bytes(&dir);
+        match &reference {
+            None => reference = Some(artifacts),
+            Some(expected) => assert_eq!(
+                expected, &artifacts,
+                "--jobs {jobs} artifacts differ from --jobs 1"
+            ),
+        }
+    }
+}
+
+#[test]
+fn parallel_build_reports_failures_and_skips_dependents() {
+    let mut sources = stress_graph();
+    sources.insert(
+        "a2".to_string(),
+        "#lang typed/lagoon\n(: broken : Integer)\n(define broken \"nope\")\n".to_string(),
+    );
+    let report = lagoon::server::build_from_map(
+        &["top".to_string()],
+        sources,
+        &lagoon::server::BuildOptions {
+            jobs: 4,
+            cache_dir: Some(temp_store("fail")),
+            ..Default::default()
+        },
+    );
+    assert!(!report.success());
+    let status_of = |name: &str| {
+        report
+            .modules
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.status.clone())
+    };
+    assert!(
+        matches!(
+            status_of("a2"),
+            Some(lagoon::server::ModuleStatus::Failed(_))
+        ),
+        "a2 must fail: {:?}",
+        status_of("a2")
+    );
+    // everything downstream of a2 is skipped, not attempted
+    for name in ["a1", "a0", "mid", "top"] {
+        assert!(
+            matches!(
+                status_of(name),
+                Some(lagoon::server::ModuleStatus::Skipped(_))
+            ),
+            "{name} should be skipped: {:?}",
+            status_of(name)
+        );
+    }
+    // the untouched chain still builds
+    for name in ["b0", "b1", "b2", "b3", "leaf"] {
+        assert!(
+            matches!(status_of(name), Some(lagoon::server::ModuleStatus::Built)),
+            "{name} should build: {:?}",
+            status_of(name)
+        );
+    }
+}
