@@ -99,10 +99,13 @@ struct Shared {
 impl Shared {
     /// Enqueues a job; `Err` when the queue is full or draining.
     fn enqueue(&self, job: Job) -> Result<(), &'static str> {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        // Check shutdown under the queue lock — the same lock under
+        // which workers observe (empty queue + shutdown) and exit — so
+        // a job can never be enqueued after the last worker has left.
         if self.shutdown.load(Ordering::SeqCst) {
             return Err("server is shutting down");
         }
-        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         if q.jobs.len() >= self.opts.queue_cap {
             let mut stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
             stats.rejected += 1;
@@ -144,8 +147,12 @@ impl Shared {
             busy_ms.push(Json::Num(b.as_secs_f64() * 1e3));
             busy_total += b.as_secs_f64();
         }
-        let utilization = if wall > 0.0 && !s.worker_busy.is_empty() {
-            busy_total / (wall * s.worker_busy.len() as f64)
+        // Divide by the spawned pool size, not worker_busy.len():
+        // workers that have not served a request yet are still idle
+        // capacity and must count toward the denominator.
+        let pool = self.opts.workers.max(1);
+        let utilization = if wall > 0.0 {
+            busy_total / (wall * pool as f64)
         } else {
             0.0
         };
@@ -473,26 +480,34 @@ fn rt_error_json(e: &RtError) -> Json {
 }
 
 /// Merges a request's `"limits"` object over the server defaults.
+///
+/// Requests can only *tighten* the operator-configured budgets: each
+/// field is clamped to the server default, so an untrusted client
+/// cannot lift resource caps on the daemon.
 pub fn merge_limits(base: Limits, spec: Option<&Json>) -> Limits {
     let mut limits = base;
     let Some(spec) = spec else { return limits };
     if let Some(n) = spec.get("max_expansion_steps").and_then(Json::as_u64) {
-        limits.max_expansion_steps = n;
+        limits.max_expansion_steps = base.max_expansion_steps.min(n);
     }
     if let Some(n) = spec.get("max_expansion_depth").and_then(Json::as_u64) {
-        limits.max_expansion_depth = n;
+        limits.max_expansion_depth = base.max_expansion_depth.min(n);
     }
     if let Some(n) = spec.get("max_phase1_steps").and_then(Json::as_u64) {
-        limits.max_phase1_steps = n;
+        limits.max_phase1_steps = base.max_phase1_steps.min(n);
     }
     if let Some(n) = spec.get("max_vm_steps").and_then(Json::as_u64) {
-        limits.max_vm_steps = n;
+        limits.max_vm_steps = base.max_vm_steps.min(n);
     }
     if let Some(n) = spec.get("max_stack_depth").and_then(Json::as_u64) {
-        limits.max_stack_depth = n;
+        limits.max_stack_depth = base.max_stack_depth.min(n);
     }
     if let Some(ms) = spec.get("timeout_ms").and_then(Json::as_u64) {
-        limits.timeout = Some(Duration::from_millis(ms));
+        let requested = Duration::from_millis(ms);
+        limits.timeout = Some(match base.timeout {
+            Some(default) => default.min(requested),
+            None => requested,
+        });
     }
     limits
 }
@@ -569,6 +584,14 @@ fn handle_request(
     // Resolve the target module: inline source gets a unique name that
     // `cacheable_name` rejects (it contains '/'), so request bodies
     // never enter the shared store and never collide across requests.
+    //
+    // Known growth: each inline request interns its `req/{id}` symbol
+    // (plus gensyms minted during compilation) into the process-global
+    // interner, which never frees entries — `remove_module` below clears
+    // the registry maps but not the interner. A long-lived daemon under
+    // sustained inline-source load therefore grows slowly; deployments
+    // that care should prefer named modules or recycle the process
+    // periodically until the interner grows a per-request arena.
     let inline = request.get("source").and_then(Json::as_str);
     let named = request.get("module").and_then(Json::as_str);
     let name = match (inline, named) {
@@ -660,4 +683,46 @@ fn handle_request(
         }
     }
     response
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_limits_only_tightens() {
+        let base = Limits {
+            max_expansion_steps: 1_000,
+            max_expansion_depth: 50,
+            max_phase1_steps: 10_000,
+            max_vm_steps: 100_000,
+            max_stack_depth: 256,
+            timeout: Some(Duration::from_millis(500)),
+        };
+        // Tightening requests take effect.
+        let spec = json::parse(r#"{"max_vm_steps":10,"timeout_ms":100}"#).unwrap();
+        let merged = merge_limits(base, Some(&spec));
+        assert_eq!(merged.max_vm_steps, 10);
+        assert_eq!(merged.timeout, Some(Duration::from_millis(100)));
+        // Attempts to exceed the server defaults are clamped to them.
+        let spec = json::parse(
+            r#"{"max_expansion_steps":18446744073709551615,"max_expansion_depth":9999,
+                "max_phase1_steps":18446744073709551615,"max_vm_steps":18446744073709551615,
+                "max_stack_depth":9999,"timeout_ms":3600000}"#,
+        )
+        .unwrap();
+        let merged = merge_limits(base, Some(&spec));
+        assert_eq!(merged, base);
+        // With no default timeout, a request may introduce one (that
+        // only tightens from "unlimited").
+        let open = Limits {
+            timeout: None,
+            ..base
+        };
+        let spec = json::parse(r#"{"timeout_ms":100}"#).unwrap();
+        assert_eq!(
+            merge_limits(open, Some(&spec)).timeout,
+            Some(Duration::from_millis(100))
+        );
+    }
 }

@@ -273,9 +273,10 @@ impl Parser<'_> {
                                 self.expect(b'\\')?;
                                 self.expect(b'u')?;
                                 let lo = self.hex4()?;
-                                let code = 0x10000
-                                    + ((hi - 0xD800) << 10)
-                                    + (lo.wrapping_sub(0xDC00) & 0x3FF);
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("bad unicode escape".to_string());
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
                                 char::from_u32(code)
                             } else {
                                 char::from_u32(hi)
@@ -343,5 +344,17 @@ mod tests {
     fn unicode_escapes() {
         let v = parse(r#""é😀""#).expect("parse");
         assert_eq!(v.as_str(), Some("é😀"));
+        let v = parse(r#""\uD83D\uDE00""#).expect("surrogate pair");
+        assert_eq!(v.as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn rejects_bad_surrogates() {
+        // High surrogate followed by a non-low-surrogate escape.
+        assert!(parse(r#""\uD800A""#).is_err());
+        // High surrogate followed by another high surrogate.
+        assert!(parse(r#""\uD800\uD800""#).is_err());
+        // Lone surrogates (either half) are not scalar values.
+        assert!(parse(r#""\uDC00""#).is_err());
     }
 }
