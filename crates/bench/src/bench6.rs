@@ -1,0 +1,297 @@
+//! The `BENCH_6.json` experiment: tracing overhead and daemon memory
+//! gauges.
+//!
+//! Two measurements back EXPERIMENTS.md's "Tracing & telemetry" entry:
+//!
+//! 1. **Tracing A/B** — every figure 6–8 benchmark is run with the
+//!    structured tracer off and on (same compiled module, timed reps
+//!    each, medians kept). The off runs are the shipped default: the
+//!    tracer's only cost there is a thread-local flag check at phase
+//!    boundaries and fuel refills, never per opcode, and the A/B bounds
+//!    what turning tracing *on* costs on top.
+//! 2. **Daemon soak** — a stream of inline-source `run` requests
+//!    against an in-process [`Server`], sampling the `stats` op's
+//!    interner gauge along the way. The interner is append-only, so the
+//!    series makes the daemon's documented per-request symbol growth
+//!    (ROADMAP) visible and quantified.
+
+use crate::{benchmarks_for, median, prepare, Config, Figure};
+use lagoon_server::json;
+use lagoon_server::{client, ServeOptions, Server};
+use std::time::{Duration, Instant};
+
+/// One tracing A/B record: a benchmark under one configuration, traced
+/// and untraced.
+#[derive(Clone, Debug)]
+pub struct Bench6Ab {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Figure label (`"fig6"`…`"fig8"`).
+    pub figure: &'static str,
+    /// Configuration label (see [`Config::label`]).
+    pub config: &'static str,
+    /// Median wall time with tracing off (the shipped default), ms.
+    pub off_ms: f64,
+    /// Median wall time with the tracer installed, ms.
+    pub on_ms: f64,
+    /// Spans the traced run recorded (evidence tracing was live).
+    pub spans: usize,
+}
+
+impl Bench6Ab {
+    /// Tracing-on overhead over the off baseline, in percent.
+    pub fn overhead_percent(&self) -> f64 {
+        if self.off_ms <= 0.0 {
+            return 0.0;
+        }
+        (self.on_ms / self.off_ms - 1.0) * 100.0
+    }
+}
+
+/// Runs the tracing A/B over `figures`: each benchmark is compiled once
+/// under `vm+opt`, then timed `reps` times untraced and `reps` times
+/// with the tracer installed, interleaved per benchmark so drift hits
+/// both arms equally.
+///
+/// # Errors
+///
+/// Propagates compile-time and runtime errors.
+pub fn bench6_ab(
+    figures: &[Figure],
+    reps: usize,
+) -> Result<Vec<Bench6Ab>, lagoon_runtime::RtError> {
+    let reps = reps.max(1);
+    let mut rows = Vec::new();
+    for figure in figures {
+        for bench in benchmarks_for(*figure) {
+            let config = Config::VmOpt;
+            let mut runner = prepare(&bench, config)?;
+            // warmup: first run pays lazy-init costs neither arm should
+            runner()?;
+            let mut off = Vec::with_capacity(reps);
+            let mut on = Vec::with_capacity(reps);
+            let mut spans = 0usize;
+            // both arms run under the same run-phase span wrapper the
+            // CLI uses, so the off arm pays exactly the shipped cost:
+            // one inactive-tracer flag check per phase boundary
+            let spanned = |runner: &mut dyn FnMut() -> Result<_, _>| {
+                let _t = lagoon_diag::trace::start("run", bench.name);
+                runner()
+            };
+            for _ in 0..reps {
+                let start = Instant::now();
+                spanned(&mut runner)?;
+                off.push(start.elapsed().as_secs_f64() * 1000.0);
+
+                lagoon_diag::trace::install(lagoon_diag::trace::DEFAULT_CAPACITY);
+                let start = Instant::now();
+                let traced = spanned(&mut runner);
+                on.push(start.elapsed().as_secs_f64() * 1000.0);
+                let trace = lagoon_diag::trace::uninstall().unwrap_or_default();
+                traced?;
+                spans = spans.max(trace.spans.len());
+            }
+            rows.push(Bench6Ab {
+                name: bench.name,
+                figure: crate::figure_label(*figure),
+                config: config.label(),
+                off_ms: median(&mut off),
+                on_ms: median(&mut on),
+                spans,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// The daemon-soak record: interner growth under inline-source load.
+#[derive(Clone, Debug)]
+pub struct Bench6Soak {
+    /// Daemon worker count.
+    pub workers: usize,
+    /// Inline-source `run` requests sent (all must succeed).
+    pub requests: usize,
+    /// Interner symbol count before the first request.
+    pub interner_start: u64,
+    /// Interner symbol count after the last request.
+    pub interner_end: u64,
+    /// `(requests completed, interner symbols)` samples from the
+    /// daemon's `stats` op, every `sample_every` requests.
+    pub series: Vec<(u64, u64)>,
+    /// The final `stats` response's store-bytes gauge.
+    pub store_bytes: u64,
+}
+
+impl Bench6Soak {
+    /// Symbols interned per request, averaged over the soak.
+    pub fn growth_per_request(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        self.interner_end.saturating_sub(self.interner_start) as f64 / self.requests as f64
+    }
+}
+
+fn stats_gauge(addr: &str, path: &[&str]) -> Result<u64, String> {
+    let response = client::request_line(addr, "{\"op\":\"stats\"}", Some(Duration::from_secs(30)))
+        .map_err(|e| format!("stats request: {e}"))?;
+    let parsed = json::parse(&response).map_err(|e| format!("stats parse: {e}"))?;
+    let mut cur = &parsed;
+    for key in path {
+        cur = cur
+            .get(key)
+            .ok_or_else(|| format!("stats response missing {}", path.join(".")))?;
+    }
+    cur.as_u64()
+        .ok_or_else(|| format!("stats gauge {} is not numeric", path.join(".")))
+}
+
+/// Sends `requests` sequential inline-source `run` requests to an
+/// in-process daemon, sampling the interner gauge every `sample_every`
+/// requests. Each request body mentions a request-unique identifier, so
+/// the soak exercises exactly the documented leak: per-request symbols
+/// that outlive the request.
+///
+/// # Errors
+///
+/// Returns daemon start failures, failed requests, and malformed
+/// `stats` responses rendered as text.
+pub fn bench6_soak(
+    requests: usize,
+    sample_every: usize,
+    workers: usize,
+) -> Result<Bench6Soak, String> {
+    let server = Server::start(ServeOptions {
+        workers,
+        ..ServeOptions::default()
+    })
+    .map_err(|e| format!("start daemon: {e}"))?;
+    let addr = server.addr().to_string();
+    let sample_every = sample_every.max(1);
+
+    let interner_start = stats_gauge(&addr, &["interner", "symbols"])?;
+    let mut series = Vec::new();
+    for i in 0..requests {
+        // a fresh top-level identifier per request: the symbol (and the
+        // request's `req/{id}` module name) stays interned after the
+        // module itself is evicted
+        let source = format!("#lang lagoon\n(define soak-v{i} {i})\n(+ soak-v{i} 1)\n");
+        let request = client::inline_request("run", &source, vec![]);
+        let response = client::request_line(&addr, &request, Some(Duration::from_secs(30)))
+            .map_err(|e| format!("request {i}: {e}"))?;
+        if !response.contains("\"ok\":true") {
+            return Err(format!("request {i} failed: {response}"));
+        }
+        if (i + 1) % sample_every == 0 {
+            series.push((
+                (i + 1) as u64,
+                stats_gauge(&addr, &["interner", "symbols"])?,
+            ));
+        }
+    }
+    let interner_end = stats_gauge(&addr, &["interner", "symbols"])?;
+    let store_bytes = stats_gauge(&addr, &["store", "bytes"])?;
+    server.shutdown();
+    server.wait();
+
+    Ok(Bench6Soak {
+        workers,
+        requests,
+        interner_start,
+        interner_end,
+        series,
+        store_bytes,
+    })
+}
+
+/// Serializes the two measurements as the `BENCH_6.json` object
+/// (hand-rolled; the workspace takes no serialization dependency).
+pub fn bench6_json(ab: &[Bench6Ab], soak: &Bench6Soak) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("{\"ab\":[");
+    let mut worst = 0.0f64;
+    let mut sum = 0.0f64;
+    for (i, r) in ab.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let overhead = r.overhead_percent();
+        worst = worst.max(overhead);
+        sum += overhead;
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"figure\":{},\"config\":{},\"off_ms\":{:.6},\
+             \"on_ms\":{:.6},\"overhead_percent\":{overhead:.3},\"spans\":{}}}",
+            lagoon_diag::json_string(r.name),
+            lagoon_diag::json_string(r.figure),
+            lagoon_diag::json_string(r.config),
+            r.off_ms,
+            r.on_ms,
+            r.spans,
+        );
+    }
+    let mean = if ab.is_empty() {
+        0.0
+    } else {
+        sum / ab.len() as f64
+    };
+    let _ = write!(
+        out,
+        "],\"overhead\":{{\"mean_percent\":{mean:.3},\"max_percent\":{worst:.3}}},\
+         \"soak\":{{\"workers\":{},\"requests\":{},\"interner_start\":{},\
+         \"interner_end\":{},\"growth_per_request\":{:.3},\"store_bytes\":{},\"series\":[",
+        soak.workers,
+        soak.requests,
+        soak.interner_start,
+        soak.interner_end,
+        soak.growth_per_request(),
+        soak.store_bytes,
+    );
+    for (i, (n, symbols)) in soak.series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{n},{symbols}]");
+    }
+    out.push_str("]}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ab_records_traced_and_untraced_runs() {
+        let rows = bench6_ab(&[Figure::Fig8], 1).unwrap();
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.config, "vm+opt");
+        assert!(row.off_ms > 0.0 && row.on_ms > 0.0);
+        // the traced run saw at least the run-phase span
+        assert!(row.spans > 0, "traced run recorded no spans");
+    }
+
+    #[test]
+    fn soak_observes_interner_growth() {
+        let soak = bench6_soak(10, 5, 2).unwrap();
+        assert_eq!(soak.requests, 10);
+        assert_eq!(soak.series.len(), 2);
+        assert!(
+            soak.interner_end > soak.interner_start,
+            "inline-source load did not grow the interner: {} -> {}",
+            soak.interner_start,
+            soak.interner_end
+        );
+        // series is monotone: the interner never shrinks
+        let mut prev = soak.interner_start;
+        for (_, symbols) in &soak.series {
+            assert!(*symbols >= prev);
+            prev = *symbols;
+        }
+        let json = bench6_json(&bench6_ab(&[Figure::Fig8], 1).unwrap(), &soak);
+        assert!(json.contains("\"overhead\""));
+        assert!(json.contains("\"growth_per_request\""));
+        assert!(lagoon_server::json::parse(&json).is_ok(), "{json}");
+    }
+}

@@ -17,6 +17,12 @@
 //! daemon throughput against per-request cold worlds — and writes
 //! `BENCH_5.json`:
 //! `cargo run --release -p lagoon-bench --bin figures bench5 [reps] [out.json]`
+//!
+//! The `bench6` mode measures the structured tracer — a tracing on/off
+//! A/B over the figure 6–8 suite, plus a daemon soak recording the
+//! interner gauge across 500 inline-source requests — and writes
+//! `BENCH_6.json`:
+//! `cargo run --release -p lagoon-bench --bin figures bench6 [reps] [out.json]`
 
 use lagoon_bench::{
     bench4_json, bench4_sweep, benchmarks_for, collect_metrics, format_figure, measure_figure,
@@ -82,6 +88,50 @@ fn run_bench5(args: &[String]) {
     }
 }
 
+fn run_bench6(args: &[String]) {
+    let reps: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let path = args.get(3).map(String::as_str).unwrap_or("BENCH_6.json");
+    let ab =
+        match lagoon_bench::bench6::bench6_ab(&[Figure::Fig6, Figure::Fig7, Figure::Fig8], reps) {
+            Ok(rows) => rows,
+            Err(e) => {
+                eprintln!("error in bench6 tracing A/B: {e}");
+                std::process::exit(1);
+            }
+        };
+    for r in &ab {
+        println!(
+            "{:<14} off {:8.2} ms  on {:8.2} ms  overhead {:5.1}%  ({} spans)",
+            r.name,
+            r.off_ms,
+            r.on_ms,
+            r.overhead_percent(),
+            r.spans
+        );
+    }
+    let soak = match lagoon_bench::bench6::bench6_soak(500, 50, 2) {
+        Ok(soak) => soak,
+        Err(e) => {
+            eprintln!("error in bench6 daemon soak: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "soak ({} requests): interner {} -> {} symbols ({:.1} per request)",
+        soak.requests,
+        soak.interner_start,
+        soak.interner_end,
+        soak.growth_per_request()
+    );
+    match std::fs::write(path, lagoon_bench::bench6::bench6_json(&ab, &soak)) {
+        Ok(()) => println!("wrote {path} ({} A/B records, {reps} reps)", ab.len()),
+        Err(e) => {
+            eprintln!("error writing {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let which = args.get(1).map(String::as_str).unwrap_or("all");
@@ -90,6 +140,9 @@ fn main() {
     }
     if which == "bench5" {
         return run_bench5(&args);
+    }
+    if which == "bench6" {
+        return run_bench6(&args);
     }
     let reps: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
     let figures: Vec<Figure> = match which {

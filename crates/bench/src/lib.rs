@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod bench5;
+pub mod bench6;
 pub mod harness;
 pub mod programs;
 

@@ -759,6 +759,7 @@ impl Expander {
         for item in items {
             match item {
                 Item::Def(binder, rhs, orig) => {
+                    let _t = form_trace_span(binder.sym(), &orig);
                     let rhs_core = self.expand_expr(&rhs)?;
                     out.push(orig.with_data(SynData::List(vec![
                         crate::build::id("define-values"),
@@ -766,7 +767,10 @@ impl Expander {
                         rhs_core,
                     ])));
                 }
-                Item::Expr(e) => out.push(self.expand_expr(&e)?),
+                Item::Expr(e) => {
+                    let _t = form_trace_span(head_sym(&e), &e);
+                    out.push(self.expand_expr(&e)?);
+                }
                 Item::Done(core) => out.push(core),
             }
         }
@@ -859,6 +863,31 @@ impl Expander {
 /// Builds a syntax error at `stx`.
 pub fn syntax_error(message: impl std::fmt::Display, stx: &Syntax) -> RtError {
     RtError::user(format!("{message} in: {stx}")).with_span(stx.span())
+}
+
+/// The head identifier of a compound form (`(define …)` → `define`),
+/// or the symbol itself for a bare identifier.
+fn head_sym(stx: &Syntax) -> Option<Symbol> {
+    match stx.as_list() {
+        Some(items) => items.first().and_then(|h| h.sym()),
+        None => stx.sym(),
+    }
+}
+
+/// Opens a per-top-level-form trace span labeled with the form's
+/// defining (or head) identifier and carrying its source location —
+/// the file:line attribution `lagoon run --trace` shows under each
+/// module's expand span. Inert (one flag read) when no tracer is
+/// installed.
+fn form_trace_span(name: Option<Symbol>, stx: &Syntax) -> lagoon_diag::trace::SpanGuard {
+    if !lagoon_diag::trace::active() {
+        return lagoon_diag::trace::start("form", "");
+    }
+    let label = match name {
+        Some(sym) => sym.with_str(|n| lagoon_syntax::strip_gensym(n).to_string()),
+        None => "<form>".to_string(),
+    };
+    lagoon_diag::trace::start_at("form", &label, stx.span())
 }
 
 /// Builds the surface application `(#%values-check rhs n)` — at run

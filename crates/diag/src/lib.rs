@@ -33,6 +33,7 @@
 
 pub mod gen;
 pub mod limits;
+pub mod trace;
 
 pub use limits::{Budget, Exhausted, FaultPlan, Limits};
 
@@ -199,12 +200,27 @@ pub enum Event {
 }
 
 /// Emits a compiled-module-store lookup event; a no-op when disabled.
+/// When a [`trace`] tracer is installed the outcome is also attached as
+/// a `store` annotation on the innermost open span (the load or compile
+/// phase consulting the store).
 pub fn cache_event(module: Symbol, status: CacheStatus, detail: impl Into<String>) {
+    if !enabled() && !trace::active() {
+        return;
+    }
+    let detail = detail.into();
+    if trace::active() {
+        let summary = if detail.is_empty() {
+            status.name().to_string()
+        } else {
+            format!("{} ({detail})", status.name())
+        };
+        trace::note_or_event("store", summary);
+    }
     if enabled() {
         emit(Event::Cache {
             module,
             status,
-            detail: detail.into(),
+            detail,
         });
     }
 }
@@ -286,19 +302,28 @@ pub fn count(name: &'static str, module: Symbol, delta: u64) {
 }
 
 /// Starts timing a phase: emits [`Event::PhaseStart`] now and
-/// [`Event::PhaseEnd`] when the returned guard drops. When diagnostics
+/// [`Event::PhaseEnd`] when the returned guard drops. When a [`trace`]
+/// tracer is installed the guard additionally holds a trace span open
+/// for the phase — independently of the event sink, so `--trace` runs
+/// see the phase tree without paying for event collection. When both
 /// are disabled the guard is inert and no clock is read.
 pub fn time(phase: Phase, module: Symbol) -> PhaseTimer {
+    let span = if trace::active() {
+        Some(module.with_str(|m| trace::start(phase.name(), m)))
+    } else {
+        None
+    };
     if !enabled() {
-        return PhaseTimer(None);
+        return PhaseTimer(None, span);
     }
     emit(Event::PhaseStart { phase, module });
-    PhaseTimer(Some((phase, module, Instant::now())))
+    PhaseTimer(Some((phase, module, Instant::now())), span)
 }
 
 /// Drop guard created by [`time`]; emits the matching
-/// [`Event::PhaseEnd`] when dropped.
-pub struct PhaseTimer(Option<(Phase, Symbol, Instant)>);
+/// [`Event::PhaseEnd`] (and closes the phase's trace span) when
+/// dropped.
+pub struct PhaseTimer(Option<(Phase, Symbol, Instant)>, Option<trace::SpanGuard>);
 
 impl Drop for PhaseTimer {
     fn drop(&mut self) {
@@ -309,6 +334,8 @@ impl Drop for PhaseTimer {
                 nanos: start.elapsed().as_nanos(),
             });
         }
+        // close the phase's trace span after the end event timestamp
+        drop(self.1.take());
     }
 }
 
@@ -1040,13 +1067,56 @@ impl Histogram {
         self.max_micros
     }
 
+    /// A smoothed quantile estimate in microseconds: finds the bucket
+    /// holding the `q`-th observation and interpolates linearly inside
+    /// it (the catch-all top bucket uses the observed max as its upper
+    /// edge), so clients get a usable number instead of the power-of-two
+    /// ceiling [`Histogram::quantile_upper_micros`] reports. Clamped to
+    /// the observed max; 0 for an empty histogram.
+    pub fn quantile_est_micros(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut seen = 0u64;
+        for (idx, n) in self.buckets.iter().enumerate() {
+            if *n == 0 {
+                continue;
+            }
+            let before = seen as f64;
+            seen += n;
+            if seen as f64 >= target {
+                let (lo, hi) = self.bucket_span(idx);
+                let frac = (target - before) / *n as f64;
+                let est = lo as f64 + (hi.saturating_sub(lo)) as f64 * frac;
+                return est.min(self.max_micros as f64);
+            }
+        }
+        self.max_micros as f64
+    }
+
+    /// The `[lower, upper]` microsecond range of bucket `idx`. The
+    /// catch-all top bucket's upper edge is the observed max (the only
+    /// honest bound available).
+    fn bucket_span(&self, idx: usize) -> (u64, u64) {
+        let lo = if idx == 0 { 0 } else { 1u64 << (idx - 1) };
+        let hi = if idx == 0 {
+            1
+        } else if idx == HISTOGRAM_BUCKETS - 1 {
+            self.max_micros.max(lo)
+        } else {
+            1u64 << idx
+        };
+        (lo, hi)
+    }
+
     /// Folds `other` into this histogram.
     pub fn merge(&mut self, other: &Histogram) {
         for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *mine += theirs;
+            *mine = mine.saturating_add(*theirs);
         }
-        self.count += other.count;
-        self.total_micros += other.total_micros;
+        self.count = self.count.saturating_add(other.count);
+        self.total_micros = self.total_micros.saturating_add(other.total_micros);
         self.max_micros = self.max_micros.max(other.max_micros);
     }
 
@@ -1060,24 +1130,44 @@ impl Histogram {
             .collect()
     }
 
-    /// The histogram as a JSON object (`count`, `mean_us`, `max_us`,
-    /// `p50_us`, `p99_us`, and the non-empty `buckets`).
+    /// The non-empty buckets with both bounds:
+    /// `(lower_bound_micros, upper_bound_micros, count)` triples, so
+    /// clients can reconstruct real quantiles instead of guessing at
+    /// the bucket layout.
+    pub fn nonzero_bucket_spans(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(idx, n)| {
+                let (lo, hi) = self.bucket_span(idx);
+                (lo, hi, *n)
+            })
+            .collect()
+    }
+
+    /// The histogram as a JSON object: `count`, `mean_us`, `max_us`,
+    /// the bucket-ceiling quantiles `p50_us`/`p99_us`, the interpolated
+    /// estimates `p50_est_us`/`p99_est_us`, and the non-empty `buckets`
+    /// with both bounds (`ge_us` inclusive lower, `le_us` upper).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
         let _ = write!(
             out,
-            "\"count\":{},\"mean_us\":{:.1},\"max_us\":{},\"p50_us\":{},\"p99_us\":{},\"buckets\":[",
+            "\"count\":{},\"mean_us\":{:.1},\"max_us\":{},\"p50_us\":{},\"p99_us\":{},\"p50_est_us\":{:.1},\"p99_est_us\":{:.1},\"buckets\":[",
             self.count,
             self.mean_micros(),
             self.max_micros,
             self.quantile_upper_micros(0.5),
-            self.quantile_upper_micros(0.99)
+            self.quantile_upper_micros(0.99),
+            self.quantile_est_micros(0.5),
+            self.quantile_est_micros(0.99)
         );
-        for (i, (bound, n)) in self.nonzero_buckets().iter().enumerate() {
+        for (i, (lo, hi, n)) in self.nonzero_bucket_spans().iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(out, "{{\"le_us\":{bound},\"count\":{n}}}");
+            let _ = write!(out, "{{\"ge_us\":{lo},\"le_us\":{hi},\"count\":{n}}}");
         }
         out.push_str("]}");
         out
@@ -1304,5 +1394,88 @@ mod tests {
         let json = h.to_json();
         assert!(json.contains("\"count\":4"), "{json}");
         assert!(json.contains("\"le_us\":1"), "{json}");
+        assert!(json.contains("\"ge_us\":0"), "{json}");
+        assert!(json.contains("\"p50_est_us\""), "{json}");
+    }
+
+    #[test]
+    fn histogram_zero_duration_samples() {
+        use std::time::Duration;
+        let mut h = Histogram::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::ZERO);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max_micros(), 0);
+        // the estimate is clamped to the observed max, not the bucket edge
+        assert_eq!(h.quantile_est_micros(0.5), 0.0);
+        assert_eq!(h.quantile_est_micros(0.99), 0.0);
+        assert_eq!(h.nonzero_bucket_spans(), vec![(0, 1, 2)]);
+        // merging an empty histogram is the identity
+        h.merge(&Histogram::new());
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn histogram_saturating_top_bucket() {
+        use std::time::Duration;
+        let mut a = Histogram::new();
+        a.record(Duration::MAX); // micros saturate into the catch-all bucket
+        let mut b = Histogram::new();
+        b.record(Duration::MAX);
+        b.record(Duration::from_micros(7));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max_micros(), u64::MAX);
+        // the catch-all bucket's upper edge is the observed max; the
+        // interpolated quantile must stay finite and within it
+        let p99 = a.quantile_est_micros(0.99);
+        assert!(p99 <= u64::MAX as f64 && p99 > 0.0);
+        let spans = a.nonzero_bucket_spans();
+        assert_eq!(spans.len(), 2);
+        let top = spans.last().expect("top bucket");
+        assert_eq!(top.1, u64::MAX);
+        assert_eq!(top.2, 2);
+    }
+
+    #[test]
+    fn histogram_estimates_interpolate_within_buckets() {
+        use std::time::Duration;
+        let mut h = Histogram::new();
+        // 10 samples in the [64,128) bucket
+        for _ in 0..10 {
+            h.record(Duration::from_micros(100));
+        }
+        let p50 = h.quantile_est_micros(0.5);
+        assert!((64.0..=100.0).contains(&p50), "{p50}");
+        // the power-of-two ceiling is coarser than the estimate
+        assert_eq!(h.quantile_upper_micros(0.5), 128);
+    }
+
+    #[test]
+    fn phase_timer_opens_trace_spans_without_a_sink() {
+        assert!(!enabled());
+        trace::install(16);
+        {
+            let _t = time(Phase::Expand, m("traced-mod"));
+            {
+                let _u = time(Phase::Typecheck, m("traced-mod"));
+            }
+            cache_event(m("traced-mod"), CacheStatus::Hit, "123 bytes");
+        }
+        let t = trace::uninstall().expect("tracer installed");
+        assert_eq!(t.spans.len(), 2);
+        let expand = t.spans.iter().find(|s| s.phase == "expand").expect("span");
+        let check = t
+            .spans
+            .iter()
+            .find(|s| s.phase == "typecheck")
+            .expect("span");
+        assert_eq!(check.parent, Some(expand.id));
+        assert_eq!(expand.label, "traced-mod");
+        // the cache event was attached as a note on the open expand span
+        assert!(expand
+            .notes
+            .iter()
+            .any(|(k, v)| *k == "store" && v.contains("hit")));
     }
 }

@@ -1,0 +1,478 @@
+//! Thread-local span tracing.
+//!
+//! A tracer records *spans* — start/end pairs on a monotonic clock with
+//! parent nesting, a phase tag, an optional source [`Span`] attachment,
+//! and key/value notes — into a bounded ring buffer. Like the event
+//! sink in the crate root, it is **off by default**: every entry point
+//! guards on [`active`] (one thread-local flag read), so instrumented
+//! code costs nothing until a consumer calls [`install`].
+//!
+//! The pipeline's phase timers ([`crate::time`]) open a trace span
+//! whenever a tracer is installed, independently of whether the event
+//! sink is on, so `lagoon run --trace out.json` sees the whole
+//! read/expand/typecheck/optimize/compile/load/run tree without paying
+//! for event collection. The expander adds per-top-level-form child
+//! spans carrying each form's source location, and the compiled store
+//! annotates the enclosing span with hit/miss/stale outcomes.
+//!
+//! A finished [`Trace`] renders to Chrome trace-event JSON (the
+//! `about:tracing` / Perfetto format): see [`chrome_trace_json`].
+//!
+//! ```
+//! use lagoon_diag::trace;
+//! trace::install(trace::DEFAULT_CAPACITY);
+//! {
+//!     let _outer = trace::start("expand", "main");
+//!     let _inner = trace::start("typecheck", "main");
+//!     trace::note("checked", "12 forms");
+//! }
+//! let t = trace::uninstall().expect("tracer was installed");
+//! assert_eq!(t.spans.len(), 2);
+//! // children complete first; parents carry smaller start times
+//! assert_eq!(t.spans[0].phase, "typecheck");
+//! assert_eq!(t.spans[1].parent, None);
+//! ```
+
+use lagoon_syntax::Span;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Default ring-buffer capacity (completed spans retained per tracer).
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// One completed span.
+#[derive(Clone, Debug)]
+pub struct TraceSpan {
+    /// Unique id within this tracer (allocation order).
+    pub id: u64,
+    /// The id of the span this one nested inside, if any.
+    pub parent: Option<u64>,
+    /// Phase tag (`"read"`, `"expand"`, `"form"`, `"run"`, …).
+    pub phase: &'static str,
+    /// Human label — usually the module or form being processed.
+    pub label: String,
+    /// Start time in microseconds since the tracer was installed.
+    pub start_us: u64,
+    /// Duration in microseconds (end and start are truncated on the
+    /// same clock, so a child's interval never escapes its parent's).
+    pub dur_us: u64,
+    /// Source location attached via [`attach_src`], when any.
+    pub src: Option<Span>,
+    /// Key/value annotations attached via [`note`], in arrival order.
+    pub notes: Vec<(&'static str, String)>,
+}
+
+struct OpenSpan {
+    id: u64,
+    parent: Option<u64>,
+    phase: &'static str,
+    label: String,
+    start_us: u64,
+    src: Option<Span>,
+    notes: Vec<(&'static str, String)>,
+}
+
+struct Tracer {
+    epoch: Instant,
+    next_id: u64,
+    /// The open-span stack; the last entry is the innermost span.
+    open: Vec<OpenSpan>,
+    /// Completed spans, oldest first, bounded by `cap`.
+    done: VecDeque<TraceSpan>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Tracer {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+    }
+
+    fn close_top(&mut self) {
+        let Some(open) = self.open.pop() else { return };
+        let end_us = self.now_us();
+        let span = TraceSpan {
+            id: open.id,
+            parent: open.parent,
+            phase: open.phase,
+            label: open.label,
+            start_us: open.start_us,
+            dur_us: end_us.saturating_sub(open.start_us),
+            src: open.src,
+            notes: open.notes,
+        };
+        if self.done.len() >= self.cap {
+            self.done.pop_front();
+            self.dropped += 1;
+        }
+        self.done.push_back(span);
+    }
+}
+
+thread_local! {
+    static TRACER: RefCell<Option<Tracer>> = const { RefCell::new(None) };
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when a tracer is installed on this thread. Instrumentation
+/// whose span construction is not free should guard on this.
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.with(Cell::get)
+}
+
+/// Installs a fresh tracer on this thread (replacing any previous one)
+/// with room for `capacity` completed spans; older spans are dropped —
+/// and counted — once the ring fills. Zero capacities are bumped to 1.
+pub fn install(capacity: usize) {
+    TRACER.with(|t| {
+        *t.borrow_mut() = Some(Tracer {
+            epoch: Instant::now(),
+            next_id: 0,
+            open: Vec::new(),
+            done: VecDeque::new(),
+            cap: capacity.max(1),
+            dropped: 0,
+        });
+    });
+    ACTIVE.with(|a| a.set(true));
+}
+
+/// Removes this thread's tracer and returns the completed trace. Spans
+/// still open (an error unwound past their guards without dropping
+/// them, which ordinary `let _t = start(…)` usage never does) are
+/// force-closed at the current time first.
+pub fn uninstall() -> Option<Trace> {
+    ACTIVE.with(|a| a.set(false));
+    TRACER.with(|t| {
+        let mut tracer = t.borrow_mut().take()?;
+        while !tracer.open.is_empty() {
+            tracer.close_top();
+        }
+        Some(Trace {
+            spans: tracer.done.into_iter().collect(),
+            dropped: tracer.dropped,
+        })
+    })
+}
+
+/// Opens a span nested under the innermost open span; the returned
+/// guard closes it on drop. Inert (and free) when no tracer is
+/// installed.
+pub fn start(phase: &'static str, label: &str) -> SpanGuard {
+    if !active() {
+        return SpanGuard(None);
+    }
+    TRACER.with(|t| {
+        let mut borrow = t.borrow_mut();
+        let Some(tracer) = borrow.as_mut() else {
+            return SpanGuard(None);
+        };
+        let id = tracer.next_id;
+        tracer.next_id += 1;
+        let parent = tracer.open.last().map(|o| o.id);
+        let start_us = tracer.now_us();
+        tracer.open.push(OpenSpan {
+            id,
+            parent,
+            phase,
+            label: label.to_string(),
+            start_us,
+            src: None,
+            notes: Vec::new(),
+        });
+        SpanGuard(Some(id))
+    })
+}
+
+/// Like [`start`], attaching `src` up front (synthetic spans — line 0 —
+/// are treated as "no location" and skipped).
+pub fn start_at(phase: &'static str, label: &str, src: Span) -> SpanGuard {
+    let guard = start(phase, label);
+    if guard.0.is_some() {
+        attach_src(src);
+    }
+    guard
+}
+
+/// Attaches a source location to the innermost open span (no-op when
+/// nothing is open, or for synthetic spans).
+pub fn attach_src(src: Span) {
+    if !active() || src.is_synthetic() {
+        return;
+    }
+    TRACER.with(|t| {
+        if let Some(tracer) = t.borrow_mut().as_mut() {
+            if let Some(open) = tracer.open.last_mut() {
+                open.src = Some(src);
+            }
+        }
+    });
+}
+
+/// Attaches a `key: value` note to the innermost open span (no-op when
+/// nothing is open).
+pub fn note(key: &'static str, value: impl Into<String>) {
+    if !active() {
+        return;
+    }
+    TRACER.with(|t| {
+        if let Some(tracer) = t.borrow_mut().as_mut() {
+            if let Some(open) = tracer.open.last_mut() {
+                open.notes.push((key, value.into()));
+            }
+        }
+    });
+}
+
+/// Like [`note`], but never lost: when no span is open the annotation
+/// is recorded as a standalone zero-duration span with phase `key` and
+/// label `value` instead (the store emits miss events after the phase
+/// timers have closed, for example).
+pub fn note_or_event(key: &'static str, value: impl Into<String>) {
+    if !active() {
+        return;
+    }
+    TRACER.with(|t| {
+        if let Some(tracer) = t.borrow_mut().as_mut() {
+            let value = value.into();
+            if let Some(open) = tracer.open.last_mut() {
+                open.notes.push((key, value));
+            } else {
+                let id = tracer.next_id;
+                tracer.next_id += 1;
+                let start_us = tracer.now_us();
+                tracer.open.push(OpenSpan {
+                    id,
+                    parent: None,
+                    phase: key,
+                    label: value,
+                    start_us,
+                    src: None,
+                    notes: Vec::new(),
+                });
+                tracer.close_top();
+            }
+        }
+    });
+}
+
+/// Drop guard returned by [`start`]; closes its span (and any spans
+/// erroneously left open inside it) when dropped.
+pub struct SpanGuard(Option<u64>);
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(id) = self.0.take() else { return };
+        TRACER.with(|t| {
+            let mut borrow = t.borrow_mut();
+            let Some(tracer) = borrow.as_mut() else {
+                return;
+            };
+            // Close down to and including our own span. Guards drop in
+            // LIFO order, so normally our span *is* the top; anything
+            // above it leaked its guard and gets closed here too.
+            if tracer.open.iter().any(|o| o.id == id) {
+                while tracer.open.last().is_some_and(|o| o.id != id) {
+                    tracer.close_top();
+                }
+                tracer.close_top();
+            }
+        });
+    }
+}
+
+/// A finished trace: completed spans in completion order (children
+/// before their parents), plus how many were dropped to the ring bound.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Completed spans, oldest completion first.
+    pub spans: Vec<TraceSpan>,
+    /// Spans evicted from the ring buffer (0 unless the trace overflowed).
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Appends this trace's spans as Chrome trace-event objects
+    /// (`"ph":"X"` complete events, comma-separated, no surrounding
+    /// brackets) for process `pid`, track `tid`.
+    pub fn write_chrome_events(&self, pid: u32, tid: u32, out: &mut String) {
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":{tid},\"args\":{{\"id\":{}",
+                crate::json_string(&s.label),
+                crate::json_string(s.phase),
+                s.start_us,
+                s.dur_us,
+                s.id
+            );
+            if let Some(parent) = s.parent {
+                let _ = write!(out, ",\"parent\":{parent}");
+            }
+            if let Some(src) = &s.src {
+                let _ = write!(out, ",\"src\":{}", crate::json_string(&src.to_string()));
+            }
+            for (key, value) in &s.notes {
+                let _ = write!(
+                    out,
+                    ",{}:{}",
+                    crate::json_string(key),
+                    crate::json_string(value)
+                );
+            }
+            out.push_str("}}");
+        }
+    }
+}
+
+/// Renders one or more traces as a complete Chrome trace-event JSON
+/// document (loadable in `about:tracing` or Perfetto). Each `(name,
+/// trace)` pair becomes its own track (`tid`), labeled via a
+/// `thread_name` metadata event; parallel build workers each get one.
+/// `extra` key/value pairs (the value must already be valid JSON) are
+/// embedded as additional top-level fields — trace viewers ignore
+/// fields they do not know, so this is where profiles and A/B metadata
+/// ride along.
+pub fn chrome_trace_json(tracks: &[(String, Trace)], extra: &[(&str, String)]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for (tid, (name, _)) in tracks.iter().enumerate() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":{}}}}}",
+            crate::json_string(name)
+        );
+    }
+    for (tid, (_, trace)) in tracks.iter().enumerate() {
+        if !trace.spans.is_empty() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            trace.write_chrome_events(1, tid as u32, &mut out);
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"");
+    let dropped: u64 = tracks.iter().map(|(_, t)| t.dropped).sum();
+    let _ = write!(out, ",\"droppedSpans\":{dropped}");
+    for (key, value) in extra {
+        let _ = write!(out, ",{}:{value}", crate::json_string(key));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_when_not_installed() {
+        assert!(!active());
+        let guard = start("read", "main");
+        note("k", "v");
+        attach_src(Span::synthetic());
+        drop(guard);
+        assert!(uninstall().is_none());
+    }
+
+    #[test]
+    fn spans_nest_and_close_in_order() {
+        install(16);
+        {
+            let _a = start("expand", "main");
+            {
+                let _b = start("typecheck", "main");
+                note("forms", "3");
+            }
+            let _c = start("optimize", "main");
+        }
+        let t = uninstall().expect("installed");
+        assert_eq!(t.spans.len(), 3);
+        assert_eq!(t.dropped, 0);
+        let expand = t
+            .spans
+            .iter()
+            .find(|s| s.phase == "expand")
+            .expect("expand");
+        let check = t
+            .spans
+            .iter()
+            .find(|s| s.phase == "typecheck")
+            .expect("typecheck");
+        let opt = t
+            .spans
+            .iter()
+            .find(|s| s.phase == "optimize")
+            .expect("optimize");
+        assert_eq!(check.parent, Some(expand.id));
+        assert_eq!(opt.parent, Some(expand.id));
+        assert_eq!(expand.parent, None);
+        assert_eq!(check.notes, vec![("forms", "3".to_string())]);
+        // interval containment: children stay inside the parent
+        for child in [check, opt] {
+            assert!(child.start_us >= expand.start_us);
+            assert!(child.start_us + child.dur_us <= expand.start_us + expand.dur_us);
+        }
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        install(2);
+        for i in 0..5 {
+            let _s = start("form", &format!("f{i}"));
+        }
+        let t = uninstall().expect("installed");
+        assert_eq!(t.spans.len(), 2);
+        assert_eq!(t.dropped, 3);
+        assert_eq!(t.spans[0].label, "f3");
+        assert_eq!(t.spans[1].label, "f4");
+    }
+
+    #[test]
+    fn uninstall_force_closes_open_spans() {
+        install(16);
+        let guard = start("run", "main");
+        std::mem::forget(guard);
+        let t = uninstall().expect("installed");
+        assert_eq!(t.spans.len(), 1);
+        assert_eq!(t.spans[0].phase, "run");
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        install(16);
+        {
+            let _a = start_at(
+                "read",
+                "mod \"x\"",
+                Span {
+                    source: lagoon_syntax::Symbol::intern("x.lag"),
+                    start: 0,
+                    end: 1,
+                    line: 3,
+                    col: 1,
+                },
+            );
+        }
+        let t = uninstall().expect("installed");
+        let json = chrome_trace_json(&[("main".to_string(), t)], &[("profile", "[]".to_string())]);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("x.lag:3:1"));
+        assert!(json.contains("\"mod \\\"x\\\"\""));
+        assert!(json.contains("\"profile\":[]"));
+        assert!(json.ends_with('}'));
+    }
+}

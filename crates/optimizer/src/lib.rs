@@ -78,6 +78,9 @@ struct Ctx {
 /// diagnostics are on, logs the decision with its source span.
 fn applied(ctx: &Ctx, family: &'static str, op: &str, rule: &'static str, span: Span) {
     REWRITE_COUNT.with(|c| c.set(c.get() + 1));
+    if lagoon_diag::trace::active() {
+        lagoon_diag::trace::note("rewrite", format!("{op} -> {rule} @ {span}"));
+    }
     if lagoon_diag::enabled() {
         lagoon_diag::emit(Event::Rewrite {
             family,

@@ -58,6 +58,10 @@ pub struct BuildOptions {
     /// Whether workers run the VM's peephole pass (thread-local state,
     /// so it must be forwarded explicitly).
     pub peephole: bool,
+    /// Whether each worker records a structured trace of its phase
+    /// spans. Traces come back on [`BuildReport::traces`], one track
+    /// per worker (see `lagoon_diag::trace`).
+    pub trace: bool,
 }
 
 impl Default for BuildOptions {
@@ -67,6 +71,7 @@ impl Default for BuildOptions {
             cache_dir: None,
             limits: Limits::default(),
             peephole: lagoon_vm::peephole::enabled(),
+            trace: false,
         }
     }
 }
@@ -126,6 +131,9 @@ pub struct BuildReport {
     pub cache_misses: usize,
     /// The merged diagnostics report from every worker.
     pub diag: Report,
+    /// Per-worker phase traces (`(worker index, trace)`), recorded only
+    /// when [`BuildOptions::trace`] was set.
+    pub traces: Vec<(usize, lagoon_diag::trace::Trace)>,
 }
 
 impl BuildReport {
@@ -442,8 +450,10 @@ impl Scheduler {
 // ---------------------------------------------------------------------------
 
 struct WorkerResult {
+    index: usize,
     row: WorkerRow,
     report: Report,
+    trace: Option<lagoon_diag::trace::Trace>,
 }
 
 fn rt_error_text(e: &lagoon_runtime::RtError) -> String {
@@ -460,6 +470,9 @@ fn worker_loop(
     lagoon_vm::peephole::set_enabled(opts.peephole);
     lagoon_diag::limits::install(opts.limits);
     let collector = Collector::install();
+    if opts.trace {
+        lagoon_diag::trace::install(lagoon_diag::trace::DEFAULT_CAPACITY);
+    }
 
     let setup_start = Instant::now();
     let registry = ModuleRegistry::new();
@@ -515,9 +528,16 @@ fn worker_loop(
         });
     }
     lagoon_diag::uninstall();
+    let trace = if opts.trace {
+        lagoon_diag::trace::uninstall()
+    } else {
+        None
+    };
     WorkerResult {
+        index,
         row,
         report: collector.report(),
+        trace,
     }
 }
 
@@ -591,12 +611,14 @@ pub fn build(entries: &[String], source_of: SourceFn, opts: &BuildOptions) -> Bu
             match h.join() {
                 Ok(r) => worker_results.push(r),
                 Err(_) => worker_results.push(WorkerResult {
+                    index: worker_results.len(),
                     row: WorkerRow {
                         busy: Duration::ZERO,
                         setup: Duration::ZERO,
                         modules: 0,
                     },
                     report: Report::default(),
+                    trace: None,
                 }),
             }
         }
@@ -607,10 +629,15 @@ pub fn build(entries: &[String], source_of: SourceFn, opts: &BuildOptions) -> Bu
 
     let mut diag = Report::default();
     let mut workers = Vec::with_capacity(worker_results.len());
+    let mut traces = Vec::new();
     for r in worker_results {
         workers.push(r.row);
         diag.merge(r.report);
+        if let Some(t) = r.trace {
+            traces.push((r.index, t));
+        }
     }
+    traces.sort_by_key(|(i, _)| *i);
     // Count store traffic from the merged cache events, but only for
     // modules in this build's graph: worker registries also hit the
     // store for the prelude and language modules.
@@ -640,6 +667,7 @@ pub fn build(entries: &[String], source_of: SourceFn, opts: &BuildOptions) -> Bu
         cache_hits,
         cache_misses,
         diag,
+        traces,
     }
 }
 

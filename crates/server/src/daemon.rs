@@ -73,6 +73,21 @@ struct QueueState {
     jobs: std::collections::VecDeque<Job>,
 }
 
+/// Bounded history lengths for the time-series gauges: old samples age
+/// out rather than growing without bound in a long-lived daemon.
+const DEPTH_SERIES_CAP: usize = 512;
+const WORKER_SPANS_CAP: usize = 256;
+
+/// One completed request as a worker-occupancy span (for the `stats`
+/// op's `worker_spans` gauge).
+struct WorkerSpan {
+    worker: usize,
+    op: String,
+    trace_id: String,
+    start_ms: f64,
+    dur_ms: f64,
+}
+
 /// Aggregated server statistics, updated by workers and the acceptor.
 #[derive(Default)]
 struct StatsInner {
@@ -85,6 +100,13 @@ struct StatsInner {
     cache_misses: u64,
     per_op: BTreeMap<String, Histogram>,
     worker_busy: Vec<Duration>,
+    /// Highest interner symbol count sampled at a request completion.
+    interner_high_water: u64,
+    /// Queue depth over time: `(ms since start, depth)`, sampled at
+    /// every enqueue and completion, last [`DEPTH_SERIES_CAP`] points.
+    depth_series: std::collections::VecDeque<(u64, u64)>,
+    /// Recent completed requests as worker busy spans.
+    worker_spans: std::collections::VecDeque<WorkerSpan>,
 }
 
 struct Shared {
@@ -94,6 +116,9 @@ struct Shared {
     stats: Mutex<StatsInner>,
     opts: ServeOptions,
     started: Instant,
+    /// Interner symbol count when the server started, the baseline for
+    /// the `stats` op's memory-growth gauge.
+    interner_start: usize,
 }
 
 impl Shared {
@@ -117,6 +142,7 @@ impl Shared {
         let mut stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
         stats.enqueued += 1;
         stats.max_depth = stats.max_depth.max(depth as u64);
+        stats.record_depth(self.started.elapsed().as_millis() as u64, depth as u64);
         drop(stats);
         self.cv.notify_one();
         Ok(())
@@ -163,6 +189,26 @@ impl Shared {
             let parsed = json::parse(&h.to_json()).unwrap_or(Json::Null);
             ops.insert(op.clone(), parsed);
         }
+        let depth_series: Vec<Json> = s
+            .depth_series
+            .iter()
+            .map(|(ms, d)| Json::Arr(vec![Json::Num(*ms as f64), Json::Num(*d as f64)]))
+            .collect();
+        let worker_spans: Vec<Json> = s
+            .worker_spans
+            .iter()
+            .map(|w| {
+                obj(vec![
+                    ("worker", Json::Num(w.worker as f64)),
+                    ("op", Json::Str(w.op.clone())),
+                    ("trace_id", Json::Str(w.trace_id.clone())),
+                    ("start_ms", Json::Num(w.start_ms)),
+                    ("ms", Json::Num(w.dur_ms)),
+                ])
+            })
+            .collect();
+        let interned = lagoon_syntax::interned_count() as u64;
+        let (store_bytes, store_artifacts) = store_gauges(self.opts.cache_dir.as_ref());
         obj(vec![
             ("uptime_ms", Json::Num(wall * 1e3)),
             ("workers", Json::Num(self.opts.workers as f64)),
@@ -174,6 +220,33 @@ impl Shared {
                     ("capacity", Json::Num(self.opts.queue_cap as f64)),
                     ("enqueued", Json::Num(s.enqueued as f64)),
                     ("rejected", Json::Num(s.rejected as f64)),
+                    ("depth_series", Json::Arr(depth_series)),
+                ]),
+            ),
+            (
+                // The interner is append-only (ROADMAP: documented
+                // growth under inline-source load), so the live symbol
+                // count doubles as a memory gauge; `growth` is the
+                // symbols added since this server started.
+                "interner",
+                obj(vec![
+                    ("symbols", Json::Num(interned as f64)),
+                    ("at_start", Json::Num(self.interner_start as f64)),
+                    (
+                        "growth",
+                        Json::Num(interned.saturating_sub(self.interner_start as u64) as f64),
+                    ),
+                    (
+                        "high_water",
+                        Json::Num(s.interner_high_water.max(interned) as f64),
+                    ),
+                ]),
+            ),
+            (
+                "store",
+                obj(vec![
+                    ("bytes", Json::Num(store_bytes as f64)),
+                    ("artifacts", Json::Num(store_artifacts as f64)),
                 ]),
             ),
             (
@@ -193,9 +266,31 @@ impl Shared {
             ),
             ("utilization", Json::Num(utilization)),
             ("worker_busy_ms", Json::Arr(busy_ms)),
+            ("worker_spans", Json::Arr(worker_spans)),
             ("ops", Json::Obj(ops)),
         ])
     }
+}
+
+/// Total size and count of `.lagc` artifacts in the store directory
+/// (zeroes when there is no store or it cannot be read).
+fn store_gauges(dir: Option<&PathBuf>) -> (u64, u64) {
+    let Some(dir) = dir else { return (0, 0) };
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return (0, 0);
+    };
+    let (mut bytes, mut artifacts) = (0u64, 0u64);
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("lagc") {
+            continue;
+        }
+        if let Ok(meta) = entry.metadata() {
+            bytes += meta.len();
+            artifacts += 1;
+        }
+    }
+    (bytes, artifacts)
 }
 
 impl StatsInner {
@@ -212,6 +307,20 @@ impl StatsInner {
             self.worker_busy.resize(worker + 1, Duration::ZERO);
         }
         self.worker_busy[worker] += latency;
+    }
+
+    fn record_depth(&mut self, at_ms: u64, depth: u64) {
+        if self.depth_series.len() == DEPTH_SERIES_CAP {
+            self.depth_series.pop_front();
+        }
+        self.depth_series.push_back((at_ms, depth));
+    }
+
+    fn record_span(&mut self, span: WorkerSpan) {
+        if self.worker_spans.len() == WORKER_SPANS_CAP {
+            self.worker_spans.pop_front();
+        }
+        self.worker_spans.push_back(span);
     }
 }
 
@@ -244,6 +353,7 @@ impl Server {
             stats: Mutex::new(StatsInner::default()),
             opts,
             started: Instant::now(),
+            interner_start: lagoon_syntax::interned_count(),
         });
 
         let mut worker_handles = Vec::with_capacity(workers);
@@ -532,6 +642,7 @@ fn worker_main(index: usize, shared: &Arc<Shared>) {
         });
     }
     static REQ_ID: AtomicU64 = AtomicU64::new(0);
+    static TRACE_SEQ: AtomicU64 = AtomicU64::new(0);
 
     loop {
         let job = {
@@ -553,24 +664,54 @@ fn worker_main(index: usize, shared: &Arc<Shared>) {
         let Some(job) = job else { return };
 
         let start = Instant::now();
+        let start_ms = start.duration_since(shared.started).as_secs_f64() * 1e3;
         let op = job
             .request
             .get("op")
             .and_then(Json::as_str)
             .unwrap_or("run")
             .to_string();
+        let trace_id = request_trace_id(&job.request, &TRACE_SEQ);
         let response = handle_request(&registry, &job.request, &op, shared, &REQ_ID);
         let latency = start.elapsed();
         let is_err = response.get("ok").and_then(Json::as_bool) != Some(true);
+        let depth = {
+            let q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.jobs.len() as u64
+        };
         {
             let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
             stats.record_op(&op, latency, index, is_err);
+            stats.record_depth(shared.started.elapsed().as_millis() as u64, depth);
+            stats.record_span(WorkerSpan {
+                worker: index,
+                op: op.clone(),
+                trace_id: trace_id.clone(),
+                start_ms,
+                dur_ms: latency.as_secs_f64() * 1e3,
+            });
+            stats.interner_high_water = stats
+                .interner_high_water
+                .max(lagoon_syntax::interned_count() as u64);
         }
         let mut response = response;
         if let Json::Obj(map) = &mut response {
             map.insert("micros".to_string(), Json::Num(latency.as_micros() as f64));
+            map.insert("trace_id".to_string(), Json::Str(trace_id));
         }
         let _ = job.reply.send(response.to_string());
+    }
+}
+
+/// The request's correlation id: a client-supplied `"trace_id"` string
+/// (bounded, so a hostile client cannot bloat the span history) or a
+/// generated `lag-N`. Echoed on the response and recorded on the
+/// request's worker span, so clients can line up their own telemetry
+/// with the daemon's.
+fn request_trace_id(request: &Json, seq: &AtomicU64) -> String {
+    match request.get("trace_id").and_then(Json::as_str) {
+        Some(id) if !id.is_empty() => id.chars().take(64).collect(),
+        _ => format!("lag-{}", seq.fetch_add(1, Ordering::Relaxed)),
     }
 }
 
@@ -676,8 +817,15 @@ fn handle_request(
         Ok(v) => v,
         Err(e) => rt_error_json(&e),
     };
-    if want_diag {
-        if let Json::Obj(map) = &mut response {
+    if let Json::Obj(map) = &mut response {
+        // Per-phase span summary (pipeline buckets, ms). Present on
+        // errors too: a failed request still shows how far it got.
+        let mut phases = BTreeMap::new();
+        for (name, nanos) in report.timing_buckets() {
+            phases.insert(name.to_string(), Json::Num(nanos as f64 / 1e6));
+        }
+        map.insert("phases".to_string(), Json::Obj(phases));
+        if want_diag {
             let parsed = json::parse(&report.to_json()).unwrap_or(Json::Null);
             map.insert("report".to_string(), parsed);
         }

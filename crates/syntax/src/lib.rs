@@ -46,6 +46,6 @@ pub use reader::{
 };
 pub use scope::{Scope, ScopeSet};
 pub use span::Span;
-pub use symbol::{fresh_scope, strip_gensym, FreshScope, Symbol};
+pub use symbol::{fresh_scope, interned_count, strip_gensym, FreshScope, Symbol};
 pub use syntax::{PropValue, SynData, Syntax};
 pub use wire::{fnv1a, Reader as WireReader, WireError, Writer as WireWriter};

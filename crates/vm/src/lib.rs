@@ -27,6 +27,8 @@ pub mod interp;
 pub mod ir;
 pub mod machine;
 pub mod peephole;
+#[cfg(feature = "vm-profile")]
+pub mod profile;
 
 pub mod codec;
 

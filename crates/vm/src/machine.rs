@@ -268,6 +268,11 @@ fn exec_loop<const COUNT: bool>(
     loop {
         if *fuel == 0 {
             *fuel = lagoon_diag::limits::vm_take_fuel().map_err(RtError::from)?;
+            // sampling profiler: attribute this fuel chunk to the
+            // innermost running function (rarely-taken branch, so the
+            // hot path carries no per-opcode cost)
+            #[cfg(feature = "vm-profile")]
+            crate::profile::sample(cur.proto.name);
         }
         *fuel -= 1;
         let op = cur.proto.code[cur.ip];

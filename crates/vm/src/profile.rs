@@ -1,0 +1,116 @@
+//! A sampling profiler for the VM (the `vm-profile` feature).
+//!
+//! The machine draws its step budget in chunks (see
+//! `lagoon_diag::limits::vm_take_fuel`), so the dispatch loop already
+//! has a rarely-taken refill branch — at most once per 65,536 steps.
+//! This module hangs a sample off that branch: each refill attributes
+//! one whole fuel chunk to the innermost function running at that
+//! moment, giving a statistical per-function step profile with *zero*
+//! per-opcode cost. Like the opcode counters, sampling is doubly
+//! gated — the feature compiles the hook in, and [`set_active`] turns
+//! it on for a particular run — so the refill branch costs one
+//! thread-local flag read when profiling is off.
+//!
+//! Chunk-granular sampling is coarse by design: a function must burn
+//! on the order of a chunk of steps to register reliably. That is the
+//! right bias for a profiler whose job is finding where the time goes.
+
+use lagoon_syntax::Symbol;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+thread_local! {
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static SAMPLES: RefCell<HashMap<Option<Symbol>, u64>> = RefCell::new(HashMap::new());
+}
+
+/// Turns sampling on or off for this thread.
+pub fn set_active(active: bool) {
+    ACTIVE.with(|a| a.set(active));
+}
+
+/// Whether sampling is currently active on this thread.
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.with(Cell::get)
+}
+
+/// Records one fuel-chunk sample against `name` (the innermost
+/// function's proto name; `None` for anonymous or top-level code).
+/// Called by the machine at each fuel refill; a flag read when off.
+#[inline]
+pub fn sample(name: Option<Symbol>) {
+    if !active() {
+        return;
+    }
+    SAMPLES.with(|s| *s.borrow_mut().entry(name).or_insert(0) += 1);
+}
+
+/// Clears all recorded samples.
+pub fn reset() {
+    SAMPLES.with(|s| s.borrow_mut().clear());
+}
+
+/// The recorded samples as `(function, chunks)` rows, sorted by
+/// descending count (ties by name for stable output). Gensym suffixes
+/// are stripped so alpha-renamed user functions aggregate under the
+/// name the user wrote; anonymous code reports as `<anonymous>`.
+pub fn snapshot() -> Vec<(String, u64)> {
+    let mut merged: HashMap<String, u64> = HashMap::new();
+    SAMPLES.with(|s| {
+        for (name, count) in s.borrow().iter() {
+            let label = match name {
+                Some(sym) => sym.with_str(|n| lagoon_syntax::strip_gensym(n).to_string()),
+                None => "<anonymous>".to_string(),
+            };
+            *merged.entry(label).or_insert(0) += count;
+        }
+    });
+    let mut rows: Vec<(String, u64)> = merged.into_iter().collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    rows
+}
+
+/// The snapshot as a JSON array of `{"fn","chunks"}` rows.
+pub fn snapshot_json() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("[");
+    for (i, (name, chunks)) in snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"fn\":{},\"chunks\":{chunks}}}",
+            lagoon_diag::json_string(name)
+        );
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_accumulate_and_reset() {
+        reset();
+        set_active(true);
+        sample(Some(Symbol::intern("fib")));
+        sample(Some(Symbol::intern("fib")));
+        sample(Some(Symbol::fresh("loop")));
+        sample(None);
+        set_active(false);
+        sample(Some(Symbol::intern("ignored-while-off")));
+        let snap = snapshot();
+        assert_eq!(snap[0], ("fib".to_string(), 2));
+        assert!(snap.contains(&("loop".to_string(), 1)));
+        assert!(snap.contains(&("<anonymous>".to_string(), 1)));
+        assert!(!snap.iter().any(|(n, _)| n == "ignored-while-off"));
+        let json = snapshot_json();
+        assert!(json.contains("\"fn\":\"fib\""), "{json}");
+        reset();
+        assert!(snapshot().is_empty());
+    }
+}

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! lagoon run <file.lag> [--interp] [--stats [--json]] [--no-peephole]
-//!            [--no-cache] [--cache-dir <dir>] [limit options]
+//!            [--no-cache] [--cache-dir <dir>] [--trace <out.json>]
+//!            [limit options]
 //!                                      run a program (required modules
 //!                                      resolve lazily to sibling
 //!                                      <name>.lag files at compile time);
@@ -18,18 +19,28 @@
 //!                                      artifacts under <dir>/compiled (or
 //!                                      --cache-dir) and are reused while
 //!                                      fresh; --no-cache disables this.
+//!                                      --trace writes a Chrome trace-event
+//!                                      JSON file (load it in Perfetto or
+//!                                      chrome://tracing) of nested phase
+//!                                      spans with source attribution, plus
+//!                                      a VM sampling profile.
 //! lagoon expand <file.lag> [--timings] print the fully-expanded core forms
 //! lagoon repl [--typed]                interactive prompt
 //!
 //! lagoon build <entry.lag>... [--jobs N] [--cache-dir <dir>]
-//!              [--no-peephole] [--stats [--json]] [limit options]
+//!              [--no-peephole] [--stats [--json]] [--trace <out.json>]
+//!              [limit options]
 //!                                      compile a module graph in parallel:
 //!                                      the graph is scanned from top-level
 //!                                      (require ...) forms and scheduled as
 //!                                      a wavefront over N workers sharing
-//!                                      one .lagc store. Deterministic
-//!                                      freshening makes --jobs N output
-//!                                      byte-identical to --jobs 1.
+//!                                      one .lagc store. N defaults to the
+//!                                      host's available cores (a warning is
+//!                                      printed when N oversubscribes them).
+//!                                      Deterministic freshening makes
+//!                                      --jobs N output byte-identical to
+//!                                      --jobs 1. --trace writes one Chrome
+//!                                      trace track per worker.
 //! lagoon serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!              [--root <dir>] [--cache-dir <dir>] [--no-peephole]
 //!              [limit options]         evaluation daemon: newline-delimited
@@ -58,7 +69,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  lagoon run <file.lag> [--interp] [--stats [--json]] [--no-peephole] [--no-cache] [--cache-dir <dir>] [limit options]\n  lagoon expand <file.lag> [--timings]\n  lagoon repl [--typed]\n  lagoon build <entry.lag>... [--jobs N] [--cache-dir <dir>] [--no-peephole] [--stats [--json]] [limit options]\n  lagoon serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--root <dir>] [--cache-dir <dir>] [--no-peephole] [limit options]\n  lagoon remote --addr HOST:PORT <run|expand|check|stats|shutdown> [<file.lag>] [--json] [limit options]\n\nlimit options:\n  --max-steps <n>  --max-expand-steps <n>  --max-expand-depth <n>\n  --max-phase1-steps <n>  --max-stack-depth <n>  --timeout-ms <n>"
+        "usage:\n  lagoon run <file.lag> [--interp] [--stats [--json]] [--no-peephole] [--no-cache] [--cache-dir <dir>] [--trace <out.json>] [limit options]\n  lagoon expand <file.lag> [--timings]\n  lagoon repl [--typed]\n  lagoon build <entry.lag>... [--jobs N] [--cache-dir <dir>] [--no-peephole] [--stats [--json]] [--trace <out.json>] [limit options]\n  lagoon serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--root <dir>] [--cache-dir <dir>] [--no-peephole] [limit options]\n  lagoon remote --addr HOST:PORT <run|expand|check|stats|shutdown> [<file.lag>] [--json] [limit options]\n\nlimit options:\n  --max-steps <n>  --max-expand-steps <n>  --max-expand-depth <n>\n  --max-phase1-steps <n>  --max-stack-depth <n>  --timeout-ms <n>"
     );
     ExitCode::from(2)
 }
@@ -149,7 +160,9 @@ fn main() -> ExitCode {
                         file.parent().unwrap_or(Path::new(".")).join("compiled")
                     }))
                 };
-            if stats {
+            if let Some(trace_out) = flag_value(&args, "--trace") {
+                run_file_traced(file, engine, Path::new(trace_out), limits, cache_dir)
+            } else if stats {
                 run_file_with_stats(file, engine, json, limits, cache_dir)
             } else {
                 run_file(file, engine, limits, cache_dir)
@@ -178,13 +191,21 @@ fn build_cmd(args: &[String]) -> ExitCode {
     if entries.is_empty() {
         return usage();
     }
-    let jobs = match parse_flag(args, "--jobs", 1usize) {
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let jobs = match parse_flag(args, "--jobs", host_cpus) {
         Ok(j) => j,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::from(2);
         }
     };
+    if jobs > host_cpus {
+        eprintln!(
+            "warning: --jobs {jobs} oversubscribes the host ({host_cpus} available \
+             core{}); workers are CPU-bound, so extra threads only add contention",
+            if host_cpus == 1 { "" } else { "s" }
+        );
+    }
     let limits = match parse_limits(args) {
         Ok(l) => l.unwrap_or_default(),
         Err(e) => {
@@ -212,13 +233,28 @@ fn build_cmd(args: &[String]) -> ExitCode {
             }
         }
     }
+    let trace_out = flag_value(args, "--trace").map(PathBuf::from);
     let opts = lagoon::server::BuildOptions {
         jobs,
         cache_dir: Some(cache_dir),
         limits,
         peephole: !args.iter().any(|a| a == "--no-peephole"),
+        trace: trace_out.is_some(),
     };
     let report = lagoon::server::build(&names, lagoon::server::dir_source(root), &opts);
+    if let Some(path) = &trace_out {
+        let tracks: Vec<(String, lagoon::diag::trace::Trace)> = report
+            .traces
+            .iter()
+            .map(|(i, t)| (format!("worker {i}"), t.clone()))
+            .collect();
+        let json = lagoon::diag::trace::chrome_trace_json(&tracks, &[]);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write trace {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("trace written to {}", path.display());
+    }
     if args.iter().any(|a| a == "--json") {
         println!("{}", report.to_json());
     } else {
@@ -456,6 +492,63 @@ fn run_file(
         }
     };
     match lagoon.run(&main, engine) {
+        Ok(v) => {
+            if !matches!(v, lagoon::Value::Void) {
+                println!("{}", v.write_string());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `lagoon run --trace out.json`: runs with the structured tracer (and,
+/// when the `vm-profile` feature is on, the VM sampling profiler)
+/// installed, then writes a Chrome trace-event JSON file loadable in
+/// Perfetto or chrome://tracing.
+fn run_file_traced(
+    file: &Path,
+    engine: EngineKind,
+    out_path: &Path,
+    limits: Option<Limits>,
+    cache_dir: Option<PathBuf>,
+) -> ExitCode {
+    let lagoon = Lagoon::new();
+    if let Some(limits) = limits {
+        lagoon.set_limits(limits);
+    }
+    lagoon.set_cache_dir(cache_dir);
+    let main = match setup_program(&lagoon, file) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    #[cfg(feature = "vm-profile")]
+    {
+        lagoon_vm::profile::reset();
+        lagoon_vm::profile::set_active(true);
+    }
+    let (result, trace) = lagoon.run_traced(&main, engine);
+    #[cfg_attr(not(feature = "vm-profile"), allow(unused_mut))]
+    let mut extra: Vec<(&str, String)> = Vec::new();
+    #[cfg(feature = "vm-profile")]
+    {
+        lagoon_vm::profile::set_active(false);
+        extra.push(("vmProfile", lagoon_vm::profile::snapshot_json()));
+    }
+    let tracks = [("main".to_string(), trace)];
+    let json = lagoon::diag::trace::chrome_trace_json(&tracks, &extra);
+    if let Err(e) = std::fs::write(out_path, json) {
+        eprintln!("cannot write trace {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("trace written to {}", out_path.display());
+    match result {
         Ok(v) => {
             if !matches!(v, lagoon::Value::Void) {
                 println!("{}", v.write_string());

@@ -292,3 +292,96 @@ fn daemon_backpressure_rejects_rather_than_queues_unboundedly() {
 
     daemon.shutdown();
 }
+
+#[test]
+fn daemon_stats_gauges_trace_ids_and_interner_growth() {
+    let daemon = Daemon::spawn(&[]);
+    let addr = daemon.addr.clone();
+
+    let gauge = |stats: &Json, outer: &str, inner: &str| -> u64 {
+        stats
+            .get(outer)
+            .and_then(|o| o.get(inner))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("stats missing {outer}.{inner}: {stats}"))
+    };
+    let before = roundtrip(&addr, "{\"op\":\"stats\"}");
+    let symbols_before = gauge(&before, "interner", "symbols");
+    assert!(
+        gauge(&before, "interner", "at_start") <= symbols_before,
+        "baseline precedes the current count: {before}"
+    );
+
+    // inline-source load with request-unique identifiers: each request
+    // interns symbols the registry eviction cannot free (the documented
+    // append-only interner growth)
+    for i in 0..12 {
+        let source = format!("#lang lagoon\n(define gauge-probe-{i} {i})\n(+ gauge-probe-{i} 1)\n");
+        let response = roundtrip(&addr, &client::inline_request("run", &source, vec![]));
+        assert_eq!(
+            response.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{response}"
+        );
+        // every response carries a generated trace id and a per-phase
+        // pipeline summary
+        assert!(
+            response.get("trace_id").and_then(Json::as_str).is_some(),
+            "missing trace_id: {response}"
+        );
+        let phases = response
+            .get("phases")
+            .unwrap_or_else(|| panic!("missing phases: {response}"));
+        for key in ["read", "expand", "check", "compile", "load", "run"] {
+            assert!(
+                matches!(phases.get(key), Some(Json::Num(_))),
+                "phases missing {key}: {response}"
+            );
+        }
+    }
+
+    // a client-supplied trace id is echoed back verbatim
+    let tagged = client::inline_request("run", "#lang lagoon\n(+ 1 2)\n", vec![]).replacen(
+        '{',
+        "{\"trace_id\":\"probe-xyz\",",
+        1,
+    );
+    let response = roundtrip(&addr, &tagged);
+    assert_eq!(
+        response.get("trace_id").and_then(Json::as_str),
+        Some("probe-xyz"),
+        "{response}"
+    );
+
+    let after = roundtrip(&addr, "{\"op\":\"stats\"}");
+    let symbols_after = gauge(&after, "interner", "symbols");
+    assert!(
+        symbols_after > symbols_before,
+        "12 inline requests with fresh identifiers must grow the interner: \
+         {symbols_before} -> {symbols_after}"
+    );
+    assert!(gauge(&after, "interner", "high_water") >= symbols_after);
+    assert!(gauge(&after, "interner", "growth") >= symbols_after - symbols_before);
+    // store gauge present (zero: this daemon has no cache dir); queue
+    // depth series and worker spans recorded the traffic
+    assert!(after.get("store").and_then(|s| s.get("bytes")).is_some());
+    let series = match after.get("queue").and_then(|q| q.get("depth_series")) {
+        Some(Json::Arr(series)) => series,
+        other => panic!("queue.depth_series missing: {other:?}"),
+    };
+    assert!(!series.is_empty());
+    let spans = match after.get("worker_spans") {
+        Some(Json::Arr(spans)) => spans,
+        other => panic!("worker_spans missing: {other:?}"),
+    };
+    assert!(spans.len() >= 13, "expected a span per request: {after}");
+    assert!(spans
+        .iter()
+        .any(|s| s.get("trace_id").and_then(Json::as_str) == Some("probe-xyz")));
+    for span in spans {
+        assert!(span.get("op").and_then(Json::as_str).is_some());
+        assert!(span.get("worker").and_then(Json::as_u64).is_some());
+    }
+
+    daemon.shutdown();
+}
