@@ -11,9 +11,10 @@
 //!    what turning tracing *on* costs on top.
 //! 2. **Daemon soak** — a stream of inline-source `run` requests
 //!    against an in-process [`Server`], sampling the `stats` op's
-//!    interner gauge along the way. The interner is append-only, so the
-//!    series makes the daemon's documented per-request symbol growth
-//!    (ROADMAP) visible and quantified.
+//!    interner gauge along the way. The gauge counts the sealed arena
+//!    plus every worker's epoch table; per-request epoch truncation
+//!    holds the series flat where the old process-global interner grew
+//!    ~3.2 symbols per request.
 
 use crate::{benchmarks_for, median, prepare, Config, Figure};
 use lagoon_server::json;
@@ -104,7 +105,7 @@ pub fn bench6_ab(
     Ok(rows)
 }
 
-/// The daemon-soak record: interner growth under inline-source load.
+/// The daemon-soak record: interner stability under inline-source load.
 #[derive(Clone, Debug)]
 pub struct Bench6Soak {
     /// Daemon worker count.
@@ -132,10 +133,14 @@ impl Bench6Soak {
     }
 }
 
-fn stats_gauge(addr: &str, path: &[&str]) -> Result<u64, String> {
+pub(crate) fn stats_snapshot(addr: &str) -> Result<json::Json, String> {
     let response = client::request_line(addr, "{\"op\":\"stats\"}", Some(Duration::from_secs(30)))
         .map_err(|e| format!("stats request: {e}"))?;
-    let parsed = json::parse(&response).map_err(|e| format!("stats parse: {e}"))?;
+    json::parse(&response).map_err(|e| format!("stats parse: {e}"))
+}
+
+pub(crate) fn stats_gauge(addr: &str, path: &[&str]) -> Result<u64, String> {
+    let parsed = stats_snapshot(addr)?;
     let mut cur = &parsed;
     for key in path {
         cur = cur
@@ -144,6 +149,32 @@ fn stats_gauge(addr: &str, path: &[&str]) -> Result<u64, String> {
     }
     cur.as_u64()
         .ok_or_else(|| format!("stats gauge {} is not numeric", path.join(".")))
+}
+
+/// Blocks until every worker has built its world and published its
+/// bootstrap epoch gauge, so soak baselines are not raced by worker
+/// startup.
+pub(crate) fn wait_for_worker_baselines(addr: &str, workers: usize) -> Result<(), String> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = stats_snapshot(addr)?;
+        let epochs = stats
+            .get("interner")
+            .and_then(|i| i.get("worker_epochs"))
+            .and_then(|w| match w {
+                json::Json::Arr(items) => Some(items),
+                _ => None,
+            });
+        if let Some(epochs) = epochs {
+            if epochs.len() >= workers && epochs.iter().all(|e| e.as_u64().unwrap_or(0) > 0) {
+                return Ok(());
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(format!("workers never published baselines: {stats}"));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
 }
 
 /// Sends `requests` sequential inline-source `run` requests to an
@@ -169,12 +200,13 @@ pub fn bench6_soak(
     let addr = server.addr().to_string();
     let sample_every = sample_every.max(1);
 
+    wait_for_worker_baselines(&addr, workers)?;
     let interner_start = stats_gauge(&addr, &["interner", "symbols"])?;
     let mut series = Vec::new();
     for i in 0..requests {
-        // a fresh top-level identifier per request: the symbol (and the
-        // request's `req/{id}` module name) stays interned after the
-        // module itself is evicted
+        // a fresh top-level identifier per request: under the old
+        // process-global interner these accumulated forever; epoch
+        // truncation now reclaims them before the response is sent
         let source = format!("#lang lagoon\n(define soak-v{i} {i})\n(+ soak-v{i} 1)\n");
         let request = client::inline_request("run", &source, vec![]);
         let response = client::request_line(&addr, &request, Some(Duration::from_secs(30)))
@@ -273,21 +305,18 @@ mod tests {
     }
 
     #[test]
-    fn soak_observes_interner_growth() {
+    fn soak_observes_flat_interner() {
         let soak = bench6_soak(10, 5, 2).unwrap();
         assert_eq!(soak.requests, 10);
         assert_eq!(soak.series.len(), 2);
-        assert!(
-            soak.interner_end > soak.interner_start,
-            "inline-source load did not grow the interner: {} -> {}",
-            soak.interner_start,
-            soak.interner_end
+        assert_eq!(
+            soak.interner_end, soak.interner_start,
+            "inline-source load must not grow the per-world interners"
         );
-        // series is monotone: the interner never shrinks
-        let mut prev = soak.interner_start;
+        assert_eq!(soak.growth_per_request(), 0.0);
+        // the whole series is flat: every sample sits at the baseline
         for (_, symbols) in &soak.series {
-            assert!(*symbols >= prev);
-            prev = *symbols;
+            assert_eq!(*symbols, soak.interner_start);
         }
         let json = bench6_json(&bench6_ab(&[Figure::Fig8], 1).unwrap(), &soak);
         assert!(json.contains("\"overhead\""));

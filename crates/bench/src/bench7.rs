@@ -1,0 +1,471 @@
+//! The `BENCH_7.json` experiment: daemon memory stability and
+//! self-healing overhead.
+//!
+//! Four measurements back EXPERIMENTS.md's "Memory stability &
+//! self-healing" entry:
+//!
+//! 1. **Leak-free soak** — a long stream of inline-source `run`
+//!    requests with request-unique identifiers, sampling the interner
+//!    gauge and the process RSS along the way. The fitted per-request
+//!    slope of the symbol series is the leak gauge: 0.0 under epoch
+//!    truncation, ~3.2 under the old process-global interner (BENCH_6).
+//! 2. **High-water check** — the gauge's high-water mark stays at the
+//!    settled baseline: requests borrow symbols, they don't keep them.
+//! 3. **Recycle overhead A/B** — the same request stream with
+//!    `recycle_after` off and at 1 (a full world rebuild per request,
+//!    the worst case), quantifying what `--recycle-after N` costs.
+//! 4. **Retry under flood** — retrying clients against a deliberately
+//!    overloaded daemon (1 worker, 1-deep queue, a slow-request flood):
+//!    every retrier must land, and their p50/p99 wall times bound what
+//!    backoff costs.
+
+use crate::bench6::{stats_gauge, wait_for_worker_baselines};
+use lagoon_server::{client, ServeOptions, Server};
+use std::time::{Duration, Instant};
+
+/// Least-squares slope of `series` (y per unit x). Zero for fewer than
+/// two points or a degenerate x range.
+pub fn least_squares_slope(series: &[(u64, u64)]) -> f64 {
+    if series.len() < 2 {
+        return 0.0;
+    }
+    let n = series.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for (x, y) in series {
+        let (x, y) = (*x as f64, *y as f64);
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < f64::EPSILON {
+        return 0.0;
+    }
+    (n * sxy - sx * sy) / denom
+}
+
+/// This process's resident set size in kilobytes, from
+/// `/proc/self/status` (`None` off Linux).
+pub fn rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// The long-soak record: symbol and RSS series under inline-source
+/// load, with the fitted leak slope.
+#[derive(Clone, Debug)]
+pub struct Bench7Soak {
+    /// Daemon worker count.
+    pub workers: usize,
+    /// Inline-source `run` requests sent (all must succeed).
+    pub requests: usize,
+    /// Interner symbols at the settled baseline.
+    pub interner_start: u64,
+    /// Interner symbols after the last request.
+    pub interner_end: u64,
+    /// `(requests, interner symbols)` samples.
+    pub series: Vec<(u64, u64)>,
+    /// `(requests, VmRSS kB)` samples (empty off Linux).
+    pub rss_series: Vec<(u64, u64)>,
+    /// The gauge's high-water mark after the soak.
+    pub high_water: u64,
+    /// Interner growth beyond the baseline after the soak.
+    pub growth: u64,
+}
+
+impl Bench7Soak {
+    /// Fitted interner slope, symbols per request.
+    pub fn symbol_slope(&self) -> f64 {
+        least_squares_slope(&self.series)
+    }
+
+    /// Fitted RSS slope, kB per request.
+    pub fn rss_slope_kb(&self) -> f64 {
+        least_squares_slope(&self.rss_series)
+    }
+}
+
+/// Soaks an in-process daemon with `requests` sequential inline-source
+/// `run` requests (request-unique identifiers), sampling gauges every
+/// `sample_every`.
+///
+/// # Errors
+///
+/// Returns daemon start failures, failed requests, and malformed
+/// `stats` responses rendered as text.
+pub fn bench7_soak(
+    requests: usize,
+    sample_every: usize,
+    workers: usize,
+) -> Result<Bench7Soak, String> {
+    let server = Server::start(ServeOptions {
+        workers,
+        ..ServeOptions::default()
+    })
+    .map_err(|e| format!("start daemon: {e}"))?;
+    let addr = server.addr().to_string();
+    let sample_every = sample_every.max(1);
+
+    wait_for_worker_baselines(&addr, workers)?;
+    let interner_start = stats_gauge(&addr, &["interner", "symbols"])?;
+    let mut series = Vec::new();
+    let mut rss_series = Vec::new();
+    for i in 0..requests {
+        let source = format!("#lang lagoon\n(define soak7-v{i} {i})\n(* soak7-v{i} 2)\n");
+        let request = client::inline_request("run", &source, vec![]);
+        let response = client::request_line(&addr, &request, Some(Duration::from_secs(30)))
+            .map_err(|e| format!("request {i}: {e}"))?;
+        if !response.contains("\"ok\":true") {
+            return Err(format!("request {i} failed: {response}"));
+        }
+        if (i + 1) % sample_every == 0 {
+            let done = (i + 1) as u64;
+            series.push((done, stats_gauge(&addr, &["interner", "symbols"])?));
+            if let Some(kb) = rss_kb() {
+                rss_series.push((done, kb));
+            }
+        }
+    }
+    let interner_end = stats_gauge(&addr, &["interner", "symbols"])?;
+    let high_water = stats_gauge(&addr, &["interner", "high_water"])?;
+    let growth = stats_gauge(&addr, &["interner", "growth"])?;
+    server.shutdown();
+    server.wait();
+
+    Ok(Bench7Soak {
+        workers,
+        requests,
+        interner_start,
+        interner_end,
+        series,
+        rss_series,
+        high_water,
+        growth,
+    })
+}
+
+/// The recycle-overhead A/B: median request latency with worker
+/// recycling off versus a rebuild-per-request worst case.
+#[derive(Clone, Debug)]
+pub struct Bench7Recycle {
+    /// Requests timed per arm.
+    pub requests: usize,
+    /// Median latency, recycling off, ms.
+    pub off_ms: f64,
+    /// Median latency at `recycle_after = 1`, ms.
+    pub every_ms: f64,
+    /// Worlds actually recycled in the on arm.
+    pub recycles: u64,
+}
+
+impl Bench7Recycle {
+    /// Rebuild-per-request overhead over the off baseline, in percent.
+    pub fn overhead_percent(&self) -> f64 {
+        if self.off_ms <= 0.0 {
+            return 0.0;
+        }
+        (self.every_ms / self.off_ms - 1.0) * 100.0
+    }
+}
+
+fn timed_requests(addr: &str, requests: usize, tag: &str) -> Result<Vec<f64>, String> {
+    let mut latencies = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let source = format!("#lang lagoon\n(define {tag}-{i} {i})\n(+ {tag}-{i} 3)\n");
+        let request = client::inline_request("run", &source, vec![]);
+        let start = Instant::now();
+        let response = client::request_line(addr, &request, Some(Duration::from_secs(30)))
+            .map_err(|e| format!("{tag} request {i}: {e}"))?;
+        latencies.push(start.elapsed().as_secs_f64() * 1000.0);
+        if !response.contains("\"ok\":true") {
+            return Err(format!("{tag} request {i} failed: {response}"));
+        }
+    }
+    Ok(latencies)
+}
+
+/// Times `requests` sequential requests against a 1-worker daemon with
+/// recycling off, then against one rebuilding its world after every
+/// request.
+///
+/// # Errors
+///
+/// Returns daemon start failures and failed requests rendered as text.
+pub fn bench7_recycle(requests: usize) -> Result<Bench7Recycle, String> {
+    let mut medians = Vec::new();
+    let mut recycles = 0;
+    for recycle_after in [0usize, 1] {
+        let server = Server::start(ServeOptions {
+            workers: 1,
+            recycle_after,
+            ..ServeOptions::default()
+        })
+        .map_err(|e| format!("start daemon: {e}"))?;
+        let addr = server.addr().to_string();
+        wait_for_worker_baselines(&addr, 1)?;
+        // warmup request: neither arm should pay first-request costs
+        timed_requests(&addr, 1, "warm")?;
+        let mut latencies = timed_requests(&addr, requests, "recyc")?;
+        medians.push(crate::median(&mut latencies));
+        if recycle_after > 0 {
+            recycles = stats_gauge(&addr, &["supervision", "recycles"])?;
+        }
+        server.shutdown();
+        server.wait();
+    }
+    Ok(Bench7Recycle {
+        requests,
+        off_ms: medians[0],
+        every_ms: medians[1],
+        recycles,
+    })
+}
+
+/// The retry-under-flood record: retrying clients against an overloaded
+/// daemon.
+#[derive(Clone, Debug)]
+pub struct Bench7Retry {
+    /// Retrying clients (all must succeed).
+    pub clients: usize,
+    /// Concurrent slow-request flooders.
+    pub flood: usize,
+    /// Retrying clients whose request eventually succeeded.
+    pub succeeded: usize,
+    /// Total retries taken across all clients.
+    pub retries: u64,
+    /// Shed responses the flood observed (evidence of overload).
+    pub shed: usize,
+    /// Median retrying-client wall time, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile retrying-client wall time, ms.
+    pub p99_ms: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Floods a 1-worker, 1-deep-queue daemon with `flood` concurrent slow
+/// requests while `clients` retrying clients send small programs; every
+/// retrying client must land.
+///
+/// # Errors
+///
+/// Returns daemon start failures and client I/O errors rendered as
+/// text.
+pub fn bench7_retry(clients: usize, flood: usize) -> Result<Bench7Retry, String> {
+    let server = Server::start(ServeOptions {
+        workers: 1,
+        queue_cap: 1,
+        ..ServeOptions::default()
+    })
+    .map_err(|e| format!("start daemon: {e}"))?;
+    let addr = server.addr().to_string();
+    wait_for_worker_baselines(&addr, 1)?;
+
+    let slow = client::inline_request(
+        "run",
+        "#lang lagoon\n(define (spin n) (if (= n 0) 'done (spin (- n 1))))\n(spin 300000)\n",
+        vec![],
+    );
+    let (shed, outcomes) = std::thread::scope(|scope| {
+        let floods: Vec<_> = (0..flood)
+            .map(|_| {
+                let addr = addr.clone();
+                let slow = slow.clone();
+                scope.spawn(move || {
+                    client::request_line(&addr, &slow, Some(Duration::from_secs(30)))
+                        .map(|r| client::is_retryable_response(&r))
+                        .unwrap_or(false)
+                })
+            })
+            .collect();
+        let retriers: Vec<_> = (0..clients)
+            .map(|i| {
+                let addr = addr.clone();
+                let request =
+                    client::inline_request("run", &format!("#lang lagoon\n(+ {i} 1000)\n"), vec![]);
+                scope.spawn(move || {
+                    let policy = client::RetryPolicy {
+                        attempts: 40,
+                        base: Duration::from_millis(20),
+                        max: Duration::from_millis(250),
+                        seed: i as u64,
+                    };
+                    let start = Instant::now();
+                    let outcome = client::request_line_retry(
+                        &addr,
+                        &request,
+                        Some(Duration::from_secs(30)),
+                        &policy,
+                    );
+                    let ms = start.elapsed().as_secs_f64() * 1000.0;
+                    outcome
+                        .map(|(response, retries)| (response.contains("\"ok\":true"), retries, ms))
+                })
+            })
+            .collect();
+        let shed = floods
+            .into_iter()
+            .map(|h| h.join().unwrap_or(false))
+            .filter(|shed| *shed)
+            .count();
+        let outcomes: Vec<_> = retriers
+            .into_iter()
+            .map(|h| h.join().expect("retry client thread"))
+            .collect();
+        (shed, outcomes)
+    });
+    server.shutdown();
+    server.wait();
+
+    let mut succeeded = 0;
+    let mut retries = 0u64;
+    let mut times = Vec::new();
+    for outcome in outcomes {
+        let (ok, r, ms) = outcome.map_err(|e| format!("retry client io: {e}"))?;
+        if ok {
+            succeeded += 1;
+        }
+        retries += u64::from(r);
+        times.push(ms);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    Ok(Bench7Retry {
+        clients,
+        flood,
+        succeeded,
+        retries,
+        shed,
+        p50_ms: percentile(&times, 0.50),
+        p99_ms: percentile(&times, 0.99),
+    })
+}
+
+/// Serializes the measurements as the `BENCH_7.json` object
+/// (hand-rolled; the workspace takes no serialization dependency).
+pub fn bench7_json(soak: &Bench7Soak, recycle: &Bench7Recycle, retry: &Bench7Retry) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("{\"soak\":{");
+    let _ = write!(
+        out,
+        "\"workers\":{},\"requests\":{},\"interner_start\":{},\"interner_end\":{},\
+         \"symbol_slope_per_request\":{:.6},\"rss_slope_kb_per_request\":{:.6},\
+         \"growth\":{},\"high_water\":{},\"series\":[",
+        soak.workers,
+        soak.requests,
+        soak.interner_start,
+        soak.interner_end,
+        soak.symbol_slope(),
+        soak.rss_slope_kb(),
+        soak.growth,
+        soak.high_water,
+    );
+    for (i, (n, symbols)) in soak.series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{n},{symbols}]");
+    }
+    out.push_str("],\"rss_kb_series\":[");
+    for (i, (n, kb)) in soak.rss_series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{n},{kb}]");
+    }
+    let _ = write!(
+        out,
+        "]}},\"recycle\":{{\"requests\":{},\"off_ms\":{:.6},\"every_ms\":{:.6},\
+         \"overhead_percent\":{:.3},\"recycles\":{}}},\
+         \"retry\":{{\"clients\":{},\"flood\":{},\"succeeded\":{},\"retries\":{},\
+         \"shed\":{},\"p50_ms\":{:.3},\"p99_ms\":{:.3}}}}}",
+        recycle.requests,
+        recycle.off_ms,
+        recycle.every_ms,
+        recycle.overhead_percent(),
+        recycle.recycles,
+        retry.clients,
+        retry.flood,
+        retry.succeeded,
+        retry.retries,
+        retry.shed,
+        retry.p50_ms,
+        retry.p99_ms,
+    );
+    out
+}
+
+/// A human summary of the three measurements, for the console.
+pub fn bench7_report(soak: &Bench7Soak, recycle: &Bench7Recycle, retry: &Bench7Retry) -> String {
+    format!(
+        "soak: {} requests, slope {:.4} symbols/request (growth {}), rss slope {:.4} kB/request\n\
+         recycle: off {:.3} ms, every {:.3} ms ({:+.1}%)\n\
+         retry: {}/{} clients landed under flood ({} retries, p50 {:.1} ms, p99 {:.1} ms)",
+        soak.requests,
+        soak.symbol_slope(),
+        soak.growth,
+        soak.rss_slope_kb(),
+        recycle.off_ms,
+        recycle.every_ms,
+        recycle.overhead_percent(),
+        retry.succeeded,
+        retry.clients,
+        retry.retries,
+        retry.p50_ms,
+        retry.p99_ms,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_fits_flat_and_rising_series() {
+        assert_eq!(least_squares_slope(&[]), 0.0);
+        assert_eq!(least_squares_slope(&[(1, 5)]), 0.0);
+        let flat = [(10, 700), (20, 700), (30, 700)];
+        assert!(least_squares_slope(&flat).abs() < 1e-9);
+        let rising = [(10, 100), (20, 132), (30, 164)];
+        assert!((least_squares_slope(&rising) - 3.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn soak_slope_is_zero() {
+        let soak = bench7_soak(20, 5, 2).unwrap();
+        assert_eq!(soak.requests, 20);
+        assert_eq!(soak.series.len(), 4);
+        assert_eq!(soak.symbol_slope(), 0.0, "{:?}", soak.series);
+        assert_eq!(soak.growth, 0);
+        assert_eq!(soak.interner_end, soak.interner_start);
+        assert!(soak.high_water >= soak.interner_end);
+    }
+
+    #[test]
+    fn retry_lands_every_client_and_json_parses() {
+        let retry = bench7_retry(3, 4).unwrap();
+        assert_eq!(
+            retry.succeeded, retry.clients,
+            "a retrying client lost its request: {retry:?}"
+        );
+        assert!(retry.p99_ms >= retry.p50_ms);
+        let recycle = Bench7Recycle {
+            requests: 2,
+            off_ms: 1.0,
+            every_ms: 1.5,
+            recycles: 2,
+        };
+        let soak = bench7_soak(4, 2, 1).unwrap();
+        let json = bench7_json(&soak, &recycle, &retry);
+        assert!(lagoon_server::json::parse(&json).is_ok(), "{json}");
+        assert!(json.contains("\"symbol_slope_per_request\""));
+        assert!((recycle.overhead_percent() - 50.0).abs() < 1e-9);
+    }
+}

@@ -23,6 +23,12 @@
 //! interner gauge across 500 inline-source requests — and writes
 //! `BENCH_6.json`:
 //! `cargo run --release -p lagoon-bench --bin figures bench6 [reps] [out.json]`
+//!
+//! The `bench7` mode measures daemon memory stability and self-healing
+//! — a long inline-source soak (interner slope and RSS series), a
+//! worker-recycling overhead A/B, and retrying clients under a
+//! shedding flood — and writes `BENCH_7.json`:
+//! `cargo run --release -p lagoon-bench --bin figures bench7 [requests] [out.json]`
 
 use lagoon_bench::{
     bench4_json, bench4_sweep, benchmarks_for, collect_metrics, format_figure, measure_figure,
@@ -132,6 +138,46 @@ fn run_bench6(args: &[String]) {
     }
 }
 
+fn run_bench7(args: &[String]) {
+    let requests: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(500);
+    let path = args.get(3).map(String::as_str).unwrap_or("BENCH_7.json");
+    let soak = match lagoon_bench::bench7::bench7_soak(requests, (requests / 20).max(1), 2) {
+        Ok(soak) => soak,
+        Err(e) => {
+            eprintln!("error in bench7 soak: {e}");
+            std::process::exit(1);
+        }
+    };
+    let recycle = match lagoon_bench::bench7::bench7_recycle(60) {
+        Ok(recycle) => recycle,
+        Err(e) => {
+            eprintln!("error in bench7 recycle A/B: {e}");
+            std::process::exit(1);
+        }
+    };
+    let retry = match lagoon_bench::bench7::bench7_retry(8, 8) {
+        Ok(retry) => retry,
+        Err(e) => {
+            eprintln!("error in bench7 retry flood: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{}",
+        lagoon_bench::bench7::bench7_report(&soak, &recycle, &retry)
+    );
+    match std::fs::write(
+        path,
+        lagoon_bench::bench7::bench7_json(&soak, &recycle, &retry),
+    ) {
+        Ok(()) => println!("wrote {path} ({requests}-request soak)"),
+        Err(e) => {
+            eprintln!("error writing {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let which = args.get(1).map(String::as_str).unwrap_or("all");
@@ -143,6 +189,9 @@ fn main() {
     }
     if which == "bench6" {
         return run_bench6(&args);
+    }
+    if which == "bench7" {
+        return run_bench7(&args);
     }
     let reps: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
     let figures: Vec<Figure> = match which {

@@ -20,6 +20,7 @@
 
 pub mod bench5;
 pub mod bench6;
+pub mod bench7;
 pub mod harness;
 pub mod programs;
 

@@ -208,6 +208,51 @@ impl BindingTable {
         }
     }
 
+    /// Number of `(scope set, binding)` entries across all buckets — a
+    /// growth gauge for long-lived tables (the daemon's leak tests).
+    pub fn entry_count(&self) -> usize {
+        self.entries.borrow().values().map(Vec::len).sum()
+    }
+
+    /// Sweeps entries belonging to a discarded request world: any entry
+    /// whose key symbol is no longer live on this thread (its epoch was
+    /// truncated), whose scope set references a scope allocated at or
+    /// after `scope_watermark`, or whose binding targets a dead symbol.
+    ///
+    /// The scope check is sound because a binding table is thread-
+    /// private (registries are `Rc`-based): scopes at or above the
+    /// watermark that appear *in this table* were necessarily created
+    /// by this thread during the swept request. Without the sweep, the
+    /// table grows per request even with the interner fixed — e.g.
+    /// `import_into` binds dependency exports under a fresh per-request
+    /// module scope, keyed by persistent export symbols.
+    ///
+    /// Returns the number of entries removed.
+    pub fn sweep(&self, scope_watermark: u32) -> usize {
+        let dead_scopes = |ss: &ScopeSet| ss.iter().any(|sc| sc.id() >= scope_watermark);
+        let dead_binding = |b: &Binding| match b {
+            Binding::Variable(s) | Binding::PatternVar(s, _) => !s.is_live(),
+            Binding::Core(_) | Binding::Macro(_) | Binding::Native(_) => false,
+        };
+        let mut entries = self.entries.borrow_mut();
+        let mut removed = 0;
+        entries.retain(|sym, bucket| {
+            if !sym.is_live() {
+                removed += bucket.len();
+                return false;
+            }
+            bucket.retain(|(ss, b)| {
+                let keep = !dead_scopes(ss) && !dead_binding(b);
+                if !keep {
+                    removed += 1;
+                }
+                keep
+            });
+            !bucket.is_empty()
+        });
+        removed
+    }
+
     /// Resolves a reference: the binding whose scope set is the largest
     /// subset of `id`'s scopes.
     ///

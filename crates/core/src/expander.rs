@@ -194,7 +194,7 @@ impl Expander {
         let sym = id
             .sym()
             .ok_or_else(|| syntax_error("expected identifier", id))?;
-        let fresh = Symbol::fresh(&sym.as_str());
+        let fresh = sym.with_str(Symbol::fresh);
         self.table
             .bind(sym, id.scopes().clone(), Binding::Variable(fresh));
         Ok(Syntax::ident(fresh, id.span())

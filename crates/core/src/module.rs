@@ -385,6 +385,31 @@ impl ModuleRegistry {
         self.instances_vm.borrow_mut().clear();
     }
 
+    /// A cheap fingerprint of the registry's *persistent* contents:
+    /// registered sources, compiled modules, and languages. The daemon
+    /// compares it across a request — when unchanged (the request only
+    /// touched inline scratch modules, which `remove_module` already
+    /// dropped), everything the request interned or bound is garbage,
+    /// and the worker can truncate its symbol epoch and sweep the
+    /// binding table. When it changed (the request warmed a new named
+    /// module), the worker skips reclamation for that request; growth
+    /// then converges to the named-module working set.
+    pub fn persistent_footprint(&self) -> (usize, usize, usize) {
+        (
+            self.sources.borrow().len(),
+            self.compiled.borrow().len(),
+            self.languages.borrow().len(),
+        )
+    }
+
+    /// Sweeps binding-table entries created by a discarded request
+    /// world (see [`BindingTable::sweep`]); returns the number removed.
+    /// Callers truncate the symbol epoch *first* so dead-symbol checks
+    /// observe the truncation.
+    pub fn sweep_ephemeral(&self, scope_watermark: u32) -> usize {
+        self.table.sweep(scope_watermark)
+    }
+
     /// Registers a language (a bundle of bindings for `#lang` lines).
     pub fn register_language(&self, lang: Language) {
         self.languages.borrow_mut().insert(lang.name, Rc::new(lang));

@@ -191,11 +191,10 @@ fn quasi_walk(
 fn find_occurrence(pat: &Syntax, name: Symbol) -> Option<Syntax> {
     match pat.e() {
         SynData::Atom(Datum::Symbol(sym)) => {
-            let s = sym.as_str();
-            let stripped = match s.rfind(':') {
+            let stripped = sym.with_str(|s| match s.rfind(':') {
                 Some(i) if i > 0 && i < s.len() - 1 => Symbol::intern(&s[..i]),
                 _ => *sym,
-            };
+            });
             (stripped == name).then(|| pat.clone())
         }
         SynData::Atom(_) => None,
@@ -220,7 +219,7 @@ fn bind_pattern_vars(
     for (name, depth) in pattern_vars(pat, &[]) {
         let occurrence = find_occurrence(pat, name)
             .ok_or_else(|| syntax_error("pattern variable occurrence not found", pat))?;
-        let runtime = Symbol::fresh(&name.as_str());
+        let runtime = name.with_str(Symbol::fresh);
         exp.table.bind(
             name,
             occurrence.add_scope(scope).scopes().clone(),
@@ -636,13 +635,14 @@ pub fn phase1_natives() -> Vec<(Symbol, Value)> {
             let exp = crate::expander::current_expander()
                 .ok_or_else(|| RtError::user("local-expand: not currently expanding"))?;
             lagoon_diag::count("local-expand", exp.module_name, 1);
-            let ctx_sym = match args.get(1) {
-                Some(Value::Symbol(s)) => s.as_str(),
-                _ => "expression".to_string(),
+            let module_begin = match args.get(1) {
+                Some(Value::Symbol(s)) => s.with_str(|ctx| ctx == "module-begin"),
+                _ => false,
             };
-            let out = match ctx_sym.as_str() {
-                "module-begin" => exp.expand_module_begin(stx)?,
-                _ => exp.expand_expr(&stx)?,
+            let out = if module_begin {
+                exp.expand_module_begin(stx)?
+            } else {
+                exp.expand_expr(&stx)?
             };
             Ok(Value::Syntax(out))
         }),

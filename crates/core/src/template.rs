@@ -29,21 +29,22 @@ fn is_ellipsis(s: &Syntax) -> bool {
 }
 
 fn is_wildcard(s: &Syntax) -> bool {
-    s.sym().map(|s| s.as_str() == "_").unwrap_or(false)
+    s.sym().map(|s| s.with_str(|n| n == "_")).unwrap_or(false)
 }
 
 /// Splits `name:class` annotations.
 fn split_annotation(sym: Symbol) -> Option<(Symbol, Symbol)> {
-    let s = sym.as_str();
-    let idx = s.rfind(':')?;
-    if idx == 0 || idx == s.len() - 1 {
-        return None;
-    }
-    Some((Symbol::intern(&s[..idx]), Symbol::intern(&s[idx + 1..])))
+    sym.with_str(|s| {
+        let idx = s.rfind(':')?;
+        if idx == 0 || idx == s.len() - 1 {
+            return None;
+        }
+        Some((Symbol::intern(&s[..idx]), Symbol::intern(&s[idx + 1..])))
+    })
 }
 
 fn class_accepts(class: Symbol, input: &Syntax) -> bool {
-    match class.as_str().as_str() {
+    class.with_str(|class| match class {
         "expr" => !matches!(input.e(), SynData::Atom(Datum::Keyword(_))),
         "id" => input.is_identifier(),
         "number" => matches!(
@@ -54,7 +55,7 @@ fn class_accepts(class: Symbol, input: &Syntax) -> bool {
         "boolean" => matches!(input.e(), SynData::Atom(Datum::Bool(_))),
         "keyword" => matches!(input.e(), SynData::Atom(Datum::Keyword(_))),
         _ => true, // unknown classes accept anything
-    }
+    })
 }
 
 /// Lists the pattern variables of `pat` with their ellipsis depths.

@@ -572,7 +572,7 @@ impl Report {
                     negative,
                 } => {
                     let export = export
-                        .map(|s| strip_gensym(&s.as_str()))
+                        .map(|s| s.with_str(|n| strip_gensym(n).to_string()))
                         .unwrap_or_else(|| "<anonymous>".to_string());
                     let positive = positive.as_str();
                     let negative = negative.as_str();

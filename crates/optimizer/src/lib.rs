@@ -573,12 +573,12 @@ fn optimize_expr(stx: &Syntax, ctx: &Ctx) -> Result<Syntax, RtError> {
     };
     let items = items.to_vec();
     let rebuilt = |new_items: Vec<Syntax>| stx.with_data(SynData::List(new_items));
-    match head.as_str().as_str() {
+    head.with_str(|head| match head {
         "quote" | "quote-syntax" => Ok(stx.clone()),
         "if" | "begin" | "set!" => {
             let mut out = vec![items[0].clone()];
             // set! keeps its target identifier untouched
-            let start = if head.as_str() == "set!" {
+            let start = if head == "set!" {
                 out.push(items[1].clone());
                 2
             } else {
@@ -641,7 +641,7 @@ fn optimize_expr(stx: &Syntax, ctx: &Ctx) -> Result<Syntax, RtError> {
             Ok(rebuilt(out))
         }
         _ => Ok(stx.clone()),
-    }
+    })
 }
 
 /// Registers typed languages in `registry`:

@@ -1,12 +1,117 @@
 //! A minimal client for the evaluation daemon: one JSON line out, one
-//! JSON line back. Backs the `lagoon remote` subcommand and the
+//! JSON line back, with optional retry-and-jittered-backoff for
+//! transient failures. Backs the `lagoon remote` subcommand and the
 //! integration tests.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use crate::json::{obj, Json};
+use crate::json::{self, obj, Json};
+
+/// Retry-with-backoff settings for [`request_line_retry`].
+///
+/// A request is retried when the connection fails outright (refused,
+/// reset mid-read — e.g. the daemon is restarting) or when the daemon
+/// sheds it with a retryable `resource-exhausted` rejection
+/// (`queue-full`, `workers-degraded`, `workers-unavailable`). Errors
+/// produced by the *program* — including its own budget exhaustion —
+/// are never retried.
+///
+/// Delays follow truncated binary exponential backoff with full
+/// jitter: attempt `k` sleeps a uniform-ish random duration in
+/// `[base/2, min(base · 2^k, max)]`, drawn from a seeded splitmix64
+/// stream (the workspace builds offline; no rand crate).
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retries).
+    pub attempts: u32,
+    /// First-retry backoff target.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub max: Duration,
+    /// Jitter seed; vary per client to avoid thundering herds.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 4,
+            base: Duration::from_millis(25),
+            max: Duration::from_millis(800),
+            seed: 0x5EED,
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// The jittered delay before retry number `attempt` (1-based).
+    pub fn delay(&self, attempt: u32, rng: &mut u64) -> Duration {
+        let ceil = self
+            .base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max)
+            .max(self.base);
+        let floor = self.base / 2;
+        let span = ceil.saturating_sub(floor).as_millis().max(1) as u64;
+        floor + Duration::from_millis(splitmix64(rng) % span)
+    }
+}
+
+/// Whether a response line is a daemon shedding rejection worth
+/// retrying (see [`RetryPolicy`]). Malformed lines are not retryable —
+/// they indicate a protocol bug, not a transient condition.
+pub fn is_retryable_response(line: &str) -> bool {
+    let Ok(parsed) = json::parse(line) else {
+        return false;
+    };
+    let Some(err) = parsed.get("error") else {
+        return false;
+    };
+    err.get("kind").and_then(Json::as_str) == Some("resource-exhausted")
+        && err.get("retryable").and_then(Json::as_bool) == Some(true)
+}
+
+/// [`request_line`] with retry-and-jittered-backoff: I/O failures and
+/// retryable daemon rejections are retried up to `policy.attempts`
+/// total attempts. Returns the last response (or the last I/O error if
+/// every attempt failed to connect), plus the number of retries taken.
+///
+/// # Errors
+///
+/// Propagates the final connection or I/O failure once attempts are
+/// exhausted.
+pub fn request_line_retry(
+    addr: &str,
+    line: &str,
+    timeout: Option<Duration>,
+    policy: &RetryPolicy,
+) -> std::io::Result<(String, u32)> {
+    let mut rng = policy.seed;
+    let attempts = policy.attempts.max(1);
+    let mut retries = 0;
+    loop {
+        let outcome = request_line(addr, line, timeout);
+        let retry = match &outcome {
+            Ok(response) => is_retryable_response(response),
+            Err(_) => true,
+        };
+        if !retry || retries + 1 >= attempts {
+            return outcome.map(|r| (r, retries));
+        }
+        retries += 1;
+        std::thread::sleep(policy.delay(retries, &mut rng));
+    }
+}
 
 /// Sends one newline-delimited request line and reads one response
 /// line. `timeout` bounds both the connect and the read.

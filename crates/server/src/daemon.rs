@@ -48,6 +48,13 @@ pub struct ServeOptions {
     pub limits: Limits,
     /// Whether workers run the VM peephole pass.
     pub peephole: bool,
+    /// Rebuild a worker's world (registry + symbol epoch) after this
+    /// many requests; `0` disables. Defense-in-depth against residual
+    /// per-world growth (e.g. a stream of distinct named modules).
+    pub recycle_after: usize,
+    /// Enables the `test-panic`/`test-kill` ops that deliberately crash
+    /// a worker — for the self-healing tests and CI probes only.
+    pub test_ops: bool,
 }
 
 impl Default for ServeOptions {
@@ -60,6 +67,8 @@ impl Default for ServeOptions {
             source_root: None,
             limits: Limits::default(),
             peephole: lagoon_vm::peephole::enabled(),
+            recycle_after: 0,
+            test_ops: false,
         }
     }
 }
@@ -100,8 +109,21 @@ struct StatsInner {
     cache_misses: u64,
     per_op: BTreeMap<String, Histogram>,
     worker_busy: Vec<Duration>,
-    /// Highest interner symbol count sampled at a request completion.
+    /// Highest total symbol count (arena + all worker epochs) sampled
+    /// at a request completion.
     interner_high_water: u64,
+    /// Per-worker epoch gauge: `(base, current)` live epoch-symbol
+    /// counts — `base` right after the world bootstrap, `current` after
+    /// the latest request's reclamation. `current == base` means the
+    /// worker is leak-free.
+    worker_epoch: Vec<(u64, u64)>,
+    /// Workers whose threads died (escaped panic) and were respawned.
+    worker_deaths: u64,
+    respawns: u64,
+    /// Worlds rebuilt by `--recycle-after`.
+    recycles: u64,
+    /// Requests that panicked but were contained by a panic barrier.
+    panics: u64,
     /// Queue depth over time: `(ms since start, depth)`, sampled at
     /// every enqueue and completion, last [`DEPTH_SERIES_CAP`] points.
     depth_series: std::collections::VecDeque<(u64, u64)>,
@@ -116,25 +138,50 @@ struct Shared {
     stats: Mutex<StatsInner>,
     opts: ServeOptions,
     started: Instant,
-    /// Interner symbol count when the server started, the baseline for
-    /// the `stats` op's memory-growth gauge.
-    interner_start: usize,
+    /// Arena symbol count at the post-warmup seal, the shared-world
+    /// part of the `stats` op's memory-growth baseline.
+    arena_at_seal: usize,
+    /// Workers currently inside their serve loop (drops on death or
+    /// drain); the supervisor respawns the difference.
+    live_workers: std::sync::atomic::AtomicUsize,
+    /// Worker threads by pool slot; the supervisor replaces finished
+    /// handles, [`Server::wait`] joins whatever is left.
+    pool: Mutex<Vec<Option<JoinHandle<()>>>>,
 }
 
 impl Shared {
-    /// Enqueues a job; `Err` when the queue is full or draining.
-    fn enqueue(&self, job: Job) -> Result<(), &'static str> {
+    /// Enqueues a job; `Err((reason, message))` when the queue is full
+    /// or draining. The reason distinguishes ordinary backpressure
+    /// ("queue-full") from a degraded pool ("workers-degraded" /
+    /// "workers-unavailable") so operators and retrying clients can
+    /// tell overload apart from workers dying.
+    fn enqueue(&self, job: Job) -> Result<(), (&'static str, String)> {
         let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         // Check shutdown under the queue lock — the same lock under
         // which workers observe (empty queue + shutdown) and exit — so
         // a job can never be enqueued after the last worker has left.
         if self.shutdown.load(Ordering::SeqCst) {
-            return Err("server is shutting down");
+            return Err(("shutting-down", "server is shutting down".to_string()));
         }
         if q.jobs.len() >= self.opts.queue_cap {
             let mut stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
             stats.rejected += 1;
-            return Err("request queue full");
+            let live = self.live_workers.load(Ordering::SeqCst);
+            let pool = self.opts.workers.max(1);
+            let (reason, message) = if live == 0 {
+                (
+                    "workers-unavailable",
+                    format!("request queue full and no live workers (respawning {pool})"),
+                )
+            } else if live < pool {
+                (
+                    "workers-degraded",
+                    format!("request queue full with {live}/{pool} workers live"),
+                )
+            } else {
+                ("queue-full", "request queue full".to_string())
+            };
+            return Err((reason, message));
         }
         q.jobs.push_back(job);
         let depth = q.jobs.len();
@@ -207,11 +254,37 @@ impl Shared {
                 ])
             })
             .collect();
-        let interned = lagoon_syntax::interned_count() as u64;
+        // Per-world symbol gauges: the shared arena (frozen at the
+        // seal) plus each worker's live epoch table, sampled at request
+        // completions (after reclamation). `growth` over the baseline
+        // (arena at seal + per-worker bootstrap bases) is the leak
+        // gauge — zero for a leak-free daemon, whatever the load.
+        let arena = lagoon_syntax::arena_len() as u64;
+        let epoch_total: u64 = s.worker_epoch.iter().map(|(_, len)| *len).sum();
+        let base_total: u64 = s.worker_epoch.iter().map(|(base, _)| *base).sum();
+        let interned = arena + epoch_total;
+        let baseline = self.arena_at_seal as u64 + base_total;
+        let worker_epochs: Vec<Json> = s
+            .worker_epoch
+            .iter()
+            .map(|(_, len)| Json::Num(*len as f64))
+            .collect();
+        let live = self.live_workers.load(Ordering::SeqCst);
         let (store_bytes, store_artifacts) = store_gauges(self.opts.cache_dir.as_ref());
         obj(vec![
             ("uptime_ms", Json::Num(wall * 1e3)),
             ("workers", Json::Num(self.opts.workers as f64)),
+            (
+                "supervision",
+                obj(vec![
+                    ("live", Json::Num(live as f64)),
+                    ("deaths", Json::Num(s.worker_deaths as f64)),
+                    ("respawns", Json::Num(s.respawns as f64)),
+                    ("recycles", Json::Num(s.recycles as f64)),
+                    ("panics", Json::Num(s.panics as f64)),
+                    ("recycle_after", Json::Num(self.opts.recycle_after as f64)),
+                ]),
+            ),
             (
                 "queue",
                 obj(vec![
@@ -224,17 +297,20 @@ impl Shared {
                 ]),
             ),
             (
-                // The interner is append-only (ROADMAP: documented
-                // growth under inline-source load), so the live symbol
-                // count doubles as a memory gauge; `growth` is the
-                // symbols added since this server started.
+                // Per-world symbol tables (arena + worker epochs):
+                // `growth` is the symbols retained beyond the sealed
+                // arena and the workers' bootstrap worlds — held at 0
+                // by per-request epoch truncation (the old process-
+                // global interner grew ~3.2 symbols/request, BENCH_6).
                 "interner",
                 obj(vec![
                     ("symbols", Json::Num(interned as f64)),
-                    ("at_start", Json::Num(self.interner_start as f64)),
+                    ("arena", Json::Num(arena as f64)),
+                    ("worker_epochs", Json::Arr(worker_epochs)),
+                    ("at_start", Json::Num(baseline as f64)),
                     (
                         "growth",
-                        Json::Num(interned.saturating_sub(self.interner_start as u64) as f64),
+                        Json::Num(interned.saturating_sub(baseline) as f64),
                     ),
                     (
                         "high_water",
@@ -330,11 +406,12 @@ pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds the listener and spawns the acceptor and worker pool.
+    /// Binds the listener, warms and seals the shared symbol arena, and
+    /// spawns the acceptor, the worker pool, and the supervisor.
     ///
     /// # Errors
     ///
@@ -344,6 +421,19 @@ impl Server {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let workers = opts.workers.max(1);
+        // Warm the shared arena with the prelude/core world, then seal
+        // it: a throwaway registry bootstrap interns every prelude,
+        // core-form, primitive, and typed-language name into the arena
+        // (lock-free, `&'static` reads forever after). Post-seal, each
+        // worker's bootstrap re-interns those names as arena hits and
+        // keeps only its own gensyms in its thread-local epoch table —
+        // which per-request truncation can actually free. Idempotent
+        // across multiple servers in one process.
+        {
+            let warm = ModuleRegistry::new();
+            lagoon_optimizer::register_typed_languages(&warm);
+        }
+        lagoon_syntax::seal_arena();
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState {
                 jobs: std::collections::VecDeque::new(),
@@ -353,23 +443,33 @@ impl Server {
             stats: Mutex::new(StatsInner::default()),
             opts,
             started: Instant::now(),
-            interner_start: lagoon_syntax::interned_count(),
+            arena_at_seal: lagoon_syntax::arena_len(),
+            live_workers: std::sync::atomic::AtomicUsize::new(0),
+            pool: Mutex::new(Vec::new()),
         });
 
-        let mut worker_handles = Vec::with_capacity(workers);
-        for index in 0..workers {
-            let shared = Arc::clone(&shared);
-            worker_handles.push(std::thread::spawn(move || worker_main(index, &shared)));
+        {
+            let mut pool = shared.pool.lock().unwrap_or_else(|e| e.into_inner());
+            for index in 0..workers {
+                let shared = Arc::clone(&shared);
+                pool.push(Some(std::thread::spawn(move || {
+                    worker_main(index, &shared)
+                })));
+            }
         }
         let acceptor = {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || acceptor_main(listener, &shared))
         };
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || supervisor_main(&shared))
+        };
         Ok(Server {
             addr,
             shared,
             acceptor: Some(acceptor),
-            workers: worker_handles,
+            supervisor: Some(supervisor),
         })
     }
 
@@ -388,16 +488,11 @@ impl Server {
         self.shared.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Blocks until the acceptor and all workers have drained and
-    /// exited (call [`Server::shutdown`] first, or rely on a client's
-    /// `{"op":"shutdown"}` / SIGTERM).
+    /// Blocks until the acceptor, supervisor, and all workers have
+    /// drained and exited (call [`Server::shutdown`] first, or rely on
+    /// a client's `{"op":"shutdown"}` / SIGTERM).
     pub fn wait(mut self) {
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
-        }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
+        self.join_all();
     }
 
     /// The server's current statistics as a JSON object.
@@ -407,13 +502,63 @@ impl Server {
 
     /// Like [`Server::wait`], then returns the final statistics.
     pub fn wait_with_stats(mut self) -> String {
+        self.join_all();
+        self.shared.stats_json().to_string()
+    }
+
+    fn join_all(&mut self) {
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
         }
-        for w in self.workers.drain(..) {
+        // The supervisor exits only after shutdown, and never respawns
+        // once the flag is up — so the pool it leaves behind is final.
+        if let Some(s) = self.supervisor.take() {
+            let _ = s.join();
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut pool = self.shared.pool.lock().unwrap_or_else(|e| e.into_inner());
+            pool.drain(..).flatten().collect()
+        };
+        for w in handles {
             let _ = w.join();
         }
-        self.shared.stats_json().to_string()
+    }
+}
+
+/// Detects dead workers (threads that exited without a shutdown — an
+/// escaped panic) and respawns them in the same pool slot, so a
+/// panicking request can degrade but never wedge the daemon. Queued
+/// requests are untouched by a death: they stay in the shared queue
+/// until a surviving or respawned worker pops them.
+fn supervisor_main(shared: &Arc<Shared>) {
+    loop {
+        let draining = shared.shutdown.load(Ordering::SeqCst);
+        {
+            let mut pool = shared.pool.lock().unwrap_or_else(|e| e.into_inner());
+            for (index, slot) in pool.iter_mut().enumerate() {
+                let finished = slot.as_ref().is_some_and(JoinHandle::is_finished);
+                if !finished {
+                    continue;
+                }
+                if let Some(handle) = slot.take() {
+                    let died = handle.join().is_err();
+                    if !died || draining {
+                        continue;
+                    }
+                    {
+                        let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+                        stats.worker_deaths += 1;
+                        stats.respawns += 1;
+                    }
+                    let shared = Arc::clone(shared);
+                    *slot = Some(std::thread::spawn(move || worker_main(index, &shared)));
+                }
+            }
+        }
+        if draining {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(25));
     }
 }
 
@@ -504,6 +649,28 @@ fn error_json(kind: &str, message: &str) -> Json {
     ])
 }
 
+/// An admission rejection: `resource-exhausted` with a shedding
+/// `reason` ("queue-full" | "workers-degraded" | "workers-unavailable"
+/// | "shutting-down") and a `retryable` flag. Clients with a retry
+/// policy back off and retry exactly these — a program that exhausted
+/// its *own* budget carries a `budget` field instead and is never
+/// retried.
+fn reject_json(reason: &str, message: &str) -> Json {
+    let retryable = reason != "shutting-down";
+    obj(vec![
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            obj(vec![
+                ("kind", Json::Str("resource-exhausted".to_string())),
+                ("message", Json::Str(message.to_string())),
+                ("reason", Json::Str(reason.to_string())),
+                ("retryable", Json::Bool(retryable)),
+            ]),
+        ),
+    ])
+}
+
 fn connection_main(stream: TcpStream, shared: &Arc<Shared>) {
     let Ok(peer) = stream.try_clone() else { return };
     let mut writer = peer;
@@ -531,10 +698,16 @@ fn connection_main(stream: TcpStream, shared: &Arc<Shared>) {
                     }
                     o.to_string()
                 }
-                Some("run" | "expand" | "check") => {
+                Some(op)
+                    if matches!(op, "run" | "expand" | "check")
+                        || (shared.opts.test_ops && matches!(op, "test-panic" | "test-kill")) =>
+                {
                     let (tx, rx) = mpsc::channel();
                     match shared.enqueue(Job { request, reply: tx }) {
-                        Err(why) => error_json("resource-exhausted", why).to_string(),
+                        Err((reason, why)) => reject_json(reason, &why).to_string(),
+                        // A worker that dies mid-request drops the
+                        // reply sender; the client still gets a
+                        // structured error, never a hung connection.
                         Ok(()) => rx.recv().unwrap_or_else(|_| {
                             error_json("internal", "worker dropped the request").to_string()
                         }),
@@ -622,12 +795,10 @@ pub fn merge_limits(base: Limits, spec: Option<&Json>) -> Limits {
     limits
 }
 
-/// One worker's world and request loop. The registry persists across
-/// requests — compiled modules stay warm — but instances are reset per
-/// request and inline sources get unique un-cacheable names, so no
-/// run-time state crosses requests.
-fn worker_main(index: usize, shared: &Arc<Shared>) {
-    lagoon_vm::peephole::set_enabled(shared.opts.peephole);
+/// Builds a worker's private world: registry, languages, store handle,
+/// source loader. Post-seal, the bootstrap's interned names resolve to
+/// the shared arena; only its gensyms live in this thread's epoch table.
+fn build_world(shared: &Arc<Shared>) -> std::rc::Rc<ModuleRegistry> {
     let registry = ModuleRegistry::new();
     lagoon_optimizer::register_typed_languages(&registry);
     registry.set_store_dir(shared.opts.cache_dir.clone());
@@ -641,6 +812,59 @@ fn worker_main(index: usize, shared: &Arc<Shared>) {
             })
         });
     }
+    registry
+}
+
+/// Publishes this worker's epoch gauge (and the bootstrap base when
+/// `set_base`), and folds the total into the interner high-water mark.
+fn report_epoch_gauge(shared: &Arc<Shared>, index: usize, set_base: bool) {
+    let len = lagoon_syntax::epoch_len() as u64;
+    let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+    if stats.worker_epoch.len() <= index {
+        stats.worker_epoch.resize(index + 1, (0, 0));
+    }
+    if set_base {
+        stats.worker_epoch[index].0 = len;
+    }
+    stats.worker_epoch[index].1 = len;
+    let total =
+        lagoon_syntax::arena_len() as u64 + stats.worker_epoch.iter().map(|(_, l)| *l).sum::<u64>();
+    stats.interner_high_water = stats.interner_high_water.max(total);
+}
+
+/// Accounts a worker in `live_workers` for the scope of its serve loop,
+/// surviving panics (the supervisor reads the count for shedding
+/// decisions while it respawns).
+struct LiveWorkerGuard<'a>(&'a Arc<Shared>);
+
+impl Drop for LiveWorkerGuard<'_> {
+    fn drop(&mut self) {
+        self.0.live_workers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// One worker's world and request loop. The registry persists across
+/// requests — compiled modules stay warm — but instances are reset per
+/// request, inline sources get unique un-cacheable names, and when a
+/// request leaves the persistent footprint unchanged the worker
+/// truncates its symbol epoch and sweeps its binding table back to the
+/// pre-request state: no run-time state *or memory* crosses requests.
+///
+/// Self-healing layers, outermost first: a thread death (escaped
+/// panic — in production a bug, in tests `test-kill`) drops the reply
+/// sender (the connection maps that to a structured `internal` error)
+/// and the supervisor respawns the slot; the per-request `catch_unwind`
+/// below converts panics that escape `handle_request`'s own barrier
+/// into structured errors and rebuilds the world (a panic mid-compile
+/// can leave registry guards dirty); `--recycle-after N` rebuilds the
+/// world on a schedule as defense-in-depth.
+fn worker_main(index: usize, shared: &Arc<Shared>) {
+    lagoon_vm::peephole::set_enabled(shared.opts.peephole);
+    shared.live_workers.fetch_add(1, Ordering::SeqCst);
+    let _live = LiveWorkerGuard(shared);
+    let mut registry = build_world(shared);
+    report_epoch_gauge(shared, index, true);
+    let mut served_since_build: usize = 0;
     static REQ_ID: AtomicU64 = AtomicU64::new(0);
     static TRACE_SEQ: AtomicU64 = AtomicU64::new(0);
 
@@ -671,8 +895,72 @@ fn worker_main(index: usize, shared: &Arc<Shared>) {
             .and_then(Json::as_str)
             .unwrap_or("run")
             .to_string();
+        if op == "test-kill" && shared.opts.test_ops {
+            // Simulates a crashed worker: die outside every barrier,
+            // dropping `job.reply` (client sees a structured error) and
+            // leaving the thread to the supervisor.
+            panic!("test-kill: deliberate worker death");
+        }
         let trace_id = request_trace_id(&job.request, &TRACE_SEQ);
-        let response = handle_request(&registry, &job.request, &op, shared, &REQ_ID);
+
+        // Reclamation checkpoint: if the request leaves the persistent
+        // registry footprint unchanged, everything it interned and
+        // bound is garbage afterwards.
+        let footprint = registry.persistent_footprint();
+        let scope_watermark = lagoon_syntax::Scope::watermark();
+        let epoch = lagoon_syntax::epoch_mark();
+
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            handle_request(&registry, &job.request, &op, shared, &REQ_ID)
+        }));
+        let (response, panicked) = match outcome {
+            Ok((response, panicked)) => (response, panicked),
+            Err(_) => (
+                error_json("internal", "internal error: request panicked"),
+                true,
+            ),
+        };
+
+        if panicked {
+            // The inner barrier (or the one above) contained a panic,
+            // but mid-flight registry state (cycle guards, partial
+            // compiles) may be dirty: rebuild the whole world.
+            {
+                let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+                stats.panics += 1;
+            }
+            drop(registry);
+            lagoon_syntax::epoch_reset();
+            registry = build_world(shared);
+            served_since_build = 0;
+            report_epoch_gauge(shared, index, true);
+        } else if registry.persistent_footprint() == footprint {
+            // Truncate first so the binding-table sweep sees the
+            // request's symbols as dead.
+            registry.reset_instances();
+            lagoon_syntax::epoch_truncate(epoch);
+            registry.sweep_ephemeral(scope_watermark);
+            report_epoch_gauge(shared, index, false);
+        } else {
+            // The request warmed a named module; its world is now part
+            // of the persistent working set. Growth converges to the
+            // named-module set; `--recycle-after` bounds the rest.
+            report_epoch_gauge(shared, index, false);
+        }
+
+        served_since_build += 1;
+        if shared.opts.recycle_after > 0 && served_since_build >= shared.opts.recycle_after {
+            drop(registry);
+            lagoon_syntax::epoch_reset();
+            registry = build_world(shared);
+            served_since_build = 0;
+            {
+                let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+                stats.recycles += 1;
+            }
+            report_epoch_gauge(shared, index, true);
+        }
+
         let latency = start.elapsed();
         let is_err = response.get("ok").and_then(Json::as_bool) != Some(true);
         let depth = {
@@ -690,9 +978,6 @@ fn worker_main(index: usize, shared: &Arc<Shared>) {
                 start_ms,
                 dur_ms: latency.as_secs_f64() * 1e3,
             });
-            stats.interner_high_water = stats
-                .interner_high_water
-                .max(lagoon_syntax::interned_count() as u64);
         }
         let mut response = response;
         if let Json::Obj(map) = &mut response {
@@ -715,24 +1000,24 @@ fn request_trace_id(request: &Json, seq: &AtomicU64) -> String {
     }
 }
 
+/// Serves one request against the worker's world. Returns the response
+/// plus whether the request panicked (contained by the barrier below) —
+/// the worker rebuilds its world in that case, because a panic can
+/// leave registry guards (cycle sets, partial compiles) dirty.
 fn handle_request(
     registry: &std::rc::Rc<ModuleRegistry>,
     request: &Json,
     op: &str,
     shared: &Arc<Shared>,
     req_id: &AtomicU64,
-) -> Json {
+) -> (Json, bool) {
     // Resolve the target module: inline source gets a unique name that
     // `cacheable_name` rejects (it contains '/'), so request bodies
     // never enter the shared store and never collide across requests.
-    //
-    // Known growth: each inline request interns its `req/{id}` symbol
-    // (plus gensyms minted during compilation) into the process-global
-    // interner, which never frees entries — `remove_module` below clears
-    // the registry maps but not the interner. A long-lived daemon under
-    // sustained inline-source load therefore grows slowly; deployments
-    // that care should prefer named modules or recycle the process
-    // periodically until the interner grows a per-request arena.
+    // The `req/{id}` symbol and everything the request interns land in
+    // this worker's epoch table, which the worker truncates after the
+    // request — the old process-global interner leak (~3.2 symbols per
+    // inline request, BENCH_6) is gone.
     let inline = request.get("source").and_then(Json::as_str);
     let named = request.get("module").and_then(Json::as_str);
     let name = match (inline, named) {
@@ -744,11 +1029,22 @@ fn handle_request(
         }
         (None, Some(m)) => {
             if m.contains("..") || m.contains('\\') {
-                return error_json("protocol", "invalid module name");
+                return (error_json("protocol", "invalid module name"), false);
             }
             m.to_string()
         }
-        (None, None) => return error_json("protocol", "need \"module\" or \"source\""),
+        (None, None) if op == "test-panic" && shared.opts.test_ops => {
+            // Deliberate panic *inside* the request barrier: the client
+            // must get a structured `internal` error and the worker
+            // must survive (its world is rebuilt).
+            String::new()
+        }
+        (None, None) => {
+            return (
+                error_json("protocol", "need \"module\" or \"source\""),
+                false,
+            )
+        }
     };
     let engine = match request.get("engine").and_then(Json::as_str) {
         Some("interp") => EngineKind::Interp,
@@ -762,9 +1058,13 @@ fn handle_request(
     // Fresh instances per request: compiled code stays warm, run-time
     // module state does not leak between requests.
     registry.reset_instances();
+    let mut panicked = false;
     let result: Result<Json, RtError> = {
         lagoon_diag::limits::refill();
         let guarded = catch_unwind(AssertUnwindSafe(|| match op {
+            "test-panic" if shared.opts.test_ops => {
+                panic!("test-panic: deliberate request panic")
+            }
             "run" => {
                 let (result, output) =
                     lagoon_runtime::io::capture_output(|| registry.run(&name, engine));
@@ -793,10 +1093,13 @@ fn handle_request(
         }));
         match guarded {
             Ok(r) => r,
-            Err(_) => Err(RtError::new(
-                Kind::Internal,
-                "internal error: request panicked".to_string(),
-            )),
+            Err(_) => {
+                panicked = true;
+                Err(RtError::new(
+                    Kind::Internal,
+                    "internal error: request panicked".to_string(),
+                ))
+            }
         }
     };
     lagoon_diag::uninstall();
@@ -830,7 +1133,7 @@ fn handle_request(
             map.insert("report".to_string(), parsed);
         }
     }
-    response
+    (response, panicked)
 }
 
 #[cfg(test)]

@@ -18,11 +18,23 @@ use std::sync::atomic::{AtomicU32, Ordering};
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Scope(u32);
 
+static COUNTER: AtomicU32 = AtomicU32::new(1);
+
 impl Scope {
     /// Allocates a scope no other call has returned.
     pub fn fresh() -> Scope {
-        static COUNTER: AtomicU32 = AtomicU32::new(1);
         Scope(COUNTER.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The current allocation watermark: every scope created by *any*
+    /// thread after this call has `id() >= watermark`. A daemon worker
+    /// records the watermark before a request and afterwards sweeps its
+    /// (thread-private) binding table of entries whose scope sets
+    /// reference scopes at or above it — those scopes were created
+    /// during the request, and on this thread they belong to the
+    /// request's discarded world.
+    pub fn watermark() -> u32 {
+        COUNTER.load(Ordering::Relaxed)
     }
 
     /// The raw id, for debugging output only.

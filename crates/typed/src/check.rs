@@ -276,7 +276,7 @@ fn typecheck_unascribed(
             let head =
                 head_sym(stx).ok_or_else(|| syntax_error("typecheck: not a core form", stx))?;
             let items = stx.as_list().unwrap().to_vec();
-            match head.as_str().as_str() {
+            head.with_str(|head| match head {
                 "quote" => Ok((type_of_datum(&items[1].to_datum()), stx.clone())),
                 "quote-syntax" => Ok((Type::Any, stx.clone())),
                 "if" => {
@@ -303,7 +303,7 @@ fn typecheck_unascribed(
                 }
                 "#%plain-lambda" => typecheck_lambda(tcx, stx, &items, expected),
                 "let-values" | "letrec-values" => {
-                    typecheck_let(tcx, stx, &items, expected, head.as_str() == "letrec-values")
+                    typecheck_let(tcx, stx, &items, expected, head == "letrec-values")
                 }
                 "set!" => {
                     let target = items[1]
@@ -323,7 +323,7 @@ fn typecheck_unascribed(
                     format!("typecheck: unexpected core form {other}"),
                     stx,
                 )),
-            }
+            })
         }
     }
 }

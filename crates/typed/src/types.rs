@@ -170,7 +170,7 @@ impl Type {
         let head = items[0]
             .sym()
             .ok_or_else(|| syntax_error("malformed type", stx))?;
-        match head.as_str().as_str() {
+        head.with_str(|head| match head {
             "->" => {
                 if items.len() < 2 {
                     return Err(syntax_error("-> type: expected a result", stx));
@@ -203,25 +203,27 @@ impl Type {
                 format!("unknown type constructor {other}"),
                 stx,
             )),
-        }
+        })
     }
 
     fn parse_name(sym: Symbol) -> Option<Type> {
-        Some(match sym.as_str().as_str() {
-            "Integer" | "Exact-Integer" | "Fixnum" | "Natural" => Type::Integer,
-            "Float" | "Flonum" | "Real" | "Inexact-Real" => Type::Float,
-            "Number" | "Complex" => Type::Number,
-            "Float-Complex" => Type::FloatComplex,
-            "Boolean" => Type::Boolean,
-            "String" => Type::Str,
-            "Char" => Type::Char,
-            "Symbol" => Type::Sym,
-            "Void" => Type::Void,
-            "Null" => Type::Null,
-            "Any" => Type::Any,
-            "Bytes" => Type::Listof(Rc::new(Type::Integer)), // byte strings are int lists (DESIGN.md)
-            "Path" => Type::Str,
-            _ => return None,
+        sym.with_str(|name| {
+            Some(match name {
+                "Integer" | "Exact-Integer" | "Fixnum" | "Natural" => Type::Integer,
+                "Float" | "Flonum" | "Real" | "Inexact-Real" => Type::Float,
+                "Number" | "Complex" => Type::Number,
+                "Float-Complex" => Type::FloatComplex,
+                "Boolean" => Type::Boolean,
+                "String" => Type::Str,
+                "Char" => Type::Char,
+                "Symbol" => Type::Sym,
+                "Void" => Type::Void,
+                "Null" => Type::Null,
+                "Any" => Type::Any,
+                "Bytes" => Type::Listof(Rc::new(Type::Integer)), // byte strings are int lists (DESIGN.md)
+                "Path" => Type::Str,
+                _ => return None,
+            })
         })
     }
 

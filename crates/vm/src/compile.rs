@@ -468,11 +468,12 @@ impl Compiler {
                 }) else {
                     return 0;
                 };
-                let name = sym.as_str();
-                let is_fl = (args.len() == 2
-                    && (fl_binary_op(&name).is_some() || fl_compare_op(&name).is_some()))
-                    || (args.len() == 1
-                        && (fl_unary_op(&name).is_some() || name == "unsafe-fx->fl"));
+                let is_fl = sym.with_str(|name| {
+                    (args.len() == 2
+                        && (fl_binary_op(name).is_some() || fl_compare_op(name).is_some()))
+                        || (args.len() == 1
+                            && (fl_unary_op(name).is_some() || name == "unsafe-fx->fl"))
+                });
                 if !is_fl {
                     return 0;
                 }
@@ -492,15 +493,16 @@ impl Compiler {
         let CoreExpr::Var(sym, _) = &**f else {
             return Ok(None);
         };
-        let name = sym.as_str();
+        let (compare, binary, unary) =
+            sym.with_str(|name| (fl_compare_op(name), fl_binary_op(name), fl_unary_op(name)));
         if args.len() == 2 {
-            if let Some(op) = fl_compare_op(&name) {
+            if let Some(op) = compare {
                 self.compile_fl_operand(&args[0])?;
                 self.compile_fl_operand(&args[1])?;
                 self.top().emit(op);
                 return Ok(Some(()));
             }
-            if let Some(op) = fl_binary_op(&name) {
+            if let Some(op) = binary {
                 self.compile_fl_operand(&args[0])?;
                 self.compile_fl_operand(&args[1])?;
                 let scope = self.top();
@@ -510,7 +512,7 @@ impl Compiler {
             }
         }
         if args.len() == 1 {
-            if let Some(op) = fl_unary_op(&name) {
+            if let Some(op) = unary {
                 self.compile_fl_operand(&args[0])?;
                 let scope = self.top();
                 scope.emit(op);
@@ -552,9 +554,15 @@ impl Compiler {
                         .iter()
                         .any(|s| s.locals.contains_key(sym) || s.capture_names.contains(sym));
                     if !is_local && !self.defined.contains(sym) {
-                        let name = sym.as_str();
+                        let (binary, unary, fx_to_fl) = sym.with_str(|name| {
+                            (
+                                fl_binary_op(name),
+                                fl_unary_op(name),
+                                name == "unsafe-fx->fl",
+                            )
+                        });
                         if args.len() == 2 {
-                            if let Some(op) = fl_binary_op(&name) {
+                            if let Some(op) = binary {
                                 self.compile_fl_operand(&args[0])?;
                                 self.compile_fl_operand(&args[1])?;
                                 self.top().emit(op);
@@ -562,12 +570,12 @@ impl Compiler {
                             }
                         }
                         if args.len() == 1 {
-                            if let Some(op) = fl_unary_op(&name) {
+                            if let Some(op) = unary {
                                 self.compile_fl_operand(&args[0])?;
                                 self.top().emit(op);
                                 return Ok(());
                             }
-                            if name == "unsafe-fx->fl" {
+                            if fx_to_fl {
                                 self.compile_expr(&args[0], false)?;
                                 self.top().emit(Op::FlUnboxFx);
                                 return Ok(());

@@ -162,7 +162,12 @@ pub fn parse_expr(stx: &Syntax) -> Result<CoreExpr, RtError> {
         SynData::Vector(_) | SynData::Improper(_, _) => Err(ir_error("not a core expression", stx)),
         SynData::List(items) => {
             let head = items.first().and_then(Syntax::sym);
-            match head.map(|s| s.as_str()).as_deref() {
+            let head_name =
+                |f: &mut dyn FnMut(Option<&str>) -> Result<CoreExpr, RtError>| match head {
+                    Some(s) => s.with_str(|name| f(Some(name))),
+                    None => f(None),
+                };
+            head_name(&mut |head| match head {
                 Some("quote") if items.len() == 2 => {
                     Ok(CoreExpr::Quote(Value::from_datum(&items[1].to_datum())))
                 }
@@ -214,7 +219,7 @@ pub fn parse_expr(stx: &Syntax) -> Result<CoreExpr, RtError> {
                     Ok(CoreExpr::App(Box::new(f), args, stx.span()))
                 }
                 _ => Err(ir_error("unknown core form", stx)),
-            }
+            })
         }
     }
 }

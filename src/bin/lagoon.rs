@@ -69,7 +69,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  lagoon run <file.lag> [--interp] [--stats [--json]] [--no-peephole] [--no-cache] [--cache-dir <dir>] [--trace <out.json>] [limit options]\n  lagoon expand <file.lag> [--timings]\n  lagoon repl [--typed]\n  lagoon build <entry.lag>... [--jobs N] [--cache-dir <dir>] [--no-peephole] [--stats [--json]] [--trace <out.json>] [limit options]\n  lagoon serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--root <dir>] [--cache-dir <dir>] [--no-peephole] [limit options]\n  lagoon remote --addr HOST:PORT <run|expand|check|stats|shutdown> [<file.lag>] [--json] [limit options]\n\nlimit options:\n  --max-steps <n>  --max-expand-steps <n>  --max-expand-depth <n>\n  --max-phase1-steps <n>  --max-stack-depth <n>  --timeout-ms <n>"
+        "usage:\n  lagoon run <file.lag> [--interp] [--stats [--json]] [--no-peephole] [--no-cache] [--cache-dir <dir>] [--trace <out.json>] [limit options]\n  lagoon expand <file.lag> [--timings]\n  lagoon repl [--typed]\n  lagoon build <entry.lag>... [--jobs N] [--cache-dir <dir>] [--no-peephole] [--stats [--json]] [--trace <out.json>] [limit options]\n  lagoon serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--recycle-after N] [--root <dir>] [--cache-dir <dir>] [--no-peephole] [limit options]\n  lagoon remote --addr HOST:PORT <run|expand|check|stats|shutdown> [<file.lag>] [--json] [--retries N] [--backoff-ms B] [limit options]\n\nlimit options:\n  --max-steps <n>  --max-expand-steps <n>  --max-expand-depth <n>\n  --max-phase1-steps <n>  --max-stack-depth <n>  --timeout-ms <n>"
     );
     ExitCode::from(2)
 }
@@ -317,6 +317,13 @@ fn serve_cmd(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let recycle_after = match parse_flag(args, "--recycle-after", 0usize) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
     let opts = lagoon::server::ServeOptions {
         addr: flag_value(args, "--addr")
             .unwrap_or("127.0.0.1:0")
@@ -327,6 +334,10 @@ fn serve_cmd(args: &[String]) -> ExitCode {
         source_root: flag_value(args, "--root").map(PathBuf::from),
         limits,
         peephole: !args.iter().any(|a| a == "--no-peephole"),
+        recycle_after,
+        // Undocumented: enables the fault-injection ops ("test-panic",
+        // "test-kill") the supervision tests drive.
+        test_ops: args.iter().any(|a| a == "--test-ops"),
     };
     lagoon::server::install_sigterm_handler();
     let server = match lagoon::server::Server::start(opts) {
@@ -397,9 +408,30 @@ fn remote_cmd(args: &[String]) -> ExitCode {
         }
         lagoon::server::client::inline_request(op, &source, wire)
     };
+    let retries = match parse_flag(args, "--retries", 3u32) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let backoff_ms = match parse_flag(args, "--backoff-ms", 25u64) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let policy = lagoon::server::client::RetryPolicy {
+        attempts: retries.saturating_add(1),
+        base: std::time::Duration::from_millis(backoff_ms.max(1)),
+        // seed from the pid so concurrent clients jitter differently
+        seed: 0x5EED ^ u64::from(std::process::id()),
+        ..Default::default()
+    };
     let timeout = Some(std::time::Duration::from_secs(60));
-    match lagoon::server::client::request_line(addr, &request, timeout) {
-        Ok(response) => {
+    match lagoon::server::client::request_line_retry(addr, &request, timeout, &policy) {
+        Ok((response, _retries)) => {
             if args.iter().any(|a| a == "--json") {
                 println!("{response}");
                 return ExitCode::SUCCESS;
