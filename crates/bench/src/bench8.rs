@@ -1,0 +1,262 @@
+//! The `BENCH_8.json` experiment: the tagged-value-word representation
+//! and unified operand/frame stack, old vs new.
+//!
+//! The "old" side is **not** re-measured: it is the recorded
+//! `data/baseline_bench4.json`, a full bench4 sweep captured on the boxed
+//! `enum Value` representation immediately before the value-word change
+//! (same machine class, release build, peephole on). The "new" side
+//! re-runs the same benchmarks — Figures 6–8 under the `vm` and `vm+opt`
+//! configurations — on the current representation and joins the two by
+//! `(name, figure, config)`.
+//!
+//! The headline number is the per-configuration **median speedup**
+//! (old median ms / new median ms); the change is gated on ≥1.5× for
+//! both VM configurations. The report also re-checks the parallel-build
+//! determinism invariant on the new constant codec: a `--jobs 1` and a
+//! `--jobs 8` build of the same module graph must produce byte-identical
+//! compiled stores (equal FNV-1a digests over every artifact byte).
+
+use crate::bench5::bench5_build_sweep;
+use crate::{benchmarks_for, prepare, Config, Figure};
+use lagoon_runtime::RtError;
+use std::time::Instant;
+
+/// The recorded pre-change sweep (boxed `enum Value`, release,
+/// peephole on).
+pub const BASELINE_JSON: &str = include_str!("../data/baseline_bench4.json");
+
+/// One joined A/B record.
+#[derive(Clone, Debug)]
+pub struct Bench8Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Figure label (`"fig6"`…`"fig8"`).
+    pub figure: String,
+    /// Configuration label (`"vm"` or `"vm+opt"`).
+    pub config: String,
+    /// Median wall time on the old (boxed) representation, ms.
+    pub old_median_ms: f64,
+    /// Median wall time on the new (tagged-word) representation, ms.
+    pub new_median_ms: f64,
+}
+
+impl Bench8Row {
+    /// Old-over-new speedup (>1 means the new representation is faster).
+    pub fn speedup(&self) -> f64 {
+        self.old_median_ms / self.new_median_ms
+    }
+}
+
+/// The full A/B report.
+#[derive(Clone, Debug)]
+pub struct Bench8Report {
+    /// Joined rows, in baseline order.
+    pub rows: Vec<Bench8Row>,
+    /// `(jobs, artifacts_digest)` for the determinism re-check.
+    pub digests: Vec<(usize, u64)>,
+}
+
+impl Bench8Report {
+    /// Median speedup across the rows of one configuration label.
+    pub fn median_speedup(&self, config: &str) -> f64 {
+        let mut v: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.config == config)
+            .map(Bench8Row::speedup)
+            .collect();
+        crate::median(&mut v)
+    }
+
+    /// Whether every build digest matches (the `--jobs 1` vs `--jobs 8`
+    /// byte-identity invariant).
+    pub fn digests_match(&self) -> bool {
+        self.digests.windows(2).all(|w| w[0].1 == w[1].1)
+    }
+}
+
+/// Parses the recorded baseline into `(name, figure, config) →
+/// median_ms`, keeping only peephole-on records of the given configs.
+fn parse_baseline(
+    json: &str,
+    configs: &[Config],
+) -> Result<Vec<(String, String, String, f64)>, RtError> {
+    let parsed = lagoon_server::json::parse(json)
+        .map_err(|e| RtError::user(format!("baseline JSON unreadable: {e}")))?;
+    let lagoon_server::json::Json::Arr(records) = parsed else {
+        return Err(RtError::user("baseline JSON is not an array"));
+    };
+    let wanted: Vec<&str> = configs.iter().map(|c| c.label()).collect();
+    let mut out = Vec::new();
+    for r in &records {
+        let (Some(name), Some(figure), Some(config)) = (
+            r.get("name").and_then(|j| j.as_str()),
+            r.get("figure").and_then(|j| j.as_str()),
+            r.get("config").and_then(|j| j.as_str()),
+        ) else {
+            return Err(RtError::user("baseline record missing name/figure/config"));
+        };
+        if r.get("peephole").and_then(|j| j.as_bool()) != Some(true) || !wanted.contains(&config) {
+            continue;
+        }
+        let median = match r.get("median_ms") {
+            Some(lagoon_server::json::Json::Num(ms)) => *ms,
+            _ => return Err(RtError::user(format!("{name}: missing median_ms"))),
+        };
+        out.push((
+            name.to_string(),
+            figure.to_string(),
+            config.to_string(),
+            median,
+        ));
+    }
+    Ok(out)
+}
+
+/// Runs the A/B sweep: measures every Figure 6–8 benchmark under `vm`
+/// and `vm+opt` (peephole on, `reps` timed runs each), joins against the
+/// recorded baseline, and re-checks `--jobs 1` vs `--jobs 8` store
+/// digest identity.
+///
+/// # Errors
+///
+/// Propagates compile and runtime errors, an unreadable baseline, and a
+/// baseline row with no matching live benchmark.
+pub fn bench8_sweep(figures: &[Figure], reps: usize) -> Result<Bench8Report, RtError> {
+    let configs = [Config::Vm, Config::VmOpt];
+    let baseline = parse_baseline(BASELINE_JSON, &configs)?;
+    lagoon_vm::peephole::set_enabled(true);
+    // measure the new side first, keyed like the baseline
+    let mut fresh: Vec<(String, String, String, f64)> = Vec::new();
+    for figure in figures {
+        let figure_label = match figure {
+            Figure::Fig6 => "fig6",
+            Figure::Fig7 => "fig7",
+            Figure::Fig8 => "fig8",
+            Figure::Fig9 => "fig9",
+        };
+        for bench in benchmarks_for(*figure) {
+            for config in configs {
+                let mut runner = prepare(&bench, config)?;
+                let mut times = Vec::with_capacity(reps);
+                for _ in 0..reps.max(1) {
+                    let start = Instant::now();
+                    runner()?;
+                    times.push(start.elapsed().as_secs_f64() * 1000.0);
+                }
+                fresh.push((
+                    bench.name.to_string(),
+                    figure_label.to_string(),
+                    config.label().to_string(),
+                    crate::median(&mut times),
+                ));
+            }
+        }
+    }
+    let mut rows = Vec::new();
+    for (name, figure, config, old_median_ms) in baseline {
+        if !figures.iter().any(|f| {
+            matches!(
+                (f, figure.as_str()),
+                (Figure::Fig6, "fig6") | (Figure::Fig7, "fig7") | (Figure::Fig8, "fig8")
+            )
+        }) {
+            continue;
+        }
+        let new = fresh
+            .iter()
+            .find(|(n, f, c, _)| *n == name && *f == figure && *c == config)
+            .ok_or_else(|| {
+                RtError::user(format!(
+                    "baseline row {name}/{figure}/{config} has no live match"
+                ))
+            })?;
+        rows.push(Bench8Row {
+            name,
+            figure,
+            config,
+            old_median_ms,
+            new_median_ms: new.3,
+        });
+    }
+    let digests = bench5_build_sweep(&[1, 8], 1)
+        .map_err(RtError::user)?
+        .into_iter()
+        .map(|b| (b.jobs, b.artifacts_digest))
+        .collect();
+    Ok(Bench8Report { rows, digests })
+}
+
+/// Serializes the report as `BENCH_8.json` (hand-rolled; the workspace
+/// takes no serialization dependency).
+pub fn bench8_json(report: &Bench8Report) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("{\"rows\":[");
+    for (i, r) in report.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"figure\":{},\"config\":{},\"old_median_ms\":{:.6},\
+             \"new_median_ms\":{:.6},\"speedup\":{:.4}}}",
+            lagoon_diag::json_string(&r.name),
+            lagoon_diag::json_string(&r.figure),
+            lagoon_diag::json_string(&r.config),
+            r.old_median_ms,
+            r.new_median_ms,
+            r.speedup(),
+        );
+    }
+    let _ = write!(
+        out,
+        "],\"median_speedup\":{{\"vm\":{:.4},\"vm+opt\":{:.4}}},\"digests\":[",
+        report.median_speedup("vm"),
+        report.median_speedup("vm+opt"),
+    );
+    for (i, (jobs, digest)) in report.digests.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"jobs\":{jobs},\"digest\":\"{digest:016x}\"}}");
+    }
+    let _ = write!(out, "],\"digests_match\":{}}}", report.digests_match());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_parses_and_covers_vm_configs() {
+        let rows = parse_baseline(BASELINE_JSON, &[Config::Vm, Config::VmOpt]).unwrap();
+        assert!(!rows.is_empty());
+        // every fig6-8 benchmark must appear under both configs
+        for config in ["vm", "vm+opt"] {
+            let n = rows.iter().filter(|(_, _, c, _)| c == config).count();
+            assert!(n >= 14, "only {n} baseline rows for {config}");
+        }
+        assert!(rows.iter().all(|(_, _, _, ms)| *ms > 0.0));
+    }
+
+    #[test]
+    fn sweep_joins_every_baseline_row() {
+        // one rep on the smallest figure keeps this debug-runnable; the
+        // speedup numbers are meaningless in a debug build (the baseline
+        // is release), so only the join and serialization are checked
+        let report = bench8_sweep(&[Figure::Fig8], 1).unwrap();
+        assert!(!report.rows.is_empty());
+        assert!(report.rows.iter().all(|r| r.figure == "fig8"));
+        assert!(report.rows.iter().all(|r| r.new_median_ms > 0.0));
+        assert_eq!(report.digests.len(), 2);
+        assert!(report.digests_match(), "jobs 1 vs 8 digests diverged");
+        let json = bench8_json(&report);
+        let parsed = lagoon_server::json::parse(&json).unwrap();
+        assert!(parsed.get("digests_match").and_then(|j| j.as_bool()) == Some(true));
+        assert!(matches!(
+            parsed.get("rows"),
+            Some(lagoon_server::json::Json::Arr(_))
+        ));
+    }
+}

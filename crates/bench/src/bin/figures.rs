@@ -29,6 +29,15 @@
 //! worker-recycling overhead A/B, and retrying clients under a
 //! shedding flood — and writes `BENCH_7.json`:
 //! `cargo run --release -p lagoon-bench --bin figures bench7 [requests] [out.json]`
+//!
+//! The `bench8` mode runs the tagged-value-word A/B — figures 6–8 under
+//! `vm` and `vm+opt` on the current representation, joined against the
+//! recorded pre-change baseline — plus the `--jobs 1`/`--jobs 8` store
+//! digest identity re-check, and writes `BENCH_8.json`:
+//! `cargo run --release -p lagoon-bench --bin figures bench8 [reps] [out.json]`
+//! With `LAGOON_BENCH8_GATE=1` (CI's bench-smoke), the run exits
+//! nonzero if the new representation measures slower than the recorded
+//! baseline on either configuration or the store digests diverge.
 
 use lagoon_bench::{
     bench4_json, bench4_sweep, benchmarks_for, collect_metrics, format_figure, measure_figure,
@@ -178,6 +187,40 @@ fn run_bench7(args: &[String]) {
     }
 }
 
+fn run_bench8(args: &[String]) {
+    let reps: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let path = args.get(3).map(String::as_str).unwrap_or("BENCH_8.json");
+    let report =
+        match lagoon_bench::bench8::bench8_sweep(&[Figure::Fig6, Figure::Fig7, Figure::Fig8], reps)
+        {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("error in bench8 A/B sweep: {e}");
+                std::process::exit(1);
+            }
+        };
+    let (vm, vm_opt) = (report.median_speedup("vm"), report.median_speedup("vm+opt"));
+    println!("bench8: median speedup vm {vm:.2}x, vm+opt {vm_opt:.2}x over the boxed baseline");
+    for (jobs, digest) in &report.digests {
+        println!("  --jobs {jobs}: store digest {digest:016x}");
+    }
+    if !report.digests_match() {
+        eprintln!("store digests diverge between --jobs 1 and --jobs 8");
+        std::process::exit(1);
+    }
+    match std::fs::write(path, lagoon_bench::bench8::bench8_json(&report)) {
+        Ok(()) => println!("wrote {path} ({} records, {reps} reps)", report.rows.len()),
+        Err(e) => {
+            eprintln!("error writing {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if std::env::var("LAGOON_BENCH8_GATE").as_deref() == Ok("1") && (vm < 1.0 || vm_opt < 1.0) {
+        eprintln!("bench8 gate: new representation slower than the recorded baseline");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let which = args.get(1).map(String::as_str).unwrap_or("all");
@@ -192,6 +235,9 @@ fn main() {
     }
     if which == "bench7" {
         return run_bench7(&args);
+    }
+    if which == "bench8" {
+        return run_bench8(&args);
     }
     let reps: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
     let figures: Vec<Figure> = match which {

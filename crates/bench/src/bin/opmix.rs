@@ -1,0 +1,38 @@
+//! Per-opcode execution histogram for a named figure benchmark —
+//! the quickest way to see where a config actually spends its
+//! dispatches when a benchmark over- or under-performs.
+//!
+//! Usage: `cargo run --release -p lagoon-bench --bin opmix -- <bench> [vm|vm+opt]`
+
+use lagoon_bench::{benchmarks_for, prepare, Config, Figure};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("fannkuch");
+    let config = match args.get(2).map(String::as_str) {
+        Some("vm+opt") => Config::VmOpt,
+        _ => Config::Vm,
+    };
+    let bench = [Figure::Fig6, Figure::Fig7, Figure::Fig8]
+        .into_iter()
+        .flat_map(benchmarks_for)
+        .find(|b| b.name == name)
+        .expect("unknown benchmark");
+    let mut runner = prepare(&bench, config).expect("prepare");
+    lagoon_vm::counters::reset();
+    lagoon_vm::counters::set_active(true);
+    runner().expect("run");
+    lagoon_vm::counters::set_active(false);
+    let snap = lagoon_vm::counters::snapshot();
+    let total: u64 = snap.iter().map(|r| r.3).sum();
+    println!("{name} {} total {total}", config.label());
+    for (op, class, fused, count) in snap.iter().take(25) {
+        println!(
+            "{op:<16} {:>12}  {:5.1}%  {}{}",
+            count,
+            *count as f64 / total as f64 * 100.0,
+            class.name(),
+            if *fused { " fused" } else { "" }
+        );
+    }
+}

@@ -21,6 +21,7 @@
 pub mod bench5;
 pub mod bench6;
 pub mod bench7;
+pub mod bench8;
 pub mod harness;
 pub mod programs;
 

@@ -229,11 +229,11 @@ impl Expander {
             let _p1 = lagoon_diag::limits::phase1_scope();
             Interp.apply(transformer, &[Value::Syntax(input)])
         })?;
-        match result {
-            Value::Syntax(s) => Ok(s.flip_scope(intro)),
-            other => Err(RtError::user(format!(
+        match result.as_syntax() {
+            Some(s) => Ok(s.flip_scope(intro)),
+            None => Err(RtError::user(format!(
                 "macro transformer returned a non-syntax value: {}",
-                other.write_string()
+                result.write_string()
             ))
             .with_span(stx.span())),
         }

@@ -312,7 +312,7 @@ impl ModuleRegistry {
         let twins: Vec<(Symbol, Symbol)> = vm_base
             .keys()
             .filter_map(|sym| {
-                let interned = Symbol::intern(&sym.as_str());
+                let interned = sym.with_str(Symbol::intern);
                 (interned != *sym).then_some((*sym, interned))
             })
             .collect();
@@ -324,6 +324,8 @@ impl ModuleRegistry {
                 interp_base.define(*twin, v);
             }
         }
+        // as_str (allocating) is intentional: the digest input needs
+        // owned, sortable strings regardless
         let mut names: Vec<String> = vm_base.keys().map(|s| s.as_str()).collect();
         names.sort();
         names.dedup();
@@ -551,11 +553,11 @@ impl ModuleRegistry {
             .vm_base
             .borrow()
             .keys()
-            .map(|s| Symbol::intern(&s.as_str()))
+            .map(|s| s.with_str(Symbol::intern))
             .collect();
         for (dep, _) in &artifact.dep_digests {
             if let Some(language) = self.languages.borrow().get(dep).cloned() {
-                visible.extend(language.values.keys().map(|s| Symbol::intern(&s.as_str())));
+                visible.extend(language.values.keys().map(|s| s.with_str(Symbol::intern)));
                 continue;
             }
             if let Some(dep_compiled) = self.compiled.borrow().get(dep) {
@@ -690,7 +692,8 @@ impl ModuleRegistry {
         let _fresh = lagoon_syntax::fresh_scope(module_fresh_digest(name, &source));
         let module = {
             let _t = lagoon_diag::time(lagoon_diag::Phase::Read, name);
-            let (module, read_errors) = read_module_recover(&source, &name.as_str())
+            let (module, read_errors) = name
+                .with_str(|n| read_module_recover(&source, n))
                 .map_err(|e| RtError::user(e.to_string()).with_span(e.span))?;
             if !read_errors.is_empty() {
                 // the reader resynchronized at top-level form boundaries,

@@ -56,8 +56,11 @@ use std::rc::Rc;
 /// opcode table) changes incompatibly. Old artifacts read as stale.
 ///
 /// History: 2 added the peephole superinstruction opcodes and the
-/// artifact's `peephole` flag.
-pub const FORMAT_VERSION: u32 = 2;
+/// artifact's `peephole` flag. 3 switched [`Value`](lagoon_runtime::Value)
+/// to the tagged word representation, changing constant encoding (NaN
+/// canonicalization means float constants round-trip through one bit
+/// pattern per NaN) and the opcode operand layout.
+pub const FORMAT_VERSION: u32 = 3;
 
 const MAGIC: &[u8; 4] = b"LAGC";
 

@@ -413,11 +413,11 @@ pub fn syntax_rules_macro() -> Rc<NativeMacro> {
 // ---------------------------------------------------------------------
 
 fn expect_syntax_arg(who: &str, v: &Value) -> Result<Syntax, RtError> {
-    match v {
-        Value::Syntax(s) => Ok(s.clone()),
-        other => Err(RtError::type_error(format!(
+    match v.as_syntax() {
+        Some(s) => Ok(s.clone()),
+        None => Err(RtError::type_error(format!(
             "{who}: expected syntax, got {}",
-            other.write_string()
+            v.write_string()
         ))),
     }
 }
@@ -428,14 +428,14 @@ fn assoc_to_map(v: &Value) -> Result<HashMap<Symbol, Value>, RtError> {
         .ok_or_else(|| RtError::type_error("expected an association list"))?;
     let mut map = HashMap::new();
     for item in items {
-        match item {
-            Value::Pair(p) => match &p.0 {
-                Value::Symbol(k) => {
-                    map.insert(*k, p.1.clone());
+        match item.as_pair() {
+            Some(p) => match p.0.as_symbol() {
+                Some(k) => {
+                    map.insert(k, p.1.clone());
                 }
-                _ => return Err(RtError::type_error("association key must be a symbol")),
+                None => return Err(RtError::type_error("association key must be a symbol")),
             },
-            _ => return Err(RtError::type_error("expected an association list of pairs")),
+            None => return Err(RtError::type_error("expected an association list of pairs")),
         }
     }
     Ok(map)
@@ -471,10 +471,7 @@ pub fn phase1_natives() -> Vec<(Symbol, Value)> {
                     .list_to_vec()
                     .unwrap_or_default()
                     .into_iter()
-                    .filter_map(|x| match x {
-                        Value::Symbol(s) => Some(s),
-                        _ => None,
-                    })
+                    .filter_map(|x| x.as_symbol())
                     .collect(),
                 None => Vec::new(),
             };
@@ -495,13 +492,13 @@ pub fn phase1_natives() -> Vec<(Symbol, Value)> {
         Arity::exactly(2),
         Box::new(|args| {
             let map = assoc_to_map(&args[0])?;
-            match &args[1] {
-                Value::Symbol(k) => map.get(k).cloned().ok_or_else(|| {
+            match args[1].as_symbol() {
+                Some(k) => map.get(&k).cloned().ok_or_else(|| {
                     RtError::type_error(format!("match-lookup: no binding for {k}"))
                 }),
-                v => Err(RtError::type_error(format!(
+                None => Err(RtError::type_error(format!(
                     "match-lookup: expected symbol, got {}",
-                    v.write_string()
+                    args[1].write_string()
                 ))),
             }
         }),
@@ -522,12 +519,12 @@ pub fn phase1_natives() -> Vec<(Symbol, Value)> {
     def(
         "coerce-syntax",
         Arity::exactly(1),
-        Box::new(|args| match &args[0] {
-            Value::Syntax(s) => Ok(Value::Syntax(s.clone())),
-            other => {
+        Box::new(|args| match args[0].as_syntax() {
+            Some(s) => Ok(Value::Syntax(s.clone())),
+            None => {
                 let ctx = Syntax::ident(Symbol::intern("ctx"), lagoon_syntax::Span::synthetic());
                 Ok(Value::Syntax(lagoon_runtime::prim::value_to_syntax(
-                    &ctx, other,
+                    &ctx, &args[0],
                 )?))
             }
         }),
@@ -543,11 +540,14 @@ pub fn phase1_natives() -> Vec<(Symbol, Value)> {
             let ctx = Syntax::ident(Symbol::intern("ctx"), lagoon_syntax::Span::synthetic());
             let coerced = items
                 .into_iter()
-                .map(|v| match v {
-                    Value::Syntax(s) => Ok(Value::Syntax(s)),
-                    other => Ok(Value::Syntax(lagoon_runtime::prim::value_to_syntax(
-                        &ctx, &other,
-                    )?)),
+                .map(|v| {
+                    if v.as_syntax().is_some() {
+                        Ok(v)
+                    } else {
+                        Ok(Value::Syntax(lagoon_runtime::prim::value_to_syntax(
+                            &ctx, &v,
+                        )?))
+                    }
                 })
                 .collect::<Result<Vec<_>, RtError>>()?;
             Ok(Value::list(coerced))
@@ -560,9 +560,9 @@ pub fn phase1_natives() -> Vec<(Symbol, Value)> {
         Box::new(|args| {
             let pat = expect_syntax_arg("with-syntax", &args[0])?;
             let ctx = Syntax::ident(Symbol::intern("ctx"), lagoon_syntax::Span::synthetic());
-            let input = match &args[1] {
-                Value::Syntax(s) => s.clone(),
-                other => lagoon_runtime::prim::value_to_syntax(&ctx, other)?,
+            let input = match args[1].as_syntax() {
+                Some(s) => s.clone(),
+                None => lagoon_runtime::prim::value_to_syntax(&ctx, &args[1])?,
             };
             match match_pattern(&pat, &input, &[]) {
                 Some(bindings) => Ok(Value::list(
@@ -587,10 +587,7 @@ pub fn phase1_natives() -> Vec<(Symbol, Value)> {
                 .list_to_vec()
                 .unwrap_or_default()
                 .into_iter()
-                .filter_map(|v| match v {
-                    Value::Symbol(s) => Some(s),
-                    _ => None,
-                })
+                .filter_map(|v| v.as_symbol())
                 .collect();
             let clauses: Vec<(Syntax, Syntax)> = clauses_stx
                 .as_list()
@@ -635,10 +632,10 @@ pub fn phase1_natives() -> Vec<(Symbol, Value)> {
             let exp = crate::expander::current_expander()
                 .ok_or_else(|| RtError::user("local-expand: not currently expanding"))?;
             lagoon_diag::count("local-expand", exp.module_name, 1);
-            let module_begin = match args.get(1) {
-                Some(Value::Symbol(s)) => s.with_str(|ctx| ctx == "module-begin"),
-                _ => false,
-            };
+            let module_begin = args
+                .get(1)
+                .and_then(Value::as_symbol)
+                .is_some_and(|s| s.with_str(|ctx| ctx == "module-begin"));
             let out = if module_begin {
                 exp.expand_module_begin(stx)?
             } else {

@@ -265,11 +265,13 @@ pub fn instantiate_template(
 ) -> Result<Syntax, RtError> {
     match tmpl.e() {
         SynData::Atom(Datum::Symbol(sym)) => match bindings.get(sym) {
-            Some(Value::Syntax(s)) => Ok(s.clone()),
-            Some(_) => Err(RtError::user(format!(
-                "syntax template: pattern variable {sym} used at the wrong ellipsis depth"
-            ))
-            .with_span(tmpl.span())),
+            Some(v) => match v.as_syntax() {
+                Some(s) => Ok(s.clone()),
+                None => Err(RtError::user(format!(
+                    "syntax template: pattern variable {sym} used at the wrong ellipsis depth"
+                ))
+                .with_span(tmpl.span())),
+            },
             None => Ok(tmpl.clone()),
         },
         SynData::Atom(_) => Ok(tmpl.clone()),
@@ -402,10 +404,8 @@ mod tests {
     #[test]
     fn simple_variable_match() {
         let bs = m("x", "(+ 1 2)").unwrap();
-        match binding(&bs, "x") {
-            Value::Syntax(s) => assert_eq!(s.to_datum().to_string(), "(+ 1 2)"),
-            _ => panic!(),
-        }
+        let s = binding(&bs, "x").as_syntax().unwrap();
+        assert_eq!(s.to_datum().to_string(), "(+ 1 2)");
     }
 
     #[test]
@@ -421,10 +421,8 @@ mod tests {
     #[test]
     fn annotated_classes() {
         let bs = m("(f x:id n:number)", "(g y 3)").unwrap();
-        match binding(&bs, "x") {
-            Value::Syntax(s) => assert_eq!(s.sym().unwrap().as_str(), "y"),
-            _ => panic!(),
-        }
+        let s = binding(&bs, "x").as_syntax().unwrap();
+        assert_eq!(s.sym().unwrap().as_str(), "y");
         assert!(m("(f x:id)", "(g 3)").is_none());
         assert!(m("(f n:number)", "(g z)").is_none());
         assert!(m("(f s:str)", "(g \"hi\")").is_some());
@@ -456,10 +454,8 @@ mod tests {
         // trailing fixed elements after the ellipsis
         let bs = m("(f x ... last)", "(g 1 2 3)").unwrap();
         assert_eq!(binding(&bs, "x").list_to_vec().unwrap().len(), 2);
-        match binding(&bs, "last") {
-            Value::Syntax(s) => assert_eq!(s.to_datum().to_string(), "3"),
-            _ => panic!(),
-        }
+        let s = binding(&bs, "last").as_syntax().unwrap();
+        assert_eq!(s.to_datum().to_string(), "3");
     }
 
     #[test]
@@ -479,10 +475,8 @@ mod tests {
     #[test]
     fn improper_patterns() {
         let bs = m("(a . rest)", "(1 2 3)").unwrap();
-        match binding(&bs, "rest") {
-            Value::Syntax(s) => assert_eq!(s.to_datum().to_string(), "(2 3)"),
-            _ => panic!(),
-        }
+        let s = binding(&bs, "rest").as_syntax().unwrap();
+        assert_eq!(s.to_datum().to_string(), "(2 3)");
         assert!(m("(a b . rest)", "(1)").is_none());
     }
 

@@ -30,7 +30,7 @@ fn macro_defining_macro() {
          (define-constant-fn eight 8)
          (+ (seven) (eight))")
     .unwrap();
-    assert!(matches!(v, Value::Int(15)));
+    assert_eq!(v.as_int(), Some(15));
 }
 
 #[test]
@@ -96,7 +96,7 @@ fn phase1_computation_with_prelude() {
               #`(quote #,(sum (iota (syntax->datum #'n))))]))
          (sum-at-compile-time 10)")
     .unwrap();
-    assert!(matches!(v, Value::Int(45)));
+    assert_eq!(v.as_int(), Some(45));
 }
 
 #[test]
@@ -108,7 +108,7 @@ fn unsyntax_splicing_in_templates() {
               #`(f #,@(reverse (syntax->list #'(arg ...))))]))
          (reverse-args - 1 10)")
     .unwrap();
-    assert!(matches!(v, Value::Int(9)));
+    assert_eq!(v.as_int(), Some(9));
 }
 
 #[test]
@@ -180,7 +180,7 @@ fn define_for_syntax_via_begin_for_syntax() {
              [(_ n:number) #`(quote #,(triple (syntax->datum #'n)))]))
          (use-helper 14)")
     .unwrap();
-    assert!(matches!(v, Value::Int(42)));
+    assert_eq!(v.as_int(), Some(42));
 }
 
 #[test]
@@ -190,7 +190,7 @@ fn shadowing_macros_with_variables() {
          (define (f twice) (twice 5))
          (f (lambda (x) (* x 100)))")
     .unwrap();
-    assert!(matches!(v, Value::Int(500)));
+    assert_eq!(v.as_int(), Some(500));
 }
 
 #[test]
@@ -250,7 +250,7 @@ fn deeply_nested_macro_expansion() {
          {expr}"
     );
     let v = run(&src).unwrap();
-    assert!(matches!(v, Value::Int(0)));
+    assert_eq!(v.as_int(), Some(0));
 }
 
 #[test]
@@ -285,7 +285,7 @@ fn multi_module_macro_towers() {
          (inc2 40)",
     );
     let v = reg.run("top", EngineKind::Vm).unwrap();
-    assert!(matches!(v, Value::Int(42)));
+    assert_eq!(v.as_int(), Some(42));
 }
 
 #[test]
@@ -300,5 +300,5 @@ fn macro_using_module_runs_on_both_engines() {
     let vm = reg.run("m", EngineKind::Vm).unwrap();
     let interp = reg.run("m", EngineKind::Interp).unwrap();
     assert!(vm.equal(&interp));
-    assert!(matches!(vm, Value::Int(81)));
+    assert_eq!(vm.as_int(), Some(81));
 }

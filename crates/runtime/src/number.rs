@@ -6,13 +6,14 @@
 //! `Int ⊕ Float → Float`, `Float ⊕ Complex → Complex`.
 //!
 //! Every function here performs *tag dispatch*: it inspects the [`Value`]
-//! tags before operating. That per-operation dispatch is exactly the cost
-//! the paper's type-driven optimizer eliminates by rewriting generic
+//! word tags before operating. That per-operation dispatch is exactly the
+//! cost the paper's type-driven optimizer eliminates by rewriting generic
 //! operations to the `unsafe-fl*` primitives once the typechecker has
-//! proved the operand types.
+//! proved the operand types. With the NaN-boxed word the common cases —
+//! two fixnums, two flonums — are a pair of 16-bit tag compares.
 
 use crate::error::{Kind, RtError};
-use crate::value::Value;
+use crate::value::{Unpacked, Value};
 
 fn not_number(op: &str, v: &Value) -> RtError {
     RtError::type_error(format!("{op}: expected number, got {}", v.write_string()))
@@ -26,26 +27,26 @@ enum Promoted {
 }
 
 fn promote(op: &str, a: &Value, b: &Value) -> Result<Promoted, RtError> {
-    match (a, b) {
-        (Value::Int(x), Value::Int(y)) => Ok(Promoted::Ints(*x, *y)),
-        (Value::Int(x), Value::Float(y)) => Ok(Promoted::Floats(*x as f64, *y)),
-        (Value::Float(x), Value::Int(y)) => Ok(Promoted::Floats(*x, *y as f64)),
-        (Value::Float(x), Value::Float(y)) => Ok(Promoted::Floats(*x, *y)),
-        (Value::Complex(xr, xi), Value::Complex(yr, yi)) => {
-            Ok(Promoted::Complexes(*xr, *xi, *yr, *yi))
+    match (a.unpacked(), b.unpacked()) {
+        (Unpacked::Int(x), Unpacked::Int(y)) => Ok(Promoted::Ints(x, y)),
+        (Unpacked::Int(x), Unpacked::Float(y)) => Ok(Promoted::Floats(x as f64, y)),
+        (Unpacked::Float(x), Unpacked::Int(y)) => Ok(Promoted::Floats(x, y as f64)),
+        (Unpacked::Float(x), Unpacked::Float(y)) => Ok(Promoted::Floats(x, y)),
+        (Unpacked::Complex(xr, xi), Unpacked::Complex(yr, yi)) => {
+            Ok(Promoted::Complexes(xr, xi, yr, yi))
         }
-        (Value::Complex(xr, xi), Value::Int(y)) => {
-            Ok(Promoted::Complexes(*xr, *xi, *y as f64, 0.0))
+        (Unpacked::Complex(xr, xi), Unpacked::Int(y)) => {
+            Ok(Promoted::Complexes(xr, xi, y as f64, 0.0))
         }
-        (Value::Complex(xr, xi), Value::Float(y)) => Ok(Promoted::Complexes(*xr, *xi, *y, 0.0)),
-        (Value::Int(x), Value::Complex(yr, yi)) => {
-            Ok(Promoted::Complexes(*x as f64, 0.0, *yr, *yi))
+        (Unpacked::Complex(xr, xi), Unpacked::Float(y)) => Ok(Promoted::Complexes(xr, xi, y, 0.0)),
+        (Unpacked::Int(x), Unpacked::Complex(yr, yi)) => {
+            Ok(Promoted::Complexes(x as f64, 0.0, yr, yi))
         }
-        (Value::Float(x), Value::Complex(yr, yi)) => Ok(Promoted::Complexes(*x, 0.0, *yr, *yi)),
-        (Value::Int(_) | Value::Float(_) | Value::Complex(_, _), other) => {
-            Err(not_number(op, other))
+        (Unpacked::Float(x), Unpacked::Complex(yr, yi)) => Ok(Promoted::Complexes(x, 0.0, yr, yi)),
+        (Unpacked::Int(_) | Unpacked::Float(_) | Unpacked::Complex(_, _), _) => {
+            Err(not_number(op, b))
         }
-        (other, _) => Err(not_number(op, other)),
+        _ => Err(not_number(op, a)),
     }
 }
 
@@ -124,7 +125,9 @@ pub fn compare(op: &str, a: &Value, b: &Value) -> Result<std::cmp::Ordering, RtE
     }
 }
 
-/// Generic `=` (numeric equality across the tower).
+/// Generic `=` (numeric equality across the tower, IEEE semantics —
+/// `(= +nan.0 +nan.0)` is `#f`, `(= 0.0 -0.0)` is `#t`; contrast with
+/// [`Value::eqv`]'s bitwise flonum rules).
 pub fn num_eq(a: &Value, b: &Value) -> Result<bool, RtError> {
     match promote("=", a, b)? {
         Promoted::Ints(x, y) => Ok(x == y),
@@ -135,9 +138,9 @@ pub fn num_eq(a: &Value, b: &Value) -> Result<bool, RtError> {
 
 /// `quotient` on integers.
 pub fn quotient(a: &Value, b: &Value) -> Result<Value, RtError> {
-    match (a, b) {
-        (Value::Int(_), Value::Int(0)) => Err(RtError::new(Kind::DivideByZero, "quotient by zero")),
-        (Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_div(*y))),
+    match (a.as_int(), b.as_int()) {
+        (Some(_), Some(0)) => Err(RtError::new(Kind::DivideByZero, "quotient by zero")),
+        (Some(x), Some(y)) => Ok(Value::Int(x.wrapping_div(y))),
         _ => Err(RtError::type_error(format!(
             "quotient: expected integers, got {} and {}",
             a.write_string(),
@@ -148,22 +151,20 @@ pub fn quotient(a: &Value, b: &Value) -> Result<Value, RtError> {
 
 /// `remainder` on integers (sign follows the dividend).
 pub fn remainder(a: &Value, b: &Value) -> Result<Value, RtError> {
-    match (a, b) {
-        (Value::Int(_), Value::Int(0)) => {
-            Err(RtError::new(Kind::DivideByZero, "remainder by zero"))
-        }
-        (Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_rem(*y))),
+    match (a.as_int(), b.as_int()) {
+        (Some(_), Some(0)) => Err(RtError::new(Kind::DivideByZero, "remainder by zero")),
+        (Some(x), Some(y)) => Ok(Value::Int(x.wrapping_rem(y))),
         _ => Err(RtError::type_error("remainder: expected integers")),
     }
 }
 
 /// `modulo` on integers (sign follows the divisor).
 pub fn modulo(a: &Value, b: &Value) -> Result<Value, RtError> {
-    match (a, b) {
-        (Value::Int(_), Value::Int(0)) => Err(RtError::new(Kind::DivideByZero, "modulo by zero")),
-        (Value::Int(x), Value::Int(y)) => {
-            let r = x.wrapping_rem(*y);
-            let m = if r != 0 && (r < 0) != (*y < 0) {
+    match (a.as_int(), b.as_int()) {
+        (Some(_), Some(0)) => Err(RtError::new(Kind::DivideByZero, "modulo by zero")),
+        (Some(x), Some(y)) => {
+            let r = x.wrapping_rem(y);
+            let m = if r != 0 && (r < 0) != (y < 0) {
                 r + y
             } else {
                 r
@@ -176,49 +177,49 @@ pub fn modulo(a: &Value, b: &Value) -> Result<Value, RtError> {
 
 /// `abs` / `magnitude` for reals; `magnitude` for complex.
 pub fn magnitude(v: &Value) -> Result<Value, RtError> {
-    match v {
-        Value::Int(n) => n
+    match v.unpacked() {
+        Unpacked::Int(n) => n
             .checked_abs()
             .map(Value::Int)
             .ok_or_else(|| RtError::new(Kind::Overflow, "(abs min-int)")),
-        Value::Float(x) => Ok(Value::Float(x.abs())),
-        Value::Complex(re, im) => Ok(Value::Float(re.hypot(*im))),
-        other => Err(not_number("magnitude", other)),
+        Unpacked::Float(x) => Ok(Value::Float(x.abs())),
+        Unpacked::Complex(re, im) => Ok(Value::Float(re.hypot(im))),
+        _ => Err(not_number("magnitude", v)),
     }
 }
 
 /// `sqrt`: stays exact when possible, goes inexact (or complex) otherwise.
 pub fn sqrt(v: &Value) -> Result<Value, RtError> {
-    match v {
-        Value::Int(n) if *n >= 0 => {
-            let r = (*n as f64).sqrt();
+    match v.unpacked() {
+        Unpacked::Int(n) if n >= 0 => {
+            let r = (n as f64).sqrt();
             let ri = r as i64;
-            if ri * ri == *n {
+            if ri * ri == n {
                 Ok(Value::Int(ri))
             } else {
                 Ok(Value::Float(r))
             }
         }
-        Value::Int(n) => Ok(Value::Complex(0.0, ((-n) as f64).sqrt())),
-        Value::Float(x) if *x >= 0.0 => Ok(Value::Float(x.sqrt())),
-        Value::Float(x) => Ok(Value::Complex(0.0, (-x).sqrt())),
-        Value::Complex(re, im) => {
-            let m = re.hypot(*im).sqrt();
-            let theta = im.atan2(*re) / 2.0;
+        Unpacked::Int(n) => Ok(Value::Complex(0.0, ((-n) as f64).sqrt())),
+        Unpacked::Float(x) if x >= 0.0 => Ok(Value::Float(x.sqrt())),
+        Unpacked::Float(x) => Ok(Value::Complex(0.0, (-x).sqrt())),
+        Unpacked::Complex(re, im) => {
+            let m = re.hypot(im).sqrt();
+            let theta = im.atan2(re) / 2.0;
             Ok(Value::Complex(m * theta.cos(), m * theta.sin()))
         }
-        other => Err(not_number("sqrt", other)),
+        _ => Err(not_number("sqrt", v)),
     }
 }
 
 /// `expt` — exponentiation. Integer^non-negative-integer stays exact.
 pub fn expt(a: &Value, b: &Value) -> Result<Value, RtError> {
-    match (a, b) {
-        (Value::Int(x), Value::Int(y)) if *y >= 0 => {
+    match (a.as_int(), b.as_int()) {
+        (Some(x), Some(y)) if y >= 0 => {
             let mut acc: i64 = 1;
-            for _ in 0..*y {
+            for _ in 0..y {
                 acc = acc
-                    .checked_mul(*x)
+                    .checked_mul(x)
                     .ok_or_else(|| RtError::new(Kind::Overflow, format!("(expt {x} {y})")))?;
             }
             Ok(Value::Int(acc))
@@ -234,10 +235,10 @@ pub fn expt(a: &Value, b: &Value) -> Result<Value, RtError> {
 /// Unary float transcendental functions (`sin`, `cos`, `tan`, `atan`,
 /// `log`, `exp`), applied to reals.
 pub fn float_unary(op: &str, v: &Value) -> Result<Value, RtError> {
-    let x = match v {
-        Value::Int(n) => *n as f64,
-        Value::Float(x) => *x,
-        other => return Err(not_number(op, other)),
+    let x = match v.unpacked() {
+        Unpacked::Int(n) => n as f64,
+        Unpacked::Float(x) => x,
+        _ => return Err(not_number(op, v)),
     };
     let y = match op {
         "sin" => x.sin(),
@@ -260,32 +261,32 @@ pub fn float_unary(op: &str, v: &Value) -> Result<Value, RtError> {
 
 /// `exact->inexact`.
 pub fn to_inexact(v: &Value) -> Result<Value, RtError> {
-    match v {
-        Value::Int(n) => Ok(Value::Float(*n as f64)),
-        Value::Float(_) | Value::Complex(_, _) => Ok(v.clone()),
-        other => Err(not_number("exact->inexact", other)),
+    match v.unpacked() {
+        Unpacked::Int(n) => Ok(Value::Float(n as f64)),
+        Unpacked::Float(_) | Unpacked::Complex(_, _) => Ok(v.clone()),
+        _ => Err(not_number("exact->inexact", v)),
     }
 }
 
 /// `inexact->exact` (truncating floats with integral values).
 pub fn to_exact(v: &Value) -> Result<Value, RtError> {
-    match v {
-        Value::Int(_) => Ok(v.clone()),
-        Value::Float(x) if x.fract() == 0.0 && x.abs() < i64::MAX as f64 => {
-            Ok(Value::Int(*x as i64))
+    match v.unpacked() {
+        Unpacked::Int(_) => Ok(v.clone()),
+        Unpacked::Float(x) if x.fract() == 0.0 && x.abs() < i64::MAX as f64 => {
+            Ok(Value::Int(x as i64))
         }
-        Value::Float(x) => Err(RtError::type_error(format!(
+        Unpacked::Float(x) => Err(RtError::type_error(format!(
             "inexact->exact: {x} has no exact representation in Lagoon"
         ))),
-        other => Err(not_number("inexact->exact", other)),
+        _ => Err(not_number("inexact->exact", v)),
     }
 }
 
 /// Rounding family: `floor`, `ceiling`, `round`, `truncate`.
 pub fn round_family(op: &str, v: &Value) -> Result<Value, RtError> {
-    match v {
-        Value::Int(_) => Ok(v.clone()),
-        Value::Float(x) => Ok(Value::Float(match op {
+    match v.unpacked() {
+        Unpacked::Int(_) => Ok(v.clone()),
+        Unpacked::Float(x) => Ok(Value::Float(match op {
             "floor" => x.floor(),
             "ceiling" => x.ceil(),
             "round" => {
@@ -305,7 +306,7 @@ pub fn round_family(op: &str, v: &Value) -> Result<Value, RtError> {
                 ))
             }
         })),
-        other => Err(not_number(op, other)),
+        _ => Err(not_number(op, v)),
     }
 }
 
@@ -325,44 +326,35 @@ mod tests {
 
     #[test]
     fn integer_arithmetic() {
-        assert!(matches!(add(&int(2), &int(3)).unwrap(), Value::Int(5)));
-        assert!(matches!(sub(&int(2), &int(3)).unwrap(), Value::Int(-1)));
-        assert!(matches!(mul(&int(4), &int(3)).unwrap(), Value::Int(12)));
-        assert!(matches!(div(&int(6), &int(3)).unwrap(), Value::Int(2)));
-        assert!(matches!(div(&int(7), &int(2)).unwrap(), Value::Float(x) if x == 3.5));
+        assert_eq!(add(&int(2), &int(3)).unwrap().as_int(), Some(5));
+        assert_eq!(sub(&int(2), &int(3)).unwrap().as_int(), Some(-1));
+        assert_eq!(mul(&int(4), &int(3)).unwrap().as_int(), Some(12));
+        assert_eq!(div(&int(6), &int(3)).unwrap().as_int(), Some(2));
+        assert_eq!(div(&int(7), &int(2)).unwrap().as_float(), Some(3.5));
     }
 
     #[test]
     fn promotion() {
-        assert!(matches!(add(&int(1), &fl(0.5)).unwrap(), Value::Float(x) if x == 1.5));
-        assert!(matches!(mul(&fl(2.0), &int(3)).unwrap(), Value::Float(x) if x == 6.0));
-        match add(&fl(1.0), &cpx(2.0, 3.0)).unwrap() {
-            Value::Complex(re, im) => {
-                assert_eq!(re, 3.0);
-                assert_eq!(im, 3.0);
-            }
-            v => panic!("expected complex, got {v}"),
-        }
+        assert_eq!(add(&int(1), &fl(0.5)).unwrap().as_float(), Some(1.5));
+        assert_eq!(mul(&fl(2.0), &int(3)).unwrap().as_float(), Some(6.0));
+        assert_eq!(
+            add(&fl(1.0), &cpx(2.0, 3.0)).unwrap().as_complex(),
+            Some((3.0, 3.0))
+        );
     }
 
     #[test]
     fn complex_mul_and_div() {
         // (2+2i) * (2+2i) = 8i
-        match mul(&cpx(2.0, 2.0), &cpx(2.0, 2.0)).unwrap() {
-            Value::Complex(re, im) => {
-                assert_eq!(re, 0.0);
-                assert_eq!(im, 8.0);
-            }
-            v => panic!("{v}"),
-        }
+        assert_eq!(
+            mul(&cpx(2.0, 2.0), &cpx(2.0, 2.0)).unwrap().as_complex(),
+            Some((0.0, 8.0))
+        );
         // the paper's loop: f / 2.0+2.0i
-        match div(&cpx(4.0, 0.0), &cpx(2.0, 2.0)).unwrap() {
-            Value::Complex(re, im) => {
-                assert_eq!(re, 1.0);
-                assert_eq!(im, -1.0);
-            }
-            v => panic!("{v}"),
-        }
+        assert_eq!(
+            div(&cpx(4.0, 0.0), &cpx(2.0, 2.0)).unwrap().as_complex(),
+            Some((1.0, -1.0))
+        );
     }
 
     #[test]
@@ -378,10 +370,30 @@ mod tests {
     }
 
     #[test]
+    fn wide_integers_survive_boxing() {
+        // values past the 48-bit immediate range still behave like ints
+        let big = (1i64 << 60) + 12345;
+        assert_eq!(add(&int(big), &int(1)).unwrap().as_int(), Some(big + 1));
+        assert_eq!(
+            mul(&int(1 << 40), &int(1 << 20)).unwrap().as_int(),
+            Some(1 << 60)
+        );
+        assert!(num_eq(&int(big), &int(big)).unwrap());
+        assert_eq!(
+            compare("<", &int(big), &int(big + 1)).unwrap(),
+            std::cmp::Ordering::Less
+        );
+    }
+
+    #[test]
     fn division_by_zero() {
         assert_eq!(div(&int(1), &int(0)).unwrap_err().kind, Kind::DivideByZero);
         // float division by zero is inf, not an error
-        assert!(matches!(div(&fl(1.0), &fl(0.0)).unwrap(), Value::Float(x) if x.is_infinite()));
+        assert!(div(&fl(1.0), &fl(0.0))
+            .unwrap()
+            .as_float()
+            .unwrap()
+            .is_infinite());
     }
 
     #[test]
@@ -397,40 +409,32 @@ mod tests {
 
     #[test]
     fn magnitude_of_complex() {
-        assert!(matches!(magnitude(&cpx(3.0, 4.0)).unwrap(), Value::Float(x) if x == 5.0));
-        assert!(matches!(magnitude(&int(-3)).unwrap(), Value::Int(3)));
+        assert_eq!(magnitude(&cpx(3.0, 4.0)).unwrap().as_float(), Some(5.0));
+        assert_eq!(magnitude(&int(-3)).unwrap().as_int(), Some(3));
     }
 
     #[test]
     fn sqrt_tower() {
-        assert!(matches!(sqrt(&int(9)).unwrap(), Value::Int(3)));
-        assert!(matches!(sqrt(&int(2)).unwrap(), Value::Float(_)));
-        assert!(
-            matches!(sqrt(&int(-4)).unwrap(), Value::Complex(re, im) if re == 0.0 && im == 2.0)
-        );
-        assert!(matches!(sqrt(&fl(2.25)).unwrap(), Value::Float(x) if x == 1.5));
+        assert_eq!(sqrt(&int(9)).unwrap().as_int(), Some(3));
+        assert!(sqrt(&int(2)).unwrap().is_float());
+        assert_eq!(sqrt(&int(-4)).unwrap().as_complex(), Some((0.0, 2.0)));
+        assert_eq!(sqrt(&fl(2.25)).unwrap().as_float(), Some(1.5));
     }
 
     #[test]
     fn quotient_remainder_modulo() {
-        assert!(matches!(quotient(&int(7), &int(2)).unwrap(), Value::Int(3)));
-        assert!(matches!(
-            remainder(&int(7), &int(2)).unwrap(),
-            Value::Int(1)
-        ));
-        assert!(matches!(
-            remainder(&int(-7), &int(2)).unwrap(),
-            Value::Int(-1)
-        ));
-        assert!(matches!(modulo(&int(-7), &int(2)).unwrap(), Value::Int(1)));
-        assert!(matches!(modulo(&int(7), &int(-2)).unwrap(), Value::Int(-1)));
+        assert_eq!(quotient(&int(7), &int(2)).unwrap().as_int(), Some(3));
+        assert_eq!(remainder(&int(7), &int(2)).unwrap().as_int(), Some(1));
+        assert_eq!(remainder(&int(-7), &int(2)).unwrap().as_int(), Some(-1));
+        assert_eq!(modulo(&int(-7), &int(2)).unwrap().as_int(), Some(1));
+        assert_eq!(modulo(&int(7), &int(-2)).unwrap().as_int(), Some(-1));
         assert!(quotient(&int(1), &int(0)).is_err());
     }
 
     #[test]
     fn expt_exactness() {
-        assert!(matches!(expt(&int(2), &int(10)).unwrap(), Value::Int(1024)));
-        assert!(matches!(expt(&int(2), &fl(0.5)).unwrap(), Value::Float(_)));
+        assert_eq!(expt(&int(2), &int(10)).unwrap().as_int(), Some(1024));
+        assert!(expt(&int(2), &fl(0.5)).unwrap().is_float());
         assert_eq!(
             expt(&int(i64::MAX), &int(2)).unwrap_err().kind,
             Kind::Overflow
@@ -439,19 +443,32 @@ mod tests {
 
     #[test]
     fn rounding() {
-        assert!(matches!(round_family("floor", &fl(2.7)).unwrap(), Value::Float(x) if x == 2.0));
-        assert!(matches!(round_family("ceiling", &fl(2.2)).unwrap(), Value::Float(x) if x == 3.0));
-        assert!(matches!(round_family("round", &fl(2.5)).unwrap(), Value::Float(x) if x == 2.0));
-        assert!(matches!(round_family("round", &fl(3.5)).unwrap(), Value::Float(x) if x == 4.0));
-        assert!(
-            matches!(round_family("truncate", &fl(-2.7)).unwrap(), Value::Float(x) if x == -2.0)
+        assert_eq!(
+            round_family("floor", &fl(2.7)).unwrap().as_float(),
+            Some(2.0)
+        );
+        assert_eq!(
+            round_family("ceiling", &fl(2.2)).unwrap().as_float(),
+            Some(3.0)
+        );
+        assert_eq!(
+            round_family("round", &fl(2.5)).unwrap().as_float(),
+            Some(2.0)
+        );
+        assert_eq!(
+            round_family("round", &fl(3.5)).unwrap().as_float(),
+            Some(4.0)
+        );
+        assert_eq!(
+            round_family("truncate", &fl(-2.7)).unwrap().as_float(),
+            Some(-2.0)
         );
     }
 
     #[test]
     fn exactness_conversions() {
-        assert!(matches!(to_inexact(&int(3)).unwrap(), Value::Float(x) if x == 3.0));
-        assert!(matches!(to_exact(&fl(3.0)).unwrap(), Value::Int(3)));
+        assert_eq!(to_inexact(&int(3)).unwrap().as_float(), Some(3.0));
+        assert_eq!(to_exact(&fl(3.0)).unwrap().as_int(), Some(3));
         assert!(to_exact(&fl(3.5)).is_err());
     }
 

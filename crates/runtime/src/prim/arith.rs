@@ -3,7 +3,7 @@
 use super::def;
 use crate::error::RtError;
 use crate::number;
-use crate::value::{Arity, Value};
+use crate::value::{Arity, Unpacked, Value};
 use std::cmp::Ordering;
 
 fn fold_variadic(
@@ -17,7 +17,17 @@ fn fold_variadic(
         }
         let mut acc = args[0].clone();
         if args.len() == 1 && (name == "-" || name == "/") {
-            // unary negation / reciprocal
+            // unary negation / reciprocal; `0 - x` is wrong for flonum
+            // negation at the zeros (`(- 0.0)` must be `-0.0`, but
+            // `0 - 0.0` is `+0.0`), so negate floats by sign flip
+            if name == "-" {
+                if let Some(x) = acc.as_float() {
+                    return Ok(Value::Float(-x));
+                }
+                if let Some((re, im)) = acc.as_complex() {
+                    return Ok(Value::Complex(-re, -im));
+                }
+            }
             return f(&identity, &acc);
         }
         for arg in &args[1..] {
@@ -106,9 +116,12 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
     def(out, "sub1", Arity::exactly(1), |args| {
         number::sub(&args[0], &Value::Int(1))
     });
-    def(out, "abs", Arity::exactly(1), |args| match &args[0] {
-        Value::Complex(_, _) => Err(RtError::type_error("abs: expected real")),
-        v => number::magnitude(v),
+    def(out, "abs", Arity::exactly(1), |args| {
+        if args[0].is_complex() {
+            Err(RtError::type_error("abs: expected real"))
+        } else {
+            number::magnitude(&args[0])
+        }
     });
     def(out, "magnitude", Arity::exactly(1), |args| {
         number::magnitude(&args[0])
@@ -156,17 +169,12 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
     def(out, "atan", Arity::at_least(1), |args| match args {
         [v] => number::float_unary("atan", v),
         [y, x] => {
-            let yf = match y {
-                Value::Int(n) => *n as f64,
-                Value::Float(f) => *f,
-                v => return Err(RtError::type_error(format!("atan: expected real, got {v}"))),
+            let real = |v: &Value| match v.unpacked() {
+                Unpacked::Int(n) => Ok(n as f64),
+                Unpacked::Float(f) => Ok(f),
+                _ => Err(RtError::type_error(format!("atan: expected real, got {v}"))),
             };
-            let xf = match x {
-                Value::Int(n) => *n as f64,
-                Value::Float(f) => *f,
-                v => return Err(RtError::type_error(format!("atan: expected real, got {v}"))),
-            };
-            Ok(Value::Float(yf.atan2(xf)))
+            Ok(Value::Float(real(y)?.atan2(real(x)?)))
         }
         _ => Err(RtError::arity("atan: expects 1 or 2 arguments")),
     });
@@ -188,13 +196,14 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
     });
 
     def(out, "zero?", Arity::exactly(1), |args| {
-        Ok(Value::Bool(match &args[0] {
-            Value::Int(n) => *n == 0,
-            Value::Float(x) => *x == 0.0,
-            Value::Complex(re, im) => *re == 0.0 && *im == 0.0,
-            v => {
+        Ok(Value::Bool(match args[0].unpacked() {
+            Unpacked::Int(n) => n == 0,
+            Unpacked::Float(x) => x == 0.0,
+            Unpacked::Complex(re, im) => re == 0.0 && im == 0.0,
+            _ => {
                 return Err(RtError::type_error(format!(
-                    "zero?: expected number, got {v}"
+                    "zero?: expected number, got {}",
+                    args[0]
                 )))
             }
         }))
@@ -209,81 +218,80 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
             number::compare("negative?", &args[0], &Value::Int(0))?.is_lt(),
         ))
     });
-    def(out, "even?", Arity::exactly(1), |args| match &args[0] {
-        Value::Int(n) => Ok(Value::Bool(n % 2 == 0)),
-        v => Err(RtError::type_error(format!(
-            "even?: expected integer, got {v}"
-        ))),
+    def(out, "even?", Arity::exactly(1), |args| {
+        match args[0].as_int() {
+            Some(n) => Ok(Value::Bool(n % 2 == 0)),
+            None => Err(RtError::type_error(format!(
+                "even?: expected integer, got {}",
+                args[0]
+            ))),
+        }
     });
-    def(out, "odd?", Arity::exactly(1), |args| match &args[0] {
-        Value::Int(n) => Ok(Value::Bool(n % 2 != 0)),
-        v => Err(RtError::type_error(format!(
-            "odd?: expected integer, got {v}"
-        ))),
+    def(out, "odd?", Arity::exactly(1), |args| {
+        match args[0].as_int() {
+            Some(n) => Ok(Value::Bool(n % 2 != 0)),
+            None => Err(RtError::type_error(format!(
+                "odd?: expected integer, got {}",
+                args[0]
+            ))),
+        }
     });
 
     def(out, "number?", Arity::exactly(1), |args| {
-        Ok(Value::Bool(matches!(
-            args[0],
-            Value::Int(_) | Value::Float(_) | Value::Complex(_, _)
-        )))
+        let v = &args[0];
+        Ok(Value::Bool(v.is_int() || v.is_float() || v.is_complex()))
     });
     def(out, "integer?", Arity::exactly(1), |args| {
-        Ok(Value::Bool(match &args[0] {
-            Value::Int(_) => true,
-            Value::Float(x) => x.fract() == 0.0,
+        Ok(Value::Bool(match args[0].unpacked() {
+            Unpacked::Int(_) => true,
+            Unpacked::Float(x) => x.fract() == 0.0,
             _ => false,
         }))
     });
     def(out, "exact-integer?", Arity::exactly(1), |args| {
-        Ok(Value::Bool(matches!(args[0], Value::Int(_))))
+        Ok(Value::Bool(args[0].is_int()))
     });
     def(out, "flonum?", Arity::exactly(1), |args| {
-        Ok(Value::Bool(matches!(args[0], Value::Float(_))))
+        Ok(Value::Bool(args[0].is_float()))
     });
     def(out, "real?", Arity::exactly(1), |args| {
-        Ok(Value::Bool(matches!(
-            args[0],
-            Value::Int(_) | Value::Float(_)
-        )))
+        Ok(Value::Bool(args[0].is_int() || args[0].is_float()))
     });
     def(out, "exact?", Arity::exactly(1), |args| {
-        Ok(Value::Bool(matches!(args[0], Value::Int(_))))
+        Ok(Value::Bool(args[0].is_int()))
     });
     def(out, "inexact?", Arity::exactly(1), |args| {
-        Ok(Value::Bool(matches!(
-            args[0],
-            Value::Float(_) | Value::Complex(_, _)
-        )))
+        Ok(Value::Bool(args[0].is_float() || args[0].is_complex()))
     });
 
     def(out, "make-rectangular", Arity::exactly(2), |args| {
-        let re = match &args[0] {
-            Value::Int(n) => *n as f64,
-            Value::Float(x) => *x,
-            v => return Err(RtError::type_error(format!("make-rectangular: {v}"))),
+        let real = |v: &Value| match v.unpacked() {
+            Unpacked::Int(n) => Ok(n as f64),
+            Unpacked::Float(x) => Ok(x),
+            _ => Err(RtError::type_error(format!("make-rectangular: {v}"))),
         };
-        let im = match &args[1] {
-            Value::Int(n) => *n as f64,
-            Value::Float(x) => *x,
-            v => return Err(RtError::type_error(format!("make-rectangular: {v}"))),
-        };
-        Ok(Value::Complex(re, im))
+        Ok(Value::Complex(real(&args[0])?, real(&args[1])?))
     });
-    def(out, "real-part", Arity::exactly(1), |args| match &args[0] {
-        Value::Complex(re, _) => Ok(Value::Float(*re)),
-        Value::Int(_) | Value::Float(_) => Ok(args[0].clone()),
-        v => Err(RtError::type_error(format!(
-            "real-part: expected number, got {v}"
-        ))),
+    def(out, "real-part", Arity::exactly(1), |args| {
+        match args[0].unpacked() {
+            Unpacked::Complex(re, _) => Ok(Value::Float(re)),
+            Unpacked::Int(_) | Unpacked::Float(_) => Ok(args[0].clone()),
+            _ => Err(RtError::type_error(format!(
+                "real-part: expected number, got {}",
+                args[0]
+            ))),
+        }
     });
-    def(out, "imag-part", Arity::exactly(1), |args| match &args[0] {
-        Value::Complex(_, im) => Ok(Value::Float(*im)),
-        Value::Int(_) => Ok(Value::Int(0)),
-        Value::Float(_) => Ok(Value::Float(0.0)),
-        v => Err(RtError::type_error(format!(
-            "imag-part: expected number, got {v}"
-        ))),
+    def(out, "imag-part", Arity::exactly(1), |args| {
+        match args[0].unpacked() {
+            Unpacked::Complex(_, im) => Ok(Value::Float(im)),
+            Unpacked::Int(_) => Ok(Value::Int(0)),
+            Unpacked::Float(_) => Ok(Value::Float(0.0)),
+            _ => Err(RtError::type_error(format!(
+                "imag-part: expected number, got {}",
+                args[0]
+            ))),
+        }
     });
 }
 
@@ -299,32 +307,26 @@ mod tests {
             .iter()
             .find(|(n, _)| *n == Symbol::from(name))
             .unwrap_or_else(|| panic!("no primitive {name}"));
-        match v {
-            Value::Native(n) => (n.f)(args),
-            _ => unreachable!(),
-        }
+        let n = v.as_native().expect("primitive is native");
+        (n.f)(args)
     }
 
     #[test]
     fn variadic_addition() {
-        assert!(matches!(call("+", &[]).unwrap(), Value::Int(0)));
-        assert!(matches!(
-            call("+", &[Value::Int(5)]).unwrap(),
-            Value::Int(5)
-        ));
-        assert!(matches!(
-            call("+", &[Value::Int(1), Value::Int(2), Value::Int(3)]).unwrap(),
-            Value::Int(6)
-        ));
+        assert_eq!(call("+", &[]).unwrap().as_int(), Some(0));
+        assert_eq!(call("+", &[Value::Int(5)]).unwrap().as_int(), Some(5));
+        assert_eq!(
+            call("+", &[Value::Int(1), Value::Int(2), Value::Int(3)])
+                .unwrap()
+                .as_int(),
+            Some(6)
+        );
     }
 
     #[test]
     fn unary_minus_negates() {
-        assert!(matches!(
-            call("-", &[Value::Int(5)]).unwrap(),
-            Value::Int(-5)
-        ));
-        assert!(matches!(call("/", &[Value::Int(4)]).unwrap(), Value::Float(x) if x == 0.25));
+        assert_eq!(call("-", &[Value::Int(5)]).unwrap().as_int(), Some(-5));
+        assert_eq!(call("/", &[Value::Int(4)]).unwrap().as_float(), Some(0.25));
     }
 
     #[test]
@@ -354,22 +356,29 @@ mod tests {
     #[test]
     fn complex_constructors() {
         let c = call("make-rectangular", &[Value::Float(1.0), Value::Float(2.0)]).unwrap();
-        assert!(matches!(c, Value::Complex(1.0, 2.0)));
-        assert!(
-            matches!(call("real-part", std::slice::from_ref(&c)).unwrap(), Value::Float(x) if x == 1.0)
+        assert_eq!(c.as_complex(), Some((1.0, 2.0)));
+        assert_eq!(
+            call("real-part", std::slice::from_ref(&c))
+                .unwrap()
+                .as_float(),
+            Some(1.0)
         );
-        assert!(matches!(call("imag-part", &[c]).unwrap(), Value::Float(x) if x == 2.0));
+        assert_eq!(call("imag-part", &[c]).unwrap().as_float(), Some(2.0));
     }
 
     #[test]
     fn min_max() {
-        assert!(matches!(
-            call("min", &[Value::Int(3), Value::Int(1), Value::Int(2)]).unwrap(),
-            Value::Int(1)
-        ));
-        assert!(matches!(
-            call("max", &[Value::Int(3), Value::Float(4.5)]).unwrap(),
-            Value::Float(x) if x == 4.5
-        ));
+        assert_eq!(
+            call("min", &[Value::Int(3), Value::Int(1), Value::Int(2)])
+                .unwrap()
+                .as_int(),
+            Some(1)
+        );
+        assert_eq!(
+            call("max", &[Value::Int(3), Value::Float(4.5)])
+                .unwrap()
+                .as_float(),
+            Some(4.5)
+        );
     }
 }

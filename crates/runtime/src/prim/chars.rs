@@ -5,38 +5,36 @@ use crate::error::RtError;
 use crate::value::{Arity, Value};
 
 fn expect_char(name: &str, v: &Value) -> Result<char, RtError> {
-    match v {
-        Value::Char(c) => Ok(*c),
-        other => Err(RtError::type_error(format!(
+    match v.as_char() {
+        Some(c) => Ok(c),
+        None => Err(RtError::type_error(format!(
             "{name}: expected character, got {}",
-            other.write_string()
+            v.write_string()
         ))),
     }
 }
 
 pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
     def(out, "char?", Arity::exactly(1), |args| {
-        Ok(Value::Bool(matches!(args[0], Value::Char(_))))
+        Ok(Value::Bool(args[0].as_char().is_some()))
     });
     def(out, "char->integer", Arity::exactly(1), |args| {
         Ok(Value::Int(expect_char("char->integer", &args[0])? as i64))
     });
-    def(
-        out,
-        "integer->char",
-        Arity::exactly(1),
-        |args| match &args[0] {
-            Value::Int(n) => char::from_u32(*n as u32).map(Value::Char).ok_or_else(|| {
+    def(out, "integer->char", Arity::exactly(1), |args| {
+        match args[0].as_int() {
+            Some(n) => char::from_u32(n as u32).map(Value::Char).ok_or_else(|| {
                 RtError::new(
                     crate::error::Kind::Range,
                     format!("integer->char: {n} is not a scalar value"),
                 )
             }),
-            v => Err(RtError::type_error(format!(
-                "integer->char: expected integer, got {v}"
+            None => Err(RtError::type_error(format!(
+                "integer->char: expected integer, got {}",
+                args[0]
             ))),
-        },
-    );
+        }
+    });
     def(out, "char=?", Arity::at_least(2), |args| {
         for w in args.windows(2) {
             if expect_char("char=?", &w[0])? != expect_char("char=?", &w[1])? {
@@ -89,22 +87,20 @@ mod tests {
             .iter()
             .find(|(n, _)| *n == Symbol::from(name))
             .unwrap();
-        match v {
-            Value::Native(n) => (n.f)(args),
-            _ => unreachable!(),
-        }
+        let n = v.as_native().expect("primitive is native");
+        (n.f)(args)
     }
 
     #[test]
     fn char_integer_round_trip() {
-        assert!(matches!(
-            call("char->integer", &[Value::Char('A')]).unwrap(),
-            Value::Int(65)
-        ));
-        assert!(matches!(
-            call("integer->char", &[Value::Int(97)]).unwrap(),
-            Value::Char('a')
-        ));
+        assert_eq!(
+            call("char->integer", &[Value::Char('A')]).unwrap().as_int(),
+            Some(65)
+        );
+        assert_eq!(
+            call("integer->char", &[Value::Int(97)]).unwrap().as_char(),
+            Some('a')
+        );
         assert!(call("integer->char", &[Value::Int(-1)]).is_err());
     }
 

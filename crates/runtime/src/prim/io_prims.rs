@@ -28,12 +28,12 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
         Ok(Value::Void)
     });
     def(out, "printf", Arity::at_least(1), |args| {
-        let fmt = match &args[0] {
-            Value::Str(s) => s.clone(),
-            v => {
+        let fmt = match args[0].to_str_rc() {
+            Some(s) => s,
+            None => {
                 return Err(RtError::type_error(format!(
                     "printf: expected format string, got {}",
-                    v.write_string()
+                    args[0].write_string()
                 )))
             }
         };
@@ -56,10 +56,8 @@ mod tests {
             .iter()
             .find(|(n, _)| *n == Symbol::from(name))
             .unwrap();
-        match v {
-            Value::Native(n) => (n.f)(args),
-            _ => unreachable!(),
-        }
+        let n = v.as_native().expect("primitive is native");
+        (n.f)(args)
     }
 
     #[test]

@@ -5,11 +5,11 @@ use crate::error::RtError;
 use crate::value::{Arity, Pair, Value};
 
 fn expect_pair(name: &str, v: &Value) -> Result<std::rc::Rc<Pair>, RtError> {
-    match v {
-        Value::Pair(p) => Ok(p.clone()),
-        other => Err(RtError::type_error(format!(
+    match v.to_pair_rc() {
+        Some(p) => Ok(p),
+        None => Err(RtError::type_error(format!(
             "{name}: expected pair, got {}",
-            other.write_string()
+            v.write_string()
         ))),
     }
 }
@@ -51,10 +51,10 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
     });
 
     def(out, "pair?", Arity::exactly(1), |args| {
-        Ok(Value::Bool(matches!(args[0], Value::Pair(_))))
+        Ok(Value::Bool(args[0].as_pair().is_some()))
     });
     def(out, "null?", Arity::exactly(1), |args| {
-        Ok(Value::Bool(matches!(args[0], Value::Nil)))
+        Ok(Value::Bool(args[0].is_nil()))
     });
     def(out, "list?", Arity::exactly(1), |args| {
         Ok(Value::Bool(args[0].list_to_vec().is_some()))
@@ -91,25 +91,30 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
         let mut acc = Value::Nil;
         let mut cur = args[0].clone();
         loop {
-            match cur {
-                Value::Nil => return Ok(acc),
-                Value::Pair(p) => {
-                    acc = Value::cons(p.0.clone(), acc);
-                    cur = p.1.clone();
-                }
-                other => {
-                    return Err(RtError::type_error(format!(
-                        "reverse: expected list, got {}",
-                        other.write_string()
-                    )))
-                }
+            if cur.is_nil() {
+                return Ok(acc);
+            }
+            if let Some(p) = cur.as_pair() {
+                acc = Value::cons(p.0.clone(), acc);
+                let next = p.1.clone();
+                cur = next;
+            } else {
+                return Err(RtError::type_error(format!(
+                    "reverse: expected list, got {}",
+                    cur.write_string()
+                )));
             }
         }
     });
     def(out, "list-ref", Arity::exactly(2), |args| {
-        let n = match &args[1] {
-            Value::Int(n) if *n >= 0 => *n as usize,
-            v => return Err(RtError::type_error(format!("list-ref: bad index {v}"))),
+        let n = match args[1].as_int() {
+            Some(n) if n >= 0 => n as usize,
+            _ => {
+                return Err(RtError::type_error(format!(
+                    "list-ref: bad index {}",
+                    args[1]
+                )))
+            }
         };
         let mut cur = args[0].clone();
         for _ in 0..n {
@@ -118,9 +123,14 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
         Ok(expect_pair("list-ref", &cur)?.0.clone())
     });
     def(out, "list-tail", Arity::exactly(2), |args| {
-        let n = match &args[1] {
-            Value::Int(n) if *n >= 0 => *n as usize,
-            v => return Err(RtError::type_error(format!("list-tail: bad index {v}"))),
+        let n = match args[1].as_int() {
+            Some(n) if n >= 0 => n as usize,
+            _ => {
+                return Err(RtError::type_error(format!(
+                    "list-tail: bad index {}",
+                    args[1]
+                )))
+            }
         };
         let mut cur = args[0].clone();
         for _ in 0..n {
@@ -174,21 +184,20 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
 fn member_by(args: &[Value], eq: fn(&Value, &Value) -> bool) -> Result<Value, RtError> {
     let mut cur = args[1].clone();
     loop {
-        match cur {
-            Value::Nil => return Ok(Value::Bool(false)),
-            Value::Pair(ref p) => {
-                if eq(&p.0, &args[0]) {
-                    return Ok(cur.clone());
-                }
-                let next = p.1.clone();
-                cur = next;
+        if cur.is_nil() {
+            return Ok(Value::Bool(false));
+        }
+        if let Some(p) = cur.as_pair() {
+            if eq(&p.0, &args[0]) {
+                return Ok(cur.clone());
             }
-            other => {
-                return Err(RtError::type_error(format!(
-                    "member: expected list, got {}",
-                    other.write_string()
-                )))
-            }
+            let next = p.1.clone();
+            cur = next;
+        } else {
+            return Err(RtError::type_error(format!(
+                "member: expected list, got {}",
+                cur.write_string()
+            )));
         }
     }
 }
@@ -196,22 +205,22 @@ fn member_by(args: &[Value], eq: fn(&Value, &Value) -> bool) -> Result<Value, Rt
 fn assoc_by(args: &[Value], eq: fn(&Value, &Value) -> bool) -> Result<Value, RtError> {
     let mut cur = args[1].clone();
     loop {
-        match cur {
-            Value::Nil => return Ok(Value::Bool(false)),
-            Value::Pair(p) => {
-                if let Value::Pair(entry) = &p.0 {
-                    if eq(&entry.0, &args[0]) {
-                        return Ok(p.0.clone());
-                    }
+        if cur.is_nil() {
+            return Ok(Value::Bool(false));
+        }
+        if let Some(p) = cur.as_pair() {
+            if let Some(entry) = p.0.as_pair() {
+                if eq(&entry.0, &args[0]) {
+                    return Ok(p.0.clone());
                 }
-                cur = p.1.clone();
             }
-            other => {
-                return Err(RtError::type_error(format!(
-                    "assoc: expected list of pairs, got {}",
-                    other.write_string()
-                )))
-            }
+            let next = p.1.clone();
+            cur = next;
+        } else {
+            return Err(RtError::type_error(format!(
+                "assoc: expected list of pairs, got {}",
+                cur.write_string()
+            )));
         }
     }
 }
@@ -228,10 +237,8 @@ mod tests {
             .iter()
             .find(|(n, _)| *n == Symbol::from(name))
             .unwrap();
-        match v {
-            Value::Native(n) => (n.f)(args),
-            _ => unreachable!(),
-        }
+        let n = v.as_native().expect("primitive is native");
+        (n.f)(args)
     }
 
     fn ilist(ns: &[i64]) -> Value {
@@ -241,41 +248,29 @@ mod tests {
     #[test]
     fn cons_car_cdr() {
         let p = call("cons", &[Value::Int(1), Value::Int(2)]).unwrap();
-        assert!(matches!(
-            call("car", std::slice::from_ref(&p)).unwrap(),
-            Value::Int(1)
-        ));
-        assert!(matches!(call("cdr", &[p]).unwrap(), Value::Int(2)));
+        assert_eq!(
+            call("car", std::slice::from_ref(&p)).unwrap().as_int(),
+            Some(1)
+        );
+        assert_eq!(call("cdr", &[p]).unwrap().as_int(), Some(2));
         assert!(call("car", &[Value::Int(7)]).is_err());
     }
 
     #[test]
     fn list_accessors() {
         let l = ilist(&[10, 20, 30]);
-        assert!(matches!(
-            call("length", std::slice::from_ref(&l)).unwrap(),
-            Value::Int(3)
-        ));
-        assert!(matches!(
-            call("first", std::slice::from_ref(&l)).unwrap(),
-            Value::Int(10)
-        ));
-        assert!(matches!(
-            call("second", std::slice::from_ref(&l)).unwrap(),
-            Value::Int(20)
-        ));
-        assert!(matches!(
-            call("third", std::slice::from_ref(&l)).unwrap(),
-            Value::Int(30)
-        ));
-        assert!(matches!(
-            call("last", std::slice::from_ref(&l)).unwrap(),
-            Value::Int(30)
-        ));
-        assert!(matches!(
-            call("list-ref", &[l.clone(), Value::Int(1)]).unwrap(),
-            Value::Int(20)
-        ));
+        let get = |name: &str| call(name, std::slice::from_ref(&l)).unwrap().as_int();
+        assert_eq!(get("length"), Some(3));
+        assert_eq!(get("first"), Some(10));
+        assert_eq!(get("second"), Some(20));
+        assert_eq!(get("third"), Some(30));
+        assert_eq!(get("last"), Some(30));
+        assert_eq!(
+            call("list-ref", &[l.clone(), Value::Int(1)])
+                .unwrap()
+                .as_int(),
+            Some(20)
+        );
         assert!(call("list-ref", &[l, Value::Int(5)]).is_err());
     }
 
@@ -285,7 +280,7 @@ mod tests {
         assert!(r.equal(&ilist(&[1, 2, 3])));
         let r = call("reverse", &[ilist(&[1, 2, 3])]).unwrap();
         assert!(r.equal(&ilist(&[3, 2, 1])));
-        assert!(matches!(call("append", &[]).unwrap(), Value::Nil));
+        assert!(call("append", &[]).unwrap().is_nil());
     }
 
     #[test]

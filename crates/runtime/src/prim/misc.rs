@@ -38,19 +38,19 @@ pub(super) fn install(out: &mut Vec<(Symbol, Value)>) {
     });
 
     def(out, "boolean?", Arity::exactly(1), |args| {
-        Ok(Value::Bool(matches!(args[0], Value::Bool(_))))
+        Ok(Value::Bool(args[0].as_bool().is_some()))
     });
     def(out, "symbol?", Arity::exactly(1), |args| {
-        Ok(Value::Bool(matches!(args[0], Value::Symbol(_))))
+        Ok(Value::Bool(args[0].as_symbol().is_some()))
     });
     def(out, "keyword?", Arity::exactly(1), |args| {
-        Ok(Value::Bool(matches!(args[0], Value::Keyword(_))))
+        Ok(Value::Bool(args[0].as_keyword().is_some()))
     });
     def(out, "procedure?", Arity::exactly(1), |args| {
         Ok(Value::Bool(args[0].is_procedure()))
     });
     def(out, "void?", Arity::exactly(1), |args| {
-        Ok(Value::Bool(matches!(args[0], Value::Void)))
+        Ok(Value::Bool(args[0].is_void()))
     });
     def(out, "void", Arity::at_least(0), |_| Ok(Value::Void));
 
@@ -70,19 +70,16 @@ pub(super) fn install(out: &mut Vec<(Symbol, Value)>) {
     // (#%values-check v n): v must be a package of exactly n values
     // (a non-package counts as one value); returns v unchanged
     def(out, "#%values-check", Arity::exactly(2), |args| {
-        let expected = match &args[1] {
-            Value::Int(n) if *n >= 0 => *n as usize,
-            v => {
+        let expected = match args[1].as_int() {
+            Some(n) if n >= 0 => n as usize,
+            _ => {
                 return Err(RtError::type_error(format!(
                     "#%values-check: expected a count, got {}",
-                    v.write_string()
+                    args[1].write_string()
                 )))
             }
         };
-        let got = match &args[0] {
-            Value::Values(vs) => vs.len(),
-            _ => 1,
-        };
+        let got = args[0].as_values().map_or(1, |vs| vs.len());
         if got != expected {
             return Err(RtError::arity(format!(
                 "expected {expected} values, received {got}: {}",
@@ -93,26 +90,26 @@ pub(super) fn install(out: &mut Vec<(Symbol, Value)>) {
     });
     // (#%values-ref v i n): the i-th of n bound values
     def(out, "#%values-ref", Arity::exactly(3), |args| {
-        let idx = match &args[1] {
-            Value::Int(n) if *n >= 0 => *n as usize,
-            v => {
+        let idx = match args[1].as_int() {
+            Some(n) if n >= 0 => n as usize,
+            _ => {
                 return Err(RtError::type_error(format!(
                     "#%values-ref: expected an index, got {}",
-                    v.write_string()
+                    args[1].write_string()
                 )))
             }
         };
-        match &args[0] {
-            Value::Values(vs) => vs.get(idx).cloned().ok_or_else(|| {
+        match args[0].as_values() {
+            Some(vs) => vs.get(idx).cloned().ok_or_else(|| {
                 RtError::arity(format!(
                     "#%values-ref: index {idx} out of range for {} values",
                     vs.len()
                 ))
             }),
-            v if idx == 0 => Ok(v.clone()),
-            v => Err(RtError::arity(format!(
+            None if idx == 0 => Ok(args[0].clone()),
+            None => Err(RtError::arity(format!(
                 "#%values-ref: index {idx} out of range for single value {}",
-                v.write_string()
+                args[0].write_string()
             ))),
         }
     });
@@ -128,9 +125,12 @@ pub(super) fn install(out: &mut Vec<(Symbol, Value)>) {
 
     def(out, "gensym", Arity::at_least(0), |args| {
         let base = match args.first() {
-            Some(Value::Symbol(s)) => s.as_str(),
-            Some(Value::Str(s)) => s.to_string(),
-            _ => "g".to_string(),
+            Some(v) => match (v.as_symbol(), v.as_str()) {
+                (Some(s), _) => s.as_str(),
+                (None, Some(s)) => s.to_string(),
+                _ => "g".to_string(),
+            },
+            None => "g".to_string(),
         };
         Ok(Value::Symbol(Symbol::fresh(&base)))
     });
@@ -160,21 +160,24 @@ pub(super) fn install(out: &mut Vec<(Symbol, Value)>) {
             None => Ok(Value::Float(
                 (next_u64() >> 11) as f64 / (1u64 << 53) as f64,
             )),
-            Some(Value::Int(n)) if *n > 0 => Ok(Value::Int((next_u64() % (*n as u64)) as i64)),
-            Some(v) => Err(RtError::type_error(format!(
-                "random: expected positive integer, got {}",
-                v.write_string()
-            ))),
+            Some(v) => match v.as_int() {
+                Some(n) if n > 0 => Ok(Value::Int((next_u64() % (n as u64)) as i64)),
+                _ => Err(RtError::type_error(format!(
+                    "random: expected positive integer, got {}",
+                    v.write_string()
+                ))),
+            },
         }
     });
     def(out, "random-seed", Arity::exactly(1), |args| {
-        match &args[0] {
-            Value::Int(n) => {
-                RNG.with(|state| state.set((*n as u64) | 1));
+        match args[0].as_int() {
+            Some(n) => {
+                RNG.with(|state| state.set((n as u64) | 1));
                 Ok(Value::Void)
             }
-            v => Err(RtError::type_error(format!(
-                "random-seed: expected integer, got {v}"
+            None => Err(RtError::type_error(format!(
+                "random-seed: expected integer, got {}",
+                args[0]
             ))),
         }
     });
@@ -192,10 +195,8 @@ mod tests {
             .iter()
             .find(|(n, _)| *n == Symbol::from(name))
             .unwrap();
-        match v {
-            Value::Native(n) => (n.f)(args),
-            _ => unreachable!(),
-        }
+        let n = v.as_native().expect("primitive is native");
+        (n.f)(args)
     }
 
     #[test]
@@ -237,6 +238,6 @@ mod tests {
     #[test]
     fn current_seconds_is_positive() {
         let v = call("current-seconds", &[]).unwrap();
-        assert!(matches!(v, Value::Int(n) if n > 1_000_000_000));
+        assert!(v.as_int().is_some_and(|n| n > 1_000_000_000));
     }
 }

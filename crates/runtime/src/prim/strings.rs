@@ -7,19 +7,19 @@ use crate::value::{Arity, Value};
 use lagoon_syntax::{parse_number, Symbol, Token};
 use std::rc::Rc;
 
-fn expect_str(name: &str, v: &Value) -> Result<Rc<str>, RtError> {
-    match v {
-        Value::Str(s) => Ok(s.clone()),
-        other => Err(RtError::type_error(format!(
+fn expect_str(name: &str, v: &Value) -> Result<Rc<String>, RtError> {
+    match v.to_str_rc() {
+        Some(s) => Ok(s),
+        None => Err(RtError::type_error(format!(
             "{name}: expected string, got {}",
-            other.write_string()
+            v.write_string()
         ))),
     }
 }
 
 pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
     def(out, "string?", Arity::exactly(1), |args| {
-        Ok(Value::Bool(matches!(args[0], Value::Str(_))))
+        Ok(Value::Bool(args[0].is_string()))
     });
     def(out, "string-length", Arity::exactly(1), |args| {
         Ok(Value::Int(
@@ -36,14 +36,21 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
     def(out, "substring", Arity::at_least(2), |args| {
         let s = expect_str("substring", &args[0])?;
         let chars: Vec<char> = s.chars().collect();
-        let start = match &args[1] {
-            Value::Int(n) if *n >= 0 => *n as usize,
-            v => return Err(RtError::type_error(format!("substring: bad start {v}"))),
+        let start = match args[1].as_int() {
+            Some(n) if n >= 0 => n as usize,
+            _ => {
+                return Err(RtError::type_error(format!(
+                    "substring: bad start {}",
+                    args[1]
+                )))
+            }
         };
         let end = match args.get(2) {
             None => chars.len(),
-            Some(Value::Int(n)) if *n >= 0 => *n as usize,
-            Some(v) => return Err(RtError::type_error(format!("substring: bad end {v}"))),
+            Some(v) => match v.as_int() {
+                Some(n) if n >= 0 => n as usize,
+                _ => return Err(RtError::type_error(format!("substring: bad end {v}"))),
+            },
         };
         if start > end || end > chars.len() {
             return Err(RtError::new(
@@ -58,9 +65,14 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
     });
     def(out, "string-ref", Arity::exactly(2), |args| {
         let s = expect_str("string-ref", &args[0])?;
-        let n = match &args[1] {
-            Value::Int(n) if *n >= 0 => *n as usize,
-            v => return Err(RtError::type_error(format!("string-ref: bad index {v}"))),
+        let n = match args[1].as_int() {
+            Some(n) if n >= 0 => n as usize,
+            _ => {
+                return Err(RtError::type_error(format!(
+                    "string-ref: bad index {}",
+                    args[1]
+                )))
+            }
         };
         s.chars().nth(n).map(Value::Char).ok_or_else(|| {
             RtError::new(
@@ -102,10 +114,11 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
         out,
         "symbol->string",
         Arity::exactly(1),
-        |args| match &args[0] {
-            Value::Symbol(s) => Ok(Value::string(&s.as_str())),
-            v => Err(RtError::type_error(format!(
-                "symbol->string: expected symbol, got {v}"
+        |args| match args[0].as_symbol() {
+            Some(s) => Ok(s.with_str(Value::string)),
+            None => Err(RtError::type_error(format!(
+                "symbol->string: expected symbol, got {}",
+                args[0]
             ))),
         },
     );
@@ -119,9 +132,9 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
             .ok_or_else(|| RtError::type_error("list->string: expected list"))?;
         let mut s = String::new();
         for v in items {
-            match v {
-                Value::Char(c) => s.push(c),
-                v => {
+            match v.as_char() {
+                Some(c) => s.push(c),
+                None => {
                     return Err(RtError::type_error(format!(
                         "list->string: expected character, got {v}"
                     )))
@@ -130,19 +143,16 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
         }
         Ok(Value::string(&s))
     });
-    def(
-        out,
-        "number->string",
-        Arity::exactly(1),
-        |args| match &args[0] {
-            Value::Int(_) | Value::Float(_) | Value::Complex(_, _) => {
-                Ok(Value::string(&args[0].to_string()))
-            }
-            v => Err(RtError::type_error(format!(
+    def(out, "number->string", Arity::exactly(1), |args| {
+        let v = &args[0];
+        if v.is_int() || v.is_float() || v.is_complex() {
+            Ok(Value::string(&v.to_string()))
+        } else {
+            Err(RtError::type_error(format!(
                 "number->string: expected number, got {v}"
-            ))),
-        },
-    );
+            )))
+        }
+    });
     def(out, "string->number", Arity::exactly(1), |args| {
         let s = expect_str("string->number", &args[0])?;
         Ok(match parse_number(&s) {
@@ -181,20 +191,20 @@ mod tests {
             .iter()
             .find(|(n, _)| *n == Symbol::from(name))
             .unwrap();
-        match v {
-            Value::Native(n) => (n.f)(args),
-            _ => unreachable!(),
-        }
+        let n = v.as_native().expect("primitive is native");
+        (n.f)(args)
     }
 
     #[test]
     fn append_and_length() {
         let s = call("string-append", &[Value::string("ab"), Value::string("cd")]).unwrap();
         assert_eq!(s.to_string(), "abcd");
-        assert!(matches!(
-            call("string-length", &[Value::string("héllo")]).unwrap(),
-            Value::Int(5)
-        ));
+        assert_eq!(
+            call("string-length", &[Value::string("héllo")])
+                .unwrap()
+                .as_int(),
+            Some(5)
+        );
     }
 
     #[test]
@@ -226,14 +236,18 @@ mod tests {
                 .to_string(),
             "2.5"
         );
-        assert!(matches!(
-            call("string->number", &[Value::string("42")]).unwrap(),
-            Value::Int(42)
-        ));
-        assert!(matches!(
-            call("string->number", &[Value::string("nope")]).unwrap(),
-            Value::Bool(false)
-        ));
+        assert_eq!(
+            call("string->number", &[Value::string("42")])
+                .unwrap()
+                .as_int(),
+            Some(42)
+        );
+        assert_eq!(
+            call("string->number", &[Value::string("nope")])
+                .unwrap()
+                .as_bool(),
+            Some(false)
+        );
     }
 
     #[test]

@@ -15,11 +15,11 @@ use crate::value::{Arity, Value};
 use lagoon_syntax::{PropValue, Span, SynData, Syntax};
 
 fn expect_syntax(name: &str, v: &Value) -> Result<Syntax, RtError> {
-    match v {
-        Value::Syntax(s) => Ok(s.clone()),
-        other => Err(RtError::type_error(format!(
+    match v.as_syntax() {
+        Some(s) => Ok(s.clone()),
+        None => Err(RtError::type_error(format!(
             "{name}: expected syntax, got {}",
-            other.write_string()
+            v.write_string()
         ))),
     }
 }
@@ -38,54 +38,52 @@ fn expect_identifier(name: &str, v: &Value) -> Result<Syntax, RtError> {
 /// Converts a phase-1 value to syntax, preserving embedded syntax objects
 /// (the semantics of `datum->syntax`).
 pub fn value_to_syntax(ctx: &Syntax, v: &Value) -> Result<Syntax, RtError> {
-    match v {
-        Value::Syntax(s) => Ok(s.clone()),
-        Value::Nil => Ok(ctx
+    if let Some(s) = v.as_syntax() {
+        return Ok(s.clone());
+    }
+    if v.is_nil() {
+        return Ok(ctx
             .with_data(SynData::List(Vec::new()))
-            .with_span(Span::synthetic())),
-        Value::Pair(_) => {
-            let mut items = Vec::new();
-            let mut cur = v.clone();
-            loop {
-                match cur {
-                    Value::Nil => {
-                        return Ok(ctx
-                            .with_data(SynData::List(items))
-                            .with_span(Span::synthetic()))
-                    }
-                    Value::Pair(p) => {
-                        items.push(value_to_syntax(ctx, &p.0)?);
-                        cur = p.1.clone();
-                    }
-                    other => {
-                        let tail = value_to_syntax(ctx, &other)?;
-                        return Ok(ctx
-                            .with_data(SynData::Improper(items, Box::new(tail)))
-                            .with_span(Span::synthetic()));
-                    }
-                }
+            .with_span(Span::synthetic()));
+    }
+    if v.as_pair().is_some() {
+        let mut items = Vec::new();
+        let mut cur = v.clone();
+        loop {
+            if cur.is_nil() {
+                return Ok(ctx
+                    .with_data(SynData::List(items))
+                    .with_span(Span::synthetic()));
+            }
+            if let Some(p) = cur.as_pair() {
+                items.push(value_to_syntax(ctx, &p.0)?);
+                let next = p.1.clone();
+                cur = next;
+            } else {
+                let tail = value_to_syntax(ctx, &cur)?;
+                return Ok(ctx
+                    .with_data(SynData::Improper(items, Box::new(tail)))
+                    .with_span(Span::synthetic()));
             }
         }
-        Value::Vector(items) => {
-            let items = items
-                .borrow()
-                .iter()
-                .map(|x| value_to_syntax(ctx, x))
-                .collect::<Result<Vec<_>, _>>()?;
-            Ok(ctx
-                .with_data(SynData::Vector(items))
-                .with_span(Span::synthetic()))
-        }
-        other => {
-            let d = other.to_datum().ok_or_else(|| {
-                RtError::type_error(format!(
-                    "datum->syntax: cannot convert {} to syntax",
-                    other.write_string()
-                ))
-            })?;
-            Ok(Syntax::from_datum(&d, Span::synthetic(), ctx.scopes()))
-        }
     }
+    if let Some(items) = v.as_vector() {
+        let items = items
+            .borrow()
+            .iter()
+            .map(|x| value_to_syntax(ctx, x))
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(ctx
+            .with_data(SynData::Vector(items))
+            .with_span(Span::synthetic()));
+    }
+    let d = v.to_datum().ok_or_else(|| {
+        RtError::type_error(format!(
+            "datum->syntax: cannot convert {} to syntax",
+            v.write_string()
+        ))
+    })?;
+    Ok(Syntax::from_datum(&d, Span::synthetic(), ctx.scopes()))
 }
 
 /// One level of `syntax-e`: compound syntax becomes a list/vector of
@@ -111,11 +109,11 @@ pub fn syntax_e(s: &Syntax) -> Value {
 
 pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
     def(out, "syntax?", Arity::exactly(1), |args| {
-        Ok(Value::Bool(matches!(args[0], Value::Syntax(_))))
+        Ok(Value::Bool(args[0].as_syntax().is_some()))
     });
     def(out, "identifier?", Arity::exactly(1), |args| {
         Ok(Value::Bool(
-            matches!(&args[0], Value::Syntax(s) if s.is_identifier()),
+            args[0].as_syntax().is_some_and(Syntax::is_identifier),
         ))
     });
     def(out, "syntax-e", Arity::exactly(1), |args| {
@@ -141,21 +139,21 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
     });
     def(out, "syntax-property-put", Arity::exactly(3), |args| {
         let s = expect_syntax("syntax-property-put", &args[0])?;
-        let key = match &args[1] {
-            Value::Symbol(k) => *k,
-            v => {
+        let key = match args[1].as_symbol() {
+            Some(k) => k,
+            None => {
                 return Err(RtError::type_error(format!(
                     "syntax-property-put: expected symbol key, got {}",
-                    v.write_string()
+                    args[1].write_string()
                 )))
             }
         };
-        let prop = match &args[2] {
-            Value::Syntax(ps) => PropValue::Syntax(ps.clone()),
-            other => PropValue::Datum(other.to_datum().ok_or_else(|| {
+        let prop = match args[2].as_syntax() {
+            Some(ps) => PropValue::Syntax(ps.clone()),
+            None => PropValue::Datum(args[2].to_datum().ok_or_else(|| {
                 RtError::type_error(format!(
                     "syntax-property-put: value {} has no datum form",
-                    other.write_string()
+                    args[2].write_string()
                 ))
             })?),
         };
@@ -163,12 +161,12 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
     });
     def(out, "syntax-property-get", Arity::exactly(2), |args| {
         let s = expect_syntax("syntax-property-get", &args[0])?;
-        let key = match &args[1] {
-            Value::Symbol(k) => *k,
-            v => {
+        let key = match args[1].as_symbol() {
+            Some(k) => k,
+            None => {
                 return Err(RtError::type_error(format!(
                     "syntax-property-get: expected symbol key, got {}",
-                    v.write_string()
+                    args[1].write_string()
                 )))
             }
         };
@@ -200,7 +198,7 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
         let who = args[0].to_string();
         let msg = args[1].to_string();
         let mut err = RtError::user(format!("{who}: {msg}"));
-        if let Some(Value::Syntax(s)) = args.get(2) {
+        if let Some(s) = args.get(2).and_then(Value::as_syntax) {
             err = RtError::user(format!("{who}: {msg} in: {s}")).with_span(s.span());
         }
         Err(err)
@@ -218,10 +216,8 @@ mod tests {
             .iter()
             .find(|(n, _)| *n == Symbol::from(name))
             .unwrap();
-        match v {
-            Value::Native(n) => (n.f)(args),
-            _ => unreachable!(),
-        }
+        let n = v.as_native().expect("primitive is native");
+        (n.f)(args)
     }
 
     fn stx(src: &str) -> Value {
@@ -233,10 +229,10 @@ mod tests {
         let v = call("syntax-e", &[stx("(a b)")]).unwrap();
         let items = v.list_to_vec().unwrap();
         assert_eq!(items.len(), 2);
-        assert!(matches!(items[0], Value::Syntax(_)));
+        assert!(items[0].as_syntax().is_some());
         // atoms unwrap fully
         let v = call("syntax-e", &[stx("42")]).unwrap();
-        assert!(matches!(v, Value::Int(42)));
+        assert_eq!(v.as_int(), Some(42));
     }
 
     #[test]
@@ -269,9 +265,9 @@ mod tests {
         )
         .unwrap();
         let got = call("syntax-property-get", &[annotated, key.clone()]).unwrap();
-        match got {
-            Value::Syntax(s) => assert_eq!(s.sym(), Some(Symbol::from("Integer"))),
-            v => panic!("expected syntax property, got {v}"),
+        match got.as_syntax() {
+            Some(s) => assert_eq!(s.sym(), Some(Symbol::from("Integer"))),
+            None => panic!("expected syntax property, got {got}"),
         }
         let missing = call("syntax-property-get", &[stx("x"), key]).unwrap();
         assert!(!missing.is_truthy());
@@ -293,6 +289,6 @@ mod tests {
     #[test]
     fn syntax_source_info() {
         let v = call("syntax-line", &[stx("(a)")]).unwrap();
-        assert!(matches!(v, Value::Int(1)));
+        assert_eq!(v.as_int(), Some(1));
     }
 }

@@ -19,9 +19,9 @@ use crate::value::{Arity, Value};
 
 #[inline(always)]
 fn fl(v: &Value) -> f64 {
-    match v {
-        Value::Float(x) => *x,
-        _ => {
+    match v.as_float() {
+        Some(x) => x,
+        None => {
             debug_assert!(false, "unsafe-fl op applied to {}", v.write_string());
             0.0
         }
@@ -30,9 +30,9 @@ fn fl(v: &Value) -> f64 {
 
 #[inline(always)]
 fn fx(v: &Value) -> i64 {
-    match v {
-        Value::Int(n) => *n,
-        _ => {
+    match v.as_int() {
+        Some(n) => n,
+        None => {
             debug_assert!(false, "unsafe-fx op applied to {}", v.write_string());
             0
         }
@@ -41,9 +41,9 @@ fn fx(v: &Value) -> i64 {
 
 #[inline(always)]
 fn cpx(v: &Value) -> (f64, f64) {
-    match v {
-        Value::Complex(re, im) => (*re, *im),
-        _ => {
+    match v.as_complex() {
+        Some(z) => z,
+        None => {
             debug_assert!(false, "unsafe-fc op applied to {}", v.write_string());
             (0.0, 0.0)
         }
@@ -186,25 +186,29 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
 
     // Pair / vector specializations: tag-check elimination (paper §7.2
     // "eliminates tag-checking made redundant by the typechecker").
-    def(out, "unsafe-car", Arity::exactly(1), |a| match &a[0] {
-        Value::Pair(p) => Ok(p.0.clone()),
-        v => {
-            debug_assert!(false, "unsafe-car applied to {}", v.write_string());
-            Ok(v.clone())
+    def(out, "unsafe-car", Arity::exactly(1), |a| {
+        match a[0].as_pair() {
+            Some(p) => Ok(p.0.clone()),
+            None => {
+                debug_assert!(false, "unsafe-car applied to {}", a[0].write_string());
+                Ok(a[0].clone())
+            }
         }
     });
-    def(out, "unsafe-cdr", Arity::exactly(1), |a| match &a[0] {
-        Value::Pair(p) => Ok(p.1.clone()),
-        v => {
-            debug_assert!(false, "unsafe-cdr applied to {}", v.write_string());
-            Ok(v.clone())
+    def(out, "unsafe-cdr", Arity::exactly(1), |a| {
+        match a[0].as_pair() {
+            Some(p) => Ok(p.1.clone()),
+            None => {
+                debug_assert!(false, "unsafe-cdr applied to {}", a[0].write_string());
+                Ok(a[0].clone())
+            }
         }
     });
     def(out, "unsafe-vector-ref", Arity::exactly(2), |a| {
-        match (&a[0], &a[1]) {
-            (Value::Vector(v), Value::Int(i)) => {
+        match (a[0].as_vector(), a[1].as_int()) {
+            (Some(v), Some(i)) => {
                 let v = v.borrow();
-                match v.get(*i as usize) {
+                match v.get(i as usize) {
                     Some(x) => Ok(x.clone()),
                     None => {
                         debug_assert!(false, "unsafe-vector-ref out of range");
@@ -219,10 +223,10 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
         }
     });
     def(out, "unsafe-vector-set!", Arity::exactly(3), |a| {
-        match (&a[0], &a[1]) {
-            (Value::Vector(v), Value::Int(i)) => {
+        match (a[0].as_vector(), a[1].as_int()) {
+            (Some(v), Some(i)) => {
                 let mut v = v.borrow_mut();
-                let i = *i as usize;
+                let i = i as usize;
                 if i < v.len() {
                     v[i] = a[2].clone();
                 } else {
@@ -240,9 +244,9 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
         out,
         "unsafe-vector-length",
         Arity::exactly(1),
-        |a| match &a[0] {
-            Value::Vector(v) => Ok(Value::Int(v.borrow().len() as i64)),
-            _ => {
+        |a| match a[0].as_vector() {
+            Some(v) => Ok(Value::Int(v.borrow().len() as i64)),
+            None => {
                 debug_assert!(false, "unsafe-vector-length misapplied");
                 Ok(Value::Int(0))
             }
@@ -274,72 +278,68 @@ mod tests {
             .iter()
             .find(|(n, _)| *n == Symbol::from(name))
             .unwrap();
-        match v {
-            Value::Native(n) => (n.f)(args).unwrap(),
-            _ => unreachable!(),
-        }
+        let n = v.as_native().expect("primitive is native");
+        (n.f)(args).unwrap()
     }
 
     #[test]
     fn fl_ops() {
-        assert!(
-            matches!(call("unsafe-fl+", &[Value::Float(1.5), Value::Float(2.0)]), Value::Float(x) if x == 3.5)
+        assert_eq!(
+            call("unsafe-fl+", &[Value::Float(1.5), Value::Float(2.0)]).as_float(),
+            Some(3.5)
         );
-        assert!(
-            matches!(call("unsafe-fl*", &[Value::Float(2.0), Value::Float(4.0)]), Value::Float(x) if x == 8.0)
+        assert_eq!(
+            call("unsafe-fl*", &[Value::Float(2.0), Value::Float(4.0)]).as_float(),
+            Some(8.0)
         );
         assert!(call("unsafe-fl<", &[Value::Float(1.0), Value::Float(2.0)]).is_truthy());
-        assert!(matches!(call("unsafe-flsqrt", &[Value::Float(9.0)]), Value::Float(x) if x == 3.0));
+        assert_eq!(
+            call("unsafe-flsqrt", &[Value::Float(9.0)]).as_float(),
+            Some(3.0)
+        );
     }
 
     #[test]
     fn fx_ops_wrap() {
-        assert!(matches!(
-            call("unsafe-fx+", &[Value::Int(i64::MAX), Value::Int(1)]),
-            Value::Int(i64::MIN)
-        ));
+        assert_eq!(
+            call("unsafe-fx+", &[Value::Int(i64::MAX), Value::Int(1)]).as_int(),
+            Some(i64::MIN)
+        );
     }
 
     #[test]
     fn fc_ops() {
-        match call(
+        let z = call(
             "unsafe-fc*",
             &[Value::Complex(2.0, 2.0), Value::Complex(2.0, 2.0)],
-        ) {
-            Value::Complex(re, im) => {
-                assert_eq!(re, 0.0);
-                assert_eq!(im, 8.0);
-            }
-            v => panic!("{v}"),
-        }
-        assert!(matches!(
-            call("unsafe-fcmagnitude", &[Value::Complex(3.0, 4.0)]),
-            Value::Float(x) if x == 5.0
-        ));
+        );
+        assert_eq!(z.as_complex(), Some((0.0, 8.0)));
+        assert_eq!(
+            call("unsafe-fcmagnitude", &[Value::Complex(3.0, 4.0)]).as_float(),
+            Some(5.0)
+        );
     }
 
     #[test]
     fn structure_ops() {
         let p = Value::cons(Value::Int(1), Value::Int(2));
-        assert!(matches!(
-            call("unsafe-car", std::slice::from_ref(&p)),
-            Value::Int(1)
-        ));
-        assert!(matches!(call("unsafe-cdr", &[p]), Value::Int(2)));
+        assert_eq!(
+            call("unsafe-car", std::slice::from_ref(&p)).as_int(),
+            Some(1)
+        );
+        assert_eq!(call("unsafe-cdr", &[p]).as_int(), Some(2));
         let v = call(
             "unsafe-vector-ref",
-            &[
-                Value::Vector(std::rc::Rc::new(std::cell::RefCell::new(vec![Value::Int(
-                    9,
-                )]))),
-                Value::Int(0),
-            ],
+            &[Value::vector(vec![Value::Int(9)]), Value::Int(0)],
         );
-        assert!(matches!(v, Value::Int(9)));
+        assert_eq!(v.as_int(), Some(9));
     }
 
     #[test]
     fn coercion() {
-        assert!(matches!(call("unsafe-fx->fl", &[Value::Int(3)]), Value::Float(x) if x == 3.0));
+        assert_eq!(
+            call("unsafe-fx->fl", &[Value::Int(3)]).as_float(),
+            Some(3.0)
+        );
     }
 }

@@ -7,25 +7,25 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 fn expect_vector(name: &str, v: &Value) -> Result<Rc<RefCell<Vec<Value>>>, RtError> {
-    match v {
-        Value::Vector(v) => Ok(v.clone()),
-        other => Err(RtError::type_error(format!(
+    match v.to_vector_rc() {
+        Some(v) => Ok(v),
+        None => Err(RtError::type_error(format!(
             "{name}: expected vector, got {}",
-            other.write_string()
+            v.write_string()
         ))),
     }
 }
 
 fn expect_index(name: &str, v: &Value, len: usize) -> Result<usize, RtError> {
-    match v {
-        Value::Int(n) if *n >= 0 && (*n as usize) < len => Ok(*n as usize),
-        Value::Int(n) => Err(RtError::new(
+    match v.as_int() {
+        Some(n) if n >= 0 && (n as usize) < len => Ok(n as usize),
+        Some(n) => Err(RtError::new(
             crate::error::Kind::Range,
             format!("{name}: index {n} out of range for length {len}"),
         )),
-        other => Err(RtError::type_error(format!(
+        None => Err(RtError::type_error(format!(
             "{name}: expected index, got {}",
-            other.write_string()
+            v.write_string()
         ))),
     }
 }
@@ -35,15 +35,20 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
         Ok(Value::Vector(Rc::new(RefCell::new(args.to_vec()))))
     });
     def(out, "make-vector", Arity::at_least(1), |args| {
-        let n = match &args[0] {
-            Value::Int(n) if *n >= 0 => *n as usize,
-            v => return Err(RtError::type_error(format!("make-vector: bad length {v}"))),
+        let n = match args[0].as_int() {
+            Some(n) if n >= 0 => n as usize,
+            _ => {
+                return Err(RtError::type_error(format!(
+                    "make-vector: bad length {}",
+                    args[0]
+                )))
+            }
         };
         let fill = args.get(1).cloned().unwrap_or(Value::Int(0));
         Ok(Value::Vector(Rc::new(RefCell::new(vec![fill; n]))))
     });
     def(out, "vector?", Arity::exactly(1), |args| {
-        Ok(Value::Bool(matches!(args[0], Value::Vector(_))))
+        Ok(Value::Bool(args[0].as_vector().is_some()))
     });
     def(out, "vector-length", Arity::exactly(1), |args| {
         Ok(Value::Int(
@@ -92,20 +97,28 @@ pub(super) fn install(out: &mut Vec<(lagoon_syntax::Symbol, Value)>) {
         Ok(Value::Box(Rc::new(RefCell::new(args[0].clone()))))
     });
     def(out, "box?", Arity::exactly(1), |args| {
-        Ok(Value::Bool(matches!(args[0], Value::Box(_))))
+        Ok(Value::Bool(args[0].as_box().is_some()))
     });
-    def(out, "unbox", Arity::exactly(1), |args| match &args[0] {
-        Value::Box(b) => Ok(b.borrow().clone()),
-        v => Err(RtError::type_error(format!("unbox: expected box, got {v}"))),
-    });
-    def(out, "set-box!", Arity::exactly(2), |args| match &args[0] {
-        Value::Box(b) => {
-            *b.borrow_mut() = args[1].clone();
-            Ok(Value::Void)
+    def(out, "unbox", Arity::exactly(1), |args| {
+        match args[0].as_box() {
+            Some(b) => Ok(b.borrow().clone()),
+            None => Err(RtError::type_error(format!(
+                "unbox: expected box, got {}",
+                args[0]
+            ))),
         }
-        v => Err(RtError::type_error(format!(
-            "set-box!: expected box, got {v}"
-        ))),
+    });
+    def(out, "set-box!", Arity::exactly(2), |args| {
+        match args[0].as_box() {
+            Some(b) => {
+                *b.borrow_mut() = args[1].clone();
+                Ok(Value::Void)
+            }
+            None => Err(RtError::type_error(format!(
+                "set-box!: expected box, got {}",
+                args[0]
+            ))),
+        }
     });
 }
 
@@ -121,28 +134,32 @@ mod tests {
             .iter()
             .find(|(n, _)| *n == Symbol::from(name))
             .unwrap();
-        match v {
-            Value::Native(n) => (n.f)(args),
-            _ => unreachable!(),
-        }
+        let n = v.as_native().expect("primitive is native");
+        (n.f)(args)
     }
 
     #[test]
     fn vector_lifecycle() {
         let v = call("make-vector", &[Value::Int(3), Value::Int(7)]).unwrap();
-        assert!(matches!(
-            call("vector-length", std::slice::from_ref(&v)).unwrap(),
-            Value::Int(3)
-        ));
-        assert!(matches!(
-            call("vector-ref", &[v.clone(), Value::Int(1)]).unwrap(),
-            Value::Int(7)
-        ));
+        assert_eq!(
+            call("vector-length", std::slice::from_ref(&v))
+                .unwrap()
+                .as_int(),
+            Some(3)
+        );
+        assert_eq!(
+            call("vector-ref", &[v.clone(), Value::Int(1)])
+                .unwrap()
+                .as_int(),
+            Some(7)
+        );
         call("vector-set!", &[v.clone(), Value::Int(1), Value::Int(9)]).unwrap();
-        assert!(matches!(
-            call("vector-ref", &[v.clone(), Value::Int(1)]).unwrap(),
-            Value::Int(9)
-        ));
+        assert_eq!(
+            call("vector-ref", &[v.clone(), Value::Int(1)])
+                .unwrap()
+                .as_int(),
+            Some(9)
+        );
         assert!(call("vector-ref", &[v, Value::Int(3)]).is_err());
     }
 
@@ -157,12 +174,12 @@ mod tests {
     #[test]
     fn boxes() {
         let b = call("box", &[Value::Int(1)]).unwrap();
-        assert!(matches!(
-            call("unbox", std::slice::from_ref(&b)).unwrap(),
-            Value::Int(1)
-        ));
+        assert_eq!(
+            call("unbox", std::slice::from_ref(&b)).unwrap().as_int(),
+            Some(1)
+        );
         call("set-box!", &[b.clone(), Value::Int(2)]).unwrap();
-        assert!(matches!(call("unbox", &[b]).unwrap(), Value::Int(2)));
+        assert_eq!(call("unbox", &[b]).unwrap().as_int(), Some(2));
         assert!(call("unbox", &[Value::Int(3)]).is_err());
     }
 
@@ -171,9 +188,9 @@ mod tests {
         let v = call("vector", &[Value::Int(1)]).unwrap();
         let c = call("vector-copy", std::slice::from_ref(&v)).unwrap();
         call("vector-set!", &[v, Value::Int(0), Value::Int(5)]).unwrap();
-        assert!(matches!(
-            call("vector-ref", &[c, Value::Int(0)]).unwrap(),
-            Value::Int(1)
-        ));
+        assert_eq!(
+            call("vector-ref", &[c, Value::Int(0)]).unwrap().as_int(),
+            Some(1)
+        );
     }
 }

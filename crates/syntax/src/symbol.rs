@@ -556,6 +556,14 @@ impl Symbol {
     pub fn index(&self) -> u32 {
         self.0
     }
+
+    /// Rebuilds a symbol from a raw id obtained via [`Symbol::index`].
+    /// Exists so compact packed representations (the runtime's NaN-boxed
+    /// value word) can round-trip symbols without a lookup. Safe for any
+    /// input: an id that names nothing renders as `#<stale-symbol>`.
+    pub fn from_index(raw: u32) -> Symbol {
+        Symbol(raw)
+    }
 }
 
 impl From<&str> for Symbol {

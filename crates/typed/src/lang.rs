@@ -494,25 +494,26 @@ fn export_indirection(external: Symbol, raw: Symbol, defensive: Symbol) -> Rc<Na
         Datum::Symbol(raw),
         Datum::Symbol(defensive),
     ]);
-    let name = external.as_str();
-    native_with_recipe(&name, TYPED_EXPORT_RECIPE, recipe, move |exp, stx, _| {
-        let chosen = if in_typed_context(exp) {
-            raw
-        } else {
-            defensive
-        };
-        if stx.is_identifier() {
-            return Ok(Expanded::Core(Syntax::ident(chosen, stx.span())));
-        }
-        // application position: (id arg …)
-        let items = stx
-            .to_list()
-            .ok_or_else(|| syntax_error("bad use of typed export", &stx))?;
-        let mut out = vec![id("#%plain-app"), Syntax::ident(chosen, items[0].span())];
-        for arg in &items[1..] {
-            out.push(exp.expand_expr(arg)?);
-        }
-        Ok(Expanded::Core(stx.with_data(SynData::List(out))))
+    external.with_str(|name| {
+        native_with_recipe(name, TYPED_EXPORT_RECIPE, recipe, move |exp, stx, _| {
+            let chosen = if in_typed_context(exp) {
+                raw
+            } else {
+                defensive
+            };
+            if stx.is_identifier() {
+                return Ok(Expanded::Core(Syntax::ident(chosen, stx.span())));
+            }
+            // application position: (id arg …)
+            let items = stx
+                .to_list()
+                .ok_or_else(|| syntax_error("bad use of typed export", &stx))?;
+            let mut out = vec![id("#%plain-app"), Syntax::ident(chosen, items[0].span())];
+            for arg in &items[1..] {
+                out.push(exp.expand_expr(arg)?);
+            }
+            Ok(Expanded::Core(stx.with_data(SynData::List(out))))
+        })
     })
 }
 
@@ -534,10 +535,9 @@ fn runtime_values() -> HashMap<Symbol, Value> {
         Symbol::intern("typed-wrap"),
         Native::value("typed-wrap", Arity::exactly(3), |args| {
             let ty = value_to_type(&args[0])?;
-            let module = match &args[2] {
-                Value::Symbol(s) => *s,
-                _ => Symbol::intern("typed-module"),
-            };
+            let module = args[2]
+                .as_symbol()
+                .unwrap_or_else(|| Symbol::intern("typed-module"));
             apply_contract(
                 args[1].clone(),
                 &ty.to_contract(),
@@ -552,14 +552,12 @@ fn runtime_values() -> HashMap<Symbol, Value> {
         Symbol::intern("typed-wrap-import"),
         Native::value("typed-wrap-import", Arity::exactly(4), |args| {
             let ty = value_to_type(&args[0])?;
-            let library = match &args[2] {
-                Value::Symbol(s) => *s,
-                _ => Symbol::intern("library"),
-            };
-            let client = match &args[3] {
-                Value::Symbol(s) => *s,
-                _ => Symbol::intern("typed-module"),
-            };
+            let library = args[2]
+                .as_symbol()
+                .unwrap_or_else(|| Symbol::intern("library"));
+            let client = args[3]
+                .as_symbol()
+                .unwrap_or_else(|| Symbol::intern("typed-module"));
             apply_contract(args[1].clone(), &ty.to_contract(), library, client)
         }),
     );

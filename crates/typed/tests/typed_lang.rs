@@ -36,7 +36,7 @@ fn simple_typed_module() {
          (f 3)",
     )
     .unwrap();
-    assert!(matches!(v, Value::Int(5)));
+    assert_eq!(v.as_int(), Some(5));
 }
 
 #[test]
@@ -83,7 +83,7 @@ fn colon_declaration_form() {
          (f 8)",
     )
     .unwrap();
-    assert!(matches!(v, Value::Int(4)));
+    assert_eq!(v.as_int(), Some(4));
 }
 
 #[test]
@@ -95,7 +95,7 @@ fn colon_infix_declaration() {
          (add-5 7)",
     )
     .unwrap();
-    assert!(matches!(v, Value::Int(12)));
+    assert_eq!(v.as_int(), Some(12));
 }
 
 #[test]
@@ -121,7 +121,7 @@ fn recursive_functions() {
          (fact 12)",
     )
     .unwrap();
-    assert!(matches!(v, Value::Int(479001600)));
+    assert_eq!(v.as_int(), Some(479001600));
 }
 
 #[test]
@@ -137,7 +137,7 @@ fn typed_named_let() {
          (count 8.0+8.0i)",
     )
     .unwrap();
-    assert!(matches!(v, Value::Int(n) if n > 0));
+    assert!(v.as_int().is_some_and(|n| n > 0));
 }
 
 #[test]
@@ -147,7 +147,7 @@ fn typed_let_bindings() {
          (let: ([x : Integer 2] [y : Integer 3]) (+ x y))",
     )
     .unwrap();
-    assert!(matches!(v, Value::Int(5)));
+    assert_eq!(v.as_int(), Some(5));
 }
 
 #[test]
@@ -159,7 +159,7 @@ fn lambda_colon_values() {
          (app2 (lambda: ([n : Integer]) (* n n)) 7)",
     )
     .unwrap();
-    assert!(matches!(v, Value::Int(49)));
+    assert_eq!(v.as_int(), Some(49));
 }
 
 // ----- lists, higher-order, paper §3.2 tag-check example -----
@@ -172,7 +172,7 @@ fn list_types() {
          (first p)",
     )
     .unwrap();
-    assert!(matches!(v, Value::Int(1)));
+    assert_eq!(v.as_int(), Some(1));
 }
 
 #[test]
@@ -183,7 +183,7 @@ fn polymorphic_prelude() {
          (foldl + 0 (map (lambda: ([x : Integer]) (* x x)) l))",
     )
     .unwrap();
-    assert!(matches!(v, Value::Int(14)));
+    assert_eq!(v.as_int(), Some(14));
 }
 
 #[test]
@@ -197,7 +197,7 @@ fn macros_still_work_in_typed_code() {
          (twice x)",
     )
     .unwrap();
-    assert!(matches!(v, Value::Int(42)));
+    assert_eq!(v.as_int(), Some(42));
 }
 
 #[test]
@@ -211,7 +211,7 @@ fn cond_expands_and_checks() {
          (sign -5)",
     )
     .unwrap();
-    assert!(matches!(v, Value::Int(-1)));
+    assert_eq!(v.as_int(), Some(-1));
 }
 
 // ----- ann and cast -----
@@ -224,7 +224,7 @@ fn ann_is_static() {
          x",
     )
     .unwrap();
-    assert!(matches!(v, Value::Int(3)));
+    assert_eq!(v.as_int(), Some(3));
     let err = run_typed("#lang typed/lagoon\n(ann 3.7 Integer)\n").unwrap_err();
     assert!(err.message.contains("typecheck"), "got: {err}");
 }
@@ -237,7 +237,7 @@ fn cast_checks_at_runtime() {
          (+ (cast x Integer) 1)",
     )
     .unwrap();
-    assert!(matches!(v, Value::Int(43)));
+    assert_eq!(v.as_int(), Some(43));
     let err = run_typed(
         "#lang typed/lagoon
          (define: x : Any \"not a number\")
@@ -266,7 +266,7 @@ fn types_flow_across_typed_modules() {
          (add-5 7)",
     );
     let v = reg.run("client", EngineKind::Vm).unwrap();
-    assert!(matches!(v, Value::Int(12)));
+    assert_eq!(v.as_int(), Some(12));
 }
 
 #[test]
@@ -310,7 +310,7 @@ fn require_typed_wraps_imports() {
          (md5 (string->bytes \"hello\"))",
     );
     let v = reg.run("main", EngineKind::Vm).unwrap();
-    assert!(matches!(v, Value::Int(n) if n > 0));
+    assert!(v.as_int().is_some_and(|n| n > 0));
 }
 
 #[test]
@@ -368,7 +368,7 @@ fn untyped_clients_use_typed_exports_safely() {
          (add-5 12)",
     );
     let v = reg.run("client", EngineKind::Vm).unwrap();
-    assert!(matches!(v, Value::Int(17)));
+    assert_eq!(v.as_int(), Some(17));
 }
 
 #[test]
@@ -424,7 +424,7 @@ fn typed_to_typed_links_without_contracts() {
          (inc2 40)",
     );
     let v = reg.run("c", EngineKind::Vm).unwrap();
-    assert!(matches!(v, Value::Int(42)));
+    assert_eq!(v.as_int(), Some(42));
 }
 
 #[test]
@@ -452,7 +452,7 @@ fn mixed_typed_untyped_chain() {
          (sum-squares (list 1 2 3))",
     );
     let v = reg.run("typed-top", EngineKind::Vm).unwrap();
-    assert!(matches!(v, Value::Int(14)));
+    assert_eq!(v.as_int(), Some(14));
 }
 
 // ----- misc semantics -----
@@ -466,7 +466,7 @@ fn float_arithmetic_types() {
          (norm 3.0 4.0)",
     )
     .unwrap();
-    assert!(matches!(v, Value::Float(x) if x == 5.0));
+    assert!(v.as_float().is_some_and(|x| x == 5.0));
 }
 
 #[test]
@@ -477,7 +477,7 @@ fn mixed_int_float_promotes() {
          x",
     )
     .unwrap();
-    assert!(matches!(v, Value::Float(x) if x == 7.0));
+    assert!(v.as_float().is_some_and(|x| x == 7.0));
 }
 
 #[test]
@@ -524,7 +524,7 @@ fn vectors_typecheck() {
          (+ (vector-ref v 0) (vector-ref v 1))",
     )
     .unwrap();
-    assert!(matches!(v, Value::Int(16)));
+    assert_eq!(v.as_int(), Some(16));
 }
 
 // ----- define-type aliases -----
@@ -539,7 +539,7 @@ fn define_type_aliases() {
          (px (list 1.5 2.0 3.0))",
     )
     .unwrap();
-    assert!(matches!(v, Value::Float(x) if x == 1.5));
+    assert!(v.as_float().is_some_and(|x| x == 1.5));
 }
 
 #[test]
@@ -563,7 +563,7 @@ fn aliases_nest_and_cross_modules() {
          (first (flip (mk 1.0 2.0)))",
     );
     let v = reg.run("use", EngineKind::Vm).unwrap();
-    assert!(matches!(v, Value::Float(x) if x == 2.0));
+    assert!(v.as_float().is_some_and(|x| x == 2.0));
 }
 
 #[test]
@@ -635,7 +635,7 @@ fn if_branches_join() {
          (f #t)",
     )
     .unwrap();
-    assert!(matches!(v, Value::Int(1)));
+    assert_eq!(v.as_int(), Some(1));
 }
 
 #[test]
@@ -651,7 +651,7 @@ fn function_subtyping_at_use() {
          (use g)",
     )
     .unwrap();
-    assert!(matches!(v, Value::Int(10)));
+    assert_eq!(v.as_int(), Some(10));
 }
 
 #[test]
@@ -663,7 +663,7 @@ fn fixed_lists_decay_to_listof() {
          (sum-list (list 1 2 3))",
     )
     .unwrap();
-    assert!(matches!(v, Value::Int(6)));
+    assert_eq!(v.as_int(), Some(6));
 }
 
 #[test]
@@ -679,7 +679,7 @@ fn set_of_captured_typed_variable() {
          (acc 1) (acc 10) (acc 100)",
     )
     .unwrap();
-    assert!(matches!(v, Value::Int(111)));
+    assert_eq!(v.as_int(), Some(111));
 }
 
 #[test]

@@ -232,28 +232,26 @@ op_codec! {
 /// Fails for values with no serialized form (procedures, boxes,
 /// values packages) — such a module is *uncacheable*, not broken.
 pub fn encode_value(w: &mut WireWriter, v: &Value) -> Result<(), WireError> {
-    match v {
-        Value::Void => {
-            w.u8(2);
+    if v.is_void() {
+        w.u8(2);
+        return Ok(());
+    }
+    if let Some(stx) = v.as_syntax() {
+        w.u8(1);
+        w.datum(&stx.to_datum());
+        w.span(stx.span());
+        return Ok(());
+    }
+    match v.to_datum() {
+        Some(d) => {
+            w.u8(0);
+            w.datum(&d);
             Ok(())
         }
-        Value::Syntax(stx) => {
-            w.u8(1);
-            w.datum(&stx.to_datum());
-            w.span(stx.span());
-            Ok(())
-        }
-        other => match other.to_datum() {
-            Some(d) => {
-                w.u8(0);
-                w.datum(&d);
-                Ok(())
-            }
-            None => Err(WireError::new(
-                format!("a {} constant has no serialized form", other.tag_name()),
-                w.bytes().len(),
-            )),
-        },
+        None => Err(WireError::new(
+            format!("a {} constant has no serialized form", v.tag_name()),
+            w.bytes().len(),
+        )),
     }
 }
 
@@ -715,6 +713,70 @@ mod tests {
     }
 
     #[test]
+    fn tagged_value_constants_round_trip() {
+        // every constant class the tagged word representation encodes
+        // differently from plain datums: immediates (int/char/bool/nil),
+        // the 48-bit immediate-integer boundary (beyond it integers are
+        // heap-boxed but must encode identically), floats incl. the
+        // canonical NaN and both signed zeros, and componentwise complex
+        let vals = [
+            Value::Void,
+            Value::Nil,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Int((1 << 47) - 1),
+            Value::Int(-(1 << 47)),
+            Value::Int(1 << 47),  // heap-boxed
+            Value::Int(i64::MAX), // heap-boxed
+            Value::Int(i64::MIN), // heap-boxed
+            Value::Char('λ'),
+            Value::Float(0.0),
+            Value::Float(-0.0),
+            Value::Float(f64::NAN),
+            Value::Float(f64::INFINITY),
+            Value::Float(f64::NEG_INFINITY),
+            Value::Float(1.5),
+            Value::Complex(f64::NAN, -0.0),
+            Value::string("héllo"),
+            Value::Symbol(Symbol::intern("sym")),
+            Value::list(vec![Value::Int(1), Value::Float(2.5)]),
+        ];
+        for v in &vals {
+            let mut w = WireWriter::new();
+            encode_value(&mut w, v).unwrap_or_else(|e| panic!("encode {v}: {e}"));
+            let bytes = w.into_bytes();
+            let mut r = WireReader::new(&bytes);
+            let back = decode_value(&mut r).unwrap_or_else(|e| panic!("decode {v}: {e}"));
+            assert!(r.is_empty(), "trailing bytes after {v}");
+            // eqv? distinguishes NaN-vs-NaN (#t after canonicalization)
+            // and 0.0-vs--0.0 (#f), so it is exactly the right notion of
+            // "the constant survived"
+            assert!(
+                v.eqv(&back) || v.equal(&back),
+                "round trip changed {} into {}",
+                v.write_string(),
+                back.write_string()
+            );
+        }
+        // the signed-zero split and NaN canonicalization specifically
+        let mut w = WireWriter::new();
+        encode_value(&mut w, &Value::Float(-0.0)).unwrap();
+        let bytes = w.into_bytes();
+        let back = decode_value(&mut WireReader::new(&bytes)).unwrap();
+        assert!(back.eqv(&Value::Float(-0.0)), "-0.0 must stay -0.0");
+        assert!(!back.eqv(&Value::Float(0.0)), "-0.0 must not become 0.0");
+        let mut w = WireWriter::new();
+        encode_value(&mut w, &Value::Float(f64::from_bits(0x7FF8_DEAD_BEEF_0001))).unwrap();
+        let bytes = w.into_bytes();
+        let back = decode_value(&mut WireReader::new(&bytes)).unwrap();
+        assert!(
+            back.eqv(&Value::Float(f64::NAN)),
+            "every NaN decodes to the canonical NaN"
+        );
+    }
+
+    #[test]
     fn proto_round_trips() {
         let inner = Rc::new(Proto {
             name: Some(Symbol::intern("inner")),
@@ -722,7 +784,7 @@ mod tests {
             nlocals: 3,
             captures: vec![CaptureSrc::Local(0), CaptureSrc::Capture(1)],
             code: vec![Op::LoadCapture(0), Op::Return],
-            consts: vec![Value::Int(42), Value::Str("hi".into())],
+            consts: vec![Value::Int(42), Value::string("hi")],
             protos: vec![],
         });
         let outer = Proto {

@@ -527,8 +527,8 @@ impl Compiler {
     /// unboxed `f64` on the float stack.
     fn compile_fl_operand(&mut self, expr: &CoreExpr) -> Result<(), RtError> {
         match expr {
-            CoreExpr::Quote(Value::Float(x)) => {
-                let k = self.top().add_const(Value::Float(*x));
+            CoreExpr::Quote(v) if v.is_float() => {
+                let k = self.top().add_const(v.clone());
                 self.top().emit(Op::FlPushConst(k));
                 return Ok(());
             }

@@ -98,7 +98,8 @@ pub fn splice_apply_args(args: &[Value]) -> Result<(Value, Vec<Value>), RtError>
 /// True when `v` is the distinguished `apply` primitive, which engines must
 /// intercept (its behaviour needs the engine itself).
 pub fn is_apply_native(v: &Value) -> bool {
-    matches!(v, Value::Native(n) if n.name == lagoon_syntax::Symbol::intern("apply"))
+    v.as_native()
+        .is_some_and(|n| n.name == lagoon_syntax::Symbol::intern("apply"))
 }
 
 /// The placeholder `apply` primitive; engines intercept applications of it
@@ -133,9 +134,10 @@ pub fn splice_cwv_args(
         ));
     };
     let produced = engine.apply(producer, &[])?;
-    let vals = match produced {
-        Value::Values(vs) => (*vs).clone(),
-        v => vec![v],
+    let vals = if let Some(vs) = produced.as_values() {
+        vs.to_vec()
+    } else {
+        vec![produced]
     };
     Ok((consumer.clone(), vals))
 }
@@ -143,7 +145,8 @@ pub fn splice_cwv_args(
 /// True when `v` is the distinguished `call-with-values` primitive, which
 /// engines must intercept (running the producer needs the engine itself).
 pub fn is_cwv_native(v: &Value) -> bool {
-    matches!(v, Value::Native(n) if n.name == lagoon_syntax::Symbol::intern("call-with-values"))
+    v.as_native()
+        .is_some_and(|n| n.name == lagoon_syntax::Symbol::intern("call-with-values"))
 }
 
 /// The placeholder `call-with-values` primitive; engines intercept
@@ -173,10 +176,12 @@ mod tests {
     struct NativeOnly;
     impl Engine for NativeOnly {
         fn apply(&self, f: &Value, args: &[Value]) -> Result<Value, RtError> {
-            match f {
-                Value::Native(n) => (n.f)(args),
-                Value::Contracted(c) => apply_contracted(self, c, args),
-                _ => Err(RtError::type_error("not applicable")),
+            if let Some(n) = f.as_native() {
+                (n.f)(args)
+            } else if let Some(c) = f.as_contracted() {
+                apply_contracted(self, c, args)
+            } else {
+                Err(RtError::type_error("not applicable"))
             }
         }
     }
@@ -201,7 +206,7 @@ mod tests {
     fn good_call_passes() {
         let f = wrap(inc(), vec![Contract::Integer], Contract::Integer);
         let r = NativeOnly.apply(&f, &[Value::Int(1)]).unwrap();
-        assert!(matches!(r, Value::Int(2)));
+        assert_eq!(r.as_int(), Some(2));
     }
 
     #[test]

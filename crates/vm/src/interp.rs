@@ -263,78 +263,78 @@ impl Engine for Interp {
         let mut f = f.clone();
         let mut args = args.to_vec();
         loop {
-            match &f {
-                Value::Native(n) => {
-                    if is_apply_native(&f) {
-                        let (nf, nargs) = splice_apply_args(&args)?;
-                        f = nf;
-                        args = nargs;
-                        continue;
-                    }
-                    if crate::engine::is_cwv_native(&f) {
-                        let (nf, nargs) = crate::engine::splice_cwv_args(self, &args)?;
-                        f = nf;
-                        args = nargs;
-                        continue;
-                    }
-                    if !n.arity.accepts(args.len()) {
-                        return Err(RtError::arity(format!(
-                            "{}: expects {} argument(s), got {}",
-                            n.name,
-                            n.arity,
-                            args.len()
-                        )));
-                    }
-                    lagoon_diag::limits::prim_call().map_err(RtError::from)?;
-                    return (n.f)(&args);
+            if let Some(n) = f.as_native() {
+                if is_apply_native(&f) {
+                    let (nf, nargs) = splice_apply_args(&args)?;
+                    f = nf;
+                    args = nargs;
+                    continue;
                 }
-                Value::Contracted(c) => return apply_contracted(self, c, &args),
-                Value::Closure(c) => {
-                    let lam = c.code.clone().downcast::<LambdaCore>().map_err(|_| {
-                        RtError::new(
-                            Kind::Internal,
-                            "closure from a different engine applied by the interpreter",
-                        )
-                    })?;
-                    let parent = c.env.clone().downcast::<Env>().map_err(|_| {
-                        RtError::new(Kind::Internal, "closure environment has the wrong shape")
-                    })?;
-                    if !c.arity.accepts(args.len()) {
-                        return Err(RtError::arity(format!(
-                            "{}: expects {} argument(s), got {}",
-                            c.name
-                                .map(|n| n.as_str())
-                                .unwrap_or_else(|| "#<procedure>".into()),
-                            c.arity,
-                            args.len()
-                        )));
-                    }
-                    let frame = Env::child(&parent);
-                    for (name, v) in lam.formals.iter().zip(args.iter()) {
-                        frame.define(*name, v.clone());
-                    }
-                    if let Some(rest) = lam.rest {
-                        frame.define(rest, Value::list(args[lam.formals.len()..].to_vec()));
-                    }
-                    let (last, init) = split_body(&lam.body)?;
-                    for e in init {
-                        self.eval(e, &frame)?;
-                    }
-                    match self.eval_step(last, &frame)? {
-                        Step::Done(v) => return Ok(v),
-                        Step::Call(nf, nargs) => {
-                            f = nf;
-                            args = nargs;
-                        }
-                    }
+                if crate::engine::is_cwv_native(&f) {
+                    let (nf, nargs) = crate::engine::splice_cwv_args(self, &args)?;
+                    f = nf;
+                    args = nargs;
+                    continue;
                 }
-                other => {
-                    return Err(RtError::type_error(format!(
-                        "application: not a procedure: {}",
-                        other.write_string()
-                    )))
+                if !n.arity.accepts(args.len()) {
+                    return Err(RtError::arity(format!(
+                        "{}: expects {} argument(s), got {}",
+                        n.name,
+                        n.arity,
+                        args.len()
+                    )));
                 }
+                lagoon_diag::limits::prim_call().map_err(RtError::from)?;
+                return (n.f)(&args);
             }
+            if let Some(c) = f.as_contracted() {
+                return apply_contracted(self, c, &args);
+            }
+            if let Some(c) = f.as_closure() {
+                let lam = c.code.clone().downcast::<LambdaCore>().map_err(|_| {
+                    RtError::new(
+                        Kind::Internal,
+                        "closure from a different engine applied by the interpreter",
+                    )
+                })?;
+                let parent = c.env.clone().downcast::<Env>().map_err(|_| {
+                    RtError::new(Kind::Internal, "closure environment has the wrong shape")
+                })?;
+                if !c.arity.accepts(args.len()) {
+                    // as_str (allocating) is fine here: error path only
+                    return Err(RtError::arity(format!(
+                        "{}: expects {} argument(s), got {}",
+                        c.name
+                            .map(|n| n.as_str())
+                            .unwrap_or_else(|| "#<procedure>".into()),
+                        c.arity,
+                        args.len()
+                    )));
+                }
+                let frame = Env::child(&parent);
+                for (name, v) in lam.formals.iter().zip(args.iter()) {
+                    frame.define(*name, v.clone());
+                }
+                if let Some(rest) = lam.rest {
+                    frame.define(rest, Value::list(args[lam.formals.len()..].to_vec()));
+                }
+                let (last, init) = split_body(&lam.body)?;
+                for e in init {
+                    self.eval(e, &frame)?;
+                }
+                match self.eval_step(last, &frame)? {
+                    Step::Done(v) => return Ok(v),
+                    Step::Call(nf, nargs) => {
+                        f = nf;
+                        args = nargs;
+                    }
+                }
+                continue;
+            }
+            return Err(RtError::type_error(format!(
+                "application: not a procedure: {}",
+                f.write_string()
+            )));
         }
     }
 }
@@ -362,15 +362,15 @@ mod tests {
 
     #[test]
     fn literals_and_prims() {
-        assert!(matches!(run("(#%plain-app + 1 2)").unwrap(), Value::Int(3)));
-        assert!(matches!(run("(quote (1 2))").unwrap(), Value::Pair(_)));
-        assert!(matches!(run("(if #f 1 2)").unwrap(), Value::Int(2)));
+        assert_eq!(run("(#%plain-app + 1 2)").unwrap().as_int(), Some(3));
+        assert!(run("(quote (1 2))").unwrap().as_pair().is_some());
+        assert_eq!(run("(if #f 1 2)").unwrap().as_int(), Some(2));
     }
 
     #[test]
     fn lambda_and_application() {
         let v = run("(#%plain-app (#%plain-lambda (x y) (#%plain-app * x y)) 6 7)").unwrap();
-        assert!(matches!(v, Value::Int(42)));
+        assert_eq!(v.as_int(), Some(42));
     }
 
     #[test]
@@ -381,7 +381,7 @@ mod tests {
              (#%plain-app add3 4)",
         )
         .unwrap();
-        assert!(matches!(v, Value::Int(7)));
+        assert_eq!(v.as_int(), Some(7));
     }
 
     #[test]
@@ -393,7 +393,7 @@ mod tests {
     #[test]
     fn let_and_letrec() {
         let v = run("(let-values ([(x) 2] [(y) 3]) (#%plain-app + x y))").unwrap();
-        assert!(matches!(v, Value::Int(5)));
+        assert_eq!(v.as_int(), Some(5));
         let v = run(
             "(letrec-values ([(even?) (#%plain-lambda (n) (if (#%plain-app = n 0) #t (#%plain-app odd? (#%plain-app - n 1))))]
                              [(odd?) (#%plain-lambda (n) (if (#%plain-app = n 0) #f (#%plain-app even? (#%plain-app - n 1))))])
@@ -409,7 +409,7 @@ mod tests {
              (set! x 5)
              x")
         .unwrap();
-        assert!(matches!(v, Value::Int(5)));
+        assert_eq!(v.as_int(), Some(5));
         assert!(run("(set! nope 1)").is_err());
     }
 
@@ -424,13 +424,13 @@ mod tests {
              (#%plain-app loop 1000000 0)",
         )
         .unwrap();
-        assert!(matches!(v, Value::Int(1_000_000)));
+        assert_eq!(v.as_int(), Some(1_000_000));
     }
 
     #[test]
     fn apply_spreads() {
         let v = run("(#%plain-app apply + 1 (quote (2 3)))").unwrap();
-        assert!(matches!(v, Value::Int(6)));
+        assert_eq!(v.as_int(), Some(6));
     }
 
     #[test]
@@ -447,6 +447,6 @@ mod tests {
         let v = run("(define-values (b) (#%plain-app box 0))
              (begin (#%plain-app set-box! b 1) (#%plain-app unbox b))")
         .unwrap();
-        assert!(matches!(v, Value::Int(1)));
+        assert_eq!(v.as_int(), Some(1));
     }
 }

@@ -86,6 +86,13 @@ struct Frame {
     /// Index of the first argument/local on the stack; `base - 1` holds
     /// the callee value.
     base: usize,
+    /// Float-stack depth when this frame was entered. A fused float
+    /// sequence may be *suspended* across a call (a generic operand of
+    /// a fused expression can itself be a call), so the fstack is not
+    /// globally empty at call edges; the invariant is per-frame balance:
+    /// every frame returns with the fstack exactly as deep as it found
+    /// it, asserted at `Return`/`TailCall`.
+    fbase: usize,
     env: Rc<VmEnv>,
 }
 
@@ -121,34 +128,33 @@ impl Engine for Vm {
         let mut f = f.clone();
         let mut args = args.to_vec();
         loop {
-            match &f {
-                Value::Native(n) => {
-                    if is_apply_native(&f) {
-                        (f, args) = splice_apply_args(&args)?;
-                        continue;
-                    }
-                    if crate::engine::is_cwv_native(&f) {
-                        (f, args) = crate::engine::splice_cwv_args(self, &args)?;
-                        continue;
-                    }
-                    if !n.arity.accepts(args.len()) {
-                        return Err(arity_error(n.name.as_str(), n.arity, args.len()));
-                    }
-                    lagoon_diag::limits::prim_call().map_err(RtError::from)?;
-                    return (n.f)(&args);
+            if let Some(n) = f.as_native() {
+                if is_apply_native(&f) {
+                    (f, args) = splice_apply_args(&args)?;
+                    continue;
                 }
-                Value::Contracted(c) => return apply_contracted(self, c, &args),
-                Value::Closure(c) => {
-                    let (proto, env) = downcast_closure(c)?;
-                    return run(proto, env, &args);
+                if crate::engine::is_cwv_native(&f) {
+                    (f, args) = crate::engine::splice_cwv_args(self, &args)?;
+                    continue;
                 }
-                other => {
-                    return Err(RtError::type_error(format!(
-                        "application: not a procedure: {}",
-                        other.write_string()
-                    )))
+                if !n.arity.accepts(args.len()) {
+                    // as_str (allocating) is fine here: error path only
+                    return Err(arity_error(n.name.as_str(), n.arity, args.len()));
                 }
+                lagoon_diag::limits::prim_call().map_err(RtError::from)?;
+                return (n.f)(&args);
             }
+            if let Some(c) = f.as_contracted() {
+                return apply_contracted(self, c, &args);
+            }
+            if let Some(c) = f.as_closure() {
+                let (proto, env) = downcast_closure(c)?;
+                return run(proto, env, &args);
+            }
+            return Err(RtError::type_error(format!(
+                "application: not a procedure: {}",
+                f.write_string()
+            )));
         }
     }
 }
@@ -157,7 +163,7 @@ fn arity_error(name: impl std::fmt::Display, arity: lagoon_runtime::Arity, got: 
     RtError::arity(format!("{name}: expects {arity} argument(s), got {got}"))
 }
 
-fn downcast_closure(c: &Rc<Closure>) -> Result<(Rc<Proto>, Rc<VmEnv>), RtError> {
+fn downcast_closure(c: &Closure) -> Result<(Rc<Proto>, Rc<VmEnv>), RtError> {
     let proto = c.code.clone().downcast::<Proto>().map_err(|_| {
         RtError::new(
             Kind::Internal,
@@ -187,31 +193,64 @@ macro_rules! pop {
     };
 }
 
+// Unsafe-op payload extraction: a misapplied operand yields an arbitrary
+// value (0 / 0.0), never UB. Works on a `&Value` without cloning — with
+// the word representation this is a tag test plus a bit reinterpretation.
 macro_rules! flval {
     ($v:expr) => {
-        match $v {
-            Value::Float(x) => x,
-            _ => 0.0, // unsafe op misapplied: arbitrary value, never UB
-        }
+        $v.as_float().unwrap_or(0.0)
     };
 }
 
 macro_rules! fxval {
     ($v:expr) => {
-        match $v {
-            Value::Int(n) => n,
-            _ => 0,
-        }
+        $v.as_int().unwrap_or(0)
     };
 }
 
 macro_rules! fcval {
     ($v:expr) => {
-        match $v {
-            Value::Complex(re, im) => (re, im),
-            _ => (0.0, 0.0),
-        }
+        $v.as_complex().unwrap_or((0.0, 0.0))
     };
+}
+
+/// Reusable per-activation machine state: the unified operand/locals
+/// stack, the unboxed float side stack, and the suspended-caller frames.
+///
+/// Pooled per thread so re-entrant VM activations (a native calling back
+/// into hosted code) each check out their own buffers while plain calls
+/// reuse warm allocations instead of growing fresh `Vec`s every entry.
+#[derive(Default)]
+struct Buffers {
+    stack: Vec<Value>,
+    fstack: Vec<f64>,
+    frames: Vec<Frame>,
+}
+
+thread_local! {
+    static BUFFER_POOL: RefCell<Vec<Buffers>> = const { RefCell::new(Vec::new()) };
+}
+
+fn take_buffers() -> Buffers {
+    BUFFER_POOL
+        .with(|pool| pool.borrow_mut().pop())
+        .unwrap_or_default()
+}
+
+/// Returns a checked-out buffer set to the pool, clearing it first. The
+/// clear is the error-unwind invariant restore: a mid-fused-sequence
+/// error can abandon operands on `stack` and — crucially — unboxed
+/// floats on `fstack`; the next activation must start from empty.
+fn return_buffers(mut bufs: Buffers) {
+    bufs.stack.clear();
+    bufs.fstack.clear();
+    bufs.frames.clear();
+    BUFFER_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < 8 {
+            pool.push(bufs);
+        }
+    });
 }
 
 /// Runs `proto` as the body of a call with `args`, to completion.
@@ -240,7 +279,9 @@ fn exec<const COUNT: bool>(
     args: &[Value],
 ) -> Result<Value, RtError> {
     let mut fuel: u64 = 0;
-    let result = exec_loop::<COUNT>(proto, env, args, &mut fuel);
+    let mut bufs = take_buffers();
+    let result = exec_loop::<COUNT>(proto, env, args, &mut fuel, &mut bufs);
+    return_buffers(bufs);
     lagoon_diag::limits::vm_return_fuel(fuel);
     result
 }
@@ -250,20 +291,27 @@ fn exec_loop<const COUNT: bool>(
     env: Rc<VmEnv>,
     args: &[Value],
     fuel: &mut u64,
+    bufs: &mut Buffers,
 ) -> Result<Value, RtError> {
-    let mut stack: Vec<Value> = Vec::with_capacity(64);
-    // the unboxed float stack used by fused unsafe-fl* sequences; always
-    // empty at call/return boundaries (fused code never spans a call)
-    let mut fstack: Vec<f64> = Vec::with_capacity(16);
+    // the unified operand/frame stack: every frame's callee sits at
+    // `base - 1`, its args/locals at frame-pointer-relative slots
+    // `base..base + nlocals`, and operand temporaries above them
+    let stack = &mut bufs.stack;
+    // the unboxed float stack used by fused unsafe-fl* sequences; each
+    // frame returns it at the depth it was entered with (a fused
+    // sequence may be suspended across a call when a generic operand is
+    // itself a call), and an error unwind clears it wholesale in
+    // `return_buffers`
+    let fstack = &mut bufs.fstack;
     // suspended callers only — the active frame lives in the `cur`
     // local, so per-instruction dispatch touches frame state (proto,
     // code, ip, base, env) through a local instead of re-borrowing the
     // frame vector every iteration
-    let mut frames: Vec<Frame> = Vec::with_capacity(16);
+    let frames = &mut bufs.frames;
     // dummy callee slot so every frame has `base - 1` valid
     stack.push(Value::Void);
     stack.extend_from_slice(args);
-    let mut cur = make_frame(&mut stack, proto, env, 1, args.len(), 0)?;
+    let mut cur = make_frame(stack, proto, env, 1, args.len(), 0)?;
 
     loop {
         if *fuel == 0 {
@@ -353,13 +401,50 @@ fn exec_loop<const COUNT: bool>(
                     env,
                 })));
             }
-            Op::Call(n) => match enter_call(&mut stack, n as usize, None, frames.len() + 1)? {
-                Dispatch::Frame(f) => frames.push(std::mem::replace(&mut cur, f)),
-                Dispatch::Done => {}
-            },
+            Op::Call(n) => {
+                match enter_call(stack, n as usize, None, frames.len() + 1)? {
+                    Dispatch::Frame(mut f) => {
+                        // the callee must leave the caller's suspended
+                        // unboxed floats (if any) untouched
+                        f.fbase = fstack.len();
+                        frames.push(std::mem::replace(&mut cur, f));
+                    }
+                    Dispatch::Done => {}
+                }
+            }
             Op::TailCall(n) => {
-                match enter_call(&mut stack, n as usize, Some(cur.base), frames.len())? {
-                    Dispatch::Frame(f) => cur = f,
+                // a tail call is the frame's result, so the frame's own
+                // fused sequences must all be drained by now
+                debug_assert!(fstack.len() == cur.fbase, "fstack unbalanced at TailCall");
+                let argstart = stack.len() - n as usize;
+                // self-tail-call: the callee is bit-identical to the
+                // closure this frame is already running (the common
+                // shape of every compiled loop), so the frame can be
+                // reused in place — same proto, same captures, no
+                // dispatch, no depth bookkeeping. The exact-arity check
+                // is the whole of `accepts` with `rest == false`, and
+                // the closure guard keeps the outermost frame's dummy
+                // void callee from ever matching itself.
+                if n as usize == cur.proto.arity.required
+                    && !cur.proto.arity.rest
+                    && stack[argstart - 1].eq_identity(&stack[cur.base - 1])
+                    && stack[cur.base - 1].as_closure().is_some()
+                {
+                    for i in 0..n as usize {
+                        stack.swap(cur.base + i, argstart + i);
+                    }
+                    stack.truncate(cur.base + n as usize);
+                    while stack.len() < cur.base + cur.proto.nlocals as usize {
+                        stack.push(Value::Void);
+                    }
+                    cur.ip = 0;
+                    continue;
+                }
+                match enter_call(stack, n as usize, Some(cur.base), frames.len())? {
+                    Dispatch::Frame(mut f) => {
+                        f.fbase = cur.fbase;
+                        cur = f;
+                    }
                     Dispatch::Done => {
                         // a native/contracted callee completed the tail
                         // call; unwind to the caller as `Return` would
@@ -376,6 +461,8 @@ fn exec_loop<const COUNT: bool>(
                 }
             }
             Op::Return => {
+                // the frame hands back exactly the fstack it was given
+                debug_assert!(fstack.len() == cur.fbase, "fstack unbalanced at Return");
                 let result = pop!(stack);
                 stack.truncate(cur.base - 1);
                 match frames.pop() {
@@ -395,44 +482,63 @@ fn exec_loop<const COUNT: bool>(
             }
             Op::BoxGet => {
                 let v = pop!(stack);
-                match v {
-                    Value::Box(b) => stack.push(b.borrow().clone()),
-                    _ => return Err(RtError::new(Kind::Internal, "BoxGet on non-box")),
+                match v.as_box() {
+                    Some(b) => {
+                        let inner = b.borrow().clone();
+                        stack.push(inner);
+                    }
+                    None => return Err(RtError::new(Kind::Internal, "BoxGet on non-box")),
                 }
             }
             Op::BoxSet => {
                 let v = pop!(stack);
                 let b = pop!(stack);
-                match b {
-                    Value::Box(b) => {
+                match b.as_box() {
+                    Some(b) => {
                         *b.borrow_mut() = v;
-                        stack.push(Value::Void);
                     }
-                    _ => return Err(RtError::new(Kind::Internal, "BoxSet on non-box")),
+                    None => return Err(RtError::new(Kind::Internal, "BoxSet on non-box")),
                 }
+                stack.push(Value::Void);
             }
 
             // ---- generic fast paths ----
-            Op::Add2 => binop(&mut stack, number::add)?,
-            Op::Sub2 => binop(&mut stack, number::sub)?,
-            Op::Mul2 => binop(&mut stack, number::mul)?,
-            Op::Div2 => binop(&mut stack, number::div)?,
-            Op::Lt2 => cmpop(&mut stack, "<", |o| o.is_lt())?,
-            Op::Le2 => cmpop(&mut stack, "<=", |o| o.is_le())?,
-            Op::Gt2 => cmpop(&mut stack, ">", |o| o.is_gt())?,
-            Op::Ge2 => cmpop(&mut stack, ">=", |o| o.is_ge())?,
+            Op::Add2 => {
+                let b = pop!(stack);
+                let a = pop!(stack);
+                stack.push(add_value(&a, &b)?);
+            }
+            Op::Sub2 => {
+                let b = pop!(stack);
+                let a = pop!(stack);
+                stack.push(sub_value(&a, &b)?);
+            }
+            Op::Mul2 => {
+                let b = pop!(stack);
+                let a = pop!(stack);
+                stack.push(mul_value(&a, &b)?);
+            }
+            Op::Div2 => {
+                let b = pop!(stack);
+                let a = pop!(stack);
+                stack.push(div_value(&a, &b)?);
+            }
+            Op::Lt2 => cmpop(stack, "<", |o| o.is_lt())?,
+            Op::Le2 => cmpop(stack, "<=", |o| o.is_le())?,
+            Op::Gt2 => cmpop(stack, ">", |o| o.is_gt())?,
+            Op::Ge2 => cmpop(stack, ">=", |o| o.is_ge())?,
             Op::NumEq2 => {
                 let b = pop!(stack);
                 let a = pop!(stack);
-                stack.push(Value::Bool(number::num_eq(&a, &b)?));
+                stack.push(Value::Bool(num_eq_value(&a, &b)?));
             }
             Op::Add1 => {
                 let a = pop!(stack);
-                stack.push(number::add(&a, &Value::Int(1))?);
+                stack.push(add_value(&a, &Value::Int(1))?);
             }
             Op::Sub1 => {
                 let a = pop!(stack);
-                stack.push(number::sub(&a, &Value::Int(1))?);
+                stack.push(sub_value(&a, &Value::Int(1))?);
             }
             Op::ZeroP => {
                 let a = pop!(stack);
@@ -453,11 +559,11 @@ fn exec_loop<const COUNT: bool>(
             }
             Op::NullP => {
                 let a = pop!(stack);
-                stack.push(Value::Bool(matches!(a, Value::Nil)));
+                stack.push(Value::Bool(a.is_nil()));
             }
             Op::PairP => {
                 let a = pop!(stack);
-                stack.push(Value::Bool(matches!(a, Value::Pair(_))));
+                stack.push(Value::Bool(a.as_pair().is_some()));
             }
             Op::Not => {
                 let a = pop!(stack);
@@ -477,11 +583,11 @@ fn exec_loop<const COUNT: bool>(
                 let x = pop!(stack);
                 let i = pop!(stack);
                 let v = pop!(stack);
-                match (&v, &i) {
-                    (Value::Vector(vec), Value::Int(n)) => {
+                match (v.as_vector(), i.as_int()) {
+                    (Some(vec), Some(n)) => {
                         let mut vec = vec.borrow_mut();
-                        let idx = *n as usize;
-                        if *n < 0 || idx >= vec.len() {
+                        let idx = n as usize;
+                        if n < 0 || idx >= vec.len() {
                             return Err(RtError::new(
                                 Kind::Range,
                                 format!(
@@ -491,7 +597,6 @@ fn exec_loop<const COUNT: bool>(
                             ));
                         }
                         vec[idx] = x;
-                        stack.push(Value::Void);
                     }
                     _ => {
                         return Err(RtError::type_error(
@@ -499,12 +604,16 @@ fn exec_loop<const COUNT: bool>(
                         ))
                     }
                 }
+                stack.push(Value::Void);
             }
             Op::VectorLength => {
                 let v = pop!(stack);
-                match v {
-                    Value::Vector(vec) => stack.push(Value::Int(vec.borrow().len() as i64)),
-                    v => {
+                match v.as_vector() {
+                    Some(vec) => {
+                        let len = vec.borrow().len() as i64;
+                        stack.push(Value::Int(len));
+                    }
+                    None => {
                         return Err(RtError::type_error(format!(
                             "vector-length: expected vector, got {}",
                             v.write_string()
@@ -514,15 +623,15 @@ fn exec_loop<const COUNT: bool>(
             }
 
             // ---- unsafe specialized instructions ----
-            Op::FlAdd => flbin(&mut stack, |a, b| a + b)?,
-            Op::FlSub => flbin(&mut stack, |a, b| a - b)?,
-            Op::FlMul => flbin(&mut stack, |a, b| a * b)?,
-            Op::FlDiv => flbin(&mut stack, |a, b| a / b)?,
-            Op::FlLt => flcmp(&mut stack, |a, b| a < b)?,
-            Op::FlLe => flcmp(&mut stack, |a, b| a <= b)?,
-            Op::FlGt => flcmp(&mut stack, |a, b| a > b)?,
-            Op::FlGe => flcmp(&mut stack, |a, b| a >= b)?,
-            Op::FlEq => flcmp(&mut stack, |a, b| a == b)?,
+            Op::FlAdd => flbin(stack, |a, b| a + b)?,
+            Op::FlSub => flbin(stack, |a, b| a - b)?,
+            Op::FlMul => flbin(stack, |a, b| a * b)?,
+            Op::FlDiv => flbin(stack, |a, b| a / b)?,
+            Op::FlLt => flcmp(stack, |a, b| a < b)?,
+            Op::FlLe => flcmp(stack, |a, b| a <= b)?,
+            Op::FlGt => flcmp(stack, |a, b| a > b)?,
+            Op::FlGe => flcmp(stack, |a, b| a >= b)?,
+            Op::FlEq => flcmp(stack, |a, b| a == b)?,
             Op::FlSqrt => {
                 let a = flval!(pop!(stack));
                 stack.push(Value::Float(a.sqrt()));
@@ -531,22 +640,22 @@ fn exec_loop<const COUNT: bool>(
                 let a = flval!(pop!(stack));
                 stack.push(Value::Float(a.abs()));
             }
-            Op::FlMin => flbin(&mut stack, f64::min)?,
-            Op::FlMax => flbin(&mut stack, f64::max)?,
-            Op::FxAdd => fxbin(&mut stack, i64::wrapping_add)?,
-            Op::FxSub => fxbin(&mut stack, i64::wrapping_sub)?,
-            Op::FxMul => fxbin(&mut stack, i64::wrapping_mul)?,
-            Op::FxLt => fxcmp(&mut stack, |a, b| a < b)?,
-            Op::FxLe => fxcmp(&mut stack, |a, b| a <= b)?,
-            Op::FxGt => fxcmp(&mut stack, |a, b| a > b)?,
-            Op::FxGe => fxcmp(&mut stack, |a, b| a >= b)?,
-            Op::FxEq => fxcmp(&mut stack, |a, b| a == b)?,
-            Op::FcAdd => fcbin(&mut stack, |(ar, ai), (br, bi)| (ar + br, ai + bi))?,
-            Op::FcSub => fcbin(&mut stack, |(ar, ai), (br, bi)| (ar - br, ai - bi))?,
-            Op::FcMul => fcbin(&mut stack, |(ar, ai), (br, bi)| {
+            Op::FlMin => flbin(stack, f64::min)?,
+            Op::FlMax => flbin(stack, f64::max)?,
+            Op::FxAdd => fxbin(stack, i64::wrapping_add)?,
+            Op::FxSub => fxbin(stack, i64::wrapping_sub)?,
+            Op::FxMul => fxbin(stack, i64::wrapping_mul)?,
+            Op::FxLt => fxcmp(stack, |a, b| a < b)?,
+            Op::FxLe => fxcmp(stack, |a, b| a <= b)?,
+            Op::FxGt => fxcmp(stack, |a, b| a > b)?,
+            Op::FxGe => fxcmp(stack, |a, b| a >= b)?,
+            Op::FxEq => fxcmp(stack, |a, b| a == b)?,
+            Op::FcAdd => fcbin(stack, |(ar, ai), (br, bi)| (ar + br, ai + bi))?,
+            Op::FcSub => fcbin(stack, |(ar, ai), (br, bi)| (ar - br, ai - bi))?,
+            Op::FcMul => fcbin(stack, |(ar, ai), (br, bi)| {
                 (ar * br - ai * bi, ar * bi + ai * br)
             })?,
-            Op::FcDiv => fcbin(&mut stack, |(ar, ai), (br, bi)| {
+            Op::FcDiv => fcbin(stack, |(ar, ai), (br, bi)| {
                 let d = br * br + bi * bi;
                 ((ar * br + ai * bi) / d, (ai * br - ar * bi) / d)
             })?,
@@ -556,11 +665,11 @@ fn exec_loop<const COUNT: bool>(
             }
             Op::UnsafeCar => {
                 let a = pop!(stack);
-                stack.push(unsafe_car_value(a));
+                stack.push(unsafe_car_value(&a));
             }
             Op::UnsafeCdr => {
                 let a = pop!(stack);
-                stack.push(unsafe_cdr_value(a));
+                stack.push(unsafe_cdr_value(&a));
             }
             Op::UnsafeVectorRef => {
                 let i = pop!(stack);
@@ -571,9 +680,9 @@ fn exec_loop<const COUNT: bool>(
                 let x = pop!(stack);
                 let i = pop!(stack);
                 let v = pop!(stack);
-                if let (Value::Vector(vec), Value::Int(n)) = (&v, &i) {
+                if let (Some(vec), Some(n)) = (v.as_vector(), i.as_int()) {
                     let mut vec = vec.borrow_mut();
-                    let idx = *n as usize;
+                    let idx = n as usize;
                     if idx < vec.len() {
                         vec[idx] = x;
                     }
@@ -582,10 +691,8 @@ fn exec_loop<const COUNT: bool>(
             }
             Op::UnsafeVectorLength => {
                 let v = pop!(stack);
-                match v {
-                    Value::Vector(vec) => stack.push(Value::Int(vec.borrow().len() as i64)),
-                    _ => stack.push(Value::Int(0)),
-                }
+                let len = v.as_vector().map_or(0, |vec| vec.borrow().len() as i64);
+                stack.push(Value::Int(len));
             }
             Op::FxToFl => {
                 let a = fxval!(pop!(stack));
@@ -594,15 +701,15 @@ fn exec_loop<const COUNT: bool>(
 
             // ---- unboxed float fusion ----
             Op::FlPushLocal(i) => {
-                let v = flval!(stack[cur.base + i as usize].clone());
+                let v = flval!(stack[cur.base + i as usize]);
                 fstack.push(v);
             }
             Op::FlPushCapture(i) => {
-                let v = flval!(cur.env.captures[i as usize].clone());
+                let v = flval!(cur.env.captures[i as usize]);
                 fstack.push(v);
             }
             Op::FlPushConst(k) => {
-                let v = flval!(cur.proto.consts[k as usize].clone());
+                let v = flval!(cur.proto.consts[k as usize]);
                 fstack.push(v);
             }
             Op::FlUnbox => {
@@ -617,12 +724,12 @@ fn exec_loop<const COUNT: bool>(
                 let v = pop!(fstack);
                 stack.push(Value::Float(v));
             }
-            Op::FlSAdd => flfuse(&mut fstack, |a, b| a + b)?,
-            Op::FlSSub => flfuse(&mut fstack, |a, b| a - b)?,
-            Op::FlSMul => flfuse(&mut fstack, |a, b| a * b)?,
-            Op::FlSDiv => flfuse(&mut fstack, |a, b| a / b)?,
-            Op::FlSMin => flfuse(&mut fstack, f64::min)?,
-            Op::FlSMax => flfuse(&mut fstack, f64::max)?,
+            Op::FlSAdd => flfuse(fstack, |a, b| a + b)?,
+            Op::FlSSub => flfuse(fstack, |a, b| a - b)?,
+            Op::FlSMul => flfuse(fstack, |a, b| a * b)?,
+            Op::FlSDiv => flfuse(fstack, |a, b| a / b)?,
+            Op::FlSMin => flfuse(fstack, f64::min)?,
+            Op::FlSMax => flfuse(fstack, f64::max)?,
             Op::FlSSqrt => {
                 let a = pop!(fstack);
                 fstack.push(a.sqrt());
@@ -631,11 +738,11 @@ fn exec_loop<const COUNT: bool>(
                 let a = pop!(fstack);
                 fstack.push(a.abs());
             }
-            Op::FlSLt => flfusecmp(&mut fstack, &mut stack, |a, b| a < b)?,
-            Op::FlSLe => flfusecmp(&mut fstack, &mut stack, |a, b| a <= b)?,
-            Op::FlSGt => flfusecmp(&mut fstack, &mut stack, |a, b| a > b)?,
-            Op::FlSGe => flfusecmp(&mut fstack, &mut stack, |a, b| a >= b)?,
-            Op::FlSEq => flfusecmp(&mut fstack, &mut stack, |a, b| a == b)?,
+            Op::FlSLt => flfusecmp(fstack, stack, |a, b| a < b)?,
+            Op::FlSLe => flfusecmp(fstack, stack, |a, b| a <= b)?,
+            Op::FlSGt => flfusecmp(fstack, stack, |a, b| a > b)?,
+            Op::FlSGe => flfusecmp(fstack, stack, |a, b| a >= b)?,
+            Op::FlSEq => flfusecmp(fstack, stack, |a, b| a == b)?,
 
             // ---- peephole superinstructions ----
             //
@@ -643,14 +750,14 @@ fn exec_loop<const COUNT: bool>(
             // same operand order, same error paths, same stack effect.
             // The `Br*` forms jump when the comparison is *false*,
             // matching `cmp; JumpIfFalse`.
-            Op::BrLt2(t) => brcmp(&mut stack, &mut cur.ip, t, "<", |o| o.is_lt())?,
-            Op::BrLe2(t) => brcmp(&mut stack, &mut cur.ip, t, "<=", |o| o.is_le())?,
-            Op::BrGt2(t) => brcmp(&mut stack, &mut cur.ip, t, ">", |o| o.is_gt())?,
-            Op::BrGe2(t) => brcmp(&mut stack, &mut cur.ip, t, ">=", |o| o.is_ge())?,
+            Op::BrLt2(t) => brcmp(stack, &mut cur.ip, t, "<", |o| o.is_lt())?,
+            Op::BrLe2(t) => brcmp(stack, &mut cur.ip, t, "<=", |o| o.is_le())?,
+            Op::BrGt2(t) => brcmp(stack, &mut cur.ip, t, ">", |o| o.is_gt())?,
+            Op::BrGe2(t) => brcmp(stack, &mut cur.ip, t, ">=", |o| o.is_ge())?,
             Op::BrNumEq2(t) => {
                 let b = pop!(stack);
                 let a = pop!(stack);
-                if !number::num_eq(&a, &b)? {
+                if !num_eq_value(&a, &b)? {
                     cur.ip = t as usize;
                 }
             }
@@ -661,30 +768,30 @@ fn exec_loop<const COUNT: bool>(
                 }
             }
             Op::BrNullP(t) => {
-                if !matches!(pop!(stack), Value::Nil) {
+                if !pop!(stack).is_nil() {
                     cur.ip = t as usize;
                 }
             }
             Op::BrPairP(t) => {
-                if !matches!(pop!(stack), Value::Pair(_)) {
+                if pop!(stack).as_pair().is_none() {
                     cur.ip = t as usize;
                 }
             }
-            Op::BrFlLt(t) => brflcmp(&mut stack, &mut cur.ip, t, |a, b| a < b)?,
-            Op::BrFlLe(t) => brflcmp(&mut stack, &mut cur.ip, t, |a, b| a <= b)?,
-            Op::BrFlGt(t) => brflcmp(&mut stack, &mut cur.ip, t, |a, b| a > b)?,
-            Op::BrFlGe(t) => brflcmp(&mut stack, &mut cur.ip, t, |a, b| a >= b)?,
-            Op::BrFlEq(t) => brflcmp(&mut stack, &mut cur.ip, t, |a, b| a == b)?,
-            Op::BrFxLt(t) => brfxcmp(&mut stack, &mut cur.ip, t, |a, b| a < b)?,
-            Op::BrFxLe(t) => brfxcmp(&mut stack, &mut cur.ip, t, |a, b| a <= b)?,
-            Op::BrFxGt(t) => brfxcmp(&mut stack, &mut cur.ip, t, |a, b| a > b)?,
-            Op::BrFxGe(t) => brfxcmp(&mut stack, &mut cur.ip, t, |a, b| a >= b)?,
-            Op::BrFxEq(t) => brfxcmp(&mut stack, &mut cur.ip, t, |a, b| a == b)?,
-            Op::BrFlSLt(t) => brflscmp(&mut fstack, &mut cur.ip, t, |a, b| a < b)?,
-            Op::BrFlSLe(t) => brflscmp(&mut fstack, &mut cur.ip, t, |a, b| a <= b)?,
-            Op::BrFlSGt(t) => brflscmp(&mut fstack, &mut cur.ip, t, |a, b| a > b)?,
-            Op::BrFlSGe(t) => brflscmp(&mut fstack, &mut cur.ip, t, |a, b| a >= b)?,
-            Op::BrFlSEq(t) => brflscmp(&mut fstack, &mut cur.ip, t, |a, b| a == b)?,
+            Op::BrFlLt(t) => brflcmp(stack, &mut cur.ip, t, |a, b| a < b)?,
+            Op::BrFlLe(t) => brflcmp(stack, &mut cur.ip, t, |a, b| a <= b)?,
+            Op::BrFlGt(t) => brflcmp(stack, &mut cur.ip, t, |a, b| a > b)?,
+            Op::BrFlGe(t) => brflcmp(stack, &mut cur.ip, t, |a, b| a >= b)?,
+            Op::BrFlEq(t) => brflcmp(stack, &mut cur.ip, t, |a, b| a == b)?,
+            Op::BrFxLt(t) => brfxcmp(stack, &mut cur.ip, t, |a, b| a < b)?,
+            Op::BrFxLe(t) => brfxcmp(stack, &mut cur.ip, t, |a, b| a <= b)?,
+            Op::BrFxGt(t) => brfxcmp(stack, &mut cur.ip, t, |a, b| a > b)?,
+            Op::BrFxGe(t) => brfxcmp(stack, &mut cur.ip, t, |a, b| a >= b)?,
+            Op::BrFxEq(t) => brfxcmp(stack, &mut cur.ip, t, |a, b| a == b)?,
+            Op::BrFlSLt(t) => brflscmp(fstack, &mut cur.ip, t, |a, b| a < b)?,
+            Op::BrFlSLe(t) => brflscmp(fstack, &mut cur.ip, t, |a, b| a <= b)?,
+            Op::BrFlSGt(t) => brflscmp(fstack, &mut cur.ip, t, |a, b| a > b)?,
+            Op::BrFlSGe(t) => brflscmp(fstack, &mut cur.ip, t, |a, b| a >= b)?,
+            Op::BrFlSEq(t) => brflscmp(fstack, &mut cur.ip, t, |a, b| a == b)?,
             Op::CarL(i) => {
                 let x = car_value(&stack[cur.base + i as usize])?;
                 stack.push(x);
@@ -694,31 +801,31 @@ fn exec_loop<const COUNT: bool>(
                 stack.push(x);
             }
             Op::UnsafeCarL(i) => {
-                let x = unsafe_car_value(stack[cur.base + i as usize].clone());
+                let x = unsafe_car_value(&stack[cur.base + i as usize]);
                 stack.push(x);
             }
             Op::UnsafeCdrL(i) => {
-                let x = unsafe_cdr_value(stack[cur.base + i as usize].clone());
+                let x = unsafe_cdr_value(&stack[cur.base + i as usize]);
                 stack.push(x);
             }
             Op::AddLL(i, j) => {
-                let x = number::add(&stack[cur.base + i as usize], &stack[cur.base + j as usize])?;
+                let x = add_value(&stack[cur.base + i as usize], &stack[cur.base + j as usize])?;
                 stack.push(x);
             }
             Op::SubLL(i, j) => {
-                let x = number::sub(&stack[cur.base + i as usize], &stack[cur.base + j as usize])?;
+                let x = sub_value(&stack[cur.base + i as usize], &stack[cur.base + j as usize])?;
                 stack.push(x);
             }
             Op::MulLL(i, j) => {
-                let x = number::mul(&stack[cur.base + i as usize], &stack[cur.base + j as usize])?;
+                let x = mul_value(&stack[cur.base + i as usize], &stack[cur.base + j as usize])?;
                 stack.push(x);
             }
             Op::AddLC(i, k) => {
-                let x = number::add(&stack[cur.base + i as usize], &cur.proto.consts[k as usize])?;
+                let x = add_value(&stack[cur.base + i as usize], &cur.proto.consts[k as usize])?;
                 stack.push(x);
             }
             Op::SubLC(i, k) => {
-                let x = number::sub(&stack[cur.base + i as usize], &cur.proto.consts[k as usize])?;
+                let x = sub_value(&stack[cur.base + i as usize], &cur.proto.consts[k as usize])?;
                 stack.push(x);
             }
             Op::VectorRefLL(i, j) => {
@@ -727,23 +834,23 @@ fn exec_loop<const COUNT: bool>(
                 stack.push(x);
             }
             Op::FxAddLL(i, j) => {
-                let a = fxval!(stack[cur.base + i as usize].clone());
-                let b = fxval!(stack[cur.base + j as usize].clone());
+                let a = fxval!(stack[cur.base + i as usize]);
+                let b = fxval!(stack[cur.base + j as usize]);
                 stack.push(Value::Int(a.wrapping_add(b)));
             }
             Op::FxSubLL(i, j) => {
-                let a = fxval!(stack[cur.base + i as usize].clone());
-                let b = fxval!(stack[cur.base + j as usize].clone());
+                let a = fxval!(stack[cur.base + i as usize]);
+                let b = fxval!(stack[cur.base + j as usize]);
                 stack.push(Value::Int(a.wrapping_sub(b)));
             }
             Op::FxAddLC(i, k) => {
-                let a = fxval!(stack[cur.base + i as usize].clone());
-                let b = fxval!(cur.proto.consts[k as usize].clone());
+                let a = fxval!(stack[cur.base + i as usize]);
+                let b = fxval!(cur.proto.consts[k as usize]);
                 stack.push(Value::Int(a.wrapping_add(b)));
             }
             Op::FxSubLC(i, k) => {
-                let a = fxval!(stack[cur.base + i as usize].clone());
-                let b = fxval!(cur.proto.consts[k as usize].clone());
+                let a = fxval!(stack[cur.base + i as usize]);
+                let b = fxval!(cur.proto.consts[k as usize]);
                 stack.push(Value::Int(a.wrapping_sub(b)));
             }
             Op::UnsafeVectorRefLL(i, j) => {
@@ -780,11 +887,11 @@ fn flfusecmp(
 /// `car` with the checked error path, shared by `Car` and `CarL`.
 #[inline]
 fn car_value(a: &Value) -> Result<Value, RtError> {
-    match a {
-        Value::Pair(p) => Ok(p.0.clone()),
-        v => Err(RtError::type_error(format!(
+    match a.as_pair() {
+        Some(p) => Ok(p.0.clone()),
+        None => Err(RtError::type_error(format!(
             "car: expected pair, got {}",
-            v.write_string()
+            a.write_string()
         ))),
     }
 }
@@ -792,11 +899,11 @@ fn car_value(a: &Value) -> Result<Value, RtError> {
 /// `cdr` with the checked error path, shared by `Cdr` and `CdrL`.
 #[inline]
 fn cdr_value(a: &Value) -> Result<Value, RtError> {
-    match a {
-        Value::Pair(p) => Ok(p.1.clone()),
-        v => Err(RtError::type_error(format!(
+    match a.as_pair() {
+        Some(p) => Ok(p.1.clone()),
+        None => Err(RtError::type_error(format!(
             "cdr: expected pair, got {}",
-            v.write_string()
+            a.write_string()
         ))),
     }
 }
@@ -804,44 +911,47 @@ fn cdr_value(a: &Value) -> Result<Value, RtError> {
 /// `unsafe-car`: a non-pair passes through unchanged (arbitrary but
 /// never UB), shared by `UnsafeCar` and `UnsafeCarL`.
 #[inline]
-fn unsafe_car_value(a: Value) -> Value {
-    match a {
-        Value::Pair(p) => p.0.clone(),
-        v => v,
+fn unsafe_car_value(a: &Value) -> Value {
+    match a.as_pair() {
+        Some(p) => p.0.clone(),
+        None => a.clone(),
     }
 }
 
 /// `unsafe-cdr`, shared by `UnsafeCdr` and `UnsafeCdrL`.
 #[inline]
-fn unsafe_cdr_value(a: Value) -> Value {
-    match a {
-        Value::Pair(p) => p.1.clone(),
-        v => v,
+fn unsafe_cdr_value(a: &Value) -> Value {
+    match a.as_pair() {
+        Some(p) => p.1.clone(),
+        None => a.clone(),
     }
 }
 
 /// `zero?` with the checked error path, shared by `ZeroP` and `BrZeroP`.
 #[inline]
 fn zero_value(a: &Value) -> Result<bool, RtError> {
-    match a {
-        Value::Int(n) => Ok(*n == 0),
-        Value::Float(x) => Ok(*x == 0.0),
-        Value::Complex(re, im) => Ok(*re == 0.0 && *im == 0.0),
-        v => Err(RtError::type_error(format!(
+    if let Some(n) = a.as_int() {
+        Ok(n == 0)
+    } else if let Some(x) = a.as_float() {
+        Ok(x == 0.0)
+    } else if let Some((re, im)) = a.as_complex() {
+        Ok(re == 0.0 && im == 0.0)
+    } else {
+        Err(RtError::type_error(format!(
             "zero?: expected number, got {}",
-            v.write_string()
-        ))),
+            a.write_string()
+        )))
     }
 }
 
 /// Checked `vector-ref`, shared by `VectorRef` and `VectorRefLL`.
 #[inline]
 fn vector_ref_value(v: &Value, i: &Value) -> Result<Value, RtError> {
-    match (v, i) {
-        (Value::Vector(vec), Value::Int(n)) => {
+    match (v.as_vector(), i.as_int()) {
+        (Some(vec), Some(n)) => {
             let vec = vec.borrow();
-            let idx = *n as usize;
-            if *n < 0 || idx >= vec.len() {
+            let idx = n as usize;
+            if n < 0 || idx >= vec.len() {
                 return Err(RtError::new(
                     Kind::Range,
                     format!(
@@ -864,12 +974,8 @@ fn vector_ref_value(v: &Value, i: &Value) -> Result<Value, RtError> {
 /// `UnsafeVectorRef` and `UnsafeVectorRefLL`.
 #[inline]
 fn unsafe_vector_ref_value(v: &Value, i: &Value) -> Value {
-    match (v, i) {
-        (Value::Vector(vec), Value::Int(n)) => vec
-            .borrow()
-            .get(*n as usize)
-            .cloned()
-            .unwrap_or(Value::Void),
+    match (v.as_vector(), i.as_int()) {
+        (Some(vec), Some(n)) => vec.borrow().get(n as usize).cloned().unwrap_or(Value::Void),
         _ => Value::Void,
     }
 }
@@ -886,7 +992,7 @@ fn brcmp(
 ) -> Result<(), RtError> {
     let b = pop!(stack);
     let a = pop!(stack);
-    if !ok(number::compare(name, &a, &b)?) {
+    if !ok(compare_value(name, &a, &b)?) {
         *ip = t as usize;
     }
     Ok(())
@@ -940,15 +1046,84 @@ fn brflscmp(
     Ok(())
 }
 
-#[inline]
-fn binop(
-    stack: &mut Vec<Value>,
-    f: fn(&Value, &Value) -> Result<Value, RtError>,
-) -> Result<(), RtError> {
-    let b = pop!(stack);
-    let a = pop!(stack);
-    stack.push(f(&a, &b)?);
-    Ok(())
+// Inline fast paths for the generic arithmetic opcodes: two flonums or
+// two exact integers are decided by a tag compare each and skip the
+// numeric tower's promote dispatch (behind a non-inlinable fn pointer
+// before these existed). Everything else — mixed exact/inexact, complex,
+// fixnum overflow — falls back to the generic tower, which also owns the
+// error messages, so semantics are identical by construction.
+
+#[inline(always)]
+fn add_value(a: &Value, b: &Value) -> Result<Value, RtError> {
+    if let (Some(x), Some(y)) = (a.as_float(), b.as_float()) {
+        return Ok(Value::Float(x + y));
+    }
+    if let (Some(x), Some(y)) = (a.as_int(), b.as_int()) {
+        if let Some(r) = x.checked_add(y) {
+            return Ok(Value::Int(r));
+        }
+    }
+    number::add(a, b)
+}
+
+#[inline(always)]
+fn sub_value(a: &Value, b: &Value) -> Result<Value, RtError> {
+    if let (Some(x), Some(y)) = (a.as_float(), b.as_float()) {
+        return Ok(Value::Float(x - y));
+    }
+    if let (Some(x), Some(y)) = (a.as_int(), b.as_int()) {
+        if let Some(r) = x.checked_sub(y) {
+            return Ok(Value::Int(r));
+        }
+    }
+    number::sub(a, b)
+}
+
+#[inline(always)]
+fn mul_value(a: &Value, b: &Value) -> Result<Value, RtError> {
+    if let (Some(x), Some(y)) = (a.as_float(), b.as_float()) {
+        return Ok(Value::Float(x * y));
+    }
+    if let (Some(x), Some(y)) = (a.as_int(), b.as_int()) {
+        if let Some(r) = x.checked_mul(y) {
+            return Ok(Value::Int(r));
+        }
+    }
+    number::mul(a, b)
+}
+
+#[inline(always)]
+fn div_value(a: &Value, b: &Value) -> Result<Value, RtError> {
+    // only the flonum case is safe to shortcut: integer `/` has
+    // exact-or-inexact and divide-by-zero rules the tower owns
+    if let (Some(x), Some(y)) = (a.as_float(), b.as_float()) {
+        return Ok(Value::Float(x / y));
+    }
+    number::div(a, b)
+}
+
+#[inline(always)]
+fn compare_value(name: &'static str, a: &Value, b: &Value) -> Result<std::cmp::Ordering, RtError> {
+    if let (Some(x), Some(y)) = (a.as_float(), b.as_float()) {
+        // NaN operands fall through to the tower's "cannot compare" error
+        if let Some(o) = x.partial_cmp(&y) {
+            return Ok(o);
+        }
+    } else if let (Some(x), Some(y)) = (a.as_int(), b.as_int()) {
+        return Ok(x.cmp(&y));
+    }
+    number::compare(name, a, b)
+}
+
+#[inline(always)]
+fn num_eq_value(a: &Value, b: &Value) -> Result<bool, RtError> {
+    if let (Some(x), Some(y)) = (a.as_float(), b.as_float()) {
+        return Ok(x == y);
+    }
+    if let (Some(x), Some(y)) = (a.as_int(), b.as_int()) {
+        return Ok(x == y);
+    }
+    number::num_eq(a, b)
 }
 
 #[inline]
@@ -959,7 +1134,7 @@ fn cmpop(
 ) -> Result<(), RtError> {
     let b = pop!(stack);
     let a = pop!(stack);
-    stack.push(Value::Bool(ok(number::compare(name, &a, &b)?)));
+    stack.push(Value::Bool(ok(compare_value(name, &a, &b)?)));
     Ok(())
 }
 
@@ -1035,8 +1210,11 @@ fn enter_call(
         let dest = base - 1;
         let src = argstart - 1;
         if src != dest {
+            // swap rather than clone: the slots being vacated die at the
+            // truncate below, so this moves the callee + args without
+            // any refcount traffic
             for i in 0..=n {
-                stack[dest + i] = stack[src + i].clone();
+                stack.swap(dest + i, src + i);
             }
             stack.truncate(dest + n + 1);
             argstart = dest + 1;
@@ -1045,56 +1223,53 @@ fn enter_call(
 
     loop {
         let f = stack[argstart - 1].clone();
-        match &f {
-            Value::Native(nat) => {
-                if is_apply_native(&f) {
-                    // replace `apply f a … lst` with `f a … lst-elems`;
-                    // the new callee lands back at `argstart - 1`
-                    let all: Vec<Value> = stack.drain(argstart - 1..).collect();
-                    let (nf, nargs) = splice_apply_args(&all[1..])?;
-                    stack.push(nf);
-                    n = nargs.len();
-                    stack.extend(nargs);
-                    continue;
-                }
-                if crate::engine::is_cwv_native(&f) {
-                    // replace `call-with-values producer consumer` with
-                    // `consumer v…` (the producer runs reentrantly)
-                    let all: Vec<Value> = stack.drain(argstart - 1..).collect();
-                    let (nf, nargs) = crate::engine::splice_cwv_args(&Vm, &all[1..])?;
-                    stack.push(nf);
-                    n = nargs.len();
-                    stack.extend(nargs);
-                    continue;
-                }
-                if !nat.arity.accepts(n) {
-                    return Err(arity_error(nat.name.as_str(), nat.arity, n));
-                }
-                lagoon_diag::limits::prim_call().map_err(RtError::from)?;
-                let result = (nat.f)(&stack[argstart..])?;
-                stack.truncate(argstart - 1);
-                stack.push(result);
-                return Ok(Dispatch::Done);
+        if let Some(nat) = f.as_native() {
+            if is_apply_native(&f) {
+                // replace `apply f a … lst` with `f a … lst-elems`;
+                // the new callee lands back at `argstart - 1`
+                let all: Vec<Value> = stack.drain(argstart - 1..).collect();
+                let (nf, nargs) = splice_apply_args(&all[1..])?;
+                stack.push(nf);
+                n = nargs.len();
+                stack.extend(nargs);
+                continue;
             }
-            Value::Contracted(c) => {
-                let args: Vec<Value> = stack[argstart..].to_vec();
-                let result = apply_contracted(&Vm, c, &args)?;
-                stack.truncate(argstart - 1);
-                stack.push(result);
-                return Ok(Dispatch::Done);
+            if crate::engine::is_cwv_native(&f) {
+                // replace `call-with-values producer consumer` with
+                // `consumer v…` (the producer runs reentrantly)
+                let all: Vec<Value> = stack.drain(argstart - 1..).collect();
+                let (nf, nargs) = crate::engine::splice_cwv_args(&Vm, &all[1..])?;
+                stack.push(nf);
+                n = nargs.len();
+                stack.extend(nargs);
+                continue;
             }
-            Value::Closure(c) => {
-                let (proto, env) = downcast_closure(c)?;
-                let frame = make_frame(stack, proto, env, argstart, n, depth)?;
-                return Ok(Dispatch::Frame(frame));
+            if !nat.arity.accepts(n) {
+                // as_str (allocating) is fine here: error path only
+                return Err(arity_error(nat.name.as_str(), nat.arity, n));
             }
-            other => {
-                return Err(RtError::type_error(format!(
-                    "application: not a procedure: {}",
-                    other.write_string()
-                )))
-            }
+            lagoon_diag::limits::prim_call().map_err(RtError::from)?;
+            let result = (nat.f)(&stack[argstart..])?;
+            stack.truncate(argstart - 1);
+            stack.push(result);
+            return Ok(Dispatch::Done);
         }
+        if let Some(c) = f.as_contracted() {
+            let args: Vec<Value> = stack[argstart..].to_vec();
+            let result = apply_contracted(&Vm, c, &args)?;
+            stack.truncate(argstart - 1);
+            stack.push(result);
+            return Ok(Dispatch::Done);
+        }
+        if let Some(c) = f.as_closure() {
+            let (proto, env) = downcast_closure(c)?;
+            let frame = make_frame(stack, proto, env, argstart, n, depth)?;
+            return Ok(Dispatch::Frame(frame));
+        }
+        return Err(RtError::type_error(format!(
+            "application: not a procedure: {}",
+            f.write_string()
+        )));
     }
 }
 
@@ -1116,6 +1291,7 @@ fn make_frame(
         return Err(RtError::from(lagoon_diag::limits::stack_overflow()));
     }
     if !proto.arity.accepts(n) {
+        // as_str (allocating) is fine here: error path only
         return Err(arity_error(
             proto
                 .name
@@ -1137,6 +1313,9 @@ fn make_frame(
         proto,
         ip: 0,
         base,
+        // callers that dispatch onto a non-empty float stack overwrite
+        // this with the live depth (see `Op::Call`)
+        fbase: 0,
         env,
     })
 }
@@ -1170,24 +1349,19 @@ mod tests {
 
     #[test]
     fn constants_and_arith() {
-        assert!(matches!(run_src("42").unwrap(), Value::Int(42)));
-        assert!(matches!(
-            run_src("(#%plain-app + 1 2)").unwrap(),
-            Value::Int(3)
-        ));
-        assert!(matches!(
-            run_src("(#%plain-app + 1 2 3)").unwrap(),
-            Value::Int(6)
-        ));
-        assert!(
-            matches!(run_src("(#%plain-app * 2.5 4.0)").unwrap(), Value::Float(x) if x == 10.0)
+        assert_eq!(run_src("42").unwrap().as_int(), Some(42));
+        assert_eq!(run_src("(#%plain-app + 1 2)").unwrap().as_int(), Some(3));
+        assert_eq!(run_src("(#%plain-app + 1 2 3)").unwrap().as_int(), Some(6));
+        assert_eq!(
+            run_src("(#%plain-app * 2.5 4.0)").unwrap().as_float(),
+            Some(10.0)
         );
     }
 
     #[test]
     fn define_and_reference() {
         let v = run_src("(define-values (x) 10) (#%plain-app + x x)").unwrap();
-        assert!(matches!(v, Value::Int(20)));
+        assert_eq!(v.as_int(), Some(20));
     }
 
     #[test]
@@ -1197,7 +1371,7 @@ mod tests {
              (#%plain-app (#%plain-app make-adder 3) 4)",
         )
         .unwrap();
-        assert!(matches!(v, Value::Int(7)));
+        assert_eq!(v.as_int(), Some(7));
     }
 
     #[test]
@@ -1209,7 +1383,7 @@ mod tests {
              (#%plain-app fact 10)",
         )
         .unwrap();
-        assert!(matches!(v, Value::Int(3628800)));
+        assert_eq!(v.as_int(), Some(3628800));
     }
 
     #[test]
@@ -1221,7 +1395,7 @@ mod tests {
              (#%plain-app loop 2000000 0)",
         )
         .unwrap();
-        assert!(matches!(v, Value::Int(2_000_000)));
+        assert_eq!(v.as_int(), Some(2_000_000));
     }
 
     #[test]
@@ -1246,7 +1420,7 @@ mod tests {
              (#%plain-app counter)",
         )
         .unwrap();
-        assert!(matches!(v, Value::Int(3)));
+        assert_eq!(v.as_int(), Some(3));
     }
 
     #[test]
@@ -1254,23 +1428,23 @@ mod tests {
         let v = run_src("(#%plain-app (#%plain-lambda (a . rest) rest) 1 2 3)").unwrap();
         assert_eq!(v.list_to_vec().unwrap().len(), 2);
         let v = run_src("(#%plain-app (#%plain-lambda args args))").unwrap();
-        assert!(matches!(v, Value::Nil));
+        assert!(v.is_nil());
     }
 
     #[test]
     fn unsafe_instructions_execute() {
         let v = run_src("(#%plain-app unsafe-fl+ 1.5 2.5)").unwrap();
-        assert!(matches!(v, Value::Float(x) if x == 4.0));
+        assert_eq!(v.as_float(), Some(4.0));
         let v = run_src("(#%plain-app unsafe-fc* 2.0+2.0i 2.0+2.0i)").unwrap();
-        assert!(matches!(v, Value::Complex(re, im) if re == 0.0 && im == 8.0));
+        assert_eq!(v.as_complex(), Some((0.0, 8.0)));
         let v = run_src("(#%plain-app unsafe-car (#%plain-app cons 1 2))").unwrap();
-        assert!(matches!(v, Value::Int(1)));
+        assert_eq!(v.as_int(), Some(1));
     }
 
     #[test]
     fn apply_through_vm() {
         let v = run_src("(#%plain-app apply + 1 (quote (2 3)))").unwrap();
-        assert!(matches!(v, Value::Int(6)));
+        assert_eq!(v.as_int(), Some(6));
     }
 
     #[test]
@@ -1281,7 +1455,7 @@ mod tests {
              (#%plain-app twice (#%plain-lambda (n) (#%plain-app * n n)) 3)",
         )
         .unwrap();
-        assert!(matches!(v, Value::Int(81)));
+        assert_eq!(v.as_int(), Some(81));
     }
 
     #[test]
@@ -1302,7 +1476,7 @@ mod tests {
              (#%plain-app vector-ref v 1)",
         )
         .unwrap();
-        assert!(matches!(v, Value::Int(42)));
+        assert_eq!(v.as_int(), Some(42));
         assert!(run_src("(#%plain-app vector-ref (#%plain-app vector 1) 5)").is_err());
     }
 }

@@ -525,7 +525,7 @@ fn run_file(
     };
     match lagoon.run(&main, engine) {
         Ok(v) => {
-            if !matches!(v, lagoon::Value::Void) {
+            if !v.is_void() {
                 println!("{}", v.write_string());
             }
             ExitCode::SUCCESS
@@ -582,7 +582,7 @@ fn run_file_traced(
     eprintln!("trace written to {}", out_path.display());
     match result {
         Ok(v) => {
-            if !matches!(v, lagoon::Value::Void) {
+            if !v.is_void() {
                 println!("{}", v.write_string());
             }
             ExitCode::SUCCESS
@@ -622,7 +622,7 @@ fn run_file_with_stats(
                     report.to_json()
                 );
             } else {
-                if !matches!(v, lagoon::Value::Void) {
+                if !v.is_void() {
                     println!("{}", v.write_string());
                 }
                 print!("{}", report.render_text());
@@ -704,7 +704,7 @@ fn repl(typed: bool) -> ExitCode {
         match lagoon.run(&module, EngineKind::Vm) {
             Ok(v) => {
                 history.push(line.trim_end().to_string());
-                if !matches!(v, lagoon::Value::Void) {
+                if !v.is_void() {
                     println!("{}", v.write_string());
                 }
             }

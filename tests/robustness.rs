@@ -232,6 +232,60 @@ fn injected_faults_fail_cleanly() {
 }
 
 #[test]
+fn error_mid_fused_float_sequence_leaves_no_residue() {
+    // `(unsafe-fl+ 1.5 (car 7))` compiles to a fused float sequence: 1.5
+    // is already sitting on the machine's float stack when `(car 7)`
+    // raises. The unwind must leave the machine clean — the next
+    // evaluation on the SAME instance (which reuses the pooled stack
+    // buffers) must see an empty float stack, not a stale 1.5.
+    let lagoon = Lagoon::new();
+    for (bad, probe, want) in [
+        // error in the second operand, first already unboxed
+        (
+            "#lang lagoon\n(unsafe-fl+ 1.5 (car 7))\n",
+            "#lang lagoon\n(unsafe-fl+ 0.25 0.25)\n",
+            "0.5",
+        ),
+        // error inside a *call* made while two fused operands are
+        // suspended on the float stack (the frame-balance edge case)
+        (
+            "#lang lagoon
+             (define (boom x) (car x))
+             (unsafe-fl* 2.0 (unsafe-fl+ 3.0 (boom 7)))\n",
+            "#lang lagoon\n(unsafe-fl* 2.0 (unsafe-fl+ 3.0 4.0))\n",
+            "14.0",
+        ),
+        // error deep in a fused loop body after many clean iterations
+        (
+            "#lang lagoon
+             (define (go i acc)
+               (if (= i 0) (car acc) (go (- i 1) (unsafe-fl+ acc 1.0))))
+             (unsafe-fl- 100.0 (go 10 0.0))\n",
+            "#lang lagoon\n(unsafe-fl- 100.0 1.0)\n",
+            "99.0",
+        ),
+    ] {
+        lagoon.add_module("bad", bad);
+        lagoon.add_module("probe", probe);
+        for engine in [EngineKind::Vm, EngineKind::Interp] {
+            let e = lagoon
+                .run("bad", engine)
+                .expect_err("mid-fusion error must surface");
+            assert!(
+                !matches!(e.kind, Kind::Internal),
+                "mid-fusion error leaked as internal on {engine:?}: {e}"
+            );
+            // debug builds also assert per-frame float-stack balance
+            // inside the VM; a stale float would trip that first
+            let v = lagoon.run("probe", engine).unwrap_or_else(|e| {
+                panic!("machine polluted after mid-fusion error ({engine:?}): {e}")
+            });
+            assert_eq!(v.to_string(), want, "stale float residue on {engine:?}");
+        }
+    }
+}
+
+#[test]
 fn fuzz_sweep_never_panics() {
     let n: u64 = std::env::var("LAGOON_FUZZ_N")
         .ok()
@@ -372,6 +426,71 @@ fn peephole_differential_sweep_matches_unfused_semantics() {
     // sanity: the sweep must actually compare things, or it proves nothing
     assert!(
         compared > sources.len() as u64 / 2,
+        "only {compared} comparisons ran ({skipped} skipped)"
+    );
+}
+
+#[test]
+fn interp_vs_vm_differential_sweep_agrees() {
+    // the two engines share the runtime but nothing else — the VM runs
+    // tagged value words over the pooled unified stack, the interpreter
+    // walks the core tree. Any representation bug that changes observable
+    // behaviour (truthiness, numeric equality, printing, error class)
+    // shows up as divergence here.
+    fn observe(
+        lagoon: &Lagoon,
+        src: &str,
+        engine: EngineKind,
+        limits: Limits,
+    ) -> Result<(String, String), (bool, String)> {
+        lagoon.set_limits(limits);
+        lagoon.add_module("xdiff", src);
+        let result = lagoon.run_capturing("xdiff", engine);
+        lagoon.set_limits(Limits::default());
+        match result {
+            Ok((v, out)) => Ok((v.write_string(), out)),
+            Err(e) => Err((e.is_resource_exhausted(), e.to_string())),
+        }
+    }
+
+    let lagoon = Lagoon::new();
+    let mut rng = SplitMix64::new(0xe2e2);
+    let n = if cfg!(debug_assertions) { 150 } else { 500 };
+    // fixed seeds covering the representation's edge classes, then the
+    // generator sweep
+    let corpus = [
+        "#lang lagoon\n(list (eqv? 0.0 -0.0) (eqv? (/ 0.0 0.0) (/ 0.0 0.0)) (= 1 1.0))\n",
+        "#lang lagoon\n(let ([v (vector 1 2.5 #\\c 'sym \"str\" '(1 . 2))]) (vector-ref v 1))\n",
+        "#lang lagoon\n(+ 140737488355327 1)\n", // crosses the 48-bit immediate-int boundary
+        "#lang lagoon\n(- -140737488355328 1)\n",
+        "#lang lagoon\n(* 1073741824 1073741824)\n",
+        "#lang lagoon\n(if 0.0 'float-is-truthy 'float-is-falsy)\n",
+        "#lang lagoon\n(let loop ([i 0] [acc 0.0]) (if (= i 50) acc (loop (+ i 1) (unsafe-fl+ acc 0.5))))\n",
+    ];
+    let (mut compared, mut skipped) = (0u64, 0u64);
+    for i in 0..(corpus.len() + n) {
+        let src = corpus
+            .get(i)
+            .map(|s| (*s).to_string())
+            .unwrap_or_else(|| gen_input(&mut rng));
+        let vm = observe(&lagoon, &src, EngineKind::Vm, strict());
+        let interp = observe(&lagoon, &src, EngineKind::Interp, strict());
+        match (vm, interp) {
+            // the engines count steps differently, so a budget death on
+            // either side need not reproduce on the other
+            (Err((true, _)), _) | (_, Err((true, _))) => skipped += 1,
+            (Ok(vm), Ok(interp)) => {
+                assert_eq!(vm, interp, "engines diverged on value/output for:\n{src}");
+                compared += 1;
+            }
+            (Err(_), Err(_)) => compared += 1, // both err: class agreement is enough
+            (vm, interp) => {
+                panic!("engines diverged on outcome for:\n{src}\nvm: {vm:?}\ninterp: {interp:?}")
+            }
+        }
+    }
+    assert!(
+        compared > (corpus.len() + n) as u64 / 2,
         "only {compared} comparisons ran ({skipped} skipped)"
     );
 }
