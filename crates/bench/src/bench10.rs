@@ -1,0 +1,562 @@
+//! The `BENCH_10.json` experiment: gateway scaling under mixed
+//! open-loop traffic.
+//!
+//! A gateway with 1/2/4 shards (each a daemon with a fixed worker
+//! count, all sharing one content-addressed `.lagc` store) is driven
+//! by an **open-loop** load generator: request arrivals are scheduled
+//! on a fixed clock, independent of completions, and latency is
+//! measured from the *scheduled* arrival — so queueing delay shows up
+//! in the percentiles instead of being hidden by a closed loop that
+//! only sends as fast as the server drains (the BENCH_5 serve
+//! measurement's blind spot). The offered rate is calibrated once,
+//! against the first configuration, to a multiple of one shard's
+//! measured service capacity, and held constant across shard counts:
+//! one shard saturates and sheds, more shards absorb the same traffic.
+//!
+//! Traffic is a mixed run/expand/check cycle over HTTP: a named typed
+//! module graph (exercising the shared store), an inline run, an
+//! inline expand, and a named check. After each run the store is
+//! digested (as in bench5) — equal digests across shard counts prove
+//! the shards cooperated on one byte-identical store.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use lagoon_gateway::http::HttpClient;
+use lagoon_gateway::shard::ShardBackend;
+use lagoon_gateway::{Gateway, GatewayOptions};
+use lagoon_server::json::{self, Json};
+
+/// One request of the mixed cycle: method target and JSON body.
+fn mixed_request(i: usize) -> (&'static str, String) {
+    match i % 4 {
+        0 => ("/v1/run", r#"{"module":"bench10-top"}"#.to_string()),
+        1 => (
+            "/v1/run",
+            r##"{"source":"#lang lagoon\n(define (sum n acc) (if (= n 0) acc (sum (- n 1) (+ acc n))))\n(sum 40000 0)\n"}"##.to_string(),
+        ),
+        2 => (
+            "/v1/expand",
+            r##"{"source":"#lang lagoon\n(let ((x 1)) (+ x 2))\n"}"##.to_string(),
+        ),
+        _ => ("/v1/check", r#"{"module":"bench10-m0"}"#.to_string()),
+    }
+}
+
+/// Writes the named-module sources the mixed cycle resolves: a typed
+/// three-module chain plus an untyped top module.
+fn write_sources(root: &PathBuf) -> Result<(), String> {
+    std::fs::create_dir_all(root).map_err(|e| format!("mkdir {}: {e}", root.display()))?;
+    let mut modules: Vec<(String, String)> = Vec::new();
+    for depth in (0..3).rev() {
+        let mut body = String::from("#lang typed/lagoon\n");
+        if depth < 2 {
+            body.push_str(&format!("(require bench10-m{})\n", depth + 1));
+        }
+        let callee = if depth < 2 {
+            format!("bench10-m{}-f", depth + 1)
+        } else {
+            "add1".to_string()
+        };
+        body.push_str(&format!(
+            "(: bench10-m{depth}-f : Integer -> Integer)\n\
+             (define (bench10-m{depth}-f n) (if (= n 0) 1 (+ ({callee} (- n 1)) {depth})))\n\
+             (provide bench10-m{depth}-f)\n"
+        ));
+        modules.push((format!("bench10-m{depth}"), body));
+    }
+    modules.push((
+        "bench10-top".to_string(),
+        "#lang lagoon\n(require bench10-m0)\n\
+         (define (go i acc) (if (= i 0) acc (go (- i 1) (+ acc (bench10-m0-f 24)))))\n\
+         (go 2000 0)\n"
+            .to_string(),
+    ));
+    for (name, body) in modules {
+        let path = root.join(format!("{name}.lag"));
+        let mut f =
+            std::fs::File::create(&path).map_err(|e| format!("create {}: {e}", path.display()))?;
+        f.write_all(body.as_bytes())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+    }
+    Ok(())
+}
+
+/// FNV-1a digest over the store's artifacts, in filename order (the
+/// bench5 byte-identity check).
+fn digest_store(dir: &PathBuf) -> Result<u64, String> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("read {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "lagc"))
+        .collect();
+    files.sort();
+    let mut bytes = Vec::new();
+    for file in files {
+        if let Some(name) = file.file_name() {
+            bytes.extend_from_slice(name.to_string_lossy().as_bytes());
+        }
+        bytes.extend_from_slice(
+            &std::fs::read(&file).map_err(|e| format!("read {}: {e}", file.display()))?,
+        );
+    }
+    Ok(lagoon_syntax::wire::fnv1a(&bytes))
+}
+
+/// One shard-count record of the scaling sweep.
+#[derive(Clone, Debug)]
+pub struct Bench10Record {
+    /// Shard count for this record.
+    pub shards: usize,
+    /// Requests offered (open loop: all of them are sent).
+    pub requests: usize,
+    /// Responses with HTTP 200 and `"ok":true`.
+    pub ok: u64,
+    /// 200s whose body was a program-level error (none expected).
+    pub program_errors: u64,
+    /// Requests shed by every shard (HTTP 503).
+    pub shed: u64,
+    /// Transport/5xx failures that were not sheds.
+    pub errors: u64,
+    /// Median latency from *scheduled arrival* to completion, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile latency from scheduled arrival, ms.
+    pub p99_ms: f64,
+    /// Completed requests per second over the run's wall clock.
+    pub rps: f64,
+    /// Wall time of the whole run, ms.
+    pub wall_ms: f64,
+    /// Per-shard daemon utilization (busy share) at the end of the run.
+    pub utilization: Vec<f64>,
+    /// Per-shard completed-request counts (gateway's view).
+    pub shard_done: Vec<u64>,
+    /// FNV-1a digest of the shared store after the run.
+    pub store_digest: u64,
+}
+
+/// The whole sweep: per-shard-count records at one constant offered
+/// rate, plus the calibration and environment facts needed to read it.
+#[derive(Clone, Debug)]
+pub struct Bench10Report {
+    /// One record per shard count.
+    pub records: Vec<Bench10Record>,
+    /// The constant offered arrival rate, requests/second.
+    pub offered_rps: f64,
+    /// "process" (spawned `lagoon serve` shards) or "in-process".
+    pub backend: String,
+    /// Worker threads per shard daemon.
+    pub workers_per_shard: usize,
+    /// Per-shard queue capacity.
+    pub queue_cap: usize,
+}
+
+impl Bench10Report {
+    /// Whether every shard count produced a byte-identical store.
+    pub fn digests_match(&self) -> bool {
+        self.records
+            .windows(2)
+            .all(|w| w[0].store_digest == w[1].store_digest)
+    }
+}
+
+/// Options for [`bench10_sweep`].
+pub struct Bench10Options {
+    /// Shard counts to sweep (the scaling axis).
+    pub shard_counts: Vec<usize>,
+    /// Open-loop requests per configuration.
+    pub requests: usize,
+    /// Worker threads per shard daemon.
+    pub workers_per_shard: usize,
+    /// Per-shard bounded queue capacity (small enough that a
+    /// saturated shard actually sheds).
+    pub queue_cap: usize,
+    /// Backend override; `None` auto-detects: a `lagoon` binary next
+    /// to the current executable → process shards, else in-process.
+    pub backend: Option<ShardBackend>,
+    /// Offered rate as a multiple of one shard's calibrated capacity.
+    pub overload_factor: f64,
+}
+
+impl Default for Bench10Options {
+    fn default() -> Bench10Options {
+        Bench10Options {
+            shard_counts: vec![1, 2, 4],
+            requests: 240,
+            workers_per_shard: 2,
+            queue_cap: 16,
+            backend: None,
+            overload_factor: 1.5,
+        }
+    }
+}
+
+/// The auto-detected backend: process shards when a sibling `lagoon`
+/// binary exists (figures lives in the same target dir), else
+/// in-process daemons.
+fn detect_backend() -> ShardBackend {
+    let sibling = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("lagoon")));
+    match sibling {
+        Some(path) if path.is_file() => ShardBackend::Process {
+            cmd: vec![path.display().to_string()],
+        },
+        _ => ShardBackend::InProcess,
+    }
+}
+
+fn backend_name(backend: &ShardBackend) -> &'static str {
+    match backend {
+        ShardBackend::Process { .. } => "process",
+        ShardBackend::InProcess => "in-process",
+    }
+}
+
+/// Starts a gateway for one sweep configuration over fresh store and
+/// source directories.
+fn start_gateway(
+    opts: &Bench10Options,
+    backend: &ShardBackend,
+    shards: usize,
+    tag: &str,
+) -> Result<(Gateway, PathBuf, PathBuf), String> {
+    let base = std::env::temp_dir().join(format!("lagoon-bench10-{}-{tag}", std::process::id()));
+    let store = base.join("store");
+    let sources = base.join("src");
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&store).map_err(|e| format!("mkdir {}: {e}", store.display()))?;
+    write_sources(&sources)?;
+    let gateway = Gateway::start(GatewayOptions {
+        shards,
+        workers_per_shard: opts.workers_per_shard,
+        queue_cap: opts.queue_cap,
+        backend: backend.clone(),
+        cache_dir: Some(store.clone()),
+        source_root: Some(sources.clone()),
+        request_timeout: Some(Duration::from_secs(30)),
+        ..GatewayOptions::default()
+    })
+    .map_err(|e| format!("start gateway ({shards} shards): {e}"))?;
+    Ok((gateway, base, store))
+}
+
+/// Closed-loop warmup + calibration: runs one full mixed cycle to warm
+/// the store, then times `reps` sequential cycles and returns the mean
+/// per-request service time.
+fn calibrate(addr: &str, reps: usize) -> Result<Duration, String> {
+    let mut client =
+        HttpClient::connect(addr, Some(Duration::from_secs(30))).map_err(|e| e.to_string())?;
+    for i in 0..4 {
+        let (target, body) = mixed_request(i);
+        let response = client
+            .request("POST", target, &[], body.as_bytes())
+            .map_err(|e| format!("warmup: {e}"))?;
+        if response.status != 200 {
+            return Err(format!(
+                "warmup request {target} -> {}: {}",
+                response.status,
+                response.body_str()
+            ));
+        }
+    }
+    let start = Instant::now();
+    let n = (reps.max(1)) * 4;
+    for i in 0..n {
+        let (target, body) = mixed_request(i);
+        client
+            .request("POST", target, &[], body.as_bytes())
+            .map_err(|e| format!("calibration: {e}"))?;
+    }
+    Ok(start.elapsed() / (n as u32))
+}
+
+/// One completed open-loop request.
+struct Sample {
+    latency: Duration,
+    status: u16,
+    ok: bool,
+}
+
+/// Fires `requests` arrivals at `interval` spacing against the gateway
+/// and returns every sample (latency measured from scheduled arrival).
+fn open_loop(
+    addr: &str,
+    requests: usize,
+    interval: Duration,
+) -> Result<(Vec<Sample>, Duration), String> {
+    let clients = 32.min(requests.max(1));
+    let (tx, rx) = mpsc::channel::<(usize, Instant)>();
+    let rx = Mutex::new(rx);
+    let samples: Mutex<Vec<Sample>> = Mutex::new(Vec::with_capacity(requests));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| {
+                let mut client: Option<HttpClient> = None;
+                loop {
+                    let job = {
+                        let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+                        guard.recv()
+                    };
+                    let Ok((i, scheduled)) = job else { return };
+                    let (target, body) = mixed_request(i);
+                    let trace = format!("bench10-{i}");
+                    let headers = [("x-lagoon-trace-id", trace)];
+                    // One reconnect attempt on a broken pooled socket.
+                    let mut outcome: Option<(u16, bool)> = None;
+                    for _ in 0..2 {
+                        if client.is_none() {
+                            client = HttpClient::connect(addr, Some(Duration::from_secs(30))).ok();
+                        }
+                        let Some(c) = client.as_mut() else { continue };
+                        match c.request("POST", target, &headers, body.as_bytes()) {
+                            Ok(response) => {
+                                let ok = response.status == 200
+                                    && response.body_str().contains("\"ok\":true");
+                                outcome = Some((response.status, ok));
+                                break;
+                            }
+                            Err(_) => client = None,
+                        }
+                    }
+                    let (status, ok) = outcome.unwrap_or((0, false));
+                    let sample = Sample {
+                        latency: scheduled.elapsed(),
+                        status,
+                        ok,
+                    };
+                    samples
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(sample);
+                }
+            });
+        }
+        // Dispatcher: the open-loop clock. Arrival i is scheduled at
+        // start + i·interval regardless of how the pool is doing.
+        for i in 0..requests {
+            let scheduled = started + interval * (i as u32);
+            let now = Instant::now();
+            if scheduled > now {
+                std::thread::sleep(scheduled - now);
+            }
+            if tx.send((i, scheduled)).is_err() {
+                break;
+            }
+        }
+        drop(tx);
+    });
+    let wall = started.elapsed();
+    let samples = samples.into_inner().unwrap_or_else(|e| e.into_inner());
+    if samples.len() != requests {
+        return Err(format!(
+            "open loop lost samples: {} of {requests}",
+            samples.len()
+        ));
+    }
+    Ok((samples, wall))
+}
+
+fn percentile_ms(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Reads per-shard utilization and done counts from the gateway's deep
+/// stats object.
+fn shard_gauges(stats: &Json, shards: usize) -> (Vec<f64>, Vec<u64>) {
+    let mut utilization = vec![0.0; shards];
+    let mut done = vec![0u64; shards];
+    if let Some(Json::Arr(daemons)) = stats.get("daemons") {
+        for (i, daemon) in daemons.iter().enumerate().take(shards) {
+            if let Some(u) = daemon.get("utilization").and_then(|j| match j {
+                Json::Num(n) => Some(*n),
+                _ => None,
+            }) {
+                utilization[i] = u;
+            }
+        }
+    }
+    if let Some(Json::Arr(gauges)) = stats.get("shard") {
+        for (i, gauge) in gauges.iter().enumerate().take(shards) {
+            if let Some(n) = gauge.get("done").and_then(Json::as_u64) {
+                done[i] = n;
+            }
+        }
+    }
+    (utilization, done)
+}
+
+/// Runs the full sweep: calibrates the offered rate on the first
+/// configuration, then drives every shard count at that rate.
+///
+/// # Errors
+///
+/// Returns gateway start/traffic failures rendered as text.
+pub fn bench10_sweep(opts: &Bench10Options) -> Result<Bench10Report, String> {
+    let backend = opts.backend.clone().unwrap_or_else(detect_backend);
+
+    // Calibration: a throwaway 1-shard gateway takes a concurrent
+    // burst (arrivals as fast as the pool can carry them), and the
+    // offered rate for the whole sweep is `overload_factor` times the
+    // burst's *successful* throughput — i.e. a multiple of one shard's
+    // real concurrent capacity, not its sequential latency (which
+    // overlapping phases inside a daemon make a big underestimate).
+    let (gateway, base, _store) = start_gateway(opts, &backend, 1, "calibrate")?;
+    let addr = gateway.addr().to_string();
+    let warm = calibrate(&addr, 2);
+    let burst_n = opts.requests.clamp(32, 128);
+    let burst = warm.and_then(|_| open_loop(&addr, burst_n, Duration::ZERO));
+    gateway.shutdown();
+    gateway.wait();
+    let _ = std::fs::remove_dir_all(&base);
+    let (burst_samples, burst_wall) = burst?;
+    let burst_ok = burst_samples.iter().filter(|s| s.ok).count();
+    if burst_ok == 0 {
+        return Err("calibration burst produced no successful responses".to_string());
+    }
+    let capacity = burst_ok as f64 / burst_wall.as_secs_f64().max(1e-9);
+    let offered_rps = opts.overload_factor * capacity;
+    let interval = Duration::from_secs_f64(1.0 / offered_rps.max(1.0));
+
+    let mut records = Vec::new();
+    for &shards in &opts.shard_counts {
+        let (gateway, base, store) = start_gateway(opts, &backend, shards, &format!("s{shards}"))?;
+        let addr = gateway.addr().to_string();
+        if let Err(e) = calibrate(&addr, 1) {
+            gateway.shutdown();
+            gateway.wait();
+            let _ = std::fs::remove_dir_all(&base);
+            return Err(e);
+        }
+        let outcome = open_loop(&addr, opts.requests, interval);
+        let stats = json::parse(&gateway.stats_json(true)).unwrap_or(Json::Null);
+        gateway.shutdown();
+        gateway.wait();
+        let (samples, wall) = match outcome {
+            Ok(x) => x,
+            Err(e) => {
+                let _ = std::fs::remove_dir_all(&base);
+                return Err(e);
+            }
+        };
+        let store_digest = digest_store(&store)?;
+        let _ = std::fs::remove_dir_all(&base);
+
+        let mut latencies: Vec<f64> = samples
+            .iter()
+            .map(|s| s.latency.as_secs_f64() * 1e3)
+            .collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let ok = samples.iter().filter(|s| s.ok).count() as u64;
+        let shed = samples.iter().filter(|s| s.status == 503).count() as u64;
+        let program_errors = samples.iter().filter(|s| s.status == 200 && !s.ok).count() as u64;
+        let errors = samples.len() as u64 - ok - shed - program_errors;
+        let (utilization, shard_done) = shard_gauges(&stats, shards);
+        records.push(Bench10Record {
+            shards,
+            requests: samples.len(),
+            ok,
+            program_errors,
+            shed,
+            errors,
+            p50_ms: percentile_ms(&latencies, 0.50),
+            p99_ms: percentile_ms(&latencies, 0.99),
+            rps: samples.len() as f64 / wall.as_secs_f64().max(1e-9),
+            wall_ms: wall.as_secs_f64() * 1e3,
+            utilization,
+            shard_done,
+            store_digest,
+        });
+    }
+    Ok(Bench10Report {
+        records,
+        offered_rps,
+        backend: backend_name(&backend).to_string(),
+        workers_per_shard: opts.workers_per_shard,
+        queue_cap: opts.queue_cap,
+    })
+}
+
+/// Serializes the sweep as the `BENCH_10.json` object (hand-rolled;
+/// the workspace takes no serialization dependency).
+pub fn bench10_json(report: &Bench10Report) -> String {
+    use std::fmt::Write;
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut out = format!(
+        "{{\"host_cpus\":{host_cpus},\"backend\":\"{}\",\
+         \"workers_per_shard\":{},\"queue_cap\":{},\
+         \"offered_rps\":{:.2},\"records\":[",
+        report.backend, report.workers_per_shard, report.queue_cap, report.offered_rps,
+    );
+    for (i, r) in report.records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let utilization: Vec<String> = r.utilization.iter().map(|u| format!("{u:.4}")).collect();
+        let done: Vec<String> = r.shard_done.iter().map(u64::to_string).collect();
+        let _ = write!(
+            out,
+            "{{\"shards\":{},\"requests\":{},\"ok\":{},\"shed\":{},\
+             \"program_errors\":{},\"errors\":{},\"shed_rate\":{:.4},\
+             \"p50_ms\":{:.3},\"p99_ms\":{:.3},\"rps\":{:.2},\"wall_ms\":{:.1},\
+             \"utilization\":[{}],\"shard_done\":[{}],\
+             \"store_digest\":\"{:016x}\"}}",
+            r.shards,
+            r.requests,
+            r.ok,
+            r.shed,
+            r.program_errors,
+            r.errors,
+            r.shed as f64 / (r.requests.max(1)) as f64,
+            r.p50_ms,
+            r.p99_ms,
+            r.rps,
+            r.wall_ms,
+            utilization.join(","),
+            done.join(","),
+            r.store_digest,
+        );
+    }
+    let _ = write!(out, "],\"byte_identical\":{}}}", report.digests_match());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_round_trips() {
+        let opts = Bench10Options {
+            shard_counts: vec![1, 2],
+            requests: 16,
+            workers_per_shard: 1,
+            queue_cap: 8,
+            backend: Some(ShardBackend::InProcess),
+            overload_factor: 1.0,
+        };
+        let report = bench10_sweep(&opts).expect("sweep");
+        assert_eq!(report.records.len(), 2);
+        for r in &report.records {
+            assert_eq!(r.requests, 16);
+            assert_eq!(r.errors, 0, "transport errors in record: {r:?}");
+            assert!(r.p50_ms > 0.0 && r.p99_ms >= r.p50_ms);
+        }
+        // The scaling sweep's core invariant: shards cooperating on
+        // one store produce byte-identical artifacts at any count.
+        assert!(report.digests_match(), "store digests diverge");
+        let json = bench10_json(&report);
+        assert!(json.contains("\"byte_identical\":true"));
+        assert!(json.contains("\"host_cpus\""));
+        assert!(json.contains("\"p99_ms\""));
+    }
+}

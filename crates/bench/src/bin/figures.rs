@@ -38,6 +38,14 @@
 //! With `LAGOON_BENCH8_GATE=1` (CI's bench-smoke), the run exits
 //! nonzero if the new representation measures slower than the recorded
 //! baseline on either configuration or the store digests diverge.
+//!
+//! The `bench10` mode measures the HTTP gateway's shard scaling —
+//! mixed run/expand/check traffic offered open-loop at a constant rate
+//! (calibrated to overload one shard) against 1/2/4 shards, recording
+//! p50/p99 latency from scheduled arrival, throughput, shed rate,
+//! per-shard utilization, and the shared store's digest at each shard
+//! count — and writes `BENCH_10.json`:
+//! `cargo run --release -p lagoon-bench --bin figures bench10 [requests] [out.json]`
 
 use lagoon_bench::{
     bench4_json, bench4_sweep, benchmarks_for, collect_metrics, format_figure, measure_figure,
@@ -221,6 +229,51 @@ fn run_bench8(args: &[String]) {
     }
 }
 
+fn run_bench10(args: &[String]) {
+    let requests: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(240);
+    let path = args.get(3).map(String::as_str).unwrap_or("BENCH_10.json");
+    let opts = lagoon_bench::bench10::Bench10Options {
+        requests,
+        ..lagoon_bench::bench10::Bench10Options::default()
+    };
+    let report = match lagoon_bench::bench10::bench10_sweep(&opts) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error in bench10 gateway sweep: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "bench10: {} backend, offered {:.1} req/s, {} workers/shard, queue cap {}",
+        report.backend, report.offered_rps, report.workers_per_shard, report.queue_cap
+    );
+    for r in &report.records {
+        println!(
+            "  {} shard(s): p50 {:7.2} ms  p99 {:8.2} ms  {:6.1} req/s  shed {:5.1}%  store {:016x}",
+            r.shards,
+            r.p50_ms,
+            r.p99_ms,
+            r.rps,
+            100.0 * r.shed as f64 / r.requests.max(1) as f64,
+            r.store_digest
+        );
+    }
+    if !report.digests_match() {
+        eprintln!("store digests diverge between shard counts");
+        std::process::exit(1);
+    }
+    match std::fs::write(path, lagoon_bench::bench10::bench10_json(&report)) {
+        Ok(()) => println!(
+            "wrote {path} ({} records, {requests} requests each)",
+            report.records.len()
+        ),
+        Err(e) => {
+            eprintln!("error writing {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let which = args.get(1).map(String::as_str).unwrap_or("all");
@@ -238,6 +291,9 @@ fn main() {
     }
     if which == "bench8" {
         return run_bench8(&args);
+    }
+    if which == "bench10" {
+        return run_bench10(&args);
     }
     let reps: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
     let figures: Vec<Figure> = match which {

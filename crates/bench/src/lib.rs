@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bench10;
 pub mod bench5;
 pub mod bench6;
 pub mod bench7;

@@ -1,0 +1,696 @@
+//! A hand-rolled HTTP/1.1 layer: request reading, response writing, and
+//! a small keep-alive client.
+//!
+//! Like the daemon's NDJSON protocol (`lagoon_server::json`), this is
+//! std-only and covers exactly what the gateway needs: `GET`/`POST`
+//! with `Content-Length` bodies, keep-alive (HTTP/1.1 default, honored
+//! for 1.0 with `Connection: keep-alive`), and pipelining — requests
+//! are read sequentially off one buffered stream and responses written
+//! back in order, so a client that writes several requests up front
+//! gets its responses in request order.
+//!
+//! Every input dimension is bounded: the request line, a single header,
+//! the total header block, the header count, and the declared body
+//! length (the same cap the daemon enforces on an NDJSON line). Framing
+//! errors (a malformed request line, an unparsable `Content-Length`)
+//! poison the stream position, so those responses close the
+//! connection; cleanly-framed application errors (unknown route, bad
+//! JSON body) keep it open.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Longest accepted request line (method + target + version).
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Longest accepted single header line.
+pub const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Total header-block byte budget per request.
+pub const MAX_HEADER_BYTES: usize = 32 * 1024;
+/// Maximum number of headers per request.
+pub const MAX_HEADERS: usize = 100;
+
+/// The parsed head of a request: everything before the body.
+#[derive(Clone, Debug)]
+pub struct Head {
+    /// Request method, uppercase as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target, query string included.
+    pub target: String,
+    /// True for `HTTP/1.1`, false for `HTTP/1.0`.
+    pub http11: bool,
+    /// Header name/value pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+}
+
+/// A fully-read request (head plus body).
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The request head.
+    pub head: Head,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Head {
+    /// Case-insensitive header lookup (first occurrence).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The target with any query string stripped.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// Whether the client asked for (or defaults to) connection reuse.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+
+    /// Whether the client sent `Expect: 100-continue` and is waiting
+    /// for an interim response before transmitting the body.
+    pub fn expects_continue(&self) -> bool {
+        self.header("expect")
+            .is_some_and(|v| v.eq_ignore_ascii_case("100-continue"))
+    }
+}
+
+impl Request {
+    /// Case-insensitive header lookup (first occurrence).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.head.header(name)
+    }
+
+    /// The target with any query string stripped.
+    pub fn path(&self) -> &str {
+        self.head.path()
+    }
+}
+
+/// Everything that can go wrong reading a request. [`error_status`]
+/// maps the protocol-level variants to a status code and whether the
+/// connection can survive the error.
+#[derive(Debug)]
+pub enum HttpError {
+    /// EOF before the first request byte: the clean end of a keep-alive
+    /// connection, not an error to report.
+    Closed,
+    /// The transport failed mid-request.
+    Io(std::io::Error),
+    /// The request line did not parse (wrong shape, bad method bytes).
+    BadRequestLine,
+    /// The request line exceeded [`MAX_REQUEST_LINE`].
+    RequestLineTooLong,
+    /// An HTTP version other than 1.0/1.1.
+    UnsupportedVersion,
+    /// A single header, the header block, or the header count exceeded
+    /// its cap.
+    HeadersTooLarge,
+    /// A header line without a `:` separator (or invalid bytes).
+    BadHeader,
+    /// A body-carrying method without a `Content-Length`.
+    LengthRequired,
+    /// An unparsable `Content-Length` value.
+    BadContentLength,
+    /// A `Transfer-Encoding` the gateway does not implement (chunked).
+    UnsupportedTransferEncoding,
+    /// The declared `Content-Length` exceeds the configured cap.
+    BodyTooLarge {
+        /// The declared length.
+        declared: usize,
+        /// The configured cap it exceeded.
+        cap: usize,
+    },
+}
+
+/// The status code, a human-readable message, and whether the
+/// connection must close, for a protocol-level [`HttpError`]. `None`
+/// for [`HttpError::Closed`]/[`HttpError::Io`] (nothing to send).
+///
+/// Framing errors close: once the parser loses the request boundary
+/// the stream position is unrecoverable. `LengthRequired` and
+/// `BodyTooLarge` also close — an unread body would be parsed as the
+/// next request line.
+pub fn error_status(e: &HttpError) -> Option<(u16, String, bool)> {
+    match e {
+        HttpError::Closed | HttpError::Io(_) => None,
+        HttpError::BadRequestLine => Some((400, "malformed request line".to_string(), true)),
+        HttpError::RequestLineTooLong => Some((
+            414,
+            format!("request line exceeds {MAX_REQUEST_LINE} bytes"),
+            true,
+        )),
+        HttpError::UnsupportedVersion => Some((
+            505,
+            "only HTTP/1.0 and HTTP/1.1 are supported".to_string(),
+            true,
+        )),
+        HttpError::HeadersTooLarge => Some((
+            431,
+            format!("headers exceed {MAX_HEADER_BYTES} bytes or {MAX_HEADERS} fields"),
+            true,
+        )),
+        HttpError::BadHeader => Some((400, "malformed header".to_string(), true)),
+        HttpError::LengthRequired => Some((411, "POST requires Content-Length".to_string(), true)),
+        HttpError::BadContentLength => Some((400, "unparsable Content-Length".to_string(), true)),
+        HttpError::UnsupportedTransferEncoding => Some((
+            501,
+            "Transfer-Encoding is not supported; send Content-Length".to_string(),
+            true,
+        )),
+        HttpError::BodyTooLarge { declared, cap } => Some((
+            413,
+            format!("body of {declared} bytes exceeds the {cap}-byte cap"),
+            true,
+        )),
+    }
+}
+
+/// Reads one line terminated by `\n` (tolerating `\r\n`), bounded by
+/// `cap` bytes. `Ok(None)` is EOF before any byte.
+fn read_line_bounded(
+    r: &mut impl BufRead,
+    cap: usize,
+    over: fn() -> HttpError,
+) -> Result<Option<String>, HttpError> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = r.fill_buf().map_err(HttpError::Io)?;
+        if chunk.is_empty() {
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            // EOF mid-line: surface what arrived; the caller's parse
+            // will reject it if it is not a complete construct.
+            break;
+        }
+        if let Some(pos) = chunk.iter().position(|b| *b == b'\n') {
+            if buf.len() + pos > cap {
+                r.consume(pos + 1);
+                return Err(over());
+            }
+            buf.extend_from_slice(&chunk[..pos]);
+            r.consume(pos + 1);
+            break;
+        }
+        let n = chunk.len();
+        if buf.len() + n > cap {
+            r.consume(n);
+            return Err(over());
+        }
+        buf.extend_from_slice(chunk);
+        r.consume(n);
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| HttpError::BadHeader)
+}
+
+/// Reads and parses the request line and headers. Leading blank lines
+/// are skipped (RFC 9112 §2.2).
+///
+/// # Errors
+///
+/// Returns [`HttpError::Closed`] on clean EOF, and the protocol-level
+/// variants on malformed or oversized input.
+pub fn read_head(r: &mut impl BufRead) -> Result<Head, HttpError> {
+    let line = loop {
+        match read_line_bounded(r, MAX_REQUEST_LINE, || HttpError::RequestLineTooLong)? {
+            None => return Err(HttpError::Closed),
+            Some(l) if l.is_empty() => continue,
+            Some(l) => break l,
+        }
+    };
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(HttpError::BadRequestLine),
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequestLine);
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        v if v.starts_with("HTTP/") => return Err(HttpError::UnsupportedVersion),
+        _ => return Err(HttpError::BadRequestLine),
+    };
+    let mut headers = Vec::new();
+    let mut header_bytes = 0usize;
+    loop {
+        let line = read_line_bounded(r, MAX_HEADER_LINE, || HttpError::HeadersTooLarge)?
+            .ok_or(HttpError::BadHeader)?;
+        if line.is_empty() {
+            break;
+        }
+        header_bytes += line.len();
+        if header_bytes > MAX_HEADER_BYTES || headers.len() >= MAX_HEADERS {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let (name, value) = line.split_once(':').ok_or(HttpError::BadHeader)?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadHeader);
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+    Ok(Head {
+        method: method.to_string(),
+        target: target.to_string(),
+        http11,
+        headers,
+    })
+}
+
+/// Reads the request body declared by `head`, bounded by `max_body`.
+/// Methods that carry no body (`GET`, `HEAD`, `DELETE`) return empty
+/// without requiring `Content-Length`.
+///
+/// # Errors
+///
+/// Returns the cap/framing errors documented on [`HttpError`].
+pub fn read_body(r: &mut impl BufRead, head: &Head, max_body: usize) -> Result<Vec<u8>, HttpError> {
+    if head
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::UnsupportedTransferEncoding);
+    }
+    let declared = match head.header("content-length") {
+        Some(v) => Some(
+            v.trim()
+                .parse::<usize>()
+                .map_err(|_| HttpError::BadContentLength)?,
+        ),
+        None => None,
+    };
+    let needs_body = matches!(head.method.as_str(), "POST" | "PUT" | "PATCH");
+    let len = match (declared, needs_body) {
+        (Some(n), _) => n,
+        (None, true) => return Err(HttpError::LengthRequired),
+        (None, false) => 0,
+    };
+    if len > max_body {
+        return Err(HttpError::BodyTooLarge {
+            declared: len,
+            cap: max_body,
+        });
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body).map_err(HttpError::Io)?;
+    Ok(body)
+}
+
+/// The canonical reason phrase for the status codes the gateway emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        100 => "Continue",
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Content Too Large",
+        414 => "URI Too Long",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete response: status line, `Content-Type:
+/// application/json`, `Content-Length`, a `Connection` header matching
+/// `keep_alive`, any `extra` headers, and the body.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    extra: &[(&str, String)],
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Writes the `100 Continue` interim response.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn write_continue(w: &mut impl Write) -> std::io::Result<()> {
+    w.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+    w.flush()
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// A parsed response on the client side.
+#[derive(Clone, Debug)]
+pub struct HttpResponse {
+    /// The status code.
+    pub status: u16,
+    /// Header name/value pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// Case-insensitive header lookup (first occurrence).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn invalid(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// A keep-alive HTTP client connection. [`HttpClient::send`] and
+/// [`HttpClient::read_response`] are split so callers can pipeline:
+/// write several requests, then read the responses in order.
+pub struct HttpClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl HttpClient {
+    /// Connects, with `timeout` bounding connect/read/write.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: &str, timeout: Option<Duration>) -> std::io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        // small framed requests; Nagle + delayed ACK would add ~40ms
+        // per request otherwise
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
+        let writer = stream.try_clone()?;
+        Ok(HttpClient {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Writes one request (with `Content-Length` framing) without
+    /// waiting for the response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn send(
+        &mut self,
+        method: &str,
+        target: &str,
+        extra: &[(&str, String)],
+        body: &[u8],
+    ) -> std::io::Result<()> {
+        let mut head = format!(
+            "{method} {target} HTTP/1.1\r\nhost: lagoon\r\ncontent-length: {}\r\n",
+            body.len()
+        );
+        for (name, value) in extra {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body)?;
+        self.writer.flush()
+    }
+
+    /// Reads one response (skipping any `100 Continue` interim).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or `InvalidData` on malformed framing.
+    pub fn read_response(&mut self) -> std::io::Result<HttpResponse> {
+        loop {
+            let response = self.read_one()?;
+            if response.status != 100 {
+                return Ok(response);
+            }
+        }
+    }
+
+    fn read_one(&mut self) -> std::io::Result<HttpResponse> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(invalid("connection closed before status line"));
+        }
+        let mut parts = line.trim_end().splitn(3, ' ');
+        let (version, status) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+        if !version.starts_with("HTTP/1.") {
+            return Err(invalid("bad status line"));
+        }
+        let status: u16 = status.parse().map_err(|_| invalid("bad status code"))?;
+        let mut headers = Vec::new();
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(invalid("connection closed in headers"));
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                headers.push((name.to_string(), value.trim().to_string()));
+            }
+        }
+        let len = headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+            .and_then(|(_, v)| v.parse::<usize>().ok())
+            .unwrap_or(0);
+        let mut body = vec![0u8; len];
+        self.reader.read_exact(&mut body)?;
+        Ok(HttpResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    /// [`HttpClient::send`] then [`HttpClient::read_response`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures and malformed framing.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        extra: &[(&str, String)],
+        body: &[u8],
+    ) -> std::io::Result<HttpResponse> {
+        self.send(method, target, extra, body)?;
+        self.read_response()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn head_of(raw: &str) -> Result<Head, HttpError> {
+        read_head(&mut Cursor::new(raw.as_bytes().to_vec()))
+    }
+
+    fn request_of(raw: &str, max_body: usize) -> Result<Request, HttpError> {
+        let mut r = Cursor::new(raw.as_bytes().to_vec());
+        let head = read_head(&mut r)?;
+        let body = read_body(&mut r, &head, max_body)?;
+        Ok(Request { head, body })
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_headers() {
+        let req = request_of(
+            "POST /v1/run?deep=0 HTTP/1.1\r\nHost: x\r\nX-Lagoon-Trace-Id: t-1\r\ncontent-length: 4\r\n\r\nabcd",
+            1024,
+        )
+        .expect("parse");
+        assert_eq!(req.head.method, "POST");
+        assert_eq!(req.path(), "/v1/run");
+        assert_eq!(req.header("x-lagoon-trace-id"), Some("t-1"));
+        assert_eq!(req.body, b"abcd");
+        assert!(req.head.keep_alive());
+    }
+
+    #[test]
+    fn bare_lf_and_leading_blank_lines_are_tolerated() {
+        let req = request_of("\r\n\nGET /v1/healthz HTTP/1.1\nhost: x\n\n", 1024).expect("parse");
+        assert_eq!(req.head.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn malformed_request_lines_are_rejected() {
+        assert!(matches!(
+            head_of("NONSENSE\r\n\r\n"),
+            Err(HttpError::BadRequestLine)
+        ));
+        assert!(matches!(
+            head_of("GET /x HTTP/1.1 extra\r\n\r\n"),
+            Err(HttpError::BadRequestLine)
+        ));
+        assert!(matches!(
+            head_of("get /x HTTP/1.1\r\n\r\n"),
+            Err(HttpError::BadRequestLine)
+        ));
+        assert!(matches!(
+            head_of("GET /x HTTP/2.0\r\n\r\n"),
+            Err(HttpError::UnsupportedVersion)
+        ));
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE));
+        assert!(matches!(head_of(&long), Err(HttpError::RequestLineTooLong)));
+    }
+
+    #[test]
+    fn oversized_and_malformed_headers_are_rejected() {
+        let big = format!(
+            "GET / HTTP/1.1\r\nx: {}\r\n\r\n",
+            "v".repeat(MAX_HEADER_LINE)
+        );
+        assert!(matches!(head_of(&big), Err(HttpError::HeadersTooLarge)));
+        let many = format!(
+            "GET / HTTP/1.1\r\n{}\r\n",
+            (0..=MAX_HEADERS)
+                .map(|i| format!("h{i}: v\r\n"))
+                .collect::<String>()
+        );
+        assert!(matches!(head_of(&many), Err(HttpError::HeadersTooLarge)));
+        assert!(matches!(
+            head_of("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(HttpError::BadHeader)
+        ));
+    }
+
+    #[test]
+    fn content_length_is_validated_and_capped() {
+        assert!(matches!(
+            request_of(
+                "POST /v1/run HTTP/1.1\r\ncontent-length: nope\r\n\r\n",
+                1024
+            ),
+            Err(HttpError::BadContentLength)
+        ));
+        assert!(matches!(
+            request_of("POST /v1/run HTTP/1.1\r\ncontent-length: -1\r\n\r\n", 1024),
+            Err(HttpError::BadContentLength)
+        ));
+        assert!(matches!(
+            request_of("POST /v1/run HTTP/1.1\r\nhost: x\r\n\r\n", 1024),
+            Err(HttpError::LengthRequired)
+        ));
+        assert!(matches!(
+            request_of(
+                "POST /v1/run HTTP/1.1\r\ncontent-length: 2048\r\n\r\n",
+                1024
+            ),
+            Err(HttpError::BodyTooLarge {
+                declared: 2048,
+                cap: 1024
+            })
+        ));
+        assert!(matches!(
+            request_of(
+                "POST /v1/run HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+                1024
+            ),
+            Err(HttpError::UnsupportedTransferEncoding)
+        ));
+    }
+
+    #[test]
+    fn keep_alive_defaults_follow_the_version() {
+        assert!(head_of("GET / HTTP/1.1\r\n\r\n").unwrap().keep_alive());
+        assert!(!head_of("GET / HTTP/1.0\r\n\r\n").unwrap().keep_alive());
+        assert!(!head_of("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .keep_alive());
+        assert!(head_of("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .keep_alive());
+    }
+
+    #[test]
+    fn pipelined_requests_parse_sequentially() {
+        let raw = "POST /v1/run HTTP/1.1\r\ncontent-length: 2\r\n\r\nhi\
+                   GET /v1/stats HTTP/1.1\r\n\r\n";
+        let mut r = Cursor::new(raw.as_bytes().to_vec());
+        let first = read_head(&mut r).expect("first head");
+        let body = read_body(&mut r, &first, 1024).expect("first body");
+        assert_eq!(body, b"hi");
+        let second = read_head(&mut r).expect("second head");
+        assert_eq!(second.path(), "/v1/stats");
+        assert!(matches!(read_head(&mut r), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_writer() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            503,
+            &[("retry-after", "1".to_string())],
+            b"{}",
+            true,
+        )
+        .expect("write");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,425 @@
+//! Shard management: each shard is one evaluation daemon — a spawned
+//! `lagoon serve` process or an in-process [`Server`] — plus the
+//! gateway-side state needed to route to it: a pool of idle NDJSON
+//! connections, an outstanding-request gauge for least-outstanding
+//! routing, and failure counters.
+//!
+//! The supervisor tick ([`Shard::ensure_live`]) is PR 7's worker
+//! respawn pattern lifted to process granularity: a shard whose
+//! process exits (crash, kill) is respawned in place with the same
+//! store directory, and the connection pool is flushed so stale
+//! sockets never serve the new address.
+
+use std::io::{BufRead, BufReader};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use lagoon_server::client::Connection;
+use lagoon_server::json::{obj, Json};
+use lagoon_server::{ServeOptions, Server};
+
+use crate::GatewayOptions;
+
+/// How a shard's daemon runs.
+#[derive(Clone, Debug)]
+pub enum ShardBackend {
+    /// Spawn `cmd... serve …` as a child process (the production
+    /// shape: shards are isolated OS processes sharing only the
+    /// content-addressed store).
+    Process {
+        /// The command prefix, usually `[path-to-lagoon-binary]`.
+        cmd: Vec<String>,
+    },
+    /// Run the daemon on threads inside this process (tests and the
+    /// bench harness's fallback when no `lagoon` binary is around).
+    InProcess,
+}
+
+enum Runtime {
+    Process(std::process::Child),
+    InProcess(Box<Server>),
+    /// Killed or exited; the supervisor respawns it on its next tick.
+    Dead,
+}
+
+struct ShardInner {
+    addr: String,
+    runtime: Runtime,
+    /// Idle keep-alive connections to this shard, reused across
+    /// requests (capped; see [`Shard::park`]).
+    idle: Vec<Connection>,
+}
+
+/// One shard: its running daemon and the routing state around it.
+pub struct Shard {
+    /// The shard's position in the gateway's shard vector.
+    pub index: usize,
+    inner: Mutex<ShardInner>,
+    /// Requests currently in flight against this shard — the
+    /// least-outstanding routing key.
+    pub outstanding: AtomicUsize,
+    /// Requests this shard completed (any response, shed or not).
+    pub done: AtomicU64,
+    /// Responses that were shedding rejections.
+    pub sheds: AtomicU64,
+    /// Transport failures talking to this shard.
+    pub conn_errors: AtomicU64,
+    /// Times the supervisor respawned this shard's daemon.
+    pub respawns: AtomicU64,
+    /// Aggregated per-phase milliseconds from proxied responses
+    /// (read/expand/typecheck/… buckets, PR 6's trace taxonomy).
+    phases: Mutex<std::collections::BTreeMap<String, f64>>,
+}
+
+/// Most idle connections parked per shard.
+const IDLE_POOL_CAP: usize = 8;
+
+/// Starts a backend per `opts`, returning its address and runtime.
+fn start_backend(opts: &GatewayOptions, index: usize) -> std::io::Result<(String, Runtime)> {
+    match &opts.backend {
+        ShardBackend::InProcess => {
+            let server = Server::start(ServeOptions {
+                addr: "127.0.0.1:0".to_string(),
+                workers: opts.workers_per_shard,
+                queue_cap: opts.queue_cap,
+                cache_dir: opts.cache_dir.clone(),
+                source_root: opts.source_root.clone(),
+                limits: opts.limits,
+                peephole: opts.peephole,
+                recycle_after: 0,
+                test_ops: opts.test_ops,
+                max_request_bytes: opts.shard_request_bytes(),
+            })?;
+            Ok((
+                server.addr().to_string(),
+                Runtime::InProcess(Box::new(server)),
+            ))
+        }
+        ShardBackend::Process { cmd } => {
+            let (program, prefix) = cmd
+                .split_first()
+                .ok_or_else(|| std::io::Error::other("empty shard command"))?;
+            let mut command = std::process::Command::new(program);
+            command.args(prefix);
+            command.args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                &opts.workers_per_shard.to_string(),
+                "--queue-cap",
+                &opts.queue_cap.to_string(),
+                "--max-request-bytes",
+                &opts.shard_request_bytes().to_string(),
+            ]);
+            if let Some(dir) = &opts.cache_dir {
+                command.args(["--cache-dir", &dir.display().to_string()]);
+            }
+            if let Some(root) = &opts.source_root {
+                command.args(["--root", &root.display().to_string()]);
+            }
+            if !opts.peephole {
+                command.arg("--no-peephole");
+            }
+            if opts.test_ops {
+                command.arg("--test-ops");
+            }
+            command.args(&opts.extra_shard_args);
+            command
+                .stdin(std::process::Stdio::null())
+                .stdout(std::process::Stdio::piped())
+                .stderr(std::process::Stdio::inherit());
+            let mut child = command.spawn()?;
+            let stdout = child
+                .stdout
+                .take()
+                .ok_or_else(|| std::io::Error::other("shard child has no stdout"))?;
+            let mut reader = BufReader::new(stdout);
+            let mut line = String::new();
+            let addr = loop {
+                line.clear();
+                if reader.read_line(&mut line)? == 0 {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(std::io::Error::other(format!(
+                        "shard {index} exited before announcing its address"
+                    )));
+                }
+                if let Some(rest) = line.trim().strip_prefix("listening on ") {
+                    break rest.to_string();
+                }
+            };
+            // Keep draining the child's stdout so it can never block on
+            // a full pipe (the daemon prints final stats on exit).
+            std::thread::spawn(move || {
+                let mut sink = String::new();
+                loop {
+                    sink.clear();
+                    match reader.read_line(&mut sink) {
+                        Ok(0) | Err(_) => break,
+                        Ok(_) => {}
+                    }
+                }
+            });
+            Ok((addr, Runtime::Process(child)))
+        }
+    }
+}
+
+impl Shard {
+    /// Starts shard `index` per the gateway options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spawn/bind failures.
+    pub fn start(opts: &GatewayOptions, index: usize) -> std::io::Result<Shard> {
+        let (addr, runtime) = start_backend(opts, index)?;
+        Ok(Shard {
+            index,
+            inner: Mutex::new(ShardInner {
+                addr,
+                runtime,
+                idle: Vec::new(),
+            }),
+            outstanding: AtomicUsize::new(0),
+            done: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
+            conn_errors: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            phases: Mutex::new(std::collections::BTreeMap::new()),
+        })
+    }
+
+    /// The shard daemon's current address.
+    pub fn addr(&self) -> String {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .addr
+            .clone()
+    }
+
+    /// Whether the shard's daemon is (as far as we know) running. A
+    /// freshly-killed process reads as live until the supervisor's
+    /// next tick reaps it — routing discovers the death first through
+    /// a connection error and fails over.
+    pub fn is_live(&self) -> bool {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match &mut inner.runtime {
+            Runtime::Dead => false,
+            Runtime::InProcess(_) => true,
+            Runtime::Process(child) => !matches!(child.try_wait(), Ok(Some(_))),
+        }
+    }
+
+    /// Sends one NDJSON line to this shard and reads the response,
+    /// reusing a pooled connection when one is parked. A stale pooled
+    /// connection (daemon restarted since it was parked) is retried
+    /// once on a fresh dial before the error surfaces.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures (after the one stale retry).
+    pub fn proxy(&self, line: &str, timeout: Option<Duration>) -> std::io::Result<String> {
+        let pooled = {
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.idle.pop().map(|c| (c, inner.addr.clone()))
+        };
+        if let Some((mut conn, addr)) = pooled {
+            match conn.roundtrip(line) {
+                Ok(response) if !response.is_empty() => {
+                    self.record(&response);
+                    self.park(conn, &addr);
+                    return Ok(response);
+                }
+                // EOF or error on a pooled socket: the daemon likely
+                // restarted; fall through to a fresh dial.
+                _ => {}
+            }
+        }
+        let addr = self.addr();
+        let mut conn = match Connection::connect(&addr, timeout) {
+            Ok(c) => c,
+            Err(e) => {
+                self.conn_errors.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        };
+        match conn.roundtrip(line) {
+            Ok(response) if !response.is_empty() => {
+                self.record(&response);
+                self.park(conn, &addr);
+                Ok(response)
+            }
+            Ok(_) => {
+                self.conn_errors.fetch_add(1, Ordering::Relaxed);
+                Err(std::io::Error::other("shard closed the connection"))
+            }
+            Err(e) => {
+                self.conn_errors.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Folds a successful response into the shard's counters and phase
+    /// buckets.
+    fn record(&self, response: &str) {
+        self.done.fetch_add(1, Ordering::Relaxed);
+        let Ok(parsed) = lagoon_server::json::parse(response) else {
+            return;
+        };
+        if parsed
+            .get("error")
+            .and_then(|e| e.get("reason"))
+            .and_then(Json::as_str)
+            .is_some()
+        {
+            self.sheds.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(Json::Obj(phases)) = parsed.get("phases") {
+            let mut agg = self.phases.lock().unwrap_or_else(|e| e.into_inner());
+            for (name, ms) in phases {
+                if let Json::Num(ms) = ms {
+                    *agg.entry(name.clone()).or_insert(0.0) += ms;
+                }
+            }
+        }
+    }
+
+    /// Parks an idle connection for reuse, unless the shard has moved
+    /// (respawn changed its address) or the pool is full.
+    fn park(&self, conn: Connection, addr: &str) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.addr == addr && inner.idle.len() < IDLE_POOL_CAP {
+            inner.idle.push(conn);
+        }
+    }
+
+    /// Kills the shard's daemon (test op / shutdown path). A process
+    /// backend is killed outright; an in-process backend is drained on
+    /// a detached thread. Either way the supervisor sees a dead shard
+    /// and respawns it on its next tick — unless the gateway is
+    /// shutting down.
+    pub fn kill(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.idle.clear();
+        match std::mem::replace(&mut inner.runtime, Runtime::Dead) {
+            Runtime::Dead => {}
+            Runtime::Process(mut child) => {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            Runtime::InProcess(server) => {
+                server.shutdown();
+                std::thread::spawn(move || server.wait());
+            }
+        }
+    }
+
+    /// Supervisor tick: if the daemon died (killed, crashed, or
+    /// exited), respawn it in place and flush the stale connection
+    /// pool. Returns whether a respawn happened.
+    pub fn ensure_live(&self, opts: &GatewayOptions) -> bool {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let dead = match &mut inner.runtime {
+            Runtime::Dead => true,
+            Runtime::InProcess(_) => false,
+            Runtime::Process(child) => match child.try_wait() {
+                Ok(Some(_)) => true,
+                Ok(None) => false,
+                Err(_) => true,
+            },
+        };
+        if !dead {
+            return false;
+        }
+        match start_backend(opts, self.index) {
+            Ok((addr, runtime)) => {
+                inner.addr = addr;
+                inner.runtime = runtime;
+                inner.idle.clear();
+                self.respawns.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(_) => {
+                // Spawn failed (transient fork/bind issue): leave the
+                // shard dead; the next tick tries again.
+                inner.runtime = Runtime::Dead;
+                false
+            }
+        }
+    }
+
+    /// Asks the shard's daemon for its own `stats` object.
+    pub fn daemon_stats(&self, timeout: Option<Duration>) -> Option<Json> {
+        let addr = self.addr();
+        let response =
+            lagoon_server::client::request_line(&addr, r#"{"op":"stats"}"#, timeout).ok()?;
+        lagoon_server::json::parse(&response).ok()
+    }
+
+    /// The gateway-side gauges for this shard as a JSON object.
+    pub fn gauges(&self) -> Json {
+        let phases = {
+            let agg = self.phases.lock().unwrap_or_else(|e| e.into_inner());
+            Json::Obj(
+                agg.iter()
+                    .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                    .collect(),
+            )
+        };
+        obj(vec![
+            ("index", Json::Num(self.index as f64)),
+            ("addr", Json::Str(self.addr())),
+            ("live", Json::Bool(self.is_live())),
+            (
+                "outstanding",
+                Json::Num(self.outstanding.load(Ordering::Relaxed) as f64),
+            ),
+            ("done", Json::Num(self.done.load(Ordering::Relaxed) as f64)),
+            (
+                "sheds",
+                Json::Num(self.sheds.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "conn_errors",
+                Json::Num(self.conn_errors.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "respawns",
+                Json::Num(self.respawns.load(Ordering::Relaxed) as f64),
+            ),
+            ("phases_ms", phases),
+        ])
+    }
+
+    /// Final teardown: ask the daemon to drain via its own protocol,
+    /// then reap it. Used by gateway shutdown (not the kill path).
+    pub fn stop(&self, timeout: Option<Duration>) {
+        let addr = self.addr();
+        let _ = lagoon_server::client::request_line(&addr, r#"{"op":"shutdown"}"#, timeout);
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.idle.clear();
+        match std::mem::replace(&mut inner.runtime, Runtime::Dead) {
+            Runtime::Dead => {}
+            Runtime::Process(mut child) => {
+                // Bounded wait for the drain, then force.
+                for _ in 0..100 {
+                    match child.try_wait() {
+                        Ok(Some(_)) => return,
+                        Ok(None) => std::thread::sleep(Duration::from_millis(20)),
+                        Err(_) => break,
+                    }
+                }
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            Runtime::InProcess(server) => {
+                server.shutdown();
+                server.wait();
+            }
+        }
+    }
+}

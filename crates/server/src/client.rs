@@ -81,6 +81,34 @@ pub fn is_retryable_response(line: &str) -> bool {
         && err.get("retryable").and_then(Json::as_bool) == Some(true)
 }
 
+/// The server's `retry_after_ms` hint on a shedding rejection, if any.
+/// Retrying clients prefer this over their own backoff schedule: the
+/// daemon knows whether it shed for a draining queue (tens of ms) or a
+/// dead worker pool (hundreds).
+pub fn retry_after_hint(line: &str) -> Option<Duration> {
+    let parsed = json::parse(line).ok()?;
+    let ms = parsed.get("error")?.get("retry_after_ms")?.as_u64()?;
+    Some(Duration::from_millis(ms))
+}
+
+/// The delay before the next retry: the server's hint (plus up to 50%
+/// jitter, so a shed burst does not return in lockstep) when the
+/// response carries one, the policy's own jittered backoff otherwise.
+fn retry_delay(
+    policy: &RetryPolicy,
+    attempt: u32,
+    rng: &mut u64,
+    hint: Option<Duration>,
+) -> Duration {
+    match hint {
+        Some(hint) => {
+            let jitter_ms = (hint.as_millis() / 2).max(1) as u64;
+            (hint + Duration::from_millis(splitmix64(rng) % jitter_ms)).min(policy.max)
+        }
+        None => policy.delay(attempt, rng),
+    }
+}
+
 /// [`request_line`] with retry-and-jittered-backoff: I/O failures and
 /// retryable daemon rejections are retried up to `policy.attempts`
 /// total attempts. Returns the last response (or the last I/O error if
@@ -101,15 +129,15 @@ pub fn request_line_retry(
     let mut retries = 0;
     loop {
         let outcome = request_line(addr, line, timeout);
-        let retry = match &outcome {
-            Ok(response) => is_retryable_response(response),
-            Err(_) => true,
+        let (retry, hint) = match &outcome {
+            Ok(response) => (is_retryable_response(response), retry_after_hint(response)),
+            Err(_) => (true, None),
         };
         if !retry || retries + 1 >= attempts {
             return outcome.map(|r| (r, retries));
         }
         retries += 1;
-        std::thread::sleep(policy.delay(retries, &mut rng));
+        std::thread::sleep(retry_delay(policy, retries, &mut rng, hint));
     }
 }
 
@@ -121,6 +149,9 @@ pub fn request_line_retry(
 /// Propagates connection and I/O failures.
 pub fn request_line(addr: &str, line: &str, timeout: Option<Duration>) -> std::io::Result<String> {
     let stream = TcpStream::connect(addr)?;
+    // small request/response lines; Nagle + delayed ACK would add
+    // ~40ms per hop otherwise
+    let _ = stream.set_nodelay(true);
     stream.set_read_timeout(timeout)?;
     stream.set_write_timeout(timeout)?;
     let mut writer = stream.try_clone()?;
@@ -146,6 +177,7 @@ impl Connection {
     /// Propagates connection failures.
     pub fn connect(addr: &str, timeout: Option<Duration>) -> std::io::Result<Connection> {
         let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
         stream.set_read_timeout(timeout)?;
         stream.set_write_timeout(timeout)?;
         let writer = stream.try_clone()?;
@@ -168,6 +200,118 @@ impl Connection {
         self.reader.read_line(&mut response)?;
         Ok(response.trim_end().to_string())
     }
+}
+
+/// The outcome of [`repeat_request`]: per-request responses plus the
+/// connection-level counters that show the reuse actually happened.
+#[derive(Debug, Default)]
+pub struct RepeatOutcome {
+    /// Responses with `"ok": true`.
+    pub ok: u64,
+    /// Responses that were errors (after retries were exhausted).
+    pub errors: u64,
+    /// Shed-retries taken across all requests.
+    pub retries: u64,
+    /// Fresh connections dialed after the first (0 = one connection
+    /// served every request).
+    pub reconnects: u64,
+    /// Wall-clock for the whole batch.
+    pub wall: Duration,
+    /// The final response line of each request, in order.
+    pub responses: Vec<String>,
+}
+
+/// Sends `line` `repeat` times over **one** persistent [`Connection`],
+/// reconnecting only when the transport fails (daemon restart, reset),
+/// and honoring retryable sheds — with the server's `retry_after_ms`
+/// hint when present — per `policy`. Backs `lagoon remote --repeat`.
+///
+/// # Errors
+///
+/// Returns the final I/O error only if a connection can never be
+/// (re-)established within the policy's attempts; shed responses and
+/// program errors are recorded in the outcome, not raised.
+pub fn repeat_request(
+    addr: &str,
+    line: &str,
+    repeat: u64,
+    timeout: Option<Duration>,
+    policy: &RetryPolicy,
+) -> std::io::Result<RepeatOutcome> {
+    let started = std::time::Instant::now();
+    let mut rng = policy.seed;
+    let attempts = policy.attempts.max(1);
+    let mut outcome = RepeatOutcome::default();
+    let mut conn: Option<Connection> = None;
+    for _ in 0..repeat.max(1) {
+        let mut tries = 0u32;
+        let response = loop {
+            if conn.is_none() {
+                match Connection::connect(addr, timeout) {
+                    Ok(c) => {
+                        if outcome.responses.is_empty() && tries == 0 {
+                            // first dial, not a reconnect
+                        } else {
+                            outcome.reconnects += 1;
+                        }
+                        conn = Some(c);
+                    }
+                    Err(e) => {
+                        tries += 1;
+                        if tries >= attempts {
+                            return Err(e);
+                        }
+                        outcome.retries += 1;
+                        std::thread::sleep(policy.delay(tries, &mut rng));
+                        continue;
+                    }
+                }
+            }
+            let result = conn
+                .as_mut()
+                .map(|c| c.roundtrip(line))
+                .unwrap_or_else(|| Err(std::io::Error::other("no connection")));
+            match result {
+                // An empty line is EOF: the daemon closed on us.
+                Ok(response) if !response.is_empty() => {
+                    if is_retryable_response(&response) {
+                        tries += 1;
+                        if tries >= attempts {
+                            break response;
+                        }
+                        let hint = retry_after_hint(&response);
+                        outcome.retries += 1;
+                        std::thread::sleep(retry_delay(policy, tries, &mut rng, hint));
+                        continue;
+                    }
+                    break response;
+                }
+                Ok(_) | Err(_) => {
+                    conn = None;
+                    tries += 1;
+                    if tries >= attempts {
+                        return Err(std::io::Error::other(
+                            "connection lost and retries exhausted",
+                        ));
+                    }
+                    outcome.retries += 1;
+                    std::thread::sleep(policy.delay(tries, &mut rng));
+                }
+            }
+        };
+        let ok = json::parse(&response)
+            .ok()
+            .and_then(|r| r.get("ok").and_then(Json::as_bool))
+            == Some(true);
+        if ok {
+            outcome.ok += 1;
+        } else {
+            outcome.errors += 1;
+        }
+        outcome.responses.push(response);
+    }
+    outcome.wall = started.elapsed();
+    Ok(outcome)
 }
 
 /// Builds a request object for `op` against an inline source text.
@@ -193,4 +337,32 @@ pub fn module_request(op: &str, module: &str) -> String {
         ("module", Json::Str(module.to_string())),
     ])
     .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHED: &str = r#"{"ok":false,"error":{"kind":"resource-exhausted","message":"m",
+        "reason":"queue-full","retryable":true,"retry_after_ms":25}}"#;
+
+    #[test]
+    fn retry_hint_is_read_from_shed_responses() {
+        assert_eq!(retry_after_hint(SHED), Some(Duration::from_millis(25)));
+        assert_eq!(retry_after_hint(r#"{"ok":true}"#), None);
+        assert_eq!(retry_after_hint("not json"), None);
+    }
+
+    #[test]
+    fn hinted_delay_stays_near_the_hint_and_below_the_ceiling() {
+        let policy = RetryPolicy::default();
+        let mut rng = 7;
+        for _ in 0..32 {
+            let d = retry_delay(&policy, 1, &mut rng, Some(Duration::from_millis(100)));
+            assert!(d >= Duration::from_millis(100) && d <= Duration::from_millis(150));
+        }
+        // A hint above the ceiling is clamped to it.
+        let d = retry_delay(&policy, 1, &mut rng, Some(Duration::from_secs(10)));
+        assert!(d <= policy.max);
+    }
 }

@@ -55,6 +55,12 @@ pub struct ServeOptions {
     /// Enables the `test-panic`/`test-kill` ops that deliberately crash
     /// a worker — for the self-healing tests and CI probes only.
     pub test_ops: bool,
+    /// Longest accepted request line in bytes (clamped to at least
+    /// 1024). A longer NDJSON line is answered with a structured
+    /// `resource-exhausted` / `request-too-large` error instead of
+    /// being buffered without bound; the gateway enforces the same cap
+    /// as its HTTP `Content-Length` limit.
+    pub max_request_bytes: usize,
 }
 
 impl Default for ServeOptions {
@@ -69,9 +75,13 @@ impl Default for ServeOptions {
             peephole: lagoon_vm::peephole::enabled(),
             recycle_after: 0,
             test_ops: false,
+            max_request_bytes: DEFAULT_MAX_REQUEST_BYTES,
         }
     }
 }
+
+/// Default cap on a single NDJSON request line (1 MiB).
+pub const DEFAULT_MAX_REQUEST_BYTES: usize = 1 << 20;
 
 struct Job {
     request: Json,
@@ -86,6 +96,10 @@ struct QueueState {
 /// out rather than growing without bound in a long-lived daemon.
 const DEPTH_SERIES_CAP: usize = 512;
 const WORKER_SPANS_CAP: usize = 256;
+
+/// Most jobs a worker claims in one wake; keeps a single worker from
+/// hoarding a burst while its peers idle.
+const WAKE_BATCH_CAP: usize = 8;
 
 /// One completed request as a worker-occupancy span (for the `stats`
 /// op's `worker_spans` gauge).
@@ -129,6 +143,10 @@ struct StatsInner {
     depth_series: std::collections::VecDeque<(u64, u64)>,
     /// Recent completed requests as worker busy spans.
     worker_spans: std::collections::VecDeque<WorkerSpan>,
+    /// Worker wakeups that claimed at least one job, and the jobs they
+    /// claimed: `batched_jobs / batch_wakes` is the mean batch size.
+    batch_wakes: u64,
+    batched_jobs: u64,
 }
 
 struct Shared {
@@ -293,6 +311,8 @@ impl Shared {
                     ("capacity", Json::Num(self.opts.queue_cap as f64)),
                     ("enqueued", Json::Num(s.enqueued as f64)),
                     ("rejected", Json::Num(s.rejected as f64)),
+                    ("batch_wakes", Json::Num(s.batch_wakes as f64)),
+                    ("batched_jobs", Json::Num(s.batched_jobs as f64)),
                     ("depth_series", Json::Arr(depth_series)),
                 ]),
             ),
@@ -600,7 +620,10 @@ pub fn install_sigterm_handler() {
     sig::install();
 }
 
-fn sigterm_triggered() -> bool {
+/// Whether SIGTERM has been delivered since
+/// [`install_sigterm_handler`] ran (always false off unix). The
+/// gateway's acceptor polls this the same way the daemon's does.
+pub fn sigterm_triggered() -> bool {
     #[cfg(unix)]
     {
         sig::triggered()
@@ -625,6 +648,7 @@ fn acceptor_main(listener: TcpListener, shared: &Arc<Shared>) {
         }
         match listener.accept() {
             Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
                 let shared = Arc::clone(shared);
                 std::thread::spawn(move || connection_main(stream, &shared));
             }
@@ -651,32 +675,109 @@ fn error_json(kind: &str, message: &str) -> Json {
 
 /// An admission rejection: `resource-exhausted` with a shedding
 /// `reason` ("queue-full" | "workers-degraded" | "workers-unavailable"
-/// | "shutting-down") and a `retryable` flag. Clients with a retry
-/// policy back off and retry exactly these — a program that exhausted
-/// its *own* budget carries a `budget` field instead and is never
-/// retried.
+/// | "shutting-down" | "request-too-large") and a `retryable` flag.
+/// Clients with a retry policy back off and retry exactly these — a
+/// program that exhausted its *own* budget carries a `budget` field
+/// instead and is never retried. Retryable sheds also carry a
+/// `retry_after_ms` hint sized to how long the condition usually
+/// lasts: a full queue drains in tens of milliseconds, a degraded pool
+/// needs a respawn, an empty pool needs several.
 fn reject_json(reason: &str, message: &str) -> Json {
-    let retryable = reason != "shutting-down";
-    obj(vec![
-        ("ok", Json::Bool(false)),
-        (
-            "error",
-            obj(vec![
-                ("kind", Json::Str("resource-exhausted".to_string())),
-                ("message", Json::Str(message.to_string())),
-                ("reason", Json::Str(reason.to_string())),
-                ("retryable", Json::Bool(retryable)),
-            ]),
-        ),
-    ])
+    let retryable = matches!(
+        reason,
+        "queue-full" | "workers-degraded" | "workers-unavailable"
+    );
+    let retry_after_ms = match reason {
+        "queue-full" => Some(25.0),
+        "workers-degraded" => Some(50.0),
+        "workers-unavailable" => Some(100.0),
+        _ => None,
+    };
+    let mut fields = vec![
+        ("kind", Json::Str("resource-exhausted".to_string())),
+        ("message", Json::Str(message.to_string())),
+        ("reason", Json::Str(reason.to_string())),
+        ("retryable", Json::Bool(retryable)),
+    ];
+    if let Some(ms) = retry_after_ms {
+        fields.push(("retry_after_ms", Json::Num(ms)));
+    }
+    obj(vec![("ok", Json::Bool(false)), ("error", obj(fields))])
+}
+
+/// One bounded-read outcome: a complete line, an over-cap line (fully
+/// drained off the stream, so the connection stays framed), or EOF.
+enum BoundedLine {
+    Line(String),
+    TooLong,
+    Eof,
+}
+
+/// Reads one `\n`-terminated line, buffering at most `cap` bytes. An
+/// over-long line is consumed to its newline with bounded memory — the
+/// connection can keep serving after the structured rejection.
+fn read_bounded_line(reader: &mut impl BufRead, cap: usize) -> std::io::Result<BoundedLine> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut over = false;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(if over {
+                BoundedLine::TooLong
+            } else if buf.is_empty() {
+                BoundedLine::Eof
+            } else {
+                BoundedLine::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        if let Some(pos) = chunk.iter().position(|b| *b == b'\n') {
+            if !over {
+                buf.extend_from_slice(&chunk[..pos]);
+            }
+            reader.consume(pos + 1);
+            return Ok(if over || buf.len() > cap {
+                BoundedLine::TooLong
+            } else {
+                BoundedLine::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        let n = chunk.len();
+        if !over {
+            if buf.len() + n > cap {
+                over = true;
+                buf.clear();
+            } else {
+                buf.extend_from_slice(chunk);
+            }
+        }
+        reader.consume(n);
+    }
 }
 
 fn connection_main(stream: TcpStream, shared: &Arc<Shared>) {
     let Ok(peer) = stream.try_clone() else { return };
     let mut writer = peer;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { return };
+    let mut reader = BufReader::new(stream);
+    let cap = shared.opts.max_request_bytes.max(1024);
+    loop {
+        let line = match read_bounded_line(&mut reader, cap) {
+            Err(_) | Ok(BoundedLine::Eof) => return,
+            Ok(BoundedLine::TooLong) => {
+                let response = reject_json(
+                    "request-too-large",
+                    &format!("request line exceeds {cap} bytes"),
+                )
+                .to_string();
+                if writer.write_all(response.as_bytes()).is_err()
+                    || writer.write_all(b"\n").is_err()
+                    || writer.flush().is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+            Ok(BoundedLine::Line(line)) => line,
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -869,11 +970,20 @@ fn worker_main(index: usize, shared: &Arc<Shared>) {
     static TRACE_SEQ: AtomicU64 = AtomicU64::new(0);
 
     loop {
-        let job = {
+        // Batch per wake: grab a fair share of the queue (depth divided
+        // by live workers, capped) under one lock acquisition, instead
+        // of one lock round-trip per job. Under a burst this turns N
+        // wakeups into roughly N/batch lock acquisitions; under light
+        // load the batch is one job and behavior is unchanged.
+        let batch = {
             let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
-                if let Some(job) = q.jobs.pop_front() {
-                    break Some(job);
+                if !q.jobs.is_empty() {
+                    let live = shared.live_workers.load(Ordering::SeqCst).max(1);
+                    let depth = q.jobs.len();
+                    let take = depth.div_ceil(live).clamp(1, WAKE_BATCH_CAP);
+                    let batch: Vec<Job> = q.jobs.drain(..take.min(depth)).collect();
+                    break Some(batch);
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break None;
@@ -885,106 +995,112 @@ fn worker_main(index: usize, shared: &Arc<Shared>) {
                 q = guard;
             }
         };
-        let Some(job) = job else { return };
-
-        let start = Instant::now();
-        let start_ms = start.duration_since(shared.started).as_secs_f64() * 1e3;
-        let op = job
-            .request
-            .get("op")
-            .and_then(Json::as_str)
-            .unwrap_or("run")
-            .to_string();
-        if op == "test-kill" && shared.opts.test_ops {
-            // Simulates a crashed worker: die outside every barrier,
-            // dropping `job.reply` (client sees a structured error) and
-            // leaving the thread to the supervisor.
-            panic!("test-kill: deliberate worker death");
-        }
-        let trace_id = request_trace_id(&job.request, &TRACE_SEQ);
-
-        // Reclamation checkpoint: if the request leaves the persistent
-        // registry footprint unchanged, everything it interned and
-        // bound is garbage afterwards.
-        let footprint = registry.persistent_footprint();
-        let scope_watermark = lagoon_syntax::Scope::watermark();
-        let epoch = lagoon_syntax::epoch_mark();
-
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            handle_request(&registry, &job.request, &op, shared, &REQ_ID)
-        }));
-        let (response, panicked) = match outcome {
-            Ok((response, panicked)) => (response, panicked),
-            Err(_) => (
-                error_json("internal", "internal error: request panicked"),
-                true,
-            ),
-        };
-
-        if panicked {
-            // The inner barrier (or the one above) contained a panic,
-            // but mid-flight registry state (cycle guards, partial
-            // compiles) may be dirty: rebuild the whole world.
-            {
-                let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
-                stats.panics += 1;
-            }
-            drop(registry);
-            lagoon_syntax::epoch_reset();
-            registry = build_world(shared);
-            served_since_build = 0;
-            report_epoch_gauge(shared, index, true);
-        } else if registry.persistent_footprint() == footprint {
-            // Truncate first so the binding-table sweep sees the
-            // request's symbols as dead.
-            registry.reset_instances();
-            lagoon_syntax::epoch_truncate(epoch);
-            registry.sweep_ephemeral(scope_watermark);
-            report_epoch_gauge(shared, index, false);
-        } else {
-            // The request warmed a named module; its world is now part
-            // of the persistent working set. Growth converges to the
-            // named-module set; `--recycle-after` bounds the rest.
-            report_epoch_gauge(shared, index, false);
-        }
-
-        served_since_build += 1;
-        if shared.opts.recycle_after > 0 && served_since_build >= shared.opts.recycle_after {
-            drop(registry);
-            lagoon_syntax::epoch_reset();
-            registry = build_world(shared);
-            served_since_build = 0;
-            {
-                let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
-                stats.recycles += 1;
-            }
-            report_epoch_gauge(shared, index, true);
-        }
-
-        let latency = start.elapsed();
-        let is_err = response.get("ok").and_then(Json::as_bool) != Some(true);
-        let depth = {
-            let q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-            q.jobs.len() as u64
-        };
+        let Some(batch) = batch else { return };
         {
             let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
-            stats.record_op(&op, latency, index, is_err);
-            stats.record_depth(shared.started.elapsed().as_millis() as u64, depth);
-            stats.record_span(WorkerSpan {
-                worker: index,
-                op: op.clone(),
-                trace_id: trace_id.clone(),
-                start_ms,
-                dur_ms: latency.as_secs_f64() * 1e3,
-            });
+            stats.batch_wakes += 1;
+            stats.batched_jobs += batch.len() as u64;
         }
-        let mut response = response;
-        if let Json::Obj(map) = &mut response {
-            map.insert("micros".to_string(), Json::Num(latency.as_micros() as f64));
-            map.insert("trace_id".to_string(), Json::Str(trace_id));
+        for job in batch {
+            let start = Instant::now();
+            let start_ms = start.duration_since(shared.started).as_secs_f64() * 1e3;
+            let op = job
+                .request
+                .get("op")
+                .and_then(Json::as_str)
+                .unwrap_or("run")
+                .to_string();
+            if op == "test-kill" && shared.opts.test_ops {
+                // Simulates a crashed worker: die outside every barrier,
+                // dropping `job.reply` (client sees a structured error) and
+                // leaving the thread to the supervisor.
+                panic!("test-kill: deliberate worker death");
+            }
+            let trace_id = request_trace_id(&job.request, &TRACE_SEQ);
+
+            // Reclamation checkpoint: if the request leaves the persistent
+            // registry footprint unchanged, everything it interned and
+            // bound is garbage afterwards.
+            let footprint = registry.persistent_footprint();
+            let scope_watermark = lagoon_syntax::Scope::watermark();
+            let epoch = lagoon_syntax::epoch_mark();
+
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                handle_request(&registry, &job.request, &op, shared, &REQ_ID)
+            }));
+            let (response, panicked) = match outcome {
+                Ok((response, panicked)) => (response, panicked),
+                Err(_) => (
+                    error_json("internal", "internal error: request panicked"),
+                    true,
+                ),
+            };
+
+            if panicked {
+                // The inner barrier (or the one above) contained a panic,
+                // but mid-flight registry state (cycle guards, partial
+                // compiles) may be dirty: rebuild the whole world.
+                {
+                    let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+                    stats.panics += 1;
+                }
+                drop(registry);
+                lagoon_syntax::epoch_reset();
+                registry = build_world(shared);
+                served_since_build = 0;
+                report_epoch_gauge(shared, index, true);
+            } else if registry.persistent_footprint() == footprint {
+                // Truncate first so the binding-table sweep sees the
+                // request's symbols as dead.
+                registry.reset_instances();
+                lagoon_syntax::epoch_truncate(epoch);
+                registry.sweep_ephemeral(scope_watermark);
+                report_epoch_gauge(shared, index, false);
+            } else {
+                // The request warmed a named module; its world is now part
+                // of the persistent working set. Growth converges to the
+                // named-module set; `--recycle-after` bounds the rest.
+                report_epoch_gauge(shared, index, false);
+            }
+
+            served_since_build += 1;
+            if shared.opts.recycle_after > 0 && served_since_build >= shared.opts.recycle_after {
+                drop(registry);
+                lagoon_syntax::epoch_reset();
+                registry = build_world(shared);
+                served_since_build = 0;
+                {
+                    let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+                    stats.recycles += 1;
+                }
+                report_epoch_gauge(shared, index, true);
+            }
+
+            let latency = start.elapsed();
+            let is_err = response.get("ok").and_then(Json::as_bool) != Some(true);
+            let depth = {
+                let q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                q.jobs.len() as u64
+            };
+            {
+                let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+                stats.record_op(&op, latency, index, is_err);
+                stats.record_depth(shared.started.elapsed().as_millis() as u64, depth);
+                stats.record_span(WorkerSpan {
+                    worker: index,
+                    op: op.clone(),
+                    trace_id: trace_id.clone(),
+                    start_ms,
+                    dur_ms: latency.as_secs_f64() * 1e3,
+                });
+            }
+            let mut response = response;
+            if let Json::Obj(map) = &mut response {
+                map.insert("micros".to_string(), Json::Num(latency.as_micros() as f64));
+                map.insert("trace_id".to_string(), Json::Str(trace_id));
+            }
+            let _ = job.reply.send(response.to_string());
         }
-        let _ = job.reply.send(response.to_string());
     }
 }
 
@@ -1139,6 +1255,51 @@ fn handle_request(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bounded_line_read_caps_and_resyncs() {
+        let data = format!("ok\n{}\nafter\n", "x".repeat(64));
+        let mut r = std::io::Cursor::new(data.into_bytes());
+        assert!(matches!(
+            read_bounded_line(&mut r, 16).unwrap(),
+            BoundedLine::Line(l) if l == "ok"
+        ));
+        // The over-long line is consumed (bounded memory), and the
+        // stream stays framed: the next line parses normally.
+        assert!(matches!(
+            read_bounded_line(&mut r, 16).unwrap(),
+            BoundedLine::TooLong
+        ));
+        assert!(matches!(
+            read_bounded_line(&mut r, 16).unwrap(),
+            BoundedLine::Line(l) if l == "after"
+        ));
+        assert!(matches!(
+            read_bounded_line(&mut r, 16).unwrap(),
+            BoundedLine::Eof
+        ));
+    }
+
+    #[test]
+    fn reject_json_carries_retry_hints() {
+        let err = |reason: &str| reject_json(reason, "m");
+        for (reason, ms) in [
+            ("queue-full", 25),
+            ("workers-degraded", 50),
+            ("workers-unavailable", 100),
+        ] {
+            let r = err(reason);
+            let e = r.get("error").expect("error");
+            assert_eq!(e.get("retryable").and_then(Json::as_bool), Some(true));
+            assert_eq!(e.get("retry_after_ms").and_then(Json::as_u64), Some(ms));
+        }
+        for reason in ["shutting-down", "request-too-large"] {
+            let r = err(reason);
+            let e = r.get("error").expect("error");
+            assert_eq!(e.get("retryable").and_then(Json::as_bool), Some(false));
+            assert!(e.get("retry_after_ms").is_none());
+        }
+    }
 
     #[test]
     fn merge_limits_only_tightens() {

@@ -43,15 +43,30 @@
 //!                                      trace track per worker.
 //! lagoon serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!              [--root <dir>] [--cache-dir <dir>] [--no-peephole]
-//!              [limit options]         evaluation daemon: newline-delimited
+//!              [--max-request-bytes B] [limit options]
+//!                                      evaluation daemon: newline-delimited
 //!                                      JSON requests over TCP, bounded
 //!                                      queue with backpressure, per-request
-//!                                      limits, graceful drain on SIGTERM or
+//!                                      limits and request-size cap, graceful
+//!                                      drain on SIGTERM or
 //!                                      {"op":"shutdown"}.
+//! lagoon gateway [--addr HOST:PORT] [--shards N] [--workers-per-shard M]
+//!              [--queue-cap N] [--root <dir>] [--cache-dir <dir>]
+//!              [--no-peephole] [--max-request-bytes B] [limit options]
+//!                                      HTTP/1.1 front end over N daemon
+//!                                      shards (spawned `lagoon serve`
+//!                                      processes sharing one .lagc store):
+//!                                      POST /v1/run|expand|check and GET
+//!                                      /v1/stats|healthz, keep-alive and
+//!                                      pipelining, least-outstanding
+//!                                      routing with shed-aware failover,
+//!                                      dead shards respawned in place.
 //! lagoon remote --addr HOST:PORT <run|expand|check> <file.lag> [--json]
-//!              [limit options]
+//!              [--repeat N] [limit options]
 //! lagoon remote --addr HOST:PORT <stats|shutdown> [--json]
-//!                                      client for a running daemon.
+//!                                      client for a running daemon;
+//!                                      --repeat sends the request N times
+//!                                      over one persistent connection.
 //!
 //! limit options (resource budgets; runaway programs become diagnostics):
 //!   --max-steps <n>          run-time VM/interpreter steps
@@ -69,7 +84,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  lagoon run <file.lag> [--interp] [--stats [--json]] [--no-peephole] [--no-cache] [--cache-dir <dir>] [--trace <out.json>] [limit options]\n  lagoon expand <file.lag> [--timings]\n  lagoon repl [--typed]\n  lagoon build <entry.lag>... [--jobs N] [--cache-dir <dir>] [--no-peephole] [--stats [--json]] [--trace <out.json>] [limit options]\n  lagoon serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--recycle-after N] [--root <dir>] [--cache-dir <dir>] [--no-peephole] [limit options]\n  lagoon remote --addr HOST:PORT <run|expand|check|stats|shutdown> [<file.lag>] [--json] [--retries N] [--backoff-ms B] [limit options]\n\nlimit options:\n  --max-steps <n>  --max-expand-steps <n>  --max-expand-depth <n>\n  --max-phase1-steps <n>  --max-stack-depth <n>  --timeout-ms <n>"
+        "usage:\n  lagoon run <file.lag> [--interp] [--stats [--json]] [--no-peephole] [--no-cache] [--cache-dir <dir>] [--trace <out.json>] [limit options]\n  lagoon expand <file.lag> [--timings]\n  lagoon repl [--typed]\n  lagoon build <entry.lag>... [--jobs N] [--cache-dir <dir>] [--no-peephole] [--stats [--json]] [--trace <out.json>] [limit options]\n  lagoon serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--recycle-after N] [--root <dir>] [--cache-dir <dir>] [--no-peephole] [--max-request-bytes B] [limit options]\n  lagoon gateway [--addr HOST:PORT] [--shards N] [--workers-per-shard M] [--queue-cap N] [--root <dir>] [--cache-dir <dir>] [--no-peephole] [--max-request-bytes B] [limit options]\n  lagoon remote --addr HOST:PORT <run|expand|check|stats|shutdown> [<file.lag>] [--json] [--repeat N] [--retries N] [--backoff-ms B] [limit options]\n\nlimit options:\n  --max-steps <n>  --max-expand-steps <n>  --max-expand-depth <n>\n  --max-phase1-steps <n>  --max-stack-depth <n>  --timeout-ms <n>"
     );
     ExitCode::from(2)
 }
@@ -177,6 +192,7 @@ fn main() -> ExitCode {
         Some("repl") => repl(args.iter().any(|a| a == "--typed")),
         Some("build") => build_cmd(&args[1..]),
         Some("serve") => serve_cmd(&args[1..]),
+        Some("gateway") => gateway_cmd(&args[1..]),
         Some("remote") => remote_cmd(&args[1..]),
         _ => usage(),
     }
@@ -324,6 +340,17 @@ fn serve_cmd(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let max_request_bytes = match parse_flag(
+        args,
+        "--max-request-bytes",
+        lagoon::server::daemon::DEFAULT_MAX_REQUEST_BYTES,
+    ) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
     let opts = lagoon::server::ServeOptions {
         addr: flag_value(args, "--addr")
             .unwrap_or("127.0.0.1:0")
@@ -338,6 +365,7 @@ fn serve_cmd(args: &[String]) -> ExitCode {
         // Undocumented: enables the fault-injection ops ("test-panic",
         // "test-kill") the supervision tests drive.
         test_ops: args.iter().any(|a| a == "--test-ops"),
+        max_request_bytes,
     };
     lagoon::server::install_sigterm_handler();
     let server = match lagoon::server::Server::start(opts) {
@@ -354,6 +382,92 @@ fn serve_cmd(args: &[String]) -> ExitCode {
     } else {
         server.wait();
     }
+    ExitCode::SUCCESS
+}
+
+/// `lagoon gateway`: the HTTP/1.1 front end over a pool of spawned
+/// `lagoon serve` shard processes sharing one compiled store.
+fn gateway_cmd(args: &[String]) -> ExitCode {
+    let limits = match parse_limits(args) {
+        Ok(l) => l.unwrap_or_default(),
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let parsed: Result<(usize, usize, usize, usize), String> = (|| {
+        Ok((
+            parse_flag(args, "--shards", 2usize)?,
+            parse_flag(args, "--workers-per-shard", 2usize)?,
+            parse_flag(args, "--queue-cap", 64usize)?,
+            parse_flag(args, "--max-request-bytes", 1usize << 20)?,
+        ))
+    })();
+    let (shards, workers_per_shard, queue_cap, max_body_bytes) = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cannot locate the lagoon binary for shard spawning: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Limit flags pass through to each spawned shard daemon verbatim.
+    let mut extra_shard_args = Vec::new();
+    for flag in [
+        "--max-steps",
+        "--max-expand-steps",
+        "--max-expand-depth",
+        "--max-phase1-steps",
+        "--max-stack-depth",
+        "--timeout-ms",
+        "--recycle-after",
+    ] {
+        if let Some(v) = flag_value(args, flag) {
+            extra_shard_args.push(flag.to_string());
+            extra_shard_args.push(v.to_string());
+        }
+    }
+    let opts = lagoon::gateway::GatewayOptions {
+        addr: flag_value(args, "--addr")
+            .unwrap_or("127.0.0.1:0")
+            .to_string(),
+        shards,
+        workers_per_shard,
+        queue_cap,
+        backend: lagoon::gateway::shard::ShardBackend::Process {
+            cmd: vec![exe.display().to_string()],
+        },
+        cache_dir: flag_value(args, "--cache-dir").map(PathBuf::from),
+        source_root: flag_value(args, "--root").map(PathBuf::from),
+        limits,
+        peephole: !args.iter().any(|a| a == "--no-peephole"),
+        max_body_bytes,
+        request_timeout: Some(std::time::Duration::from_secs(60)),
+        test_ops: args.iter().any(|a| a == "--test-ops"),
+        extra_shard_args,
+    };
+    lagoon::server::install_sigterm_handler();
+    let gateway = match lagoon::gateway::Gateway::start(opts) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("cannot start gateway: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "gateway listening on {} ({shards} shard{} x {workers_per_shard} worker{})",
+        gateway.addr(),
+        if shards == 1 { "" } else { "s" },
+        if workers_per_shard == 1 { "" } else { "s" },
+    );
+    let _ = std::io::stdout().flush();
+    gateway.wait();
     ExitCode::SUCCESS
 }
 
@@ -430,6 +544,48 @@ fn remote_cmd(args: &[String]) -> ExitCode {
         ..Default::default()
     };
     let timeout = Some(std::time::Duration::from_secs(60));
+    let repeat = match parse_flag(args, "--repeat", 1u64) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    if repeat > 1 {
+        // One persistent connection for the whole batch, reconnecting
+        // only on transport failure, honoring shed retry-after hints.
+        return match lagoon::server::client::repeat_request(
+            addr, &request, repeat, timeout, &policy,
+        ) {
+            Ok(outcome) => {
+                if args.iter().any(|a| a == "--json") {
+                    for response in &outcome.responses {
+                        println!("{response}");
+                    }
+                } else {
+                    println!(
+                        "{} ok, {} error{} over {repeat} requests in {:.1} ms \
+                         ({} retries, {} reconnects)",
+                        outcome.ok,
+                        outcome.errors,
+                        if outcome.errors == 1 { "" } else { "s" },
+                        outcome.wall.as_secs_f64() * 1e3,
+                        outcome.retries,
+                        outcome.reconnects,
+                    );
+                }
+                if outcome.errors == 0 {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("request failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match lagoon::server::client::request_line_retry(addr, &request, timeout, &policy) {
         Ok((response, _retries)) => {
             if args.iter().any(|a| a == "--json") {

@@ -1,0 +1,312 @@
+//! Integration tests for the HTTP gateway: a real `lagoon gateway`
+//! process (two spawned daemon shards sharing one store) takes raw
+//! sockets probing the HTTP/1.1 parser's edges, pipelined and
+//! keep-alive traffic, trace-id propagation, and a shard kill with
+//! failover and supervised respawn.
+
+use lagoon::gateway::http::HttpClient;
+use lagoon::server::json::{self, Json};
+use std::io::{BufRead, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+struct GatewayProc {
+    child: Child,
+    addr: String,
+}
+
+impl GatewayProc {
+    fn spawn(extra: &[&str]) -> GatewayProc {
+        let mut args = vec!["--addr", "127.0.0.1:0"];
+        if !extra.contains(&"--shards") {
+            args.extend(["--shards", "2"]);
+        }
+        if !extra.contains(&"--workers-per-shard") {
+            args.extend(["--workers-per-shard", "1"]);
+        }
+        let mut child = Command::new(env!("CARGO_BIN_EXE_lagoon"))
+            .arg("gateway")
+            .args(args)
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn lagoon gateway");
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read listen line");
+        let rest = line
+            .trim()
+            .strip_prefix("gateway listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner: {line:?}"));
+        let addr = rest
+            .split_whitespace()
+            .next()
+            .expect("address in banner")
+            .to_string();
+        GatewayProc { child, addr }
+    }
+
+    fn client(&self) -> HttpClient {
+        HttpClient::connect(&self.addr, Some(Duration::from_secs(30))).expect("connect")
+    }
+
+    fn shutdown(mut self) {
+        let mut client = self.client();
+        let _ = client.request("POST", "/v1/shutdown", &[], b"{}");
+        for _ in 0..200 {
+            match self.child.try_wait() {
+                Ok(Some(status)) => {
+                    assert!(status.success(), "gateway exited with {status}");
+                    return;
+                }
+                Ok(None) => std::thread::sleep(Duration::from_millis(50)),
+                Err(e) => panic!("try_wait: {e}"),
+            }
+        }
+        let _ = self.child.kill();
+        panic!("gateway did not drain within 10s of shutdown");
+    }
+}
+
+/// Writes raw bytes and returns everything the gateway sends back
+/// before closing (these probes all hit close-the-connection errors).
+fn raw_roundtrip(addr: &str, bytes: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    stream.write_all(bytes).expect("write");
+    let mut response = Vec::new();
+    let _ = stream.read_to_end(&mut response);
+    String::from_utf8_lossy(&response).into_owned()
+}
+
+fn status_of(response: &str) -> u16 {
+    response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {response:?}"))
+}
+
+fn body_json(response: &lagoon::gateway::http::HttpResponse) -> Json {
+    json::parse(&response.body_str())
+        .unwrap_or_else(|e| panic!("non-JSON body {:?}: {e}", response.body_str()))
+}
+
+#[test]
+fn parser_edges_get_structured_errors() {
+    let gateway = GatewayProc::spawn(&["--shards", "1"]);
+
+    // Malformed request line: no version token.
+    let r = raw_roundtrip(&gateway.addr, b"GARBAGE\r\n\r\n");
+    assert_eq!(status_of(&r), 400, "malformed request line: {r}");
+    assert!(r.contains("\"kind\":\"protocol\""), "structured body: {r}");
+
+    // One header line over the 8 KiB cap.
+    let mut oversized = Vec::from(&b"GET /v1/healthz HTTP/1.1\r\nx-big: "[..]);
+    oversized.extend(vec![b'a'; 9 * 1024]);
+    oversized.extend_from_slice(b"\r\n\r\n");
+    let r = raw_roundtrip(&gateway.addr, &oversized);
+    assert_eq!(status_of(&r), 431, "oversized header: {r}");
+
+    // Unparseable Content-Length.
+    let r = raw_roundtrip(
+        &gateway.addr,
+        b"POST /v1/run HTTP/1.1\r\ncontent-length: banana\r\n\r\n",
+    );
+    assert_eq!(status_of(&r), 400, "bad content-length: {r}");
+
+    // POST with a body but no Content-Length at all.
+    let r = raw_roundtrip(&gateway.addr, b"POST /v1/run HTTP/1.1\r\n\r\n{}");
+    assert_eq!(status_of(&r), 411, "missing content-length: {r}");
+
+    // Declared body over the gateway's cap: shed-shaped, not retryable.
+    let r = raw_roundtrip(
+        &gateway.addr,
+        b"POST /v1/run HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n",
+    );
+    assert_eq!(status_of(&r), 413, "oversized body: {r}");
+    assert!(
+        r.contains("\"reason\":\"request-too-large\""),
+        "structured reason: {r}"
+    );
+
+    gateway.shutdown();
+}
+
+#[test]
+fn pipelined_bursts_answer_in_order() {
+    let gateway = GatewayProc::spawn(&[]);
+    let mut client = gateway.client();
+
+    // Queue three requests back to back without reading, then drain:
+    // responses must come back in request order on the one connection.
+    let bodies = [
+        r##"{"source":"#lang lagoon\n(+ 1 1)\n"}"##,
+        r##"{"source":"#lang lagoon\n(+ 2 2)\n"}"##,
+        r##"{"source":"#lang lagoon\n(+ 3 3)\n"}"##,
+    ];
+    for body in &bodies {
+        client
+            .send("POST", "/v1/run", &[], body.as_bytes())
+            .expect("pipelined send");
+    }
+    for expected in ["2", "4", "6"] {
+        let response = client.read_response().expect("pipelined read");
+        assert_eq!(response.status, 200);
+        let parsed = body_json(&response);
+        assert_eq!(
+            parsed.get("value").and_then(Json::as_str),
+            Some(expected),
+            "in-order pipelined response"
+        );
+    }
+    gateway.shutdown();
+}
+
+#[test]
+fn keep_alive_survives_clean_errors_and_echoes_traces() {
+    let gateway = GatewayProc::spawn(&[]);
+    let mut client = gateway.client();
+
+    // A clean framing-level app error (404) must not cost the
+    // connection...
+    let response = client
+        .request("GET", "/v1/nope", &[], b"")
+        .expect("404 roundtrip");
+    assert_eq!(response.status, 404);
+    // ...nor a wrong method (405)...
+    let response = client
+        .request("GET", "/v1/run", &[], b"")
+        .expect("405 roundtrip");
+    assert_eq!(response.status, 405);
+    // ...nor a bad JSON body (400).
+    let response = client
+        .request("POST", "/v1/run", &[], b"not json")
+        .expect("400 roundtrip");
+    assert_eq!(response.status, 400);
+
+    // Same connection still serves real work, and the trace id rides
+    // the request into the daemon and back out as a header.
+    let headers = [("x-lagoon-trace-id", "gw-test-trace-1".to_string())];
+    let response = client
+        .request(
+            "POST",
+            "/v1/run",
+            &headers,
+            br##"{"source":"#lang lagoon\n(* 6 7)\n"}"##,
+        )
+        .expect("run after errors");
+    assert_eq!(response.status, 200);
+    let parsed = body_json(&response);
+    assert_eq!(parsed.get("value").and_then(Json::as_str), Some("42"));
+    assert_eq!(
+        response.header("x-lagoon-trace-id"),
+        Some("gw-test-trace-1"),
+        "trace id echoed"
+    );
+    assert!(
+        response.header("x-lagoon-shard").is_some(),
+        "serving shard is attributed"
+    );
+    gateway.shutdown();
+}
+
+#[test]
+fn stats_and_healthz_report_the_fleet() {
+    let gateway = GatewayProc::spawn(&[]);
+    let mut client = gateway.client();
+
+    let response = client
+        .request("GET", "/v1/healthz", &[], b"")
+        .expect("healthz");
+    assert_eq!(response.status, 200);
+    let parsed = body_json(&response);
+    assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(parsed.get("live").and_then(Json::as_u64), Some(2));
+
+    // Drive one request so the stats have something to count.
+    let response = client
+        .request(
+            "POST",
+            "/v1/run",
+            &[],
+            br##"{"source":"#lang lagoon\n(+ 1 2)\n"}"##,
+        )
+        .expect("run");
+    assert_eq!(response.status, 200);
+
+    let response = client.request("GET", "/v1/stats", &[], b"").expect("stats");
+    assert_eq!(response.status, 200);
+    let parsed = body_json(&response);
+    assert_eq!(parsed.get("shards").and_then(Json::as_u64), Some(2));
+    let http = parsed.get("http").expect("http stats");
+    assert!(http.get("requests").and_then(Json::as_u64).unwrap_or(0) >= 2);
+    let shard_gauges = match parsed.get("shard") {
+        Some(Json::Arr(items)) => items.len(),
+        other => panic!("shard gauges missing: {other:?}"),
+    };
+    assert_eq!(shard_gauges, 2);
+    // Deep stats reach into each daemon.
+    match parsed.get("daemons") {
+        Some(Json::Arr(daemons)) => assert_eq!(daemons.len(), 2),
+        other => panic!("daemon stats missing: {other:?}"),
+    }
+    gateway.shutdown();
+}
+
+#[test]
+fn killed_shard_fails_over_and_respawns() {
+    let gateway = GatewayProc::spawn(&["--test-ops"]);
+    let mut client = gateway.client();
+
+    let response = client
+        .request("POST", "/v1/test/kill-shard", &[], br#"{"shard":0}"#)
+        .expect("kill shard");
+    assert_eq!(response.status, 200, "{}", response.body_str());
+
+    // Requests keep succeeding: the dead shard is skipped or failed
+    // over while the supervisor brings a replacement up.
+    for i in 0..4 {
+        let body = format!(r##"{{"source":"#lang lagoon\n(+ {i} 1)\n"}}"##);
+        let response = client
+            .request("POST", "/v1/run", &[], body.as_bytes())
+            .expect("run during failover");
+        assert_eq!(response.status, 200, "{}", response.body_str());
+        let parsed = body_json(&response);
+        assert_eq!(
+            parsed.get("value").and_then(Json::as_str),
+            Some(format!("{}", i + 1).as_str())
+        );
+    }
+
+    // The supervisor respawns the shard; stats record the respawn and
+    // the fleet returns to full strength.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let response = client.request("GET", "/v1/stats", &[], b"").expect("stats");
+        let parsed = body_json(&response);
+        let live = parsed.get("live").and_then(Json::as_u64).unwrap_or(0);
+        let respawns = match parsed.get("shard") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|g| g.get("respawns").and_then(Json::as_u64).unwrap_or(0))
+                .sum::<u64>(),
+            _ => 0,
+        };
+        if live == 2 && respawns >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "shard not respawned: live={live} respawns={respawns}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    gateway.shutdown();
+}

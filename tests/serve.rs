@@ -583,3 +583,42 @@ fn shedding_rejections_are_marked_retryable_and_retry_succeeds() {
 
     daemon.shutdown();
 }
+
+#[test]
+fn oversized_request_lines_are_rejected_and_resync() {
+    let daemon = Daemon::spawn(&["--max-request-bytes", "4096"]);
+    let mut conn =
+        client::Connection::connect(&daemon.addr, Some(Duration::from_secs(10))).expect("connect");
+
+    // A request line far over the cap: the daemon must answer with a
+    // structured rejection instead of buffering it (or dying), then
+    // resynchronize at the newline so the connection keeps working.
+    let giant = format!(
+        "{{\"op\":\"run\",\"source\":\"#lang lagoon\\n{}\\n\"}}",
+        "(+ 1 1) ".repeat(2048)
+    );
+    assert!(giant.len() > 8192, "probe must exceed the cap");
+    let response = conn.roundtrip(&giant).expect("rejection roundtrip");
+    let parsed = json::parse(&response).expect("structured rejection");
+    assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(false));
+    let err = parsed.get("error").expect("error object");
+    assert_eq!(
+        err.get("kind").and_then(Json::as_str),
+        Some("resource-exhausted")
+    );
+    assert_eq!(
+        err.get("reason").and_then(Json::as_str),
+        Some("request-too-large")
+    );
+    assert_eq!(err.get("retryable").and_then(Json::as_bool), Some(false));
+
+    // Same connection, normal-sized request: still served.
+    let response = conn
+        .roundtrip("{\"op\":\"run\",\"source\":\"#lang lagoon\\n(+ 20 1)\\n\"}")
+        .expect("post-rejection roundtrip");
+    let parsed = json::parse(&response).expect("json");
+    assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(parsed.get("value").and_then(Json::as_str), Some("21"));
+
+    daemon.shutdown();
+}
